@@ -1,0 +1,129 @@
+"""Ablations of Gloss's design choices (DESIGN.md Section 7).
+
+Not a paper figure: each ablation removes one mechanism and shows the
+failure mode it prevents, quantifying why the design needs it.
+
+* two-phase split vs. monolithic recompilation -> visible recompile time
+* AST lead time t -> snapshot retries when aimed too close
+* fusion / splitter-joiner removal on vs. off -> steady throughput gap
+* resource throttling off (= fixed scheme) -> downtime on slow targets
+"""
+
+import pytest
+
+from benchmarks.conftest import run_experiment
+from repro.compiler import CostModel
+from repro.experiments import format_rows, make_experiment_app, write_result
+
+
+def _two_phase_vs_monolithic():
+    visible = {}
+    # Two-phase: visible time is just phase-2.
+    experiment = make_experiment_app("BeamFormer", initial_nodes=range(4))
+    config = experiment.config(range(4), name="two-phase", cut_bias=0.2)
+    experiment.reconfigure_and_run(config, "adaptive", settle=60.0)
+    timeline = experiment.app.reconfigurations[-1]
+    visible["two_phase"] = timeline.visible_recompilation_seconds
+    # Monolithic: stop-and-copy compiles everything on the critical path.
+    experiment = make_experiment_app("BeamFormer", initial_nodes=range(4))
+    config = experiment.config(range(4), name="monolithic", cut_bias=0.2)
+    experiment.reconfigure_and_run(config, "stop_and_copy", settle=60.0)
+    timeline = experiment.app.reconfigurations[-1]
+    visible["monolithic"] = timeline.visible_recompilation_seconds
+    return visible
+
+
+def _ast_lead_time():
+    retries = {}
+    for lead in (0.05, 3.0):
+        model = CostModel().scaled(ast_lead_time=lead)
+        experiment = make_experiment_app(
+            "BeamFormer", initial_nodes=range(4), cost_model=model)
+        config = experiment.config(range(4), name="lead-%.2f" % lead,
+                                   cut_bias=0.15)
+        _, report = experiment.reconfigure_and_run(config, "adaptive",
+                                                   settle=60.0)
+        timeline = experiment.app.reconfigurations[-1]
+        retries[lead] = {
+            "ast_wait": (timeline.state_captured_at
+                         - timeline.phase1_done_at),
+            "downtime": report.downtime,
+        }
+    return retries
+
+
+def _fusion_ablation():
+    from repro.compiler import Configuration
+    throughputs = {}
+    for fusion in (True, False):
+        experiment = make_experiment_app("FilterBank",
+                                         initial_nodes=range(2))
+        config = experiment.config(range(2), name="fusion-%s" % fusion)
+        if not fusion:
+            config = Configuration(blobs=config.blobs,
+                                   multiplier=config.multiplier,
+                                   fusion=False, removal=False,
+                                   name=config.name)
+        _, report = experiment.reconfigure_and_run(config, "adaptive",
+                                                   settle=70.0)
+        end = experiment.env.now
+        throughputs[fusion] = experiment.throughput_between(end - 20.0, end)
+    return throughputs
+
+
+def _throttling_ablation():
+    results = {}
+    # Adaptive (throttling on) vs fixed (no throttling, fixed stop).
+    for strategy in ("adaptive", "fixed"):
+        experiment = make_experiment_app("FMRadio", initial_nodes=range(6))
+        config = experiment.config([0, 1], name="slow-%s" % strategy)
+        _, report = experiment.reconfigure_and_run(config, strategy,
+                                                   settle=90.0)
+        results[strategy] = report.downtime
+    return results
+
+
+def _run():
+    return {
+        "visible_recompilation": _two_phase_vs_monolithic(),
+        "ast_lead": _ast_lead_time(),
+        "fusion": _fusion_ablation(),
+        "throttling_downtime": _throttling_ablation(),
+    }
+
+
+def test_ablations(benchmark):
+    results = run_experiment(benchmark, _run)
+    rows = [
+        ("visible recompilation, two-phase (s)",
+         "%.2f" % results["visible_recompilation"]["two_phase"]),
+        ("visible recompilation, monolithic (s)",
+         "%.2f" % results["visible_recompilation"]["monolithic"]),
+        ("AST wait, lead 0.05 s (s)",
+         "%.2f" % results["ast_lead"][0.05]["ast_wait"]),
+        ("AST wait, lead 3 s (s)",
+         "%.2f" % results["ast_lead"][3.0]["ast_wait"]),
+        ("throughput with fusion (items/s)",
+         "%.0f" % results["fusion"][True]),
+        ("throughput without fusion (items/s)",
+         "%.0f" % results["fusion"][False]),
+        ("slow-target downtime with throttling (s)",
+         "%.1f" % results["throttling_downtime"]["adaptive"]),
+        ("slow-target downtime without throttling (s)",
+         "%.1f" % results["throttling_downtime"]["fixed"]),
+    ]
+    write_result("ablations", format_rows(
+        ("ablation", "value"), rows, title="Design-choice ablations"))
+    # Two-phase keeps visible recompilation sub-second; monolithic pays
+    # the full compile on the critical path.
+    assert results["visible_recompilation"]["two_phase"] < 1.0
+    assert results["visible_recompilation"]["monolithic"] > 3.0
+    # Both leads succeed (the short lead retries internally with a
+    # doubled horizon), and neither causes downtime.
+    assert results["ast_lead"][0.05]["downtime"] == 0.0
+    assert results["ast_lead"][3.0]["downtime"] == 0.0
+    # Fusion + removal buy real steady-state throughput.
+    assert results["fusion"][True] > 1.15 * results["fusion"][False]
+    # Resource throttling is what eliminates slow-target downtime.
+    assert results["throttling_downtime"]["adaptive"] == 0.0
+    assert results["throttling_downtime"]["fixed"] > 2.0

@@ -1,0 +1,49 @@
+"""Figure 4: time breakdown of stop-and-copy reconfiguration.
+
+Paper: reconfiguring Beamformer (stateful) from two to three nodes
+with stop-and-copy spends ~5 s draining, ~6 s compiling and ~3 s
+initializing — ~14 s of downtime in total.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import format_rows, make_experiment_app, write_result
+
+
+def _run():
+    experiment = make_experiment_app("BeamFormer", initial_nodes=[0, 1])
+    start = experiment.env.now
+    config = experiment.config([0, 1, 2], name="cfg2-3nodes")
+    _, report = experiment.reconfigure_and_run(config, "stop_and_copy",
+                                               settle=60.0)
+    timeline = experiment.app.reconfigurations[-1]
+    drain = timeline.drained_at - timeline.requested_at
+    compile_seconds = timeline.phase1_done_at - timeline.drained_at
+    first_output = experiment.app.series.first_emission_after(
+        timeline.phase1_done_at)
+    init = first_output - timeline.phase1_done_at
+    return {
+        "drain": drain,
+        "compile": compile_seconds,
+        "init": init,
+        "total": first_output - timeline.requested_at,
+        "downtime": report.downtime,
+    }
+
+
+def test_fig04_stop_and_copy_breakdown(benchmark):
+    result = run_experiment(benchmark, _run)
+    rows = [
+        ("draining", "5", "%.1f" % result["drain"]),
+        ("compilation", "6", "%.1f" % result["compile"]),
+        ("initialization", "3", "%.1f" % result["init"]),
+        ("total downtime", "14", "%.1f" % result["total"]),
+    ]
+    write_result("fig04_stop_and_copy", format_rows(
+        ("phase", "paper (s)", "measured (s)"), rows,
+        title="Figure 4: stop-and-copy breakdown, Beamformer 2->3 nodes"))
+    # Shape: every phase contributes seconds; drain and compile dominate.
+    assert 2.0 <= result["drain"] <= 12.0
+    assert 3.0 <= result["compile"] <= 12.0
+    assert 1.0 <= result["init"] <= 8.0
+    assert 8.0 <= result["total"] <= 25.0
+    assert result["downtime"] >= 5.0

@@ -1,0 +1,63 @@
+"""Figure 8: the failure modes of *fixed* seamless reconfiguration.
+
+(a) Moving from a fast configuration to a slow one: the old instance
+    finishes its duplicated input before the new one has ramped up —
+    downtime appears.
+(b) Moving from a slow configuration to a fast one: the new instance's
+    held-back output floods out when the old instance stops — an
+    output-rate spike.
+
+Both are exactly what adaptive seamless reconfiguration then
+eliminates (checked here as the control).
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import format_rows, make_experiment_app, write_result
+
+
+def _high_to_low(strategy):
+    experiment = make_experiment_app("FMRadio", initial_nodes=range(6))
+    config = experiment.config([0, 1], name="slow-2nodes")
+    _, report = experiment.reconfigure_and_run(config, strategy, settle=90.0)
+    return report
+
+
+def _low_to_high(strategy):
+    experiment = make_experiment_app("FMRadio", initial_nodes=[0, 1])
+    config = experiment.config(range(6), name="fast-6nodes")
+    _, report = experiment.reconfigure_and_run(config, strategy, settle=90.0)
+    return report
+
+
+def _run():
+    return {
+        "fixed_high_low": _high_to_low("fixed"),
+        "fixed_low_high": _low_to_high("fixed"),
+        "adaptive_high_low": _high_to_low("adaptive"),
+        "adaptive_low_high": _low_to_high("adaptive"),
+    }
+
+
+def test_fig08_fixed_seamless_issues(benchmark):
+    reports = run_experiment(benchmark, _run)
+    rows = []
+    for key, report in reports.items():
+        rows.append((key, "%.1f" % report.downtime,
+                     "%.0f" % report.max_throughput,
+                     "%.0f" % report.full_throughput,
+                     "yes" if report.has_spike else "no"))
+    write_result("fig08_fixed_seamless", format_rows(
+        ("scenario", "downtime (s)", "peak (items/s)", "full (items/s)",
+         "spike"), rows,
+        title="Figure 8: fixed seamless failure modes (FMRadio)"))
+    # (a) fast -> slow under the fixed scheme: downtime appears.
+    assert reports["fixed_high_low"].downtime > 0.0
+    # (b) slow -> fast under the fixed scheme: an output spike.
+    assert reports["fixed_low_high"].has_spike
+    # Adaptive control: high->low downtime eliminated...
+    assert reports["adaptive_high_low"].downtime == 0.0
+    # ...and low->high has no held-back flood: its peak stays well
+    # below the fixed scheme's spike.
+    assert reports["adaptive_low_high"].max_throughput \
+        < 0.7 * reports["fixed_low_high"].max_throughput
+    assert reports["adaptive_low_high"].downtime == 0.0

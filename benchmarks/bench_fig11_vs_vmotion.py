@@ -1,0 +1,66 @@
+"""Figure 11: Gloss vs. VM live migration (vMotion).
+
+Paper: moving one of a stream program's two nodes to a new physical
+host via vMotion causes 21 s (FMRadio) / 27 s (Beamformer) of
+downtime — streaming programs dirty memory faster than pre-copy can
+converge, triggering stun-during-page-send and a long final
+stop-and-copy.  Gloss's adaptive seamless reconfiguration performs the
+same move with zero downtime and a positive minimum throughput.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.baselines import VMMigrationModel, migrate_instance
+from repro.experiments import format_rows, make_experiment_app, write_result
+
+
+def _vmotion(app_name):
+    experiment = make_experiment_app(app_name, n_nodes=3,
+                                     initial_nodes=[0, 1])
+    model = VMMigrationModel(memory_bytes=24e9, bandwidth=1.25e9,
+                             dirty_bytes_per_item=1e6)
+    process = experiment.env.process(migrate_instance(experiment.app, model))
+    experiment.run_until(experiment.env.now + 200.0)
+    if not process.triggered:
+        raise RuntimeError("migration did not finish")
+    blackout = experiment.app.event_times("migration_blackout_start")[0]
+    return experiment.app.analyze(blackout, blackout + 120.0)
+
+
+def _gloss(app_name):
+    experiment = make_experiment_app(app_name, n_nodes=3,
+                                     initial_nodes=[0, 1])
+    # Move the second node's work to the fresh node 2.
+    config = experiment.config([0, 2], name="moved")
+    _, report = experiment.reconfigure_and_run(config, "adaptive",
+                                               settle=120.0)
+    return report
+
+
+def _run():
+    return {
+        ("FMRadio", "vmotion"): _vmotion("FMRadio"),
+        ("FMRadio", "gloss"): _gloss("FMRadio"),
+        ("BeamFormer", "vmotion"): _vmotion("BeamFormer"),
+        ("BeamFormer", "gloss"): _gloss("BeamFormer"),
+    }
+
+
+def test_fig11_gloss_vs_vmotion(benchmark):
+    reports = run_experiment(benchmark, _run)
+    rows = [
+        (app, kind, "%.1f" % r.downtime, "%.0f" % r.min_throughput)
+        for (app, kind), r in reports.items()
+    ]
+    write_result("fig11_vs_vmotion", format_rows(
+        ("application", "mechanism", "downtime (s)", "min throughput"),
+        rows,
+        title="Figure 11: vMotion migration vs Gloss adaptive "
+              "reconfiguration (paper: 21-27 s vs 0 s downtime)"))
+    for app_name in ("FMRadio", "BeamFormer"):
+        vmotion = reports[(app_name, "vmotion")]
+        gloss = reports[(app_name, "gloss")]
+        # vMotion blacks out for many seconds...
+        assert vmotion.downtime >= 5.0, app_name
+        # ...Gloss keeps producing throughout.
+        assert gloss.downtime == 0.0, app_name
+        assert gloss.min_throughput > 0.0, app_name

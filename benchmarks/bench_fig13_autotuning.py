@@ -1,0 +1,62 @@
+"""Figure 13: online autotuning with live reconfiguration.
+
+Paper: an online autotuner explores program variants on eight nodes;
+throughput varies as variants are tried, but Gloss reconfigures
+between them with zero downtime, so the program does useful work
+throughout the tuning session.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import format_rows, make_experiment_app, write_result
+from repro.tuning import ConfigurationSpace, OnlineAutotuner
+
+TRIALS = 5
+
+
+def _tune(app_name, seed):
+    experiment = make_experiment_app(app_name, initial_nodes=range(8))
+    space = ConfigurationSpace(experiment.blueprint, seed=seed)
+    tuner = OnlineAutotuner(experiment.app, space, measure_seconds=15.0)
+    process = experiment.env.process(tuner.run(trials=TRIALS))
+    experiment.run_until(experiment.env.now + 1200.0)
+    if not process.triggered:
+        raise RuntimeError("tuning session did not finish")
+    downtimes = [r.downtime
+                 for r in experiment.app.analyze_all(horizon_after=45.0)]
+    return {
+        "history": [(point.describe(), throughput)
+                    for point, throughput in tuner.history],
+        "best": tuner.best[1],
+        "downtimes": downtimes,
+    }
+
+
+def _run():
+    return {
+        "BeamFormer": _tune("BeamFormer", seed=42),
+        "FMRadio": _tune("FMRadio", seed=43),
+    }
+
+
+def test_fig13_online_autotuning(benchmark):
+    results = run_experiment(benchmark, _run)
+    rows = []
+    for app_name, result in results.items():
+        for i, (point, throughput) in enumerate(result["history"]):
+            rows.append((app_name, "trial %d" % i, point,
+                         "%.0f" % throughput))
+        rows.append((app_name, "best", "", "%.0f" % result["best"]))
+    write_result("fig13_autotuning", format_rows(
+        ("application", "step", "variant", "items/s"), rows,
+        title="Figure 13: online autotuning excerpt (%d trials, "
+              "adaptive reconfiguration)" % TRIALS))
+    for app_name, result in results.items():
+        throughputs = [t for _, t in result["history"]]
+        # The tuner genuinely explored: variants differ in throughput.
+        assert max(throughputs) > 1.1 * min(throughputs), app_name
+        # Best-so-far is the maximum of the history.
+        assert result["best"] >= max(throughputs) * 0.999, app_name
+        # Zero downtime across every reconfiguration the tuner issued.
+        assert result["downtimes"], app_name
+        assert all(d == 0.0 for d in result["downtimes"]), (
+            app_name, result["downtimes"])

@@ -1,0 +1,138 @@
+"""Figure 14a: riding out workload fluctuation by adding nodes.
+
+Paper: a benchmark increases the per-item work every 30 seconds
+(starting at 100 s).  Without elasticity throughput decays to roughly
+half the desired level; with a policy that adds a node whenever
+throughput drops below 8,000 items/s, the program holds its target
+with only brief disruption.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.apps.synthetic import TunableWork
+from repro.cluster import Cluster, StreamApp
+from repro.compiler import CostModel, partition_even
+from repro.experiments import format_rows, write_result
+from repro.graph.builders import Pipeline
+from repro.graph.library import FIRFilter
+from repro.sched import make_schedule
+
+STAGES = 10
+BASE_INTENSITY = 30.0
+DURATION = 420.0
+WORKLOAD_PERIOD = 30.0
+WORKLOAD_START = 100.0
+WORKLOAD_FACTOR = 1.18
+TARGET = 8000.0
+
+
+def _multiplier_for(blueprint):
+    """Re-derive the schedule multiplier for the *current* per-item
+    cost — global reoptimization in action: as the workload grows, the
+    recompiled schedule shrinks its unrolling to keep iteration work
+    (and with it init/drain costs) constant."""
+    work = max(make_schedule(blueprint()).steady_work, 1e-9)
+    return max(int(15_000.0 / work), 1)
+
+
+def _make_app(n_nodes):
+    """A workload app whose blueprint tracks a mutable intensity."""
+    intensity = {"value": BASE_INTENSITY}
+
+    def blueprint():
+        elements = []
+        for stage in range(STAGES):
+            elements.append(TunableWork(intensity["value"],
+                                        name="tunable_%d" % stage))
+            elements.append(FIRFilter([0.6, 0.4], name="mix_%d" % stage))
+        return Pipeline(*elements).flatten()
+
+    cluster = Cluster(n_nodes=n_nodes, cores_per_node=24,
+                      cost_model=CostModel())
+    app = StreamApp(cluster, blueprint, rate_only=True, name="workload")
+    app.launch(partition_even(blueprint(), [0],
+                              multiplier=_multiplier_for(blueprint),
+                              name="cfg1"))
+    return cluster, app, intensity, blueprint
+
+
+def _workload_driver(env, app, intensity):
+    """Raise per-item work every 30 s from t=100 s (paper's schedule)."""
+    yield env.timeout(WORKLOAD_START - env.now)
+    for _ in range(8):
+        intensity["value"] *= WORKLOAD_FACTOR
+        for instance in app.instances:
+            if instance.status == "running":
+                for worker in instance.program.graph.workers:
+                    if isinstance(worker, TunableWork):
+                        worker.set_intensity(intensity["value"])
+        app.note("workload_increase", intensity=intensity["value"])
+        yield env.timeout(WORKLOAD_PERIOD)
+
+
+def _scaling_policy(env, app, blueprint, max_nodes):
+    """Add a node (adaptive reconfig) when throughput dips below target."""
+    nodes_in_use = 1
+    while True:
+        yield env.timeout(5.0)
+        if app.current is None or app.current.status != "running":
+            continue
+        recent = app.series.items_between(env.now - 5.0, env.now) / 5.0
+        if recent < TARGET and nodes_in_use < max_nodes:
+            nodes_in_use += 1
+            config = partition_even(
+                blueprint(), list(range(nodes_in_use)),
+                multiplier=_multiplier_for(blueprint),
+                name="%d-nodes" % nodes_in_use)
+            done = app.reconfigure(config, strategy="adaptive")
+            app.note("node_added", nodes=nodes_in_use)
+            yield done
+
+
+def _run_one(elastic):
+    cluster, app, intensity, blueprint = _make_app(n_nodes=4)
+    cluster.run(until=60.0)
+    cluster.env.process(_workload_driver(cluster.env, app, intensity))
+    if elastic:
+        cluster.env.process(
+            _scaling_policy(cluster.env, app, blueprint, max_nodes=4))
+    cluster.run(until=DURATION)
+    tail = app.series.items_between(DURATION - 30.0, DURATION) / 30.0
+    return {
+        "tail_throughput": tail,
+        "nodes_added": len(app.event_times("node_added")),
+        "downtimes": [r.downtime for r in app.analyze_all(
+            horizon_after=30.0)],
+    }
+
+
+def _run():
+    return {
+        "resource_added": _run_one(elastic=True),
+        "no_resource_added": _run_one(elastic=False),
+    }
+
+
+def test_fig14a_workload_fluctuation(benchmark):
+    results = run_experiment(benchmark, _run)
+    rows = [
+        (name, "%.0f" % r["tail_throughput"], r["nodes_added"])
+        for name, r in results.items()
+    ]
+    write_result("fig14a_workload", format_rows(
+        ("policy", "final throughput (items/s)", "nodes added"), rows,
+        title="Figure 14a: workload increases every %.0f s from %.0f s; "
+              "target %.0f items/s" % (WORKLOAD_PERIOD, WORKLOAD_START,
+                                       TARGET)))
+    with_nodes = results["resource_added"]
+    without = results["no_resource_added"]
+    # Elastic policy actually scaled out and held (near) the target;
+    # the paper's own plot dips below target during transitions, so
+    # "held" means within 20%.
+    assert with_nodes["nodes_added"] >= 2
+    assert with_nodes["tail_throughput"] >= 0.8 * TARGET
+    # Without elasticity the program ends well below target...
+    assert without["tail_throughput"] < 0.75 * TARGET
+    # ...and the elastic run roughly doubles the static one (paper:
+    # "slightly more than half of the desired performance level").
+    assert with_nodes["tail_throughput"] \
+        > 1.4 * without["tail_throughput"]

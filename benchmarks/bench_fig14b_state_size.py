@@ -1,0 +1,58 @@
+"""Figure 14b: reconfiguration time vs. program state size.
+
+Paper: on 8 nodes, sweeping the program state from 0.1 MB to 12.8 MB
+does not significantly change adaptive reconfiguration time, because
+asynchronous state transfer moves the state off the critical path.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import format_rows, make_experiment_app, write_result
+
+#: State sizes in MB (the paper's x axis: 0.1 .. 12.8, powers of two).
+STATE_MB = (0.1, 0.4, 1.6, 6.4, 12.8)
+
+
+def _measure(state_mb):
+    state_items = int(state_mb * 1e6 / 8)  # 8 bytes per float
+    experiment = make_experiment_app(
+        "Synthetic", initial_nodes=range(8),
+        blueprint_kwargs={"state_items": state_items})
+    config = experiment.config(range(8), name="resize", cut_bias=0.2)
+    _, report = experiment.reconfigure_and_run(config, "adaptive",
+                                               settle=90.0)
+    timeline = experiment.app.reconfigurations[-1]
+    return {
+        "reconfig_seconds": timeline.total_seconds,
+        "state_bytes": timeline.state_bytes,
+        "downtime": report.downtime,
+    }
+
+
+def _run():
+    return {mb: _measure(mb) for mb in STATE_MB}
+
+
+def test_fig14b_state_size(benchmark):
+    results = run_experiment(benchmark, _run)
+    rows = [
+        ("%.1f" % mb,
+         "%.2f" % (r["state_bytes"] / 1e6),
+         "%.2f" % r["reconfig_seconds"],
+         "%.1f" % r["downtime"])
+        for mb, r in sorted(results.items())
+    ]
+    write_result("fig14b_state_size", format_rows(
+        ("state (MB)", "captured (MB)", "reconfig time (s)",
+         "downtime (s)"), rows,
+        title="Figure 14b: adaptive reconfiguration time vs state size, "
+              "8 nodes"))
+    times = [r["reconfig_seconds"] for r in results.values()]
+    # The state size really swept two orders of magnitude...
+    sizes = [r["state_bytes"] for r in results.values()]
+    assert max(sizes) > 30 * min(sizes)
+    # ...but reconfiguration time does not significantly change
+    # (paper: "the size of the program state does not significantly
+    # affect reconfiguration time").
+    assert max(times) < 1.8 * min(times)
+    for r in results.values():
+        assert r["downtime"] == 0.0

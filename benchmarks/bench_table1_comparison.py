@@ -1,0 +1,96 @@
+"""Table 1: throughput-disrupted time and downtime per scheme per app.
+
+Paper (8 nodes, averages over repeated reconfigurations):
+
+    scheme         disrupted (s)  downtime (s)
+    stop-and-copy  10.50          8.51
+    fixed           5.49          1.92
+    adaptive        4.78          0
+
+The qualitative claims we assert: downtime strictly orders
+stop-and-copy > fixed > adaptive; adaptive's downtime is exactly zero
+for every application; stop-and-copy has the largest disrupted time.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_experiment
+from repro.apps import TABLE1_APPS, get_app
+from repro.experiments import format_rows, make_experiment_app, write_result
+
+#: Reconfigurations measured per (app, scheme).  The paper uses 100;
+#: three keeps the harness fast while still averaging.
+RECONFIGS = 3
+
+SCHEMES = ("stop_and_copy", "fixed", "adaptive")
+
+#: Alternating target configurations of comparable capacity, so "full
+#: throughput" stays meaningful across repeats.
+TARGETS = [
+    dict(nodes=range(8), cut_bias=0.15),
+    dict(nodes=range(8), cut_bias=-0.15),
+    dict(nodes=range(1, 8), cut_bias=0.0),
+]
+
+
+def _measure(app_name, scheme):
+    experiment = make_experiment_app(app_name, initial_nodes=range(8))
+    disrupted, downtime = [], []
+    for i in range(RECONFIGS):
+        target = TARGETS[i % len(TARGETS)]
+        config = experiment.config(target["nodes"],
+                                   name="%s-%d" % (scheme, i),
+                                   cut_bias=target["cut_bias"])
+        _, report = experiment.reconfigure_and_run(config, scheme,
+                                                   settle=75.0)
+        disrupted.append(report.disrupted_time)
+        downtime.append(report.downtime)
+    return (sum(disrupted) / len(disrupted), sum(downtime) / len(downtime))
+
+
+def _run():
+    results = {}
+    for app_name in TABLE1_APPS:
+        for scheme in SCHEMES:
+            results[(app_name, scheme)] = _measure(app_name, scheme)
+    return results
+
+
+def test_table1_scheme_comparison(benchmark):
+    results = run_experiment(benchmark, _run)
+    rows = []
+    for app_name in TABLE1_APPS:
+        stateful = "stateful" if get_app(app_name).stateful else "stateless"
+        row = [app_name, stateful]
+        for scheme in SCHEMES:
+            disrupted, downtime = results[(app_name, scheme)]
+            row.extend(["%.2f" % disrupted, "%.2f" % downtime])
+        rows.append(row)
+    averages = ["Average", ""]
+    for scheme in SCHEMES:
+        values = [results[(a, scheme)] for a in TABLE1_APPS]
+        averages.extend([
+            "%.2f" % (sum(v[0] for v in values) / len(values)),
+            "%.2f" % (sum(v[1] for v in values) / len(values)),
+        ])
+    rows.append(averages)
+    write_result("table1_comparison", format_rows(
+        ("application", "state",
+         "s&c disrupted", "s&c down",
+         "fixed disrupted", "fixed down",
+         "adaptive disrupted", "adaptive down"), rows,
+        title="Table 1: avg disrupted time / downtime (s), %d reconfigs "
+              "per cell, 8 nodes" % RECONFIGS))
+
+    def scheme_average(scheme, index):
+        values = [results[(a, scheme)][index] for a in TABLE1_APPS]
+        return sum(values) / len(values)
+
+    # Adaptive eliminates downtime for every single application.
+    for app_name in TABLE1_APPS:
+        assert results[(app_name, "adaptive")][1] == 0.0, app_name
+    # Downtime ordering: stop-and-copy > fixed > adaptive (= 0).
+    assert scheme_average("stop_and_copy", 1) > scheme_average("fixed", 1)
+    assert scheme_average("fixed", 1) > scheme_average("adaptive", 1)
+    # Stop-and-copy also disrupts throughput longest on average.
+    assert scheme_average("stop_and_copy", 0) >= scheme_average("adaptive", 0)

@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation (Section 9): it runs the experiment once under
+pytest-benchmark (so ``--benchmark-only`` times the full experiment),
+asserts the paper's *qualitative shape*, and writes the measured rows
+to ``results/<experiment>.txt`` (summarized in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_experiment(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

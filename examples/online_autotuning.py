@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Online autotuning on production data (paper Section 9.5).
+
+Gloss makes online autotuning practical: the tuner reconfigures the
+*running* program between arbitrary points of the optimization space
+(node count, partition cuts, schedule multiplier, fusion) with zero
+downtime, so the program performs useful work during the entire
+search.
+
+Run:  python examples/online_autotuning.py
+"""
+
+from repro import Cluster, StreamApp, partition_even
+from repro.apps import get_app
+from repro.tuning import ConfigurationSpace, OnlineAutotuner
+
+
+def main():
+    spec = get_app("FMRadio")
+    blueprint = spec.blueprint(scale=2)
+    cluster = Cluster(n_nodes=6, cores_per_node=24)
+    app = StreamApp(cluster, blueprint, rate_only=True, name="fmradio")
+
+    app.launch(partition_even(blueprint(), [0, 1], multiplier=97,
+                              name="initial"))
+    cluster.run(until=30.0)
+    initial = app.series.items_between(20.0, 30.0) / 10.0
+    print("Initial configuration: %.0f items/s" % initial)
+
+    space = ConfigurationSpace(blueprint, seed=2018)
+    tuner = OnlineAutotuner(app, space, measure_seconds=15.0)
+    session = cluster.env.process(tuner.run(trials=6))
+    cluster.run(until=900.0)
+    assert session.triggered, "tuning session did not finish"
+
+    print("\nTuning history (each move is a live reconfiguration):")
+    for i, (point, throughput) in enumerate(tuner.history):
+        tag = " <- best" if (point, throughput) == tuner.best else ""
+        print("  %2d. %-44s %8.0f items/s%s"
+              % (i, point.describe(), throughput, tag))
+
+    best_point, best_throughput = tuner.best
+    print("\nBest: %s at %.0f items/s (%.1fx the initial configuration)"
+          % (best_point.describe(), best_throughput,
+             best_throughput / initial))
+
+    downtimes = [r.downtime for r in app.analyze_all(horizon_after=40.0)]
+    print("Downtime across %d tuner reconfigurations: %s"
+          % (len(downtimes), downtimes))
+    assert all(d == 0.0 for d in downtimes)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` requires ``wheel`` to build a PEP 660 editable
+install; on fully offline machines run ``python setup.py develop``
+instead (metadata lives in pyproject.toml).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,84 @@
+"""repro — a reproduction of *Gloss: Seamless Live Reconfiguration and
+Reoptimization of Stream Programs* (ASPLOS 2018).
+
+Quickstart::
+
+    from repro import Cluster, StreamApp, partition_even
+
+    cluster = Cluster(n_nodes=3, cores_per_node=16)
+    app = StreamApp(cluster, blueprint=my_graph_factory,
+                    input_fn=float, name="demo")
+    app.launch(partition_even(app.blueprint(), [0, 1]))
+    cluster.run(until=60)
+    app.reconfigure(partition_even(app.blueprint(), [0, 1, 2]),
+                    strategy="adaptive")
+    cluster.run(until=120)
+    print(app.analyze_all())  # downtime == 0 with the adaptive scheme
+
+See :mod:`repro.apps` for the paper's benchmark applications and
+``benchmarks/`` for the scripts regenerating every table and figure.
+"""
+
+from repro.graph import (
+    DuplicateSplitter,
+    Filter,
+    Joiner,
+    Pipeline,
+    RoundRobinJoiner,
+    RoundRobinSplitter,
+    SplitJoin,
+    Splitter,
+    StatefulFilter,
+    StreamGraph,
+    Worker,
+)
+from repro.sched import Schedule, make_schedule
+from repro.compiler import (
+    Configuration,
+    CostModel,
+    compile_configuration,
+    partition_even,
+    single_blob_configuration,
+)
+from repro.runtime import GraphInterpreter, ProgramState
+from repro.cluster import Cluster, StreamApp
+from repro.core import (
+    AdaptiveSeamlessReconfigurer,
+    FixedSeamlessReconfigurer,
+    ReconfigReport,
+    StopAndCopyReconfigurer,
+)
+from repro.metrics import analyze_reconfiguration, bucketize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveSeamlessReconfigurer",
+    "Cluster",
+    "Configuration",
+    "CostModel",
+    "DuplicateSplitter",
+    "Filter",
+    "FixedSeamlessReconfigurer",
+    "GraphInterpreter",
+    "Joiner",
+    "Pipeline",
+    "ProgramState",
+    "ReconfigReport",
+    "RoundRobinJoiner",
+    "RoundRobinSplitter",
+    "Schedule",
+    "SplitJoin",
+    "Splitter",
+    "StatefulFilter",
+    "StopAndCopyReconfigurer",
+    "StreamApp",
+    "StreamGraph",
+    "Worker",
+    "analyze_reconfiguration",
+    "bucketize",
+    "compile_configuration",
+    "make_schedule",
+    "partition_even",
+    "single_blob_configuration",
+]

@@ -1,0 +1,82 @@
+"""The paper's benchmark applications, rebuilt as SDF stream graphs.
+
+Six StreamIt/StreamJIT benchmarks used in Table 1 — Beamformer and
+Vocoder (stateful), TDE_PP, FMRadio, SAR and FilterBank (stateless) —
+plus the two real-world applications of Section 8 (the LTE-A uplink
+transceiver and the DVB-T2 receiver) and configurable synthetic
+workloads for the state-size and workload-fluctuation experiments.
+
+Each application module exposes a ``blueprint(scale)`` factory
+returning a zero-argument graph constructor, plus a module-level
+:data:`AppSpec`.  ``scale`` widens the graph (the paper uses "scaled
+up versions of the original benchmark applications").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict
+
+from repro.graph.topology import StreamGraph
+
+__all__ = [
+    "AppSpec",
+    "TABLE1_APPS",
+    "app_registry",
+    "default_input",
+    "get_app",
+]
+
+
+def default_input(index: int) -> float:
+    """The deterministic input signal shared by all applications."""
+    return ((index * 37 + 11) % 1000) / 1000.0 - 0.5
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """A named, scalable benchmark application."""
+
+    name: str
+    blueprint_factory: Callable[..., Callable[[], StreamGraph]]
+    stateful: bool
+    description: str = ""
+    input_fn: Callable[[int], Any] = default_input
+
+    def blueprint(self, scale: int = 1, **kwargs) -> Callable[[], StreamGraph]:
+        return self.blueprint_factory(scale=scale, **kwargs)
+
+
+def app_registry() -> Dict[str, AppSpec]:
+    """All registered applications by name."""
+    from repro.apps import (
+        beamformer, dvbt2, filterbank, fmradio, lte, sar, synthetic, tde,
+        vocoder,
+    )
+    specs = [
+        beamformer.APP,
+        vocoder.APP,
+        tde.APP,
+        fmradio.APP,
+        sar.APP,
+        filterbank.APP,
+        lte.APP,
+        dvbt2.APP,
+        synthetic.APP,
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+#: The six applications of Table 1, in the paper's row order.
+TABLE1_APPS = ("BeamFormer", "Vocoder", "TDE_PP", "FMRadio", "SAR",
+               "FilterBank")
+
+
+def get_app(name: str) -> AppSpec:
+    registry = app_registry()
+    try:
+        return registry[name]
+    except KeyError:
+        raise KeyError(
+            "unknown app %r (have: %s)" % (name, ", ".join(sorted(registry)))
+        ) from None

@@ -1,0 +1,141 @@
+"""Beamformer: multi-channel sensor-array beam forming (stateful).
+
+The StreamIt beamformer: per-channel coarse/fine decimating FIR
+stages, then per-beam steering (complex multiply-accumulate against
+beam weights) and detection.  The paper classifies its version as
+*stateful*: our steering filters adapt their weights as data flows
+(a running gain estimate), so reconfiguration must move real worker
+state through asynchronous state transfer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.apps import AppSpec
+from repro.graph.builders import Pipeline, SplitJoin
+from repro.graph.topology import StreamGraph
+from repro.graph.workers import (
+    DuplicateSplitter,
+    Filter,
+    RoundRobinJoiner,
+    RoundRobinSplitter,
+    StatefulFilter,
+)
+from repro.graph.library import FIRFilter
+
+__all__ = ["APP", "blueprint"]
+
+
+class InputConditioner(Filter):
+    """Per-channel input conditioning (gain + DC removal, stateless)."""
+
+    def __init__(self, channel: int):
+        super().__init__(pop=1, push=1, peek=2, work_estimate=1.0,
+                         name="condition_%d" % channel)
+        self.channel = channel
+
+    def work(self, input, output) -> None:
+        current = input.peek(0)
+        following = input.peek(1)
+        input.pop()
+        output.push(current - 0.5 * (current + following) * 0.1
+                    + 0.01 * self.channel)
+
+
+class AdaptiveSteering(StatefulFilter):
+    """Beam steering with an adapting gain — the stateful core.
+
+    Keeps a running energy estimate per beam and adapts its gain
+    toward a target level; both are explicit worker state that AST
+    must capture and transfer.
+    """
+
+    state_fields = ("gain", "energy")
+
+    def __init__(self, beam: int, window: int):
+        super().__init__(pop=window, push=1, work_estimate=1.5 * window,
+                         name="steer_%d" % beam)
+        self.beam = beam
+        self.window = window
+        self.weights = [
+            math.cos(2.0 * math.pi * beam * tap / window)
+            for tap in range(window)
+        ]
+        self.gain = 1.0
+        self.energy = 0.0
+
+    def work(self, input, output) -> None:
+        total = 0.0
+        for weight in self.weights:
+            total += weight * input.pop()
+        self.energy = 0.99 * self.energy + 0.01 * total * total
+        self.gain += 0.001 * (1.0 - self.energy)
+        output.push(total * self.gain)
+
+
+class Magnitude(Filter):
+    """Beam output detection (stateless)."""
+
+    def __init__(self, beam: int):
+        super().__init__(pop=1, push=1, work_estimate=1.0,
+                         name="magnitude_%d" % beam)
+
+    def work(self, input, output) -> None:
+        value = input.pop()
+        output.push(abs(value))
+
+
+def blueprint(scale: int = 1, channels: int = None,
+              beams: int = None) -> Callable[[], StreamGraph]:
+    """Beamformer factory.
+
+    ``channels`` sensor channels are conditioned and decimated, then
+    ``beams`` beams are steered from the combined stream.
+    """
+    n_channels = channels if channels is not None else 4 + 2 * scale
+    n_beams = beams if beams is not None else 4 + 2 * scale
+    coarse_taps = 8 * scale
+    fine_taps = 4 * scale
+
+    def build() -> StreamGraph:
+        channel_branches = [
+            Pipeline(
+                InputConditioner(c),
+                FIRFilter([1.0 / coarse_taps] * coarse_taps,
+                          name="coarse_%d" % c),
+                FIRFilter([1.0 / fine_taps] * fine_taps,
+                          name="fine_%d" % c),
+            )
+            for c in range(n_channels)
+        ]
+        beam_branches = [
+            Pipeline(
+                AdaptiveSteering(b, window=n_channels),
+                Magnitude(b),
+            )
+            for b in range(n_beams)
+        ]
+        return Pipeline(
+            SplitJoin(
+                RoundRobinSplitter(n_channels),
+                *channel_branches,
+                RoundRobinJoiner(n_channels),
+            ),
+            SplitJoin(
+                DuplicateSplitter(n_beams),
+                *beam_branches,
+                RoundRobinJoiner(n_beams),
+            ),
+        ).flatten()
+
+    return build
+
+
+APP = AppSpec(
+    name="BeamFormer",
+    blueprint_factory=blueprint,
+    stateful=True,
+    description="Sensor-array beamformer with adaptive steering (stateful)",
+)

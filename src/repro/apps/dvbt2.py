@@ -1,0 +1,137 @@
+"""DVB-T2 receiver (paper Section 8.2).
+
+FFT, channel estimator, frequency deinterleaver, cell deinterleaver,
+constellation derotation, forward error correction, frame
+multiplexer, bit deinterleaver and LDPC-style decoder.  The paper
+notes its output is bursty ("produces output in burst for every 2
+seconds because of its high peek and pop rates"), which we reproduce
+by giving the front stages very large pop rates relative to the rest
+of the graph.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List
+
+from repro.apps import AppSpec
+from repro.graph.builders import Pipeline
+from repro.graph.topology import StreamGraph
+from repro.graph.workers import Filter
+from repro.graph.library import BlockTransform
+from repro.apps.tde import dft
+
+__all__ = ["APP", "blueprint"]
+
+
+def _channel_estimate(pairs: List[float]) -> List[float]:
+    """Flatten the channel using pilot-cell averages (simplified)."""
+    energy = sum(p * p for p in pairs) / max(len(pairs), 1)
+    gain = 1.0 / math.sqrt(energy + 1e-9)
+    return [p * gain for p in pairs]
+
+
+def _derotate(pairs: List[float]) -> List[float]:
+    out: List[float] = []
+    for k in range(0, len(pairs), 2):
+        re, im = pairs[k], pairs[k + 1]
+        angle = -0.25 * math.pi
+        out.append(re * math.cos(angle) - im * math.sin(angle))
+        out.append(re * math.sin(angle) + im * math.cos(angle))
+    return out
+
+
+def _deinterleave(block: List[float], stride: int) -> List[float]:
+    n = len(block)
+    return [block[(i * stride) % n] for i in range(n)]
+
+
+def _fec(block: List[float]) -> List[float]:
+    """Forward error correction: 3-sample averaging (rate 1/3)."""
+    out: List[float] = []
+    for i in range(0, len(block), 3):
+        out.append((block[i] + block[i + 1] + block[i + 2]) / 3.0)
+    return out
+
+
+def _ldpc_decode(block: List[float]) -> List[float]:
+    """LDPC-style iterative threshold decoding (two sweeps)."""
+    beliefs = list(block)
+    for _ in range(2):
+        beliefs = [
+            0.5 * b + 0.25 * beliefs[i - 1] + 0.25 * beliefs[(i + 1) % len(beliefs)]
+            for i, b in enumerate(beliefs)
+        ]
+    return [1.0 if b > 0.0 else 0.0 for b in beliefs]
+
+
+class FrameMultiplexer(Filter):
+    """Select the data PLP out of interleaved frames (high pop rate)."""
+
+    def __init__(self, frames: int, payload: int):
+        super().__init__(pop=frames * payload, push=payload,
+                         work_estimate=0.2 * frames * payload,
+                         name="frame_mux")
+        self.frames = frames
+        self.payload = payload
+
+    def work(self, input, output) -> None:
+        kept: List[float] = []
+        for frame in range(self.frames):
+            for i in range(self.payload):
+                value = input.pop()
+                if frame == 0:
+                    kept.append(value)
+        for value in kept:
+            output.push(value)
+
+
+def blueprint(scale: int = 1, fft: int = None,
+              frames: int = None) -> Callable[[], StreamGraph]:
+    fft_size = fft if fft is not None else 16
+    n_frames = frames if frames is not None else 3 + scale
+
+    def build() -> StreamGraph:
+        return Pipeline(
+            BlockTransform(pop=fft_size, push=2 * fft_size, fn=dft,
+                           work_estimate=2.0 * fft_size * fft_size,
+                           name="fft"),
+            BlockTransform(pop=2 * fft_size, push=2 * fft_size,
+                           fn=_channel_estimate,
+                           work_estimate=2.0 * fft_size,
+                           name="channel_estimator"),
+            BlockTransform(pop=2 * fft_size, push=2 * fft_size,
+                           fn=lambda b: _deinterleave(b, 5),
+                           work_estimate=1.0 * fft_size,
+                           name="frequency_deinterleaver"),
+            BlockTransform(pop=2 * fft_size, push=2 * fft_size,
+                           fn=lambda b: _deinterleave(b, 9),
+                           work_estimate=1.0 * fft_size,
+                           name="cell_deinterleaver"),
+            BlockTransform(pop=2 * fft_size, push=2 * fft_size,
+                           fn=_derotate,
+                           work_estimate=2.0 * fft_size,
+                           name="constellation_derotation"),
+            BlockTransform(pop=6 * fft_size, push=2 * fft_size, fn=_fec,
+                           work_estimate=3.0 * fft_size,
+                           name="forward_error_correction"),
+            FrameMultiplexer(frames=n_frames, payload=2 * fft_size),
+            BlockTransform(pop=2 * fft_size, push=2 * fft_size,
+                           fn=lambda b: _deinterleave(b, 7),
+                           work_estimate=1.0 * fft_size,
+                           name="bit_deinterleaver"),
+            BlockTransform(pop=2 * fft_size, push=2 * fft_size,
+                           fn=_ldpc_decode,
+                           work_estimate=6.0 * fft_size,
+                           name="ldpc_decoder"),
+        ).flatten()
+
+    return build
+
+
+APP = AppSpec(
+    name="DVB-T2",
+    blueprint_factory=blueprint,
+    stateful=False,
+    description="DVB-T2 receiver with bursty high-rate front end",
+)

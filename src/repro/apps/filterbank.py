@@ -1,0 +1,83 @@
+"""FilterBank: multi-rate analysis/synthesis filter bank (stateless).
+
+The StreamIt benchmark: the signal is duplicated into N bands; each
+band is band-pass filtered, decimated, re-expanded and reconstruction
+filtered; the bands are summed.  All FIRs peek, so the whole graph is
+stateless with substantial peeking-buffer state — a good stress of
+implicit state transfer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.apps import AppSpec
+from repro.graph.builders import Pipeline, SplitJoin
+from repro.graph.topology import StreamGraph
+from repro.graph.workers import DuplicateSplitter, Filter, RoundRobinJoiner
+from repro.graph.library import Decimator, Expander, FIRFilter
+from repro.apps.fmradio import low_pass_taps
+
+__all__ = ["APP", "blueprint"]
+
+
+class BandSummer(Filter):
+    """Sum N band contributions per output sample."""
+
+    def __init__(self, bands: int):
+        super().__init__(pop=bands, push=1, work_estimate=0.3 * bands,
+                         name="band_summer")
+        self.bands = bands
+
+    def work(self, input, output) -> None:
+        total = 0.0
+        for _ in range(self.bands):
+            total += input.pop()
+        output.push(total)
+
+
+def band_pass_taps(center: float, taps: int):
+    """Modulated low-pass => band-pass coefficients."""
+    base = low_pass_taps(0.3, taps)
+    return [
+        2.0 * c * math.cos(center * (i - (taps - 1) / 2.0))
+        for i, c in enumerate(base)
+    ]
+
+
+def blueprint(scale: int = 1, bands: int = None, taps: int = None,
+              decimation: int = 2) -> Callable[[], StreamGraph]:
+    n_bands = bands if bands is not None else 6 + 2 * scale
+    n_taps = taps if taps is not None else 16 * scale
+
+    def build() -> StreamGraph:
+        branches = []
+        for band in range(n_bands):
+            center = 0.2 + 2.5 * band / n_bands
+            branches.append(Pipeline(
+                FIRFilter(band_pass_taps(center, n_taps),
+                          name="bp_%d" % band),
+                Decimator(decimation, name="down_%d" % band),
+                Expander(decimation, name="up_%d" % band),
+                FIRFilter(low_pass_taps(math.pi / decimation, n_taps),
+                          name="recon_%d" % band),
+            ))
+        return Pipeline(
+            SplitJoin(
+                DuplicateSplitter(n_bands),
+                *branches,
+                RoundRobinJoiner(n_bands),
+            ),
+            BandSummer(n_bands),
+        ).flatten()
+
+    return build
+
+
+APP = AppSpec(
+    name="FilterBank",
+    blueprint_factory=blueprint,
+    stateful=False,
+    description="Multi-rate analysis/synthesis filter bank (stateless)",
+)

@@ -1,0 +1,125 @@
+"""FMRadio: software FM receiver with a multi-band equalizer.
+
+The classic StreamIt benchmark: a low-pass front end, an FM
+demodulator, and an equalizer built as a duplicate split-join of
+band-pass filters (each a pair of low-pass FIR filters subtracted)
+whose outputs are summed.  Entirely stateless (the FIRs peek), which
+makes it the paper's canonical stateless subject (Figures 10-13).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List
+
+from repro.apps import AppSpec
+from repro.graph.builders import Pipeline, SplitJoin
+from repro.graph.topology import StreamGraph
+from repro.graph.workers import DuplicateSplitter, Filter, RoundRobinJoiner
+from repro.graph.library import FIRFilter
+
+__all__ = ["APP", "blueprint", "low_pass_taps"]
+
+
+def low_pass_taps(cutoff: float, taps: int, gain: float = 1.0) -> List[float]:
+    """Windowed-sinc low-pass filter coefficients."""
+    coefficients = []
+    middle = (taps - 1) / 2.0
+    for i in range(taps):
+        offset = i - middle
+        if abs(offset) < 1e-9:
+            value = cutoff / math.pi
+        else:
+            value = math.sin(cutoff * offset) / (math.pi * offset)
+        window = 0.54 + 0.46 * math.cos(math.pi * offset / (middle or 1.0))
+        coefficients.append(gain * value * window)
+    return coefficients
+
+
+class FMDemodulator(Filter):
+    """Differential FM demodulation over a 2-item window (stateless)."""
+
+    def __init__(self, gain: float = 1.0):
+        super().__init__(pop=1, push=1, peek=2, work_estimate=2.0,
+                         name="fm_demod")
+        self.gain = gain
+
+    def work(self, input, output) -> None:
+        current = input.peek(0)
+        nxt = input.peek(1)
+        input.pop()
+        output.push(self.gain * math.atan(current * nxt))
+
+
+class BandAmplify(Filter):
+    """Subtract two low-pass bands and amplify (the equalizer core)."""
+
+    def __init__(self, gain: float, name: str = None):
+        super().__init__(pop=2, push=1, work_estimate=1.0,
+                         name=name or "band_amplify")
+        self.gain = gain
+
+    def work(self, input, output) -> None:
+        low = input.pop()
+        high = input.pop()
+        output.push((high - low) * self.gain)
+
+
+class BandSum(Filter):
+    """Sum the equalizer bands back into one sample."""
+
+    def __init__(self, bands: int):
+        super().__init__(pop=bands, push=1, work_estimate=0.3 * bands,
+                         name="band_sum")
+        self.bands = bands
+
+    def work(self, input, output) -> None:
+        total = 0.0
+        for _ in range(self.bands):
+            total += input.pop()
+        output.push(total)
+
+
+def blueprint(scale: int = 1, bands: int = None,
+              taps: int = None) -> Callable[[], StreamGraph]:
+    """FMRadio factory.  ``scale`` widens the equalizer and the FIRs."""
+    n_bands = bands if bands is not None else 6 + 2 * scale
+    n_taps = taps if taps is not None else 16 * scale
+
+    def build() -> StreamGraph:
+        branches = []
+        for band in range(n_bands):
+            low_cut = 0.10 + 0.70 * band / n_bands
+            high_cut = 0.10 + 0.70 * (band + 1) / n_bands
+            branches.append(Pipeline(
+                SplitJoin(
+                    DuplicateSplitter(2),
+                    FIRFilter(low_pass_taps(low_cut, n_taps),
+                              name="lpf_lo_%d" % band),
+                    FIRFilter(low_pass_taps(high_cut, n_taps),
+                              name="lpf_hi_%d" % band),
+                    RoundRobinJoiner(2),
+                ),
+                BandAmplify(gain=1.0 + band / n_bands,
+                            name="amplify_%d" % band),
+            ))
+        return Pipeline(
+            FIRFilter(low_pass_taps(0.5, n_taps), name="front_lpf"),
+            FMDemodulator(gain=2.0),
+            SplitJoin(
+                DuplicateSplitter(n_bands),
+                *branches,
+                RoundRobinJoiner(n_bands),
+            ),
+            BandSum(n_bands),
+        ).flatten()
+
+    return build
+
+
+APP = AppSpec(
+    name="FMRadio",
+    blueprint_factory=blueprint,
+    stateful=False,
+    description="FM receiver with multi-band equalizer (stateless)",
+)

@@ -1,0 +1,217 @@
+"""LTE-A uplink transceiver (paper Section 8.1).
+
+Transmitter (turbo-style encoder, outer interleaver, 64-QAM
+modulator, FFT, subcarrier mapper, IFFT), a 2x2 MIMO channel with
+spatial multiplexing, and the receiver chain (subcarrier demapper,
+MIMO equalizer, demodulator, outer deinterleaver, decoder).  The
+paper uses it (stateless) for the whole-program migration experiment
+(Figure 15a).
+
+The blocks are simplified but genuinely inverse of one another: the
+deinterleavers use modular-inverse strides, the equalizer inverts the
+deterministic channel matrix, and the FFT/IFFT pairs round-trip — so
+the receiver reconstructs the transmitted bits exactly (the QAM
+demodulator's level rounding absorbs float error), which the tests
+assert end to end.
+"""
+
+from __future__ import annotations
+
+import math
+from copy import deepcopy
+from typing import Callable, List
+
+from repro.apps import AppSpec
+from repro.graph.builders import Pipeline, SplitJoin
+from repro.graph.topology import StreamGraph
+from repro.graph.workers import RoundRobinJoiner, RoundRobinSplitter
+from repro.graph.library import BlockTransform
+from repro.apps.tde import dft, idft
+
+__all__ = ["APP", "blueprint"]
+
+
+def _encode(block: List[float]) -> List[float]:
+    """Rate-1/3 systematic encoding with running parity (stateless)."""
+    out: List[float] = []
+    parity1 = 0.0
+    parity2 = 0.0
+    for x in block:
+        bit = 1.0 if x > 0.5 else 0.0
+        parity1 = (parity1 + bit) % 2.0
+        parity2 = (parity2 + bit + 1.0) % 2.0
+        out.extend((bit, parity1, parity2))
+    return out
+
+
+def _decode(block: List[float]) -> List[float]:
+    """Recover the systematic bits."""
+    return [1.0 if block[i] > 0.5 else 0.0 for i in range(0, len(block), 3)]
+
+
+def _interleave(block: List[float], stride: int) -> List[float]:
+    n = len(block)
+    return [block[(i * stride) % n] for i in range(n)]
+
+
+def _qam64_modulate(block: List[float]) -> List[float]:
+    """Map 6 bits to one I/Q pair of 8-level amplitudes."""
+    out: List[float] = []
+    for i in range(0, len(block), 6):
+        level_i = block[i] * 4 + block[i + 1] * 2 + block[i + 2] - 3.5
+        level_q = block[i + 3] * 4 + block[i + 4] * 2 + block[i + 5] - 3.5
+        out.extend((level_i / 3.5, level_q / 3.5))
+    return out
+
+
+def _qam64_demodulate(block: List[float]) -> List[float]:
+    out: List[float] = []
+    for i in range(0, len(block), 2):
+        for level in (block[i], block[i + 1]):
+            raw = int(round(level * 3.5 + 3.5))
+            raw = min(max(raw, 0), 7)
+            out.extend((float(raw >> 2 & 1), float(raw >> 1 & 1),
+                        float(raw & 1)))
+    return out
+
+
+#: Deterministic, invertible 2x2 real MIMO channel matrix.
+_H = ((0.9, 0.2), (0.1, 0.8))
+_DET = _H[0][0] * _H[1][1] - _H[0][1] * _H[1][0]
+
+
+def _mimo_channel(block: List[float]) -> List[float]:
+    """Mix the two antennas' blocks (first half = antenna 0)."""
+    half = len(block) // 2
+    out = [0.0] * len(block)
+    for i in range(half):
+        s0, s1 = block[i], block[half + i]
+        out[i] = _H[0][0] * s0 + _H[0][1] * s1
+        out[half + i] = _H[1][0] * s0 + _H[1][1] * s1
+    return out
+
+
+def _mimo_equalize(block: List[float]) -> List[float]:
+    half = len(block) // 2
+    out = [0.0] * len(block)
+    for i in range(half):
+        r0, r1 = block[i], block[half + i]
+        out[i] = (_H[1][1] * r0 - _H[0][1] * r1) / _DET
+        out[half + i] = (-_H[1][0] * r0 + _H[0][0] * r1) / _DET
+    return out
+
+
+def _subcarrier_map(pairs: List[float], gains: List[float]) -> List[float]:
+    out = list(pairs)
+    for k, gain in enumerate(gains):
+        out[2 * k] *= gain
+        out[2 * k + 1] *= gain
+    return out
+
+
+def blueprint(scale: int = 1, symbols: int = None) -> Callable[[], StreamGraph]:
+    """LTE-A transceiver factory.
+
+    ``symbols`` sets the FFT size; ``scale`` adds parallel
+    resource-block lanes, each a full transceiver chain.
+    """
+    fft = symbols if symbols is not None else 8
+    bits = fft * 6          # bits per pair of OFDM half-symbols at 64-QAM
+    streams = 2             # 2x2 MIMO spatial multiplexing
+    outer_stride = 7
+    outer_inverse = pow(outer_stride, -1, 3 * bits)
+    # Symmetric gains (g_k == g_{n-k}) preserve conjugate symmetry, so
+    # DFT -> gain -> IDFT keeps the time-domain signal real and the
+    # receiver's inverse mapping is exact.
+    gains = [1.0 + 0.25 * math.cos(2.0 * math.pi * k / fft)
+             for k in range(fft)]
+
+    def make_stages() -> List:
+        def antenna_tx(stream: int) -> Pipeline:
+            return Pipeline(
+                BlockTransform(pop=fft, push=2 * fft, fn=dft,
+                               work_estimate=2.0 * fft * fft,
+                               name="tx_fft_%d" % stream),
+                BlockTransform(pop=2 * fft, push=2 * fft,
+                               fn=lambda b: _subcarrier_map(b, gains),
+                               work_estimate=1.0 * fft,
+                               name="tx_mapper_%d" % stream),
+                BlockTransform(pop=2 * fft, push=fft, fn=idft,
+                               work_estimate=2.0 * fft * fft,
+                               name="tx_ifft_%d" % stream),
+            )
+
+        def antenna_rx(stream: int) -> Pipeline:
+            inverse = [1.0 / g for g in gains]
+            return Pipeline(
+                BlockTransform(pop=fft, push=2 * fft, fn=dft,
+                               work_estimate=2.0 * fft * fft,
+                               name="rx_fft_%d" % stream),
+                BlockTransform(pop=2 * fft, push=2 * fft,
+                               fn=lambda b: _subcarrier_map(b, inverse),
+                               work_estimate=1.0 * fft,
+                               name="rx_demapper_%d" % stream),
+                BlockTransform(pop=2 * fft, push=fft, fn=idft,
+                               work_estimate=2.0 * fft * fft,
+                               name="rx_ifft_%d" % stream),
+            )
+
+        return [
+            BlockTransform(pop=bits, push=3 * bits, fn=_encode,
+                           work_estimate=3.0 * bits, name="turbo_encoder"),
+            BlockTransform(pop=3 * bits, push=3 * bits,
+                           fn=lambda b: _interleave(b, outer_stride),
+                           work_estimate=1.0 * bits,
+                           name="outer_interleaver"),
+            BlockTransform(pop=3 * bits, push=bits, fn=_qam64_modulate,
+                           work_estimate=2.0 * bits, name="qam64_modulator"),
+            SplitJoin(
+                RoundRobinSplitter((fft,) * streams),
+                *[antenna_tx(s) for s in range(streams)],
+                RoundRobinJoiner((fft,) * streams),
+            ),
+            BlockTransform(pop=2 * fft, push=2 * fft, fn=_mimo_channel,
+                           work_estimate=2.0 * fft, name="mimo_channel"),
+            BlockTransform(pop=2 * fft, push=2 * fft, fn=_mimo_equalize,
+                           work_estimate=3.0 * fft, name="mimo_equalizer"),
+            SplitJoin(
+                RoundRobinSplitter((fft,) * streams),
+                *[antenna_rx(s) for s in range(streams)],
+                RoundRobinJoiner((fft,) * streams),
+            ),
+            BlockTransform(pop=bits, push=3 * bits, fn=_qam64_demodulate,
+                           work_estimate=2.0 * bits,
+                           name="qam64_demodulator"),
+            BlockTransform(pop=3 * bits, push=3 * bits,
+                           fn=lambda b: _interleave(b, outer_inverse),
+                           work_estimate=1.0 * bits,
+                           name="outer_deinterleaver"),
+            BlockTransform(pop=3 * bits, push=bits, fn=_decode,
+                           work_estimate=4.0 * bits, name="turbo_decoder"),
+        ]
+
+    def build() -> StreamGraph:
+        if scale <= 1:
+            return Pipeline(*make_stages()).flatten()
+        lanes = scale
+        return SplitJoin(
+            RoundRobinSplitter((bits,) * lanes),
+            *[Pipeline(*make_stages()) for _ in range(lanes)],
+            RoundRobinJoiner((bits,) * lanes),
+        ).flatten()
+
+    return build
+
+
+def bit_input(index: int) -> float:
+    """A deterministic bit stream for the LTE transceiver."""
+    return float((index * 2654435761) >> 7 & 1)
+
+
+APP = AppSpec(
+    name="LTE",
+    blueprint_factory=blueprint,
+    stateful=False,
+    description="LTE-A uplink transceiver with 2x2 MIMO (stateless)",
+    input_fn=bit_input,
+)

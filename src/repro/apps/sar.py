@@ -1,0 +1,106 @@
+"""SAR: synthetic aperture radar image formation (stateless).
+
+Modelled on the StreamIt SAR benchmark: pulses of samples flow through
+range compression (matched filtering), azimuth interpolation across
+parallel subapertures, and backprojection-style accumulation.  Heavy
+stateless block compute with a wide split-join in the middle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List
+
+from repro.apps import AppSpec
+from repro.graph.builders import Pipeline, SplitJoin
+from repro.graph.topology import StreamGraph
+from repro.graph.workers import RoundRobinJoiner, RoundRobinSplitter
+from repro.graph.library import BlockTransform
+
+__all__ = ["APP", "blueprint"]
+
+
+def _matched_filter(pulse: List[float], chirp: List[float]) -> List[float]:
+    n = len(pulse)
+    out = []
+    for i in range(n):
+        acc = 0.0
+        for j, c in enumerate(chirp):
+            if i - j >= 0:
+                acc += pulse[i - j] * c
+        out.append(acc)
+    return out
+
+
+def _interpolate(block: List[float]) -> List[float]:
+    out = []
+    for i in range(len(block)):
+        left = block[i]
+        right = block[(i + 1) % len(block)]
+        out.append(left)
+        out.append(0.5 * (left + right))
+    return out
+
+
+def _backproject(block: List[float]) -> List[float]:
+    half = len(block) // 2
+    return [
+        math.sqrt(abs(block[i] * block[i] + block[i + half] * 0.25))
+        for i in range(half)
+    ]
+
+
+def blueprint(scale: int = 1, pulse: int = None,
+              subapertures: int = None) -> Callable[[], StreamGraph]:
+    pulse_size = pulse if pulse is not None else 8
+    n_sub = subapertures if subapertures is not None else 4 + 2 * scale
+    chirp = [math.cos(0.3 * i) / (1.0 + i) for i in range(4)]
+
+    def build() -> StreamGraph:
+        branches = [
+            Pipeline(
+                BlockTransform(
+                    pop=pulse_size, push=pulse_size,
+                    fn=lambda p, c=chirp: _matched_filter(p, c),
+                    work_estimate=2.0 * pulse_size * len(chirp),
+                    name="range_%d" % s),
+                BlockTransform(
+                    pop=pulse_size, push=2 * pulse_size,
+                    fn=_interpolate,
+                    work_estimate=2.0 * pulse_size,
+                    name="azimuth_%d" % s),
+                BlockTransform(
+                    pop=2 * pulse_size, push=pulse_size,
+                    fn=_backproject,
+                    work_estimate=3.0 * pulse_size,
+                    name="backproject_%d" % s),
+            )
+            for s in range(n_sub)
+        ]
+        return Pipeline(
+            BlockTransform(
+                pop=pulse_size, push=pulse_size,
+                fn=lambda p, c=chirp: _matched_filter(p, c),
+                work_estimate=2.0 * pulse_size * len(chirp),
+                name="prefilter"),
+            SplitJoin(
+                RoundRobinSplitter((pulse_size,) * n_sub),
+                *branches,
+                RoundRobinJoiner((pulse_size,) * n_sub),
+            ),
+            BlockTransform(
+                pop=pulse_size, push=pulse_size,
+                fn=lambda block: [x * (1.0 / (1.0 + abs(x))) for x in block],
+                work_estimate=1.0 * pulse_size,
+                name="normalize"),
+        ).flatten()
+
+    return build
+
+
+APP = AppSpec(
+    name="SAR",
+    blueprint_factory=blueprint,
+    stateful=False,
+    description="Synthetic aperture radar image formation (stateless)",
+)

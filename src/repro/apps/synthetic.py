@@ -1,0 +1,110 @@
+"""Synthetic workloads for the controlled experiments.
+
+* :func:`blueprint` — a parameterizable pipeline whose per-item cost
+  (``intensity``) and state size (``state_items``) are free knobs.
+  Drives the state-size experiment (paper Figure 14b).
+* :class:`TunableWork` — a stateless filter whose work estimate can be
+  raised *while the program runs*, modelling the workload increases of
+  the workload-fluctuation experiment (paper Figure 14a, "increases
+  the work required to process each data item every 30 seconds").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List
+
+from repro.apps import AppSpec
+from repro.graph.builders import Pipeline, SplitJoin
+from repro.graph.topology import StreamGraph
+from repro.graph.workers import Filter, RoundRobinJoiner, RoundRobinSplitter
+from repro.graph.library import ArrayStateFilter, FIRFilter, HeavyCompute
+
+__all__ = ["APP", "TunableWork", "blueprint", "workload_blueprint"]
+
+
+class TunableWork(Filter):
+    """Stateless filter whose cost is adjustable at runtime.
+
+    The cluster's cost model reads ``work_estimate`` at every
+    iteration, so raising it mid-run immediately slows the hosting
+    blob — a clean model of "the work required to process each data
+    item" increasing.
+    """
+
+    def __init__(self, intensity: float = 1.0, name: str = None):
+        super().__init__(pop=1, push=1, work_estimate=intensity,
+                         name=name or "tunable")
+
+    def set_intensity(self, intensity: float) -> None:
+        self.work_estimate = max(intensity, 0.01)
+
+    def work(self, input, output) -> None:
+        value = input.pop()
+        output.push(value + math.tanh(value))
+
+
+def blueprint(scale: int = 1, depth: int = None, lanes: int = None,
+              intensity: float = 2.0,
+              state_items: int = 0) -> Callable[[], StreamGraph]:
+    """A generic pipeline-of-splitjoins synthetic app.
+
+    ``state_items`` > 0 inserts an :class:`ArrayStateFilter` carrying
+    ``8 * state_items`` bytes of worker state (the Figure 14b knob).
+    """
+    n_depth = depth if depth is not None else 3 + scale
+    n_lanes = lanes if lanes is not None else 4
+
+    def build() -> StreamGraph:
+        elements: List = [FIRFilter([0.25, 0.5, 0.25], name="front")]
+        for level in range(n_depth):
+            branches = [
+                Pipeline(
+                    HeavyCompute(intensity, name="work_%d_%d" % (level, lane)),
+                    FIRFilter([0.5, 0.5], name="smooth_%d_%d" % (level, lane)),
+                )
+                for lane in range(n_lanes)
+            ]
+            elements.append(SplitJoin(
+                RoundRobinSplitter(n_lanes),
+                *branches,
+                RoundRobinJoiner(n_lanes),
+            ))
+        if state_items > 0:
+            elements.append(ArrayStateFilter(state_items, name="big_state"))
+        elements.append(HeavyCompute(intensity, name="back"))
+        return Pipeline(*elements).flatten()
+
+    return build
+
+
+def workload_blueprint(scale: int = 1,
+                       stages: int = None) -> Callable[[], StreamGraph]:
+    """Pipeline of :class:`TunableWork` stages for Figure 14a.
+
+    The returned graphs expose their tunable filters via the
+    ``tunable_workers(graph)`` helper so the experiment driver can
+    ratchet the intensity up every 30 simulated seconds.
+    """
+    n_stages = stages if stages is not None else 6 + 2 * scale
+
+    def build() -> StreamGraph:
+        elements: List = []
+        for stage in range(n_stages):
+            elements.append(TunableWork(1.0, name="tunable_%d" % stage))
+            elements.append(FIRFilter([0.6, 0.4], name="mix_%d" % stage))
+        return Pipeline(*elements).flatten()
+
+    return build
+
+
+def tunable_workers(graph: StreamGraph) -> List[TunableWork]:
+    return [w for w in graph.workers if isinstance(w, TunableWork)]
+
+
+APP = AppSpec(
+    name="Synthetic",
+    blueprint_factory=blueprint,
+    stateful=False,
+    description="Parameterizable synthetic pipeline (state-size knob)",
+)

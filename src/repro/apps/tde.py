@@ -1,0 +1,107 @@
+"""TDE_PP: time-delay equalization via overlapped block convolution.
+
+The StreamIt TDE benchmark (from the PCA radar suite): blocks of
+samples go through a transform, a per-bin complex multiply against
+the equalizer response, and an inverse transform, in a pipelined
+(``_PP``) arrangement.  Stateless block processing with large
+pop/push rates — it stresses schedule quanta rather than peeking.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List
+
+from repro.apps import AppSpec
+from repro.graph.builders import Pipeline
+from repro.graph.topology import StreamGraph
+from repro.graph.library import BlockTransform
+
+__all__ = ["APP", "blueprint", "dft", "idft"]
+
+
+def dft(block: List[float]) -> List[float]:
+    """Naive real-input DFT returning interleaved (re, im) pairs.
+
+    O(n^2) on small blocks; exactness matters more than speed here
+    because the equivalence tests compare float-for-float.
+    """
+    n = len(block)
+    out: List[float] = []
+    for k in range(n):
+        re = 0.0
+        im = 0.0
+        for t, x in enumerate(block):
+            angle = -2.0 * math.pi * k * t / n
+            re += x * math.cos(angle)
+            im += x * math.sin(angle)
+        out.append(re)
+        out.append(im)
+    return out
+
+
+def idft(pairs: List[float]) -> List[float]:
+    """Inverse of :func:`dft` (returns real parts)."""
+    n = len(pairs) // 2
+    out: List[float] = []
+    for t in range(n):
+        acc = 0.0
+        for k in range(n):
+            re = pairs[2 * k]
+            im = pairs[2 * k + 1]
+            angle = 2.0 * math.pi * k * t / n
+            acc += re * math.cos(angle) - im * math.sin(angle)
+        out.append(acc / n)
+    return out
+
+
+def _equalize(pairs: List[float], response: List[float]) -> List[float]:
+    out: List[float] = []
+    for k in range(len(pairs) // 2):
+        re = pairs[2 * k]
+        im = pairs[2 * k + 1]
+        h_re = response[2 * k]
+        h_im = response[2 * k + 1]
+        out.append(re * h_re - im * h_im)
+        out.append(re * h_im + im * h_re)
+    return out
+
+
+def blueprint(scale: int = 1, block: int = None,
+              stages: int = None) -> Callable[[], StreamGraph]:
+    block_size = block if block is not None else 8
+    n_stages = stages if stages is not None else 4 + 2 * scale
+
+    def build() -> StreamGraph:
+        elements = []
+        for stage in range(n_stages):
+            response = []
+            for k in range(block_size):
+                gain = 1.0 / (1.0 + 0.1 * ((k + stage) % block_size))
+                phase = 0.1 * stage
+                response.append(gain * math.cos(phase))
+                response.append(gain * math.sin(phase))
+            elements.append(BlockTransform(
+                pop=block_size, push=2 * block_size, fn=dft,
+                work_estimate=2.0 * block_size * block_size,
+                name="dft_%d" % stage))
+            elements.append(BlockTransform(
+                pop=2 * block_size, push=2 * block_size,
+                fn=lambda pairs, r=response: _equalize(pairs, r),
+                work_estimate=3.0 * block_size,
+                name="equalize_%d" % stage))
+            elements.append(BlockTransform(
+                pop=2 * block_size, push=block_size, fn=idft,
+                work_estimate=2.0 * block_size * block_size,
+                name="idft_%d" % stage))
+        return Pipeline(*elements).flatten()
+
+    return build
+
+
+APP = AppSpec(
+    name="TDE_PP",
+    blueprint_factory=blueprint,
+    stateful=False,
+    description="Time-delay equalization, pipelined blocks (stateless)",
+)

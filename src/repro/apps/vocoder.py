@@ -1,0 +1,136 @@
+"""Vocoder: phase vocoder for pitch/speed transformation (stateful).
+
+A bank of analysis channels (short block transforms into per-band
+magnitude/phase), per-band *phase unwrapping* — which accumulates
+phase across frames and is inherently stateful — followed by
+magnitude/phase recombination and synthesis.  The paper lists Vocoder
+as one of its two stateful Table 1 subjects.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.apps import AppSpec
+from repro.graph.builders import Pipeline, SplitJoin
+from repro.graph.topology import StreamGraph
+from repro.graph.workers import (
+    DuplicateSplitter,
+    Filter,
+    RoundRobinJoiner,
+    StatefulFilter,
+)
+
+__all__ = ["APP", "blueprint"]
+
+
+class AnalysisBand(Filter):
+    """Short windowed transform of one analysis band (stateless).
+
+    Peeks a full window, pops a hop of samples, pushes (magnitude,
+    phase-proxy) interleaved for ``hop`` bins.
+    """
+
+    def __init__(self, band: int, window: int, hop: int):
+        super().__init__(pop=hop, push=2 * hop, peek=window,
+                         work_estimate=1.0 * window,
+                         name="analysis_%d" % band)
+        self.band = band
+        self.window = window
+        self.hop = hop
+        self._cos = [math.cos(2 * math.pi * band * i / window)
+                     for i in range(window)]
+        self._sin = [math.sin(2 * math.pi * band * i / window)
+                     for i in range(window)]
+
+    def work(self, input, output) -> None:
+        real = 0.0
+        imag = 0.0
+        for i in range(self.window):
+            sample = input.peek(i)
+            real += sample * self._cos[i]
+            imag += sample * self._sin[i]
+        for _ in range(self.hop):
+            input.pop()
+        magnitude = math.sqrt(real * real + imag * imag)
+        phase = math.atan2(imag, real + 1e-12)
+        for _ in range(self.hop):
+            output.push(magnitude / self.window)
+            output.push(phase)
+
+
+class PhaseUnwrapper(StatefulFilter):
+    """Accumulate phase differences across frames — the stateful core."""
+
+    state_fields = ("last_phase", "accumulated")
+
+    def __init__(self, band: int):
+        super().__init__(pop=2, push=2, work_estimate=2.0,
+                         name="unwrap_%d" % band)
+        self.last_phase = 0.0
+        self.accumulated = 0.0
+
+    def work(self, input, output) -> None:
+        magnitude = input.pop()
+        phase = input.pop()
+        delta = phase - self.last_phase
+        while delta > math.pi:
+            delta -= 2 * math.pi
+        while delta < -math.pi:
+            delta += 2 * math.pi
+        self.last_phase = phase
+        self.accumulated += delta
+        output.push(magnitude)
+        output.push(self.accumulated)
+
+
+class Synthesis(Filter):
+    """Recombine (magnitude, unwrapped phase) into a sample (stateless)."""
+
+    def __init__(self, bands: int):
+        super().__init__(pop=2 * bands, push=1,
+                         work_estimate=1.5 * bands, name="synthesis")
+        self.bands = bands
+
+    def work(self, input, output) -> None:
+        total = 0.0
+        for _ in range(self.bands):
+            magnitude = input.pop()
+            phase = input.pop()
+            total += magnitude * math.cos(phase)
+        output.push(total)
+
+
+def blueprint(scale: int = 1, bands: int = None,
+              window: int = None) -> Callable[[], StreamGraph]:
+    n_bands = bands if bands is not None else 6 + 2 * scale
+    n_window = window if window is not None else 8 * scale
+    hop = 2
+
+    def build() -> StreamGraph:
+        branches = [
+            Pipeline(
+                AnalysisBand(b, window=n_window, hop=hop),
+                PhaseUnwrapper(b),
+            )
+            for b in range(n_bands)
+        ]
+        return Pipeline(
+            SplitJoin(
+                DuplicateSplitter(n_bands),
+                *branches,
+                RoundRobinJoiner((2,) * n_bands),
+            ),
+            Synthesis(n_bands),
+        ).flatten()
+
+    return build
+
+
+APP = AppSpec(
+    name="Vocoder",
+    blueprint_factory=blueprint,
+    stateful=True,
+    description="Phase vocoder with stateful phase unwrapping",
+)

@@ -1,0 +1,17 @@
+"""Comparison baselines.
+
+* :mod:`repro.baselines.vm_migration` — VM live migration in the
+  style of vMotion (paper Section 9.3): iterative pre-copy, "stun
+  during page send" when dirtying outpaces copying, and a final
+  stop-and-copy pause.  Stream programs dirty memory at their ingest
+  rate, which is why migration shows tens of seconds of disruption.
+* :mod:`repro.baselines.checkpoint` — DDF-style periodic
+  checkpointing with input persisting and replay (Storm/MillWheel
+  family, paper Section 10): overhead during *normal* execution plus
+  downtime and recomputation on reconfiguration.
+"""
+
+from repro.baselines.vm_migration import VMMigrationModel, migrate_instance
+from repro.baselines.checkpoint import CheckpointRuntime
+
+__all__ = ["CheckpointRuntime", "VMMigrationModel", "migrate_instance"]

@@ -1,0 +1,29 @@
+"""The simulated distributed runtime.
+
+Reproduces StreamJIT's distributed runtime (paper Section 2,
+Figure 2): a controller node orchestrating blobs hosted across
+cluster nodes, data channels between blobs, and a control channel to
+each node — all on top of the discrete-event kernel so that
+reconfiguration timing (downtime, overlap, catch-up) is measured in
+simulated wall-clock seconds while the actual SDF computation runs
+functionally underneath.
+"""
+
+from repro.cluster.app import Cluster, StreamApp
+from repro.cluster.instance import BlobProcess, GraphInstance
+from repro.cluster.links import DataLink
+from repro.cluster.merger import OutputMerger
+from repro.cluster.node import SimNode
+from repro.cluster.source import InputSource, InputView
+
+__all__ = [
+    "BlobProcess",
+    "Cluster",
+    "DataLink",
+    "GraphInstance",
+    "InputSource",
+    "InputView",
+    "OutputMerger",
+    "SimNode",
+    "StreamApp",
+]

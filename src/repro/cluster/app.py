@@ -1,0 +1,231 @@
+"""The cluster and the application facade.
+
+:class:`Cluster` bundles the simulation environment, the nodes and the
+cost model.  :class:`StreamApp` is the user-facing handle on a running
+stream program: launch it in an initial configuration, reconfigure it
+live with any strategy, and read back throughput series and event
+timelines for analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.compiler.compiled import CompiledProgram
+from repro.compiler.config import Configuration
+from repro.compiler.cost_model import CostModel
+from repro.compiler.two_phase import compile_configuration
+from repro.graph.topology import StreamGraph
+from repro.metrics.analysis import DisruptionReport, analyze_reconfiguration
+from repro.sim.kernel import Environment, Event, Process
+from repro.cluster.instance import GraphInstance
+from repro.cluster.merger import OutputMerger
+from repro.cluster.node import SimNode
+from repro.cluster.source import InputSource
+
+__all__ = ["Cluster", "StreamApp"]
+
+
+class Cluster:
+    """A simulated cluster: environment, nodes, shared cost model."""
+
+    def __init__(
+        self,
+        n_nodes: int = 8,
+        cores_per_node: int = 16,
+        cost_model: Optional[CostModel] = None,
+    ):
+        self.env = Environment()
+        self.cost_model = cost_model or CostModel()
+        self.nodes: Dict[int, SimNode] = {}
+        for _ in range(n_nodes):
+            self.add_node(cores=cores_per_node)
+
+    def add_node(self, cores: int = 16, speed: float = 1.0) -> int:
+        """Provision a new node (elastic scale-out); returns its id."""
+        node_id = len(self.nodes)
+        self.nodes[node_id] = SimNode(
+            node_id, cores=cores, speed=speed,
+            compile_cores=self.cost_model.compile_cores,
+        )
+        return node_id
+
+    def node(self, node_id: int) -> SimNode:
+        return self.nodes[node_id]
+
+    def retire_node(self, node_id: int) -> None:
+        """Mark a node unavailable for future configurations."""
+        self.nodes[node_id].available = False
+
+    def restore_node(self, node_id: int) -> None:
+        self.nodes[node_id].available = True
+
+    @property
+    def available_node_ids(self) -> List[int]:
+        return [n for n, node in sorted(self.nodes.items()) if node.available]
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.env.run(until=until)
+
+
+class StreamApp:
+    """A stream program deployed on a simulated cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        blueprint: Callable[[], StreamGraph],
+        input_fn: Optional[Callable[[int], Any]] = None,
+        name: str = "app",
+        rate_only: bool = False,
+        check_rates: bool = True,
+        collect_output: bool = False,
+        input_rate: Optional[float] = None,
+    ):
+        self.cluster = cluster
+        self.env: Environment = cluster.env
+        self.cost_model: CostModel = cluster.cost_model
+        self.blueprint = blueprint
+        self.name = name
+        self.rate_only = rate_only
+        self.check_rates = check_rates and not rate_only
+        self.source = InputSource(
+            input_fn=None if rate_only else input_fn, rate=input_rate,
+        )
+        self.merger = OutputMerger(self.env, collect_items=collect_output)
+        self.instances: List[GraphInstance] = []
+        self.current: Optional[GraphInstance] = None
+        self.events: List[Tuple[float, str, dict]] = []
+        self.reconfigurations: List = []  # ReconfigReport objects
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    @property
+    def series(self):
+        return self.merger.series
+
+    def note(self, label: str, **info) -> None:
+        self.events.append((self.env.now, label, info))
+
+    def event_times(self, label: str) -> List[float]:
+        return [t for t, l, _ in self.events if l == label]
+
+    # -- compilation --------------------------------------------------------------
+
+    def compile(self, configuration: Configuration, state=None) -> CompiledProgram:
+        """Functionally compile a configuration on a fresh graph.
+
+        Simulated compile *time* is charged separately by
+        :meth:`charge_compile_time` (or by the two-phase machinery in
+        :mod:`repro.core`).
+        """
+        graph = self.blueprint()
+        return compile_configuration(
+            graph, configuration, self.cost_model, state=state,
+            check_rates=self.check_rates, rate_only=self.rate_only,
+        )
+
+    def charge_compile_time(self, seconds_per_node: Dict[int, float]):
+        """Generator: run compile jobs on nodes, in parallel across nodes.
+
+        Each job occupies compiler cores on its node for its duration,
+        which is what dips co-resident instances' throughput (paper
+        Section 9.2: reconfiguration uses no extra resources).
+        """
+        jobs = [
+            self.env.process(self._compile_job(node_id, seconds))
+            for node_id, seconds in sorted(seconds_per_node.items())
+        ]
+        for job in jobs:
+            yield job
+
+    def _compile_job(self, node_id: int, seconds: float):
+        node = self.cluster.node(node_id)
+        node.compile_jobs += 1
+        try:
+            yield self.env.timeout(seconds / node.speed)
+        finally:
+            node.compile_jobs -= 1
+
+    def compile_seconds_per_node(self, program: CompiledProgram,
+                                 phase: str = "full") -> Dict[int, float]:
+        per_node: Dict[int, float] = {}
+        for blob in program.blobs:
+            if phase == "full":
+                seconds = blob.compile_seconds()
+            elif phase == "phase1":
+                seconds = blob.phase1_seconds()
+            elif phase == "phase2":
+                seconds = blob.phase2_seconds()
+            else:
+                raise ValueError("unknown phase %r" % (phase,))
+            per_node[blob.spec.node_id] = (
+                per_node.get(blob.spec.node_id, 0.0) + seconds
+            )
+        return per_node
+
+    # -- instances -----------------------------------------------------------------
+
+    def spawn_instance(
+        self,
+        program: CompiledProgram,
+        input_offset: int,
+        output_offset: int,
+        label: str = "",
+    ) -> GraphInstance:
+        instance = GraphInstance(
+            app=self,
+            instance_id=len(self.instances),
+            program=program,
+            input_view=self.source.view(input_offset),
+            input_offset=input_offset,
+            output_offset=output_offset,
+            label=label,
+        )
+        self.instances.append(instance)
+        return instance
+
+    def launch(self, configuration: Configuration) -> Process:
+        """Cold-start the program; returns a process that fires once
+        the first instance reaches steady state."""
+        def _launch():
+            program = self.compile(configuration)
+            self.note("launch", configuration=configuration.name)
+            yield from self.charge_compile_time(
+                self.compile_seconds_per_node(program))
+            instance = self.spawn_instance(program, 0, 0,
+                                           label=configuration.name)
+            self.current = instance
+            self.merger.set_primary(instance.instance_id)
+            instance.start()
+            yield instance.running_event
+            self.note("running", instance=instance.instance_id)
+            return instance
+        return self.env.process(_launch())
+
+    # -- reconfiguration ---------------------------------------------------------------
+
+    def reconfigure(self, configuration: Configuration,
+                    strategy: str = "adaptive") -> Process:
+        """Live-reconfigure into ``configuration``; returns the
+        strategy's controller process (fires when complete)."""
+        from repro.core import make_reconfigurer
+        reconfigurer = make_reconfigurer(strategy, self)
+        return self.env.process(reconfigurer.run(configuration))
+
+    # -- analysis -----------------------------------------------------------------------
+
+    def analyze(self, reconfig_start: float, horizon: float,
+                **kwargs) -> DisruptionReport:
+        # Never analyze past the simulated present: the void after the
+        # last event would read as downtime.
+        horizon = min(horizon, self.env.now)
+        return analyze_reconfiguration(
+            self.series, reconfig_start, horizon, **kwargs)
+
+    def analyze_all(self, horizon_after: float = 60.0,
+                    **kwargs) -> List[DisruptionReport]:
+        reports = []
+        for start in self.event_times("reconfig_start"):
+            reports.append(self.analyze(start, start + horizon_after, **kwargs))
+        return reports

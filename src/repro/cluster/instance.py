@@ -1,0 +1,564 @@
+"""Graph instances and blob processes.
+
+A :class:`GraphInstance` is one compiled program executing on the
+cluster: one :class:`BlobProcess` per blob, data links between them,
+an input view into the shared source, and canonical input/output
+offsets that make its output stream spliceable.
+
+A :class:`BlobProcess` is the simulated lifecycle of one blob
+(paper Section 2): single-threaded initialization, then the
+multithreaded steady-state loop — wait for input, execute one
+schedule iteration (simulated duration from the cost model, actual
+firings from the functional runtime), ship outputs, synchronize at
+the barrier.  The barrier is also where control takes effect: stop
+requests, drain requests, and asynchronous state transfer snapshots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.compiler.compiled import CompiledBlob, CompiledProgram
+from repro.runtime.channels import GRAPH_INPUT, GRAPH_OUTPUT
+from repro.runtime.state import ProgramState
+from repro.sim.kernel import Environment, Event, Interrupt
+from repro.cluster.links import DataLink
+from repro.cluster.node import SimNode
+from repro.cluster.source import InputView
+
+__all__ = ["BlobProcess", "GraphInstance", "ASTRequest"]
+
+
+@dataclass
+class ASTRequest:
+    """An asynchronous-state-transfer request for one blob."""
+
+    iteration: int
+    reply: Event
+
+
+class BlobProcess:
+    """Simulated execution of one blob of one instance."""
+
+    def __init__(self, instance: "GraphInstance", blob: CompiledBlob,
+                 node: SimNode):
+        self.instance = instance
+        self.env: Environment = instance.env
+        self.blob = blob
+        self.runtime = blob.runtime
+        self.node = node
+        self.out_links: Dict[int, DataLink] = {}
+        self.in_links: List[DataLink] = []
+        self._wake: Optional[Event] = None
+        self.stop_at: Optional[int] = None
+        self.drain_reply: Optional[Event] = None
+        self.ast: Optional[ASTRequest] = None
+        self.done: Event = self.env.event()
+        self.process = None
+        self.last_iteration_seconds = 0.0
+
+    # -- control ----------------------------------------------------------------
+
+    def notify(self) -> None:
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+
+    def request_stop_at(self, iteration: int) -> None:
+        self.stop_at = iteration
+        self.notify()
+
+    def request_drain(self, reply: Event) -> None:
+        self.drain_reply = reply
+        self.notify()
+
+    def request_ast(self, iteration: int, reply: Event) -> bool:
+        """Ask for a state snapshot at the given iteration boundary.
+
+        Returns False when the boundary has already passed (the
+        controller predicted too little lead time and must retry with
+        a later boundary — the reason the paper aims three seconds
+        ahead).
+        """
+        if self.runtime.iteration + 2 > iteration:
+            # Too close: the blob may be mid-iteration and would sail
+            # past the boundary before seeing the request.
+            return False
+        self.ast = ASTRequest(iteration=iteration, reply=reply)
+        self.notify()
+        return True
+
+    def _control_pending(self) -> bool:
+        return (
+            self.drain_reply is not None
+            or (self.stop_at is not None
+                and self.runtime.iteration >= self.stop_at)
+            or (self.ast is not None
+                and self.runtime.iteration >= self.ast.iteration)
+        )
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _wait(self, predicate: Callable[[], bool]):
+        while not predicate():
+            self._wake = self.env.event()
+            yield self._wake
+            self._wake = None
+
+    def _cores(self) -> float:
+        return self.node.cores_for(self.instance.instance_id) * self.node.speed
+
+    def _ship(self, staged: Dict[int, List]):
+        for key, items in staged.items():
+            if key == GRAPH_OUTPUT:
+                self.instance.emit_output(items)
+            else:
+                yield from self.out_links[key].send(items)
+
+    def _fill_input(self, init: bool):
+        """Head blob only: pull items from the instance's input view."""
+        runtime = self.runtime
+        if not runtime.has_head:
+            return
+        requirements = (runtime.init_shortfall if init
+                        else runtime.steady_shortfall)
+        while True:
+            shortfall = requirements().get(GRAPH_INPUT, 0)
+            if shortfall <= 0:
+                return
+            if self.drain_reply is not None:
+                return  # draining: no new input
+            if (self.stop_at is not None
+                    and self.runtime.iteration >= self.stop_at):
+                return  # past the stop boundary: no new input
+            items, retry = self.instance.input_view.take(shortfall, self.env.now)
+            if items:
+                runtime.deliver(GRAPH_INPUT, items)
+            if len(items) < shortfall:
+                yield self.env.timeout(max(retry - self.env.now, 1e-6))
+
+    def _incoming_in_flight(self) -> int:
+        return sum(link.in_flight for link in self.in_links)
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self.process = self.env.process(self._run())
+
+    def _run(self):
+        try:
+            yield from self._init_phase()
+            yield from self._steady_loop()
+        except Interrupt:
+            pass
+        finally:
+            if not self.done.triggered:
+                self.done.succeed()
+
+    def _init_phase(self):
+        runtime = self.runtime
+        yield from self._fill_input(init=True)
+        yield from self._wait(runtime.ready_for_init)
+        # Initialization is single-threaded, but it still contends for
+        # the node with whatever else runs there (the old instance,
+        # compile jobs): scale by the node's current share.
+        contention = min(max(
+            1.0 / max(self.node.share_of(self.instance.instance_id), 1e-3),
+            1.0), 8.0)
+        duration = self.blob.init_seconds() * contention / self.node.speed
+        if duration > 0:
+            yield self.env.timeout(duration)
+        staged = runtime.run_init()
+        yield from self._ship(staged)
+        self.instance._blob_initialized(self)
+
+    def _steady_loop(self):
+        runtime = self.runtime
+        env = self.env
+        while True:
+            if self.drain_reply is not None:
+                yield from self._drain()
+                return
+            if self.stop_at is not None and runtime.iteration >= self.stop_at:
+                self.instance._blob_stopped(self)
+                return
+            if self.ast is not None:
+                if runtime.iteration == self.ast.iteration:
+                    yield from self._ast_snapshot()
+                elif runtime.iteration > self.ast.iteration:
+                    # Defensive: a missed boundary must not wedge the
+                    # blob; report failure so the controller retries.
+                    request, self.ast = self.ast, None
+                    if not request.reply.triggered:
+                        request.reply.fail(
+                            RuntimeError("AST boundary missed"))
+            while self.instance.paused:
+                yield self.instance.resume_event
+            yield from self._fill_input(init=False)
+            if not runtime.ready_for_steady():
+                yield from self._wait(
+                    lambda: runtime.ready_for_steady() or self._control_pending()
+                )
+                continue  # re-dispatch on control flags
+            duration = self.blob.iteration_seconds(self._cores())
+            self.last_iteration_seconds = duration
+            yield env.timeout(duration)
+            staged = runtime.run_steady()
+            yield from self._ship(staged)
+            for link in self.in_links:
+                link.notify_sender()
+
+    def _upstream_procs(self):
+        return [link.producer for link in self.in_links
+                if link.producer is not None]
+
+    def _drain(self):
+        """Switch to the interpreter and flush everything flushable.
+
+        The blob drains what it has (at interpreter speed), keeps
+        consuming whatever upstream blobs flush toward it, and is done
+        once nothing can fire, nothing is in flight, and every
+        upstream blob has finished draining.
+        """
+        runtime = self.runtime
+        upstream = self._upstream_procs()
+        for producer in upstream:
+            if producer.done.callbacks is not None:
+                producer.done.callbacks.append(lambda _ev: self.notify())
+
+        def _quiescent() -> bool:
+            return (self._incoming_in_flight() == 0
+                    and all(p.done.triggered for p in upstream))
+
+        while True:
+            firings, staged = runtime.drain_pass()
+            if firings:
+                duration = self.blob.drain_seconds(firings) / self.node.speed
+                yield self.env.timeout(duration)
+                yield from self._ship(staged)
+                continue
+            if not _quiescent():
+                yield from self._wait(_quiescent)
+                continue
+            break
+        state = runtime.capture_state()
+        self.instance._blob_stopped(self)
+        self.drain_reply.succeed(state)
+
+    def _ast_snapshot(self):
+        """Capture state at the barrier without stopping (paper 6.2)."""
+        request = self.ast
+        runtime = self.runtime
+        expected = self.instance.expected_cut(self.blob, request.iteration)
+        yield from self._wait(lambda: all(
+            runtime.channels[key].total_pushed >= pushed
+            for key, (pushed, _) in expected.items()
+        ))
+        cut_lengths = {key: cut for key, (_, cut) in expected.items()}
+        state = runtime.capture_state(cut_lengths=cut_lengths)
+        self.ast = None
+        # The transfer to the controller happens off the critical path:
+        # the blob keeps executing while the state travels.
+        delay = self.instance.cost_model.transfer_seconds(state.size_bytes())
+        arrival = self.env.timeout(delay)
+
+        def _complete(_event, reply=request.reply, payload=state):
+            if not reply.triggered:
+                reply.succeed(payload)
+
+        arrival.callbacks.append(_complete)
+
+
+class GraphInstance:
+    """One compiled program instance executing on the cluster."""
+
+    def __init__(
+        self,
+        app: "StreamApp",  # noqa: F821 - forward reference
+        instance_id: int,
+        program: CompiledProgram,
+        input_view: InputView,
+        input_offset: int,
+        output_offset: int,
+        label: str = "",
+    ):
+        self.app = app
+        self.env: Environment = app.env
+        self.cost_model = app.cost_model
+        self.instance_id = instance_id
+        self.program = program
+        self.schedule = program.schedule
+        self.input_view = input_view
+        self.input_offset = input_offset
+        self.output_offset = output_offset
+        self.label = label or "cfg%d" % instance_id
+
+        self.blob_procs: Dict[int, BlobProcess] = {}
+        self.status = "created"
+        self.draining = False
+        self.paused = False
+        self.resume_event: Event = self.env.event()
+        self.running_event: Event = self.env.event()
+        self.stopped_event: Event = self.env.event()
+        self.emitted_local = 0
+        self._initialized_count = 0
+        self._stopped_count = 0
+        self.started_at: Optional[float] = None
+
+    # -- construction -------------------------------------------------------------
+
+    def _build(self) -> None:
+        for blob in self.program.blobs:
+            node = self.app.cluster.node(blob.spec.node_id)
+            self.blob_procs[blob.spec.blob_id] = BlobProcess(self, blob, node)
+        # Wire data links along boundary edges.
+        for blob in self.program.blobs:
+            producer = self.blob_procs[blob.spec.blob_id]
+            for key, consumer_blob_id in self.program.consumers(
+                    blob.spec.blob_id).items():
+                consumer = self.blob_procs[consumer_blob_id]
+                capacity = self._link_capacity(consumer, key)
+                link = DataLink(self.env, self.cost_model, consumer, key,
+                                capacity)
+                link.producer = producer
+                producer.out_links[key] = link
+                consumer.in_links.append(link)
+
+    def _link_capacity(self, consumer: BlobProcess, key: int) -> int:
+        steady = consumer.runtime.steady_input_need(key)
+        init = consumer.runtime.init_input_need(key)
+        iterations = self.cost_model.channel_capacity_iterations
+        return steady * iterations + init + steady + 1
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> None:
+        if self.status != "created":
+            raise RuntimeError("instance already started")
+        self._build()
+        for process in self.blob_procs.values():
+            process.node.register_blob(self.instance_id)
+        self.status = "starting"
+        self.started_at = self.env.now
+        for process in self.blob_procs.values():
+            process.start()
+
+    def _blob_initialized(self, _blob: BlobProcess) -> None:
+        self._initialized_count += 1
+        if self._initialized_count == len(self.blob_procs):
+            self.status = "running"
+            if not self.running_event.triggered:
+                self.running_event.succeed(self.env.now)
+
+    def _blob_stopped(self, _blob: BlobProcess) -> None:
+        self._stopped_count += 1
+        if self._stopped_count == len(self.blob_procs):
+            self._teardown("stopped")
+
+    def _teardown(self, status: str) -> None:
+        for process in self.blob_procs.values():
+            process.node.deregister_instance(self.instance_id)
+        self.status = status
+        if not self.stopped_event.triggered:
+            self.stopped_event.succeed(self.env.now)
+
+    def abandon(self) -> None:
+        """Immediately kill the instance (adaptive merging switchover)."""
+        if self.status in ("stopped", "abandoned"):
+            return
+        for process in self.blob_procs.values():
+            if process.process is not None:
+                process.process.interrupt("abandoned")
+        self._teardown("abandoned")
+
+    def pause(self) -> None:
+        if not self.paused:
+            self.paused = True
+            self.resume_event = self.env.event()
+
+    def resume(self) -> None:
+        if self.paused:
+            self.paused = False
+            self.resume_event.succeed()
+
+    # -- output -------------------------------------------------------------------
+
+    def emit_output(self, items: List) -> None:
+        start = self.output_offset + self.emitted_local
+        self.emitted_local += len(items)
+        self.app.merger.receive(self.instance_id, start, items)
+
+    # -- counters -----------------------------------------------------------------
+
+    @property
+    def consumed_local(self) -> int:
+        return self.program.head_blob.runtime.consumed_input
+
+    @property
+    def head_iteration(self) -> int:
+        return self.program.head_blob.runtime.iteration
+
+    @property
+    def max_iteration(self) -> int:
+        return max(p.runtime.iteration for p in self.blob_procs.values())
+
+    def consumed_at_boundary(self, iteration: int) -> int:
+        """Graph input consumed once every blob reaches ``iteration``."""
+        head = self.program.graph.head
+        return head.pop_rates[0] * (
+            self.schedule.init[head.worker_id]
+            + iteration * self.schedule.steady_firings(head.worker_id)
+        )
+
+    def emitted_at_boundary(self, iteration: int) -> int:
+        tail = self.program.graph.tail
+        return tail.push_rates[0] * (
+            self.schedule.init[tail.worker_id]
+            + iteration * self.schedule.steady_firings(tail.worker_id)
+        )
+
+    def expected_cut(self, blob: CompiledBlob, iteration: int) -> Dict[int, tuple]:
+        """Per boundary-in edge: (expected total_pushed, cut length).
+
+        Both follow from the static rates — the determinism at the
+        heart of asynchronous state transfer: the items produced
+        through boundary ``iteration`` minus the items this blob has
+        consumed through the same boundary are exactly the edge's
+        canonical contents at the cut.
+        """
+        graph = self.program.graph
+        schedule = self.schedule
+        result: Dict[int, tuple] = {}
+        for edge in blob.runtime.boundary_in:
+            src = graph.worker(edge.src)
+            dst = graph.worker(edge.dst)
+            pushed = (
+                schedule.initial_contents.get(edge.index, 0)
+                + src.push_rates[edge.src_port] * (
+                    schedule.init[edge.src]
+                    + iteration * schedule.steady_firings(edge.src))
+            )
+            popped = dst.pop_rates[edge.dst_port] * (
+                schedule.init[edge.dst]
+                + iteration * schedule.steady_firings(edge.dst)
+            )
+            result[edge.index] = (pushed, pushed - popped)
+        return result
+
+    # -- cluster-wide control -------------------------------------------------------
+
+    def request_stop_at(self, iteration: int) -> None:
+        for process in self.blob_procs.values():
+            process.request_stop_at(iteration)
+
+    def set_core_weight(self, weight: float) -> None:
+        """Resource throttling, stage 1: shrink the node core share."""
+        for process in self.blob_procs.values():
+            process.node.set_weight(self.instance_id, weight)
+            process.notify()
+
+    def set_overhead_tax(self, fraction: float) -> None:
+        """Reserve cores for bookkeeping (checkpointing baselines)."""
+        for process in self.blob_procs.values():
+            process.node.set_tax(self.instance_id, fraction)
+            process.notify()
+
+    def throttle_input(self, rate: float) -> None:
+        """Resource throttling, stage 2: restrict the input rate."""
+        self.input_view.throttle(rate, self.env.now)
+
+    def estimate_iteration_seconds(self) -> float:
+        """Max observed per-blob iteration time (AST lead computation)."""
+        observed = [p.last_iteration_seconds for p in self.blob_procs.values()]
+        positive = [t for t in observed if t > 0]
+        if positive:
+            return max(positive)
+        return max(
+            blob.iteration_seconds(
+                self.app.cluster.node(blob.spec.node_id).cores)
+            for blob in self.program.blobs
+        )
+
+    def drain(self):
+        """Controller generator: drain blobs sequentially, collect state.
+
+        Upstream blobs drain before downstream ones (draining is
+        inherently sequential, paper Section 6.1); each blob's state
+        then travels to the controller over the data network.
+        """
+        self.draining = True
+        # Wake any blob blocked on backpressure: capacity is waived now.
+        for process in self.blob_procs.values():
+            for link in process.out_links.values():
+                link.notify_sender()
+        # Every blob switches to the interpreter at once; data still
+        # settles upstream-to-downstream, so replies arrive in roughly
+        # topological order.
+        replies = {}
+        for blob_id, process in self.blob_procs.items():
+            replies[blob_id] = self.env.event()
+            process.request_drain(replies[blob_id])
+        merged = ProgramState()
+        for blob_id in self._blob_topo_order():
+            blob_state = yield replies[blob_id]
+            yield self.env.timeout(
+                self.cost_model.transfer_seconds(blob_state.size_bytes())
+            )
+            merged.merge(blob_state)
+        return merged
+
+    def _blob_topo_order(self) -> List[int]:
+        mapping = self.program.configuration.worker_to_blob()
+        order: List[int] = []
+        for worker_id in self.program.graph.topological_order():
+            blob_id = mapping[worker_id]
+            if blob_id not in order:
+                order.append(blob_id)
+        return order
+
+    def ast_capture(self):
+        """Controller generator: asynchronous state transfer (paper 6.2).
+
+        Picks a boundary ``ast_lead_time`` seconds ahead from the
+        observed consumption rate, asks every blob to snapshot there,
+        and merges the replies.  Returns (state, boundary iteration).
+        """
+        cost_model = self.cost_model
+        attempt_lead = cost_model.ast_lead_time
+        while True:
+            # One control round-trip to learn current progress.
+            yield self.env.timeout(cost_model.control_latency)
+            iteration_seconds = max(self.estimate_iteration_seconds(), 1e-6)
+            lead_iterations = max(
+                int(math.ceil(attempt_lead / iteration_seconds)), 3)
+            boundary = self.max_iteration + lead_iterations
+            yield self.env.timeout(cost_model.control_latency)
+            replies: List[Event] = []
+            accepted = True
+            for process in self.blob_procs.values():
+                reply = self.env.event()
+                if not process.request_ast(boundary, reply):
+                    accepted = False
+                    break
+                replies.append(reply)
+            if not accepted:
+                # A blob was already past the boundary: clear requests
+                # and retry with double the lead.
+                for process in self.blob_procs.values():
+                    process.ast = None
+                attempt_lead *= 2.0
+                continue
+            merged = ProgramState()
+            try:
+                for reply in replies:
+                    blob_state = yield reply
+                    merged.merge(blob_state)
+            except RuntimeError:
+                # A blob missed the boundary after accepting: retry
+                # with a longer lead.
+                for process in self.blob_procs.values():
+                    process.ast = None
+                attempt_lead *= 2.0
+                continue
+            return merged, boundary

@@ -1,0 +1,72 @@
+"""Inter-blob data links.
+
+Each boundary edge between blobs gets a :class:`DataLink`: batches of
+items travel with latency plus bandwidth delay, and a capacity bound
+provides backpressure (the in-flight data on these links is exactly
+what draining has to flush, which is where stop-and-copy's drain time
+comes from).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.compiler.cost_model import CostModel
+from repro.sim.kernel import Environment, Event
+
+__all__ = ["DataLink"]
+
+
+class DataLink:
+    """A simulated data channel from one blob to another."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cost_model: CostModel,
+        consumer: "BlobProcess",  # noqa: F821 - forward reference
+        key: int,
+        capacity: int,
+    ):
+        self.env = env
+        self.cost_model = cost_model
+        self.consumer = consumer
+        self.producer: Optional[object] = None  # BlobProcess, set at wiring
+        self.key = key
+        self.capacity = capacity
+        self.in_flight = 0
+        self._sender_wake: Optional[Event] = None
+
+    @property
+    def idle(self) -> bool:
+        return self.in_flight == 0
+
+    def _occupancy(self) -> int:
+        return len(self.consumer.runtime.channels[self.key].items) + self.in_flight
+
+    def can_accept(self, count: int) -> bool:
+        if self.consumer.instance.draining:
+            return True  # drain data is bounded; never deadlock a drain
+        occupancy = self._occupancy()
+        return occupancy + count <= self.capacity or occupancy == 0
+
+    def send(self, items: List[Any]):
+        """Generator: block on backpressure, then schedule delivery."""
+        count = len(items)
+        while not self.can_accept(count):
+            self._sender_wake = self.env.event()
+            yield self._sender_wake
+            self._sender_wake = None
+        self.in_flight += count
+        arrival = self.env.timeout(self.cost_model.batch_seconds(count))
+        arrival.callbacks.append(lambda _event: self._deliver(items))
+
+    def _deliver(self, items: List[Any]) -> None:
+        self.in_flight -= len(items)
+        self.consumer.runtime.deliver(self.key, items)
+        self.consumer.notify()
+
+    def notify_sender(self) -> None:
+        """Called when the consumer frees buffer space."""
+        if self._sender_wake is not None and not self._sender_wake.triggered:
+            self._sender_wake.succeed()

@@ -1,0 +1,117 @@
+"""The output merger (paper Figure 7, Sections 7.1-7.2).
+
+During concurrent execution, both graph instances emit output for the
+duplicated input.  Every emission arrives tagged with its *canonical
+output index* (the instance's output offset plus its local count), so
+merging is exact: the merger forwards each canonical index once, in
+order, and discards duplicates.
+
+Two modes reproduce the two seamless schemes:
+
+* **fixed** — the old (primary) instance's output is forwarded; the
+  new (secondary) instance's output is *held back* until the old
+  instance stops, then flushed at once.  This is what creates the
+  output-rate spike of Figure 8b when the new configuration is
+  faster.
+* **adaptive** — both instances' output merges by index as it
+  arrives; the moment the new instance's frontier catches the old
+  one's, ``caught_up`` fires so the controller can abandon the old
+  instance (adaptive merging).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.metrics.series import ThroughputSeries
+from repro.sim.kernel import Environment, Event
+
+__all__ = ["OutputMerger"]
+
+
+class OutputMerger:
+    """Splices instance output streams into the program output."""
+
+    def __init__(self, env: Environment, collect_items: bool = False):
+        self.env = env
+        self.series = ThroughputSeries()
+        self.collect_items = collect_items
+        self.items: List[Any] = []
+        self.next_index = 0
+        self.mode = "single"
+        self.primary_id: Optional[int] = None
+        self.secondary_id: Optional[int] = None
+        self.caught_up: Optional[Event] = None
+        self._holdback: List[Tuple[int, List[Any]]] = []
+        self._frontiers: Dict[int, int] = {}
+
+    # -- mode control ------------------------------------------------------
+
+    def set_primary(self, instance_id: int) -> None:
+        self.mode = "single"
+        self.primary_id = instance_id
+        self.secondary_id = None
+        self._holdback = []
+
+    def begin_transition(self, old_id: int, new_id: int, mode: str) -> None:
+        """Enter concurrent-execution merging ('fixed' or 'adaptive')."""
+        if mode not in ("fixed", "adaptive"):
+            raise ValueError("bad merge mode %r" % (mode,))
+        self.mode = mode
+        self.primary_id = old_id
+        self.secondary_id = new_id
+        self.caught_up = self.env.event()
+        self._holdback = []
+        self._frontiers.setdefault(old_id, self.next_index)
+        self._frontiers.setdefault(new_id, 0)
+
+    def finish_transition(self) -> None:
+        """The old instance stopped: flush held-back output, promote new.
+
+        The flush happens at a single instant — for the fixed scheme
+        with a faster new configuration this is the output spike.
+        """
+        if self.secondary_id is None:
+            return
+        for start, items in self._holdback:
+            self._emit_range(start, items)
+        self._holdback = []
+        self.set_primary(self.secondary_id)
+
+    # -- data path ------------------------------------------------------------
+
+    def receive(self, instance_id: int, start_index: int, items: List[Any]) -> None:
+        """Accept a contiguous output range from an instance."""
+        end = start_index + len(items)
+        frontier = self._frontiers.get(instance_id, 0)
+        self._frontiers[instance_id] = max(frontier, end)
+        if self.mode == "fixed" and instance_id == self.secondary_id:
+            if end > self.next_index:
+                self._holdback.append((start_index, items))
+        else:
+            self._emit_range(start_index, items)
+        self._check_caught_up()
+
+    def _emit_range(self, start: int, items: List[Any]) -> None:
+        end = start + len(items)
+        if end <= self.next_index:
+            return  # fully redundant (duplicated input's output)
+        if start > self.next_index:
+            raise RuntimeError(
+                "output sequence gap: have %d, received range starting %d"
+                % (self.next_index, start)
+            )
+        fresh = end - self.next_index
+        if self.collect_items:
+            self.items.extend(items[len(items) - fresh:])
+        self.next_index = end
+        self.series.record(self.env.now, fresh)
+
+    def _check_caught_up(self) -> None:
+        if (self.caught_up is None or self.caught_up.triggered
+                or self.secondary_id is None):
+            return
+        new_frontier = self._frontiers.get(self.secondary_id, 0)
+        old_frontier = self._frontiers.get(self.primary_id, 0)
+        if new_frontier >= old_frontier and new_frontier > 0:
+            self.caught_up.succeed(new_frontier)

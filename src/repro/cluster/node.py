@@ -1,0 +1,103 @@
+"""Simulated cluster nodes.
+
+A node has a fixed number of cores shared between the graph instances
+whose blobs it hosts (plus any active compilation jobs).  There are no
+extra resources during reconfiguration — old instance, new instance
+and the compiler all share the same cores via weighted fair shares,
+which is what produces the throughput dip of Figure 10 and what
+resource throttling manipulates (paper Section 7.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["SimNode"]
+
+
+class SimNode:
+    """One cluster node: cores, speed, and per-instance core shares."""
+
+    def __init__(self, node_id: int, cores: int = 16, speed: float = 1.0,
+                 compile_cores: float = 1.0):
+        self.node_id = node_id
+        self.cores = cores
+        self.speed = speed
+        self.compile_cores = compile_cores
+        self.available = True
+        #: instance_id -> scheduling weight (resource throttling halves
+        #: the old instance's weight repeatedly).
+        self._weights: Dict[int, float] = {}
+        #: instance_id -> number of this instance's blobs hosted here.
+        self._blob_counts: Dict[int, int] = {}
+        #: Active compilation jobs (each steals ``compile_cores``).
+        self.compile_jobs = 0
+        #: instance_id -> fraction of its cores lost to bookkeeping
+        #: machinery (checkpointing/acknowledgment overhead of the
+        #: DDF-style baselines; Gloss itself never sets this).
+        self._taxes: Dict[int, float] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register_blob(self, instance_id: int, weight: float = 1.0) -> None:
+        self._blob_counts[instance_id] = self._blob_counts.get(instance_id, 0) + 1
+        self._weights.setdefault(instance_id, weight)
+
+    def deregister_instance(self, instance_id: int) -> None:
+        self._blob_counts.pop(instance_id, None)
+        self._weights.pop(instance_id, None)
+
+    def set_weight(self, instance_id: int, weight: float) -> None:
+        if instance_id in self._weights:
+            self._weights[instance_id] = max(weight, 1e-3)
+
+    def weight_of(self, instance_id: int) -> float:
+        return self._weights.get(instance_id, 0.0)
+
+    @property
+    def resident_instances(self):
+        return sorted(self._blob_counts)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def effective_cores(self) -> float:
+        """Cores left for stream execution after compile jobs."""
+        return max(self.cores - self.compile_jobs * self.compile_cores, 0.5)
+
+    def set_tax(self, instance_id: int, fraction: float) -> None:
+        """Reserve a fraction of the instance's cores for bookkeeping."""
+        self._taxes[instance_id] = min(max(fraction, 0.0), 0.95)
+
+    def share_of(self, instance_id: int) -> float:
+        """The instance's weighted share of this node, in [0, 1]."""
+        if instance_id not in self._blob_counts:
+            return 1.0
+        total_weight = sum(
+            self._weights[i] for i, c in self._blob_counts.items() if c > 0
+        )
+        if not total_weight:
+            return 1.0
+        share = self._weights[instance_id] / total_weight
+        return share * (1.0 - self._taxes.get(instance_id, 0.0))
+
+    def cores_for(self, instance_id: int) -> float:
+        """Cores available to one blob of ``instance_id`` right now.
+
+        Weighted fair share across resident instances, split evenly
+        between the instance's blobs on this node, minus any
+        bookkeeping tax.
+        """
+        count = self._blob_counts.get(instance_id, 0)
+        if count == 0:
+            return 0.5
+        total_weight = sum(
+            self._weights[i] for i, c in self._blob_counts.items() if c > 0
+        )
+        share = self._weights[instance_id] / total_weight if total_weight else 1.0
+        share *= 1.0 - self._taxes.get(instance_id, 0.0)
+        return max(self.effective_cores() * share / count, 0.25)
+
+    def __repr__(self) -> str:
+        return "<node %d: %d cores, %d instances, %d compile jobs>" % (
+            self.node_id, self.cores, len(self._blob_counts), self.compile_jobs,
+        )

@@ -1,0 +1,117 @@
+"""Input sources and the input duplicator.
+
+The program input is modelled as an indexed stream: item ``i`` is
+``input_fn(i)`` (or a placeholder in rate-only mode).  Each graph
+instance reads through an :class:`InputView` positioned at its own
+canonical offset.  Because items are addressed by index, *input
+duplication* (paper Section 6.1, Figure 7) is just two views with
+overlapping positions — exactly the history buffer a real duplicator
+keeps, without copying.
+
+Sources may be rate-limited (items become available at a global rate)
+and views may be *throttled* (a per-instance rate cap, the second
+stage of resource throttling in paper Section 7.2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["InputSource", "InputView"]
+
+
+class InputSource:
+    """An indexed, optionally rate-limited input stream."""
+
+    def __init__(
+        self,
+        input_fn: Optional[Callable[[int], Any]] = None,
+        rate: Optional[float] = None,
+        start_time: float = 0.0,
+        initial_available: int = 0,
+    ):
+        self.input_fn = input_fn
+        self.rate = rate
+        self.start_time = start_time
+        self.initial_available = initial_available
+
+    def items(self, start: int, end: int) -> List[Any]:
+        if self.input_fn is None:
+            return [None] * (end - start)
+        return [self.input_fn(i) for i in range(start, end)]
+
+    def available_until(self, now: float) -> float:
+        """Highest item index (exclusive) available at time ``now``."""
+        if self.rate is None:
+            return math.inf
+        return self.initial_available + self.rate * max(now - self.start_time, 0.0)
+
+    def time_for_index(self, index: int) -> float:
+        """Earliest time at which item ``index`` exists (0 if always)."""
+        if self.rate is None:
+            return 0.0
+        needed = index - self.initial_available
+        if needed <= 0:
+            return self.start_time
+        return self.start_time + needed / self.rate
+
+    def view(self, offset: int) -> "InputView":
+        return InputView(self, offset)
+
+
+class InputView:
+    """One instance's read position into the shared input stream."""
+
+    def __init__(self, source: InputSource, offset: int):
+        self.source = source
+        self.next_index = offset
+        # Per-instance throttle: at most `_cap_rate` items/s granted
+        # beyond `_cap_base_index` after `_cap_base_time`.
+        self._cap_rate: Optional[float] = None
+        self._cap_base_index = 0
+        self._cap_base_time = 0.0
+
+    @property
+    def consumed_from_view(self) -> int:
+        return self.next_index
+
+    def throttle(self, rate: float, now: float) -> None:
+        """Cap this view's input rate (resource throttling, stage 2)."""
+        self._cap_rate = rate
+        self._cap_base_index = self.next_index
+        self._cap_base_time = now
+
+    def unthrottle(self) -> None:
+        self._cap_rate = None
+
+    def _cap_until(self, now: float) -> float:
+        if self._cap_rate is None:
+            return math.inf
+        return self._cap_base_index + self._cap_rate * max(
+            now - self._cap_base_time, 0.0)
+
+    def take(self, count: int, now: float) -> Tuple[List[Any], float]:
+        """Take up to ``count`` items; return (items, retry_time).
+
+        Grants whatever is available now; ``retry_time`` is when the
+        remainder is expected (``now`` if everything was granted).
+        """
+        limit = min(self.source.available_until(now), self._cap_until(now))
+        grantable = int(min(count, max(limit - self.next_index, 0)))
+        items = self.source.items(self.next_index, self.next_index + grantable)
+        self.next_index += grantable
+        if grantable >= count:
+            return items, now
+        target = self.next_index + (count - grantable)
+        retry = max(
+            self.source.time_for_index(target),
+            self._cap_retry_time(target),
+            now + 1e-6,
+        )
+        return items, retry
+
+    def _cap_retry_time(self, target: int) -> float:
+        if self._cap_rate is None:
+            return 0.0
+        return self._cap_base_time + (target - self._cap_base_index) / self._cap_rate

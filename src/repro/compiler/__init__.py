@@ -1,0 +1,51 @@
+"""The distributed stream compiler.
+
+Mirrors StreamJIT's compiler pipeline (paper Sections 2-3): a
+:class:`Configuration` assigns workers to *blobs* and blobs to nodes,
+picks a schedule multiplier, and toggles optimizations.  Compiling a
+configuration produces one :class:`CompiledBlob` per blob, each
+wrapping a :class:`repro.runtime.BlobRuntime` plus timing derived from
+the :class:`CostModel` (fusion, splitter/joiner removal and data
+parallelism all feed the timing, reproducing why global reoptimization
+matters).
+
+Two-phase compilation (paper Section 5.1) is the compiler-side half of
+Gloss: :func:`plan_configuration` (phase 1, heavy) needs only the
+*meta program state* — buffered item counts — while
+:func:`absorb_state` (phase 2, light) injects the actual program
+state, turning pseudo-blobs into state-absorbed blobs.
+"""
+
+from repro.compiler.config import BlobSpec, Configuration, ConfigurationError
+from repro.compiler.cost_model import CostModel
+from repro.compiler.compiled import CompiledBlob, CompiledProgram
+from repro.compiler.two_phase import (
+    CompilationPlan,
+    absorb_state,
+    compile_configuration,
+    plan_configuration,
+)
+from repro.compiler.partition import (
+    choose_multiplier,
+    partition_even,
+    single_blob_configuration,
+)
+from repro.compiler.optimizer import partition_optimal, predict_throughput
+
+__all__ = [
+    "BlobSpec",
+    "CompilationPlan",
+    "CompiledBlob",
+    "CompiledProgram",
+    "Configuration",
+    "ConfigurationError",
+    "CostModel",
+    "absorb_state",
+    "choose_multiplier",
+    "compile_configuration",
+    "partition_even",
+    "partition_optimal",
+    "predict_throughput",
+    "plan_configuration",
+    "single_blob_configuration",
+]

@@ -1,0 +1,170 @@
+"""Compiled blobs and programs.
+
+A :class:`CompiledBlob` pairs a blob's executable
+:class:`repro.runtime.BlobRuntime` with the optimization decisions
+made for it (fusion, splitter/joiner removal) and with timing
+functions derived from the cost model.  A :class:`CompiledProgram` is
+the full set of blobs for one configuration plus the global schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.compiler.config import BlobSpec, Configuration
+from repro.compiler.cost_model import CostModel
+from repro.graph.topology import StreamGraph
+from repro.runtime.executor import BlobRuntime
+from repro.runtime.state import ProgramState
+from repro.sched.schedule import Schedule
+
+__all__ = ["CompiledBlob", "CompiledProgram"]
+
+
+@dataclass
+class CompiledBlob:
+    """One blob, compiled: runtime + optimization decisions + timing."""
+
+    spec: BlobSpec
+    runtime: BlobRuntime
+    cost_model: CostModel
+    fused_edges: FrozenSet[int] = frozenset()
+    removed_workers: FrozenSet[int] = frozenset()
+
+    # -- static work accounting ------------------------------------------------
+
+    def _effective_work(self) -> Dict[str, float]:
+        graph = self.runtime.graph
+        schedule = self.runtime.schedule
+        serial = 0.0
+        parallel = 0.0
+        for worker_id in self.spec.workers:
+            if worker_id in self.removed_workers:
+                continue
+            worker = graph.worker(worker_id)
+            work = worker.work_estimate * schedule.steady_firings(worker_id)
+            if worker.is_stateful:
+                serial += work
+            else:
+                parallel += work
+        traffic = 0.0
+        for edge in self.runtime.internal_edges:
+            src = graph.worker(edge.src)
+            items = (src.push_rates[edge.src_port]
+                     * schedule.steady_firings(edge.src))
+            per_item = (self.cost_model.fused_edge_cost
+                        if edge.index in self.fused_edges
+                        else self.cost_model.unfused_edge_cost)
+            traffic += items * per_item
+        return {"serial": serial, "parallel": parallel + traffic}
+
+    def iteration_seconds(self, cores: float) -> float:
+        """Duration of one steady-state iteration with ``cores`` cores.
+
+        Serial (stateful) work cannot be data-parallelized; stateless
+        work splits across cores (the fission/data-parallelism
+        optimization); the barrier costs more with more threads.
+        """
+        cores = max(cores, 0.25)
+        work = self._effective_work()
+        seconds = (work["serial"] + work["parallel"] / cores) \
+            / self.cost_model.node_speed
+        seconds += (self.cost_model.sync_overhead
+                    + self.cost_model.sync_per_core * cores)
+        return seconds
+
+    def init_seconds(self) -> float:
+        """Duration of the single-threaded initialization phase.
+
+        Covers the init schedule itself plus the first (still
+        single-threaded, interpreter-speed) pass that fills the blob's
+        internal buffers before multithreaded steady state begins.
+        """
+        work = (self.runtime.init_work
+                + self.cost_model.init_iterations * self.runtime.steady_work)
+        return (work * self.cost_model.init_slowdown
+                / self.cost_model.node_speed)
+
+    def drain_seconds(self, firings: int) -> float:
+        """Interpreter time for ``firings`` drain firings."""
+        return (self.runtime.drain_work(firings)
+                * self.cost_model.interp_slowdown
+                / self.cost_model.node_speed)
+
+    def compile_seconds(self) -> float:
+        return self.cost_model.compile_seconds(
+            len(self.spec.workers), self.runtime.steady_firings_total)
+
+    def phase1_seconds(self) -> float:
+        return self.cost_model.phase1_seconds(
+            len(self.spec.workers), self.runtime.steady_firings_total)
+
+    def phase2_seconds(self) -> float:
+        return self.cost_model.phase2_seconds(
+            len(self.spec.workers), self.runtime.steady_firings_total)
+
+
+@dataclass
+class CompiledProgram:
+    """All blobs of one configuration, ready for cluster execution."""
+
+    graph: StreamGraph
+    configuration: Configuration
+    schedule: Schedule
+    blobs: List[CompiledBlob] = field(default_factory=list)
+    installed_state: Optional[ProgramState] = None
+
+    def blob(self, blob_id: int) -> CompiledBlob:
+        return self.blobs[blob_id]
+
+    def blob_of_worker(self, worker_id: int) -> CompiledBlob:
+        mapping = self.configuration.worker_to_blob()
+        return self.blobs[mapping[worker_id]]
+
+    def consumers(self, blob_id: int) -> Dict[int, int]:
+        """Map each boundary-out edge index of ``blob_id`` to the
+        consuming blob id."""
+        mapping = self.configuration.worker_to_blob()
+        result: Dict[int, int] = {}
+        for edge in self.blobs[blob_id].runtime.boundary_out:
+            result[edge.index] = mapping[edge.dst]
+        return result
+
+    @property
+    def head_blob(self) -> CompiledBlob:
+        for blob in self.blobs:
+            if blob.runtime.has_head:
+                return blob
+        raise RuntimeError("no blob holds the graph head")
+
+    @property
+    def tail_blob(self) -> CompiledBlob:
+        for blob in self.blobs:
+            if blob.runtime.has_tail:
+                return blob
+        raise RuntimeError("no blob holds the graph tail")
+
+    @property
+    def total_compile_seconds(self) -> float:
+        """Wall-clock compile time: blobs compile in parallel per node,
+        serially within a node."""
+        per_node: Dict[int, float] = {}
+        for blob in self.blobs:
+            per_node[blob.spec.node_id] = (
+                per_node.get(blob.spec.node_id, 0.0) + blob.compile_seconds()
+            )
+        return max(per_node.values())
+
+    def fused_edge_count(self) -> int:
+        return sum(len(blob.fused_edges) for blob in self.blobs)
+
+    def describe(self) -> str:
+        lines = [self.configuration.describe()]
+        for blob in self.blobs:
+            lines.append(
+                "  blob %d: %d fused edges, %d removed workers, "
+                "iteration %.4fs @ 1 core" % (
+                    blob.spec.blob_id, len(blob.fused_edges),
+                    len(blob.removed_workers), blob.iteration_seconds(1.0)))
+        return "\n".join(lines)

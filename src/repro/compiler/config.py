@@ -1,0 +1,157 @@
+"""Configurations: the unit of reconfiguration.
+
+A configuration is everything Gloss may change at runtime (paper
+Section 4): the partitioning of the stream graph into blobs, the
+assignment of blobs to nodes, the schedule multiplier, and which
+optimizations are enabled.  The autotuner (paper Section 9.5) searches
+this space; the reconfigurers move a running program from one
+configuration to another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.graph.topology import StreamGraph
+
+__all__ = ["BlobSpec", "Configuration", "ConfigurationError"]
+
+
+class ConfigurationError(Exception):
+    """The configuration does not describe a valid partitioning."""
+
+
+@dataclass(frozen=True)
+class BlobSpec:
+    """One blob: a set of connected workers hosted on one node."""
+
+    blob_id: int
+    node_id: int
+    workers: FrozenSet[int]
+
+    def __repr__(self) -> str:
+        return "<blob %d on node %d: %d workers>" % (
+            self.blob_id, self.node_id, len(self.workers),
+        )
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A complete runtime configuration of a stream program."""
+
+    blobs: Tuple[BlobSpec, ...]
+    multiplier: int = 1
+    fusion: bool = True
+    removal: bool = True
+    name: str = ""
+
+    @classmethod
+    def build(
+        cls,
+        assignments: Sequence[Tuple[int, Sequence[int]]],
+        multiplier: int = 1,
+        fusion: bool = True,
+        removal: bool = True,
+        name: str = "",
+    ) -> "Configuration":
+        """Build from (node_id, worker_ids) pairs, one per blob."""
+        blobs = tuple(
+            BlobSpec(blob_id=i, node_id=node, workers=frozenset(workers))
+            for i, (node, workers) in enumerate(assignments)
+        )
+        return cls(blobs=blobs, multiplier=multiplier, fusion=fusion,
+                   removal=removal, name=name)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def node_ids(self) -> List[int]:
+        """Distinct node ids in use, in blob order."""
+        seen: List[int] = []
+        for blob in self.blobs:
+            if blob.node_id not in seen:
+                seen.append(blob.node_id)
+        return seen
+
+    def blob_of(self, worker_id: int) -> BlobSpec:
+        for blob in self.blobs:
+            if worker_id in blob.workers:
+                return blob
+        raise ConfigurationError("worker %d in no blob" % worker_id)
+
+    def worker_to_blob(self) -> Dict[int, int]:
+        mapping: Dict[int, int] = {}
+        for blob in self.blobs:
+            for worker_id in blob.workers:
+                mapping[worker_id] = blob.blob_id
+        return mapping
+
+    def blobs_on_node(self, node_id: int) -> List[BlobSpec]:
+        return [blob for blob in self.blobs if blob.node_id == node_id]
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self, graph: StreamGraph) -> None:
+        """Check the blobs exactly partition the graph's workers."""
+        if self.multiplier < 1:
+            raise ConfigurationError("multiplier must be >= 1")
+        if not self.blobs:
+            raise ConfigurationError("configuration has no blobs")
+        covered: Dict[int, int] = {}
+        for blob in self.blobs:
+            if not blob.workers:
+                raise ConfigurationError("empty blob %d" % blob.blob_id)
+            for worker_id in blob.workers:
+                if worker_id in covered:
+                    raise ConfigurationError(
+                        "worker %d in blobs %d and %d"
+                        % (worker_id, covered[worker_id], blob.blob_id)
+                    )
+                covered[worker_id] = blob.blob_id
+        all_workers = {w.worker_id for w in graph.workers}
+        missing = all_workers - set(covered)
+        if missing:
+            raise ConfigurationError(
+                "workers not assigned to any blob: %r" % (sorted(missing),)
+            )
+        extra = set(covered) - all_workers
+        if extra:
+            raise ConfigurationError(
+                "unknown workers in configuration: %r" % (sorted(extra),)
+            )
+        self._check_acyclic(graph)
+
+    def _check_acyclic(self, graph: StreamGraph) -> None:
+        """The blob-level graph must stay acyclic for deadlock freedom."""
+        mapping = self.worker_to_blob()
+        edges = set()
+        for edge in graph.edges:
+            src_blob = mapping[edge.src]
+            dst_blob = mapping[edge.dst]
+            if src_blob != dst_blob:
+                edges.add((src_blob, dst_blob))
+        indegree = {blob.blob_id: 0 for blob in self.blobs}
+        for _, dst in edges:
+            indegree[dst] += 1
+        ready = [b for b, d in indegree.items() if d == 0]
+        seen = 0
+        while ready:
+            current = ready.pop()
+            seen += 1
+            for src, dst in list(edges):
+                if src == current:
+                    edges.discard((src, dst))
+                    indegree[dst] -= 1
+                    if indegree[dst] == 0:
+                        ready.append(dst)
+        if seen != len(self.blobs):
+            raise ConfigurationError("blob graph contains a cycle")
+
+    def describe(self) -> str:
+        parts = ["Configuration %r (multiplier=%d, fusion=%s)" %
+                 (self.name or "<anon>", self.multiplier, self.fusion)]
+        for blob in self.blobs:
+            parts.append("  blob %d @ node %d: workers %s" % (
+                blob.blob_id, blob.node_id, sorted(blob.workers)))
+        return "\n".join(parts)

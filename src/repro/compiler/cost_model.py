@@ -1,0 +1,134 @@
+"""The calibrated timing model.
+
+Every simulated duration in the system derives from the constants
+here: execution speed, synchronization overhead, interpreter slowdown
+(draining / initialization), compilation time and its phase-1/phase-2
+split, and network latency/bandwidth.
+
+Calibration targets the paper's Figure 4: a Beamformer-sized graph
+reconfigured with stop-and-copy should spend on the order of seconds
+in each of draining, compilation and initialization (the paper
+measures 5 s / 6 s / 3 s).  All experiments share one instance of this
+model, so relative results (who wins, where crossovers fall) are not
+tuned per figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Timing constants for the simulated cluster."""
+
+    #: Work units per second per core (compiled steady-state execution).
+    node_speed: float = 200_000.0
+
+    #: Seconds of barrier/synchronization overhead per steady iteration.
+    sync_overhead: float = 0.0002
+
+    #: Extra per-core sync cost: more threads, costlier barrier.
+    sync_per_core: float = 0.00001
+
+    #: Per-item cost (work units) of moving data over an *unfused*
+    #: intra-blob edge.  Fusion eliminates it (paper Section 3: fusion
+    #: buys locality).
+    unfused_edge_cost: float = 1.2
+
+    #: Per-item cost retained on fused edges (register/loop traffic).
+    fused_edge_cost: float = 0.03
+
+    #: Slowdown factor of the fine-grained interpreter used while
+    #: draining, relative to compiled execution (paper Section 4.1:
+    #: draining "reduc[es] throughput to near zero").
+    interp_slowdown: float = 20.0
+
+    #: Slowdown factor of the single-threaded initialization phase.
+    init_slowdown: float = 20.0
+
+    #: Fixed seconds of JIT compilation per blob.
+    compile_fixed: float = 0.8
+
+    #: Seconds of JIT compilation per worker in the blob.
+    compile_per_worker: float = 0.20
+
+    #: Seconds of compilation per steady-schedule firing (unrolling).
+    compile_per_firing: float = 1.5e-5
+
+    #: Fraction of compile time that must happen *after* the actual
+    #: program state is available (phase 2: splitter/joiner removal
+    #: finalization + init-schedule read instructions + state install).
+    phase2_fraction: float = 0.07
+
+    #: One-way latency of a control-channel message, seconds.
+    control_latency: float = 0.015
+
+    #: One-way latency of a data-channel transfer, seconds.
+    data_latency: float = 0.002
+
+    #: Data-channel bandwidth in items per second (inter-blob batches).
+    bandwidth_items: float = 5.0e6
+
+    #: Network bandwidth in bytes/second for state transfer (10 GbE).
+    bandwidth_bytes: float = 1.25e9
+
+    #: How far ahead (seconds) AST aims its snapshot point: the
+    #: controller requests state after the n-th item, with n predicted
+    #: ``ast_lead_time`` seconds into the future (paper uses t = 3 s).
+    ast_lead_time: float = 3.0
+
+    #: Seconds between resource-throttling steps during adaptive
+    #: seamless reconfiguration.
+    throttle_interval: float = 2.0
+
+    #: Inter-blob channel capacity, in steady-state iterations of
+    #: buffered data.  In-flight data is what draining must flush.
+    channel_capacity_iterations: int = 6
+
+    #: Cores consumed on a node by one active compilation job.
+    compile_cores: float = 1.0
+
+    #: Iterations of data prefilled on each blob boundary edge by the
+    #: initialization schedule.  Zero by default: inter-blob slack
+    #: accumulates during early steady execution instead (bounded by
+    #: ``channel_capacity_iterations``), because a prefilling init
+    #: schedule cascades quadratically along deep blob chains.  Kept
+    #: as an ablation knob.
+    pipeline_depth: int = 0
+
+    #: Steady-state iterations charged at interpreter speed during a
+    #: blob's initialization phase: the single-threaded first pass
+    #: that fills the blob's internal unrolled buffers (third downtime
+    #: contributor of Figure 4).
+    init_iterations: float = 6.0
+
+    # -- derived helpers ---------------------------------------------------
+
+    def compile_seconds(self, n_workers: int, schedule_firings: int) -> float:
+        """Full (single-phase) compile time for one blob."""
+        return (self.compile_fixed
+                + self.compile_per_worker * n_workers
+                + self.compile_per_firing * schedule_firings)
+
+    def phase1_seconds(self, n_workers: int, schedule_firings: int) -> float:
+        return (1.0 - self.phase2_fraction) * self.compile_seconds(
+            n_workers, schedule_firings)
+
+    def phase2_seconds(self, n_workers: int, schedule_firings: int) -> float:
+        return self.phase2_fraction * self.compile_seconds(
+            n_workers, schedule_firings)
+
+    def transfer_seconds(self, n_bytes: int) -> float:
+        """State-transfer time over the data network."""
+        return self.data_latency + n_bytes / self.bandwidth_bytes
+
+    def batch_seconds(self, n_items: int) -> float:
+        """Delivery time of one inter-blob item batch."""
+        return self.data_latency + n_items / self.bandwidth_items
+
+    def scaled(self, **overrides) -> "CostModel":
+        """A copy with some constants replaced (ablations)."""
+        return replace(self, **overrides)

@@ -1,0 +1,148 @@
+"""Optimal contiguous partitioning and throughput prediction.
+
+``partition_even`` (the greedy quantile splitter) is fast but can
+leave an unbalanced bottleneck blob.  :func:`partition_optimal` solves
+the contiguous-partition problem exactly by dynamic programming: split
+the topological worker order into ``k`` segments minimizing the
+maximum predicted *iteration time* (not raw work — it accounts for
+serial/stateful work that cannot be data-parallelized, which is what
+actually limits a blob on a many-core node).
+
+:func:`predict_throughput` estimates a configuration's steady-state
+throughput as the schedule quantum over the slowest blob's predicted
+iteration time — the static model the autotuner can use to pre-screen
+configurations before paying for a live reconfiguration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.config import Configuration
+from repro.compiler.cost_model import CostModel
+from repro.graph.topology import StreamGraph
+from repro.sched.schedule import make_schedule
+
+__all__ = ["partition_optimal", "predict_throughput", "segment_cost"]
+
+
+def _worker_profile(graph: StreamGraph, multiplier: int):
+    """Per-worker (serial_work, parallel_work) for one iteration."""
+    schedule = make_schedule(graph, multiplier=multiplier)
+    profile = {}
+    for worker in graph.workers:
+        work = worker.work_estimate * schedule.steady_firings(
+            worker.worker_id)
+        if worker.is_stateful:
+            profile[worker.worker_id] = (work, 0.0)
+        else:
+            profile[worker.worker_id] = (0.0, work)
+    return profile, schedule
+
+
+def segment_cost(serial: float, parallel: float, cores: float,
+                 cost_model: CostModel) -> float:
+    """Predicted iteration seconds for one blob's worth of work."""
+    cores = max(cores, 0.25)
+    return ((serial + parallel / cores) / cost_model.node_speed
+            + cost_model.sync_overhead
+            + cost_model.sync_per_core * cores)
+
+
+def partition_optimal(
+    graph: StreamGraph,
+    node_ids: Sequence[int],
+    cost_model: Optional[CostModel] = None,
+    multiplier: int = 1,
+    cores_per_node: int = 24,
+    name: str = "",
+) -> Configuration:
+    """Minimize the bottleneck blob's predicted iteration time.
+
+    Classic contiguous-partition DP: ``best[i][k]`` is the minimal
+    bottleneck cost of splitting the first ``i`` workers (topological
+    order) into ``k`` blobs.  O(n^2 k) with n workers — fine for the
+    graph sizes SDF programs have.
+    """
+    cost_model = cost_model or CostModel()
+    node_ids = list(node_ids)
+    if not node_ids:
+        raise ValueError("need at least one node")
+    order = graph.topological_order()
+    n = len(order)
+    k = min(len(node_ids), n)
+    node_ids = node_ids[:k]
+    profile, _ = _worker_profile(graph, multiplier)
+
+    # Prefix sums of serial and parallel work over the topo order.
+    serial_prefix = [0.0]
+    parallel_prefix = [0.0]
+    for worker_id in order:
+        serial, parallel = profile[worker_id]
+        serial_prefix.append(serial_prefix[-1] + serial)
+        parallel_prefix.append(parallel_prefix[-1] + parallel)
+
+    def cost(i: int, j: int) -> float:
+        """Iteration cost of a blob covering order[i:j]."""
+        return segment_cost(
+            serial_prefix[j] - serial_prefix[i],
+            parallel_prefix[j] - parallel_prefix[i],
+            cores_per_node, cost_model,
+        )
+
+    INF = float("inf")
+    best = [[INF] * (k + 1) for _ in range(n + 1)]
+    split = [[0] * (k + 1) for _ in range(n + 1)]
+    best[0][0] = 0.0
+    for blobs in range(1, k + 1):
+        for end in range(blobs, n + 1):
+            for start in range(blobs - 1, end):
+                if best[start][blobs - 1] is INF:
+                    continue
+                candidate = max(best[start][blobs - 1], cost(start, end))
+                if candidate < best[end][blobs]:
+                    best[end][blobs] = candidate
+                    split[end][blobs] = start
+    # Recover the cut points.
+    cuts: List[int] = []
+    position = n
+    for blobs in range(k, 0, -1):
+        cuts.append(position)
+        position = split[position][blobs]
+    cuts.append(0)
+    cuts.reverse()
+    assignments: List[Tuple[int, List[int]]] = []
+    for blob_index in range(k):
+        workers = order[cuts[blob_index]:cuts[blob_index + 1]]
+        assignments.append((node_ids[blob_index], workers))
+    return Configuration.build(
+        assignments, multiplier=multiplier,
+        name=name or "optimal@%s" % ",".join(map(str, node_ids)),
+    )
+
+
+def predict_throughput(
+    graph: StreamGraph,
+    configuration: Configuration,
+    cost_model: Optional[CostModel] = None,
+    cores_per_node: int = 24,
+) -> float:
+    """Static throughput estimate (items/s) for a configuration.
+
+    The pipeline's rate is set by its slowest blob; each blob's
+    iteration time comes from its serial/parallel work split.  This is
+    the "throughput predictor" whose imperfection the paper cites
+    (Section 7.1.3) — it ignores network effects, core sharing and
+    transient behaviour, but ranks configurations usefully.
+    """
+    cost_model = cost_model or CostModel()
+    profile, schedule = _worker_profile(graph, configuration.multiplier)
+    worst = 0.0
+    for blob in configuration.blobs:
+        serial = sum(profile[w][0] for w in blob.workers)
+        parallel = sum(profile[w][1] for w in blob.workers)
+        worst = max(worst, segment_cost(serial, parallel,
+                                        cores_per_node, cost_model))
+    if worst <= 0:
+        return float("inf")
+    return schedule.steady_in / worst

@@ -1,0 +1,111 @@
+"""Automatic graph partitioning and schedule sizing.
+
+The partitioner produces load-balanced configurations: a contiguous
+split of the topological worker order into one blob per node, with cut
+points chosen so every blob carries a similar amount of work.  This is
+the "load-balanced static work distribution" the paper cites as a key
+global optimization (Section 3), and it is the default configuration
+generator for reconfigurations that add or remove nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.compiler.config import Configuration
+from repro.compiler.cost_model import CostModel
+from repro.graph.topology import StreamGraph
+from repro.sched.schedule import make_schedule
+
+__all__ = ["partition_even", "single_blob_configuration", "choose_multiplier"]
+
+
+def single_blob_configuration(
+    graph: StreamGraph,
+    node_id: int = 0,
+    multiplier: int = 1,
+    name: str = "",
+) -> Configuration:
+    """Everything in one blob on one node (single-node deployment)."""
+    return Configuration.build(
+        [(node_id, [w.worker_id for w in graph.workers])],
+        multiplier=multiplier,
+        name=name or "single@%d" % node_id,
+    )
+
+
+def partition_even(
+    graph: StreamGraph,
+    node_ids: Sequence[int],
+    multiplier: int = 1,
+    name: str = "",
+    cut_bias: float = 0.0,
+) -> Configuration:
+    """Split the topological order into ``len(node_ids)`` balanced blobs.
+
+    Work is measured as ``work_estimate * repetitions``; cut points are
+    chosen greedily at equal cumulative-work quantiles.  ``cut_bias``
+    in [-0.4, 0.4] skews the quantiles, giving the autotuner a
+    continuous knob that changes partition shapes.
+    """
+    node_ids = list(node_ids)
+    if not node_ids:
+        raise ValueError("need at least one node")
+    order = graph.topological_order()
+    if len(node_ids) >= len(order):
+        node_ids = node_ids[:max(len(order) // 2, 1)]
+    repetitions = make_schedule(graph).repetitions
+    weights = [graph.worker(w).work_estimate * repetitions[w] for w in order]
+    total = sum(weights) or 1.0
+    n_blobs = len(node_ids)
+    assignments: List[List[int]] = [[] for _ in range(n_blobs)]
+    cumulative = 0.0
+    blob_index = 0
+    for worker_id, weight in zip(order, weights):
+        # Target boundary for current blob, optionally biased.
+        boundary = (blob_index + 1) / n_blobs + cut_bias / n_blobs
+        if (cumulative / total) >= boundary and blob_index < n_blobs - 1 \
+                and assignments[blob_index]:
+            blob_index += 1
+        assignments[blob_index].append(worker_id)
+        cumulative += weight
+    # Guarantee no empty blobs (tiny graphs): steal from the left.
+    for i in range(n_blobs):
+        if not assignments[i]:
+            donor = max(range(n_blobs), key=lambda j: len(assignments[j]))
+            if len(assignments[donor]) <= 1:
+                raise ValueError("graph too small for %d blobs" % n_blobs)
+            assignments[i] = [assignments[donor].pop()]
+    # Re-sort blob contents to topological order after stealing.
+    position = {w: i for i, w in enumerate(order)}
+    pairs = []
+    for node_id, workers in zip(node_ids, assignments):
+        workers.sort(key=position.__getitem__)
+        pairs.append((node_id, workers))
+    pairs.sort(key=lambda pair: position[pair[1][0]])
+    return Configuration.build(
+        pairs, multiplier=multiplier,
+        name=name or "even@%s" % ",".join(map(str, node_ids)),
+    )
+
+
+def choose_multiplier(
+    graph: StreamGraph,
+    cost_model: CostModel,
+    n_nodes: int = 1,
+    cores_per_node: int = 8,
+    target_iteration_seconds: float = 0.08,
+) -> int:
+    """Pick a schedule multiplier so iterations take roughly the target.
+
+    Longer iterations amortize the barrier but increase buffering and
+    drain time — the classic throughput/latency trade-off the
+    autotuner also explores.
+    """
+    schedule = make_schedule(graph)
+    work = schedule.steady_work / max(n_nodes, 1)
+    seconds_at_m1 = work / (cost_model.node_speed) / max(cores_per_node, 1) \
+        + cost_model.sync_overhead
+    multiplier = max(int(target_iteration_seconds / max(seconds_at_m1, 1e-9)), 1)
+    return min(multiplier, 4096)

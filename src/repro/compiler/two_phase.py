@@ -1,0 +1,255 @@
+"""Two-phase (concurrent) compilation — paper Section 5.1.
+
+Recompiling a running program has a *state dependency*: optimization
+decisions (fusion, splitter/joiner removal) and the initialization
+schedule depend on the items buffered in the old instance (paper
+Section 3.1, Figure 3).  Gloss splits compilation so the expensive
+part runs while the old instance is still executing:
+
+* **Phase 1** (:func:`plan_configuration`, heavy): needs only the
+  *meta program state* — buffered-item *counts* per edge.  For a
+  snapshot taken at an iteration boundary these counts follow from
+  the static rates, so phase 1 can run before the state exists.  It
+  produces a :class:`CompilationPlan` of *pseudo-blobs*: compiled but
+  not runnable.
+* **Phase 2** (:func:`absorb_state`, light): injects the actual
+  program state — worker states and buffered item values — producing
+  runnable *state-absorbed* blobs.
+
+:func:`compile_configuration` performs both phases at once (used for
+cold starts and for stop-and-copy, which by construction has the full
+state before compilation begins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.compiler.compiled import CompiledBlob, CompiledProgram
+from repro.compiler.config import BlobSpec, Configuration
+from repro.compiler.cost_model import CostModel
+from repro.graph.topology import StreamGraph
+from repro.runtime.executor import BlobRuntime
+from repro.runtime.state import ProgramState
+from repro.sched.schedule import Schedule, make_schedule, structural_leftover
+
+__all__ = [
+    "CompilationPlan",
+    "absorb_state",
+    "compile_configuration",
+    "plan_configuration",
+]
+
+
+def _boundary_prefill(
+    graph: StreamGraph,
+    configuration: Configuration,
+    cost_model: CostModel,
+) -> Dict[int, int]:
+    """Extra initialization buffering on blob boundary edges.
+
+    Each inter-blob edge is prefilled with ``pipeline_depth``
+    iterations of production so blobs execute decoupled (software
+    pipelining across nodes).  This is the buffered data whose
+    flushing dominates stop-and-copy's draining time and whose refill
+    dominates the new instance's initialization time (Figure 4).
+    """
+    depth = cost_model.pipeline_depth
+    if depth <= 0:
+        return {}
+    from repro.sched.balance import repetition_vector
+    repetitions = repetition_vector(graph)
+    mapping = configuration.worker_to_blob()
+    prefill: Dict[int, int] = {}
+    for edge in graph.edges:
+        if mapping[edge.src] != mapping[edge.dst]:
+            src = graph.worker(edge.src)
+            per_iteration = (src.push_rates[edge.src_port]
+                             * repetitions[edge.src]
+                             * configuration.multiplier)
+            prefill[edge.index] = per_iteration * depth
+    return prefill
+
+
+def _decide_fusion(
+    graph: StreamGraph,
+    spec: BlobSpec,
+    configuration: Configuration,
+    edge_counts: Dict[int, int],
+) -> FrozenSet[int]:
+    """Choose which intra-blob edges to fuse.
+
+    An edge can be fused only when it will hold no data beyond its
+    structural (peeking) leftover when the new instance starts — the
+    Figure 3 constraint: "the filters cannot be fused if such data
+    exist".  Clean boundary snapshots (AST) satisfy this everywhere;
+    ragged drained states (stop-and-copy) may not, costing performance.
+    """
+    if not configuration.fusion:
+        return frozenset()
+    leftovers = structural_leftover(graph)
+    fused = set()
+    for edge in graph.edges:
+        if edge.src in spec.workers and edge.dst in spec.workers:
+            if edge_counts.get(edge.index, 0) <= leftovers[edge.index]:
+                fused.add(edge.index)
+    return frozenset(fused)
+
+
+def _decide_removal(
+    graph: StreamGraph,
+    spec: BlobSpec,
+    configuration: Configuration,
+    fused_edges: FrozenSet[int],
+) -> FrozenSet[int]:
+    """Built-in splitters/joiners whose edges all fused can be removed
+    entirely (their data movement is compiled away)."""
+    if not configuration.removal:
+        return frozenset()
+    removed = set()
+    for worker_id in spec.workers:
+        worker = graph.worker(worker_id)
+        if not worker.builtin:
+            continue
+        edges = graph.in_edges(worker_id) + graph.out_edges(worker_id)
+        if edges and all(e.index in fused_edges for e in edges):
+            removed.add(worker_id)
+    return frozenset(removed)
+
+
+@dataclass
+class CompilationPlan:
+    """Phase-1 output: pseudo-blobs awaiting the actual program state.
+
+    All schedules, fusion/removal decisions and blob runtimes exist,
+    but no worker state or buffered items have been installed, so the
+    blobs are not runnable yet.
+    """
+
+    graph: StreamGraph
+    configuration: Configuration
+    schedule: Schedule
+    cost_model: CostModel
+    pseudo_blobs: List[CompiledBlob] = field(default_factory=list)
+    state_absorbed: bool = False
+
+    @property
+    def phase1_seconds_per_node(self) -> Dict[int, float]:
+        per_node: Dict[int, float] = {}
+        for blob in self.pseudo_blobs:
+            per_node[blob.spec.node_id] = (
+                per_node.get(blob.spec.node_id, 0.0) + blob.phase1_seconds()
+            )
+        return per_node
+
+    @property
+    def phase2_seconds_per_node(self) -> Dict[int, float]:
+        per_node: Dict[int, float] = {}
+        for blob in self.pseudo_blobs:
+            per_node[blob.spec.node_id] = (
+                per_node.get(blob.spec.node_id, 0.0) + blob.phase2_seconds()
+            )
+        return per_node
+
+
+def plan_configuration(
+    graph: StreamGraph,
+    configuration: Configuration,
+    cost_model: CostModel,
+    meta_counts: Optional[Dict[int, int]] = None,
+    check_rates: bool = True,
+    rate_only: bool = False,
+) -> CompilationPlan:
+    """Phase-1 compilation from the meta program state.
+
+    ``meta_counts`` maps edge index to the number of items that will be
+    buffered there when the state arrives (zero for cold starts).
+    ``graph`` must be a *fresh* instance from the application's
+    blueprint — never the graph the old instance is executing.
+    """
+    configuration.validate(graph)
+    counts = dict(meta_counts or {})
+    schedule = make_schedule(
+        graph, multiplier=configuration.multiplier, initial_contents=counts,
+        prefill=_boundary_prefill(graph, configuration, cost_model),
+    )
+    plan = CompilationPlan(
+        graph=graph,
+        configuration=configuration,
+        schedule=schedule,
+        cost_model=cost_model,
+    )
+    for spec in configuration.blobs:
+        runtime = BlobRuntime(
+            graph, schedule, spec.workers,
+            check_rates=check_rates, rate_only=rate_only,
+        )
+        fused = _decide_fusion(graph, spec, configuration, counts)
+        removed = _decide_removal(graph, spec, configuration, fused)
+        plan.pseudo_blobs.append(CompiledBlob(
+            spec=spec,
+            runtime=runtime,
+            cost_model=cost_model,
+            fused_edges=fused,
+            removed_workers=removed,
+        ))
+    return plan
+
+
+def absorb_state(
+    plan: CompilationPlan,
+    state: Optional[ProgramState] = None,
+) -> CompiledProgram:
+    """Phase-2 compilation: turn pseudo-blobs into state-absorbed blobs.
+
+    Installs worker states and buffered items into each blob's
+    channels and finalizes the program.  The buffered-item *counts*
+    must match what phase 1 planned against (they do by construction
+    for boundary snapshots; a mismatch means the meta state was wrong
+    and the schedule would be inconsistent, so it is an error).
+    """
+    if plan.state_absorbed:
+        raise RuntimeError("plan already absorbed state")
+    if state is not None:
+        expected = plan.schedule.initial_contents
+        actual = state.edge_counts()
+        for edge_index, count in actual.items():
+            if edge_index < 0:
+                continue
+            if expected.get(edge_index, 0) != count:
+                raise ValueError(
+                    "meta state mismatch on edge %d: planned %d items, "
+                    "received %d" % (
+                        edge_index, expected.get(edge_index, 0), count)
+                )
+        for blob in plan.pseudo_blobs:
+            blob.runtime.install_state(state)
+    plan.state_absorbed = True
+    return CompiledProgram(
+        graph=plan.graph,
+        configuration=plan.configuration,
+        schedule=plan.schedule,
+        blobs=list(plan.pseudo_blobs),
+        installed_state=state,
+    )
+
+
+def compile_configuration(
+    graph: StreamGraph,
+    configuration: Configuration,
+    cost_model: CostModel,
+    state: Optional[ProgramState] = None,
+    check_rates: bool = True,
+    rate_only: bool = False,
+) -> CompiledProgram:
+    """Single-phase compilation (cold start, or stop-and-copy which
+    holds the complete state before compiling)."""
+    meta_counts = state.edge_counts() if state is not None else None
+    if meta_counts is not None:
+        meta_counts = {k: v for k, v in meta_counts.items() if k >= 0}
+    plan = plan_configuration(
+        graph, configuration, cost_model, meta_counts,
+        check_rates=check_rates, rate_only=rate_only,
+    )
+    return absorb_state(plan, state)

@@ -1,0 +1,64 @@
+"""Gloss's live reconfiguration strategies — the paper's contribution.
+
+Three strategies of increasing sophistication (paper Section 4):
+
+* :class:`StopAndCopyReconfigurer` — drain, collect state, recompile
+  with complete state, restart.  Correct but seconds of downtime.
+* :class:`FixedSeamlessReconfigurer` — concurrent recompilation
+  (two-phase for stateful programs), asynchronous state transfer,
+  input duplication and concurrent execution, with a *fixed*
+  precomputed switchover; downtime or output spikes remain when the
+  configurations' speeds differ (Figure 8).
+* :class:`AdaptiveSeamlessReconfigurer` — adds adaptive merging and
+  resource throttling, eliminating downtime entirely (Table 1).
+
+Use :func:`make_reconfigurer` (or
+``StreamApp.reconfigure(config, strategy=...)``) to instantiate by
+name: ``"stop_and_copy"``, ``"fixed"``, ``"adaptive"``.
+"""
+
+from repro.core.report import ReconfigReport
+from repro.core.planner import (
+    boundary_edge_counts,
+    duplication_iterations_stateful,
+    duplication_iterations_stateless,
+)
+from repro.core.base import Reconfigurer
+from repro.core.stop_copy import StopAndCopyReconfigurer
+from repro.core.fixed_seamless import FixedSeamlessReconfigurer
+from repro.core.adaptive_seamless import AdaptiveSeamlessReconfigurer
+from repro.core.manager import ReconfigurationManager, RequestOutcome
+
+_STRATEGIES = {
+    "stop_and_copy": StopAndCopyReconfigurer,
+    "stop-and-copy": StopAndCopyReconfigurer,
+    "fixed": FixedSeamlessReconfigurer,
+    "adaptive": AdaptiveSeamlessReconfigurer,
+}
+
+
+def make_reconfigurer(strategy: str, app) -> Reconfigurer:
+    """Instantiate a reconfiguration strategy by name."""
+    try:
+        cls = _STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(
+            "unknown strategy %r (choose from %s)"
+            % (strategy, ", ".join(sorted(set(_STRATEGIES))))
+        ) from None
+    return cls(app)
+
+
+__all__ = [
+    "AdaptiveSeamlessReconfigurer",
+    "FixedSeamlessReconfigurer",
+    "ReconfigReport",
+    "ReconfigurationManager",
+    "RequestOutcome",
+    "Reconfigurer",
+    "StopAndCopyReconfigurer",
+    "boundary_edge_counts",
+    "duplication_iterations_stateful",
+    "duplication_iterations_stateless",
+    "make_reconfigurer",
+]

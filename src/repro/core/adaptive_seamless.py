@@ -1,0 +1,109 @@
+"""Adaptive seamless reconfiguration (paper Section 7.2, Figure 9).
+
+Same concurrent-recompilation pipeline as the fixed scheme, but the
+switchover is dynamic:
+
+* **Adaptive merging** — the old instance is abandoned the moment the
+  new instance's output frontier catches up, so no redundant output
+  accumulates and no spike occurs.
+* **Resource throttling** — while the new instance lags, the old
+  instance's core share is repeatedly halved (then its input rate
+  restricted), guaranteeing the new instance catches up and
+  eliminating downtime even when moving to a slower configuration.
+
+The amount of duplicated input is therefore open-ended: the old
+instance has no fixed stop point; it runs (increasingly slowly) until
+abandoned.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.config import Configuration
+from repro.core.base import Reconfigurer
+from repro.sim.kernel import Interrupt
+
+__all__ = ["AdaptiveSeamlessReconfigurer"]
+
+
+class AdaptiveSeamlessReconfigurer(Reconfigurer):
+    """Zero-downtime reconfiguration via adaptive merging + throttling."""
+
+    name = "adaptive"
+
+    #: Core-share halvings before input-rate restriction kicks in.
+    core_throttle_steps = 3
+
+    def run(self, configuration: Configuration):
+        app = self.app
+        report = self._begin(configuration)
+
+        new_instance, old, _ = yield from (
+            self._prepare_concurrent(configuration, report))
+        report.duplication_iterations = None  # open-ended duplication
+
+        app.merger.begin_transition(
+            old.instance_id, new_instance.instance_id, mode="adaptive")
+        report.new_started_at = self.env.now
+        new_instance.start()
+        app.note("concurrent_execution",
+                 old=old.instance_id, new=new_instance.instance_id)
+
+        throttler = self.env.process(self._throttle(old, new_instance))
+
+        # Adaptive merging: switch the moment the new instance catches
+        # up with the old one's output frontier.
+        yield app.merger.caught_up
+        throttler.interrupt("switched")
+        old.abandon()
+        report.old_stopped_at = self.env.now
+        app.note("old_stopped", instance=old.instance_id)
+        app.merger.finish_transition()
+        app.current = new_instance
+
+        if not new_instance.running_event.triggered:
+            yield new_instance.running_event
+        report.new_running_at = self.env.now
+        return self._finish(report)
+
+    def _throttle(self, old, new):
+        """Resource throttling: gradually slow the old instance down.
+
+        Throttling only helps once the new instance is executing its
+        steady state — freeing cores during its (single-threaded)
+        initialization would crater the old instance's output for no
+        catch-up benefit — so the cadence starts at the new instance's
+        running event.
+        """
+        interval = self.cost_model.throttle_interval
+        weight = 1.0
+        steps = 0
+        try:
+            if not new.running_event.triggered:
+                yield new.running_event
+            while True:
+                yield self.env.timeout(interval)
+                steps += 1
+                if steps <= self.core_throttle_steps:
+                    weight /= 2.0
+                    old.set_core_weight(weight)
+                    self.app.note("throttle_cores", weight=weight,
+                                  instance=old.instance_id)
+                else:
+                    # Stage 2: restrict the old instance's input rate,
+                    # halving again at each step.
+                    iteration_seconds = max(
+                        old.estimate_iteration_seconds(), 1e-6)
+                    rate = old.schedule.steady_in / iteration_seconds
+                    factor = 2.0 ** (steps - self.core_throttle_steps)
+                    # Floor at four iterations per second: the old
+                    # instance must keep emitting (at sub-second
+                    # granularity) while the new one catches up, or
+                    # throttling itself would create the downtime it
+                    # exists to prevent.
+                    floor = 4.0 * old.schedule.steady_in
+                    effective = max(rate / factor, floor)
+                    old.throttle_input(effective)
+                    self.app.note("throttle_input", rate=effective,
+                                  instance=old.instance_id)
+        except Interrupt:
+            pass

@@ -1,0 +1,177 @@
+"""Shared machinery for reconfiguration strategies.
+
+The seamless strategies share their whole preparation pipeline
+(concurrent compilation, state transfer, offset computation, spawning
+the new instance); they differ only in how they switch between the
+instances, so :class:`Reconfigurer` hosts the pipeline and the
+subclasses override the switchover.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from repro.compiler.config import Configuration
+from repro.compiler.two_phase import absorb_state, plan_configuration
+from repro.core.planner import (
+    boundary_edge_counts,
+    duplication_iterations_stateful,
+    duplication_iterations_stateless,
+)
+from repro.core.report import ReconfigReport
+from repro.cluster.instance import GraphInstance
+
+__all__ = ["Reconfigurer"]
+
+
+class Reconfigurer:
+    """Base class: owns the app handle and the preparation pipeline."""
+
+    name = "base"
+
+    def __init__(self, app):
+        self.app = app
+        self.env = app.env
+        self.cost_model = app.cost_model
+
+    # -- strategy interface --------------------------------------------------
+
+    def run(self, configuration: Configuration):
+        """Generator implementing the strategy; must be overridden."""
+        raise NotImplementedError
+        yield  # pragma: no cover - marks this as a generator template
+
+    # -- shared pipeline --------------------------------------------------------
+
+    def _begin(self, configuration: Configuration) -> ReconfigReport:
+        old = self.app.current
+        if old is None or old.status != "running":
+            raise RuntimeError(
+                "cannot reconfigure: no running instance (status %r)"
+                % (None if old is None else old.status,)
+            )
+        report = ReconfigReport(
+            strategy=self.name,
+            config_name=configuration.name or "cfg",
+            requested_at=self.env.now,
+            old_instance=old.instance_id,
+            stateful=old.program.graph.is_stateful,
+        )
+        self.app.note("reconfig_start", strategy=self.name,
+                      config=configuration.name)
+        return report
+
+    def _finish(self, report: ReconfigReport) -> ReconfigReport:
+        report.completed_at = self.env.now
+        self.app.note("reconfig_done", strategy=self.name)
+        self.app.reconfigurations.append(report)
+        return report
+
+    def _init_coverage_iterations(self, old: GraphInstance,
+                                  program) -> int:
+        """Old-instance iterations covering the new init phase.
+
+        The fixed scheme precomputes how long the old instance must
+        keep processing duplicated input so the new instance can
+        finish initializing.  The prediction is *static* — it uses the
+        old instance's currently observed iteration time and the new
+        blobs' nominal init durations, ignoring how core sharing will
+        change both during concurrent execution.  That mis-prediction
+        is exactly what yields Figure 8's downtime (new slower than
+        predicted) and output spikes (old slower than predicted); the
+        paper notes a robust throughput predictor is impractical
+        (Section 7.1.3), which is what motivates the adaptive scheme.
+        """
+        # Upper bound on the pipeline-chained initialization: each
+        # blob's init waits on its upstream blob's init output.
+        new_init_seconds = sum(blob.init_seconds() for blob in program.blobs)
+        old_iteration = max(old.estimate_iteration_seconds(), 1e-9)
+        return int(math.ceil(new_init_seconds / old_iteration))
+
+    def _prepare_concurrent(self, configuration: Configuration,
+                            report: ReconfigReport):
+        """Generator: concurrent recompilation + state transfer.
+
+        Runs phase-1 while the old instance executes; for stateful
+        programs performs asynchronous state transfer and phase-2.
+        Returns ``(new_instance, old_instance, X)`` with the new
+        instance *not yet started*.
+        """
+        app = self.app
+        old: GraphInstance = app.current
+        stateful = old.program.graph.is_stateful
+        new_graph = app.blueprint()
+
+        if stateful:
+            # Phase 1 against the meta program state (boundary counts
+            # are known before the state exists).
+            meta_counts = boundary_edge_counts(old.schedule)
+            plan = plan_configuration(
+                new_graph, configuration, self.cost_model, meta_counts,
+                check_rates=app.check_rates, rate_only=app.rate_only,
+            )
+            yield from app.charge_compile_time({
+                node: seconds for node, seconds
+                in plan.phase1_seconds_per_node.items()
+            })
+            report.phase1_done_at = self.env.now
+            app.note("phase1_done")
+
+            # Asynchronous state transfer at a future boundary.
+            state, boundary = yield from old.ast_capture()
+            report.state_captured_at = self.env.now
+            report.boundary = boundary
+            report.state_bytes = state.size_bytes()
+            app.note("ast_done", boundary=boundary,
+                     bytes=report.state_bytes)
+
+            # Phase 2: absorb the state into the pseudo-blobs.
+            program = absorb_state(plan, state)
+            yield from app.charge_compile_time({
+                node: seconds for node, seconds
+                in plan.phase2_seconds_per_node.items()
+            })
+            report.phase2_done_at = self.env.now
+            app.note("phase2_done")
+
+            input_offset = old.input_offset + old.consumed_at_boundary(boundary)
+            output_offset = old.output_offset + old.emitted_at_boundary(boundary)
+            duplication = max(
+                duplication_iterations_stateful(
+                    old.schedule, program.schedule),
+                self._init_coverage_iterations(old, program),
+            )
+            stop_iteration = boundary + duplication
+        else:
+            # Stateless: compile with no initial state; implicit state
+            # transfer via input duplication.
+            program = app.compile(configuration)
+            yield from app.charge_compile_time(
+                app.compile_seconds_per_node(program, "full"))
+            report.phase1_done_at = self.env.now
+            app.note("phase1_done")
+
+            # Duplication start: aligned to the graph quantum, at (or
+            # just behind) the old instance's output frontier, so the
+            # new instance's output stream splices exactly.
+            q_in = old.schedule.input_quantum
+            q_out = old.schedule.output_quantum
+            frontier = old.output_offset + old.emitted_local
+            units = frontier // q_out
+            input_offset = units * q_in
+            output_offset = units * q_out
+            duplication = max(
+                duplication_iterations_stateless(
+                    old.schedule, program.schedule),
+                self._init_coverage_iterations(old, program),
+            )
+            stop_iteration = old.max_iteration + 1 + duplication
+
+        report.duplication_iterations = duplication
+        new_instance = app.spawn_instance(
+            program, input_offset, output_offset,
+            label=configuration.name,
+        )
+        report.new_instance = new_instance.instance_id
+        return new_instance, old, stop_iteration

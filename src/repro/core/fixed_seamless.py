@@ -1,0 +1,51 @@
+"""Fixed seamless reconfiguration (paper Section 7.1).
+
+Concurrent recompilation plus input duplication with a *fixed*,
+precomputed switchover: the old instance stops after processing
+``X * OLD_steady_in`` duplicated items; the new instance's redundant
+output is held back and discarded.  When the two configurations run
+at different speeds this leaves downtime (old faster: it finishes
+before the new one has ramped up — Figure 8a) or output-rate spikes
+(old slower: the new instance's held-back output floods out at the
+switch — Figure 8b).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.config import Configuration
+from repro.core.base import Reconfigurer
+
+__all__ = ["FixedSeamlessReconfigurer"]
+
+
+class FixedSeamlessReconfigurer(Reconfigurer):
+    """Seamless reconfiguration with a fixed transition point."""
+
+    name = "fixed"
+
+    def run(self, configuration: Configuration):
+        app = self.app
+        report = self._begin(configuration)
+
+        new_instance, old, stop_iteration = yield from (
+            self._prepare_concurrent(configuration, report))
+
+        # Concurrent execution on duplicated input; the merger holds
+        # back the new instance's output until the old one stops.
+        app.merger.begin_transition(
+            old.instance_id, new_instance.instance_id, mode="fixed")
+        report.new_started_at = self.env.now
+        new_instance.start()
+        app.note("concurrent_execution",
+                 old=old.instance_id, new=new_instance.instance_id)
+        old.request_stop_at(stop_iteration)
+
+        yield old.stopped_event
+        report.old_stopped_at = self.env.now
+        app.note("old_stopped", instance=old.instance_id)
+        app.merger.finish_transition()
+        app.current = new_instance
+
+        yield new_instance.running_event
+        report.new_running_at = self.env.now
+        return self._finish(report)

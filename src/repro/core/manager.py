@@ -1,0 +1,114 @@
+"""Serialized reconfiguration management.
+
+Reconfigurations are not instantaneous: the seamless schemes keep two
+instances alive for seconds.  Drivers that issue requests reactively
+(scaling policies, autotuners, operators) need requests *serialized* —
+Gloss reconfigures from the *current* instance, so overlapping
+requests would race.  :class:`ReconfigurationManager` queues requests,
+runs them one at a time, coalesces bursts (only the newest pending
+request survives), and records the outcome of each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.compiler.config import Configuration
+from repro.sim.kernel import Environment, Event
+
+__all__ = ["ReconfigurationManager", "RequestOutcome"]
+
+
+@dataclass
+class RequestOutcome:
+    """What happened to one submitted request."""
+
+    configuration: Configuration
+    strategy: str
+    submitted_at: float
+    status: str = "pending"  # pending | superseded | completed | failed
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[BaseException] = None
+    done: Optional[Event] = None
+
+
+class ReconfigurationManager:
+    """Queues and serializes live reconfiguration requests."""
+
+    def __init__(self, app, coalesce: bool = True):
+        self.app = app
+        self.env: Environment = app.env
+        self.coalesce = coalesce
+        self.outcomes: List[RequestOutcome] = []
+        self._pending: List[RequestOutcome] = []
+        self._worker = None
+        self._wake: Optional[Event] = None
+
+    @property
+    def busy(self) -> bool:
+        return self._worker is not None and self._worker.is_alive
+
+    def submit(self, configuration: Configuration,
+               strategy: str = "adaptive") -> RequestOutcome:
+        """Queue a reconfiguration; returns its outcome record.
+
+        ``outcome.done`` fires when the request completes, fails, or
+        is superseded by a newer one (with coalescing on).
+        """
+        outcome = RequestOutcome(
+            configuration=configuration,
+            strategy=strategy,
+            submitted_at=self.env.now,
+            done=self.env.event(),
+        )
+        if self.coalesce:
+            for stale in self._pending:
+                stale.status = "superseded"
+                if not stale.done.triggered:
+                    stale.done.succeed(stale)
+            self._pending = [outcome]
+        else:
+            self._pending.append(outcome)
+        self.outcomes.append(outcome)
+        if self._worker is None or not self._worker.is_alive:
+            self._worker = self.env.process(self._drain_queue())
+        return outcome
+
+    def _drain_queue(self):
+        while self._pending:
+            outcome = self._pending.pop(0)
+            if outcome.status == "superseded":
+                continue
+            outcome.status = "running"
+            outcome.started_at = self.env.now
+            process = self.app.reconfigure(outcome.configuration,
+                                           strategy=outcome.strategy)
+            try:
+                yield process
+                outcome.status = "completed"
+            except BaseException as exc:
+                # A failed strategy process re-raises here; record it
+                # and keep draining the queue.
+                outcome.status = "failed"
+                outcome.error = exc
+            outcome.finished_at = self.env.now
+            if not outcome.done.triggered:
+                outcome.done.succeed(outcome)
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> List[Tuple[str, str, float]]:
+        return [
+            (o.configuration.name or "<anon>", o.status, o.submitted_at)
+            for o in self.outcomes
+        ]
+
+    @property
+    def completed(self) -> List[RequestOutcome]:
+        return [o for o in self.outcomes if o.status == "completed"]
+
+    @property
+    def superseded(self) -> List[RequestOutcome]:
+        return [o for o in self.outcomes if o.status == "superseded"]

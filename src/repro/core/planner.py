@@ -1,0 +1,69 @@
+"""The duplication planner — paper Section 7.1 formulas.
+
+How much input must be duplicated so the new graph instance can
+complete its initialization schedule while the old one finishes
+processing everything it has seen?
+
+* stateless: ``X = ceil(max(OLD_init_in, NEW_init_in) / OLD_steady_in)``
+* stateful:  ``X = ceil(NEW_init_in / OLD_steady_in)`` (the state
+  transfer already carries the old buffers, so only the new init
+  matters)
+
+Also computes the *meta program state* for phase-1 compilation: at any
+iteration boundary the per-edge buffered-item counts equal the
+post-init contents (production and consumption balance within each
+iteration), so they are known before the state itself exists — the
+observation that makes concurrent recompilation possible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.sched.schedule import Schedule
+
+__all__ = [
+    "boundary_edge_counts",
+    "duplication_iterations_stateful",
+    "duplication_iterations_stateless",
+]
+
+
+def duplication_iterations_stateless(old: Schedule, new: Schedule) -> int:
+    """X for stateless graphs (paper Section 7.1.1)."""
+    return max(
+        int(math.ceil(max(old.init_in, new.init_in) / max(old.steady_in, 1))),
+        1,
+    )
+
+
+def duplication_iterations_stateful(old: Schedule, new: Schedule) -> int:
+    """X for stateful graphs (paper Section 7.1.2)."""
+    return max(
+        int(math.ceil(new.init_in / max(old.steady_in, 1))),
+        1,
+    )
+
+
+def boundary_edge_counts(schedule: Schedule) -> Dict[int, int]:
+    """Buffered-item counts at any steady-state iteration boundary.
+
+    ``initial contents + init production - init consumption`` per
+    edge; a steady iteration is net zero on every edge, so this is
+    boundary-independent.  Zero-count edges are omitted (matching
+    :meth:`ProgramState.edge_counts` for a snapshot at a boundary).
+    """
+    graph = schedule.graph
+    counts: Dict[int, int] = {}
+    for edge in graph.edges:
+        src = graph.worker(edge.src)
+        dst = graph.worker(edge.dst)
+        count = (
+            schedule.initial_contents.get(edge.index, 0)
+            + src.push_rates[edge.src_port] * schedule.init[edge.src]
+            - dst.pop_rates[edge.dst_port] * schedule.init[edge.dst]
+        )
+        if count:
+            counts[edge.index] = count
+    return counts

@@ -1,0 +1,93 @@
+"""Per-reconfiguration timelines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ReconfigReport"]
+
+
+@dataclass
+class ReconfigReport:
+    """Timeline of one reconfiguration, in simulated seconds.
+
+    Fields are populated as the strategy progresses; strategies leave
+    unused fields at ``None`` (e.g. stop-and-copy has no AST, a
+    stateless fixed reconfiguration has no phase-2).
+    """
+
+    strategy: str
+    config_name: str
+    requested_at: float
+    old_instance: int = -1
+    new_instance: int = -1
+    stateful: bool = False
+
+    drained_at: Optional[float] = None
+    phase1_done_at: Optional[float] = None
+    state_captured_at: Optional[float] = None
+    phase2_done_at: Optional[float] = None
+    new_started_at: Optional[float] = None
+    new_running_at: Optional[float] = None
+    old_stopped_at: Optional[float] = None
+    completed_at: Optional[float] = None
+
+    #: The AST boundary iteration (stateful seamless strategies).
+    boundary: Optional[int] = None
+    #: Iterations of duplicated input (the X of paper Section 7.1);
+    #: None for adaptive (duplication is open-ended).
+    duplication_iterations: Optional[int] = None
+    #: Bytes of program state moved.
+    state_bytes: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        if self.completed_at is None:
+            return float("nan")
+        return self.completed_at - self.requested_at
+
+    @property
+    def overlap_seconds(self) -> float:
+        """Time both instances executed concurrently."""
+        if self.new_started_at is None or self.old_stopped_at is None:
+            return 0.0
+        return max(self.old_stopped_at - self.new_started_at, 0.0)
+
+    @property
+    def drain_seconds(self) -> Optional[float]:
+        if self.drained_at is None:
+            return None
+        return self.drained_at - self.requested_at
+
+    @property
+    def visible_recompilation_seconds(self) -> Optional[float]:
+        """Recompilation time on the critical path.
+
+        For two-phase strategies this is only phase-2 (phase-1 is
+        hidden behind the old instance's execution); for stop-and-copy
+        it is the whole compilation.
+        """
+        if self.phase2_done_at is not None and self.state_captured_at is not None:
+            return self.phase2_done_at - self.state_captured_at
+        if self.phase1_done_at is not None and self.drained_at is not None:
+            return self.phase1_done_at - self.drained_at
+        return None
+
+    def describe(self) -> str:
+        parts = ["%s -> %s (%s)" % (
+            self.strategy, self.config_name,
+            "stateful" if self.stateful else "stateless")]
+        for label, value in (
+            ("requested", self.requested_at),
+            ("drained", self.drained_at),
+            ("phase1", self.phase1_done_at),
+            ("state", self.state_captured_at),
+            ("phase2", self.phase2_done_at),
+            ("new running", self.new_running_at),
+            ("old stopped", self.old_stopped_at),
+            ("completed", self.completed_at),
+        ):
+            if value is not None:
+                parts.append("  %-12s %.3fs" % (label, value))
+        return "\n".join(parts)

@@ -1,0 +1,59 @@
+"""Stop-and-copy reconfiguration (paper Section 4.1).
+
+Stop the world: drain every blob (through the slow fine-grained
+interpreter, upstream first), collect the complete program state at
+the controller, recompile the new configuration *with* that state
+(single-phase — the state dependency is satisfied by waiting), then
+start the new instance, whose initialization phase must refill the
+pipeline before output resumes.  The three downtime contributors —
+draining, recompilation, initialization — are exactly Figure 4's
+breakdown.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.config import Configuration
+from repro.core.base import Reconfigurer
+
+__all__ = ["StopAndCopyReconfigurer"]
+
+
+class StopAndCopyReconfigurer(Reconfigurer):
+    """Drain, copy, recompile, restart — with downtime."""
+
+    name = "stop_and_copy"
+
+    def run(self, configuration: Configuration):
+        app = self.app
+        report = self._begin(configuration)
+        old = app.current
+
+        # 1. Drain the old instance and collect the program state.
+        state = yield from old.drain()
+        report.drained_at = self.env.now
+        report.state_bytes = state.size_bytes()
+        app.note("drained", bytes=report.state_bytes)
+
+        # 2. Recompile with the complete program state (fusion and the
+        #    init schedule can now see the actual buffered items).
+        program = app.compile(configuration, state=state)
+        yield from app.charge_compile_time(
+            app.compile_seconds_per_node(program, "full"))
+        report.phase1_done_at = self.env.now
+        app.note("compiled")
+
+        # 3. Start the state-absorbed new instance.
+        input_offset = old.input_offset + state.consumed
+        output_offset = old.output_offset + old.emitted_local
+        new_instance = app.spawn_instance(
+            program, input_offset, output_offset, label=configuration.name)
+        report.new_instance = new_instance.instance_id
+        report.old_stopped_at = report.drained_at
+        app.current = new_instance
+        app.merger.set_primary(new_instance.instance_id)
+        report.new_started_at = self.env.now
+        new_instance.start()
+        yield new_instance.running_event
+        report.new_running_at = self.env.now
+        app.note("new_running", instance=new_instance.instance_id)
+        return self._finish(report)

@@ -1,0 +1,23 @@
+"""Experiment drivers shared by the benchmark harness.
+
+Each paper table/figure has a driver here returning structured
+results; the scripts in ``benchmarks/`` wrap them with
+pytest-benchmark, assert the paper's qualitative shape, and append
+human-readable rows to ``results/``.
+"""
+
+from repro.experiments.runner import (
+    ExperimentApp,
+    PAPER_NODES,
+    format_rows,
+    make_experiment_app,
+    write_result,
+)
+
+__all__ = [
+    "ExperimentApp",
+    "PAPER_NODES",
+    "format_rows",
+    "make_experiment_app",
+    "write_result",
+]

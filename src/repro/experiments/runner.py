@@ -1,0 +1,153 @@
+"""Common experiment scaffolding.
+
+The paper's testbed is eight dual-socket 24-core Xeon nodes on 10 GbE
+(Section 9); experiments here default to the same topology.  All
+drivers run in rate-only mode: item *counts* and *timing* are exact,
+work functions are skipped — output equivalence is covered separately
+by the functional test suite.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.apps import get_app
+from repro.cluster import Cluster, StreamApp
+from repro.compiler import CostModel, partition_even
+from repro.compiler.config import Configuration
+from repro.graph.topology import StreamGraph
+from repro.metrics import DisruptionReport
+
+__all__ = [
+    "ExperimentApp",
+    "PAPER_NODES",
+    "format_rows",
+    "make_experiment_app",
+    "write_result",
+]
+
+#: The paper's cluster: 8 nodes, dual-socket 12-core (24 cores each).
+PAPER_NODES = 8
+PAPER_CORES = 24
+
+#: Target work units per steady-state iteration: the multiplier is
+#: derived per application so iterations are big enough to amortize
+#: the barrier, and so initialization/drain costs (which scale with
+#: iteration work) stay in the paper's seconds range regardless of
+#: the graph's per-item cost.
+TARGET_ITERATION_WORK = 15_000.0
+
+
+@dataclass
+class ExperimentApp:
+    """A launched app plus the knobs experiments keep reaching for."""
+
+    cluster: Cluster
+    app: StreamApp
+    blueprint: Callable[[], StreamGraph]
+    multiplier: int
+
+    @property
+    def env(self):
+        return self.cluster.env
+
+    def config(self, node_ids: Sequence[int], name: str = "",
+               multiplier: Optional[int] = None,
+               cut_bias: float = 0.0) -> Configuration:
+        return partition_even(
+            self.blueprint(), list(node_ids),
+            multiplier=multiplier or self.multiplier,
+            name=name, cut_bias=cut_bias,
+        )
+
+    def run_until(self, t: float) -> None:
+        self.cluster.run(until=t)
+
+    def reconfigure_and_run(self, configuration: Configuration,
+                            strategy: str, settle: float = 60.0
+                            ) -> Tuple[float, DisruptionReport]:
+        """Issue one reconfiguration, run ``settle`` seconds, analyze."""
+        start = self.env.now
+        done = self.app.reconfigure(configuration, strategy=strategy)
+        self.run_until(start + settle)
+        if not done.triggered:
+            raise RuntimeError(
+                "reconfiguration (%s -> %s) did not complete in %.0fs"
+                % (strategy, configuration.name, settle))
+        return start, self.app.analyze(start, start + settle)
+
+    def throughput_between(self, start: float, end: float) -> float:
+        return self.app.series.items_between(start, end) / (end - start)
+
+
+def make_experiment_app(
+    app_name: str,
+    scale: int = 2,
+    n_nodes: int = PAPER_NODES,
+    cores: int = PAPER_CORES,
+    initial_nodes: Optional[Sequence[int]] = None,
+    multiplier: Optional[int] = None,
+    warmup: float = 60.0,
+    cost_model: Optional[CostModel] = None,
+    input_rate: Optional[float] = None,
+    blueprint_kwargs: Optional[dict] = None,
+) -> ExperimentApp:
+    """Launch a paper-scale app and warm it up to steady state."""
+    spec = get_app(app_name)
+    blueprint = spec.blueprint(scale=scale, **(blueprint_kwargs or {}))
+    if multiplier is None:
+        from repro.sched import make_schedule
+        quantum_work = max(make_schedule(blueprint()).steady_work, 1e-9)
+        multiplier = max(int(math.ceil(TARGET_ITERATION_WORK / quantum_work)),
+                         1)
+    cluster = Cluster(n_nodes=n_nodes, cores_per_node=cores,
+                      cost_model=cost_model or CostModel())
+    app = StreamApp(cluster, blueprint, rate_only=True,
+                    name=app_name, input_rate=input_rate)
+    experiment = ExperimentApp(cluster=cluster, app=app,
+                               blueprint=blueprint, multiplier=multiplier)
+    nodes = list(initial_nodes if initial_nodes is not None
+                 else range(min(2, n_nodes)))
+    app.launch(experiment.config(nodes, name="cfg1"))
+    cluster.run(until=warmup)
+    if app.current is None or app.current.status != "running":
+        raise RuntimeError("app failed to reach steady state in warmup")
+    return experiment
+
+
+def format_rows(header: Sequence[str], rows: Sequence[Sequence],
+                title: str = "") -> str:
+    """Fixed-width table text in the style of the paper's tables."""
+    columns = len(header)
+    widths = [len(str(h)) for h in header]
+    for row in rows:
+        for i in range(columns):
+            widths[i] = max(widths[i], len(str(row[i])))
+    def fmt(row):
+        return "  ".join(str(cell).ljust(widths[i])
+                         for i, cell in enumerate(row))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(header))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def write_result(name: str, text: str) -> str:
+    """Append a result block under results/ and echo it to stdout."""
+    directory = os.environ.get(
+        "REPRO_RESULTS_DIR",
+        os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))), "results"),
+    )
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, name + ".txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print("\n" + text)
+    return path

@@ -1,0 +1,45 @@
+"""The synchronous-data-flow (SDF) stream-graph language.
+
+This package is the reproduction of StreamJIT's programming model
+(paper Section 2): stream graphs composed from *filters*, *splitters*
+and *joiners* (collectively *workers*), each declaring static peek, pop
+and push rates.  Graphs are built hierarchically from
+:class:`Pipeline` and :class:`SplitJoin` and flattened into a
+:class:`StreamGraph` of workers connected by edges.
+
+A graph is *stateless* if every worker is stateless; peeking workers
+remain stateless even though the runtime maintains peeking buffers for
+them (this distinction drives the choice between implicit and explicit
+state transfer during reconfiguration).
+"""
+
+from repro.graph.workers import (
+    DuplicateSplitter,
+    Filter,
+    Joiner,
+    RoundRobinJoiner,
+    RoundRobinSplitter,
+    Splitter,
+    StatefulFilter,
+    Worker,
+)
+from repro.graph.builders import Pipeline, SplitJoin
+from repro.graph.topology import Edge, GraphValidationError, StreamGraph
+from repro.graph import library
+
+__all__ = [
+    "DuplicateSplitter",
+    "Edge",
+    "Filter",
+    "GraphValidationError",
+    "Joiner",
+    "Pipeline",
+    "RoundRobinJoiner",
+    "RoundRobinSplitter",
+    "SplitJoin",
+    "Splitter",
+    "StatefulFilter",
+    "StreamGraph",
+    "Worker",
+    "library",
+]

@@ -1,0 +1,160 @@
+"""Hierarchical graph composition: pipelines and split-joins.
+
+Stream programs are written as nested :class:`Pipeline` and
+:class:`SplitJoin` structures over worker instances (the StreamJIT
+style) and then :func:`flattened <Pipeline.flatten>` into a
+:class:`repro.graph.StreamGraph` for compilation.
+
+Worker instances may appear in at most one graph; reconfiguration
+builds a *new* graph instance from the application's blueprint (a
+zero-argument callable returning a fresh composition), so old and new
+instances never share mutable worker state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from repro.graph.topology import GraphValidationError, StreamGraph
+from repro.graph.workers import Joiner, Splitter, Worker
+
+__all__ = ["Pipeline", "SplitJoin"]
+
+Element = Union[Worker, "Pipeline", "SplitJoin"]
+
+
+class _Fragment:
+    """A partially flattened subgraph with one free input and output."""
+
+    def __init__(self, workers: List[Worker],
+                 connections: List[Tuple[int, int, int, int]],
+                 head: int, tail: int):
+        self.workers = workers
+        self.connections = connections
+        self.head = head  # local index of the worker with the free input
+        self.tail = tail  # local index of the worker with the free output
+
+
+def _flatten_element(element: Element, workers: List[Worker],
+                     connections: List[Tuple[int, int, int, int]]) -> Tuple[int, int]:
+    """Append ``element`` to the accumulators; return (head, tail) ids."""
+    if isinstance(element, Worker):
+        if element in workers:
+            raise GraphValidationError(
+                "worker %r used more than once in a graph" % (element,)
+            )
+        workers.append(element)
+        index = len(workers) - 1
+        return index, index
+    if isinstance(element, (Pipeline, SplitJoin)):
+        return element._flatten_into(workers, connections)
+    raise GraphValidationError("cannot flatten %r" % (element,))
+
+
+class Pipeline:
+    """A sequential composition of stream elements."""
+
+    def __init__(self, *elements: Element):
+        if not elements:
+            raise GraphValidationError("empty pipeline")
+        self.elements = list(elements)
+
+    def add(self, element: Element) -> "Pipeline":
+        self.elements.append(element)
+        return self
+
+    def _flatten_into(self, workers, connections) -> Tuple[int, int]:
+        head = tail = None
+        for element in self.elements:
+            sub_head, sub_tail = _flatten_element(element, workers, connections)
+            if head is None:
+                head = sub_head
+            else:
+                connections.append((tail, _free_out_port(workers, connections, tail),
+                                    sub_head, _free_in_port(workers, connections, sub_head)))
+            tail = sub_tail
+        return head, tail
+
+    def flatten(self) -> StreamGraph:
+        """Flatten this composition into a validated stream graph."""
+        workers: List[Worker] = []
+        connections: List[Tuple[int, int, int, int]] = []
+        self._flatten_into(workers, connections)
+        return StreamGraph(workers, connections)
+
+
+class SplitJoin:
+    """A parallel composition: splitter, N branches, joiner."""
+
+    def __init__(self, splitter: Splitter, *branches_and_joiner: Element):
+        if len(branches_and_joiner) < 2:
+            raise GraphValidationError(
+                "SplitJoin needs at least one branch and a joiner"
+            )
+        joiner = branches_and_joiner[-1]
+        branches = list(branches_and_joiner[:-1])
+        if not isinstance(splitter, Splitter):
+            raise GraphValidationError("first element must be a Splitter")
+        if not isinstance(joiner, Joiner):
+            raise GraphValidationError("last element must be a Joiner")
+        if splitter.n_outputs != len(branches):
+            raise GraphValidationError(
+                "splitter has %d outputs but %d branches given"
+                % (splitter.n_outputs, len(branches))
+            )
+        if joiner.n_inputs != len(branches):
+            raise GraphValidationError(
+                "joiner has %d inputs but %d branches given"
+                % (joiner.n_inputs, len(branches))
+            )
+        self.splitter = splitter
+        self.branches = branches
+        self.joiner = joiner
+
+    def _flatten_into(self, workers, connections) -> Tuple[int, int]:
+        split_head, split_tail = _flatten_element(self.splitter, workers, connections)
+        join_added = False
+        join_index = None
+        for port, branch in enumerate(self.branches):
+            branch_head, branch_tail = _flatten_element(branch, workers, connections)
+            connections.append((split_tail, port,
+                                branch_head,
+                                _free_in_port(workers, connections, branch_head)))
+            if not join_added:
+                workers_before = len(workers)
+                join_head, _ = _flatten_element(self.joiner, workers, connections)
+                join_index = join_head
+                join_added = True
+                assert len(workers) == workers_before + 1
+            connections.append((branch_tail,
+                                _free_out_port(workers, connections, branch_tail),
+                                join_index, port))
+        return split_head, join_index
+
+    def flatten(self) -> StreamGraph:
+        workers: List[Worker] = []
+        connections: List[Tuple[int, int, int, int]] = []
+        self._flatten_into(workers, connections)
+        return StreamGraph(workers, connections)
+
+
+def _free_in_port(workers, connections, worker_index: int) -> int:
+    """First input port of ``worker_index`` not yet wired."""
+    used = {dp for (_, _, dst, dp) in connections if dst == worker_index}
+    for port in range(workers[worker_index].n_inputs):
+        if port not in used:
+            return port
+    raise GraphValidationError(
+        "no free input port on %r" % (workers[worker_index],)
+    )
+
+
+def _free_out_port(workers, connections, worker_index: int) -> int:
+    """First output port of ``worker_index`` not yet wired."""
+    used = {sp for (src, sp, _, _) in connections if src == worker_index}
+    for port in range(workers[worker_index].n_outputs):
+        if port not in used:
+            return port
+    raise GraphValidationError(
+        "no free output port on %r" % (workers[worker_index],)
+    )

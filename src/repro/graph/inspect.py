@@ -1,0 +1,122 @@
+"""Graph inspection and export.
+
+Utilities for understanding stream graphs and configurations:
+Graphviz DOT export (optionally colored by blob assignment), summary
+statistics, and a rate-consistency audit that catches common authoring
+mistakes before the scheduler does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.graph.topology import StreamGraph
+
+__all__ = ["graph_stats", "rate_audit", "to_dot"]
+
+_PALETTE = (
+    "lightblue", "lightsalmon", "palegreen", "khaki", "plum",
+    "lightcyan", "mistyrose", "wheat",
+)
+
+
+def to_dot(graph: StreamGraph,
+           blob_of: Optional[Dict[int, int]] = None,
+           name: str = "stream") -> str:
+    """Render the graph as Graphviz DOT.
+
+    ``blob_of`` (worker id -> blob id, e.g. from
+    ``Configuration.worker_to_blob()``) colors workers by blob so
+    partitionings are visible at a glance.
+    """
+    lines = ["digraph %s {" % _dot_id(name), "  rankdir=TB;",
+             "  node [shape=box, style=filled, fillcolor=white];"]
+    for worker in graph.workers:
+        attributes = {
+            "label": "%s\\n#%d pop=%s peek=%s push=%s" % (
+                worker.name, worker.worker_id,
+                _rates(worker.pop_rates), _rates(worker.peek_rates),
+                _rates(worker.push_rates)),
+        }
+        if worker.is_stateful:
+            attributes["penwidth"] = "2"
+            attributes["color"] = "red"
+        if blob_of and worker.worker_id in blob_of:
+            attributes["fillcolor"] = _PALETTE[
+                blob_of[worker.worker_id] % len(_PALETTE)]
+        rendered = ", ".join('%s="%s"' % kv for kv in attributes.items())
+        lines.append("  w%d [%s];" % (worker.worker_id, rendered))
+    for edge in graph.edges:
+        style = ""
+        if blob_of and blob_of.get(edge.src) != blob_of.get(edge.dst):
+            style = ' [style=dashed, label="net"]'
+        lines.append("  w%d -> w%d%s;" % (edge.src, edge.dst, style))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _dot_id(name: str) -> str:
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return cleaned or "stream"
+
+
+def _rates(rates) -> str:
+    if len(rates) == 1:
+        return str(rates[0])
+    return "(" + ",".join(map(str, rates)) + ")"
+
+
+def graph_stats(graph: StreamGraph) -> Dict[str, float]:
+    """Summary statistics of a stream graph."""
+    from repro.sched.schedule import make_schedule
+    schedule = make_schedule(graph)
+    peeking = sum(1 for w in graph.workers if w.is_peeking)
+    stateful = sum(1 for w in graph.workers if w.is_stateful)
+    return {
+        "workers": len(graph.workers),
+        "edges": len(graph.edges),
+        "stateful_workers": stateful,
+        "peeking_workers": peeking,
+        "builtin_workers": sum(1 for w in graph.workers if w.builtin),
+        "input_quantum": schedule.input_quantum,
+        "output_quantum": schedule.output_quantum,
+        "init_in": schedule.init_in,
+        "steady_work": schedule.steady_work,
+        "max_fan_out": max((w.n_outputs for w in graph.workers), default=0),
+        "max_fan_in": max((w.n_inputs for w in graph.workers), default=0),
+    }
+
+
+def rate_audit(graph: StreamGraph) -> List[str]:
+    """Human-readable warnings about suspicious rate declarations.
+
+    Returns an empty list when the graph looks healthy.  These are
+    heuristics, not errors — the scheduler is the ground truth.
+    """
+    warnings: List[str] = []
+    for worker in graph.workers:
+        for port, (peek, pop) in enumerate(
+                zip(worker.peek_rates, worker.pop_rates)):
+            if pop == 0 and graph.in_edge(worker.worker_id, port):
+                warnings.append(
+                    "%s input %d never consumes (pop 0): upstream data "
+                    "accumulates forever" % (worker.name, port))
+            if peek > 64 * max(pop, 1):
+                warnings.append(
+                    "%s input %d peeks %dx its pop rate: enormous "
+                    "peeking buffer" % (worker.name, port, peek // max(pop, 1)))
+        if worker.work_estimate == 0 and not worker.builtin:
+            warnings.append(
+                "%s declares zero work: load balancing will ignore it"
+                % worker.name)
+    try:
+        from repro.sched.balance import repetition_vector
+        repetitions = repetition_vector(graph)
+        largest = max(repetitions.values())
+        if largest > 4096:
+            warnings.append(
+                "repetition vector peaks at %d: rate mismatch will make "
+                "iterations enormous" % largest)
+    except Exception as exc:  # inconsistent rates
+        warnings.append("balance equations unsolvable: %s" % (exc,))
+    return warnings

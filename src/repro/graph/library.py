@@ -1,0 +1,272 @@
+"""A library of reusable workers.
+
+These are the building blocks from which the benchmark applications in
+:mod:`repro.apps` are composed: arithmetic maps, FIR filters (peeking),
+decimators, accumulators, and simple stateful transforms.  All numeric
+workers operate on plain Python floats/ints so graph execution stays
+deterministic and hashable for the output-equivalence tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Sequence
+
+from repro.graph.workers import Filter, StatefulFilter
+
+__all__ = [
+    "Identity",
+    "MapFilter",
+    "ScaleFilter",
+    "OffsetFilter",
+    "FIRFilter",
+    "MovingAverage",
+    "Decimator",
+    "Expander",
+    "BlockTransform",
+    "Accumulator",
+    "Counter",
+    "DelayFilter",
+    "ArrayStateFilter",
+    "HeavyCompute",
+]
+
+
+class Identity(Filter):
+    """Pass items through unchanged (pop 1, push 1)."""
+
+    def __init__(self, name: str = None):
+        super().__init__(pop=1, push=1, work_estimate=0.1,
+                         name=name or "identity")
+
+    def work(self, input, output) -> None:
+        output.push(input.pop())
+
+
+class MapFilter(Filter):
+    """Apply a pure function to every item."""
+
+    def __init__(self, fn: Callable, work_estimate: float = 1.0,
+                 name: str = None):
+        super().__init__(pop=1, push=1, work_estimate=work_estimate,
+                         name=name or "map")
+        self._fn = fn
+
+    def work(self, input, output) -> None:
+        output.push(self._fn(input.pop()))
+
+
+class ScaleFilter(Filter):
+    """Multiply every item by a constant."""
+
+    def __init__(self, factor: float, name: str = None):
+        super().__init__(pop=1, push=1, work_estimate=0.5,
+                         name=name or "scale")
+        self.factor = factor
+
+    def work(self, input, output) -> None:
+        output.push(input.pop() * self.factor)
+
+
+class OffsetFilter(Filter):
+    """Add a constant to every item."""
+
+    def __init__(self, offset: float, name: str = None):
+        super().__init__(pop=1, push=1, work_estimate=0.5,
+                         name=name or "offset")
+        self.offset = offset
+
+    def work(self, input, output) -> None:
+        output.push(input.pop() + self.offset)
+
+
+class FIRFilter(Filter):
+    """A sliding-window FIR filter.
+
+    Peeks ``len(coefficients)`` items, pops one, pushes the dot
+    product.  Peeking keeps it stateless (paper Section 2), so the
+    runtime maintains a peeking buffer of ``taps - 1`` items for it —
+    the canonical source of implicit state in stateless graphs.
+    """
+
+    def __init__(self, coefficients: Sequence[float], name: str = None):
+        coefficients = [float(c) for c in coefficients]
+        if not coefficients:
+            raise ValueError("FIR filter needs at least one coefficient")
+        super().__init__(pop=1, push=1, peek=len(coefficients),
+                         work_estimate=0.2 * len(coefficients),
+                         name=name or "fir")
+        self.coefficients = coefficients
+
+    def work(self, input, output) -> None:
+        total = 0.0
+        for i, coefficient in enumerate(self.coefficients):
+            total += coefficient * input.peek(i)
+        input.pop()
+        output.push(total)
+
+
+class MovingAverage(FIRFilter):
+    """An N-tap moving average (uniform FIR)."""
+
+    def __init__(self, taps: int, name: str = None):
+        super().__init__([1.0 / taps] * taps, name=name or "moving_average")
+
+
+class Decimator(Filter):
+    """Keep one item out of every ``factor`` (pop factor, push 1)."""
+
+    def __init__(self, factor: int, name: str = None):
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        super().__init__(pop=factor, push=1, work_estimate=0.2 * factor,
+                         name=name or "decimate")
+        self.factor = factor
+
+    def work(self, input, output) -> None:
+        kept = input.pop()
+        for _ in range(self.factor - 1):
+            input.pop()
+        output.push(kept)
+
+
+class Expander(Filter):
+    """Repeat every item ``factor`` times (pop 1, push factor)."""
+
+    def __init__(self, factor: int, name: str = None):
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        super().__init__(pop=1, push=factor, work_estimate=0.2 * factor,
+                         name=name or "expand")
+        self.factor = factor
+
+    def work(self, input, output) -> None:
+        item = input.pop()
+        for _ in range(self.factor):
+            output.push(item)
+
+
+class BlockTransform(Filter):
+    """Apply a function to a block of items (pop N, push M).
+
+    The function receives a list of N items and must return a list of
+    M items.  Used to model FFTs, coders and block interleavers.
+    """
+
+    def __init__(self, pop: int, push: int,
+                 fn: Callable[[List], List],
+                 work_estimate: float = None, name: str = None):
+        super().__init__(
+            pop=pop, push=push,
+            work_estimate=(work_estimate if work_estimate is not None
+                           else 0.5 * (pop + push)),
+            name=name or "block",
+        )
+        self._fn = fn
+
+    def work(self, input, output) -> None:
+        block = [input.pop() for _ in range(self.pop)]
+        result = self._fn(block)
+        if len(result) != self.push:
+            raise ValueError(
+                "%s returned %d items, declared push %d"
+                % (self.name, len(result), self.push)
+            )
+        for item in result:
+            output.push(item)
+
+
+class Accumulator(StatefulFilter):
+    """A running sum — the simplest stateful filter."""
+
+    state_fields = ("total",)
+
+    def __init__(self, name: str = None):
+        super().__init__(pop=1, push=1, work_estimate=0.5,
+                         name=name or "accumulate")
+        self.total = 0.0
+
+    def work(self, input, output) -> None:
+        self.total += input.pop()
+        output.push(self.total)
+
+
+class Counter(StatefulFilter):
+    """Tag each item with a monotonically increasing sequence number."""
+
+    state_fields = ("count",)
+
+    def __init__(self, name: str = None):
+        super().__init__(pop=1, push=1, work_estimate=0.5,
+                         name=name or "counter")
+        self.count = 0
+
+    def work(self, input, output) -> None:
+        item = input.pop()
+        output.push((self.count, item))
+        self.count += 1
+
+
+class DelayFilter(StatefulFilter):
+    """Delay the stream by N items, emitting ``initial`` first.
+
+    Stateful: the delay line is explicit state (unlike peeking, the
+    emitted value depends on history that has already been popped).
+    """
+
+    state_fields = ("delay_line",)
+
+    def __init__(self, delay: int, initial: float = 0.0, name: str = None):
+        if delay < 1:
+            raise ValueError("delay must be >= 1")
+        super().__init__(pop=1, push=1, work_estimate=0.5,
+                         name=name or "delay")
+        self.delay_line = [initial] * delay
+
+    def work(self, input, output) -> None:
+        output.push(self.delay_line.pop(0))
+        self.delay_line.append(input.pop())
+
+
+class ArrayStateFilter(StatefulFilter):
+    """A filter carrying a large mutable array as state.
+
+    Used by the state-size experiments (paper Figure 14b): the array
+    contributes ``8 * size`` bytes to the program state that
+    asynchronous state transfer must move.
+    """
+
+    state_fields = ("array", "cursor")
+
+    def __init__(self, size: int, name: str = None):
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        super().__init__(pop=1, push=1, work_estimate=1.0,
+                         name=name or "array_state")
+        self.array = [0.0] * size
+        self.cursor = 0
+
+    def work(self, input, output) -> None:
+        item = input.pop()
+        self.array[self.cursor] = item
+        self.cursor = (self.cursor + 1) % len(self.array)
+        output.push(item + self.array[self.cursor])
+
+
+class HeavyCompute(Filter):
+    """A stateless filter with tunable per-item compute cost.
+
+    ``intensity`` scales the declared work estimate; the actual
+    computation is a short deterministic transcendental chain so that
+    outputs are still value-checked.  Used by the workload-fluctuation
+    experiment (paper Figure 14a).
+    """
+
+    def __init__(self, intensity: float = 1.0, name: str = None):
+        super().__init__(pop=1, push=1, work_estimate=max(intensity, 0.01),
+                         name=name or "heavy")
+        self.intensity = intensity
+
+    def work(self, input, output) -> None:
+        value = input.pop()
+        output.push(math.sin(value) * math.cos(value) + value)

@@ -1,0 +1,199 @@
+"""Flattened stream graphs.
+
+A :class:`StreamGraph` is the compiler's view of a program: a list of
+workers in topological order plus directed edges between worker ports.
+Exactly one worker (the *head*) has a free input port — the program
+input — and exactly one (the *tail*) has a free output port — the
+program output, matching StreamJIT's single-input single-output
+graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.workers import Worker
+
+__all__ = ["Edge", "StreamGraph", "GraphValidationError"]
+
+
+class GraphValidationError(Exception):
+    """Raised when a stream graph is malformed."""
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed channel from ``src``'s output port to ``dst``'s input."""
+
+    index: int
+    src: int
+    src_port: int
+    dst: int
+    dst_port: int
+
+    def __repr__(self) -> str:
+        return "<edge %d: %d.%d -> %d.%d>" % (
+            self.index, self.src, self.src_port, self.dst, self.dst_port,
+        )
+
+
+class StreamGraph:
+    """An immutable flattened stream graph.
+
+    Construction wires worker ids and validates the topology; use
+    :class:`repro.graph.Pipeline` / :class:`repro.graph.SplitJoin` to
+    build graphs conveniently.
+    """
+
+    def __init__(self, workers: List[Worker],
+                 connections: List[Tuple[int, int, int, int]]):
+        self.workers: List[Worker] = list(workers)
+        for worker_id, worker in enumerate(self.workers):
+            worker.worker_id = worker_id
+        self.edges: List[Edge] = [
+            Edge(i, src, sp, dst, dp)
+            for i, (src, sp, dst, dp) in enumerate(connections)
+        ]
+        self._in_edges: Dict[int, List[Optional[Edge]]] = {
+            w.worker_id: [None] * w.n_inputs for w in self.workers
+        }
+        self._out_edges: Dict[int, List[Optional[Edge]]] = {
+            w.worker_id: [None] * w.n_outputs for w in self.workers
+        }
+        for edge in self.edges:
+            self._wire(edge)
+        self.head: Worker = self._find_head()
+        self.tail: Worker = self._find_tail()
+        self._validate()
+
+    # -- construction helpers ---------------------------------------------
+
+    def _wire(self, edge: Edge) -> None:
+        try:
+            out_slots = self._out_edges[edge.src]
+            in_slots = self._in_edges[edge.dst]
+        except KeyError as exc:
+            raise GraphValidationError("edge %r names unknown worker" % (edge,)) from exc
+        if not (0 <= edge.src_port < len(out_slots)):
+            raise GraphValidationError("bad src port on %r" % (edge,))
+        if not (0 <= edge.dst_port < len(in_slots)):
+            raise GraphValidationError("bad dst port on %r" % (edge,))
+        if out_slots[edge.src_port] is not None:
+            raise GraphValidationError("output port reused on %r" % (edge,))
+        if in_slots[edge.dst_port] is not None:
+            raise GraphValidationError("input port reused on %r" % (edge,))
+        out_slots[edge.src_port] = edge
+        in_slots[edge.dst_port] = edge
+
+    def _find_head(self) -> Worker:
+        heads = [
+            w for w in self.workers
+            if w.n_inputs == 1 and self._in_edges[w.worker_id][0] is None
+        ]
+        if len(heads) != 1:
+            raise GraphValidationError(
+                "expected exactly one free input port, found %d" % len(heads)
+            )
+        return heads[0]
+
+    def _find_tail(self) -> Worker:
+        tails = [
+            w for w in self.workers
+            if w.n_outputs == 1 and self._out_edges[w.worker_id][0] is None
+        ]
+        if len(tails) != 1:
+            raise GraphValidationError(
+                "expected exactly one free output port, found %d" % len(tails)
+            )
+        return tails[0]
+
+    def _validate(self) -> None:
+        for worker in self.workers:
+            for port, edge in enumerate(self._in_edges[worker.worker_id]):
+                if edge is None and worker is not self.head:
+                    raise GraphValidationError(
+                        "unconnected input %d of %r" % (port, worker)
+                    )
+            for port, edge in enumerate(self._out_edges[worker.worker_id]):
+                if edge is None and worker is not self.tail:
+                    raise GraphValidationError(
+                        "unconnected output %d of %r" % (port, worker)
+                    )
+        order = self.topological_order()
+        if len(order) != len(self.workers):
+            raise GraphValidationError("graph contains a cycle")
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def worker(self, worker_id: int) -> Worker:
+        return self.workers[worker_id]
+
+    def in_edges(self, worker_id: int) -> List[Edge]:
+        return [e for e in self._in_edges[worker_id] if e is not None]
+
+    def out_edges(self, worker_id: int) -> List[Edge]:
+        return [e for e in self._out_edges[worker_id] if e is not None]
+
+    def in_edge(self, worker_id: int, port: int) -> Optional[Edge]:
+        return self._in_edges[worker_id][port]
+
+    def out_edge(self, worker_id: int, port: int) -> Optional[Edge]:
+        return self._out_edges[worker_id][port]
+
+    def predecessors(self, worker_id: int) -> List[int]:
+        return [e.src for e in self.in_edges(worker_id)]
+
+    def successors(self, worker_id: int) -> List[int]:
+        return [e.dst for e in self.out_edges(worker_id)]
+
+    @property
+    def is_stateful(self) -> bool:
+        """True if any worker carries explicit state (paper Section 5)."""
+        return any(w.is_stateful for w in self.workers)
+
+    @property
+    def is_peeking(self) -> bool:
+        return any(w.is_peeking for w in self.workers)
+
+    def topological_order(self) -> List[int]:
+        """Worker ids in a deterministic topological order."""
+        indegree = {w.worker_id: len(self.in_edges(w.worker_id))
+                    for w in self.workers}
+        ready = sorted(w for w, d in indegree.items() if d == 0)
+        order: List[int] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            newly_ready = []
+            for edge in self.out_edges(current):
+                indegree[edge.dst] -= 1
+                if indegree[edge.dst] == 0:
+                    newly_ready.append(edge.dst)
+            # Keep determinism: merge while preserving sorted order.
+            ready = sorted(ready + newly_ready)
+        return order
+
+    def total_work_per_iteration(self, repetitions: Dict[int, int]) -> float:
+        """Total work units of one steady-state iteration."""
+        return sum(
+            self.workers[w].work_estimate * reps
+            for w, reps in repetitions.items()
+        )
+
+    def describe(self) -> str:
+        """A human-readable multi-line description of the graph."""
+        lines = ["StreamGraph with %d workers, %d edges" %
+                 (len(self.workers), len(self.edges))]
+        for worker in self.workers:
+            kind = "stateful" if worker.is_stateful else (
+                "peeking" if worker.is_peeking else "stateless")
+            lines.append("  [%d] %s (%s) pop=%r peek=%r push=%r" % (
+                worker.worker_id, worker.name, kind,
+                worker.pop_rates, worker.peek_rates, worker.push_rates))
+        for edge in self.edges:
+            lines.append("  %r" % (edge,))
+        return "\n".join(lines)

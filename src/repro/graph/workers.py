@@ -1,0 +1,312 @@
+"""Worker base classes: filters, splitters and joiners.
+
+Every worker declares static data rates (paper Section 2):
+
+* ``pop_rates[i]``  — items consumed from input ``i`` per firing,
+* ``peek_rates[i]`` — items examined on input ``i`` per firing
+  (``peek >= pop``; the runtime keeps a *peeking buffer* of
+  ``peek - pop`` leftover items so sliding-window workers stay
+  stateless),
+* ``push_rates[o]`` — items produced on output ``o`` per firing.
+
+Workers also declare a ``work_estimate`` — abstract cost units per
+firing — used by the compiler's cost model for load balancing and by
+the cluster simulator to derive execution durations.
+
+State is explicit: a stateful worker lists its mutable attributes in
+``state_fields``; :meth:`Worker.get_state` / :meth:`Worker.set_state`
+copy exactly those.  This is what asynchronous state transfer captures
+and what two-phase compilation injects into pseudo-blobs.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Sequence, Tuple
+
+__all__ = [
+    "Worker",
+    "Filter",
+    "StatefulFilter",
+    "Splitter",
+    "Joiner",
+    "RoundRobinSplitter",
+    "DuplicateSplitter",
+    "RoundRobinJoiner",
+]
+
+
+def _as_rate_tuple(rates, n: int, name: str) -> Tuple[int, ...]:
+    if isinstance(rates, int):
+        rates = (rates,) * n
+    rates = tuple(int(r) for r in rates)
+    if len(rates) != n:
+        raise ValueError(
+            "%s must have %d entries, got %r" % (name, n, rates)
+        )
+    if any(r < 0 for r in rates):
+        raise ValueError("%s must be non-negative, got %r" % (name, rates))
+    return rates
+
+
+class Worker:
+    """Base class for all stream-graph workers.
+
+    Subclasses implement :meth:`fire`, reading from input ports and
+    writing to output ports.  Port objects support ``pop()``,
+    ``peek(i)`` and ``push(item)`` and enforce the declared rates.
+    """
+
+    #: Names of instance attributes that constitute mutable worker
+    #: state.  Empty for stateless workers.
+    state_fields: Tuple[str, ...] = ()
+
+    #: True for the built-in splitters/joiners that the compiler may
+    #: remove (splitter/joiner removal optimization).
+    builtin: bool = False
+
+    def __init__(
+        self,
+        n_inputs: int,
+        n_outputs: int,
+        pop_rates,
+        push_rates,
+        peek_rates=None,
+        work_estimate: float = 1.0,
+        name: str = None,
+    ):
+        if n_inputs < 0 or n_outputs < 0:
+            raise ValueError("port counts must be non-negative")
+        self.n_inputs = n_inputs
+        self.n_outputs = n_outputs
+        self.pop_rates = _as_rate_tuple(pop_rates, n_inputs, "pop_rates")
+        if peek_rates is None:
+            peek_rates = self.pop_rates
+        self.peek_rates = _as_rate_tuple(peek_rates, n_inputs, "peek_rates")
+        self.push_rates = _as_rate_tuple(push_rates, n_outputs, "push_rates")
+        for peek, pop in zip(self.peek_rates, self.pop_rates):
+            if peek < pop:
+                raise ValueError(
+                    "peek rate %d below pop rate %d" % (peek, pop)
+                )
+        if work_estimate < 0:
+            raise ValueError("work_estimate must be non-negative")
+        self.work_estimate = float(work_estimate)
+        self.name = name or type(self).__name__
+        #: Assigned by :meth:`StreamGraph.freeze`; stable identity used
+        #: to match workers across graph instances built from the same
+        #: blueprint.
+        self.worker_id: int = -1
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def is_stateful(self) -> bool:
+        return bool(self.state_fields)
+
+    @property
+    def is_peeking(self) -> bool:
+        return any(
+            peek > pop for peek, pop in zip(self.peek_rates, self.pop_rates)
+        )
+
+    def get_state(self) -> Dict[str, Any]:
+        """Deep-copy and return this worker's mutable state."""
+        return {
+            field: copy.deepcopy(getattr(self, field))
+            for field in self.state_fields
+        }
+
+    def set_state(self, state: Dict[str, Any]) -> None:
+        """Install state previously captured with :meth:`get_state`."""
+        if set(state) != set(self.state_fields):
+            raise ValueError(
+                "state fields %r do not match declared %r"
+                % (sorted(state), sorted(self.state_fields))
+            )
+        for field, value in state.items():
+            setattr(self, field, copy.deepcopy(value))
+
+    # -- execution ---------------------------------------------------------
+
+    def fire(self, inputs: Sequence, outputs: Sequence) -> None:
+        """Execute one firing.  Subclasses must override."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return "<%s #%d pop=%r peek=%r push=%r>" % (
+            self.name,
+            self.worker_id,
+            self.pop_rates,
+            self.peek_rates,
+            self.push_rates,
+        )
+
+
+class Filter(Worker):
+    """A single-input, single-output worker.
+
+    Subclasses implement ``work(input, output)``.  Despite the name, a
+    filter need not remove items from the stream (paper footnote 1).
+    """
+
+    def __init__(self, pop: int, push: int, peek: int = None,
+                 work_estimate: float = 1.0, name: str = None):
+        super().__init__(
+            n_inputs=1,
+            n_outputs=1,
+            pop_rates=(pop,),
+            push_rates=(push,),
+            peek_rates=None if peek is None else (peek,),
+            work_estimate=work_estimate,
+            name=name,
+        )
+
+    @property
+    def pop(self) -> int:
+        return self.pop_rates[0]
+
+    @property
+    def peek(self) -> int:
+        return self.peek_rates[0]
+
+    @property
+    def push(self) -> int:
+        return self.push_rates[0]
+
+    def fire(self, inputs, outputs) -> None:
+        self.work(inputs[0], outputs[0])
+
+    def work(self, input, output) -> None:
+        raise NotImplementedError
+
+
+class StatefulFilter(Filter):
+    """Convenience base class for filters with mutable state.
+
+    Subclasses set ``state_fields`` to the names of the attributes that
+    make up the state.  Such filters force explicit state transfer
+    (AST + two-phase compilation) during reconfiguration.
+    """
+
+
+class Splitter(Worker):
+    """A single-input, multi-output worker."""
+
+    def __init__(self, n_outputs: int, pop: int, push_rates,
+                 peek: int = None, work_estimate: float = 1.0,
+                 name: str = None):
+        super().__init__(
+            n_inputs=1,
+            n_outputs=n_outputs,
+            pop_rates=(pop,),
+            push_rates=push_rates,
+            peek_rates=None if peek is None else (peek,),
+            work_estimate=work_estimate,
+            name=name,
+        )
+
+    def fire(self, inputs, outputs) -> None:
+        self.work(inputs[0], outputs)
+
+    def work(self, input, outputs) -> None:
+        raise NotImplementedError
+
+
+class Joiner(Worker):
+    """A multi-input, single-output worker."""
+
+    def __init__(self, n_inputs: int, pop_rates, push: int,
+                 work_estimate: float = 1.0, name: str = None):
+        super().__init__(
+            n_inputs=n_inputs,
+            n_outputs=1,
+            pop_rates=pop_rates,
+            push_rates=(push,),
+            work_estimate=work_estimate,
+            name=name,
+        )
+
+    def fire(self, inputs, outputs) -> None:
+        self.work(inputs, outputs[0])
+
+    def work(self, inputs, output) -> None:
+        raise NotImplementedError
+
+
+class RoundRobinSplitter(Splitter):
+    """Built-in splitter distributing items round-robin by weight.
+
+    With weights ``(w0, ..., wk)`` one firing pops ``sum(w)`` items and
+    pushes the first ``w0`` to output 0, the next ``w1`` to output 1,
+    and so on.  Being data movement only, it is a candidate for the
+    compiler's splitter-removal optimization.
+    """
+
+    builtin = True
+
+    def __init__(self, weights, name: str = None):
+        if isinstance(weights, int):
+            weights = (1,) * weights
+        weights = tuple(int(w) for w in weights)
+        if not weights or any(w <= 0 for w in weights):
+            raise ValueError("weights must be positive, got %r" % (weights,))
+        super().__init__(
+            n_outputs=len(weights),
+            pop=sum(weights),
+            push_rates=weights,
+            work_estimate=0.1 * sum(weights),
+            name=name or "roundrobin_split",
+        )
+        self.weights = weights
+
+    def work(self, input, outputs) -> None:
+        for output, weight in zip(outputs, self.weights):
+            for _ in range(weight):
+                output.push(input.pop())
+
+
+class DuplicateSplitter(Splitter):
+    """Built-in splitter copying every input item to every output."""
+
+    builtin = True
+
+    def __init__(self, n_outputs: int, name: str = None):
+        super().__init__(
+            n_outputs=n_outputs,
+            pop=1,
+            push_rates=(1,) * n_outputs,
+            work_estimate=0.1 * n_outputs,
+            name=name or "duplicate_split",
+        )
+
+    def work(self, input, outputs) -> None:
+        item = input.pop()
+        for output in outputs:
+            output.push(item)
+
+
+class RoundRobinJoiner(Joiner):
+    """Built-in joiner interleaving inputs round-robin by weight."""
+
+    builtin = True
+
+    def __init__(self, weights, name: str = None):
+        if isinstance(weights, int):
+            weights = (1,) * weights
+        weights = tuple(int(w) for w in weights)
+        if not weights or any(w <= 0 for w in weights):
+            raise ValueError("weights must be positive, got %r" % (weights,))
+        super().__init__(
+            n_inputs=len(weights),
+            pop_rates=weights,
+            push=sum(weights),
+            work_estimate=0.1 * sum(weights),
+            name=name or "roundrobin_join",
+        )
+        self.weights = weights
+
+    def work(self, inputs, output) -> None:
+        for input, weight in zip(inputs, self.weights):
+            for _ in range(weight):
+                output.push(input.pop())

@@ -1,0 +1,26 @@
+"""Throughput measurement and disruption analysis.
+
+Implements the paper's Section 9 measurement methodology: throughput
+is measured at one-second granularity at the program output;
+*downtime* is a significant period producing no output; *throughput-
+disrupted time* is the period producing less than the program's full
+throughput (its average over the preceding window).
+"""
+
+from repro.metrics.series import ThroughputSeries
+from repro.metrics.analysis import (
+    DisruptionReport,
+    analyze_reconfiguration,
+    bucketize,
+)
+from repro.metrics.plotting import ascii_chart, ascii_timeline, sparkline
+
+__all__ = [
+    "DisruptionReport",
+    "ThroughputSeries",
+    "analyze_reconfiguration",
+    "ascii_chart",
+    "ascii_timeline",
+    "bucketize",
+    "sparkline",
+]

@@ -1,0 +1,151 @@
+"""Downtime and throughput-disruption analysis (paper Section 9.1).
+
+Definitions used throughout the evaluation:
+
+* **Full throughput** — the program's average throughput over the
+  window preceding the reconfiguration (the paper uses the previous
+  100 seconds; we expose the window length).
+* **Downtime** — total time of zero-output buckets between the start
+  of the reconfiguration and recovery.
+* **Throughput-disrupted time** — total time of buckets producing
+  less than a fraction (default 90%) of full throughput, up to
+  recovery.
+* **Recovery** — the first time after the reconfiguration start at
+  which throughput is sustained at or above the disruption threshold
+  for a few consecutive buckets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.metrics.series import ThroughputSeries
+
+__all__ = ["bucketize", "DisruptionReport", "analyze_reconfiguration"]
+
+
+def bucketize(
+    series: ThroughputSeries,
+    start: float,
+    end: float,
+    width: float = 1.0,
+) -> List[Tuple[float, float]]:
+    """Per-bucket (bucket start time, items/second) over [start, end)."""
+    buckets: List[Tuple[float, float]] = []
+    time = start
+    while time < end:
+        buckets.append(
+            (time, series.items_between(time, time + width) / width)
+        )
+        time += width
+    return buckets
+
+
+@dataclass
+class DisruptionReport:
+    """Measured impact of one reconfiguration."""
+
+    start: float
+    full_throughput: float
+    downtime: float
+    disrupted_time: float
+    recovery_time: float
+    min_throughput: float
+    max_throughput: float
+    first_output_gap: float
+
+    @property
+    def has_downtime(self) -> bool:
+        return self.downtime > 0.0
+
+    @property
+    def has_spike(self) -> bool:
+        """An output-rate spike: any bucket far above full throughput."""
+        return self.max_throughput > 1.6 * self.full_throughput
+
+    def __repr__(self) -> str:
+        return (
+            "<Disruption @%.1fs: full=%.0f it/s, downtime=%.2fs, "
+            "disrupted=%.2fs, min=%.0f, max=%.0f, recovered %.1fs>" % (
+                self.start, self.full_throughput, self.downtime,
+                self.disrupted_time, self.min_throughput,
+                self.max_throughput, self.recovery_time)
+        )
+
+
+def analyze_reconfiguration(
+    series: ThroughputSeries,
+    reconfig_start: float,
+    horizon: float,
+    full_window: float = 30.0,
+    bucket: float = 1.0,
+    disruption_fraction: float = 0.9,
+    sustain_buckets: int = 3,
+) -> DisruptionReport:
+    """Analyze the disruption caused by a reconfiguration.
+
+    ``horizon`` bounds how far past ``reconfig_start`` to look for
+    recovery; measurement stops at recovery or at the horizon,
+    whichever is first.
+    """
+    window_start = max(reconfig_start - full_window, 0.0)
+    window = reconfig_start - window_start
+    full = (series.items_between(window_start, reconfig_start) / window
+            if window > 0 else 0.0)
+    buckets = bucketize(series, reconfig_start, horizon, bucket)
+    threshold = disruption_fraction * full
+
+    # Disruption may begin well after the request (phase-1 compilation
+    # is hidden), so locate the first below-threshold bucket first...
+    first_bad = next(
+        (i for i, (_, rate) in enumerate(buckets) if rate < threshold),
+        None,
+    )
+    if first_bad is None:
+        # The reconfiguration never dented throughput.
+        rates = [rate for _, rate in buckets] or [0.0]
+        return DisruptionReport(
+            start=reconfig_start,
+            full_throughput=full,
+            downtime=0.0,
+            disrupted_time=0.0,
+            recovery_time=0.0,
+            min_throughput=min(rates),
+            max_throughput=max(rates),
+            first_output_gap=(series.first_emission_after(reconfig_start)
+                              - reconfig_start),
+        )
+
+    # ...then find recovery: the first run of `sustain_buckets`
+    # consecutive at-threshold buckets after the disruption began.
+    recovery_index = len(buckets)
+    run = 0
+    for i in range(first_bad, len(buckets)):
+        if buckets[i][1] >= threshold:
+            run += 1
+            if run >= sustain_buckets:
+                recovery_index = i - sustain_buckets + 1
+                break
+        else:
+            run = 0
+
+    considered = buckets[first_bad:recovery_index]
+    downtime = sum(1 for _, rate in considered if rate == 0.0) * bucket
+    disrupted = sum(1 for _, rate in considered if rate < threshold) * bucket
+    rates = [rate for _, rate in buckets] or [0.0]
+    recovery_time = (
+        buckets[recovery_index][0] - reconfig_start
+        if recovery_index < len(buckets) else horizon - reconfig_start
+    )
+    first_gap = series.first_emission_after(reconfig_start) - reconfig_start
+    return DisruptionReport(
+        start=reconfig_start,
+        full_throughput=full,
+        downtime=downtime,
+        disrupted_time=disrupted,
+        recovery_time=recovery_time,
+        min_throughput=min(rate for _, rate in considered),
+        max_throughput=max(rates),
+        first_output_gap=first_gap,
+    )

@@ -1,0 +1,101 @@
+"""ASCII rendering of throughput-over-time figures.
+
+The paper's evaluation is a collection of throughput/time plots; the
+benchmark harness renders the equivalent series as fixed-width ASCII
+charts into ``results/`` so the figures are inspectable without a
+plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.analysis import bucketize
+from repro.metrics.series import ThroughputSeries
+
+__all__ = ["ascii_chart", "ascii_timeline", "sparkline"]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline of a value sequence."""
+    values = list(values)
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    span = (high - low) or 1.0
+    return "".join(
+        _SPARK[min(int((v - low) / span * (len(_SPARK) - 1)),
+                   len(_SPARK) - 1)]
+        for v in values
+    )
+
+
+def ascii_chart(
+    values: Sequence[float],
+    labels: Optional[Sequence[str]] = None,
+    height: int = 12,
+    y_label: str = "",
+    markers: Optional[Dict[int, str]] = None,
+) -> str:
+    """A column chart: one character column per value.
+
+    ``markers`` maps column indices to single characters drawn in a
+    rule line under the chart (e.g. reconfiguration starts).
+    """
+    values = [max(v, 0.0) for v in values]
+    if not values:
+        return "(no data)"
+    peak = max(values) or 1.0
+    rows: List[str] = []
+    for level in range(height, 0, -1):
+        threshold = peak * (level - 0.5) / height
+        line = "".join("#" if v >= threshold else " " for v in values)
+        tag = ""
+        if level == height:
+            tag = " %.0f" % peak
+        elif level == 1:
+            tag = " 0"
+        rows.append("|" + line + tag)
+    rule = list("+" + "-" * len(values))
+    for index, char in (markers or {}).items():
+        if 0 <= index < len(values):
+            rule[index + 1] = char
+    rows.append("".join(rule))
+    if labels:
+        rows.append(" " + "".join(labels)[:len(values)])
+    if y_label:
+        rows.insert(0, y_label)
+    return "\n".join(rows)
+
+
+def ascii_timeline(
+    series: ThroughputSeries,
+    start: float,
+    end: float,
+    bucket: float = 1.0,
+    height: int = 12,
+    events: Optional[Sequence[Tuple[float, str]]] = None,
+    title: str = "",
+) -> str:
+    """Render a throughput series as the paper-style figure.
+
+    ``events`` are (time, single-char marker) pairs, e.g. the NewCfg
+    arrows of Figure 10.
+    """
+    buckets = bucketize(series, start, end, bucket)
+    values = [rate for _, rate in buckets]
+    markers: Dict[int, str] = {}
+    for when, char in (events or ()):
+        index = int((when - start) / bucket)
+        if 0 <= index < len(values):
+            markers[index] = (char or "^")[0]
+    label = "items/s over [%.0fs, %.0fs] (%.0fs buckets)" % (
+        start, end, bucket)
+    chart = ascii_chart(values, height=height, y_label=label,
+                        markers=markers)
+    if title:
+        return title + "\n" + chart
+    return chart

@@ -1,0 +1,57 @@
+"""Raw output-event recording."""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Tuple
+
+__all__ = ["ThroughputSeries"]
+
+
+class ThroughputSeries:
+    """Append-only record of (time, item count) output events.
+
+    The output merger records every fresh emission here; analysis
+    bucketizes into per-second throughput afterwards, matching the
+    paper's measurement granularity ("we measure throughput at the
+    granularity of one second", Section 9).
+    """
+
+    def __init__(self):
+        self._times: List[float] = []
+        self._counts: List[int] = []
+
+    def record(self, time: float, count: int) -> None:
+        if count <= 0:
+            return
+        if self._times and time < self._times[-1]:
+            raise ValueError("events must be recorded in time order")
+        self._times.append(time)
+        self._counts.append(count)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def total_items(self) -> int:
+        return sum(self._counts)
+
+    @property
+    def last_time(self) -> float:
+        return self._times[-1] if self._times else 0.0
+
+    def events(self) -> List[Tuple[float, int]]:
+        return list(zip(self._times, self._counts))
+
+    def items_between(self, start: float, end: float) -> int:
+        """Total items emitted in the half-open interval [start, end)."""
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_left(self._times, end)
+        return sum(self._counts[lo:hi])
+
+    def first_emission_after(self, time: float) -> float:
+        """Time of the first emission at or after ``time`` (inf if none)."""
+        index = bisect.bisect_left(self._times, time)
+        if index >= len(self._times):
+            return float("inf")
+        return self._times[index]

@@ -1,0 +1,33 @@
+"""Functional execution of stream graphs.
+
+Two execution engines share the firing machinery:
+
+* :class:`GraphInterpreter` — a fine-grained, single-"thread"
+  reference interpreter over a whole graph.  It defines canonical
+  semantics (the output-equivalence oracle in the tests) and is the
+  engine blobs fall back to while *draining* (paper Section 4.1).
+* :class:`BlobRuntime` — coarse-grained execution of one blob: a full
+  init or steady-state schedule per call, with boundary channels fed
+  by the (simulated) network.  This mirrors StreamJIT's compiled blobs
+  whose threads synchronize only at a per-iteration barrier.
+
+Program state (worker state + buffered items) is captured into
+:class:`ProgramState`, the unit that asynchronous state transfer moves
+and that two-phase compilation absorbs into new blobs.
+"""
+
+from repro.runtime.channels import Channel, GRAPH_INPUT, GRAPH_OUTPUT, RateViolationError
+from repro.runtime.state import ProgramState, estimate_bytes
+from repro.runtime.interpreter import GraphInterpreter
+from repro.runtime.executor import BlobRuntime
+
+__all__ = [
+    "BlobRuntime",
+    "Channel",
+    "GRAPH_INPUT",
+    "GRAPH_OUTPUT",
+    "GraphInterpreter",
+    "ProgramState",
+    "RateViolationError",
+    "estimate_bytes",
+]

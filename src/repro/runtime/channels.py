@@ -1,0 +1,155 @@
+"""Channels and rate-enforcing port views.
+
+A :class:`Channel` is the physical buffer behind a stream-graph edge:
+a deque with peeking, plus lifetime counters (``total_pushed`` /
+``total_popped``) that asynchronous state transfer uses to locate the
+deterministic cut (paper Section 6.2 — counting items "requires only
+one addition instruction per schedule").
+
+Port views (:class:`InputPort` / :class:`OutputPort`) wrap a channel
+for the duration of one firing and enforce the worker's declared
+rates; a worker that pops or pushes the wrong number of items raises
+:class:`RateViolationError` — SDF's static rates are load-bearing for
+everything Gloss does, so violations fail loudly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable, List
+
+__all__ = [
+    "Channel",
+    "GRAPH_INPUT",
+    "GRAPH_OUTPUT",
+    "InputPort",
+    "OutputPort",
+    "RateViolationError",
+]
+
+#: Pseudo edge keys for the graph's external input and output.
+GRAPH_INPUT = -1
+GRAPH_OUTPUT = -2
+
+
+class RateViolationError(Exception):
+    """A worker firing violated its declared peek/pop/push rates."""
+
+
+class Channel:
+    """A FIFO buffer with peeking and lifetime counters."""
+
+    __slots__ = ("items", "total_pushed", "total_popped")
+
+    def __init__(self, initial: Iterable[Any] = ()):
+        self.items = deque(initial)
+        # Counters include preloaded items so that cut arithmetic stays
+        # consistent: a channel restored from state behaves as if its
+        # contents had been pushed.
+        self.total_pushed = len(self.items)
+        self.total_popped = 0
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def push(self, item: Any) -> None:
+        self.items.append(item)
+        self.total_pushed += 1
+
+    def push_many(self, items: Iterable[Any]) -> None:
+        before = len(self.items)
+        self.items.extend(items)
+        self.total_pushed += len(self.items) - before
+
+    def pop(self) -> Any:
+        self.total_popped += 1
+        return self.items.popleft()
+
+    def pop_many(self, count: int) -> List[Any]:
+        if count > len(self.items):
+            raise RateViolationError(
+                "pop_many(%d) on channel of length %d" % (count, len(self.items))
+            )
+        taken = [self.items.popleft() for _ in range(count)]
+        self.total_popped += count
+        return taken
+
+    def peek(self, index: int) -> Any:
+        return self.items[index]
+
+    def snapshot(self) -> List[Any]:
+        """Copy of the buffered items (oldest first)."""
+        return list(self.items)
+
+    def snapshot_prefix(self, count: int) -> List[Any]:
+        """Copy of the first ``count`` buffered items (the AST cut)."""
+        if count > len(self.items):
+            raise RateViolationError(
+                "cut of %d items exceeds channel length %d"
+                % (count, len(self.items))
+            )
+        result = []
+        for i, item in enumerate(self.items):
+            if i >= count:
+                break
+            result.append(item)
+        return result
+
+
+class InputPort:
+    """Rate-enforcing read view of a channel for a single firing."""
+
+    __slots__ = ("_channel", "_pop_budget", "_peek_budget", "popped")
+
+    def __init__(self, channel: Channel, pop_rate: int, peek_rate: int):
+        self._channel = channel
+        self._pop_budget = pop_rate
+        self._peek_budget = peek_rate
+        self.popped = 0
+
+    def pop(self) -> Any:
+        if self.popped >= self._pop_budget:
+            raise RateViolationError("worker popped more than its pop rate")
+        self.popped += 1
+        return self._channel.pop()
+
+    def peek(self, index: int) -> Any:
+        # Peeks are relative to the current (post-pop) head; the total
+        # reach from the firing's start must stay within the peek rate.
+        if self.popped + index >= self._peek_budget:
+            raise RateViolationError(
+                "peek(%d) after %d pops exceeds peek rate %d"
+                % (index, self.popped, self._peek_budget)
+            )
+        return self._channel.peek(index)
+
+    def finish(self, worker_name: str) -> None:
+        if self.popped != self._pop_budget:
+            raise RateViolationError(
+                "%s popped %d items, declared pop rate %d"
+                % (worker_name, self.popped, self._pop_budget)
+            )
+
+
+class OutputPort:
+    """Rate-enforcing write view of a channel for a single firing."""
+
+    __slots__ = ("_channel", "_push_budget", "pushed")
+
+    def __init__(self, channel: Channel, push_rate: int):
+        self._channel = channel
+        self._push_budget = push_rate
+        self.pushed = 0
+
+    def push(self, item: Any) -> None:
+        if self.pushed >= self._push_budget:
+            raise RateViolationError("worker pushed more than its push rate")
+        self.pushed += 1
+        self._channel.push(item)
+
+    def finish(self, worker_name: str) -> None:
+        if self.pushed != self._push_budget:
+            raise RateViolationError(
+                "%s pushed %d items, declared push rate %d"
+                % (worker_name, self.pushed, self._push_budget)
+            )

@@ -1,0 +1,396 @@
+"""Coarse-grained blob execution.
+
+A *blob* is a set of connected workers compiled and executed together
+(paper Section 2, Figure 2).  A :class:`BlobRuntime` owns the channels
+for its internal edges and for its boundary *input* edges (data
+arrives from the network); boundary *output* items are staged per edge
+for the cluster layer to ship downstream.
+
+Execution is coarse: one call runs a whole init or steady-state
+schedule, mirroring StreamJIT's compiled blobs whose threads
+synchronize only at a per-iteration barrier.  The barrier is where
+asynchronous state transfer captures state (:meth:`capture_cut`) and
+where item counting happens — one addition per schedule execution, no
+per-item labeling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.graph.topology import Edge, StreamGraph
+from repro.runtime.channels import GRAPH_INPUT, GRAPH_OUTPUT, Channel
+from repro.runtime.interpreter import fire_worker
+from repro.runtime.state import ProgramState
+from repro.sched.schedule import Schedule, structural_leftover
+
+__all__ = ["BlobRuntime"]
+
+
+class BlobRuntime:
+    """Executable state of one blob of a graph instance."""
+
+    def __init__(
+        self,
+        graph: StreamGraph,
+        schedule: Schedule,
+        worker_ids: Iterable[int],
+        check_rates: bool = True,
+        rate_only: bool = False,
+    ):
+        self.graph = graph
+        self.schedule = schedule
+        self.worker_ids: Set[int] = set(worker_ids)
+        self.check_rates = check_rates
+        self.rate_only = rate_only
+        self._leftovers = structural_leftover(graph)
+
+        self.internal_edges: List[Edge] = []
+        self.boundary_in: List[Edge] = []
+        self.boundary_out: List[Edge] = []
+        for edge in graph.edges:
+            src_in = edge.src in self.worker_ids
+            dst_in = edge.dst in self.worker_ids
+            if src_in and dst_in:
+                self.internal_edges.append(edge)
+            elif dst_in:
+                self.boundary_in.append(edge)
+            elif src_in:
+                self.boundary_out.append(edge)
+
+        self.has_head = graph.head.worker_id in self.worker_ids
+        self.has_tail = graph.tail.worker_id in self.worker_ids
+
+        self.channels: Dict[int, Channel] = {}
+        for edge in self.internal_edges + self.boundary_in:
+            self.channels[edge.index] = Channel()
+        if self.has_head:
+            self.channels[GRAPH_INPUT] = Channel()
+        self.staging: Dict[int, List[Any]] = {
+            edge.index: [] for edge in self.boundary_out
+        }
+        if self.has_tail:
+            self.staging[GRAPH_OUTPUT] = []
+        # Staging channels wrap the staging lists so firing code is uniform.
+        self._staging_channels: Dict[int, Channel] = {
+            key: Channel() for key in self.staging
+        }
+
+        # Per-worker port channel lists, topological order restricted to
+        # the blob, and firing counts.
+        self._topo = [w for w in graph.topological_order() if w in self.worker_ids]
+        self._in_channels: Dict[int, List[Channel]] = {}
+        self._out_channels: Dict[int, List[Channel]] = {}
+        for worker_id in self._topo:
+            worker = graph.worker(worker_id)
+            ins: List[Channel] = []
+            for port in range(worker.n_inputs):
+                edge = graph.in_edge(worker_id, port)
+                key = edge.index if edge is not None else GRAPH_INPUT
+                ins.append(self.channels[key])
+            outs: List[Channel] = []
+            for port in range(worker.n_outputs):
+                edge = graph.out_edge(worker_id, port)
+                if edge is None:
+                    outs.append(self._staging_channels[GRAPH_OUTPUT])
+                elif edge.index in self.channels:
+                    outs.append(self.channels[edge.index])
+                else:
+                    outs.append(self._staging_channels[edge.index])
+            self._in_channels[worker_id] = ins
+            self._out_channels[worker_id] = outs
+
+        self.initialized = False
+        self.iteration = 0
+        self.consumed_input = 0   # items popped from GRAPH_INPUT (head blob)
+        self.emitted_output = 0   # items staged to GRAPH_OUTPUT (tail blob)
+
+        # Precomputed per-iteration boundary flows.
+        self._steady_in_need: Dict[int, int] = {}
+        self._steady_ready_len: Dict[int, int] = {}
+        self._init_in_need: Dict[int, int] = {}
+        self._init_ready_len: Dict[int, int] = {}
+        for edge in self.boundary_in:
+            dst = graph.worker(edge.dst)
+            pop = dst.pop_rates[edge.dst_port]
+            leftover = self._leftovers[edge.index]
+            steady = pop * schedule.steady_firings(edge.dst)
+            init = pop * schedule.init[edge.dst]
+            self._steady_in_need[edge.index] = steady
+            self._steady_ready_len[edge.index] = steady + leftover
+            self._init_in_need[edge.index] = init
+            self._init_ready_len[edge.index] = (init + leftover) if init else 0
+        if self.has_head:
+            head = graph.head
+            pop = head.pop_rates[0]
+            leftover = max(head.peek_rates[0] - head.pop_rates[0], 0)
+            steady = pop * schedule.steady_firings(head.worker_id)
+            init = pop * schedule.init[head.worker_id]
+            self._steady_in_need[GRAPH_INPUT] = steady
+            self._steady_ready_len[GRAPH_INPUT] = steady + leftover
+            self._init_in_need[GRAPH_INPUT] = init
+            self._init_ready_len[GRAPH_INPUT] = (init + leftover) if init else 0
+
+    # -- identity / accounting --------------------------------------------------
+
+    @property
+    def workers(self):
+        return [self.graph.worker(w) for w in self._topo]
+
+    @property
+    def is_stateful(self) -> bool:
+        return any(w.is_stateful for w in self.workers)
+
+    @property
+    def steady_work(self) -> float:
+        return sum(
+            self.graph.worker(w).work_estimate * self.schedule.steady_firings(w)
+            for w in self._topo
+        )
+
+    @property
+    def serial_work(self) -> float:
+        """Work that cannot be data-parallelized (stateful workers)."""
+        return sum(
+            self.graph.worker(w).work_estimate * self.schedule.steady_firings(w)
+            for w in self._topo
+            if self.graph.worker(w).is_stateful
+        )
+
+    @property
+    def parallel_work(self) -> float:
+        return self.steady_work - self.serial_work
+
+    @property
+    def init_work(self) -> float:
+        return sum(
+            self.graph.worker(w).work_estimate * self.schedule.init[w]
+            for w in self._topo
+        )
+
+    @property
+    def init_firings(self) -> int:
+        return sum(self.schedule.init[w] for w in self._topo)
+
+    @property
+    def steady_firings_total(self) -> int:
+        return sum(self.schedule.steady_firings(w) for w in self._topo)
+
+    def input_keys(self) -> List[int]:
+        keys = [edge.index for edge in self.boundary_in]
+        if self.has_head:
+            keys.append(GRAPH_INPUT)
+        return keys
+
+    def output_keys(self) -> List[int]:
+        keys = [edge.index for edge in self.boundary_out]
+        if self.has_tail:
+            keys.append(GRAPH_OUTPUT)
+        return keys
+
+    def steady_input_need(self, key: int) -> int:
+        return self._steady_in_need[key]
+
+    def init_input_need(self, key: int) -> int:
+        return self._init_in_need[key]
+
+    # -- data delivery -------------------------------------------------------------
+
+    def deliver(self, key: int, items: List[Any]) -> None:
+        """Accept items arriving on a boundary input edge."""
+        self.channels[key].push_many(items)
+
+    def ready_for_init(self) -> bool:
+        return all(
+            len(self.channels[key]) >= need
+            for key, need in self._init_ready_len.items()
+        )
+
+    def ready_for_steady(self) -> bool:
+        return all(
+            len(self.channels[key]) >= need
+            for key, need in self._steady_ready_len.items()
+        )
+
+    def init_shortfall(self) -> Dict[int, int]:
+        """Items still missing per input edge before init can run."""
+        return {
+            key: max(need - len(self.channels[key]), 0)
+            for key, need in self._init_ready_len.items()
+        }
+
+    def steady_shortfall(self) -> Dict[int, int]:
+        return {
+            key: max(need - len(self.channels[key]), 0)
+            for key, need in self._steady_ready_len.items()
+        }
+
+    # -- execution ------------------------------------------------------------------
+
+    def _collect_staging(self) -> Dict[int, List[Any]]:
+        out: Dict[int, List[Any]] = {}
+        for key, channel in self._staging_channels.items():
+            if len(channel.items):
+                items = list(channel.items)
+                channel.items.clear()
+                channel.total_popped += len(items)
+                out[key] = items
+                if key == GRAPH_OUTPUT:
+                    self.emitted_output += len(items)
+        return out
+
+    def _run_firings(self, order: List[Tuple[int, int]]) -> None:
+        before = (
+            self.channels[GRAPH_INPUT].total_popped if self.has_head else 0
+        )
+        for worker_id, firings in order:
+            worker = self.graph.worker(worker_id)
+            ins = self._in_channels[worker_id]
+            outs = self._out_channels[worker_id]
+            for _ in range(firings):
+                fire_worker(worker, ins, outs,
+                            check_rates=self.check_rates,
+                            rate_only=self.rate_only)
+        if self.has_head:
+            self.consumed_input += (
+                self.channels[GRAPH_INPUT].total_popped - before
+            )
+
+    def run_init(self) -> Dict[int, List[Any]]:
+        """Execute this blob's share of the initialization schedule."""
+        if self.initialized:
+            raise RuntimeError("blob already initialized")
+        order = [(w, self.schedule.init[w]) for w in self._topo
+                 if self.schedule.init[w] > 0]
+        self._run_firings(order)
+        self.initialized = True
+        return self._collect_staging()
+
+    def run_steady(self) -> Dict[int, List[Any]]:
+        """Execute one steady-state iteration; return staged outputs."""
+        if not self.initialized:
+            raise RuntimeError("blob not initialized")
+        if self.rate_only:
+            staged = self._run_steady_rate_only()
+        else:
+            order = [(w, self.schedule.steady_firings(w)) for w in self._topo]
+            self._run_firings(order)
+            staged = self._collect_staging()
+        self.iteration += 1
+        return staged
+
+    def _run_steady_rate_only(self) -> Dict[int, List[Any]]:
+        """O(boundary-items) steady iteration for timing benchmarks.
+
+        Internal channels return to their start-of-iteration occupancy
+        after a full topological schedule, so only boundary flows need
+        to move.
+        """
+        for key, need in self._steady_in_need.items():
+            self.channels[key].pop_many(need)
+            if key == GRAPH_INPUT:
+                self.consumed_input += need
+        staged: Dict[int, List[Any]] = {}
+        for edge in self.boundary_out:
+            src = self.graph.worker(edge.src)
+            count = (src.push_rates[edge.src_port]
+                     * self.schedule.steady_firings(edge.src))
+            staged[edge.index] = [None] * count
+        if self.has_tail:
+            tail = self.graph.tail
+            count = (tail.push_rates[0]
+                     * self.schedule.steady_firings(tail.worker_id))
+            staged[GRAPH_OUTPUT] = [None] * count
+            self.emitted_output += count
+        return staged
+
+    # -- draining ----------------------------------------------------------------
+
+    def can_fire(self, worker_id: int) -> bool:
+        worker = self.graph.worker(worker_id)
+        for channel, peek in zip(self._in_channels[worker_id],
+                                 worker.peek_rates):
+            if len(channel) < peek:
+                return False
+        return True
+
+    def drain_pass(self) -> Tuple[int, Dict[int, List[Any]]]:
+        """One opportunistic pass over the blob's workers.
+
+        Returns (firing count, staged boundary outputs).  Draining is
+        what the interpreter does after the compiled blob stops; the
+        cluster layer charges interpreter-speed time for these firings.
+        """
+        firings = 0
+        for worker_id in self._topo:
+            worker = self.graph.worker(worker_id)
+            ins = self._in_channels[worker_id]
+            outs = self._out_channels[worker_id]
+            while self.can_fire(worker_id):
+                fire_worker(worker, ins, outs,
+                            check_rates=self.check_rates,
+                            rate_only=self.rate_only)
+                firings += 1
+        if self.has_head:
+            # Opportunistic firing may consume graph input delivered but
+            # not yet counted.
+            self.consumed_input = self.channels[GRAPH_INPUT].total_popped
+        return firings, self._collect_staging()
+
+    def drain_work(self, firings: int) -> float:
+        """Work-units estimate for ``firings`` drain firings."""
+        if not self._topo:
+            return 0.0
+        average = (sum(self.graph.worker(w).work_estimate for w in self._topo)
+                   / len(self._topo))
+        return firings * average
+
+    # -- state capture / installation ------------------------------------------------
+
+    def capture_state(self, cut_lengths: Optional[Dict[int, int]] = None) -> ProgramState:
+        """Snapshot this blob's share of the program state.
+
+        ``cut_lengths`` (edge index -> item count) restricts boundary
+        input channels to the deterministic cut used by asynchronous
+        state transfer: the first ``P(k) - V(k)`` items, where both
+        counts follow from the static rates.  Without it (stop-and-copy
+        after draining) full channel contents are captured.  The graph
+        input channel is never captured — unconsumed input is re-sent
+        by the duplicator.
+        """
+        state = ProgramState(
+            consumed=self.consumed_input, emitted=self.emitted_output
+        )
+        for worker_id in self._topo:
+            worker = self.graph.worker(worker_id)
+            if worker.is_stateful:
+                state.worker_states[worker_id] = worker.get_state()
+        for edge in self.internal_edges:
+            channel = self.channels[edge.index]
+            if len(channel):
+                state.edge_contents[edge.index] = channel.snapshot()
+        for edge in self.boundary_in:
+            channel = self.channels[edge.index]
+            if cut_lengths is not None:
+                count = cut_lengths.get(edge.index, len(channel))
+                items = channel.snapshot_prefix(count)
+            else:
+                items = channel.snapshot()
+            if items:
+                state.edge_contents[edge.index] = items
+        return state
+
+    def install_state(self, state: ProgramState) -> None:
+        """Absorb transferred program state (phase-2 of compilation)."""
+        if self.initialized or self.iteration:
+            raise RuntimeError("state must be installed before execution")
+        for worker_id, worker_state in state.worker_states.items():
+            if worker_id in self.worker_ids:
+                self.graph.worker(worker_id).set_state(worker_state)
+        for edge_index, items in state.edge_contents.items():
+            if edge_index == GRAPH_INPUT:
+                continue
+            if edge_index in self.channels and edge_index != GRAPH_INPUT:
+                if any(e.index == edge_index
+                       for e in self.internal_edges + self.boundary_in):
+                    self.channels[edge_index].push_many(items)

@@ -1,0 +1,251 @@
+"""The fine-grained reference interpreter.
+
+Executes a whole stream graph one firing at a time on a single logical
+thread.  This is (a) the canonical-semantics oracle used by the tests
+(any distributed, reconfigured execution must produce byte-identical
+output), and (b) the engine the runtime switches to while draining,
+which is why draining reduces throughput to near zero (paper
+Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.graph.topology import StreamGraph
+from repro.graph.workers import Worker
+from repro.runtime.channels import (
+    GRAPH_INPUT,
+    GRAPH_OUTPUT,
+    Channel,
+    InputPort,
+    OutputPort,
+)
+from repro.runtime.state import ProgramState
+from repro.sched.schedule import Schedule, make_schedule
+
+__all__ = ["GraphInterpreter", "fire_worker"]
+
+
+def fire_worker(
+    worker: Worker,
+    in_channels: List[Channel],
+    out_channels: List[Channel],
+    check_rates: bool = True,
+    rate_only: bool = False,
+) -> None:
+    """Execute one firing of ``worker``.
+
+    With ``rate_only`` the work function is skipped and placeholder
+    items flow instead — identical rate behaviour at a fraction of the
+    cost, used by the timing benchmarks.
+    """
+    if rate_only:
+        for channel, pop in zip(in_channels, worker.pop_rates):
+            channel.pop_many(pop)
+        for channel, push in zip(out_channels, worker.push_rates):
+            channel.push_many([None] * push)
+        return
+    if check_rates:
+        inputs = [
+            InputPort(channel, pop, peek)
+            for channel, pop, peek in zip(
+                in_channels, worker.pop_rates, worker.peek_rates
+            )
+        ]
+        outputs = [
+            OutputPort(channel, push)
+            for channel, push in zip(out_channels, worker.push_rates)
+        ]
+        worker.fire(inputs, outputs)
+        for port in inputs:
+            port.finish(worker.name)
+        for port in outputs:
+            port.finish(worker.name)
+    else:
+        worker.fire(in_channels, out_channels)
+
+
+class GraphInterpreter:
+    """Interpret a whole stream graph with canonical SDF semantics."""
+
+    def __init__(
+        self,
+        graph: StreamGraph,
+        schedule: Optional[Schedule] = None,
+        state: Optional[ProgramState] = None,
+        check_rates: bool = True,
+        rate_only: bool = False,
+    ):
+        self.graph = graph
+        self.check_rates = check_rates
+        self.rate_only = rate_only
+        self.channels: Dict[int, Channel] = {
+            edge.index: Channel() for edge in graph.edges
+        }
+        self.channels[GRAPH_INPUT] = Channel()
+        self.channels[GRAPH_OUTPUT] = Channel()
+        if state is not None:
+            self._install_state(state)
+        initial_contents = (
+            {k: len(v) for k, v in state.edge_contents.items()}
+            if state is not None else None
+        )
+        self.schedule = schedule or make_schedule(
+            graph, initial_contents=initial_contents
+        )
+        self._in_channels: Dict[int, List[Channel]] = {}
+        self._out_channels: Dict[int, List[Channel]] = {}
+        for worker in graph.workers:
+            self._in_channels[worker.worker_id] = [
+                self.channels[edge.index if edge is not None else GRAPH_INPUT]
+                for edge in (graph.in_edge(worker.worker_id, p)
+                             for p in range(worker.n_inputs))
+            ]
+            self._out_channels[worker.worker_id] = [
+                self.channels[edge.index if edge is not None else GRAPH_OUTPUT]
+                for edge in (graph.out_edge(worker.worker_id, p)
+                             for p in range(worker.n_outputs))
+            ]
+        self._topo = graph.topological_order()
+        self.initialized = False
+        self.iteration = 0
+
+    # -- I/O -----------------------------------------------------------------
+
+    def push_input(self, items: Iterable[Any]) -> None:
+        self.channels[GRAPH_INPUT].push_many(items)
+
+    def take_output(self) -> List[Any]:
+        channel = self.channels[GRAPH_OUTPUT]
+        items = list(channel.items)
+        channel.items.clear()
+        channel.total_popped += len(items)
+        return items
+
+    @property
+    def consumed(self) -> int:
+        """Items popped from the graph input so far."""
+        return self.channels[GRAPH_INPUT].total_popped
+
+    @property
+    def emitted(self) -> int:
+        """Items pushed to the graph output so far."""
+        return self.channels[GRAPH_OUTPUT].total_pushed
+
+    # -- firing ----------------------------------------------------------------
+
+    def can_fire(self, worker_id: int) -> bool:
+        worker = self.graph.worker(worker_id)
+        for channel, peek in zip(self._in_channels[worker_id], worker.peek_rates):
+            if len(channel) < peek:
+                return False
+        return True
+
+    def fire(self, worker_id: int) -> None:
+        fire_worker(
+            self.graph.worker(worker_id),
+            self._in_channels[worker_id],
+            self._out_channels[worker_id],
+            check_rates=self.check_rates,
+            rate_only=self.rate_only,
+        )
+
+    def _run_order(self, order: List[Tuple[int, int]]) -> None:
+        for worker_id, firings in order:
+            for _ in range(firings):
+                self.fire(worker_id)
+
+    # -- phases ------------------------------------------------------------------
+
+    def run_init(self) -> None:
+        """Execute the initialization schedule (requires input buffered)."""
+        if self.initialized:
+            raise RuntimeError("already initialized")
+        self._run_order(self.schedule.init_order())
+        self.initialized = True
+
+    def run_steady(self, iterations: int = 1) -> None:
+        """Execute ``iterations`` steady-state iterations."""
+        if not self.initialized:
+            self.run_init()
+        order = self.schedule.firing_order()
+        for _ in range(iterations):
+            self._run_order(order)
+            self.iteration += 1
+
+    def run_on(self, items: Iterable[Any]) -> List[Any]:
+        """Feed ``items``, run as many iterations as possible, drain, return output.
+
+        Convenience for tests: the canonical output of a graph on a
+        finite input prefix.
+        """
+        self.push_input(items)
+        if not self.initialized:
+            if len(self.channels[GRAPH_INPUT]) >= self.schedule.init_in + max(
+                self.graph.head.peek_rates[0] - self.graph.head.pop_rates[0], 0
+            ):
+                self.run_init()
+            else:
+                self.drain()
+                return self.take_output()
+        steady_in = self.schedule.steady_in
+        head_extra = max(
+            self.graph.head.peek_rates[0] - self.graph.head.pop_rates[0], 0
+        )
+        while len(self.channels[GRAPH_INPUT]) >= steady_in + head_extra:
+            self.run_steady()
+        self.drain()
+        return self.take_output()
+
+    def drain(self) -> int:
+        """Fire opportunistically until nothing can fire; return firings.
+
+        This flushes everything flushable; items pinned by peeking
+        buffers or indivisible pop chunks stay behind (paper
+        footnote 2).
+        """
+        total = 0
+        progress = True
+        while progress:
+            progress = False
+            for worker_id in self._topo:
+                while self.can_fire(worker_id):
+                    self.fire(worker_id)
+                    total += 1
+                    progress = True
+        return total
+
+    def run_to_boundary(self, iteration: int) -> None:
+        """Run init plus steady iterations up to the given boundary."""
+        if not self.initialized:
+            self.run_init()
+        while self.iteration < iteration:
+            self.run_steady()
+
+    # -- state --------------------------------------------------------------------
+
+    def capture_state(self) -> ProgramState:
+        """Snapshot worker states and all buffered items.
+
+        The graph-input channel is excluded: unconsumed input is
+        re-sent by the duplicator rather than carried in the state
+        (see :mod:`repro.core.duplication`).
+        """
+        state = ProgramState(consumed=self.consumed, emitted=self.emitted)
+        for worker in self.graph.workers:
+            if worker.is_stateful:
+                state.worker_states[worker.worker_id] = worker.get_state()
+        for edge in self.graph.edges:
+            channel = self.channels[edge.index]
+            if len(channel):
+                state.edge_contents[edge.index] = channel.snapshot()
+        return state
+
+    def _install_state(self, state: ProgramState) -> None:
+        for worker_id, worker_state in state.worker_states.items():
+            self.graph.worker(worker_id).set_state(worker_state)
+        for edge_index, items in state.edge_contents.items():
+            if edge_index == GRAPH_INPUT:
+                continue
+            self.channels[edge_index].push_many(items)

@@ -1,0 +1,33 @@
+"""SDF scheduling: balance equations, init/steady schedules, buffers.
+
+Synchronous data flow's fixed rates admit static scheduling (Lee &
+Messerschmitt 1987, paper reference [31]): solving the balance
+equations yields a *repetition vector* — how many times each worker
+fires per steady-state iteration so that every edge is in balance.
+Peeking workers additionally require an *initialization schedule* that
+pre-fills their peeking buffers (paper Section 2).
+
+The quantities defined here are exactly the ones Gloss's duplication
+planner uses (paper Section 7.1): ``G_init_in`` (input consumed by the
+initialization schedule) and ``G_steady_in`` (input consumed per
+steady-state execution).
+"""
+
+from repro.sched.balance import RateInconsistencyError, repetition_vector
+from repro.sched.schedule import (
+    Schedule,
+    init_repetitions,
+    make_schedule,
+    steady_buffer_capacities,
+    structural_leftover,
+)
+
+__all__ = [
+    "RateInconsistencyError",
+    "Schedule",
+    "init_repetitions",
+    "make_schedule",
+    "repetition_vector",
+    "steady_buffer_capacities",
+    "structural_leftover",
+]

@@ -1,0 +1,86 @@
+"""Solving the SDF balance equations.
+
+For every edge ``u -> v`` with push rate ``p`` and pop rate ``c``, a
+steady-state iteration must satisfy ``p * x_u == c * x_v``.  The
+minimal positive integer solution ``x`` is the repetition vector.  For
+the acyclic series-parallel graphs produced by :mod:`repro.graph` a
+solution always exists, but the solver is general: it propagates exact
+:class:`fractions.Fraction` ratios over the connected graph and
+reports an inconsistency if two paths disagree.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Dict
+
+from repro.graph.topology import StreamGraph
+
+__all__ = ["repetition_vector", "RateInconsistencyError"]
+
+
+class RateInconsistencyError(Exception):
+    """The declared rates admit no steady-state schedule."""
+
+
+def repetition_vector(graph: StreamGraph) -> Dict[int, int]:
+    """Return the minimal repetition vector of ``graph``.
+
+    Raises :class:`RateInconsistencyError` if the balance equations
+    are inconsistent (possible with multi-path graphs whose splitter
+    and joiner weights disagree) or if any connected port has a zero
+    rate.
+    """
+    ratios: Dict[int, Fraction] = {}
+    start = graph.workers[0].worker_id
+    ratios[start] = Fraction(1)
+    # Breadth-first propagation over edges in both directions.
+    frontier = [start]
+    while frontier:
+        current = frontier.pop(0)
+        for edge in graph.out_edges(current):
+            push = graph.worker(edge.src).push_rates[edge.src_port]
+            pop = graph.worker(edge.dst).pop_rates[edge.dst_port]
+            if push == 0 or pop == 0:
+                raise RateInconsistencyError(
+                    "zero rate on connected edge %r" % (edge,)
+                )
+            implied = ratios[current] * Fraction(push, pop)
+            _record(ratios, frontier, edge.dst, implied, edge)
+        for edge in graph.in_edges(current):
+            push = graph.worker(edge.src).push_rates[edge.src_port]
+            pop = graph.worker(edge.dst).pop_rates[edge.dst_port]
+            if push == 0 or pop == 0:
+                raise RateInconsistencyError(
+                    "zero rate on connected edge %r" % (edge,)
+                )
+            implied = ratios[current] * Fraction(pop, push)
+            _record(ratios, frontier, edge.src, implied, edge)
+    if len(ratios) != len(graph.workers):
+        raise RateInconsistencyError("graph is not connected")
+    # Scale to the minimal integer vector.
+    denominator_lcm = 1
+    for ratio in ratios.values():
+        denominator_lcm = _lcm(denominator_lcm, ratio.denominator)
+    scaled = {w: int(r * denominator_lcm) for w, r in ratios.items()}
+    numerator_gcd = 0
+    for value in scaled.values():
+        numerator_gcd = gcd(numerator_gcd, value)
+    return {w: v // numerator_gcd for w, v in scaled.items()}
+
+
+def _record(ratios, frontier, worker_id, implied, edge) -> None:
+    existing = ratios.get(worker_id)
+    if existing is None:
+        ratios[worker_id] = implied
+        frontier.append(worker_id)
+    elif existing != implied:
+        raise RateInconsistencyError(
+            "inconsistent rates at worker %d via %r: %s vs %s"
+            % (worker_id, edge, existing, implied)
+        )
+
+
+def _lcm(a: int, b: int) -> int:
+    return a * b // gcd(a, b)

@@ -1,0 +1,257 @@
+"""Init and steady-state schedules, and buffer sizing.
+
+The *steady-state schedule* fires every worker ``reps[w] * multiplier``
+times per iteration in topological order; this is admissible for
+acyclic graphs once the initialization schedule has pre-filled every
+peeking buffer with its *structural leftover* ``L_e = max(peek - pop,
+0)`` items.
+
+The *initialization schedule* is computed by a reverse-topological
+pass (classic StreamIt-style): a worker must fire often enough during
+init that each outgoing edge ends with at least its structural
+leftover after downstream init firings have consumed their share.
+When a new graph instance is compiled *with* program state (Gloss's
+state-absorbed blobs), edges already hold items, so the required init
+firings shrink accordingly — this is why the compiler needs the
+program state (or at least the buffered-item counts, the *meta program
+state*) before it can emit the initialization schedule (paper
+Section 3.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.topology import StreamGraph
+from repro.sched.balance import repetition_vector
+
+__all__ = [
+    "Schedule",
+    "init_repetitions",
+    "make_schedule",
+    "steady_buffer_capacities",
+    "structural_leftover",
+]
+
+
+def structural_leftover(graph: StreamGraph) -> Dict[int, int]:
+    """Items that must remain buffered on each edge: ``max(peek-pop, 0)``.
+
+    Keyed by edge index.  This is the data that draining can never
+    flush (paper footnote 2) and that implicit state transfer
+    reconstructs through input duplication.
+    """
+    leftovers: Dict[int, int] = {}
+    for edge in graph.edges:
+        dst = graph.worker(edge.dst)
+        leftovers[edge.index] = max(
+            dst.peek_rates[edge.dst_port] - dst.pop_rates[edge.dst_port], 0
+        )
+    return leftovers
+
+
+def init_repetitions(
+    graph: StreamGraph,
+    initial_contents: Optional[Dict[int, int]] = None,
+    prefill: Optional[Dict[int, int]] = None,
+) -> Dict[int, int]:
+    """Init firing counts per worker.
+
+    ``initial_contents`` maps edge index to the number of items already
+    buffered on that edge (from transferred program state); edges not
+    listed are empty.  With no initial contents this is the cold-start
+    initialization schedule.
+
+    ``prefill`` requests extra items (beyond the structural leftover)
+    be left on selected edges after init.  The compiler prefills blob
+    boundary edges with one iteration of data so blobs execute
+    decoupled — StreamJIT's "buffering sufficient data for each group
+    of fused workers to execute in parallel" (paper Section 2).  This
+    buffered data is what draining must later flush.
+    """
+    contents = initial_contents or {}
+    extra = prefill or {}
+    leftovers = structural_leftover(graph)
+    init: Dict[int, int] = {}
+    for worker_id in reversed(graph.topological_order()):
+        worker = graph.worker(worker_id)
+        needed_firings = 0
+        for edge in graph.out_edges(worker_id):
+            dst = graph.worker(edge.dst)
+            consumed = dst.pop_rates[edge.dst_port] * init[edge.dst]
+            # The edge must end init holding >= its structural
+            # leftover plus any requested prefill.
+            target = leftovers[edge.index] + extra.get(edge.index, 0)
+            required = consumed + target - contents.get(edge.index, 0)
+            if required > 0:
+                push = worker.push_rates[edge.src_port]
+                needed_firings = max(
+                    needed_firings, math.ceil(required / push)
+                )
+        init[worker_id] = needed_firings
+    return init
+
+
+def steady_buffer_capacities(
+    graph: StreamGraph,
+    repetitions: Dict[int, int],
+    multiplier: int = 1,
+    initial_contents: Optional[Dict[int, int]] = None,
+    init: Optional[Dict[int, int]] = None,
+) -> Dict[int, int]:
+    """Steady-state buffer capacity per edge.
+
+    With topological execution order the peak occupancy of an edge in
+    one iteration is its post-init content plus one iteration's
+    production.  These capacities are the *meta program state* that
+    phase-1 compilation consumes (paper Section 5.1).
+    """
+    contents = initial_contents or {}
+    if init is None:
+        init = init_repetitions(graph, initial_contents)
+    capacities: Dict[int, int] = {}
+    for edge in graph.edges:
+        src = graph.worker(edge.src)
+        dst = graph.worker(edge.dst)
+        push = src.push_rates[edge.src_port]
+        pop = dst.pop_rates[edge.dst_port]
+        after_init = (
+            contents.get(edge.index, 0)
+            + push * init[edge.src]
+            - pop * init[edge.dst]
+        )
+        per_iteration = push * repetitions[edge.src] * multiplier
+        capacities[edge.index] = after_init + per_iteration
+    return capacities
+
+
+@dataclass
+class Schedule:
+    """A complete execution schedule for one graph configuration.
+
+    ``steady`` firing counts already include the ``multiplier``; the
+    ``*_quantum`` fields are multiplier-free (the minimal repetition
+    vector) because canonical stream indices are aligned to quanta,
+    not to any particular configuration's iteration size (paper
+    Section 7.1 computes X in units of the old configuration's steady
+    executions; we keep both granularities explicit).
+    """
+
+    graph: StreamGraph
+    repetitions: Dict[int, int]
+    init: Dict[int, int]
+    multiplier: int = 1
+    initial_contents: Dict[int, int] = field(default_factory=dict)
+
+    # -- steady-state firing counts (multiplier applied) ------------------
+
+    def steady_firings(self, worker_id: int) -> int:
+        return self.repetitions[worker_id] * self.multiplier
+
+    # -- graph-level quanta (multiplier-free) ------------------------------
+
+    @property
+    def input_quantum(self) -> int:
+        """Items consumed from the graph input per repetition-vector pass."""
+        head = self.graph.head
+        return head.pop_rates[0] * self.repetitions[head.worker_id]
+
+    @property
+    def output_quantum(self) -> int:
+        """Items pushed to the graph output per repetition-vector pass."""
+        tail = self.graph.tail
+        return tail.push_rates[0] * self.repetitions[tail.worker_id]
+
+    # -- paper Section 7.1 quantities --------------------------------------
+
+    @property
+    def steady_in(self) -> int:
+        """``G_steady_in``: input consumed per steady-state iteration."""
+        return self.input_quantum * self.multiplier
+
+    @property
+    def steady_out(self) -> int:
+        """``G_steady_out``: output produced per steady-state iteration."""
+        return self.output_quantum * self.multiplier
+
+    @property
+    def init_in(self) -> int:
+        """``G_init_in``: input consumed by the initialization schedule."""
+        head = self.graph.head
+        return head.pop_rates[0] * self.init[head.worker_id]
+
+    @property
+    def init_out(self) -> int:
+        """Output produced by the initialization schedule."""
+        tail = self.graph.tail
+        return tail.push_rates[0] * self.init[tail.worker_id]
+
+    # -- work accounting ----------------------------------------------------
+
+    @property
+    def steady_work(self) -> float:
+        """Work units of one steady-state iteration."""
+        return sum(
+            self.graph.worker(w).work_estimate * self.steady_firings(w)
+            for w in self.repetitions
+        )
+
+    @property
+    def init_work(self) -> float:
+        return sum(
+            self.graph.worker(w).work_estimate * firings
+            for w, firings in self.init.items()
+        )
+
+    @property
+    def init_firings_total(self) -> int:
+        return sum(self.init.values())
+
+    def buffer_capacities(self) -> Dict[int, int]:
+        return steady_buffer_capacities(
+            self.graph, self.repetitions, self.multiplier,
+            self.initial_contents, self.init,
+        )
+
+    def firing_order(self) -> List[Tuple[int, int]]:
+        """Steady-state (worker_id, firings) pairs in topological order."""
+        return [
+            (w, self.steady_firings(w))
+            for w in self.graph.topological_order()
+        ]
+
+    def init_order(self) -> List[Tuple[int, int]]:
+        """Init (worker_id, firings) pairs in topological order."""
+        return [
+            (w, self.init[w])
+            for w in self.graph.topological_order()
+            if self.init[w] > 0
+        ]
+
+
+def make_schedule(
+    graph: StreamGraph,
+    multiplier: int = 1,
+    initial_contents: Optional[Dict[int, int]] = None,
+    prefill: Optional[Dict[int, int]] = None,
+) -> Schedule:
+    """Compute the complete schedule for ``graph``.
+
+    ``initial_contents`` (edge index -> buffered item count) makes this
+    a *state-aware* schedule as used when compiling state-absorbed
+    blobs; omitted for cold starts.  ``prefill`` requests extra
+    buffering on selected edges (see :func:`init_repetitions`).
+    """
+    if multiplier < 1:
+        raise ValueError("multiplier must be >= 1")
+    repetitions = repetition_vector(graph)
+    init = init_repetitions(graph, initial_contents, prefill)
+    return Schedule(
+        graph=graph,
+        repetitions=repetitions,
+        init=init,
+        multiplier=multiplier,
+        initial_contents=dict(initial_contents or {}),
+    )

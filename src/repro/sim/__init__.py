@@ -1,0 +1,44 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic process-based simulator in the style of SimPy.
+It provides simulated time for the cluster runtime (:mod:`repro.cluster`)
+so that reconfiguration experiments measure *simulated* wall-clock
+behaviour (throughput over time, downtime, overlap) reproducibly.
+
+The kernel is intentionally small:
+
+* :class:`Environment` — the event loop and clock.
+* :class:`Event` — a one-shot occurrence carrying a value or an error.
+* :class:`Timeout` — an event that fires after a simulated delay.
+* :class:`Process` — a generator-based coroutine; ``yield`` an event to
+  wait for it.  A process is itself an event that fires when the
+  generator returns.
+* :class:`Interrupt` / :meth:`Process.interrupt` — asynchronous
+  cancellation, used by adaptive merging to abandon the old graph
+  instance.
+* :class:`Store` — an unbounded/bounded FIFO of items with blocking
+  ``get``/``put``.
+* :class:`AnyOf` — fires when any of its child events fires.
+"""
+
+from repro.sim.kernel import (
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Store,
+    Timeout,
+)
+
+__all__ = [
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

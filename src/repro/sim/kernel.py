@@ -1,0 +1,352 @@
+"""The discrete-event simulation kernel.
+
+Deterministic by construction: events scheduled for the same simulated
+time fire in scheduling order (a monotonically increasing tie-breaker is
+attached to every scheduled event).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]
+
+_PENDING = object()
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the kernel (double-trigger, bad yields...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event is *triggered* once :meth:`succeed` or :meth:`fail` is
+    called, and *processed* once the environment has run its callbacks.
+    Processes wait for events by ``yield``-ing them.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully and schedule its callbacks."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an error; waiters will see it raised."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds in the future."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError("negative delay: %r" % (delay,))
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise SimulationError("a Timeout triggers itself")
+
+
+class Process(Event):
+    """A generator-based coroutine driven by the environment.
+
+    The generator may ``yield`` any :class:`Event`; the process resumes
+    when that event fires, receiving the event's value (or having its
+    exception thrown in).  The process object itself is an event that
+    fires with the generator's return value.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "send"):
+            raise SimulationError("Process requires a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        bootstrap = Event(env)
+        bootstrap._ok = True
+        bootstrap._value = None
+        bootstrap.callbacks.append(self._resume)
+        env._schedule(bootstrap)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is a no-op, which makes shutdown
+        paths idempotent (adaptive merging may race with natural
+        completion of the old graph instance).
+        """
+        if self.triggered:
+            return
+        target = self._target
+        if target is not None and not target.processed:
+            # Detach from whatever the process was waiting on so the
+            # original event no longer resumes it.
+            try:
+                target.callbacks.remove(self._resume)
+            except (ValueError, AttributeError):
+                pass
+        self._target = None
+        punch = Event(self.env)
+        punch.callbacks.append(self._resume)
+        punch._ok = False
+        punch._value = Interrupt(cause)
+        self.env._schedule(punch)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self._ok = True
+            self._value = stop.value
+            self.env._schedule(self)
+            return
+        except Interrupt as exc:
+            # An un-caught interrupt terminates the process quietly with
+            # the interrupt cause as its value.
+            self._ok = True
+            self._value = exc.cause
+            self.env._schedule(self)
+            return
+        except BaseException as exc:
+            self._ok = False
+            self._value = exc
+            self.env._schedule(self)
+            return
+        if not isinstance(next_event, Event):
+            error = SimulationError(
+                "process yielded a non-event: %r" % (next_event,)
+            )
+            self._generator.close()
+            self._ok = False
+            self._value = error
+            self.env._schedule(self)
+            return
+        if next_event.processed:
+            # Already fired and ran its callbacks: resume immediately.
+            punch = Event(self.env)
+            punch.callbacks.append(self._resume)
+            punch._ok = next_event._ok
+            punch._value = next_event._value
+            self.env._schedule(punch)
+            self._target = punch
+        else:
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+
+
+class AnyOf(Event):
+    """Fires as soon as any child event fires.
+
+    The value is the list of (index, value) pairs of children that had
+    fired by the time the condition was processed.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        if not self._events:
+            raise SimulationError("AnyOf requires at least one event")
+        for event in self._events:
+            if event.processed or event.triggered:
+                self._on_child(event)
+                break
+            event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        fired = [
+            (i, child._value)
+            for i, child in enumerate(self._events)
+            if child.triggered and child._ok
+        ]
+        self.succeed(fired)
+
+
+class Store:
+    """A FIFO of items with blocking ``get`` and (optionally) ``put``."""
+
+    def __init__(self, env: "Environment", capacity: float = math.inf):
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._getters: List[Event] = []
+        self._putters: List[tuple] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Return an event that fires once the item is in the store."""
+        event = Event(self.env)
+        self._putters.append((event, item))
+        self._dispatch()
+        return event
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        event = Event(self.env)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._putters and len(self.items) < self.capacity:
+                event, item = self._putters.pop(0)
+                self.items.append(item)
+                event.succeed()
+                progress = True
+            while self._getters and self.items:
+                event = self._getters.pop(0)
+                event.succeed(self.items.pop(0))
+                progress = True
+
+
+class Environment:
+    """The simulation clock and event loop."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[tuple] = []
+        self._ids = itertools.count()
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._ids), event))
+
+    # -- public API ------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def store(self, capacity: float = math.inf) -> Store:
+        return Store(self, capacity)
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else math.inf
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - defensive
+            return
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not callbacks and not isinstance(event, Process):
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock passes ``until``.
+
+        When ``until`` is given, the clock is advanced exactly to
+        ``until`` even if no event falls on it, so successive ``run``
+        calls observe contiguous windows.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return
+        limit = float(until)
+        if limit < self._now:
+            raise SimulationError("cannot run backwards in time")
+        while self._queue and self._queue[0][0] <= limit:
+            self.step()
+        self._now = limit

@@ -1,0 +1,12 @@
+"""Online autotuning (paper Section 9.5).
+
+Gloss makes online autotuning feasible because moving between any two
+points of the optimization space is downtime-free; the tuner simply
+issues live reconfigurations on production data and measures the
+resulting throughput.
+"""
+
+from repro.tuning.search_space import ConfigurationSpace, TuningPoint
+from repro.tuning.tuner import OnlineAutotuner
+
+__all__ = ["ConfigurationSpace", "OnlineAutotuner", "TuningPoint"]

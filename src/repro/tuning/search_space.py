@@ -1,0 +1,103 @@
+"""The configuration search space.
+
+A tuning point bundles the knobs the compiler exposes: how many nodes
+to use, where to cut the graph (a continuous bias on the balanced
+partitioner), the schedule multiplier, and whether fusion is enabled.
+Points convert to concrete :class:`Configuration` objects against the
+cluster's currently available nodes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Callable, List, Sequence
+
+from repro.compiler.config import Configuration
+from repro.compiler.partition import partition_even
+from repro.graph.topology import StreamGraph
+
+__all__ = ["ConfigurationSpace", "TuningPoint"]
+
+_MULTIPLIERS = (16, 24, 32, 48, 64, 96, 128, 192, 256)
+
+
+@dataclass(frozen=True)
+class TuningPoint:
+    """One point in the optimization space."""
+
+    n_nodes: int
+    multiplier: int
+    cut_bias: float = 0.0
+    fusion: bool = True
+
+    def describe(self) -> str:
+        return "nodes=%d mult=%d bias=%+.2f fusion=%s" % (
+            self.n_nodes, self.multiplier, self.cut_bias, self.fusion)
+
+
+class ConfigurationSpace:
+    """Generates and perturbs tuning points for one application."""
+
+    def __init__(self, blueprint: Callable[[], StreamGraph],
+                 seed: int = 1234, multipliers: Sequence[int] = _MULTIPLIERS):
+        self.blueprint = blueprint
+        self.random = random.Random(seed)
+        self.multipliers = tuple(multipliers)
+        self._n_workers = len(blueprint())
+
+    def initial(self, available_nodes: Sequence[int]) -> TuningPoint:
+        return TuningPoint(
+            n_nodes=max(len(available_nodes) // 2, 1),
+            multiplier=self.multipliers[len(self.multipliers) // 2],
+        )
+
+    def random_point(self, available_nodes: Sequence[int]) -> TuningPoint:
+        max_nodes = min(len(available_nodes), max(self._n_workers // 2, 1))
+        return TuningPoint(
+            n_nodes=self.random.randint(1, max_nodes),
+            multiplier=self.random.choice(self.multipliers),
+            cut_bias=self.random.uniform(-0.3, 0.3),
+            fusion=self.random.random() > 0.15,
+        )
+
+    def neighbor(self, point: TuningPoint,
+                 available_nodes: Sequence[int]) -> TuningPoint:
+        """A single-knob perturbation of ``point``."""
+        max_nodes = min(len(available_nodes), max(self._n_workers // 2, 1))
+        move = self.random.randrange(4)
+        if move == 0:
+            delta = self.random.choice((-1, 1))
+            return replace(point, n_nodes=min(max(point.n_nodes + delta, 1),
+                                              max_nodes))
+        if move == 1:
+            index = self.multipliers.index(point.multiplier) \
+                if point.multiplier in self.multipliers else 0
+            index = min(max(index + self.random.choice((-1, 1)), 0),
+                        len(self.multipliers) - 1)
+            return replace(point, multiplier=self.multipliers[index])
+        if move == 2:
+            bias = min(max(point.cut_bias + self.random.uniform(-0.15, 0.15),
+                           -0.4), 0.4)
+            return replace(point, cut_bias=bias)
+        return replace(point, fusion=not point.fusion)
+
+    def to_configuration(self, point: TuningPoint,
+                         available_nodes: Sequence[int],
+                         name: str = "") -> Configuration:
+        nodes = list(available_nodes)[:point.n_nodes]
+        graph = self.blueprint()
+        configuration = partition_even(
+            graph, nodes, multiplier=point.multiplier,
+            cut_bias=point.cut_bias,
+            name=name or ("tuned:" + point.describe()),
+        )
+        if not point.fusion:
+            configuration = Configuration(
+                blobs=configuration.blobs,
+                multiplier=configuration.multiplier,
+                fusion=False,
+                removal=False,
+                name=configuration.name,
+            )
+        return configuration

@@ -1,0 +1,72 @@
+"""The online autotuner.
+
+A hill climber with random restarts: measure the current
+configuration's throughput for a window, propose a neighbor (or an
+occasional random jump), reconfigure *live* with the adaptive
+seamless scheme, measure again, keep the better point.  The program
+keeps producing output the whole time — which is the point of the
+experiment (paper Section 9.5, Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.tuning.search_space import ConfigurationSpace, TuningPoint
+
+__all__ = ["OnlineAutotuner"]
+
+
+@dataclass
+class OnlineAutotuner:
+    """Tunes a running :class:`StreamApp` by live reconfiguration."""
+
+    app: object
+    space: ConfigurationSpace
+    measure_seconds: float = 12.0
+    explore_probability: float = 0.25
+    strategy: str = "adaptive"
+    history: List[Tuple[TuningPoint, float]] = field(default_factory=list)
+    best: Optional[Tuple[TuningPoint, float]] = None
+
+    def run(self, trials: int, initial: Optional[TuningPoint] = None):
+        """Generator (simulation process): run the tuning loop."""
+        app = self.app
+        env = app.env
+        nodes = app.cluster.available_node_ids
+        current = initial or self.space.initial(nodes)
+        throughput = yield from self._measure()
+        self.history.append((current, throughput))
+        self.best = (current, throughput)
+
+        for trial in range(trials):
+            nodes = app.cluster.available_node_ids
+            if self.space.random.random() < self.explore_probability:
+                candidate = self.space.random_point(nodes)
+            else:
+                candidate = self.space.neighbor(self.best[0], nodes)
+            configuration = self.space.to_configuration(
+                candidate, nodes, name="trial%d" % (trial + 1))
+            done = app.reconfigure(configuration, strategy=self.strategy)
+            yield done
+            throughput = yield from self._measure()
+            self.history.append((candidate, throughput))
+            app.note("tuning_trial", trial=trial + 1,
+                     point=candidate.describe(), throughput=throughput)
+            if throughput > self.best[1]:
+                self.best = (candidate, throughput)
+        # Settle on the best seen if the last trial was not it.
+        if self.best[0] != self.history[-1][0]:
+            nodes = app.cluster.available_node_ids
+            configuration = self.space.to_configuration(
+                self.best[0], nodes, name="tuned-best")
+            yield app.reconfigure(configuration, strategy=self.strategy)
+        return self.best
+
+    def _measure(self):
+        env = self.app.env
+        start = env.now
+        before = self.app.series.total_items
+        yield env.timeout(self.measure_seconds)
+        return (self.app.series.total_items - before) / self.measure_seconds

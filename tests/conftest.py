@@ -1,0 +1,122 @@
+"""Shared fixtures and graph factories for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builders import Pipeline, SplitJoin
+from repro.graph.workers import (
+    DuplicateSplitter,
+    RoundRobinJoiner,
+    RoundRobinSplitter,
+)
+from repro.graph.library import (
+    Accumulator,
+    Decimator,
+    DelayFilter,
+    Expander,
+    FIRFilter,
+    HeavyCompute,
+    Identity,
+    ScaleFilter,
+)
+
+
+def simple_pipeline():
+    """A 3-stage stateless pipeline with peeking (FIR)."""
+    return Pipeline(
+        ScaleFilter(2.0),
+        FIRFilter([0.5, 0.3, 0.2]),
+        ScaleFilter(0.5),
+    ).flatten()
+
+
+def splitjoin_graph():
+    """Duplicate split-join with mixed-rate branches."""
+    return Pipeline(
+        ScaleFilter(1.5),
+        SplitJoin(
+            DuplicateSplitter(2),
+            FIRFilter([0.5, 0.5]),
+            Pipeline(Expander(2), Decimator(2)),
+            RoundRobinJoiner(2),
+        ),
+        ScaleFilter(2.0),
+    ).flatten()
+
+
+def multirate_graph():
+    """Round-robin split with unequal weights and rate changes."""
+    return Pipeline(
+        Expander(3),
+        SplitJoin(
+            RoundRobinSplitter((2, 1)),
+            Pipeline(Decimator(2), Expander(2)),
+            Identity(),
+            RoundRobinJoiner((2, 1)),
+        ),
+        Decimator(3),
+    ).flatten()
+
+
+def stateful_pipeline():
+    """Pipeline with two stateful workers plus peeking."""
+    return Pipeline(
+        ScaleFilter(1.1),
+        FIRFilter([0.6, 0.4]),
+        Accumulator(),
+        DelayFilter(3, initial=0.25),
+    ).flatten()
+
+
+def medium_stateless():
+    """A wider stateless graph for cluster tests."""
+    stages = [ScaleFilter(1.01)]
+    for i in range(4):
+        stages.append(FIRFilter([0.3, 0.4, 0.3], name="fir%d" % i))
+        stages.append(HeavyCompute(intensity=2.0, name="hc%d" % i))
+    return Pipeline(*stages).flatten()
+
+
+def medium_stateful():
+    stages = [ScaleFilter(1.01)]
+    for i in range(3):
+        stages.append(FIRFilter([0.3, 0.4, 0.3], name="fir%d" % i))
+        stages.append(HeavyCompute(intensity=2.0, name="hc%d" % i))
+    stages.append(Accumulator())
+    stages.append(DelayFilter(4))
+    return Pipeline(*stages).flatten()
+
+
+ALL_GRAPH_FACTORIES = [
+    simple_pipeline,
+    splitjoin_graph,
+    multirate_graph,
+    stateful_pipeline,
+    medium_stateless,
+    medium_stateful,
+]
+
+
+@pytest.fixture(params=ALL_GRAPH_FACTORIES, ids=lambda f: f.__name__)
+def any_graph_factory(request):
+    return request.param
+
+
+def sample_input(index: int) -> float:
+    """Deterministic input used across tests."""
+    return ((index * 31 + 7) % 100) / 100.0
+
+
+def integration_cost_model():
+    """The integration-test cost model.
+
+    ``node_speed`` is reduced ~2.4x so functional tests execute ~2.4x
+    fewer firings per simulated second; the interpreter/init slowdowns
+    shrink by the same factor so drain/init *durations* (in simulated
+    seconds) stay at their calibrated scale.
+    """
+    from repro.compiler import CostModel
+    return CostModel().scaled(node_speed=2_500.0,
+                              interp_slowdown=8.0,
+                              init_iterations=2.5)

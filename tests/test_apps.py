@@ -1,0 +1,195 @@
+"""Tests for the benchmark applications."""
+
+import pytest
+
+from repro.apps import TABLE1_APPS, app_registry, default_input, get_app
+from repro.apps.fmradio import low_pass_taps
+from repro.apps.lte import bit_input
+from repro.apps.synthetic import TunableWork, tunable_workers, workload_blueprint
+from repro.apps.tde import dft, idft
+from repro.runtime import GraphInterpreter
+from repro.sched import make_schedule, repetition_vector
+
+ALL_APPS = sorted(app_registry())
+
+
+def run_app(spec, iterations=3, scale=1, **kwargs):
+    blueprint = spec.blueprint(scale=scale, **kwargs)
+    graph = blueprint()
+    schedule = make_schedule(graph)
+    head_extra = max(graph.head.peek_rates[0] - graph.head.pop_rates[0], 0)
+    n = schedule.init_in + iterations * schedule.steady_in + head_extra
+    interp = GraphInterpreter(graph, schedule=schedule)
+    interp.push_input([spec.input_fn(i) for i in range(n)])
+    interp.run_steady(iterations)
+    return graph, schedule, interp
+
+
+class TestRegistry:
+    def test_registry_contains_table1_apps(self):
+        registry = app_registry()
+        for name in TABLE1_APPS:
+            assert name in registry
+
+    def test_get_app_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_app("NoSuchApp")
+
+    def test_statefulness_matches_declaration(self):
+        for name in ALL_APPS:
+            spec = get_app(name)
+            graph = spec.blueprint(scale=1)()
+            assert graph.is_stateful == spec.stateful, name
+
+
+class TestAllAppsExecute:
+    @pytest.mark.parametrize("name", ALL_APPS)
+    def test_balance_and_execution(self, name):
+        spec = get_app(name)
+        graph, schedule, interp = run_app(spec)
+        assert interp.emitted == schedule.init_out + 3 * schedule.steady_out
+        assert interp.emitted > 0
+
+    @pytest.mark.parametrize("name", ALL_APPS)
+    def test_deterministic(self, name):
+        spec = get_app(name)
+        _, _, a = run_app(spec)
+        _, _, b = run_app(spec)
+        assert a.take_output() == b.take_output()
+
+    @pytest.mark.parametrize("name", ["FMRadio", "BeamFormer", "FilterBank"])
+    def test_scaling_widens_graph(self, name):
+        spec = get_app(name)
+        small = spec.blueprint(scale=1)()
+        large = spec.blueprint(scale=2)()
+        assert len(large.workers) > len(small.workers)
+
+    @pytest.mark.parametrize("name", ALL_APPS)
+    def test_blueprint_instances_are_fresh(self, name):
+        """Two graphs from the same blueprint share no worker objects
+        (old and new instances must never alias state)."""
+        spec = get_app(name)
+        blueprint = spec.blueprint(scale=1)
+        g1, g2 = blueprint(), blueprint()
+        assert not (set(map(id, g1.workers)) & set(map(id, g2.workers)))
+        assert len(g1.workers) == len(g2.workers)
+        assert [w.name for w in g1.workers] == [w.name for w in g2.workers]
+        assert [(e.src, e.dst) for e in g1.edges] \
+            == [(e.src, e.dst) for e in g2.edges]
+
+
+class TestDFT:
+    def test_dft_idft_roundtrip(self):
+        block = [0.5, -0.25, 1.0, 0.75, -1.0, 0.0, 0.25, -0.5]
+        recovered = idft(dft(block))
+        assert recovered == pytest.approx(block, abs=1e-9)
+
+    def test_dft_of_constant_is_dc_only(self):
+        pairs = dft([1.0, 1.0, 1.0, 1.0])
+        assert pairs[0] == pytest.approx(4.0)
+        assert all(abs(v) < 1e-9 for v in pairs[2:])
+
+
+class TestFMRadio:
+    def test_low_pass_taps_sum_near_cutoff_ratio(self):
+        taps = low_pass_taps(0.5, 16)
+        assert len(taps) == 16
+        assert sum(taps) > 0
+
+    def test_equalizer_band_count(self):
+        graph = get_app("FMRadio").blueprint(scale=1, bands=4)()
+        amplifies = [w for w in graph.workers if "amplify" in w.name]
+        assert len(amplifies) == 4
+
+
+class TestBeamFormer:
+    def test_has_stateful_steering(self):
+        graph = get_app("BeamFormer").blueprint(scale=1)()
+        steering = [w for w in graph.workers if "steer" in w.name]
+        assert steering and all(w.is_stateful for w in steering)
+
+    def test_state_evolves_with_input(self):
+        spec = get_app("BeamFormer")
+        graph, schedule, interp = run_app(spec, iterations=5)
+        steering = [w for w in graph.workers if "steer" in w.name]
+        assert any(w.get_state()["energy"] != 0.0 for w in steering)
+
+
+class TestVocoder:
+    def test_phase_unwrapping_accumulates(self):
+        spec = get_app("Vocoder")
+        graph, schedule, interp = run_app(spec, iterations=6)
+        unwrappers = [w for w in graph.workers if "unwrap" in w.name]
+        assert unwrappers
+        assert any(w.accumulated != 0.0 for w in unwrappers)
+
+
+class TestLTE:
+    def test_end_to_end_bit_recovery(self):
+        """The receiver reconstructs the transmitted bits exactly."""
+        spec = get_app("LTE")
+        graph = spec.blueprint(scale=1)()
+        schedule = make_schedule(graph)
+        n = schedule.init_in + 6 * schedule.steady_in
+        bits = [bit_input(i) for i in range(n)]
+        out = GraphInterpreter(graph).run_on(bits)
+        assert len(out) > 0
+        assert out == bits[:len(out)]
+
+    def test_scaled_lanes_also_recover_bits(self):
+        spec = get_app("LTE")
+        graph = spec.blueprint(scale=2)()
+        schedule = make_schedule(graph)
+        n = schedule.init_in + 4 * schedule.steady_in
+        bits = [bit_input(i) for i in range(n)]
+        out = GraphInterpreter(graph).run_on(bits)
+        assert len(out) > 0
+        assert out == bits[:len(out)]
+
+
+class TestDVBT2:
+    def test_output_is_binary(self):
+        spec = get_app("DVB-T2")
+        _, _, interp = run_app(spec, iterations=2)
+        out = interp.take_output()
+        assert out and all(v in (0.0, 1.0) for v in out)
+
+    def test_high_pop_rate_front_end(self):
+        """The bursty-output property: the graph consumes many items
+        per output quantum (paper Section 9.8)."""
+        graph = get_app("DVB-T2").blueprint(scale=1)()
+        schedule = make_schedule(graph)
+        assert schedule.input_quantum >= 4 * schedule.output_quantum
+
+
+class TestSynthetic:
+    def test_state_size_knob(self):
+        spec = get_app("Synthetic")
+        small = spec.blueprint(scale=1, state_items=16)()
+        big = spec.blueprint(scale=1, state_items=4096)()
+        small_worker = [w for w in small.workers if w.name == "big_state"][0]
+        big_worker = [w for w in big.workers if w.name == "big_state"][0]
+        assert len(big_worker.array) == 256 * len(small_worker.array)
+        assert big.is_stateful
+
+    def test_stateless_without_state_items(self):
+        graph = get_app("Synthetic").blueprint(scale=1, state_items=0)()
+        assert not graph.is_stateful
+
+    def test_tunable_work_changes_estimate(self):
+        graph = workload_blueprint(scale=1)()
+        workers = tunable_workers(graph)
+        assert workers
+        before = workers[0].work_estimate
+        workers[0].set_intensity(before * 4)
+        assert workers[0].work_estimate == before * 4
+
+
+class TestDefaultInput:
+    def test_bounded_and_deterministic(self):
+        values = [default_input(i) for i in range(1000)]
+        assert all(-0.5 <= v <= 0.5 for v in values)
+        assert values == [default_input(i) for i in range(1000)]
+
+    def test_bit_input_is_binary(self):
+        assert set(bit_input(i) for i in range(100)) <= {0.0, 1.0}

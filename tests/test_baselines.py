@@ -1,0 +1,118 @@
+"""Tests for the vMotion and checkpointing baselines."""
+
+import pytest
+
+from repro import Cluster, StreamApp, partition_even
+from repro.baselines import (
+    CheckpointRuntime,
+    VMMigrationModel,
+    migrate_instance,
+)
+from repro.compiler import CostModel
+
+from tests.conftest import medium_stateless, sample_input
+
+from tests.conftest import integration_cost_model
+TEST_MODEL = integration_cost_model()
+
+
+def launch_app(rate_only=True, n_nodes=3):
+    cluster = Cluster(n_nodes=n_nodes, cores_per_node=4,
+                      cost_model=TEST_MODEL)
+    app = StreamApp(cluster, medium_stateless,
+                    input_fn=None if rate_only else sample_input,
+                    rate_only=rate_only, name="base")
+    cfg = partition_even(medium_stateless(), [0, 1], multiplier=24,
+                         name="init")
+    app.launch(cfg)
+    cluster.run(until=15.0)
+    return cluster, app
+
+
+class TestVMMigration:
+    def test_migration_causes_downtime(self):
+        cluster, app = launch_app()
+        model = VMMigrationModel(memory_bytes=20e9, bandwidth=1.0e9,
+                                 dirty_bytes_per_item=2e6)
+        process = cluster.env.process(migrate_instance(app, model))
+        cluster.run(until=150.0)
+        assert process.triggered
+        blackout = app.event_times("migration_blackout_start")
+        done = app.event_times("migration_done")
+        assert blackout and done
+        report = app.analyze(blackout[0], 150.0)
+        assert report.downtime >= 1.0
+
+    def test_stun_engages_for_fast_dirtying(self):
+        cluster, app = launch_app()
+        model = VMMigrationModel(memory_bytes=20e9, bandwidth=1.0e9,
+                                 dirty_bytes_per_item=5e6)
+        cluster.env.process(migrate_instance(app, model))
+        cluster.run(until=200.0)
+        assert app.event_times("migration_stun")
+
+    def test_instance_resumes_after_migration(self):
+        cluster, app = launch_app()
+        model = VMMigrationModel(memory_bytes=5e9, bandwidth=1.0e9,
+                                 dirty_bytes_per_item=1e4)
+        cluster.env.process(migrate_instance(app, model))
+        cluster.run(until=120.0)
+        done = app.event_times("migration_done")
+        assert done
+        after = app.series.items_between(done[0] + 2.0, done[0] + 8.0)
+        assert after > 0
+
+    def test_migration_downtime_exceeds_adaptive_reconfiguration(self):
+        """The Figure 11 comparison: Gloss's minimum throughput stays
+        positive while migration blacks out."""
+        # vMotion run
+        cluster_a, app_a = launch_app()
+        model = VMMigrationModel(memory_bytes=20e9, bandwidth=1.0e9,
+                                 dirty_bytes_per_item=2e6)
+        cluster_a.env.process(migrate_instance(app_a, model))
+        cluster_a.run(until=150.0)
+        blackout = app_a.event_times("migration_blackout_start")[0]
+        vmotion = app_a.analyze(blackout, 150.0)
+        # Gloss run: move the program to fresh nodes.
+        cluster_b, app_b = launch_app()
+        cfg = partition_even(medium_stateless(), [1, 2], multiplier=24,
+                             name="moved")
+        app_b.reconfigure(cfg, strategy="adaptive")
+        cluster_b.run(until=150.0)
+        gloss = app_b.analyze(15.0, 150.0)
+        assert gloss.downtime == 0.0
+        assert vmotion.downtime > gloss.downtime
+        assert gloss.min_throughput > 0
+
+
+class TestCheckpointBaseline:
+    def test_checkpointing_taxes_normal_execution(self):
+        cluster, app = launch_app()
+        baseline = app.series.items_between(5.0, 15.0)
+        runtime = CheckpointRuntime(app, interval_seconds=3.0,
+                                    ack_overhead=0.3)
+        runtime.start()
+        cluster.run(until=40.0)
+        taxed = app.series.items_between(25.0, 35.0)
+        assert taxed < baseline
+        assert len(runtime.checkpoints) >= 3
+
+    def test_reconfigure_replays_from_checkpoint(self):
+        cluster, app = launch_app()
+        runtime = CheckpointRuntime(app, interval_seconds=5.0)
+        runtime.start()
+        cluster.run(until=32.0)
+        position = runtime.last_checkpoint_position
+        assert position is not None
+        consumed_before = (app.current.input_offset
+                           + app.current.consumed_local)
+        assert consumed_before > position
+        cfg = partition_even(medium_stateless(), [0, 1, 2], multiplier=24,
+                             name="after")
+        process = cluster.env.process(runtime.reconfigure(cfg))
+        cluster.run(until=90.0)
+        assert process.triggered
+        # The replayed instance starts at (or before) the checkpoint.
+        assert app.current.input_offset <= position
+        report = app.analyze(32.0, 90.0)
+        assert report.downtime > 0 or report.disrupted_time > 0

@@ -1,0 +1,226 @@
+"""Tests for nodes, sources, links and the output merger."""
+
+import math
+
+import pytest
+
+from repro.cluster import Cluster, InputSource, OutputMerger, SimNode
+from repro.metrics import bucketize
+from repro.sim import Environment
+
+
+class TestSimNode:
+    def test_single_instance_gets_all_cores(self):
+        node = SimNode(0, cores=16)
+        node.register_blob(1)
+        assert node.cores_for(1) == 16
+
+    def test_two_instances_share(self):
+        node = SimNode(0, cores=16)
+        node.register_blob(1)
+        node.register_blob(2)
+        assert node.cores_for(1) == pytest.approx(8)
+        assert node.cores_for(2) == pytest.approx(8)
+
+    def test_throttle_weight_shifts_share(self):
+        node = SimNode(0, cores=16)
+        node.register_blob(1)
+        node.register_blob(2)
+        node.set_weight(1, 0.25)
+        assert node.cores_for(2) > node.cores_for(1)
+        assert node.cores_for(1) == pytest.approx(16 * 0.25 / 1.25)
+
+    def test_multiple_blobs_split_share(self):
+        node = SimNode(0, cores=16)
+        node.register_blob(1)
+        node.register_blob(1)
+        assert node.cores_for(1) == pytest.approx(8)
+
+    def test_compile_jobs_steal_cores(self):
+        node = SimNode(0, cores=16)
+        node.register_blob(1)
+        node.compile_jobs = 2
+        assert node.cores_for(1) == pytest.approx(14)
+
+    def test_deregister(self):
+        node = SimNode(0, cores=16)
+        node.register_blob(1)
+        node.register_blob(2)
+        node.deregister_instance(2)
+        assert node.cores_for(1) == 16
+
+    def test_minimum_core_floor(self):
+        node = SimNode(0, cores=1)
+        node.register_blob(1)
+        node.compile_jobs = 5
+        assert node.cores_for(1) >= 0.25
+
+
+class TestInputSource:
+    def test_unlimited_source_grants_everything(self):
+        source = InputSource(input_fn=float)
+        view = source.view(0)
+        items, retry = view.take(5, now=0.0)
+        assert items == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert retry == 0.0
+
+    def test_rate_limited_source(self):
+        source = InputSource(input_fn=float, rate=10.0)
+        view = source.view(0)
+        items, retry = view.take(25, now=1.0)  # 10 available
+        assert len(items) == 10
+        assert retry == pytest.approx(2.5)
+
+    def test_two_views_duplicate_input(self):
+        source = InputSource(input_fn=float)
+        a = source.view(0)
+        b = source.view(3)
+        a_items, _ = a.take(5, now=0.0)
+        b_items, _ = b.take(5, now=0.0)
+        assert b_items == a_items[3:] + [5.0, 6.0, 7.0]
+
+    def test_rate_only_source_yields_placeholders(self):
+        source = InputSource(input_fn=None)
+        view = source.view(0)
+        items, _ = view.take(3, now=0.0)
+        assert items == [None, None, None]
+
+    def test_throttle_caps_rate(self):
+        source = InputSource(input_fn=float)
+        view = source.view(0)
+        view.take(100, now=0.0)
+        view.throttle(rate=10.0, now=0.0)
+        items, retry = view.take(50, now=1.0)
+        assert len(items) == 10
+        assert retry > 1.0
+
+    def test_unthrottle_restores(self):
+        source = InputSource(input_fn=float)
+        view = source.view(0)
+        view.throttle(rate=1.0, now=0.0)
+        view.unthrottle()
+        items, _ = view.take(100, now=0.1)
+        assert len(items) == 100
+
+
+class TestOutputMerger:
+    def make(self, collect=True):
+        env = Environment()
+        return env, OutputMerger(env, collect_items=collect)
+
+    def test_single_mode_passthrough(self):
+        env, merger = self.make()
+        merger.set_primary(0)
+        merger.receive(0, 0, ["a", "b"])
+        merger.receive(0, 2, ["c"])
+        assert merger.items == ["a", "b", "c"]
+        assert merger.next_index == 3
+
+    def test_duplicate_ranges_discarded(self):
+        env, merger = self.make()
+        merger.set_primary(0)
+        merger.receive(0, 0, ["a", "b", "c"])
+        merger.receive(0, 1, ["b", "c"])  # fully redundant
+        assert merger.items == ["a", "b", "c"]
+
+    def test_partial_overlap_emits_fresh_suffix(self):
+        env, merger = self.make()
+        merger.set_primary(0)
+        merger.receive(0, 0, ["a", "b"])
+        merger.receive(0, 1, ["b", "c", "d"])
+        assert merger.items == ["a", "b", "c", "d"]
+
+    def test_gap_detected(self):
+        env, merger = self.make()
+        merger.set_primary(0)
+        merger.receive(0, 0, ["a"])
+        with pytest.raises(RuntimeError):
+            merger.receive(0, 5, ["x"])
+
+    def test_fixed_mode_holds_back_secondary(self):
+        env, merger = self.make()
+        merger.set_primary(0)
+        merger.receive(0, 0, ["a", "b"])
+        merger.begin_transition(0, 1, mode="fixed")
+        merger.receive(1, 0, ["a", "b", "c", "d"])  # new runs ahead
+        assert merger.items == ["a", "b"]            # held back
+        merger.receive(0, 2, ["c"])                  # old still primary
+        assert merger.items == ["a", "b", "c"]
+        merger.finish_transition()                   # flush: the spike
+        assert merger.items == ["a", "b", "c", "d"]
+        assert merger.primary_id == 1
+
+    def test_adaptive_mode_merges_first_come(self):
+        env, merger = self.make()
+        merger.set_primary(0)
+        merger.receive(0, 0, ["a"])
+        merger.begin_transition(0, 1, mode="adaptive")
+        merger.receive(1, 0, ["a", "b"])   # new catches up immediately
+        assert merger.items == ["a", "b"]
+        assert merger.caught_up.triggered
+
+    def test_caught_up_requires_reaching_frontier(self):
+        env, merger = self.make()
+        merger.set_primary(0)
+        merger.receive(0, 0, ["a", "b", "c"])
+        merger.begin_transition(0, 1, mode="adaptive")
+        merger.receive(1, 0, ["a"])
+        assert not merger.caught_up.triggered
+        merger.receive(1, 1, ["b", "c"])
+        assert merger.caught_up.triggered
+
+    def test_throughput_series_records_fresh_only(self):
+        env, merger = self.make(collect=False)
+        merger.set_primary(0)
+        merger.receive(0, 0, [1] * 10)
+        merger.receive(0, 5, [1] * 10)   # 5 fresh
+        assert merger.series.total_items == 15
+
+    def test_bad_mode_rejected(self):
+        env, merger = self.make()
+        with pytest.raises(ValueError):
+            merger.begin_transition(0, 1, mode="bogus")
+
+
+class TestClusterFacade:
+    def test_add_and_retire_nodes(self):
+        cluster = Cluster(n_nodes=2)
+        new_id = cluster.add_node()
+        assert new_id == 2
+        assert cluster.available_node_ids == [0, 1, 2]
+        cluster.retire_node(1)
+        assert cluster.available_node_ids == [0, 2]
+        cluster.restore_node(1)
+        assert 1 in cluster.available_node_ids
+
+
+class TestNodeShare:
+    def test_share_of_single_instance(self):
+        node = SimNode(0, cores=16)
+        node.register_blob(1)
+        assert node.share_of(1) == pytest.approx(1.0)
+
+    def test_share_of_balances_weights(self):
+        node = SimNode(0, cores=16)
+        node.register_blob(1)
+        node.register_blob(2)
+        node.set_weight(1, 0.5)
+        assert node.share_of(1) == pytest.approx(0.5 / 1.5)
+        assert node.share_of(2) == pytest.approx(1.0 / 1.5)
+
+    def test_share_of_unknown_instance(self):
+        node = SimNode(0, cores=16)
+        assert node.share_of(42) == 1.0
+
+    def test_tax_reduces_share_and_cores(self):
+        node = SimNode(0, cores=16)
+        node.register_blob(1)
+        node.set_tax(1, 0.25)
+        assert node.share_of(1) == pytest.approx(0.75)
+        assert node.cores_for(1) == pytest.approx(12.0)
+
+    def test_tax_clamped(self):
+        node = SimNode(0, cores=16)
+        node.register_blob(1)
+        node.set_tax(1, 5.0)
+        assert node.cores_for(1) >= 0.25

@@ -1,0 +1,309 @@
+"""Tests for configurations, cost model, two-phase compile, partitioning."""
+
+import pytest
+
+from repro.compiler import (
+    CompiledProgram,
+    Configuration,
+    ConfigurationError,
+    CostModel,
+    absorb_state,
+    choose_multiplier,
+    compile_configuration,
+    partition_even,
+    plan_configuration,
+    single_blob_configuration,
+)
+from repro.core.planner import boundary_edge_counts
+from repro.runtime import GraphInterpreter, ProgramState
+from repro.sched import make_schedule, structural_leftover
+
+from tests.conftest import (
+    medium_stateful,
+    medium_stateless,
+    simple_pipeline,
+    splitjoin_graph,
+)
+
+
+class TestConfiguration:
+    def test_build_and_validate(self):
+        graph = simple_pipeline()
+        config = Configuration.build([(0, [0, 1]), (1, [2])])
+        config.validate(graph)
+        assert config.blob_of(2).node_id == 1
+        assert config.node_ids == [0, 1]
+
+    def test_missing_worker_rejected(self):
+        graph = simple_pipeline()
+        config = Configuration.build([(0, [0, 1])])
+        with pytest.raises(ConfigurationError):
+            config.validate(graph)
+
+    def test_duplicate_worker_rejected(self):
+        graph = simple_pipeline()
+        config = Configuration.build([(0, [0, 1]), (1, [1, 2])])
+        with pytest.raises(ConfigurationError):
+            config.validate(graph)
+
+    def test_unknown_worker_rejected(self):
+        graph = simple_pipeline()
+        config = Configuration.build([(0, [0, 1, 2, 99])])
+        with pytest.raises(ConfigurationError):
+            config.validate(graph)
+
+    def test_empty_blob_rejected(self):
+        graph = simple_pipeline()
+        config = Configuration.build([(0, [0, 1, 2]), (1, [])])
+        with pytest.raises(ConfigurationError):
+            config.validate(graph)
+
+    def test_cyclic_blob_graph_rejected(self):
+        graph = simple_pipeline()
+        # Blob A: head + tail; blob B: middle -> A->B->A cycle.
+        config = Configuration.build([(0, [0, 2]), (1, [1])])
+        with pytest.raises(ConfigurationError):
+            config.validate(graph)
+
+    def test_bad_multiplier_rejected(self):
+        graph = simple_pipeline()
+        config = Configuration.build([(0, [0, 1, 2])], multiplier=0)
+        with pytest.raises(ConfigurationError):
+            config.validate(graph)
+
+    def test_worker_to_blob_mapping(self):
+        config = Configuration.build([(0, [0, 1]), (1, [2])])
+        assert config.worker_to_blob() == {0: 0, 1: 0, 2: 1}
+
+
+class TestCostModel:
+    def test_phases_sum_to_full_compile(self):
+        model = CostModel()
+        full = model.compile_seconds(20, 1000)
+        assert model.phase1_seconds(20, 1000) + model.phase2_seconds(20, 1000) \
+            == pytest.approx(full)
+
+    def test_phase2_is_small(self):
+        model = CostModel()
+        assert model.phase2_seconds(30, 5000) < 0.15 * model.compile_seconds(30, 5000)
+
+    def test_compile_time_grows_with_workers(self):
+        model = CostModel()
+        assert model.compile_seconds(40, 0) > model.compile_seconds(10, 0)
+
+    def test_transfer_time_grows_with_bytes(self):
+        model = CostModel()
+        assert model.transfer_seconds(10 ** 9) > model.transfer_seconds(10 ** 6)
+        assert model.transfer_seconds(0) == pytest.approx(model.data_latency)
+
+    def test_scaled_override(self):
+        model = CostModel().scaled(interp_slowdown=99.0)
+        assert model.interp_slowdown == 99.0
+        assert CostModel().interp_slowdown != 99.0
+
+
+class TestPartitioner:
+    def test_even_partition_covers_graph(self):
+        graph = medium_stateless()
+        config = partition_even(graph, [0, 1, 2])
+        config.validate(graph)
+        assert len(config.blobs) == 3
+
+    def test_partition_is_load_balanced(self):
+        graph = medium_stateless()
+        schedule = make_schedule(graph)
+        config = partition_even(graph, [0, 1])
+        loads = []
+        for blob in config.blobs:
+            loads.append(sum(
+                graph.worker(w).work_estimate * schedule.repetitions[w]
+                for w in blob.workers))
+        assert max(loads) < 3.0 * min(loads)
+
+    def test_single_blob(self):
+        graph = simple_pipeline()
+        config = single_blob_configuration(graph, node_id=5)
+        config.validate(graph)
+        assert config.blobs[0].node_id == 5
+
+    def test_more_nodes_than_workers_clamped(self):
+        graph = simple_pipeline()  # 3 workers
+        config = partition_even(graph, list(range(10)))
+        config.validate(graph)
+        assert len(config.blobs) <= 3
+
+    def test_cut_bias_changes_partition(self):
+        graph = medium_stateless()
+        base = partition_even(graph, [0, 1])
+        biased = partition_even(graph, [0, 1], cut_bias=0.35)
+        assert base.blobs != biased.blobs
+
+    def test_choose_multiplier_reasonable(self):
+        graph = medium_stateless()
+        multiplier = choose_multiplier(graph, CostModel(), n_nodes=2)
+        assert 1 <= multiplier <= 4096
+
+
+class TestTwoPhaseCompile:
+    def test_cold_compile_produces_runnable_blobs(self):
+        graph = medium_stateless()
+        config = partition_even(graph, [0, 1], multiplier=4)
+        program = compile_configuration(graph, config, CostModel())
+        assert isinstance(program, CompiledProgram)
+        assert len(program.blobs) == 2
+        assert program.head_blob is not program.tail_blob
+
+    def test_plan_then_absorb_equals_single_phase(self):
+        graph = medium_stateful()
+        config = partition_even(graph, [0, 1], multiplier=2)
+        plan = plan_configuration(graph, config, CostModel())
+        program = absorb_state(plan, None)
+        assert program.schedule.multiplier == 2
+
+    def test_absorb_twice_rejected(self):
+        graph = medium_stateless()
+        config = partition_even(graph, [0, 1])
+        plan = plan_configuration(graph, config, CostModel())
+        absorb_state(plan, None)
+        with pytest.raises(RuntimeError):
+            absorb_state(plan, None)
+
+    def test_meta_mismatch_rejected(self):
+        graph = medium_stateful()
+        config = partition_even(graph, [0, 1])
+        plan = plan_configuration(graph, config, CostModel(),
+                                  meta_counts={0: 2})
+        wrong = ProgramState(edge_contents={0: [1.0] * 7})
+        with pytest.raises(ValueError):
+            absorb_state(plan, wrong)
+
+    def test_state_installed_into_owning_blobs(self):
+        graph = medium_stateful()
+        config = partition_even(graph, [0, 1], multiplier=2)
+        edge = graph.edges[0]
+        state = ProgramState(edge_contents={edge.index: [0.5, 0.5]})
+        program = compile_configuration(graph, config, CostModel(),
+                                        state=state)
+        owner = [b for b in program.blobs
+                 if edge.index in b.runtime.channels]
+        assert len(owner) == 1
+        assert len(owner[0].runtime.channels[edge.index]) == 2
+
+    def test_compile_seconds_positive(self):
+        graph = medium_stateless()
+        config = partition_even(graph, [0, 1])
+        program = compile_configuration(graph, config, CostModel())
+        for blob in program.blobs:
+            assert blob.compile_seconds() > 0
+            assert blob.phase2_seconds() < blob.phase1_seconds()
+
+
+class TestFusionDecisions:
+    def test_clean_edges_fuse(self):
+        graph = medium_stateless()
+        config = single_blob_configuration(graph)
+        program = compile_configuration(graph, config, CostModel())
+        # With no initial contents every intra-blob edge fuses.
+        assert len(program.blobs[0].fused_edges) == len(graph.edges)
+
+    def test_dirty_edges_do_not_fuse(self):
+        graph = medium_stateless()
+        config = single_blob_configuration(graph)
+        leftovers = structural_leftover(graph)
+        dirty_edge = graph.edges[1]
+        state = ProgramState(edge_contents={
+            dirty_edge.index: [0.1] * (leftovers[dirty_edge.index] + 5)})
+        program = compile_configuration(graph, config, CostModel(),
+                                        state=state)
+        assert dirty_edge.index not in program.blobs[0].fused_edges
+
+    def test_fusion_disabled_by_configuration(self):
+        graph = medium_stateless()
+        config = Configuration(
+            blobs=single_blob_configuration(graph).blobs, fusion=False)
+        program = compile_configuration(graph, config, CostModel())
+        assert not program.blobs[0].fused_edges
+
+    def test_fusion_speeds_up_iteration(self):
+        graph = medium_stateless()
+        fused = compile_configuration(
+            graph, single_blob_configuration(graph), CostModel())
+        graph2 = medium_stateless()
+        unfused_config = Configuration(
+            blobs=single_blob_configuration(graph2).blobs, fusion=False,
+            removal=False)
+        unfused = compile_configuration(graph2, unfused_config, CostModel())
+        assert fused.blobs[0].iteration_seconds(4) \
+            < unfused.blobs[0].iteration_seconds(4)
+
+    def test_builtin_removal(self):
+        graph = splitjoin_graph()
+        config = single_blob_configuration(graph)
+        program = compile_configuration(graph, config, CostModel())
+        removed = program.blobs[0].removed_workers
+        builtins = {w.worker_id for w in graph.workers if w.builtin}
+        assert removed == builtins
+
+    def test_data_parallel_speedup_for_stateless(self):
+        # At realistic multipliers there is enough work per iteration
+        # to amortize the extra barrier cost of more threads.
+        graph = medium_stateless()
+        program = compile_configuration(
+            graph, single_blob_configuration(graph, multiplier=64),
+            CostModel())
+        blob = program.blobs[0]
+        assert blob.iteration_seconds(8) < blob.iteration_seconds(1)
+
+    def test_stateful_work_does_not_parallelize(self):
+        graph = medium_stateful()
+        program = compile_configuration(
+            graph, single_blob_configuration(graph), CostModel())
+        blob = program.blobs[0]
+        serial = blob._effective_work()["serial"]
+        assert serial > 0
+        # Speedup saturates: 1000 cores can't beat the serial fraction.
+        floor = serial / CostModel().node_speed
+        assert blob.iteration_seconds(1000) >= floor
+
+
+class TestBoundaryPrefill:
+    def test_boundary_edges_prefilled(self):
+        graph = medium_stateless()
+        config = partition_even(graph, [0, 1], multiplier=4)
+        program = compile_configuration(graph, config, CostModel())
+        counts = boundary_edge_counts(program.schedule)
+        mapping = config.worker_to_blob()
+        boundary = [e for e in graph.edges
+                    if mapping[e.src] != mapping[e.dst]]
+        depth = CostModel().pipeline_depth
+        for edge in boundary:
+            src = graph.worker(edge.src)
+            per_iteration = (src.push_rates[edge.src_port]
+                             * program.schedule.steady_firings(edge.src))
+            assert counts[edge.index] >= per_iteration * depth
+
+    def test_intra_blob_edges_not_prefilled(self):
+        graph = medium_stateless()
+        config = single_blob_configuration(graph, multiplier=4)
+        program = compile_configuration(graph, config, CostModel())
+        counts = boundary_edge_counts(program.schedule)
+        leftovers = structural_leftover(graph)
+        for edge in graph.edges:
+            assert counts.get(edge.index, 0) <= leftovers[edge.index]
+
+
+class TestCompiledProgram:
+    def test_consumers_map(self):
+        graph = medium_stateless()
+        config = partition_even(graph, [0, 1])
+        program = compile_configuration(graph, config, CostModel())
+        consumers = program.consumers(0)
+        assert all(blob_id == 1 for blob_id in consumers.values())
+        assert program.consumers(1) == {}
+
+    def test_total_compile_seconds_is_per_node_max(self):
+        graph = medium_stateless()
+        config = partition_even(graph, [0, 1])
+        program = compile_configuration(graph, config, CostModel())
+        assert program.total_compile_seconds \
+            == max(b.compile_seconds() for b in program.blobs)

@@ -1,0 +1,76 @@
+"""Tests for the experiment scaffolding used by the benchmarks."""
+
+import os
+
+import pytest
+
+from repro.compiler import CostModel
+from repro.experiments import format_rows, make_experiment_app, write_result
+from repro.experiments.runner import TARGET_ITERATION_WORK
+
+#: Keep the paper-scale helper fast in unit tests.
+FAST = dict(scale=1, warmup=25.0)
+
+
+class TestFormatRows:
+    def test_columns_align(self):
+        text = format_rows(("a", "long header"), [(1, 2), (333, 4)],
+                           title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(set(len(line) for line in lines[1:])) <= 2
+        assert "333" in text
+
+    def test_no_title(self):
+        text = format_rows(("x",), [(1,)])
+        assert text.splitlines()[0].startswith("x")
+
+
+class TestWriteResult:
+    def test_writes_under_env_dir(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = write_result("unit_test", "hello world")
+        assert os.path.exists(path)
+        assert "hello world" in open(path).read()
+        assert "hello world" in capsys.readouterr().out
+
+
+class TestMakeExperimentApp:
+    def test_app_reaches_steady_state(self):
+        experiment = make_experiment_app("TDE_PP", n_nodes=2,
+                                         initial_nodes=[0, 1], **FAST)
+        assert experiment.app.current.status == "running"
+        assert experiment.app.series.total_items > 0
+
+    def test_multiplier_targets_iteration_work(self):
+        experiment = make_experiment_app("TDE_PP", n_nodes=2,
+                                         initial_nodes=[0], **FAST)
+        from repro.sched import make_schedule
+        work = make_schedule(
+            experiment.blueprint(),
+            multiplier=experiment.multiplier).steady_work
+        assert work >= TARGET_ITERATION_WORK * 0.5
+        assert work <= TARGET_ITERATION_WORK * 3.0
+
+    def test_explicit_multiplier_respected(self):
+        experiment = make_experiment_app("TDE_PP", n_nodes=2,
+                                         initial_nodes=[0],
+                                         multiplier=7, **FAST)
+        assert experiment.multiplier == 7
+
+    def test_reconfigure_and_run_reports(self):
+        experiment = make_experiment_app("TDE_PP", n_nodes=3,
+                                         initial_nodes=[0, 1], **FAST)
+        config = experiment.config([0, 1, 2], name="wider")
+        start, report = experiment.reconfigure_and_run(config, "adaptive",
+                                                       settle=50.0)
+        assert report.downtime == 0.0
+        assert experiment.app.current.label == "wider"
+
+    def test_incomplete_reconfiguration_raises(self):
+        experiment = make_experiment_app("TDE_PP", n_nodes=3,
+                                         initial_nodes=[0, 1], **FAST)
+        config = experiment.config([0, 1, 2], name="wider")
+        with pytest.raises(RuntimeError):
+            # One second is not enough to even finish phase-1.
+            experiment.reconfigure_and_run(config, "adaptive", settle=1.0)

@@ -1,0 +1,266 @@
+"""Tests for workers, composition, flattening and validation."""
+
+import pytest
+
+from repro.graph import (
+    DuplicateSplitter,
+    Filter,
+    GraphValidationError,
+    Pipeline,
+    RoundRobinJoiner,
+    RoundRobinSplitter,
+    SplitJoin,
+    StatefulFilter,
+)
+from repro.graph.library import (
+    Accumulator,
+    ArrayStateFilter,
+    BlockTransform,
+    Counter,
+    Decimator,
+    DelayFilter,
+    Expander,
+    FIRFilter,
+    Identity,
+    MapFilter,
+    MovingAverage,
+    OffsetFilter,
+    ScaleFilter,
+)
+from repro.runtime.channels import Channel
+from repro.runtime.interpreter import fire_worker
+
+from tests.conftest import simple_pipeline, splitjoin_graph
+
+
+def run_filter(worker, items):
+    """Fire a single filter as often as possible on ``items``."""
+    source = Channel(items)
+    sink = Channel()
+    while len(source) >= worker.peek_rates[0]:
+        fire_worker(worker, [source], [sink])
+    return list(sink.items)
+
+
+class TestRates:
+    def test_peek_defaults_to_pop(self):
+        worker = ScaleFilter(2.0)
+        assert worker.peek_rates == worker.pop_rates
+
+    def test_peek_below_pop_rejected(self):
+        with pytest.raises(ValueError):
+            Filter(pop=3, push=1, peek=2)
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            Filter(pop=-1, push=1)
+
+    def test_rate_tuple_length_checked(self):
+        from repro.graph.workers import Joiner
+        with pytest.raises(ValueError):
+            Joiner(n_inputs=3, pop_rates=(1, 2), push=3)
+
+    def test_peeking_detection(self):
+        assert FIRFilter([1, 2, 3]).is_peeking
+        assert not ScaleFilter(2.0).is_peeking
+
+
+class TestState:
+    def test_stateless_has_empty_state(self):
+        worker = ScaleFilter(3.0)
+        assert not worker.is_stateful
+        assert worker.get_state() == {}
+
+    def test_state_roundtrip(self):
+        worker = Accumulator()
+        run_filter(worker, [1.0, 2.0, 3.0])
+        state = worker.get_state()
+        assert state == {"total": 6.0}
+        fresh = Accumulator()
+        fresh.set_state(state)
+        assert fresh.total == 6.0
+
+    def test_state_is_deep_copied(self):
+        worker = ArrayStateFilter(4)
+        state = worker.get_state()
+        state["array"][0] = 99.0
+        assert worker.array[0] == 0.0
+
+    def test_wrong_state_fields_rejected(self):
+        worker = Accumulator()
+        with pytest.raises(ValueError):
+            worker.set_state({"bogus": 1})
+
+    def test_delay_filter_state(self):
+        worker = DelayFilter(2, initial=0.5)
+        out = run_filter(worker, [1.0, 2.0, 3.0])
+        assert out == [0.5, 0.5, 1.0]
+        assert worker.get_state() == {"delay_line": [2.0, 3.0]}
+
+
+class TestLibraryWorkers:
+    def test_identity(self):
+        assert run_filter(Identity(), [1, 2, 3]) == [1, 2, 3]
+
+    def test_scale(self):
+        assert run_filter(ScaleFilter(2.0), [1.0, 2.0]) == [2.0, 4.0]
+
+    def test_offset(self):
+        assert run_filter(OffsetFilter(1.0), [1.0]) == [2.0]
+
+    def test_map(self):
+        assert run_filter(MapFilter(lambda x: x * x), [2, 3]) == [4, 9]
+
+    def test_fir_is_sliding_dot_product(self):
+        out = run_filter(FIRFilter([0.5, 0.5]), [1.0, 3.0, 5.0])
+        assert out == [2.0, 4.0]
+
+    def test_moving_average(self):
+        out = run_filter(MovingAverage(2), [2.0, 4.0, 6.0])
+        assert out == [3.0, 5.0]
+
+    def test_decimator(self):
+        assert run_filter(Decimator(3), [1, 2, 3, 4, 5, 6]) == [1, 4]
+
+    def test_expander(self):
+        assert run_filter(Expander(2), [7]) == [7, 7]
+
+    def test_counter_tags_sequence(self):
+        out = run_filter(Counter(), ["a", "b"])
+        assert out == [(0, "a"), (1, "b")]
+
+    def test_block_transform_checks_output_size(self):
+        bad = BlockTransform(pop=2, push=3, fn=lambda b: b)
+        with pytest.raises(ValueError):
+            run_filter(bad, [1, 2])
+
+    def test_array_state_filter_cycles(self):
+        worker = ArrayStateFilter(2)
+        out = run_filter(worker, [1.0, 2.0, 3.0])
+        assert len(out) == 3
+        assert worker.cursor == 1
+
+    def test_bad_constructor_args(self):
+        with pytest.raises(ValueError):
+            Decimator(0)
+        with pytest.raises(ValueError):
+            Expander(0)
+        with pytest.raises(ValueError):
+            FIRFilter([])
+        with pytest.raises(ValueError):
+            DelayFilter(0)
+        with pytest.raises(ValueError):
+            ArrayStateFilter(0)
+
+
+class TestSplittersJoiners:
+    def test_roundrobin_splitter(self):
+        splitter = RoundRobinSplitter((2, 1))
+        source = Channel([1, 2, 3, 4, 5, 6])
+        outs = [Channel(), Channel()]
+        fire_worker(splitter, [source], outs)
+        fire_worker(splitter, [source], outs)
+        assert list(outs[0].items) == [1, 2, 4, 5]
+        assert list(outs[1].items) == [3, 6]
+
+    def test_duplicate_splitter(self):
+        splitter = DuplicateSplitter(3)
+        source = Channel(["x"])
+        outs = [Channel() for _ in range(3)]
+        fire_worker(splitter, [source], outs)
+        assert all(list(c.items) == ["x"] for c in outs)
+
+    def test_roundrobin_joiner(self):
+        joiner = RoundRobinJoiner((1, 2))
+        ins = [Channel([1, 10]), Channel([2, 3, 20, 30])]
+        out = Channel()
+        fire_worker(joiner, ins, [out])
+        fire_worker(joiner, ins, [out])
+        assert list(out.items) == [1, 2, 3, 10, 20, 30]
+
+    def test_weights_from_int(self):
+        assert RoundRobinSplitter(3).weights == (1, 1, 1)
+        assert RoundRobinJoiner(2).weights == (1, 1)
+
+    def test_bad_weights(self):
+        with pytest.raises(ValueError):
+            RoundRobinSplitter((0, 1))
+        with pytest.raises(ValueError):
+            RoundRobinJoiner(())
+
+    def test_builtins_marked(self):
+        assert RoundRobinSplitter(2).builtin
+        assert DuplicateSplitter(2).builtin
+        assert RoundRobinJoiner(2).builtin
+        assert not ScaleFilter(1.0).builtin
+
+
+class TestFlattening:
+    def test_simple_pipeline_shape(self):
+        graph = simple_pipeline()
+        assert len(graph.workers) == 3
+        assert len(graph.edges) == 2
+        assert graph.head.worker_id == 0
+        assert graph.tail.worker_id == 2
+
+    def test_splitjoin_shape(self):
+        graph = splitjoin_graph()
+        # scale, split, fir, (join inserted), expander, decimator, scale
+        assert len(graph.workers) == 7
+        split = [w for w in graph.workers if isinstance(w, DuplicateSplitter)]
+        join = [w for w in graph.workers if isinstance(w, RoundRobinJoiner)]
+        assert len(split) == 1 and len(join) == 1
+        assert len(graph.out_edges(split[0].worker_id)) == 2
+        assert len(graph.in_edges(join[0].worker_id)) == 2
+
+    def test_topological_order_is_valid(self):
+        graph = splitjoin_graph()
+        order = graph.topological_order()
+        position = {w: i for i, w in enumerate(order)}
+        for edge in graph.edges:
+            assert position[edge.src] < position[edge.dst]
+
+    def test_nested_splitjoin(self):
+        inner = SplitJoin(
+            DuplicateSplitter(2), Identity(), Identity(),
+            RoundRobinJoiner(2))
+        graph = Pipeline(
+            Identity(),
+            SplitJoin(DuplicateSplitter(2), inner, Identity(),
+                      RoundRobinJoiner((2, 1))),
+            Identity(),
+        ).flatten()
+        assert len(graph.workers) == 9
+        assert graph.head.name == "identity"
+
+    def test_worker_ids_assigned_in_order(self):
+        graph = simple_pipeline()
+        assert [w.worker_id for w in graph.workers] == [0, 1, 2]
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(GraphValidationError):
+            Pipeline()
+
+    def test_worker_reuse_rejected(self):
+        shared = Identity()
+        with pytest.raises(GraphValidationError):
+            Pipeline(shared, shared).flatten()
+
+    def test_splitjoin_branch_count_must_match(self):
+        with pytest.raises(GraphValidationError):
+            SplitJoin(DuplicateSplitter(3), Identity(), Identity(),
+                      RoundRobinJoiner(2))
+        with pytest.raises(GraphValidationError):
+            SplitJoin(DuplicateSplitter(2), Identity(), Identity(),
+                      RoundRobinJoiner(3))
+
+    def test_splitjoin_requires_splitter_and_joiner(self):
+        with pytest.raises(GraphValidationError):
+            SplitJoin(Identity(), Identity(), RoundRobinJoiner(1))
+        with pytest.raises(GraphValidationError):
+            SplitJoin(RoundRobinSplitter(1), Identity(), Identity())
+
+    def test_describe_mentions_workers(self):
+        text = simple_pipeline().describe()
+        assert "scale" in text
+        assert "fir" in text

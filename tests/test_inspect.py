@@ -1,0 +1,88 @@
+"""Tests for graph inspection, DOT export and the rate audit."""
+
+import pytest
+
+from repro.compiler import partition_even
+from repro.graph import Pipeline
+from repro.graph.inspect import graph_stats, rate_audit, to_dot
+from repro.graph.library import FIRFilter, Identity, ScaleFilter
+from repro.graph.workers import Filter
+
+from tests.conftest import medium_stateful, splitjoin_graph
+
+
+class TestToDot:
+    def test_contains_every_worker_and_edge(self):
+        graph = splitjoin_graph()
+        dot = to_dot(graph)
+        for worker in graph.workers:
+            assert "w%d " % worker.worker_id in dot or \
+                "w%d [" % worker.worker_id in dot
+        assert dot.count("->") == len(graph.edges)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+    def test_stateful_workers_highlighted(self):
+        graph = medium_stateful()
+        dot = to_dot(graph)
+        assert 'color="red"' in dot
+
+    def test_blob_coloring_and_network_edges(self):
+        graph = medium_stateful()
+        config = partition_even(graph, [0, 1])
+        dot = to_dot(graph, blob_of=config.worker_to_blob())
+        assert "fillcolor" in dot
+        assert 'label="net"' in dot  # the cross-blob edge is marked
+
+    def test_name_sanitized(self):
+        dot = to_dot(splitjoin_graph(), name="my graph!")
+        assert "digraph my_graph_" in dot
+
+
+class TestGraphStats:
+    def test_counts(self):
+        graph = medium_stateful()
+        stats = graph_stats(graph)
+        assert stats["workers"] == len(graph.workers)
+        assert stats["edges"] == len(graph.edges)
+        assert stats["stateful_workers"] == 2
+        assert stats["peeking_workers"] >= 3
+        assert stats["steady_work"] > 0
+
+    def test_quanta_match_schedule(self):
+        from repro.sched import make_schedule
+        graph = splitjoin_graph()
+        stats = graph_stats(graph)
+        schedule = make_schedule(graph)
+        assert stats["input_quantum"] == schedule.input_quantum
+        assert stats["output_quantum"] == schedule.output_quantum
+
+
+class TestRateAudit:
+    def test_healthy_graph_is_clean(self):
+        assert rate_audit(splitjoin_graph()) == []
+
+    def test_zero_pop_flagged(self):
+        class Sink(Filter):
+            def __init__(self):
+                super().__init__(pop=0, push=1, name="weird")
+
+            def work(self, input, output):
+                output.push(0)
+
+        graph = Pipeline(Identity(), Sink()).flatten()
+        warnings = rate_audit(graph)
+        assert any("never consumes" in w for w in warnings)
+
+    def test_huge_peek_flagged(self):
+        graph = Pipeline(ScaleFilter(1.0),
+                         FIRFilter([0.1] * 100)).flatten()
+        warnings = rate_audit(graph)
+        assert any("peeking buffer" in w for w in warnings)
+
+    def test_zero_work_flagged(self):
+        graph = Pipeline(Identity(),
+                         ScaleFilter(1.0, name="free")).flatten()
+        graph.workers[1].work_estimate = 0.0
+        warnings = rate_audit(graph)
+        assert any("zero work" in w for w in warnings)

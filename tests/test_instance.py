@@ -1,0 +1,183 @@
+"""Focused tests for GraphInstance / BlobProcess cluster behaviour."""
+
+import pytest
+
+from repro import Cluster, StreamApp, partition_even
+from repro.compiler import CostModel
+from repro.runtime.channels import GRAPH_INPUT
+
+from tests.conftest import medium_stateful, medium_stateless, sample_input
+
+from tests.conftest import integration_cost_model
+TEST_MODEL = integration_cost_model()
+
+
+def launch(factory, nodes=(0, 1), multiplier=24, until=12.0, **kwargs):
+    cluster = Cluster(n_nodes=3, cores_per_node=4, cost_model=TEST_MODEL)
+    app = StreamApp(cluster, factory, input_fn=sample_input,
+                    name="inst", **kwargs)
+    app.launch(partition_even(factory(), list(nodes),
+                              multiplier=multiplier, name="init"))
+    cluster.run(until=until)
+    return cluster, app
+
+
+class TestLifecycle:
+    def test_instance_reaches_running(self):
+        cluster, app = launch(medium_stateless)
+        assert app.current.status == "running"
+        assert app.current.running_event.triggered
+
+    def test_start_twice_rejected(self):
+        cluster, app = launch(medium_stateless)
+        with pytest.raises(RuntimeError):
+            app.current.start()
+
+    def test_pause_resume_stops_and_restarts_output(self):
+        cluster, app = launch(medium_stateless)
+        instance = app.current
+        before = app.series.total_items
+        instance.pause()
+        cluster.run(until=20.0)
+        paused_items = app.series.total_items
+        # A little in-flight data may still land; output then stops.
+        assert app.series.items_between(15.0, 20.0) == 0
+        instance.resume()
+        cluster.run(until=26.0)
+        assert app.series.total_items > paused_items
+
+    def test_abandon_tears_down(self):
+        cluster, app = launch(medium_stateless)
+        instance = app.current
+        node_ids = {b.spec.node_id for b in instance.program.blobs}
+        instance.abandon()
+        assert instance.status == "abandoned"
+        assert instance.stopped_event.triggered
+        for node_id in node_ids:
+            assert instance.instance_id not in \
+                cluster.node(node_id).resident_instances
+        # Abandoning again is a no-op.
+        instance.abandon()
+
+    def test_stop_at_boundary_is_clean(self):
+        cluster, app = launch(medium_stateless)
+        instance = app.current
+        target = instance.max_iteration + 3
+        instance.request_stop_at(target)
+        cluster.run(until=30.0)
+        assert instance.status == "stopped"
+        for process in instance.blob_procs.values():
+            assert process.runtime.iteration == target
+
+
+class TestCounters:
+    def test_consumed_matches_boundary_formula(self):
+        cluster, app = launch(medium_stateful)
+        instance = app.current
+        instance.request_stop_at(instance.max_iteration + 2)
+        cluster.run(until=30.0)
+        k = instance.program.head_blob.runtime.iteration
+        assert instance.consumed_local == instance.consumed_at_boundary(k)
+
+    def test_emitted_matches_boundary_formula(self):
+        cluster, app = launch(medium_stateful)
+        instance = app.current
+        instance.request_stop_at(instance.max_iteration + 2)
+        cluster.run(until=30.0)
+        tail = instance.program.tail_blob.runtime
+        assert tail.emitted_output == instance.emitted_at_boundary(
+            tail.iteration)
+
+    def test_merger_sees_all_emitted(self):
+        cluster, app = launch(medium_stateless)
+        assert app.merger.next_index == app.current.emitted_local
+
+
+class TestThrottling:
+    def test_core_weight_slows_instance(self):
+        cluster, app = launch(medium_stateless)
+        rate_before = app.series.items_between(6.0, 12.0) / 6.0
+        app.current.set_core_weight(0.25)
+        # Weight only matters under contention; register a phantom
+        # instance to create it.
+        for process in app.current.blob_procs.values():
+            process.node.register_blob(instance_id=999)
+        cluster.run(until=24.0)
+        rate_after = app.series.items_between(18.0, 24.0) / 6.0
+        assert rate_after < rate_before
+
+    def test_input_throttle_slows_instance(self):
+        cluster, app = launch(medium_stateless)
+        rate_before = app.series.items_between(6.0, 12.0) / 6.0
+        app.current.throttle_input(rate_before / 8.0)
+        cluster.run(until=26.0)
+        rate_after = app.series.items_between(20.0, 26.0) / 6.0
+        assert rate_after < 0.5 * rate_before
+
+    def test_overhead_tax_slows_instance(self):
+        cluster, app = launch(medium_stateless)
+        rate_before = app.series.items_between(6.0, 12.0) / 6.0
+        app.current.set_overhead_tax(0.6)
+        cluster.run(until=24.0)
+        rate_after = app.series.items_between(18.0, 24.0) / 6.0
+        assert rate_after < rate_before
+
+
+class TestAST:
+    def test_ast_request_too_close_rejected(self):
+        cluster, app = launch(medium_stateful)
+        process = next(iter(app.current.blob_procs.values()))
+        reply = cluster.env.event()
+        assert not process.request_ast(process.runtime.iteration, reply)
+        assert not process.request_ast(process.runtime.iteration + 1, reply)
+        assert process.request_ast(process.runtime.iteration + 10, reply)
+
+    def test_ast_capture_returns_consistent_state(self):
+        cluster, app = launch(medium_stateful)
+        instance = app.current
+        capture = cluster.env.process(instance.ast_capture())
+        cluster.run(until=40.0)
+        assert capture.triggered and capture.ok
+        state, boundary = capture.value
+        # The instance kept running past the boundary (no stop).
+        assert instance.status == "running"
+        assert instance.max_iteration > boundary
+        # Worker states for every stateful worker were captured.
+        graph = instance.program.graph
+        stateful = {w.worker_id for w in graph.workers if w.is_stateful}
+        assert set(state.worker_states) == stateful
+        # Counters correspond to the boundary.
+        assert state.consumed == instance.consumed_at_boundary(boundary)
+
+    def test_ast_with_tiny_lead_retries_and_succeeds(self):
+        cluster = Cluster(n_nodes=2, cores_per_node=4,
+                          cost_model=TEST_MODEL.scaled(ast_lead_time=1e-4))
+        app = StreamApp(cluster, medium_stateful, input_fn=sample_input,
+                        name="lead")
+        app.launch(partition_even(medium_stateful(), [0, 1],
+                                  multiplier=24, name="init"))
+        cluster.run(until=12.0)
+        capture = cluster.env.process(app.current.ast_capture())
+        cluster.run(until=40.0)
+        assert capture.triggered and capture.ok
+
+
+class TestInputFeeding:
+    def test_rate_limited_source_paces_instance(self):
+        cluster = Cluster(n_nodes=2, cores_per_node=4,
+                          cost_model=TEST_MODEL)
+        app = StreamApp(cluster, medium_stateless, input_fn=sample_input,
+                        name="paced", input_rate=500.0)
+        app.launch(partition_even(medium_stateless(), [0, 1],
+                                  multiplier=24, name="init"))
+        cluster.run(until=40.0)
+        rate = app.series.items_between(20.0, 40.0) / 20.0
+        assert rate <= 520.0
+        assert rate >= 300.0
+
+    def test_head_channel_does_not_hoard_input(self):
+        cluster, app = launch(medium_stateless)
+        head = app.current.program.head_blob.runtime
+        # Pull model: at most ~an iteration of input sits buffered.
+        assert len(head.channels[GRAPH_INPUT]) <= \
+            2 * head.steady_input_need(GRAPH_INPUT) + 8

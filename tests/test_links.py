@@ -1,0 +1,134 @@
+"""Unit tests for inter-blob data links (latency, backpressure)."""
+
+import pytest
+
+from repro.compiler import CostModel, partition_even
+from repro.compiler.two_phase import compile_configuration
+from repro.cluster.links import DataLink
+from repro.sim import Environment
+
+from tests.conftest import medium_stateless
+
+
+class _StubInstance:
+    draining = False
+
+
+class _StubConsumer:
+    """Minimal BlobProcess stand-in: one channel + notify counter."""
+
+    def __init__(self, key):
+        from repro.runtime.channels import Channel
+
+        class _RT:
+            def __init__(self):
+                self.channels = {key: Channel()}
+
+            def deliver(self, channel_key, items):
+                self.channels[channel_key].push_many(items)
+
+        self.runtime = _RT()
+        self.instance = _StubInstance()
+        self.notified = 0
+
+    def notify(self):
+        self.notified += 1
+
+
+def make_link(capacity=10):
+    env = Environment()
+    consumer = _StubConsumer(key=0)
+    link = DataLink(env, CostModel(), consumer, key=0, capacity=capacity)
+    return env, consumer, link
+
+
+def drive(env, generator):
+    return env.process(generator)
+
+
+class TestDelivery:
+    def test_items_arrive_after_latency(self):
+        env, consumer, link = make_link()
+        drive(env, link.send([1, 2, 3]))
+        assert len(consumer.runtime.channels[0]) == 0
+        env.run()
+        assert list(consumer.runtime.channels[0].items) == [1, 2, 3]
+        assert consumer.notified == 1
+        assert env.now >= CostModel().data_latency
+
+    def test_larger_batches_take_longer(self):
+        model = CostModel()
+        times = []
+        for count in (10, 100000):
+            env, consumer, link = make_link(capacity=10 ** 9)
+            drive(env, link.send([None] * count))
+            env.run()
+            times.append(env.now)
+        assert times[1] > times[0]
+
+    def test_in_flight_counter(self):
+        env, consumer, link = make_link()
+        drive(env, link.send([1, 2]))
+        env.run(until=1e-9)
+        assert link.in_flight == 2
+        assert not link.idle
+        env.run()
+        assert link.in_flight == 0
+        assert link.idle
+
+
+class TestBackpressure:
+    def test_send_blocks_at_capacity(self):
+        env, consumer, link = make_link(capacity=3)
+        drive(env, link.send([1, 2, 3]))
+        env.run()
+        second = drive(env, link.send([4, 5]))
+        env.run()
+        assert not second.triggered  # blocked: 3 occupied + 2 > 3
+        # Consumer drains and signals.
+        consumer.runtime.channels[0].pop_many(3)
+        link.notify_sender()
+        env.run()
+        assert second.triggered
+        assert list(consumer.runtime.channels[0].items) == [4, 5]
+
+    def test_oversized_batch_allowed_when_empty(self):
+        """A batch larger than capacity must not deadlock: it is
+        accepted whenever the channel is empty."""
+        env, consumer, link = make_link(capacity=2)
+        done = drive(env, link.send([1, 2, 3, 4, 5]))
+        env.run()
+        assert done.triggered
+        assert len(consumer.runtime.channels[0]) == 5
+
+    def test_draining_waives_capacity(self):
+        env, consumer, link = make_link(capacity=1)
+        drive(env, link.send([1]))
+        env.run()
+        consumer.instance.draining = True
+        done = drive(env, link.send([2, 3]))
+        env.run()
+        assert done.triggered
+        assert len(consumer.runtime.channels[0]) == 3
+
+
+class TestWiring:
+    def test_instance_wiring_sets_producer_and_capacity(self):
+        from repro import Cluster, StreamApp
+        from tests.conftest import integration_cost_model
+        cluster = Cluster(n_nodes=2, cores_per_node=4,
+                          cost_model=integration_cost_model())
+        app = StreamApp(cluster, medium_stateless, rate_only=True,
+                        name="wire")
+        app.launch(partition_even(medium_stateless(), [0, 1],
+                                  multiplier=8, name="init"))
+        cluster.run(until=10.0)
+        instance = app.current
+        producers = [p for p in instance.blob_procs.values()
+                     if p.out_links]
+        assert producers
+        for producer in producers:
+            for link in producer.out_links.values():
+                assert link.producer is producer
+                assert link.capacity > 0
+                assert link in link.consumer.in_links

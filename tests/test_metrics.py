@@ -1,0 +1,154 @@
+"""Tests for throughput series and disruption analysis."""
+
+import pytest
+
+from repro.metrics import (
+    ThroughputSeries,
+    analyze_reconfiguration,
+    bucketize,
+)
+
+
+def steady_series(rate=100, start=0, end=60):
+    series = ThroughputSeries()
+    for second in range(start, end):
+        series.record(second + 0.5, rate)
+    return series
+
+
+class TestThroughputSeries:
+    def test_record_and_totals(self):
+        series = ThroughputSeries()
+        series.record(1.0, 10)
+        series.record(2.0, 20)
+        assert series.total_items == 30
+        assert series.last_time == 2.0
+
+    def test_zero_counts_ignored(self):
+        series = ThroughputSeries()
+        series.record(1.0, 0)
+        assert len(series) == 0
+
+    def test_out_of_order_rejected(self):
+        series = ThroughputSeries()
+        series.record(5.0, 1)
+        with pytest.raises(ValueError):
+            series.record(4.0, 1)
+
+    def test_items_between(self):
+        series = steady_series(rate=10)
+        assert series.items_between(0.0, 10.0) == 100
+        assert series.items_between(10.0, 10.0) == 0
+
+    def test_first_emission_after(self):
+        series = steady_series(end=5)
+        assert series.first_emission_after(3.6) == 4.5
+        assert series.first_emission_after(100.0) == float("inf")
+
+
+class TestBucketize:
+    def test_uniform_rate(self):
+        series = steady_series(rate=50, end=10)
+        buckets = bucketize(series, 0.0, 10.0)
+        assert len(buckets) == 10
+        assert all(rate == 50.0 for _, rate in buckets)
+
+    def test_gap_shows_zero(self):
+        series = ThroughputSeries()
+        series.record(0.5, 10)
+        series.record(3.5, 10)
+        buckets = bucketize(series, 0.0, 4.0)
+        assert [rate for _, rate in buckets] == [10.0, 0.0, 0.0, 10.0]
+
+
+class TestAnalysis:
+    def make_series_with_outage(self, outage_start=30, outage_end=35,
+                                rate=100, end=60):
+        series = ThroughputSeries()
+        for second in range(end):
+            if outage_start <= second < outage_end:
+                continue
+            series.record(second + 0.5, rate)
+        return series
+
+    def test_downtime_measured(self):
+        series = self.make_series_with_outage(30, 35)
+        report = analyze_reconfiguration(series, 30.0, 60.0)
+        assert report.downtime == pytest.approx(5.0)
+        assert report.disrupted_time == pytest.approx(5.0)
+        assert report.full_throughput == pytest.approx(100.0)
+        assert report.has_downtime
+
+    def test_no_disruption(self):
+        series = steady_series()
+        report = analyze_reconfiguration(series, 30.0, 60.0)
+        assert report.downtime == 0.0
+        assert report.disrupted_time == 0.0
+        assert not report.has_downtime
+        assert report.recovery_time == 0.0
+
+    def test_reduced_but_nonzero_counts_as_disrupted_not_down(self):
+        series = ThroughputSeries()
+        for second in range(60):
+            rate = 40 if 30 <= second < 36 else 100
+            series.record(second + 0.5, rate)
+        report = analyze_reconfiguration(series, 30.0, 60.0)
+        assert report.downtime == 0.0
+        assert report.disrupted_time == pytest.approx(6.0)
+        assert report.min_throughput == pytest.approx(40.0)
+
+    def test_spike_detection(self):
+        series = ThroughputSeries()
+        for second in range(60):
+            rate = 500 if second == 35 else 100
+            series.record(second + 0.5, rate)
+        report = analyze_reconfiguration(series, 30.0, 60.0)
+        assert report.has_spike
+        assert report.max_throughput == pytest.approx(500.0)
+
+    def test_recovery_time(self):
+        series = self.make_series_with_outage(30, 40)
+        report = analyze_reconfiguration(series, 30.0, 70.0)
+        assert report.recovery_time == pytest.approx(10.0)
+
+    def test_first_output_gap(self):
+        series = self.make_series_with_outage(30, 33)
+        report = analyze_reconfiguration(series, 30.0, 60.0)
+        assert report.first_output_gap == pytest.approx(3.5)
+
+    def test_never_recovers_is_bounded_by_horizon(self):
+        series = ThroughputSeries()
+        for second in range(30):
+            series.record(second + 0.5, 100)
+        report = analyze_reconfiguration(series, 30.0, 50.0)
+        assert report.downtime == pytest.approx(20.0)
+        assert report.recovery_time == pytest.approx(20.0)
+
+
+class TestDisruptionWindowLocation:
+    """Disruption may begin long after the reconfiguration request
+    (phase-1 compilation is hidden); recovery must be sought after the
+    first disrupted bucket, not from the request."""
+
+    def test_late_outage_still_measured(self):
+        series = ThroughputSeries()
+        for second in range(80):
+            if 45 <= second < 50:
+                continue  # outage 15 s after the "request" at t=30
+            series.record(second + 0.5, 100)
+        report = analyze_reconfiguration(series, 30.0, 80.0)
+        assert report.downtime == pytest.approx(5.0)
+        assert report.min_throughput == 0.0
+
+    def test_spike_after_recovery_still_reported(self):
+        series = ThroughputSeries()
+        for second in range(80):
+            rate = 100
+            if second == 40:
+                rate = 20
+            if second == 50:
+                rate = 900
+            series.record(second + 0.5, rate)
+        report = analyze_reconfiguration(series, 30.0, 80.0)
+        assert report.max_throughput == pytest.approx(900.0)
+        assert report.has_spike

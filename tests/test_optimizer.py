@@ -1,0 +1,131 @@
+"""Tests for optimal partitioning and throughput prediction."""
+
+import pytest
+
+from repro.compiler import CostModel, partition_even
+from repro.compiler.optimizer import (
+    partition_optimal,
+    predict_throughput,
+    segment_cost,
+)
+from repro.sched import make_schedule
+
+from tests.conftest import medium_stateful, medium_stateless, simple_pipeline
+
+
+class TestSegmentCost:
+    def test_parallel_work_scales_with_cores(self):
+        model = CostModel()
+        assert segment_cost(0, 1000, 8, model) \
+            < segment_cost(0, 1000, 1, model)
+
+    def test_serial_work_does_not(self):
+        model = CostModel()
+        many = segment_cost(1000, 0, 32, model)
+        one = segment_cost(1000, 0, 1, model)
+        assert many >= one - 1e-9  # only the barrier differs
+
+    def test_core_floor(self):
+        model = CostModel()
+        assert segment_cost(0, 100, 0.0, model) \
+            == segment_cost(0, 100, 0.25, model)
+
+
+class TestPartitionOptimal:
+    def test_valid_partition(self):
+        graph = medium_stateless()
+        config = partition_optimal(graph, [0, 1, 2], multiplier=8)
+        config.validate(graph)
+        assert len(config.blobs) == 3
+
+    def test_never_worse_than_greedy(self):
+        """The DP's bottleneck cost is <= the greedy quantile split's."""
+        model = CostModel()
+        for factory in (medium_stateless, medium_stateful):
+            graph = factory()
+            optimal = partition_optimal(graph, [0, 1], cost_model=model,
+                                        multiplier=16)
+            greedy = partition_even(graph, [0, 1], multiplier=16)
+            assert predict_throughput(graph, optimal, model) \
+                >= predict_throughput(graph, greedy, model) - 1e-9
+
+    def test_serial_work_shapes_the_cut(self):
+        """The DP reasons about serial (stateful) work, not raw work:
+        its bottleneck is never worse than lumping all serial workers
+        into one blob."""
+        graph = medium_stateful()
+        model = CostModel()
+        config = partition_optimal(graph, [0, 1], cost_model=model,
+                                   multiplier=16)
+        best = predict_throughput(graph, config, model)
+        stateful_ids = {w.worker_id for w in graph.workers if w.is_stateful}
+        order = graph.topological_order()
+        # Hand-built alternative: cut right before the first stateful
+        # worker so all serial work lands in the tail blob.
+        first_stateful = min(order.index(w) for w in stateful_ids)
+        from repro.compiler import Configuration
+        lumped = Configuration.build(
+            [(0, order[:first_stateful]), (1, order[first_stateful:])],
+            multiplier=16)
+        assert best >= predict_throughput(graph, lumped, model) - 1e-9
+
+    def test_single_node(self):
+        graph = simple_pipeline()
+        config = partition_optimal(graph, [5])
+        config.validate(graph)
+        assert config.blobs[0].node_id == 5
+
+    def test_more_nodes_than_workers(self):
+        graph = simple_pipeline()  # 3 workers
+        config = partition_optimal(graph, list(range(8)))
+        config.validate(graph)
+        assert len(config.blobs) <= 3
+
+    def test_no_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            partition_optimal(simple_pipeline(), [])
+
+    def test_blobs_are_contiguous_in_topo_order(self):
+        graph = medium_stateless()
+        config = partition_optimal(graph, [0, 1, 2], multiplier=4)
+        order = graph.topological_order()
+        position = {w: i for i, w in enumerate(order)}
+        for blob in config.blobs:
+            indices = sorted(position[w] for w in blob.workers)
+            assert indices == list(range(indices[0], indices[-1] + 1))
+
+
+class TestPredictThroughput:
+    def test_more_nodes_predicts_more_throughput(self):
+        graph = medium_stateless()
+        model = CostModel()
+        one = predict_throughput(
+            graph, partition_even(graph, [0], multiplier=32), model)
+        two = predict_throughput(
+            graph, partition_even(graph, [0, 1], multiplier=32), model)
+        assert two > one
+
+    def test_prediction_correlates_with_simulation(self):
+        """The static predictor ranks configurations the same way the
+        full simulation does (its job for the autotuner)."""
+        from repro import Cluster, StreamApp
+        model = CostModel().scaled(node_speed=6_000.0)
+        graph = medium_stateless()
+        configs = [
+            partition_even(medium_stateless(), [0], multiplier=24,
+                           name="one"),
+            partition_even(medium_stateless(), [0, 1], multiplier=24,
+                           name="two"),
+        ]
+        predicted = [predict_throughput(medium_stateless(), c, model,
+                                        cores_per_node=4) for c in configs]
+        measured = []
+        for config in configs:
+            cluster = Cluster(n_nodes=2, cores_per_node=4,
+                              cost_model=model)
+            app = StreamApp(cluster, medium_stateless, rate_only=True,
+                            name="pred")
+            app.launch(config)
+            cluster.run(until=25.0)
+            measured.append(app.series.items_between(15.0, 25.0) / 10.0)
+        assert (predicted[0] < predicted[1]) == (measured[0] < measured[1])

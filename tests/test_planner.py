@@ -1,0 +1,121 @@
+"""Tests for the duplication planner and reconfiguration reports."""
+
+import math
+
+import pytest
+
+from repro.compiler import CostModel, compile_configuration, partition_even
+from repro.core import (
+    ReconfigReport,
+    boundary_edge_counts,
+    duplication_iterations_stateful,
+    duplication_iterations_stateless,
+)
+from repro.sched import make_schedule
+
+from tests.conftest import medium_stateful, medium_stateless
+
+
+class TestDuplicationFormulas:
+    def test_stateless_uses_max_of_inits(self):
+        old = make_schedule(medium_stateless(), multiplier=2)
+        new = make_schedule(medium_stateless(), multiplier=8)
+        x = duplication_iterations_stateless(old, new)
+        expected = math.ceil(max(old.init_in, new.init_in)
+                             / max(old.steady_in, 1))
+        assert x == max(expected, 1)
+
+    def test_stateful_uses_new_init_only(self):
+        old = make_schedule(medium_stateful(), multiplier=2)
+        new = make_schedule(medium_stateful(), multiplier=8)
+        x = duplication_iterations_stateful(old, new)
+        expected = math.ceil(new.init_in / max(old.steady_in, 1))
+        assert x == max(expected, 1)
+
+    def test_at_least_one_iteration(self):
+        schedule = make_schedule(medium_stateless(), multiplier=64)
+        assert duplication_iterations_stateless(schedule, schedule) >= 1
+        assert duplication_iterations_stateful(schedule, schedule) >= 1
+
+    def test_bigger_new_init_needs_more_duplication(self):
+        old = make_schedule(medium_stateless(), multiplier=4)
+        small = make_schedule(medium_stateless(), multiplier=4)
+        # A schedule with much more prefilled init consumes more input.
+        big = make_schedule(medium_stateless(), multiplier=4,
+                            prefill={0: 500})
+        assert duplication_iterations_stateless(old, big) \
+            > duplication_iterations_stateless(old, small)
+
+
+class TestBoundaryCounts:
+    def test_counts_match_snapshot_at_any_boundary(self):
+        """The meta program state is boundary-independent: predicted
+        counts equal the actual snapshot counts — the fact that lets
+        phase-1 compile before the state exists."""
+        from repro.runtime import GraphInterpreter
+        graph = medium_stateful()
+        schedule = make_schedule(graph, multiplier=3)
+        predicted = boundary_edge_counts(schedule)
+        interp = GraphInterpreter(graph, schedule=schedule)
+        head = graph.head
+        head_extra = max(head.peek_rates[0] - head.pop_rates[0], 0)
+        for boundary in (1, 2, 5):
+            need = (schedule.init_in + boundary * schedule.steady_in
+                    + head_extra)
+            interp2 = GraphInterpreter(medium_stateful(), schedule=make_schedule(
+                medium_stateful(), multiplier=3))
+            # Re-derive on a fresh graph to keep worker ids aligned.
+            graph2 = interp2.graph
+            interp2.push_input([0.25] * need)
+            interp2.run_to_boundary(boundary)
+            state = interp2.capture_state()
+            assert state.edge_counts() == boundary_edge_counts(
+                interp2.schedule)
+
+    def test_zero_edges_omitted(self):
+        graph = medium_stateless()
+        schedule = make_schedule(graph)
+        counts = boundary_edge_counts(schedule)
+        assert all(count > 0 for count in counts.values())
+
+    def test_counts_include_prefill(self):
+        graph = medium_stateless()
+        config = partition_even(graph, [0, 1], multiplier=4)
+        program = compile_configuration(graph, config, CostModel())
+        counts = boundary_edge_counts(program.schedule)
+        mapping = config.worker_to_blob()
+        crossing = [e.index for e in graph.edges
+                    if mapping[e.src] != mapping[e.dst]]
+        assert all(counts.get(i, 0) > 0 for i in crossing)
+
+
+class TestReconfigReport:
+    def test_overlap_and_totals(self):
+        report = ReconfigReport(strategy="fixed", config_name="c",
+                                requested_at=10.0)
+        report.new_started_at = 12.0
+        report.old_stopped_at = 15.0
+        report.completed_at = 15.5
+        assert report.overlap_seconds == pytest.approx(3.0)
+        assert report.total_seconds == pytest.approx(5.5)
+
+    def test_visible_recompilation_two_phase(self):
+        report = ReconfigReport(strategy="adaptive", config_name="c",
+                                requested_at=0.0)
+        report.state_captured_at = 5.0
+        report.phase2_done_at = 5.4
+        assert report.visible_recompilation_seconds == pytest.approx(0.4)
+
+    def test_visible_recompilation_stop_and_copy(self):
+        report = ReconfigReport(strategy="stop_and_copy", config_name="c",
+                                requested_at=0.0)
+        report.drained_at = 3.0
+        report.phase1_done_at = 9.0
+        assert report.visible_recompilation_seconds == pytest.approx(6.0)
+
+    def test_describe_includes_times(self):
+        report = ReconfigReport(strategy="fixed", config_name="c",
+                                requested_at=1.0)
+        report.completed_at = 2.0
+        text = report.describe()
+        assert "requested" in text and "completed" in text

@@ -1,0 +1,144 @@
+"""Tests for ASCII plotting and the reconfiguration manager."""
+
+import pytest
+
+from repro import Cluster, StreamApp, partition_even
+from repro.compiler import CostModel
+from repro.core.manager import ReconfigurationManager
+from repro.metrics import ThroughputSeries
+from repro.metrics.plotting import ascii_chart, ascii_timeline, sparkline
+
+from tests.conftest import medium_stateless
+
+from tests.conftest import integration_cost_model
+TEST_MODEL = integration_cost_model()
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+    def test_constant_series(self):
+        assert len(sparkline([5, 5, 5])) == 3
+
+
+class TestAsciiChart:
+    def test_heights_reflect_values(self):
+        chart = ascii_chart([0, 10], height=4)
+        lines = chart.splitlines()
+        # The tall column has marks in every band; the zero none.
+        body = [line[1:3] for line in lines[:4]]
+        assert all(pair[1] == "#" for pair in body)
+        assert all(pair[0] == " " for pair in body)
+
+    def test_peak_labelled(self):
+        chart = ascii_chart([3, 7], height=3)
+        assert "7" in chart
+
+    def test_markers_on_rule(self):
+        chart = ascii_chart([1, 1, 1], markers={1: "^"}, height=2)
+        rule = chart.splitlines()[-1]
+        assert rule[2] == "^"
+
+    def test_no_data(self):
+        assert ascii_chart([]) == "(no data)"
+
+
+class TestAsciiTimeline:
+    def test_renders_series(self):
+        series = ThroughputSeries()
+        for second in range(20):
+            series.record(second + 0.5, 100 if second < 10 else 300)
+        text = ascii_timeline(series, 0.0, 20.0, bucket=1.0, height=6,
+                              events=[(10.0, "R")], title="demo")
+        assert text.startswith("demo")
+        assert "R" in text
+        assert "300" in text
+
+
+class TestReconfigurationManager:
+    def make_app(self):
+        cluster = Cluster(n_nodes=3, cores_per_node=4,
+                          cost_model=TEST_MODEL)
+        app = StreamApp(cluster, medium_stateless, rate_only=True,
+                        name="mgr")
+        app.launch(partition_even(medium_stateless(), [0, 1],
+                                  multiplier=24, name="init"))
+        cluster.run(until=10.0)
+        return cluster, app
+
+    def test_single_request_completes(self):
+        cluster, app = self.make_app()
+        manager = ReconfigurationManager(app)
+        outcome = manager.submit(
+            partition_even(medium_stateless(), [0, 1, 2], multiplier=24,
+                           name="wider"))
+        cluster.run(until=90.0)
+        assert outcome.status == "completed"
+        assert outcome.done.triggered
+        assert app.current.label == "wider"
+
+    def test_serializes_sequential_requests(self):
+        cluster, app = self.make_app()
+        manager = ReconfigurationManager(app, coalesce=False)
+        first = manager.submit(
+            partition_even(medium_stateless(), [0, 1, 2], multiplier=24,
+                           name="first"))
+        second = manager.submit(
+            partition_even(medium_stateless(), [1, 2], multiplier=24,
+                           name="second"))
+        cluster.run(until=250.0)
+        assert first.status == "completed"
+        assert second.status == "completed"
+        # Strictly one after the other.
+        assert second.started_at >= first.finished_at
+        assert app.current.label == "second"
+
+    def test_coalescing_supersedes_stale_requests(self):
+        cluster, app = self.make_app()
+        manager = ReconfigurationManager(app, coalesce=True)
+        first = manager.submit(
+            partition_even(medium_stateless(), [0, 1, 2], multiplier=24,
+                           name="first"))
+        # While `first` runs, two more arrive back to back: only the
+        # newest should execute.
+        cluster.run(until=15.0)
+        stale = manager.submit(
+            partition_even(medium_stateless(), [0], multiplier=24,
+                           name="stale"))
+        newest = manager.submit(
+            partition_even(medium_stateless(), [1, 2], multiplier=24,
+                           name="newest"))
+        cluster.run(until=250.0)
+        assert first.status == "completed"
+        assert stale.status == "superseded"
+        assert stale.done.triggered
+        assert newest.status == "completed"
+        assert app.current.label == "newest"
+        assert len(manager.superseded) == 1
+
+    def test_failed_request_reported(self):
+        cluster, app = self.make_app()
+        app.current.abandon()  # nothing running -> strategies fail
+        manager = ReconfigurationManager(app)
+        outcome = manager.submit(
+            partition_even(medium_stateless(), [0], multiplier=24,
+                           name="doomed"))
+        cluster.run(until=20.0)
+        assert outcome.status == "failed"
+        assert isinstance(outcome.error, RuntimeError)
+
+    def test_summary_lists_all(self):
+        cluster, app = self.make_app()
+        manager = ReconfigurationManager(app)
+        manager.submit(partition_even(medium_stateless(), [0, 1, 2],
+                                      multiplier=24, name="a"))
+        cluster.run(until=90.0)
+        summary = manager.summary()
+        assert summary and summary[0][0] == "a"

@@ -1,0 +1,132 @@
+"""Property-based tests of live reconfiguration.
+
+The crown-jewel property (DESIGN.md invariant 4) under randomization:
+for *any* sequence of strategies, target configurations and
+reconfiguration times, the merged output stream equals the
+uninterrupted reference run, item for item.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Cluster, StreamApp, partition_even
+from repro.compiler import CostModel
+from repro.graph import Pipeline
+from repro.graph.library import (
+    Accumulator,
+    DelayFilter,
+    FIRFilter,
+    HeavyCompute,
+    ScaleFilter,
+)
+from repro.runtime import GraphInterpreter
+
+from tests.conftest import integration_cost_model
+TEST_MODEL = integration_cost_model()
+
+
+def small_stateless():
+    return Pipeline(
+        ScaleFilter(1.25),
+        FIRFilter([0.5, 0.3, 0.2], name="fir_a"),
+        HeavyCompute(intensity=2.0, name="hc_a"),
+        FIRFilter([0.7, 0.3], name="fir_b"),
+        HeavyCompute(intensity=2.0, name="hc_b"),
+    ).flatten()
+
+
+def small_stateful():
+    return Pipeline(
+        ScaleFilter(1.25),
+        FIRFilter([0.5, 0.3, 0.2], name="fir_a"),
+        HeavyCompute(intensity=2.0, name="hc_a"),
+        Accumulator(),
+        DelayFilter(3),
+    ).flatten()
+
+
+def payload(index: int) -> float:
+    return ((index * 13 + 5) % 64) / 64.0
+
+
+@st.composite
+def reconfig_plan(draw):
+    steps = draw(st.integers(min_value=1, max_value=2))
+    plan = []
+    for _ in range(steps):
+        plan.append({
+            "strategy": draw(st.sampled_from(
+                ["stop_and_copy", "fixed", "adaptive"])),
+            "nodes": draw(st.sampled_from(
+                [(0,), (0, 1), (1, 2), (0, 1, 2)])),
+            "multiplier": draw(st.sampled_from([16, 24, 40])),
+            "gap": draw(st.floats(min_value=25.0, max_value=40.0)),
+        })
+    return plan
+
+
+def run_plan(factory, plan):
+    cluster = Cluster(n_nodes=3, cores_per_node=4, cost_model=TEST_MODEL)
+    app = StreamApp(cluster, factory, input_fn=payload, name="prop",
+                    collect_output=True)
+    app.launch(partition_even(factory(), [0, 1], multiplier=24, name="init"))
+    now = 10.0
+    cluster.run(until=now)
+    for i, step in enumerate(plan):
+        config = partition_even(factory(), list(step["nodes"]),
+                                multiplier=step["multiplier"],
+                                name="step%d" % i)
+        done = app.reconfigure(config, strategy=step["strategy"])
+        now += step["gap"] + 40.0
+        cluster.run(until=now)
+        assert done.triggered, (
+            "step %d (%s) incomplete" % (i, step["strategy"]))
+    return app
+
+
+@given(reconfig_plan())
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_property_stateless_reconfig_sequences_preserve_output(plan):
+    app = run_plan(small_stateless, plan)
+    consumed = max(inst.input_view.next_index for inst in app.instances)
+    reference = GraphInterpreter(small_stateless()).run_on(
+        [payload(i) for i in range(consumed)])
+    assert app.merger.items == reference[:len(app.merger.items)]
+    assert len(app.merger.items) > 0
+
+
+@given(reconfig_plan())
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_property_stateful_reconfig_sequences_preserve_output(plan):
+    app = run_plan(small_stateful, plan)
+    consumed = max(inst.input_view.next_index for inst in app.instances)
+    reference = GraphInterpreter(small_stateful()).run_on(
+        [payload(i) for i in range(consumed)])
+    assert app.merger.items == reference[:len(app.merger.items)]
+    assert len(app.merger.items) > 0
+
+
+@given(st.sampled_from(["fixed", "adaptive"]),
+       st.integers(min_value=1, max_value=60))
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_property_reconfig_timing_never_breaks_output(strategy, offset):
+    """The reconfiguration request time (hence the AST boundary and
+    duplication start) never affects output correctness."""
+    factory = small_stateful
+    cluster = Cluster(n_nodes=3, cores_per_node=4, cost_model=TEST_MODEL)
+    app = StreamApp(cluster, factory, input_fn=payload, name="timing",
+                    collect_output=True)
+    app.launch(partition_even(factory(), [0, 1], multiplier=16, name="a"))
+    cluster.run(until=10.0 + offset * 0.13)
+    done = app.reconfigure(
+        partition_even(factory(), [1, 2], multiplier=24, name="b"),
+        strategy=strategy)
+    cluster.run(until=120.0)
+    assert done.triggered
+    consumed = max(inst.input_view.next_index for inst in app.instances)
+    reference = GraphInterpreter(factory()).run_on(
+        [payload(i) for i in range(consumed)])
+    assert app.merger.items == reference[:len(app.merger.items)]

@@ -1,0 +1,207 @@
+"""Integration tests: live reconfiguration on the simulated cluster.
+
+The central correctness claim (DESIGN.md invariant 4): for any
+strategy, the merged output stream is identical to an uninterrupted
+single-configuration run — and the adaptive scheme additionally shows
+zero downtime.
+"""
+
+import pytest
+
+from repro import Cluster, StreamApp, partition_even
+from repro.core import make_reconfigurer
+from repro.runtime import GraphInterpreter
+
+from tests.conftest import medium_stateful, medium_stateless, sample_input
+
+
+from repro.compiler import CostModel
+
+#: A slowed-down cost model: same structure, ~10x fewer items per
+#: simulated second, so functional integration tests stay fast.
+from tests.conftest import integration_cost_model
+TEST_MODEL = integration_cost_model()
+
+
+def build_app(factory, n_nodes=3, collect=True, **kwargs):
+    cluster = Cluster(n_nodes=n_nodes, cores_per_node=4,
+                      cost_model=TEST_MODEL)
+    app = StreamApp(cluster, factory, input_fn=sample_input,
+                    name="test", collect_output=collect, **kwargs)
+    return cluster, app
+
+
+def reference_output(factory, n_items, prefix_len):
+    expected = GraphInterpreter(factory()).run_on(
+        [sample_input(i) for i in range(n_items)])
+    return expected[:prefix_len]
+
+
+def run_one_reconfig(factory, strategy, until_before=12.0, until_after=50.0,
+                     multiplier=24):
+    cluster, app = build_app(factory)
+    cfg_a = partition_even(factory(), [0, 1], multiplier=multiplier,
+                           name="A")
+    cfg_b = partition_even(factory(), [0, 1, 2], multiplier=multiplier,
+                           name="B")
+    app.launch(cfg_a)
+    cluster.run(until=until_before)
+    done = app.reconfigure(cfg_b, strategy=strategy)
+    cluster.run(until=until_after)
+    assert done.triggered, "reconfiguration did not complete"
+    n_in = max(inst.input_view.next_index for inst in app.instances)
+    expected = reference_output(factory, n_in, len(app.merger.items))
+    assert app.merger.items == expected
+    assert len(app.merger.items) > 0
+    return app
+
+
+STRATEGIES = ["stop_and_copy", "fixed", "adaptive"]
+
+
+class TestStrategyMatrix:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_stateless_output_equivalence(self, strategy):
+        run_one_reconfig(medium_stateless, strategy)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_stateful_output_equivalence(self, strategy):
+        run_one_reconfig(medium_stateful, strategy)
+
+    def test_adaptive_zero_downtime_stateless(self):
+        app = run_one_reconfig(medium_stateless, "adaptive")
+        report = app.analyze(12.0, 50.0)
+        assert report.downtime == 0.0
+
+    def test_adaptive_zero_downtime_stateful(self):
+        app = run_one_reconfig(medium_stateful, "adaptive")
+        report = app.analyze(12.0, 50.0)
+        assert report.downtime == 0.0
+
+    def test_stop_and_copy_has_output_gap(self):
+        """After draining finishes, no output flows until the new
+        instance is compiled (with state) and initialized."""
+        app = run_one_reconfig(medium_stateful, "stop_and_copy")
+        report = app.reconfigurations[-1]
+        gap_start = report.drained_at
+        first_after = app.series.first_emission_after(gap_start + 1e-9)
+        assert first_after - gap_start > 0.5
+        assert first_after >= report.phase1_done_at  # compile on the path
+
+    def test_stop_and_copy_report_has_drain_time(self):
+        app = run_one_reconfig(medium_stateful, "stop_and_copy")
+        report = app.reconfigurations[-1]
+        assert report.drain_seconds is not None
+        assert report.drain_seconds > 0
+
+    def test_two_phase_visible_time_subsecond(self):
+        """The paper's headline: visible recompilation < 1 s."""
+        app = run_one_reconfig(medium_stateful, "adaptive")
+        report = app.reconfigurations[-1]
+        assert report.phase2_done_at is not None
+        assert report.visible_recompilation_seconds < 1.0
+
+    def test_ast_happens_while_old_runs(self):
+        app = run_one_reconfig(medium_stateful, "fixed")
+        report = app.reconfigurations[-1]
+        assert report.state_captured_at is not None
+        assert report.boundary is not None
+        # The old instance was still producing after the snapshot.
+        assert report.old_stopped_at > report.state_captured_at
+
+    def test_stateless_path_skips_ast(self):
+        app = run_one_reconfig(medium_stateless, "fixed")
+        report = app.reconfigurations[-1]
+        assert report.state_captured_at is None
+        assert report.phase2_done_at is None
+
+
+class TestRepeatedReconfiguration:
+    @pytest.mark.parametrize("factory", [medium_stateless, medium_stateful],
+                             ids=["stateless", "stateful"])
+    def test_three_reconfigs_preserve_output(self, factory):
+        cluster, app = build_app(factory)
+        configs = [
+            partition_even(factory(), nodes, multiplier=24,
+                           name="cfg%d" % i)
+            for i, nodes in enumerate(([0, 1], [0, 1, 2], [0], [1, 2]))
+        ]
+        app.launch(configs[0])
+        time = 12.0
+        cluster.run(until=time)
+        for config in configs[1:]:
+            done = app.reconfigure(config, strategy="adaptive")
+            # Catch-up wall time scales inversely with the slowed test
+            # model's throughput; give each transition ample room.
+            time += 100.0
+            cluster.run(until=time)
+            assert done.triggered
+        n_in = max(inst.input_view.next_index for inst in app.instances)
+        expected = reference_output(factory, n_in, len(app.merger.items))
+        assert app.merger.items == expected
+
+    def test_reconfigure_into_same_configuration(self):
+        """Figure 10's experiment shape: same config, no downtime."""
+        factory = medium_stateless
+        cluster, app = build_app(factory)
+        cfg = partition_even(factory(), [0, 1], multiplier=24, name="same")
+        app.launch(cfg)
+        cluster.run(until=12.0)
+        cfg2 = partition_even(factory(), [0, 1], multiplier=24, name="same2")
+        done = app.reconfigure(cfg2, strategy="adaptive")
+        cluster.run(until=55.0)
+        assert done.triggered
+        report = app.analyze(12.0, 55.0)
+        assert report.downtime == 0.0
+
+
+class TestReconfigurerDispatch:
+    def test_unknown_strategy_rejected(self):
+        cluster, app = build_app(medium_stateless)
+        with pytest.raises(ValueError):
+            make_reconfigurer("warp_drive", app)
+
+    def test_reconfigure_without_running_instance_fails(self):
+        cluster, app = build_app(medium_stateless)
+        cfg = partition_even(medium_stateless(), [0], name="x")
+        process = app.reconfigure(cfg, strategy="adaptive")
+        cluster.run(until=1.0)
+        assert process.triggered
+        assert not process.ok
+        assert isinstance(process.value, RuntimeError)
+
+
+class TestRateOnlyMode:
+    """Rate-only execution (used by benchmarks) must preserve counts
+    and timing structure."""
+
+    def test_adaptive_reconfig_in_rate_mode(self):
+        factory = medium_stateless
+        cluster = Cluster(n_nodes=3, cores_per_node=4,
+                          cost_model=TEST_MODEL)
+        app = StreamApp(cluster, factory, name="rate", rate_only=True)
+        cfg_a = partition_even(factory(), [0, 1], multiplier=24, name="A")
+        cfg_b = partition_even(factory(), [0, 1, 2], multiplier=24, name="B")
+        app.launch(cfg_a)
+        cluster.run(until=12.0)
+        done = app.reconfigure(cfg_b, strategy="adaptive")
+        cluster.run(until=50.0)
+        assert done.triggered
+        report = app.analyze(12.0, 50.0)
+        assert report.downtime == 0.0
+        assert app.series.total_items > 0
+
+    def test_rate_mode_throughput_close_to_functional(self):
+        factory = medium_stateless
+        totals = {}
+        for rate_only in (False, True):
+            cluster = Cluster(n_nodes=2, cores_per_node=4,
+                              cost_model=TEST_MODEL)
+            app = StreamApp(cluster, factory,
+                            input_fn=None if rate_only else sample_input,
+                            rate_only=rate_only, name="cmp")
+            cfg = partition_even(factory(), [0, 1], multiplier=24, name="A")
+            app.launch(cfg)
+            cluster.run(until=20.0)
+            totals[rate_only] = app.series.total_items
+        assert totals[True] == totals[False]

@@ -1,0 +1,271 @@
+"""Tests for channels, the interpreter, and program-state handling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import Pipeline
+from repro.graph.library import (
+    Accumulator,
+    DelayFilter,
+    FIRFilter,
+    ScaleFilter,
+)
+from repro.runtime import (
+    Channel,
+    GRAPH_INPUT,
+    GraphInterpreter,
+    ProgramState,
+    RateViolationError,
+    estimate_bytes,
+)
+from repro.runtime.channels import InputPort, OutputPort
+from repro.runtime.interpreter import fire_worker
+from repro.sched import make_schedule
+
+from tests.conftest import (
+    ALL_GRAPH_FACTORIES,
+    sample_input,
+    simple_pipeline,
+    stateful_pipeline,
+)
+
+
+class TestChannel:
+    def test_fifo_semantics(self):
+        channel = Channel()
+        channel.push_many([1, 2, 3])
+        assert channel.pop() == 1
+        assert channel.pop_many(2) == [2, 3]
+        assert len(channel) == 0
+
+    def test_counters(self):
+        channel = Channel([9, 9])
+        assert channel.total_pushed == 2
+        channel.push(9)
+        channel.pop()
+        assert channel.total_pushed == 3
+        assert channel.total_popped == 1
+
+    def test_peek_does_not_consume(self):
+        channel = Channel([5, 6])
+        assert channel.peek(1) == 6
+        assert len(channel) == 2
+
+    def test_pop_many_underflow(self):
+        with pytest.raises(RateViolationError):
+            Channel([1]).pop_many(2)
+
+    def test_snapshot_prefix(self):
+        channel = Channel([1, 2, 3, 4])
+        assert channel.snapshot_prefix(2) == [1, 2]
+        with pytest.raises(RateViolationError):
+            channel.snapshot_prefix(9)
+
+
+class TestRateEnforcement:
+    def test_overpop_detected(self):
+        class Greedy(ScaleFilter):
+            def work(self, input, output):
+                input.pop()
+                input.pop()
+
+        with pytest.raises(RateViolationError):
+            fire_worker(Greedy(1.0), [Channel([1, 2])], [Channel()])
+
+    def test_underpush_detected(self):
+        class Lazy(ScaleFilter):
+            def work(self, input, output):
+                input.pop()
+
+        with pytest.raises(RateViolationError):
+            fire_worker(Lazy(1.0), [Channel([1])], [Channel()])
+
+    def test_overpeek_detected(self):
+        class Snoop(ScaleFilter):
+            def work(self, input, output):
+                input.peek(5)
+                output.push(input.pop())
+
+        with pytest.raises(RateViolationError):
+            fire_worker(Snoop(1.0), [Channel([1, 2, 3, 4, 5, 6])], [Channel()])
+
+    def test_peek_after_pop_counts_total_reach(self):
+        fir = FIRFilter([0.5, 0.5])
+
+        class BadFIR(FIRFilter):
+            def work(self, input, output):
+                input.pop()
+                input.peek(1)  # reach = 2 > peek rate only if...
+                output.push(0.0)
+
+        # peek rate 2: after 1 pop, peek(1) reaches item 2 -> violation
+        with pytest.raises(RateViolationError):
+            fire_worker(BadFIR([0.5, 0.5]), [Channel([1, 2, 3])], [Channel()])
+
+    def test_rate_only_mode_moves_counts(self):
+        source = Channel([1, 2, 3])
+        sink = Channel()
+        fire_worker(ScaleFilter(2.0), [source], [sink], rate_only=True)
+        assert len(source) == 2
+        assert list(sink.items) == [None]
+
+
+class TestInterpreter:
+    def test_run_on_computes_expected_values(self):
+        graph = Pipeline(ScaleFilter(2.0), ScaleFilter(3.0)).flatten()
+        out = GraphInterpreter(graph).run_on([1.0, 2.0])
+        assert out == [6.0, 12.0]
+
+    def test_peeking_pipeline_output(self):
+        graph = simple_pipeline()
+        out = GraphInterpreter(graph).run_on([1.0, 1.0, 1.0, 1.0])
+        # scale 2 -> FIR(1.0 window) = 2*(0.5+0.3+0.2) = 2 -> scale .5
+        assert out == [1.0, 1.0]
+
+    def test_drain_flushes_flushable_only(self):
+        graph = simple_pipeline()
+        interp = GraphInterpreter(graph)
+        interp.push_input([1.0] * 5)
+        interp.drain()
+        # FIR peek 3/pop 1: 2 items stay pinned on its input edge.
+        assert len(interp.channels[graph.edges[0].index]) == 2
+        assert interp.emitted == 3
+
+    def test_consumed_emitted_counters(self):
+        graph = simple_pipeline()
+        schedule = make_schedule(graph)
+        interp = GraphInterpreter(graph, schedule=schedule)
+        interp.push_input([0.5] * (schedule.init_in + 2 * schedule.steady_in + 2))
+        interp.run_steady(2)
+        assert interp.consumed == schedule.init_in + 2 * schedule.steady_in
+
+    def test_double_init_rejected(self):
+        graph = simple_pipeline()
+        interp = GraphInterpreter(graph)
+        interp.push_input([0.5] * 10)
+        interp.run_init()
+        with pytest.raises(RuntimeError):
+            interp.run_init()
+
+    def test_deterministic_across_runs(self):
+        items = [sample_input(i) for i in range(50)]
+        a = GraphInterpreter(stateful_pipeline()).run_on(items)
+        b = GraphInterpreter(stateful_pipeline()).run_on(items)
+        assert a == b
+
+
+class TestStateCaptureRestore:
+    @pytest.mark.parametrize("factory", ALL_GRAPH_FACTORIES,
+                             ids=lambda f: f.__name__)
+    def test_capture_restore_roundtrip_continues_exactly(self, factory):
+        """Splitting a run at an iteration boundary via capture/restore
+        yields the same output as the uninterrupted run."""
+        items = [sample_input(i) for i in range(400)]
+        reference = GraphInterpreter(factory()).run_on(items)
+
+        graph = factory()
+        schedule = make_schedule(graph)
+        first = GraphInterpreter(graph, schedule=schedule)
+        boundary = 3
+        head_extra = max(graph.head.peek_rates[0] - graph.head.pop_rates[0], 0)
+        prefix = schedule.init_in + boundary * schedule.steady_in + head_extra
+        first.push_input(items[:prefix])
+        first.run_to_boundary(boundary)
+        emitted = first.take_output()
+        state = first.capture_state()
+
+        resumed = GraphInterpreter(factory(), state=state)
+        tail = resumed.run_on(items[state.consumed:])
+        combined = emitted + tail
+        assert combined == reference[:len(combined)]
+        assert len(combined) >= len(emitted)
+
+    def test_capture_excludes_graph_input(self):
+        graph = simple_pipeline()
+        interp = GraphInterpreter(graph)
+        interp.push_input([0.5] * 20)
+        interp.drain()
+        state = interp.capture_state()
+        assert GRAPH_INPUT not in state.edge_contents
+
+    def test_worker_state_captured(self):
+        graph = stateful_pipeline()
+        interp = GraphInterpreter(graph)
+        interp.run_on([1.0] * 20)
+        state = interp.capture_state()
+        stateful_ids = [w.worker_id for w in graph.workers if w.is_stateful]
+        assert sorted(state.worker_states) == sorted(stateful_ids)
+
+
+class TestProgramState:
+    def test_merge_disjoint(self):
+        a = ProgramState(worker_states={1: {"x": 1}},
+                         edge_contents={0: [1, 2]}, consumed=10)
+        b = ProgramState(worker_states={2: {"y": 2}},
+                         edge_contents={3: [5]}, emitted=7)
+        a.merge(b)
+        assert set(a.worker_states) == {1, 2}
+        assert a.consumed == 10 and a.emitted == 7
+
+    def test_merge_overlap_rejected(self):
+        a = ProgramState(worker_states={1: {}})
+        b = ProgramState(worker_states={1: {}})
+        with pytest.raises(ValueError):
+            a.merge(b)
+        c = ProgramState(edge_contents={5: []})
+        d = ProgramState(edge_contents={5: []})
+        with pytest.raises(ValueError):
+            c.merge(d)
+
+    def test_edge_counts(self):
+        state = ProgramState(edge_contents={0: [1, 2, 3], 4: []})
+        assert state.edge_counts() == {0: 3, 4: 0}
+
+    def test_size_scales_with_contents(self):
+        small = ProgramState(edge_contents={0: [0.0] * 10})
+        large = ProgramState(edge_contents={0: [0.0] * 1000})
+        assert large.size_bytes() > 50 * small.size_bytes()
+
+    def test_size_counts_worker_state(self):
+        state = ProgramState(worker_states={0: {"array": [0.0] * 1000}})
+        assert state.size_bytes() >= 8000
+
+
+class TestEstimateBytes:
+    @pytest.mark.parametrize("value,minimum", [
+        (1.0, 8), (7, 8), ("abcd", 4), (b"xyz", 3),
+        ([1.0] * 10, 80), ({"a": 1.0}, 9), ((1, 2), 16),
+    ])
+    def test_plausible_sizes(self, value, minimum):
+        assert estimate_bytes(value) >= minimum
+
+    def test_none_is_free(self):
+        assert estimate_bytes(None) == 0
+
+    def test_large_homogeneous_list_sampled(self):
+        assert estimate_bytes([1.0] * 100000) == pytest.approx(800000, rel=0.1)
+
+
+@given(st.lists(st.floats(min_value=-1, max_value=1,
+                          allow_nan=False), min_size=0, max_size=200),
+       st.integers(min_value=1, max_value=5))
+@settings(max_examples=40, deadline=None)
+def test_property_split_runs_equal_single_run(items, boundary):
+    """Capture/restore at any boundary never changes the output
+    (stateful graph, arbitrary input)."""
+    reference = GraphInterpreter(stateful_pipeline()).run_on(list(items))
+
+    graph = stateful_pipeline()
+    schedule = make_schedule(graph)
+    head_extra = max(graph.head.peek_rates[0] - graph.head.pop_rates[0], 0)
+    prefix = schedule.init_in + boundary * schedule.steady_in + head_extra
+    if prefix > len(items):
+        return
+    first = GraphInterpreter(graph, schedule=schedule)
+    first.push_input(list(items[:prefix]))
+    first.run_to_boundary(boundary)
+    emitted = first.take_output()
+    state = first.capture_state()
+    resumed = GraphInterpreter(stateful_pipeline(), state=state)
+    combined = emitted + resumed.run_on(list(items[state.consumed:]))
+    assert combined == reference[:len(combined)]

@@ -1,0 +1,256 @@
+"""Tests for balance equations, schedules, buffers — with properties."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import Pipeline, SplitJoin
+from repro.graph.workers import (
+    DuplicateSplitter,
+    RoundRobinJoiner,
+    RoundRobinSplitter,
+)
+from repro.graph.library import (
+    Decimator,
+    Expander,
+    FIRFilter,
+    Identity,
+    ScaleFilter,
+)
+from repro.sched import (
+    RateInconsistencyError,
+    init_repetitions,
+    make_schedule,
+    repetition_vector,
+    steady_buffer_capacities,
+    structural_leftover,
+)
+from repro.runtime import GraphInterpreter
+
+from tests.conftest import (
+    ALL_GRAPH_FACTORIES,
+    multirate_graph,
+    simple_pipeline,
+    splitjoin_graph,
+)
+
+
+def assert_balanced(graph, repetitions):
+    for edge in graph.edges:
+        push = graph.worker(edge.src).push_rates[edge.src_port]
+        pop = graph.worker(edge.dst).pop_rates[edge.dst_port]
+        assert push * repetitions[edge.src] == pop * repetitions[edge.dst], \
+            "edge %r unbalanced" % (edge,)
+
+
+class TestBalance:
+    @pytest.mark.parametrize("factory", ALL_GRAPH_FACTORIES,
+                             ids=lambda f: f.__name__)
+    def test_balance_equations_hold(self, factory):
+        graph = factory()
+        repetitions = repetition_vector(graph)
+        assert_balanced(graph, repetitions)
+
+    @pytest.mark.parametrize("factory", ALL_GRAPH_FACTORIES,
+                             ids=lambda f: f.__name__)
+    def test_vector_is_minimal(self, factory):
+        graph = factory()
+        repetitions = repetition_vector(graph)
+        values = list(repetitions.values())
+        assert all(v >= 1 for v in values)
+        common = values[0]
+        for v in values[1:]:
+            common = math.gcd(common, v)
+        assert common == 1
+
+    def test_multirate(self):
+        graph = multirate_graph()
+        repetitions = repetition_vector(graph)
+        assert_balanced(graph, repetitions)
+
+    def test_inconsistent_rates_detected(self):
+        # Duplicate splitter pushes 1 to each branch, but the branches
+        # change rates asymmetrically and the joiner demands symmetry.
+        graph = Pipeline(
+            SplitJoin(
+                DuplicateSplitter(2),
+                Expander(2),
+                Identity(),
+                RoundRobinJoiner((1, 1)),
+            ),
+        ).flatten()
+        with pytest.raises(RateInconsistencyError):
+            repetition_vector(graph)
+
+
+class TestInitSchedule:
+    def test_no_peeking_needs_no_init(self):
+        graph = Pipeline(ScaleFilter(1.0), ScaleFilter(2.0)).flatten()
+        init = init_repetitions(graph)
+        assert all(v == 0 for v in init.values())
+
+    def test_peeking_forces_upstream_init(self):
+        graph = simple_pipeline()  # FIR peek 3 pop 1 in the middle
+        init = init_repetitions(graph)
+        # Head must fire twice to leave peek-pop = 2 items buffered.
+        assert init[graph.head.worker_id] == 2
+        assert init[graph.tail.worker_id] == 0
+
+    def test_initial_contents_reduce_init(self):
+        graph = simple_pipeline()
+        edge = graph.edges[0]
+        init = init_repetitions(graph, initial_contents={edge.index: 2})
+        assert init[graph.head.worker_id] == 0
+
+    def test_prefill_increases_init(self):
+        graph = simple_pipeline()
+        edge = graph.edges[0]
+        base = init_repetitions(graph)
+        boosted = init_repetitions(graph, prefill={edge.index: 10})
+        assert boosted[graph.head.worker_id] \
+            == base[graph.head.worker_id] + 10
+
+    def test_structural_leftover(self):
+        graph = simple_pipeline()
+        leftovers = structural_leftover(graph)
+        # Edge into the FIR (peek 3, pop 1) keeps 2; edge into the
+        # final scale keeps 0.
+        assert leftovers[graph.edges[0].index] == 2
+        assert leftovers[graph.edges[1].index] == 0
+
+    @pytest.mark.parametrize("factory", ALL_GRAPH_FACTORIES,
+                             ids=lambda f: f.__name__)
+    def test_init_is_executable_and_leaves_leftovers(self, factory):
+        """Admissibility: init runs without underflow and every edge
+        ends with at least its structural leftover."""
+        graph = factory()
+        schedule = make_schedule(graph)
+        interp = GraphInterpreter(graph)
+        head_extra = max(graph.head.peek_rates[0] - graph.head.pop_rates[0], 0)
+        interp.push_input([0.5] * (schedule.init_in + head_extra))
+        interp.run_init()  # raises on underflow
+        leftovers = structural_leftover(graph)
+        for edge in graph.edges:
+            assert len(interp.channels[edge.index]) >= leftovers[edge.index]
+
+
+class TestSteadySchedule:
+    @pytest.mark.parametrize("factory", ALL_GRAPH_FACTORIES,
+                             ids=lambda f: f.__name__)
+    def test_steady_iterations_execute(self, factory):
+        graph = factory()
+        schedule = make_schedule(graph, multiplier=2)
+        interp = GraphInterpreter(graph, schedule=schedule)
+        head_extra = max(graph.head.peek_rates[0] - graph.head.pop_rates[0], 0)
+        interp.push_input(
+            [0.25] * (schedule.init_in + 3 * schedule.steady_in + head_extra))
+        interp.run_steady(3)
+        assert interp.consumed == schedule.init_in + 3 * schedule.steady_in
+        assert interp.emitted == schedule.init_out + 3 * schedule.steady_out
+
+    def test_multiplier_scales_quanta(self):
+        graph = simple_pipeline()
+        s1 = make_schedule(graph, multiplier=1)
+        s4 = make_schedule(graph, multiplier=4)
+        assert s4.steady_in == 4 * s1.steady_in
+        assert s4.steady_out == 4 * s1.steady_out
+        assert s4.input_quantum == s1.input_quantum
+
+    def test_bad_multiplier(self):
+        with pytest.raises(ValueError):
+            make_schedule(simple_pipeline(), multiplier=0)
+
+    def test_steady_work_scales(self):
+        graph = simple_pipeline()
+        s1 = make_schedule(graph, multiplier=1)
+        s2 = make_schedule(graph, multiplier=2)
+        assert s2.steady_work == pytest.approx(2 * s1.steady_work)
+
+    def test_firing_order_topological(self):
+        graph = splitjoin_graph()
+        schedule = make_schedule(graph)
+        order = [w for w, _ in schedule.firing_order()]
+        assert order == graph.topological_order()
+
+
+class TestBufferCapacities:
+    @pytest.mark.parametrize("factory", ALL_GRAPH_FACTORIES,
+                             ids=lambda f: f.__name__)
+    def test_capacity_is_peak_occupancy(self, factory):
+        """Executing init + steady never exceeds computed capacities."""
+        graph = factory()
+        schedule = make_schedule(graph, multiplier=2)
+        capacities = schedule.buffer_capacities()
+        interp = GraphInterpreter(graph, schedule=schedule)
+        head_extra = max(graph.head.peek_rates[0] - graph.head.pop_rates[0], 0)
+        interp.push_input(
+            [0.1] * (schedule.init_in + 2 * schedule.steady_in + head_extra))
+        interp.run_steady(2)
+        for edge in graph.edges:
+            assert len(interp.channels[edge.index]) <= capacities[edge.index]
+
+
+# -- property-based: random pipelines ------------------------------------------
+
+@st.composite
+def random_pipeline(draw):
+    """A random pipeline of rate-changing, possibly peeking filters."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    stages = []
+    for i in range(n):
+        kind = draw(st.integers(min_value=0, max_value=3))
+        if kind == 0:
+            stages.append(ScaleFilter(1.5, name="s%d" % i))
+        elif kind == 1:
+            taps = draw(st.integers(min_value=2, max_value=5))
+            stages.append(FIRFilter([1.0] * taps, name="f%d" % i))
+        elif kind == 2:
+            stages.append(Decimator(draw(st.integers(2, 4)), name="d%d" % i))
+        else:
+            stages.append(Expander(draw(st.integers(2, 4)), name="e%d" % i))
+    return Pipeline(*stages).flatten()
+
+
+@given(random_pipeline())
+@settings(max_examples=60, deadline=None)
+def test_property_balance_holds_for_random_pipelines(graph):
+    repetitions = repetition_vector(graph)
+    assert_balanced(graph, repetitions)
+
+
+@given(random_pipeline(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_property_schedules_are_admissible(graph, multiplier):
+    """Init + 2 steady iterations execute without buffer underflow and
+    consume/produce exactly the declared quanta."""
+    schedule = make_schedule(graph, multiplier=multiplier)
+    interp = GraphInterpreter(graph, schedule=schedule)
+    head_extra = max(graph.head.peek_rates[0] - graph.head.pop_rates[0], 0)
+    interp.push_input(
+        [0.5] * (schedule.init_in + 2 * schedule.steady_in + head_extra))
+    interp.run_steady(2)
+    assert interp.consumed == schedule.init_in + 2 * schedule.steady_in
+    assert interp.emitted == schedule.init_out + 2 * schedule.steady_out
+
+
+@given(random_pipeline(), st.integers(min_value=0, max_value=20))
+@settings(max_examples=60, deadline=None)
+def test_property_init_with_contents_still_admissible(graph, preload):
+    """State-aware init schedules stay admissible with arbitrary
+    initial contents on the first edge."""
+    if not graph.edges:
+        return
+    contents = {graph.edges[0].index: preload}
+    init = init_repetitions(graph, initial_contents=contents)
+    schedule = make_schedule(graph, initial_contents=contents)
+    from repro.runtime.state import ProgramState
+    state = ProgramState(edge_contents={
+        graph.edges[0].index: [0.5] * preload})
+    interp = GraphInterpreter(graph, schedule=schedule, state=state)
+    head_extra = max(graph.head.peek_rates[0] - graph.head.pop_rates[0], 0)
+    interp.push_input([0.5] * (schedule.init_in + head_extra))
+    interp.run_init()
+    leftovers = structural_leftover(graph)
+    for edge in graph.edges:
+        assert len(interp.channels[edge.index]) >= leftovers[edge.index]

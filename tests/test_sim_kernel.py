@@ -1,0 +1,365 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import math
+
+import pytest
+
+from repro.sim import (
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Store,
+    Timeout,
+)
+
+
+class TestEvent:
+    def test_succeed_carries_value(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(42)
+        env.run()
+        assert event.ok
+        assert event.value == 42
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+    def test_value_before_trigger_rejected(self):
+        env = Environment()
+        event = env.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        event = env.event()
+        with pytest.raises(SimulationError):
+            event.fail("not an exception")
+
+
+class TestTimeout:
+    def test_advances_clock(self):
+        env = Environment()
+        env.timeout(5.0)
+        env.run()
+        assert env.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+    def test_ordering_is_by_time_then_fifo(self):
+        env = Environment()
+        seen = []
+        for delay, tag in [(2.0, "b"), (1.0, "a"), (2.0, "c")]:
+            timeout = env.timeout(delay, tag)
+            timeout.callbacks.append(
+                lambda ev: seen.append(ev.value))
+        env.run()
+        assert seen == ["a", "b", "c"]
+
+
+class TestProcess:
+    def test_sequential_timeouts(self):
+        env = Environment()
+        trace = []
+
+        def proc():
+            yield env.timeout(1.0)
+            trace.append(env.now)
+            yield env.timeout(2.0)
+            trace.append(env.now)
+            return "done"
+
+        process = env.process(proc())
+        env.run()
+        assert trace == [1.0, 3.0]
+        assert process.value == "done"
+
+    def test_process_waits_on_event(self):
+        env = Environment()
+        gate = env.event()
+        result = []
+
+        def waiter():
+            value = yield gate
+            result.append((env.now, value))
+
+        def opener():
+            yield env.timeout(4.0)
+            gate.succeed("open")
+
+        env.process(waiter())
+        env.process(opener())
+        env.run()
+        assert result == [(4.0, "open")]
+
+    def test_yield_from_subgenerator_returns_value(self):
+        env = Environment()
+
+        def inner():
+            yield env.timeout(1.0)
+            return 7
+
+        def outer():
+            value = yield from inner()
+            return value * 2
+
+        process = env.process(outer())
+        env.run()
+        assert process.value == 14
+
+    def test_failed_event_raises_in_process(self):
+        env = Environment()
+        gate = env.event()
+        caught = []
+
+        def proc():
+            try:
+                yield gate
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        env.process(proc())
+        gate.fail(ValueError("boom"))
+        env.run()
+        assert caught == ["boom"]
+
+    def test_yield_non_event_fails_process(self):
+        env = Environment()
+
+        def proc():
+            yield 42
+
+        process = env.process(proc())
+        env.run()
+        assert not process.ok
+        assert isinstance(process.value, SimulationError)
+
+    def test_yield_already_processed_event(self):
+        env = Environment()
+        early = env.event()
+        early.succeed("past")
+        env.run()
+        assert early.processed
+
+        def proc():
+            value = yield early
+            return value
+
+        process = env.process(proc())
+        env.run()
+        assert process.value == "past"
+
+
+class TestInterrupt:
+    def test_interrupt_during_timeout(self):
+        env = Environment()
+        trace = []
+
+        def victim():
+            try:
+                yield env.timeout(100.0)
+                trace.append("finished")
+            except Interrupt as interrupt:
+                trace.append(("interrupted", interrupt.cause, env.now))
+
+        def attacker(process):
+            yield env.timeout(3.0)
+            process.interrupt("stop")
+
+        process = env.process(victim())
+        env.process(attacker(process))
+        env.run()
+        # The victim resumed at t=3; the orphaned timer still drains
+        # from the queue without effect.
+        assert trace == [("interrupted", "stop", 3.0)]
+
+    def test_uncaught_interrupt_terminates_quietly(self):
+        env = Environment()
+
+        def victim():
+            yield env.timeout(100.0)
+
+        process = env.process(victim())
+
+        def attacker():
+            yield env.timeout(1.0)
+            process.interrupt("die")
+
+        env.process(attacker())
+        env.run()
+        assert process.triggered
+        assert process.value == "die"
+
+    def test_interrupting_finished_process_is_noop(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(1.0)
+            return "ok"
+
+        process = env.process(quick())
+        env.run()
+        process.interrupt("late")  # must not raise
+        assert process.value == "ok"
+
+
+class TestAnyOf:
+    def test_fires_on_first(self):
+        env = Environment()
+        fast = env.timeout(1.0, "fast")
+        slow = env.timeout(5.0, "slow")
+
+        def proc():
+            fired = yield env.any_of([fast, slow])
+            return fired
+
+        process = env.process(proc())
+        env.run(until=2.0)
+        assert process.triggered
+        assert (0, "fast") in process.value
+
+    def test_empty_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.any_of([])
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = env.store()
+        store.put("x")
+        got = []
+
+        def proc():
+            item = yield store.get()
+            got.append(item)
+
+        env.process(proc())
+        env.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = env.store()
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((env.now, item))
+
+        def producer():
+            yield env.timeout(2.0)
+            store.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert got == [(2.0, "late")]
+
+    def test_capacity_blocks_put(self):
+        env = Environment()
+        store = env.store(capacity=1)
+        store.put("a")
+        second = store.put("b")
+        env.run()
+        assert not second.triggered
+        assert store.items == ["a"]
+
+        def consumer():
+            yield store.get()
+
+        env.process(consumer())
+        env.run()
+        assert second.triggered
+        assert store.items == ["b"]
+
+    def test_fifo_order(self):
+        env = Environment()
+        store = env.store()
+        for i in range(5):
+            store.put(i)
+        got = []
+
+        def consumer():
+            for _ in range(5):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(consumer())
+        env.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_bad_capacity(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.store(capacity=0)
+
+
+class TestEnvironment:
+    def test_run_until_advances_exactly(self):
+        env = Environment()
+        env.timeout(3.0)
+        env.run(until=10.0)
+        assert env.now == 10.0
+
+    def test_run_backwards_rejected(self):
+        env = Environment()
+        env.run(until=5.0)
+        with pytest.raises(SimulationError):
+            env.run(until=1.0)
+
+    def test_step_without_events_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.step()
+
+    def test_peek(self):
+        env = Environment()
+        assert env.peek() == math.inf
+        env.timeout(7.0)
+        assert env.peek() == 7.0
+
+    def test_events_within_until_processed(self):
+        env = Environment()
+        seen = []
+
+        def proc():
+            for _ in range(5):
+                yield env.timeout(1.0)
+                seen.append(env.now)
+
+        env.process(proc())
+        env.run(until=3.0)
+        assert seen == [1.0, 2.0, 3.0]
+        env.run(until=10.0)
+        assert seen == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_determinism(self):
+        def build_and_run():
+            env = Environment()
+            trace = []
+
+            def worker(name, delay):
+                for _ in range(3):
+                    yield env.timeout(delay)
+                    trace.append((env.now, name))
+
+            env.process(worker("a", 1.5))
+            env.process(worker("b", 1.5))
+            env.process(worker("c", 2.0))
+            env.run()
+            return trace
+
+        assert build_and_run() == build_and_run()

@@ -1,0 +1,100 @@
+"""Tests for the configuration space and the online autotuner."""
+
+import pytest
+
+from repro import Cluster, StreamApp, partition_even
+from repro.compiler import CostModel
+from repro.tuning import ConfigurationSpace, OnlineAutotuner, TuningPoint
+
+from tests.conftest import medium_stateless
+
+from tests.conftest import integration_cost_model
+TEST_MODEL = integration_cost_model()
+
+
+class TestConfigurationSpace:
+    def space(self):
+        return ConfigurationSpace(medium_stateless, seed=7)
+
+    def test_initial_point_is_valid(self):
+        space = self.space()
+        point = space.initial([0, 1, 2, 3])
+        config = space.to_configuration(point, [0, 1, 2, 3])
+        config.validate(medium_stateless())
+
+    def test_random_points_are_valid(self):
+        space = self.space()
+        for _ in range(25):
+            point = space.random_point([0, 1, 2, 3])
+            config = space.to_configuration(point, [0, 1, 2, 3])
+            config.validate(medium_stateless())
+
+    def test_neighbors_stay_in_bounds(self):
+        space = self.space()
+        point = space.initial([0, 1])
+        for _ in range(50):
+            point = space.neighbor(point, [0, 1])
+            assert 1 <= point.n_nodes <= 2
+            assert -0.4 <= point.cut_bias <= 0.4
+            assert point.multiplier in space.multipliers
+
+    def test_neighbor_changes_exactly_one_knob_class(self):
+        space = self.space()
+        point = TuningPoint(n_nodes=2, multiplier=32)
+        neighbor = space.neighbor(point, [0, 1, 2])
+        differences = sum([
+            neighbor.n_nodes != point.n_nodes,
+            neighbor.multiplier != point.multiplier,
+            neighbor.cut_bias != point.cut_bias,
+            neighbor.fusion != point.fusion,
+        ])
+        assert differences <= 1
+
+    def test_fusion_disabled_propagates(self):
+        space = self.space()
+        point = TuningPoint(n_nodes=1, multiplier=32, fusion=False)
+        config = space.to_configuration(point, [0])
+        assert not config.fusion
+
+    def test_deterministic_with_seed(self):
+        a = ConfigurationSpace(medium_stateless, seed=3)
+        b = ConfigurationSpace(medium_stateless, seed=3)
+        assert [a.random_point([0, 1]) for _ in range(5)] \
+            == [b.random_point([0, 1]) for _ in range(5)]
+
+
+class TestOnlineAutotuner:
+    def test_tuning_session_runs_and_tracks_best(self):
+        cluster = Cluster(n_nodes=3, cores_per_node=4,
+                          cost_model=TEST_MODEL)
+        app = StreamApp(cluster, medium_stateless, rate_only=True,
+                        name="tune")
+        app.launch(partition_even(medium_stateless(), [0, 1],
+                                  multiplier=32, name="init"))
+        cluster.run(until=10.0)
+        space = ConfigurationSpace(medium_stateless, seed=11)
+        tuner = OnlineAutotuner(app, space, measure_seconds=8.0)
+        process = cluster.env.process(tuner.run(trials=3))
+        cluster.run(until=400.0)
+        assert process.triggered, "tuning session did not finish"
+        assert len(tuner.history) == 4  # initial + 3 trials
+        assert tuner.best is not None
+        best_throughput = tuner.best[1]
+        assert best_throughput >= max(t for _, t in tuner.history) * 0.999
+
+    def test_tuning_never_interrupts_output(self):
+        cluster = Cluster(n_nodes=3, cores_per_node=4,
+                          cost_model=TEST_MODEL)
+        app = StreamApp(cluster, medium_stateless, rate_only=True,
+                        name="tune2")
+        app.launch(partition_even(medium_stateless(), [0, 1],
+                                  multiplier=32, name="init"))
+        cluster.run(until=10.0)
+        space = ConfigurationSpace(medium_stateless, seed=5)
+        tuner = OnlineAutotuner(app, space, measure_seconds=6.0)
+        process = cluster.env.process(tuner.run(trials=2))
+        cluster.run(until=300.0)
+        assert process.triggered
+        # Zero downtime across every reconfiguration the tuner issued.
+        for report in app.analyze_all(horizon_after=40.0):
+            assert report.downtime == 0.0
