@@ -9,7 +9,6 @@ failure mode it prevents, quantifying why the design needs it.
 * resource throttling off (= fixed scheme) -> downtime on slow targets
 """
 
-import pytest
 
 from benchmarks.conftest import run_experiment
 from repro.compiler import CostModel

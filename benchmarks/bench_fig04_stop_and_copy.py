@@ -6,15 +6,20 @@ initializing — ~14 s of downtime in total.
 """
 
 from benchmarks.conftest import run_experiment
-from repro.experiments import format_rows, make_experiment_app, write_result
+from repro.experiments import (
+    format_rows,
+    make_experiment_app,
+    maybe_export_trace,
+    write_result,
+)
 
 
 def _run():
     experiment = make_experiment_app("BeamFormer", initial_nodes=[0, 1])
-    start = experiment.env.now
     config = experiment.config([0, 1, 2], name="cfg2-3nodes")
     _, report = experiment.reconfigure_and_run(config, "stop_and_copy",
                                                settle=60.0)
+    maybe_export_trace(experiment, "fig04_stop_and_copy")
     timeline = experiment.app.reconfigurations[-1]
     drain = timeline.drained_at - timeline.requested_at
     compile_seconds = timeline.phase1_done_at - timeline.drained_at

@@ -7,7 +7,12 @@ phases.
 """
 
 from benchmarks.conftest import run_experiment
-from repro.experiments import format_rows, make_experiment_app, write_result
+from repro.experiments import (
+    format_rows,
+    make_experiment_app,
+    maybe_export_trace,
+    write_result,
+)
 
 
 def _run():
@@ -16,6 +21,7 @@ def _run():
     config = experiment.config(range(8), name="cfg2", cut_bias=0.2)
     _, report = experiment.reconfigure_and_run(config, "adaptive",
                                                settle=60.0)
+    maybe_export_trace(experiment, "fig05_two_phase")
     timeline = experiment.app.reconfigurations[-1]
     series = experiment.app.series
     phase1 = timeline.phase1_done_at - timeline.requested_at

@@ -12,7 +12,6 @@ stop-and-copy > fixed > adaptive; adaptive's downtime is exactly zero
 for every application; stop-and-copy has the largest disrupted time.
 """
 
-import pytest
 
 from benchmarks.conftest import run_experiment
 from repro.apps import TABLE1_APPS, get_app

@@ -9,7 +9,6 @@ to ``results/<experiment>.txt`` (summarized in EXPERIMENTS.md).
 
 from __future__ import annotations
 
-import pytest
 
 
 def run_experiment(benchmark, fn):

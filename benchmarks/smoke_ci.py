@@ -1,0 +1,157 @@
+"""CI smoke benchmark: fast-mode figure runs with a regression gate.
+
+Runs the Figure 4 (stop-and-copy) and Figure 5 (two-phase) benchmark
+bodies once each with tracing enabled, then
+
+1. validates the exported Chrome-trace JSON artifacts (loadable,
+   ``traceEvents`` present, required reconfiguration phase spans in
+   place), and
+2. gates the headline metrics against ``benchmarks/ci_baseline.json``:
+   stop-and-copy downtime and two-phase visible-recompile time must
+   not regress more than ``TOLERANCE`` (20%) over the checked-in
+   baseline.  The simulation is deterministic, so in practice the
+   measurements reproduce the baseline exactly; the tolerance absorbs
+   intentional cost-model tweaks.
+
+Usage::
+
+    python benchmarks/smoke_ci.py                    # run + gate
+    python benchmarks/smoke_ci.py --update-baseline  # refresh baseline
+
+Exit status is non-zero on any validation or gate failure.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _path in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+BASELINE_PATH = os.path.join(_REPO_ROOT, "benchmarks", "ci_baseline.json")
+TOLERANCE = 0.20
+
+#: metric key -> (benchmark name, human label). Gated metrics are the
+#: paper's headline numbers: stop-and-copy downtime (Figure 4) and the
+#: visible phase-2 recompilation time (Figure 5).
+GATED = {
+    "fig04_downtime_seconds": ("fig04_stop_and_copy",
+                               "stop-and-copy downtime"),
+    "fig05_phase2_seconds": ("fig05_two_phase",
+                             "two-phase visible recompile time"),
+}
+
+#: spans every traced reconfiguration of that strategy must contain.
+REQUIRED_SPANS = {
+    "fig04_stop_and_copy": {"stop_and_copy", "drain", "compile.full",
+                            "discard-old", "init"},
+    "fig05_two_phase": {"adaptive", "compile.phase1", "compile.phase2",
+                        "overlap", "discard-old"},
+}
+
+
+def _trace_span_names(path):
+    with open(path) as handle:
+        trace = json.load(handle)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise SystemExit("FAIL: %s has no traceEvents" % path)
+    return {e["name"] for e in events if e.get("ph") == "X"}
+
+
+def run_benchmarks(trace_dir):
+    os.environ["REPRO_TRACE"] = "1"
+    os.environ["REPRO_TRACE_DIR"] = trace_dir
+    from benchmarks.bench_fig04_stop_and_copy import _run as run_fig04
+    from benchmarks.bench_fig05_two_phase import _run as run_fig05
+
+    print("running fig04 (stop-and-copy) ...")
+    fig04 = run_fig04()
+    print("  %s" % {k: round(v, 3) for k, v in fig04.items()})
+    print("running fig05 (two-phase) ...")
+    fig05 = run_fig05()
+    print("  %s" % {k: round(v, 3) for k, v in fig05.items()})
+    return {
+        "fig04_downtime_seconds": fig04["downtime"],
+        "fig05_phase2_seconds": fig05["phase2"],
+    }
+
+
+def validate_traces(trace_dir):
+    failures = []
+    for name, required in sorted(REQUIRED_SPANS.items()):
+        path = os.path.join(trace_dir, name + ".trace.json")
+        if not os.path.exists(path):
+            failures.append("missing trace artifact: %s" % path)
+            continue
+        names = _trace_span_names(path)
+        missing = required - names
+        if missing:
+            failures.append("%s lacks spans %s (has %s)"
+                            % (path, sorted(missing), sorted(names)))
+        else:
+            print("trace ok: %s (%d span names)" % (path, len(names)))
+    return failures
+
+
+def gate(measured, baseline):
+    failures = []
+    for key, (bench, label) in sorted(GATED.items()):
+        if key not in baseline:
+            failures.append("baseline missing %r; run --update-baseline"
+                            % key)
+            continue
+        base, got = baseline[key], measured[key]
+        limit = base * (1.0 + TOLERANCE)
+        status = "OK" if got <= limit else "REGRESSION"
+        print("gate %-11s %-35s baseline=%.3fs measured=%.3fs "
+              "limit=%.3fs %s" % (bench, label, base, got, limit, status))
+        if got > limit:
+            failures.append(
+                "%s regressed: %.3fs > %.3fs (baseline %.3fs +%d%%)"
+                % (label, got, limit, base, int(TOLERANCE * 100)))
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite %s from this run" % BASELINE_PATH)
+    parser.add_argument("--trace-dir", default=None,
+                        help="where trace artifacts land "
+                             "(default: $REPRO_TRACE_DIR or results/)")
+    args = parser.parse_args(argv)
+
+    trace_dir = (args.trace_dir or os.environ.get("REPRO_TRACE_DIR")
+                 or os.path.join(_REPO_ROOT, "results"))
+    measured = run_benchmarks(trace_dir)
+
+    failures = validate_traces(trace_dir)
+    if args.update_baseline:
+        with open(BASELINE_PATH, "w") as handle:
+            json.dump(measured, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("baseline updated: %s" % BASELINE_PATH)
+    else:
+        try:
+            with open(BASELINE_PATH) as handle:
+                baseline = json.load(handle)
+        except FileNotFoundError:
+            failures.append("no baseline at %s; run --update-baseline"
+                            % BASELINE_PATH)
+        else:
+            failures.extend(gate(measured, baseline))
+
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure, file=sys.stderr)
+        return 1
+    print("smoke benchmarks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -49,6 +49,7 @@ from repro.core import (
     StopAndCopyReconfigurer,
 )
 from repro.metrics import analyze_reconfiguration, bucketize
+from repro.obs import Tracer, phase_timeline, write_chrome_trace
 
 __version__ = "1.0.0"
 
@@ -74,11 +75,14 @@ __all__ = [
     "StopAndCopyReconfigurer",
     "StreamApp",
     "StreamGraph",
+    "Tracer",
     "Worker",
     "analyze_reconfiguration",
     "bucketize",
     "compile_configuration",
     "make_schedule",
     "partition_even",
+    "phase_timeline",
     "single_blob_configuration",
+    "write_chrome_trace",
 ]

@@ -18,7 +18,6 @@ assert end to end.
 from __future__ import annotations
 
 import math
-from copy import deepcopy
 from typing import Callable, List
 
 from repro.apps import AppSpec

@@ -82,14 +82,12 @@ class CheckpointRuntime:
         redoing) the work performed since the checkpoint.
         """
         app = self.app
-        env = app.env
         old = app.current
         app.note("reconfig_start", strategy="checkpoint",
                  config=configuration.name)
         replay_from = self.last_checkpoint_position
         if replay_from is None:
             replay_from = old.input_offset
-        frontier_output = app.merger.next_index
         old.abandon()
 
         program = app.compile(configuration)

@@ -21,7 +21,6 @@ same phases the paper's Figure 11 shows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
 
 from repro.cluster.instance import GraphInstance
 

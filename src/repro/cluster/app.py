@@ -17,7 +17,7 @@ from repro.compiler.cost_model import CostModel
 from repro.compiler.two_phase import compile_configuration
 from repro.graph.topology import StreamGraph
 from repro.metrics.analysis import DisruptionReport, analyze_reconfiguration
-from repro.sim.kernel import Environment, Event, Process
+from repro.sim.kernel import Environment, Process
 from repro.cluster.instance import GraphInstance
 from repro.cluster.merger import OutputMerger
 from repro.cluster.node import SimNode
@@ -34,8 +34,10 @@ class Cluster:
         n_nodes: int = 8,
         cores_per_node: int = 16,
         cost_model: Optional[CostModel] = None,
+        tracer=None,
     ):
-        self.env = Environment()
+        self.env = Environment(tracer=tracer)
+        self.tracer = self.env.tracer
         self.cost_model = cost_model or CostModel()
         self.nodes: Dict[int, SimNode] = {}
         for _ in range(n_nodes):
@@ -84,6 +86,7 @@ class StreamApp:
     ):
         self.cluster = cluster
         self.env: Environment = cluster.env
+        self.tracer = cluster.env.tracer
         self.cost_model: CostModel = cluster.cost_model
         self.blueprint = blueprint
         self.name = name
@@ -106,9 +109,10 @@ class StreamApp:
 
     def note(self, label: str, **info) -> None:
         self.events.append((self.env.now, label, info))
+        self.tracer.instant("app", label, **info)
 
     def event_times(self, label: str) -> List[float]:
-        return [t for t, l, _ in self.events if l == label]
+        return [t for t, lab, _ in self.events if lab == label]
 
     # -- compilation --------------------------------------------------------------
 
@@ -123,21 +127,33 @@ class StreamApp:
         return compile_configuration(
             graph, configuration, self.cost_model, state=state,
             check_rates=self.check_rates, rate_only=self.rate_only,
+            tracer=self.tracer,
         )
 
-    def charge_compile_time(self, seconds_per_node: Dict[int, float]):
+    def charge_compile_time(self, seconds_per_node: Dict[int, float],
+                            label: Optional[str] = None,
+                            track: Optional[str] = None):
         """Generator: run compile jobs on nodes, in parallel across nodes.
 
         Each job occupies compiler cores on its node for its duration,
         which is what dips co-resident instances' throughput (paper
-        Section 9.2: reconfiguration uses no extra resources).
+        Section 9.2: reconfiguration uses no extra resources).  When a
+        ``label`` is given the whole parallel charge is recorded as one
+        compile span (e.g. ``compile.phase1``) on ``track``.
         """
+        span = (self.tracer.begin("compile", label, track=track,
+                                  nodes=len(seconds_per_node),
+                                  seconds=round(sum(
+                                      seconds_per_node.values()), 6))
+                if label is not None else None)
         jobs = [
             self.env.process(self._compile_job(node_id, seconds))
             for node_id, seconds in sorted(seconds_per_node.items())
         ]
         for job in jobs:
             yield job
+        if span is not None:
+            span.finish()
 
     def _compile_job(self, node_id: int, seconds: float):
         node = self.cluster.node(node_id)
@@ -192,7 +208,8 @@ class StreamApp:
             program = self.compile(configuration)
             self.note("launch", configuration=configuration.name)
             yield from self.charge_compile_time(
-                self.compile_seconds_per_node(program))
+                self.compile_seconds_per_node(program),
+                label="compile.full", track="app")
             instance = self.spawn_instance(program, 0, 0,
                                            label=configuration.name)
             self.current = instance
@@ -212,6 +229,22 @@ class StreamApp:
         from repro.core import make_reconfigurer
         reconfigurer = make_reconfigurer(strategy, self)
         return self.env.process(reconfigurer.run(configuration))
+
+    # -- observability ------------------------------------------------------------------
+
+    def export_trace(self, path: str) -> str:
+        """Write the run's Chrome trace JSON (open in chrome://tracing)."""
+        from repro.obs.export import write_chrome_trace
+        self.merger.flush_trace_output()
+        return write_chrome_trace(self.tracer, path, app=self.name,
+                                  sim_seconds=self.env.now)
+
+    def trace_metrics(self, horizon_after: float = 60.0, **kwargs):
+        """Per-reconfiguration metrics derived from the trace,
+        cross-checked against the merger-measured series."""
+        from repro.obs.report import reconfiguration_metrics
+        return reconfiguration_metrics(self, horizon_after=horizon_after,
+                                       **kwargs)
 
     # -- analysis -----------------------------------------------------------------------
 

@@ -158,19 +158,24 @@ class BlobProcess:
 
     def _init_phase(self):
         runtime = self.runtime
-        yield from self._fill_input(init=True)
-        yield from self._wait(runtime.ready_for_init)
-        # Initialization is single-threaded, but it still contends for
-        # the node with whatever else runs there (the old instance,
-        # compile jobs): scale by the node's current share.
-        contention = min(max(
-            1.0 / max(self.node.share_of(self.instance.instance_id), 1e-3),
-            1.0), 8.0)
-        duration = self.blob.init_seconds() * contention / self.node.speed
-        if duration > 0:
-            yield self.env.timeout(duration)
-        staged = runtime.run_init()
-        yield from self._ship(staged)
+        with self.env.tracer.span(
+                "blob", "blob.init", track="node%d" % self.node.node_id,
+                instance=self.instance.instance_id,
+                blob=self.blob.spec.blob_id):
+            yield from self._fill_input(init=True)
+            yield from self._wait(runtime.ready_for_init)
+            # Initialization is single-threaded, but it still contends
+            # for the node with whatever else runs there (the old
+            # instance, compile jobs): scale by the node's current share.
+            contention = min(max(
+                1.0 / max(self.node.share_of(self.instance.instance_id),
+                          1e-3),
+                1.0), 8.0)
+            duration = self.blob.init_seconds() * contention / self.node.speed
+            if duration > 0:
+                yield self.env.timeout(duration)
+            staged = runtime.run_init()
+            yield from self._ship(staged)
         self.instance._blob_initialized(self)
 
     def _steady_loop(self):
@@ -231,18 +236,27 @@ class BlobProcess:
             return (self._incoming_in_flight() == 0
                     and all(p.done.triggered for p in upstream))
 
-        while True:
-            firings, staged = runtime.drain_pass()
-            if firings:
-                duration = self.blob.drain_seconds(firings) / self.node.speed
-                yield self.env.timeout(duration)
-                yield from self._ship(staged)
-                continue
-            if not _quiescent():
-                yield from self._wait(_quiescent)
-                continue
-            break
-        state = runtime.capture_state()
+        total_firings = 0
+        with self.env.tracer.span(
+                "blob", "blob.drain", track="node%d" % self.node.node_id,
+                instance=self.instance.instance_id,
+                blob=self.blob.spec.blob_id) as span:
+            while True:
+                firings, staged = runtime.drain_pass()
+                if firings:
+                    total_firings += firings
+                    duration = (self.blob.drain_seconds(firings)
+                                / self.node.speed)
+                    yield self.env.timeout(duration)
+                    yield from self._ship(staged)
+                    continue
+                if not _quiescent():
+                    yield from self._wait(_quiescent)
+                    continue
+                break
+            state = runtime.capture_state()
+            span.annotate(firings=total_firings,
+                          state_bytes=state.size_bytes())
         self.instance._blob_stopped(self)
         self.drain_reply.succeed(state)
 
@@ -250,20 +264,31 @@ class BlobProcess:
         """Capture state at the barrier without stopping (paper 6.2)."""
         request = self.ast
         runtime = self.runtime
+        tracer = self.env.tracer
+        track = "node%d" % self.node.node_id
         expected = self.instance.expected_cut(self.blob, request.iteration)
-        yield from self._wait(lambda: all(
-            runtime.channels[key].total_pushed >= pushed
-            for key, (pushed, _) in expected.items()
-        ))
-        cut_lengths = {key: cut for key, (_, cut) in expected.items()}
-        state = runtime.capture_state(cut_lengths=cut_lengths)
+        with tracer.span("blob", "ast.snapshot", track=track,
+                         instance=self.instance.instance_id,
+                         blob=self.blob.spec.blob_id,
+                         boundary=request.iteration):
+            yield from self._wait(lambda: all(
+                runtime.channels[key].total_pushed >= pushed
+                for key, (pushed, _) in expected.items()
+            ))
+            cut_lengths = {key: cut for key, (_, cut) in expected.items()}
+            state = runtime.capture_state(cut_lengths=cut_lengths)
         self.ast = None
         # The transfer to the controller happens off the critical path:
         # the blob keeps executing while the state travels.
         delay = self.instance.cost_model.transfer_seconds(state.size_bytes())
+        transfer = tracer.begin("state", "state.transfer", track=track,
+                                blob=self.blob.spec.blob_id,
+                                bytes=state.size_bytes(), async_=True)
         arrival = self.env.timeout(delay)
 
-        def _complete(_event, reply=request.reply, payload=state):
+        def _complete(_event, reply=request.reply, payload=state,
+                      span=transfer):
+            span.finish()
             if not reply.triggered:
                 reply.succeed(payload)
 
@@ -305,6 +330,7 @@ class GraphInstance:
         self._initialized_count = 0
         self._stopped_count = 0
         self.started_at: Optional[float] = None
+        self._init_span = None
 
     # -- construction -------------------------------------------------------------
 
@@ -341,6 +367,9 @@ class GraphInstance:
             process.node.register_blob(self.instance_id)
         self.status = "starting"
         self.started_at = self.env.now
+        self._init_span = self.env.tracer.begin(
+            "instance", "init", track="instance%d" % self.instance_id,
+            label=self.label, blobs=len(self.blob_procs))
         for process in self.blob_procs.values():
             process.start()
 
@@ -348,6 +377,7 @@ class GraphInstance:
         self._initialized_count += 1
         if self._initialized_count == len(self.blob_procs):
             self.status = "running"
+            self._init_span.finish()
             if not self.running_event.triggered:
                 self.running_event.succeed(self.env.now)
 
@@ -360,6 +390,11 @@ class GraphInstance:
         for process in self.blob_procs.values():
             process.node.deregister_instance(self.instance_id)
         self.status = status
+        if self._init_span is not None:
+            self._init_span.finish()
+        self.env.tracer.instant("instance", status,
+                                track="instance%d" % self.instance_id,
+                                instance=self.instance_id)
         if not self.stopped_event.triggered:
             self.stopped_event.succeed(self.env.now)
 
@@ -488,24 +523,33 @@ class GraphInstance:
         then travels to the controller over the data network.
         """
         self.draining = True
-        # Wake any blob blocked on backpressure: capacity is waived now.
-        for process in self.blob_procs.values():
-            for link in process.out_links.values():
-                link.notify_sender()
-        # Every blob switches to the interpreter at once; data still
-        # settles upstream-to-downstream, so replies arrive in roughly
-        # topological order.
-        replies = {}
-        for blob_id, process in self.blob_procs.items():
-            replies[blob_id] = self.env.event()
-            process.request_drain(replies[blob_id])
-        merged = ProgramState()
-        for blob_id in self._blob_topo_order():
-            blob_state = yield replies[blob_id]
-            yield self.env.timeout(
-                self.cost_model.transfer_seconds(blob_state.size_bytes())
-            )
-            merged.merge(blob_state)
+        tracer = self.env.tracer
+        with tracer.span("reconfig", "drain", track="reconfig",
+                         instance=self.instance_id) as drain_span:
+            # Wake any blob blocked on backpressure: capacity is waived
+            # now.
+            for process in self.blob_procs.values():
+                for link in process.out_links.values():
+                    link.notify_sender()
+            # Every blob switches to the interpreter at once; data still
+            # settles upstream-to-downstream, so replies arrive in
+            # roughly topological order.
+            replies = {}
+            for blob_id, process in self.blob_procs.items():
+                replies[blob_id] = self.env.event()
+                process.request_drain(replies[blob_id])
+            merged = ProgramState()
+            for blob_id in self._blob_topo_order():
+                blob_state = yield replies[blob_id]
+                with tracer.span("state", "state.transfer",
+                                 track="reconfig", blob=blob_id,
+                                 bytes=blob_state.size_bytes()):
+                    yield self.env.timeout(
+                        self.cost_model.transfer_seconds(
+                            blob_state.size_bytes())
+                    )
+                merged.merge(blob_state)
+            drain_span.annotate(state_bytes=merged.size_bytes())
         return merged
 
     def _blob_topo_order(self) -> List[int]:

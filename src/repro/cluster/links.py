@@ -58,11 +58,22 @@ class DataLink:
             yield self._sender_wake
             self._sender_wake = None
         self.in_flight += count
+        # During draining, link traffic is exactly the buffered data a
+        # stop-and-copy flush has to move — trace each flushed batch.
+        span = None
+        tracer = self.env.tracer
+        if tracer.enabled and self.consumer.instance.draining:
+            span = tracer.begin(
+                "link", "link.flush",
+                track="node%d" % self.consumer.node.node_id,
+                key=self.key, items=count)
         arrival = self.env.timeout(self.cost_model.batch_seconds(count))
-        arrival.callbacks.append(lambda _event: self._deliver(items))
+        arrival.callbacks.append(lambda _event: self._deliver(items, span))
 
-    def _deliver(self, items: List[Any]) -> None:
+    def _deliver(self, items: List[Any], span=None) -> None:
         self.in_flight -= len(items)
+        if span is not None:
+            span.finish()
         self.consumer.runtime.deliver(self.key, items)
         self.consumer.notify()
 

@@ -21,6 +21,7 @@ Two modes reproduce the two seamless schemes:
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.metrics.series import ThroughputSeries
@@ -32,8 +33,13 @@ __all__ = ["OutputMerger"]
 class OutputMerger:
     """Splices instance output streams into the program output."""
 
+    #: Trace counter sampling granularity (the paper's one-second
+    #: measurement buckets, Section 9).
+    TRACE_BUCKET = 1.0
+
     def __init__(self, env: Environment, collect_items: bool = False):
         self.env = env
+        self.tracer = env.tracer
         self.series = ThroughputSeries()
         self.collect_items = collect_items
         self.items: List[Any] = []
@@ -44,6 +50,11 @@ class OutputMerger:
         self.caught_up: Optional[Event] = None
         self._holdback: List[Tuple[int, List[Any]]] = []
         self._frontiers: Dict[int, int] = {}
+        #: Output items received more than once (the duplicated input's
+        #: redundant output, discarded during splicing).
+        self.duplicate_items = 0
+        self._trace_bucket_start = 0.0
+        self._trace_bucket_count = 0
 
     # -- mode control ------------------------------------------------------
 
@@ -64,6 +75,8 @@ class OutputMerger:
         self._holdback = []
         self._frontiers.setdefault(old_id, self.next_index)
         self._frontiers.setdefault(new_id, 0)
+        self.tracer.instant("merger", "begin_transition", mode=mode,
+                            old=old_id, new=new_id)
 
     def finish_transition(self) -> None:
         """The old instance stopped: flush held-back output, promote new.
@@ -73,9 +86,13 @@ class OutputMerger:
         """
         if self.secondary_id is None:
             return
+        flushed = sum(len(items) for _, items in self._holdback)
         for start, items in self._holdback:
             self._emit_range(start, items)
         self._holdback = []
+        self.tracer.instant("merger", "finish_transition",
+                            promoted=self.secondary_id,
+                            flushed_items=flushed)
         self.set_primary(self.secondary_id)
 
     # -- data path ------------------------------------------------------------
@@ -95,6 +112,7 @@ class OutputMerger:
     def _emit_range(self, start: int, items: List[Any]) -> None:
         end = start + len(items)
         if end <= self.next_index:
+            self.duplicate_items += len(items)
             return  # fully redundant (duplicated input's output)
         if start > self.next_index:
             raise RuntimeError(
@@ -102,10 +120,45 @@ class OutputMerger:
                 % (self.next_index, start)
             )
         fresh = end - self.next_index
+        self.duplicate_items += len(items) - fresh
         if self.collect_items:
             self.items.extend(items[len(items) - fresh:])
         self.next_index = end
         self.series.record(self.env.now, fresh)
+        if self.tracer.enabled:
+            self._trace_output(fresh)
+
+    # -- trace sampling -------------------------------------------------------
+
+    def _trace_output(self, fresh: int) -> None:
+        """Aggregate emissions into per-bucket trace counter samples.
+
+        One counter event at most per simulated second keeps the trace
+        compact while still letting analysis reconstruct the output
+        series to within one measurement bucket.
+        """
+        now = self.env.now
+        width = self.TRACE_BUCKET
+        if now >= self._trace_bucket_start + width:
+            self._flush_trace_bucket()
+            self._trace_bucket_start = math.floor(now / width) * width
+        self._trace_bucket_count += fresh
+
+    def _flush_trace_bucket(self) -> None:
+        if self._trace_bucket_count > 0:
+            # Stamp the sample at the bucket midpoint: bucketized
+            # re-analysis then bins it into the right second.
+            self.tracer.counter(
+                "output", "items", self._trace_bucket_count,
+                track="output",
+                time=self._trace_bucket_start + self.TRACE_BUCKET / 2.0,
+            )
+            self._trace_bucket_count = 0
+
+    def flush_trace_output(self) -> None:
+        """Flush the trailing partial sampling bucket (export hygiene)."""
+        if self.tracer.enabled:
+            self._flush_trace_bucket()
 
     def _check_caught_up(self) -> None:
         if (self.caught_up is None or self.caught_up.triggered
@@ -114,4 +167,6 @@ class OutputMerger:
         new_frontier = self._frontiers.get(self.secondary_id, 0)
         old_frontier = self._frontiers.get(self.primary_id, 0)
         if new_frontier >= old_frontier and new_frontier > 0:
+            self.tracer.instant("merger", "caught_up",
+                                frontier=new_frontier)
             self.caught_up.succeed(new_frontier)

@@ -10,7 +10,7 @@ configuration to another.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 from repro.graph.topology import StreamGraph

@@ -16,7 +16,7 @@ configurations before paying for a live reconfiguration.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.compiler.config import Configuration
 from repro.compiler.cost_model import CostModel

@@ -10,8 +10,7 @@ generator for reconfigurations that add or remove nodes.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.compiler.config import Configuration
 from repro.compiler.cost_model import CostModel

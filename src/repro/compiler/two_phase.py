@@ -160,6 +160,7 @@ def plan_configuration(
     meta_counts: Optional[Dict[int, int]] = None,
     check_rates: bool = True,
     rate_only: bool = False,
+    tracer=None,
 ) -> CompilationPlan:
     """Phase-1 compilation from the meta program state.
 
@@ -194,12 +195,23 @@ def plan_configuration(
             fused_edges=fused,
             removed_workers=removed,
         ))
+    if tracer is not None:
+        tracer.instant(
+            "compile", "plan", track="compile",
+            config=configuration.name or "<anon>",
+            blobs=len(plan.pseudo_blobs),
+            fused_edges=sum(len(b.fused_edges) for b in plan.pseudo_blobs),
+            removed_workers=sum(
+                len(b.removed_workers) for b in plan.pseudo_blobs),
+            meta_edges=len(counts),
+        )
     return plan
 
 
 def absorb_state(
     plan: CompilationPlan,
     state: Optional[ProgramState] = None,
+    tracer=None,
 ) -> CompiledProgram:
     """Phase-2 compilation: turn pseudo-blobs into state-absorbed blobs.
 
@@ -225,6 +237,13 @@ def absorb_state(
                 )
         for blob in plan.pseudo_blobs:
             blob.runtime.install_state(state)
+    if tracer is not None:
+        tracer.instant(
+            "compile", "absorb", track="compile",
+            config=plan.configuration.name or "<anon>",
+            blobs=len(plan.pseudo_blobs),
+            state_bytes=0 if state is None else state.size_bytes(),
+        )
     plan.state_absorbed = True
     return CompiledProgram(
         graph=plan.graph,
@@ -242,6 +261,7 @@ def compile_configuration(
     state: Optional[ProgramState] = None,
     check_rates: bool = True,
     rate_only: bool = False,
+    tracer=None,
 ) -> CompiledProgram:
     """Single-phase compilation (cold start, or stop-and-copy which
     holds the complete state before compiling)."""
@@ -250,6 +270,6 @@ def compile_configuration(
         meta_counts = {k: v for k, v in meta_counts.items() if k >= 0}
     plan = plan_configuration(
         graph, configuration, cost_model, meta_counts,
-        check_rates=check_rates, rate_only=rate_only,
+        check_rates=check_rates, rate_only=rate_only, tracer=tracer,
     )
-    return absorb_state(plan, state)
+    return absorb_state(plan, state, tracer=tracer)

@@ -44,6 +44,9 @@ class AdaptiveSeamlessReconfigurer(Reconfigurer):
         app.merger.begin_transition(
             old.instance_id, new_instance.instance_id, mode="adaptive")
         report.new_started_at = self.env.now
+        overlap = app.tracer.begin(
+            "reconfig", "overlap", track="reconfig",
+            old=old.instance_id, new=new_instance.instance_id)
         new_instance.start()
         app.note("concurrent_execution",
                  old=old.instance_id, new=new_instance.instance_id)
@@ -53,12 +56,15 @@ class AdaptiveSeamlessReconfigurer(Reconfigurer):
         # Adaptive merging: switch the moment the new instance catches
         # up with the old one's output frontier.
         yield app.merger.caught_up
+        overlap.finish()
         throttler.interrupt("switched")
-        old.abandon()
-        report.old_stopped_at = self.env.now
-        app.note("old_stopped", instance=old.instance_id)
-        app.merger.finish_transition()
-        app.current = new_instance
+        with app.tracer.span("reconfig", "discard-old", track="reconfig",
+                             instance=old.instance_id):
+            old.abandon()
+            report.old_stopped_at = self.env.now
+            app.note("old_stopped", instance=old.instance_id)
+            app.merger.finish_transition()
+            app.current = new_instance
 
         if not new_instance.running_event.triggered:
             yield new_instance.running_event

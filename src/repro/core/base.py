@@ -10,7 +10,6 @@ subclasses override the switchover.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
 
 from repro.compiler.config import Configuration
 from repro.compiler.two_phase import absorb_state, plan_configuration
@@ -58,12 +57,20 @@ class Reconfigurer:
             old_instance=old.instance_id,
             stateful=old.program.graph.is_stateful,
         )
+        report.trace_span = self.app.tracer.begin(
+            "reconfig", self.name, track="reconfig",
+            config=report.config_name, stateful=report.stateful)
         self.app.note("reconfig_start", strategy=self.name,
                       config=configuration.name)
         return report
 
     def _finish(self, report: ReconfigReport) -> ReconfigReport:
         report.completed_at = self.env.now
+        if report.trace_span is not None:
+            report.trace_span.finish(
+                new_instance=report.new_instance,
+                duplication_iterations=report.duplication_iterations,
+                state_bytes=report.state_bytes)
         self.app.note("reconfig_done", strategy=self.name)
         self.app.reconfigurations.append(report)
         return report
@@ -110,16 +117,19 @@ class Reconfigurer:
             plan = plan_configuration(
                 new_graph, configuration, self.cost_model, meta_counts,
                 check_rates=app.check_rates, rate_only=app.rate_only,
+                tracer=app.tracer,
             )
             yield from app.charge_compile_time({
                 node: seconds for node, seconds
                 in plan.phase1_seconds_per_node.items()
-            })
+            }, label="compile.phase1", track="reconfig")
             report.phase1_done_at = self.env.now
             app.note("phase1_done")
 
             # Asynchronous state transfer at a future boundary.
-            state, boundary = yield from old.ast_capture()
+            with app.tracer.span("reconfig", "ast", track="reconfig") as ast:
+                state, boundary = yield from old.ast_capture()
+                ast.annotate(boundary=boundary, bytes=state.size_bytes())
             report.state_captured_at = self.env.now
             report.boundary = boundary
             report.state_bytes = state.size_bytes()
@@ -127,11 +137,11 @@ class Reconfigurer:
                      bytes=report.state_bytes)
 
             # Phase 2: absorb the state into the pseudo-blobs.
-            program = absorb_state(plan, state)
+            program = absorb_state(plan, state, tracer=app.tracer)
             yield from app.charge_compile_time({
                 node: seconds for node, seconds
                 in plan.phase2_seconds_per_node.items()
-            })
+            }, label="compile.phase2", track="reconfig")
             report.phase2_done_at = self.env.now
             app.note("phase2_done")
 
@@ -145,10 +155,12 @@ class Reconfigurer:
             stop_iteration = boundary + duplication
         else:
             # Stateless: compile with no initial state; implicit state
-            # transfer via input duplication.
+            # transfer via input duplication.  The whole (hidden)
+            # concurrent compile is the phase-1 span here.
             program = app.compile(configuration)
             yield from app.charge_compile_time(
-                app.compile_seconds_per_node(program, "full"))
+                app.compile_seconds_per_node(program, "full"),
+                label="compile.phase1", track="reconfig")
             report.phase1_done_at = self.env.now
             app.note("phase1_done")
 

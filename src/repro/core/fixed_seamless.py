@@ -35,16 +35,23 @@ class FixedSeamlessReconfigurer(Reconfigurer):
         app.merger.begin_transition(
             old.instance_id, new_instance.instance_id, mode="fixed")
         report.new_started_at = self.env.now
+        overlap = app.tracer.begin(
+            "reconfig", "overlap", track="reconfig",
+            old=old.instance_id, new=new_instance.instance_id,
+            stop_iteration=stop_iteration)
         new_instance.start()
         app.note("concurrent_execution",
                  old=old.instance_id, new=new_instance.instance_id)
         old.request_stop_at(stop_iteration)
 
         yield old.stopped_event
+        overlap.finish()
         report.old_stopped_at = self.env.now
         app.note("old_stopped", instance=old.instance_id)
-        app.merger.finish_transition()
-        app.current = new_instance
+        with app.tracer.span("reconfig", "discard-old", track="reconfig",
+                             instance=old.instance_id):
+            app.merger.finish_transition()
+            app.current = new_instance
 
         yield new_instance.running_event
         report.new_running_at = self.env.now

@@ -32,6 +32,14 @@ class RequestOutcome:
     finished_at: Optional[float] = None
     error: Optional[BaseException] = None
     done: Optional[Event] = None
+    #: Span covering the time the request sat in the queue.
+    queue_span: Optional[object] = field(default=None, repr=False)
+
+    @property
+    def queue_wait_seconds(self) -> Optional[float]:
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
 
 
 class ReconfigurationManager:
@@ -62,10 +70,15 @@ class ReconfigurationManager:
             strategy=strategy,
             submitted_at=self.env.now,
             done=self.env.event(),
+            queue_span=self.env.tracer.begin(
+                "manager", "queue-wait", track="manager",
+                strategy=strategy, config=configuration.name or "<anon>"),
         )
         if self.coalesce:
             for stale in self._pending:
                 stale.status = "superseded"
+                if stale.queue_span is not None:
+                    stale.queue_span.finish(superseded=True)
                 if not stale.done.triggered:
                     stale.done.succeed(stale)
             self._pending = [outcome]
@@ -83,6 +96,8 @@ class ReconfigurationManager:
                 continue
             outcome.status = "running"
             outcome.started_at = self.env.now
+            if outcome.queue_span is not None:
+                outcome.queue_span.finish()
             process = self.app.reconfigure(outcome.configuration,
                                            strategy=outcome.strategy)
             try:
@@ -102,6 +117,21 @@ class ReconfigurationManager:
     def summary(self) -> List[Tuple[str, str, float]]:
         return [
             (o.configuration.name or "<anon>", o.status, o.submitted_at)
+            for o in self.outcomes
+        ]
+
+    def trace_metrics(self, horizon_after: float = 60.0, **kwargs):
+        """Per-reconfiguration downtime/overlap/duplication, derived
+        from the trace and cross-checked against the merger-measured
+        series (requires tracing enabled on the app's cluster)."""
+        from repro.obs.report import reconfiguration_metrics
+        return reconfiguration_metrics(
+            self.app, horizon_after=horizon_after, **kwargs)
+
+    def queue_waits(self) -> List[Tuple[str, Optional[float]]]:
+        """(config name, seconds queued) per request that started."""
+        return [
+            (o.configuration.name or "<anon>", o.queue_wait_seconds)
             for o in self.outcomes
         ]
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Dict, Optional
 
 __all__ = ["ReconfigReport"]
 
@@ -40,6 +40,10 @@ class ReconfigReport:
     duplication_iterations: Optional[int] = None
     #: Bytes of program state moved.
     state_bytes: int = 0
+    #: The strategy's trace span (the null span when tracing is off);
+    #: links this report to its phase spans in the exported trace.
+    trace_span: Optional[Any] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def total_seconds(self) -> float:
@@ -73,6 +77,34 @@ class ReconfigReport:
         if self.phase1_done_at is not None and self.drained_at is not None:
             return self.phase1_done_at - self.drained_at
         return None
+
+    def phase_durations(self) -> Dict[str, float]:
+        """Named durations of each recorded phase, in seconds.
+
+        Only phases this strategy actually went through appear; the
+        same numbers are recoverable from the exported trace spans —
+        :mod:`repro.obs.report` cross-checks the two views.
+        """
+        durations: Dict[str, float] = {}
+        if self.drained_at is not None:
+            durations["drain"] = self.drained_at - self.requested_at
+        if self.phase1_done_at is not None:
+            anchor = self.drained_at if self.drained_at is not None \
+                else self.requested_at
+            durations["compile.phase1"] = self.phase1_done_at - anchor
+        if (self.state_captured_at is not None
+                and self.phase1_done_at is not None):
+            durations["ast"] = self.state_captured_at - self.phase1_done_at
+        if (self.phase2_done_at is not None
+                and self.state_captured_at is not None):
+            durations["compile.phase2"] = (
+                self.phase2_done_at - self.state_captured_at)
+        overlap = self.overlap_seconds
+        if overlap > 0:
+            durations["overlap"] = overlap
+        if self.completed_at is not None:
+            durations["total"] = self.total_seconds
+        return durations
 
     def describe(self) -> str:
         parts = ["%s -> %s (%s)" % (

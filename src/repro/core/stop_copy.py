@@ -38,7 +38,8 @@ class StopAndCopyReconfigurer(Reconfigurer):
         #    init schedule can now see the actual buffered items).
         program = app.compile(configuration, state=state)
         yield from app.charge_compile_time(
-            app.compile_seconds_per_node(program, "full"))
+            app.compile_seconds_per_node(program, "full"),
+            label="compile.full", track="reconfig")
         report.phase1_done_at = self.env.now
         app.note("compiled")
 
@@ -49,11 +50,15 @@ class StopAndCopyReconfigurer(Reconfigurer):
             program, input_offset, output_offset, label=configuration.name)
         report.new_instance = new_instance.instance_id
         report.old_stopped_at = report.drained_at
-        app.current = new_instance
-        app.merger.set_primary(new_instance.instance_id)
+        with app.tracer.span("reconfig", "discard-old", track="reconfig",
+                             instance=old.instance_id):
+            app.current = new_instance
+            app.merger.set_primary(new_instance.instance_id)
         report.new_started_at = self.env.now
-        new_instance.start()
-        yield new_instance.running_event
+        with app.tracer.span("reconfig", "init", track="reconfig",
+                             instance=new_instance.instance_id):
+            new_instance.start()
+            yield new_instance.running_event
         report.new_running_at = self.env.now
         app.note("new_running", instance=new_instance.instance_id)
         return self._finish(report)

@@ -11,6 +11,7 @@ from repro.experiments.runner import (
     PAPER_NODES,
     format_rows,
     make_experiment_app,
+    maybe_export_trace,
     write_result,
 )
 
@@ -19,5 +20,6 @@ __all__ = [
     "PAPER_NODES",
     "format_rows",
     "make_experiment_app",
+    "maybe_export_trace",
     "write_result",
 ]

@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 import os
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 from repro.apps import get_app
 from repro.cluster import Cluster, StreamApp
@@ -20,14 +20,22 @@ from repro.compiler import CostModel, partition_even
 from repro.compiler.config import Configuration
 from repro.graph.topology import StreamGraph
 from repro.metrics import DisruptionReport
+from repro.obs import Tracer
 
 __all__ = [
     "ExperimentApp",
     "PAPER_NODES",
     "format_rows",
     "make_experiment_app",
+    "maybe_export_trace",
     "write_result",
 ]
+
+#: Environment switches for the CI smoke harness: ``REPRO_TRACE``
+#: enables tracing on experiment apps; ``REPRO_TRACE_DIR`` is where
+#: Chrome-trace JSON exports land.
+TRACE_ENV = "REPRO_TRACE"
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
 
 #: The paper's cluster: 8 nodes, dual-socket 12-core (24 cores each).
 PAPER_NODES = 8
@@ -82,6 +90,21 @@ class ExperimentApp:
     def throughput_between(self, start: float, end: float) -> float:
         return self.app.series.items_between(start, end) / (end - start)
 
+    def export_trace(self, name: str,
+                     directory: Optional[str] = None) -> str:
+        """Write this run's Chrome trace JSON as ``<name>.trace.json``."""
+        directory = directory or os.environ.get(TRACE_DIR_ENV) or "results"
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, name + ".trace.json")
+        return self.app.export_trace(path)
+
+
+def maybe_export_trace(experiment: ExperimentApp, name: str) -> Optional[str]:
+    """Export the trace when tracing is on (the CI smoke-bench hook)."""
+    if not experiment.app.tracer.enabled:
+        return None
+    return experiment.export_trace(name)
+
 
 def make_experiment_app(
     app_name: str,
@@ -94,8 +117,14 @@ def make_experiment_app(
     cost_model: Optional[CostModel] = None,
     input_rate: Optional[float] = None,
     blueprint_kwargs: Optional[dict] = None,
+    tracer: Optional[Tracer] = None,
 ) -> ExperimentApp:
-    """Launch a paper-scale app and warm it up to steady state."""
+    """Launch a paper-scale app and warm it up to steady state.
+
+    Tracing is attached when a ``tracer`` is passed explicitly or the
+    ``REPRO_TRACE`` environment variable is set (how the CI smoke
+    benchmarks produce their Chrome-trace artifacts).
+    """
     spec = get_app(app_name)
     blueprint = spec.blueprint(scale=scale, **(blueprint_kwargs or {}))
     if multiplier is None:
@@ -103,8 +132,11 @@ def make_experiment_app(
         quantum_work = max(make_schedule(blueprint()).steady_work, 1e-9)
         multiplier = max(int(math.ceil(TARGET_ITERATION_WORK / quantum_work)),
                          1)
+    if tracer is None and os.environ.get(TRACE_ENV, "") not in ("", "0"):
+        tracer = Tracer()
     cluster = Cluster(n_nodes=n_nodes, cores_per_node=cores,
-                      cost_model=cost_model or CostModel())
+                      cost_model=cost_model or CostModel(),
+                      tracer=tracer)
     app = StreamApp(cluster, blueprint, rate_only=True,
                     name=app_name, input_rate=input_rate)
     experiment = ExperimentApp(cluster=cluster, app=app,

@@ -32,6 +32,8 @@ def bucketize(
     width: float = 1.0,
 ) -> List[Tuple[float, float]]:
     """Per-bucket (bucket start time, items/second) over [start, end)."""
+    if width <= 0:
+        raise ValueError("bucket width must be positive, got %r" % (width,))
     buckets: List[Tuple[float, float]] = []
     time = start
     while time < end:

@@ -1,0 +1,43 @@
+"""Observability: structured tracing of reconfiguration timelines.
+
+Enable tracing by constructing a cluster with a :class:`Tracer`::
+
+    from repro import Cluster, StreamApp
+    from repro.obs import Tracer, write_chrome_trace
+
+    tracer = Tracer()
+    cluster = Cluster(n_nodes=3, tracer=tracer)
+    app = StreamApp(cluster, blueprint)
+    ...  # launch, reconfigure, run
+    write_chrome_trace(tracer, "trace.json")  # open in chrome://tracing
+
+When no tracer is supplied the runtime holds the :data:`NULL_TRACER`
+singleton and every instrumentation point is a no-op.
+"""
+
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.export import (
+    chrome_trace_events,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.report import (
+    output_series_from_trace,
+    phase_timeline,
+    reconfiguration_metrics,
+    trace_disruption,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "output_series_from_trace",
+    "phase_timeline",
+    "reconfiguration_metrics",
+    "to_chrome_trace",
+    "trace_disruption",
+    "write_chrome_trace",
+]

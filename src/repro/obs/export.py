@@ -1,0 +1,102 @@
+"""Trace exporters.
+
+The primary target is the Chrome trace-event JSON format, viewable in
+``chrome://tracing`` (or Perfetto's legacy loader): spans become
+complete (``"ph": "X"``) events, instants become ``"ph": "i"`` events
+and counters become ``"ph": "C"`` events.  Timestamps are simulated
+seconds scaled to microseconds, so one trace second equals one
+simulated second.
+
+Tracks map to thread ids (one tid per track, named via ``"ph": "M"``
+metadata events), which is what makes spans of the same logical
+activity — one reconfiguration, one instance — nest visually.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.obs.tracer import Tracer
+
+__all__ = ["chrome_trace_events", "to_chrome_trace", "write_chrome_trace"]
+
+#: The process id used for all events (there is one simulated program).
+_PID = 1
+
+#: Seconds -> microseconds (the trace-event timestamp unit).
+_US = 1_000_000.0
+
+
+def _track_ids(tracer: Tracer) -> Dict[str, int]:
+    """Stable track -> tid mapping in order of first appearance."""
+    tids: Dict[str, int] = {}
+    for span in tracer.spans:
+        tids.setdefault(span.track, len(tids) + 1)
+    for _, _, _, track, _ in tracer.instants:
+        tids.setdefault(track, len(tids) + 1)
+    for _, _, _, track, _ in tracer.counters:
+        tids.setdefault(track, len(tids) + 1)
+    return tids
+
+
+def _jsonable(args: Dict[str, Any]) -> Dict[str, Any]:
+    """Coerce metadata values to JSON-safe primitives."""
+    clean: Dict[str, Any] = {}
+    for key, value in args.items():
+        if isinstance(value, (bool, int, float, str)) or value is None:
+            clean[key] = value
+        else:
+            clean[key] = repr(value)
+    return clean
+
+
+def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    """Flatten a tracer's records into trace-event dicts."""
+    tids = _track_ids(tracer)
+    events: List[Dict[str, Any]] = []
+    for track, tid in tids.items():
+        events.append({
+            "ph": "M", "pid": _PID, "tid": tid, "ts": 0,
+            "name": "thread_name", "args": {"name": track},
+        })
+    horizon = tracer.now
+    for span in tracer.spans:
+        end = span.end if span.end is not None else horizon
+        args = _jsonable(span.args)
+        if span.end is None:
+            args["unfinished"] = True
+        events.append({
+            "ph": "X", "pid": _PID, "tid": tids[span.track],
+            "ts": span.start * _US, "dur": max(end - span.start, 0.0) * _US,
+            "cat": span.category, "name": span.name, "args": args,
+        })
+    for time, category, name, track, args in tracer.instants:
+        events.append({
+            "ph": "i", "s": "t", "pid": _PID, "tid": tids[track],
+            "ts": time * _US, "cat": category, "name": name,
+            "args": _jsonable(args),
+        })
+    for time, category, name, track, value in tracer.counters:
+        events.append({
+            "ph": "C", "pid": _PID, "tid": tids[track],
+            "ts": time * _US, "cat": category, "name": name,
+            "args": {"value": value},
+        })
+    events.sort(key=lambda event: (event["ts"], event["ph"] != "M"))
+    return events
+
+
+def to_chrome_trace(tracer: Tracer, **metadata: Any) -> Dict[str, Any]:
+    """The full ``chrome://tracing`` JSON object."""
+    return {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": dict(metadata),
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str, **metadata: Any) -> str:
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(tracer, **metadata), handle)
+    return path

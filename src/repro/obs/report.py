@@ -1,0 +1,150 @@
+"""Trace-derived timelines and per-reconfiguration metrics.
+
+Two consumers:
+
+* :func:`phase_timeline` — the human-readable report: every
+  reconfiguration span with its child phase spans (drain, phase-1
+  compile, AST, phase-2 compile, overlap, discard) indented under it.
+* :func:`reconfiguration_metrics` — per-reconfiguration downtime,
+  overlap duration and duplicated-output counts *derived from the
+  trace*, cross-checked against the merger-measured downtime from the
+  real :class:`~repro.metrics.series.ThroughputSeries`.  The output
+  merger samples its emission counts into trace counter events at
+  one-second granularity, so the trace-derived downtime must agree
+  with the merger-derived one within one measurement bucket — the
+  consistency invariant the observability tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.metrics.analysis import analyze_reconfiguration
+from repro.metrics.series import ThroughputSeries
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "output_series_from_trace",
+    "phase_timeline",
+    "reconfiguration_metrics",
+    "trace_disruption",
+]
+
+#: Counter category/name the output merger samples emissions under.
+OUTPUT_CATEGORY = "output"
+OUTPUT_COUNTER = "items"
+
+
+def output_series_from_trace(tracer: Tracer) -> ThroughputSeries:
+    """Rebuild an output series from the merger's trace counter samples.
+
+    Each sample carries the items emitted during one sampling bucket,
+    timestamped at the bucket midpoint, so bucketized analysis of the
+    reconstructed series matches the true series to within one bucket.
+    """
+    series = ThroughputSeries()
+    for time, category, name, _track, value in tracer.counters:
+        if category == OUTPUT_CATEGORY and name == OUTPUT_COUNTER:
+            series.record(time, int(value))
+    return series
+
+
+def trace_disruption(tracer: Tracer, start: float, horizon: float, **kwargs):
+    """Disruption analysis over the trace-reconstructed output series."""
+    return analyze_reconfiguration(
+        output_series_from_trace(tracer), start, horizon, **kwargs)
+
+
+def _children(tracer: Tracer, span: Span) -> List[Span]:
+    return [s for s in tracer.spans if s.parent_id == span.span_id]
+
+
+def _span_overlap(tracer: Tracer, reconfig_span: Optional[Span]
+                  ) -> Optional[float]:
+    if reconfig_span is None:
+        return None
+    for child in _children(tracer, reconfig_span):
+        if child.name == "overlap":
+            return child.duration
+    return None
+
+
+def reconfiguration_metrics(app, horizon_after: float = 60.0,
+                            **analysis_kwargs) -> List[Dict[str, Any]]:
+    """Per-reconfiguration metrics, trace-derived and cross-checked.
+
+    ``app`` is a :class:`~repro.cluster.app.StreamApp` (duck-typed:
+    needs ``tracer``, ``series``, ``merger``, ``reconfigurations`` and
+    ``env``).  Requires tracing to have been enabled for the run.
+    """
+    tracer = app.tracer
+    flush = getattr(app.merger, "flush_trace_output", None)
+    if flush is not None:
+        flush()
+    bucket = analysis_kwargs.get("bucket", 1.0)
+    rows: List[Dict[str, Any]] = []
+    for index, report in enumerate(app.reconfigurations):
+        start = report.requested_at
+        horizon = min(start + horizon_after, app.env.now)
+        measured = analyze_reconfiguration(
+            app.series, start, horizon, **analysis_kwargs)
+        traced = trace_disruption(tracer, start, horizon, **analysis_kwargs)
+        span = getattr(report, "trace_span", None)
+        overlap_trace = _span_overlap(tracer, span)
+        rows.append({
+            "index": index,
+            "strategy": report.strategy,
+            "config": report.config_name,
+            "requested_at": start,
+            "downtime_measured": measured.downtime,
+            "downtime_trace": traced.downtime,
+            "downtime_agrees": (
+                abs(traced.downtime - measured.downtime) <= bucket),
+            "overlap_seconds": report.overlap_seconds,
+            "overlap_trace": overlap_trace,
+            "duplicate_output_items": getattr(
+                app.merger, "duplicate_items", 0),
+            "state_bytes": report.state_bytes,
+            "duplication_iterations": report.duplication_iterations,
+            "total_seconds": report.total_seconds,
+        })
+    return rows
+
+
+def _format_span(span: Span, indent: int) -> str:
+    end = span.end if span.end is not None else float("nan")
+    duration = span.duration if span.duration is not None else float("nan")
+    extras = ""
+    if span.args:
+        extras = "  " + ", ".join(
+            "%s=%r" % (key, value) for key, value in sorted(span.args.items()))
+    return "%s%-18s %9.3f .. %9.3f  %8.3fs%s" % (
+        "  " * indent, span.name, span.start, end, duration, extras)
+
+
+def phase_timeline(tracer: Tracer, category: str = "reconfig") -> str:
+    """Human-readable phase timeline of every reconfiguration span."""
+    lines: List[str] = []
+    roots = [s for s in tracer.spans
+             if s.category == category and s.parent_id is None]
+    if not roots:
+        return "(no %s spans recorded)" % category
+    for index, root in enumerate(roots):
+        end = root.end if root.end is not None else float("nan")
+        lines.append("reconfig #%d %s -> %s  [%.3fs .. %.3fs]" % (
+            index, root.name, root.args.get("config", "?"),
+            root.start, end))
+        stack = [(child, 1) for child in reversed(_children(tracer, root))]
+        while stack:
+            span, depth = stack.pop()
+            lines.append(_format_span(span, depth))
+            stack.extend((grandchild, depth + 1)
+                         for grandchild in reversed(_children(tracer, span)))
+        marks = [record for record in tracer.instants
+                 if root.start <= record[0] <= (root.end or tracer.now)]
+        for time, cat, name, _track, args in marks:
+            if cat == category or cat == "app":
+                lines.append("  @%9.3f  %s %s" % (
+                    time, name,
+                    " ".join("%s=%r" % kv for kv in sorted(args.items()))))
+    return "\n".join(lines)

@@ -284,12 +284,23 @@ class Store:
 
 
 class Environment:
-    """The simulation clock and event loop."""
+    """The simulation clock and event loop.
 
-    def __init__(self, initial_time: float = 0.0):
+    The optional ``tracer`` is the observability hook: the kernel binds
+    the tracer's clock to the simulation clock so every span and
+    instant recorded anywhere in the system carries exact simulated
+    timestamps.  When no tracer is given the null tracer is installed
+    and every instrumentation point downstream is a no-op.
+    """
+
+    def __init__(self, initial_time: float = 0.0, tracer=None):
+        from repro.obs.tracer import NULL_TRACER
         self._now = float(initial_time)
         self._queue: List[tuple] = []
         self._ids = itertools.count()
+        self.events_processed = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.bind_clock(lambda: self._now)
 
     @property
     def now(self) -> float:
@@ -325,6 +336,7 @@ class Environment:
             raise SimulationError("no more events")
         when, _, event = heapq.heappop(self._queue)
         self._now = when
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:  # pragma: no cover - defensive
             return

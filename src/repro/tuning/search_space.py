@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import Callable, List, Sequence
+from typing import Callable, Sequence
 
 from repro.compiler.config import Configuration
 from repro.compiler.partition import partition_even

@@ -33,7 +33,6 @@ class OnlineAutotuner:
     def run(self, trials: int, initial: Optional[TuningPoint] = None):
         """Generator (simulation process): run the tuning loop."""
         app = self.app
-        env = app.env
         nodes = app.cluster.available_node_ids
         current = initial or self.space.initial(nodes)
         throughput = yield from self._measure()
@@ -66,7 +65,6 @@ class OnlineAutotuner:
 
     def _measure(self):
         env = self.app.env
-        start = env.now
         before = self.app.series.total_items
         yield env.timeout(self.measure_seconds)
         return (self.app.series.total_items - before) / self.measure_seconds

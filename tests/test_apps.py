@@ -5,10 +5,10 @@ import pytest
 from repro.apps import TABLE1_APPS, app_registry, default_input, get_app
 from repro.apps.fmradio import low_pass_taps
 from repro.apps.lte import bit_input
-from repro.apps.synthetic import TunableWork, tunable_workers, workload_blueprint
+from repro.apps.synthetic import tunable_workers, workload_blueprint
 from repro.apps.tde import dft, idft
 from repro.runtime import GraphInterpreter
-from repro.sched import make_schedule, repetition_vector
+from repro.sched import make_schedule
 
 ALL_APPS = sorted(app_registry())
 

@@ -12,7 +12,6 @@ import pytest
 from repro import Cluster, StreamApp, partition_even
 from repro.apps import get_app
 from repro.runtime import GraphInterpreter
-from repro.sched import make_schedule
 
 from tests.conftest import integration_cost_model
 

@@ -1,6 +1,5 @@
 """Tests for the vMotion and checkpointing baselines."""
 
-import pytest
 
 from repro import Cluster, StreamApp, partition_even
 from repro.baselines import (
@@ -8,7 +7,6 @@ from repro.baselines import (
     VMMigrationModel,
     migrate_instance,
 )
-from repro.compiler import CostModel
 
 from tests.conftest import medium_stateless, sample_input
 

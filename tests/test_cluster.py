@@ -1,11 +1,9 @@
 """Tests for nodes, sources, links and the output merger."""
 
-import math
 
 import pytest
 
 from repro.cluster import Cluster, InputSource, OutputMerger, SimNode
-from repro.metrics import bucketize
 from repro.sim import Environment
 
 

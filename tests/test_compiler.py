@@ -15,7 +15,7 @@ from repro.compiler import (
     single_blob_configuration,
 )
 from repro.core.planner import boundary_edge_counts
-from repro.runtime import GraphInterpreter, ProgramState
+from repro.runtime import ProgramState
 from repro.sched import make_schedule, structural_leftover
 
 from tests.conftest import (

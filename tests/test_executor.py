@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.compiler import partition_even, single_blob_configuration
 from repro.runtime import BlobRuntime, GRAPH_INPUT, GRAPH_OUTPUT, GraphInterpreter
 from repro.sched import make_schedule
 

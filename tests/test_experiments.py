@@ -4,7 +4,6 @@ import os
 
 import pytest
 
-from repro.compiler import CostModel
 from repro.experiments import format_rows, make_experiment_app, write_result
 from repro.experiments.runner import TARGET_ITERATION_WORK
 

@@ -10,7 +10,6 @@ from repro.graph import (
     RoundRobinJoiner,
     RoundRobinSplitter,
     SplitJoin,
-    StatefulFilter,
 )
 from repro.graph.library import (
     Accumulator,

@@ -1,6 +1,5 @@
 """Tests for graph inspection, DOT export and the rate audit."""
 
-import pytest
 
 from repro.compiler import partition_even
 from repro.graph import Pipeline

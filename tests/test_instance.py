@@ -3,7 +3,6 @@
 import pytest
 
 from repro import Cluster, StreamApp, partition_even
-from repro.compiler import CostModel
 from repro.runtime.channels import GRAPH_INPUT
 
 from tests.conftest import medium_stateful, medium_stateless, sample_input
@@ -36,7 +35,6 @@ class TestLifecycle:
     def test_pause_resume_stops_and_restarts_output(self):
         cluster, app = launch(medium_stateless)
         instance = app.current
-        before = app.series.total_items
         instance.pause()
         cluster.run(until=20.0)
         paused_items = app.series.total_items

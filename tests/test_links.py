@@ -1,9 +1,7 @@
 """Unit tests for inter-blob data links (latency, backpressure)."""
 
-import pytest
 
 from repro.compiler import CostModel, partition_even
-from repro.compiler.two_phase import compile_configuration
 from repro.cluster.links import DataLink
 from repro.sim import Environment
 
@@ -57,7 +55,6 @@ class TestDelivery:
         assert env.now >= CostModel().data_latency
 
     def test_larger_batches_take_longer(self):
-        model = CostModel()
         times = []
         for count in (10, 100000):
             env, consumer, link = make_link(capacity=10 ** 9)

@@ -35,6 +35,18 @@ class TestThroughputSeries:
         with pytest.raises(ValueError):
             series.record(4.0, 1)
 
+    def test_same_time_records_accumulate(self):
+        series = ThroughputSeries()
+        series.record(5.0, 1)
+        series.record(5.0, 2)
+        assert series.total_items == 3
+
+    def test_empty_series_queries(self):
+        series = ThroughputSeries()
+        assert series.total_items == 0
+        assert series.items_between(0.0, 100.0) == 0
+        assert series.first_emission_after(0.0) == float("inf")
+
     def test_items_between(self):
         series = steady_series(rate=10)
         assert series.items_between(0.0, 10.0) == 100
@@ -59,6 +71,26 @@ class TestBucketize:
         series.record(3.5, 10)
         buckets = bucketize(series, 0.0, 4.0)
         assert [rate for _, rate in buckets] == [10.0, 0.0, 0.0, 10.0]
+
+    def test_empty_series_bucketizes_to_zero_rates(self):
+        buckets = bucketize(ThroughputSeries(), 0.0, 5.0)
+        assert len(buckets) == 5
+        assert all(rate == 0.0 for _, rate in buckets)
+
+    def test_empty_interval_yields_no_buckets(self):
+        assert bucketize(steady_series(), 10.0, 10.0) == []
+
+    @pytest.mark.parametrize("width", [0.0, -1.0])
+    def test_nonpositive_width_rejected(self, width):
+        with pytest.raises(ValueError):
+            bucketize(steady_series(), 0.0, 10.0, width=width)
+
+    def test_fractional_width(self):
+        series = steady_series(rate=50, end=10)
+        buckets = bucketize(series, 0.0, 2.0, width=0.5)
+        assert len(buckets) == 4
+        # Items land at x.5, so alternate half-second buckets are hit.
+        assert [rate for _, rate in buckets] == [0.0, 100.0, 0.0, 100.0]
 
 
 class TestAnalysis:

@@ -1,0 +1,396 @@
+"""Tests for the observability subsystem (repro.obs).
+
+Covers the tracer core (span nesting, disabled no-op path), the
+Chrome-trace exporter schema, and the trace-derived reconfiguration
+metrics — including the cross-check that trace-derived downtime agrees
+with the merger-measured downtime within one measurement bucket.
+"""
+
+import json
+
+import pytest
+
+from repro import Cluster, StreamApp, partition_even
+from repro.obs import (
+    NULL_TRACER,
+    Tracer,
+    chrome_trace_events,
+    output_series_from_trace,
+    phase_timeline,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.tracer import _NULL_SPAN
+from repro.sim.kernel import Environment
+
+from tests.conftest import (
+    integration_cost_model,
+    medium_stateful,
+    medium_stateless,
+    sample_input,
+)
+
+
+class FakeClock:
+    def __init__(self, time=0.0):
+        self.time = time
+
+    def __call__(self):
+        return self.time
+
+
+# ---------------------------------------------------------------------------
+# Tracer core
+
+
+class TestTracer:
+    def test_span_records_interval(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        span = tracer.begin("cat", "work", answer=42)
+        clock.time = 3.5
+        span.finish(extra="done")
+        assert span.start == 0.0 and span.end == 3.5
+        assert span.duration == 3.5
+        assert span.args == {"answer": 42, "extra": "done"}
+
+    def test_nesting_within_track(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        outer = tracer.begin("reconfig", "outer", track="r")
+        inner = tracer.begin("reconfig", "inner", track="r")
+        assert inner.parent_id == outer.span_id
+        inner.finish()
+        sibling = tracer.begin("reconfig", "sibling", track="r")
+        assert sibling.parent_id == outer.span_id
+        sibling.finish()
+        outer.finish()
+        after = tracer.begin("reconfig", "after", track="r")
+        assert after.parent_id is None
+
+    def test_tracks_nest_independently(self):
+        tracer = Tracer(FakeClock())
+        a = tracer.begin("c", "a", track="one")
+        b = tracer.begin("c", "b", track="two")
+        assert a.parent_id is None and b.parent_id is None
+        inner = tracer.begin("c", "inner", track="two")
+        assert inner.parent_id == b.span_id
+
+    def test_default_track_is_category(self):
+        tracer = Tracer(FakeClock())
+        span = tracer.begin("compile", "plan")
+        assert span.track == "compile"
+
+    def test_finish_is_idempotent(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        span = tracer.begin("c", "s")
+        clock.time = 1.0
+        span.finish()
+        clock.time = 9.0
+        span.finish(late=True)
+        assert span.end == 1.0
+        assert "late" not in span.args
+
+    def test_context_manager_annotates_errors(self):
+        tracer = Tracer(FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("c", "boom") as span:
+                raise RuntimeError("nope")
+        assert span.finished
+        assert span.args["error"] == "RuntimeError"
+
+    def test_out_of_order_finish_tolerated(self):
+        tracer = Tracer(FakeClock())
+        outer = tracer.begin("c", "outer", track="t")
+        inner = tracer.begin("c", "inner", track="t")
+        outer.finish()  # interrupted process closes outer first
+        inner.finish()
+        assert tracer.open_spans() == []
+
+    def test_counter_backdating(self):
+        clock = FakeClock(10.0)
+        tracer = Tracer(clock)
+        tracer.counter("output", "items", 5.0, time=3.5)
+        tracer.counter("output", "items", 7.0)
+        assert tracer.counters[0][0] == 3.5
+        assert tracer.counters[1][0] == 10.0
+
+    def test_finish_open_closes_everything(self):
+        tracer = Tracer(FakeClock())
+        tracer.begin("c", "a", track="x")
+        tracer.begin("c", "b", track="y")
+        assert tracer.finish_open() == 2
+        assert tracer.open_spans() == []
+        assert all(s.args.get("unfinished") for s in tracer.spans)
+
+    def test_find_spans_filters(self):
+        tracer = Tracer(FakeClock())
+        tracer.begin("reconfig", "drain", track="r").finish()
+        tracer.begin("compile", "plan", track="c").finish()
+        assert len(tracer.find_spans(category="reconfig")) == 1
+        assert len(tracer.find_spans(name="plan")) == 1
+        assert len(tracer.find_spans(track="r")) == 1
+        assert len(tracer.find_spans()) == 2
+
+
+class TestNullTracer:
+    def test_disabled_records_nothing(self):
+        span = NULL_TRACER.begin("c", "s", track="t", detail=1)
+        span.annotate(more=2)
+        span.finish()
+        NULL_TRACER.instant("c", "i")
+        NULL_TRACER.counter("c", "v", 3.0)
+        assert NULL_TRACER.spans == ()
+        assert NULL_TRACER.instants == ()
+        assert NULL_TRACER.counters == ()
+        assert not NULL_TRACER.enabled
+
+    def test_null_span_is_shared_singleton(self):
+        a = NULL_TRACER.begin("c", "a")
+        b = NULL_TRACER.begin("c", "b")
+        assert a is b is _NULL_SPAN
+        with NULL_TRACER.span("c", "ctx") as span:
+            assert span is _NULL_SPAN
+
+    def test_environment_defaults_to_null_tracer(self):
+        env = Environment()
+        assert env.tracer is NULL_TRACER
+        assert not env.tracer.enabled
+
+    def test_environment_binds_clock_to_tracer(self):
+        tracer = Tracer()
+        env = Environment(tracer=tracer)
+        env.run(until=4.0)
+        assert tracer.now == 4.0
+
+
+# ---------------------------------------------------------------------------
+# Chrome export schema
+
+
+class TestChromeExport:
+    def make_tracer(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        span = tracer.begin("reconfig", "drain", track="reconfig", items=3)
+        clock.time = 2.0
+        span.finish()
+        tracer.instant("app", "note", track="app", what="ping")
+        tracer.counter("output", "items", 120.0, track="output", time=1.5)
+        return clock, tracer
+
+    def test_complete_event_schema(self):
+        _, tracer = self.make_tracer()
+        events = chrome_trace_events(tracer)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 1
+        event = complete[0]
+        assert event["name"] == "drain"
+        assert event["cat"] == "reconfig"
+        assert event["ts"] == 0 and event["dur"] == 2_000_000
+        assert event["args"]["items"] == 3
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+
+    def test_instant_and_counter_events(self):
+        _, tracer = self.make_tracer()
+        events = chrome_trace_events(tracer)
+        instants = [e for e in events if e["ph"] == "i"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert instants and instants[0]["s"] == "t"
+        assert counters[0]["args"] == {"value": 120.0}
+        assert counters[0]["ts"] == 1_500_000
+
+    def test_track_metadata_names_threads(self):
+        _, tracer = self.make_tracer()
+        events = chrome_trace_events(tracer)
+        names = {e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert {"reconfig", "app", "output"} <= names
+
+    def test_unfinished_span_flagged(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        tracer.begin("c", "open-ended")
+        clock.time = 5.0
+        events = chrome_trace_events(tracer)
+        event = next(e for e in events if e["ph"] == "X")
+        assert event["dur"] == 5_000_000
+        assert event["args"]["unfinished"] is True
+
+    def test_args_coerced_to_json_safe(self):
+        _, tracer = self.make_tracer()
+        tracer.begin("c", "odd", payload=object()).finish()
+        document = to_chrome_trace(tracer)
+        json.dumps(document)  # must not raise
+
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        _, tracer = self.make_tracer()
+        path = str(tmp_path / "trace.json")
+        assert write_chrome_trace(tracer, path, app="demo") == path
+        with open(path) as handle:
+            document = json.load(handle)
+        assert document["displayTimeUnit"] == "ms"
+        assert document["otherData"]["app"] == "demo"
+        assert isinstance(document["traceEvents"], list)
+        assert any(e["ph"] == "X" for e in document["traceEvents"])
+
+
+# ---------------------------------------------------------------------------
+# Integration: traced reconfigurations
+
+
+TEST_MODEL = integration_cost_model()
+
+#: spans every traced reconfiguration of that strategy must produce.
+EXPECTED_SPANS = {
+    "stop_and_copy": {"stop_and_copy", "drain", "compile.full",
+                      "discard-old", "init"},
+    "fixed": {"fixed", "compile.phase1", "ast", "compile.phase2",
+              "overlap", "discard-old"},
+    "adaptive": {"adaptive", "compile.phase1", "ast", "compile.phase2",
+                 "overlap", "discard-old"},
+}
+
+
+def traced_run(factory, strategy, until_before=12.0, until_after=60.0):
+    tracer = Tracer()
+    cluster = Cluster(n_nodes=3, cores_per_node=4, cost_model=TEST_MODEL,
+                      tracer=tracer)
+    app = StreamApp(cluster, factory, input_fn=sample_input, name="traced",
+                    collect_output=True)
+    app.launch(partition_even(factory(), [0, 1], multiplier=24, name="A"))
+    cluster.run(until=until_before)
+    done = app.reconfigure(partition_even(factory(), [0, 1, 2],
+                                          multiplier=24, name="B"),
+                           strategy=strategy)
+    cluster.run(until=until_after)
+    assert done.triggered and done.ok
+    return app
+
+
+class TestTracedReconfiguration:
+    @pytest.mark.parametrize("strategy", sorted(EXPECTED_SPANS))
+    def test_strategy_phase_spans_present(self, strategy):
+        app = traced_run(medium_stateful, strategy)
+        names = set(app.tracer.span_names())
+        assert EXPECTED_SPANS[strategy] <= names
+        assert app.tracer.open_spans() == []
+
+    @pytest.mark.parametrize("strategy", sorted(EXPECTED_SPANS))
+    def test_phase_spans_nest_under_strategy_root(self, strategy):
+        app = traced_run(medium_stateful, strategy)
+        root = app.tracer.find_spans("reconfig", strategy)[0]
+        children = {s.name for s in app.tracer.spans
+                    if s.parent_id == root.span_id}
+        assert children & (EXPECTED_SPANS[strategy] - {strategy})
+
+    def test_trace_downtime_agrees_with_merger_within_one_bucket(self):
+        """The acceptance cross-check: downtime reconstructed from trace
+        output counters matches the merger-measured series within one
+        measurement bucket, for a strategy with real downtime and for
+        one without."""
+        for strategy in ("stop_and_copy", "adaptive"):
+            app = traced_run(medium_stateful, strategy)
+            rows = app.trace_metrics()
+            assert len(rows) == 1
+            row = rows[0]
+            bucket = app.merger.TRACE_BUCKET
+            assert abs(row["downtime_trace"]
+                       - row["downtime_measured"]) <= bucket
+            assert row["downtime_agrees"]
+
+    def test_stop_and_copy_trace_shows_downtime(self):
+        app = traced_run(medium_stateful, "stop_and_copy")
+        row = app.trace_metrics()[0]
+        assert row["downtime_measured"] > 0.0
+        assert row["downtime_trace"] > 0.0
+
+    def test_adaptive_trace_shows_overlap_not_downtime(self):
+        app = traced_run(medium_stateful, "adaptive")
+        row = app.trace_metrics()[0]
+        assert row["downtime_measured"] == 0.0
+        assert row["overlap_seconds"] > 0.0
+        assert row["overlap_trace"] == pytest.approx(row["overlap_seconds"])
+        assert row["duplicate_output_items"] > 0
+
+    def test_output_series_reconstruction(self):
+        app = traced_run(medium_stateless, "adaptive")
+        app.merger.flush_trace_output()
+        rebuilt = output_series_from_trace(app.tracer)
+        total = app.series.total_items
+        assert rebuilt.total_items == total
+        # Bucket totals match the real series bucket-for-bucket.
+        for start in range(0, 50, 10):
+            assert (rebuilt.items_between(float(start), float(start + 10))
+                    == app.series.items_between(float(start),
+                                                float(start + 10)))
+
+    def test_phase_timeline_renders_tree(self):
+        app = traced_run(medium_stateful, "stop_and_copy")
+        text = phase_timeline(app.tracer)
+        assert "stop_and_copy" in text
+        assert "drain" in text
+        assert "compile.full" in text
+
+    def test_export_trace_writes_valid_json(self, tmp_path):
+        app = traced_run(medium_stateful, "fixed")
+        path = str(tmp_path / "run.trace.json")
+        app.export_trace(path)
+        with open(path) as handle:
+            document = json.load(handle)
+        names = {e["name"] for e in document["traceEvents"]
+                 if e.get("ph") == "X"}
+        assert EXPECTED_SPANS["fixed"] <= names
+
+    def test_report_phase_durations(self):
+        app = traced_run(medium_stateful, "adaptive")
+        durations = app.reconfigurations[-1].phase_durations()
+        assert durations["compile.phase1"] > 0.0
+        assert durations["compile.phase2"] >= 0.0
+        assert durations["overlap"] > 0.0
+        assert durations["total"] > 0.0
+
+    def test_untraced_run_records_nothing(self):
+        cluster = Cluster(n_nodes=3, cores_per_node=4,
+                          cost_model=TEST_MODEL)
+        app = StreamApp(cluster, medium_stateless, input_fn=sample_input,
+                        name="quiet")
+        app.launch(partition_even(medium_stateless(), [0, 1],
+                                  multiplier=24, name="A"))
+        cluster.run(until=12.0)
+        done = app.reconfigure(partition_even(medium_stateless(), [0, 1, 2],
+                                              multiplier=24, name="B"),
+                               strategy="adaptive")
+        cluster.run(until=60.0)
+        assert done.triggered and done.ok
+        assert app.tracer is NULL_TRACER
+        assert len(app.tracer.spans) == 0
+
+
+class TestManagerTracing:
+    def test_queue_wait_span_finishes_when_request_starts(self):
+        from repro.core.manager import ReconfigurationManager
+        tracer = Tracer()
+        cluster = Cluster(n_nodes=3, cores_per_node=4,
+                          cost_model=TEST_MODEL, tracer=tracer)
+        app = StreamApp(cluster, medium_stateless, input_fn=sample_input,
+                        name="managed")
+        app.launch(partition_even(medium_stateless(), [0, 1],
+                                  multiplier=24, name="A"))
+        cluster.run(until=12.0)
+        manager = ReconfigurationManager(app)
+        first = manager.submit(partition_even(medium_stateless(), [0, 1, 2],
+                                              multiplier=24, name="B"),
+                               strategy="adaptive")
+        second = manager.submit(partition_even(medium_stateless(), [0, 2],
+                                               multiplier=24, name="C"),
+                                strategy="adaptive")
+        cluster.run(until=140.0)
+        assert first.status in ("completed", "superseded")
+        assert second.status == "completed"
+        waits = [s for s in tracer.find_spans("manager", "queue-wait")]
+        assert waits and all(s.finished for s in waits)
+        assert second.queue_wait_seconds is not None
+        assert second.queue_wait_seconds >= 0.0

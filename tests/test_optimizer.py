@@ -8,7 +8,6 @@ from repro.compiler.optimizer import (
     predict_throughput,
     segment_cost,
 )
-from repro.sched import make_schedule
 
 from tests.conftest import medium_stateful, medium_stateless, simple_pipeline
 
@@ -110,7 +109,6 @@ class TestPredictThroughput:
         full simulation does (its job for the autotuner)."""
         from repro import Cluster, StreamApp
         model = CostModel().scaled(node_speed=6_000.0)
-        graph = medium_stateless()
         configs = [
             partition_even(medium_stateless(), [0], multiplier=24,
                            name="one"),

@@ -55,8 +55,6 @@ class TestBoundaryCounts:
         from repro.runtime import GraphInterpreter
         graph = medium_stateful()
         schedule = make_schedule(graph, multiplier=3)
-        predicted = boundary_edge_counts(schedule)
-        interp = GraphInterpreter(graph, schedule=schedule)
         head = graph.head
         head_extra = max(head.peek_rates[0] - head.pop_rates[0], 0)
         for boundary in (1, 2, 5):
@@ -65,7 +63,6 @@ class TestBoundaryCounts:
             interp2 = GraphInterpreter(medium_stateful(), schedule=make_schedule(
                 medium_stateful(), multiplier=3))
             # Re-derive on a fresh graph to keep worker ids aligned.
-            graph2 = interp2.graph
             interp2.push_input([0.25] * need)
             interp2.run_to_boundary(boundary)
             state = interp2.capture_state()

@@ -1,9 +1,7 @@
 """Tests for ASCII plotting and the reconfiguration manager."""
 
-import pytest
 
 from repro import Cluster, StreamApp, partition_even
-from repro.compiler import CostModel
 from repro.core.manager import ReconfigurationManager
 from repro.metrics import ThroughputSeries
 from repro.metrics.plotting import ascii_chart, ascii_timeline, sparkline

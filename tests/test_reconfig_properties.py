@@ -6,11 +6,9 @@ reconfiguration times, the merged output stream equals the
 uninterrupted reference run, item for item.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import Cluster, StreamApp, partition_even
-from repro.compiler import CostModel
 from repro.graph import Pipeline
 from repro.graph.library import (
     Accumulator,

@@ -14,9 +14,6 @@ from repro.runtime import GraphInterpreter
 
 from tests.conftest import medium_stateful, medium_stateless, sample_input
 
-
-from repro.compiler import CostModel
-
 #: A slowed-down cost model: same structure, ~10x fewer items per
 #: simulated second, so functional integration tests stay fast.
 from tests.conftest import integration_cost_model

@@ -4,12 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graph import Pipeline
-from repro.graph.library import (
-    Accumulator,
-    DelayFilter,
-    FIRFilter,
-    ScaleFilter,
-)
+from repro.graph.library import FIRFilter, ScaleFilter
 from repro.runtime import (
     Channel,
     GRAPH_INPUT,
@@ -18,7 +13,6 @@ from repro.runtime import (
     RateViolationError,
     estimate_bytes,
 )
-from repro.runtime.channels import InputPort, OutputPort
 from repro.runtime.interpreter import fire_worker
 from repro.sched import make_schedule
 
@@ -90,8 +84,6 @@ class TestRateEnforcement:
             fire_worker(Snoop(1.0), [Channel([1, 2, 3, 4, 5, 6])], [Channel()])
 
     def test_peek_after_pop_counts_total_reach(self):
-        fir = FIRFilter([0.5, 0.5])
-
         class BadFIR(FIRFilter):
             def work(self, input, output):
                 input.pop()

@@ -6,11 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graph import Pipeline, SplitJoin
-from repro.graph.workers import (
-    DuplicateSplitter,
-    RoundRobinJoiner,
-    RoundRobinSplitter,
-)
+from repro.graph.workers import DuplicateSplitter, RoundRobinJoiner
 from repro.graph.library import (
     Decimator,
     Expander,
@@ -23,7 +19,6 @@ from repro.sched import (
     init_repetitions,
     make_schedule,
     repetition_vector,
-    steady_buffer_capacities,
     structural_leftover,
 )
 from repro.runtime import GraphInterpreter
@@ -242,7 +237,7 @@ def test_property_init_with_contents_still_admissible(graph, preload):
     if not graph.edges:
         return
     contents = {graph.edges[0].index: preload}
-    init = init_repetitions(graph, initial_contents=contents)
+    init_repetitions(graph, initial_contents=contents)
     schedule = make_schedule(graph, initial_contents=contents)
     from repro.runtime.state import ProgramState
     state = ProgramState(edge_contents={

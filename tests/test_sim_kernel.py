@@ -4,16 +4,7 @@ import math
 
 import pytest
 
-from repro.sim import (
-    AnyOf,
-    Environment,
-    Event,
-    Interrupt,
-    Process,
-    SimulationError,
-    Store,
-    Timeout,
-)
+from repro.sim import Environment, Interrupt, SimulationError
 
 
 class TestEvent:

@@ -1,9 +1,7 @@
 """Tests for the configuration space and the online autotuner."""
 
-import pytest
 
 from repro import Cluster, StreamApp, partition_even
-from repro.compiler import CostModel
 from repro.tuning import ConfigurationSpace, OnlineAutotuner, TuningPoint
 
 from tests.conftest import medium_stateless
