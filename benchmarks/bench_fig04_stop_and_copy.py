@@ -32,6 +32,7 @@ def _run():
         "init": init,
         "total": first_output - timeline.requested_at,
         "downtime": report.downtime,
+        "dup_emitted": float(experiment.app.merger.duplicate_emitted),
     }
 
 

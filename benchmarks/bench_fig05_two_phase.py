@@ -35,6 +35,7 @@ def _run():
         "ast_wait": ast_wait,
         "output_during_phase1": output_during_phase1,
         "downtime": report.downtime,
+        "dup_emitted": float(experiment.app.merger.duplicate_emitted),
     }
 
 

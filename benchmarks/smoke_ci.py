@@ -12,6 +12,10 @@ bodies once each with tracing enabled, then
    baseline.  The simulation is deterministic, so in practice the
    measurements reproduce the baseline exactly; the tolerance absorbs
    intentional cost-model tweaks.
+3. gates duplicated output: ``merger.duplicate_emitted`` (canonical
+   indices forwarded downstream twice) must be exactly zero in both
+   fault-free runs — it is the merger's seamlessness trip-wire, and a
+   non-zero value is a correctness bug, not a regression to tolerate.
 
 Usage::
 
@@ -77,6 +81,8 @@ def run_benchmarks(trace_dir):
     return {
         "fig04_downtime_seconds": fig04["downtime"],
         "fig05_phase2_seconds": fig05["phase2"],
+        "fig04_duplicate_emitted": fig04["dup_emitted"],
+        "fig05_duplicate_emitted": fig05["dup_emitted"],
     }
 
 
@@ -97,8 +103,25 @@ def validate_traces(trace_dir):
     return failures
 
 
+#: metric key -> human label.  Exact-zero gates: any duplicated output
+#: item forwarded downstream breaks output equivalence outright, so no
+#: tolerance applies.
+ZERO_GATED = {
+    "fig04_duplicate_emitted": "stop-and-copy duplicated output items",
+    "fig05_duplicate_emitted": "two-phase duplicated output items",
+}
+
+
 def gate(measured, baseline):
     failures = []
+    for key, label in sorted(ZERO_GATED.items()):
+        got = measured[key]
+        status = "OK" if got == 0 else "CORRECTNESS FAILURE"
+        print("gate %-35s must be 0, measured=%d %s"
+              % (label, int(got), status))
+        if got != 0:
+            failures.append("%s: %d output items were emitted twice"
+                            % (label, int(got)))
     for key, (bench, label) in sorted(GATED.items()):
         if key not in baseline:
             failures.append("baseline missing %r; run --update-baseline"

@@ -46,8 +46,11 @@ from repro.core import (
     AdaptiveSeamlessReconfigurer,
     FixedSeamlessReconfigurer,
     ReconfigReport,
+    ReconfigurationAborted,
+    ReconfigurationManager,
     StopAndCopyReconfigurer,
 )
+from repro.faults import FaultInjector, FaultPlan
 from repro.metrics import analyze_reconfiguration, bucketize
 from repro.obs import Tracer, phase_timeline, write_chrome_trace
 
@@ -59,6 +62,8 @@ __all__ = [
     "Configuration",
     "CostModel",
     "DuplicateSplitter",
+    "FaultInjector",
+    "FaultPlan",
     "Filter",
     "FixedSeamlessReconfigurer",
     "GraphInterpreter",
@@ -66,6 +71,8 @@ __all__ = [
     "Pipeline",
     "ProgramState",
     "ReconfigReport",
+    "ReconfigurationAborted",
+    "ReconfigurationManager",
     "RoundRobinJoiner",
     "RoundRobinSplitter",
     "Schedule",

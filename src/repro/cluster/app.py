@@ -100,6 +100,24 @@ class StreamApp:
         self.current: Optional[GraphInstance] = None
         self.events: List[Tuple[float, str, dict]] = []
         self.reconfigurations: List = []  # ReconfigReport objects
+        #: Armed fault injector (None outside chaos runs).
+        self.faults = None
+
+    # -- fault injection ----------------------------------------------------------
+
+    def attach_faults(self, plan):
+        """Arm a :class:`~repro.faults.plan.FaultPlan` against this app.
+
+        Returns the armed :class:`~repro.faults.injector.FaultInjector`
+        (also kept as ``self.faults``).  Timed faults are scheduled on
+        the simulation clock immediately; compile faults are consulted
+        by :meth:`charge_compile_time`.
+        """
+        from repro.faults.injector import FaultInjector
+        if self.faults is not None:
+            raise RuntimeError("a fault plan is already attached")
+        self.faults = FaultInjector(self, plan).arm()
+        return self.faults
 
     # -- bookkeeping -------------------------------------------------------------
 
@@ -152,6 +170,16 @@ class StreamApp:
         ]
         for job in jobs:
             yield job
+        if self.faults is not None:
+            # An injected compiler crash surfaces here, *after* the
+            # simulated compile time was charged: a dying compiler
+            # wastes the work it did before crashing.
+            try:
+                self.faults.raise_on_compile_fault(label)
+            except BaseException:
+                if span is not None:
+                    span.finish(failed=True)
+                raise
         if span is not None:
             span.finish()
 

@@ -58,6 +58,8 @@ class BlobProcess:
         self.done: Event = self.env.event()
         self.process = None
         self.last_iteration_seconds = 0.0
+        #: Fault injection: the blob executes nothing before this time.
+        self.stall_until = 0.0
 
     # -- control ----------------------------------------------------------------
 
@@ -72,6 +74,15 @@ class BlobProcess:
     def request_drain(self, reply: Event) -> None:
         self.drain_reply = reply
         self.notify()
+
+    def cancel_stop(self) -> None:
+        """Withdraw a pending stop request (reconfiguration rollback)."""
+        self.stop_at = None
+        self.notify()
+
+    def stall(self, until: float) -> None:
+        """Fault injection: freeze the steady loop until ``until``."""
+        self.stall_until = max(self.stall_until, until)
 
     def request_ast(self, iteration: int, reply: Event) -> bool:
         """Ask for a state snapshot at the given iteration boundary.
@@ -200,6 +211,11 @@ class BlobProcess:
                             RuntimeError("AST boundary missed"))
             while self.instance.paused:
                 yield self.instance.resume_event
+            if self.stall_until > env.now:
+                # Injected worker stall: hold the loop, then re-dispatch
+                # (control requests may have arrived while frozen).
+                yield env.timeout(self.stall_until - env.now)
+                continue
             yield from self._fill_input(init=False)
             if not runtime.ready_for_steady():
                 yield from self._wait(
@@ -326,6 +342,10 @@ class GraphInstance:
         self.resume_event: Event = self.env.event()
         self.running_event: Event = self.env.event()
         self.stopped_event: Event = self.env.event()
+        #: Fires (with the failure cause) if the instance dies from an
+        #: injected fault rather than an orderly stop/abandon.
+        self.failed_event: Event = self.env.event()
+        self.failure_cause: Optional[object] = None
         self.emitted_local = 0
         self._initialized_count = 0
         self._stopped_count = 0
@@ -398,14 +418,45 @@ class GraphInstance:
         if not self.stopped_event.triggered:
             self.stopped_event.succeed(self.env.now)
 
+    @property
+    def alive(self) -> bool:
+        return self.status in ("created", "starting", "running")
+
+    def nodes_used(self) -> List[int]:
+        """Distinct node ids this instance's blobs are placed on."""
+        return sorted({blob.spec.node_id for blob in self.program.blobs})
+
     def abandon(self) -> None:
-        """Immediately kill the instance (adaptive merging switchover)."""
-        if self.status in ("stopped", "abandoned"):
+        """Immediately kill the instance (adaptive merging switchover,
+        reconfiguration rollback)."""
+        if self.status in ("stopped", "abandoned", "failed"):
             return
         for process in self.blob_procs.values():
             if process.process is not None:
                 process.process.interrupt("abandoned")
         self._teardown("abandoned")
+
+    def fail(self, cause: object = None) -> None:
+        """Kill the instance because of a fault (e.g. its node crashed).
+
+        Like :meth:`abandon` but records the cause and fires
+        ``failed_event`` so a reconfiguration strategy overlapping with
+        this instance can observe the death and roll back.
+        """
+        if self.status in ("stopped", "abandoned", "failed"):
+            return
+        self.failure_cause = cause
+        for process in self.blob_procs.values():
+            if process.process is not None:
+                process.process.interrupt(cause or "failed")
+        self._teardown("failed")
+        if not self.failed_event.triggered:
+            self.failed_event.succeed(cause)
+
+    def cancel_stop(self) -> None:
+        """Withdraw a pending stop request on every blob (rollback)."""
+        for process in self.blob_procs.values():
+            process.cancel_stop()
 
     def pause(self) -> None:
         if not self.paused:

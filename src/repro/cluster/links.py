@@ -36,6 +36,20 @@ class DataLink:
         self.capacity = capacity
         self.in_flight = 0
         self._sender_wake: Optional[Event] = None
+        #: Fault-injection state.  An *outage* blocks sends until the
+        #: link heals (batches are retransmitted, never lost — lossy
+        #: links would break the output-equivalence invariant the
+        #: merger relies on); *extra delay* stretches each batch's
+        #: latency inside the window.
+        self.blocked_until = 0.0
+        self.extra_delay = 0.0
+        self.extra_delay_until = 0.0
+        #: Batches that hit an active fault window (observability).
+        self.faulted_batches = 0
+        #: Links are FIFO (TCP-like): a batch never overtakes an
+        #: earlier one, even when an injected delay window ends while
+        #: it is still in flight.
+        self._last_arrival = 0.0
 
     @property
     def idle(self) -> bool:
@@ -50,6 +64,24 @@ class DataLink:
         occupancy = self._occupancy()
         return occupancy + count <= self.capacity or occupancy == 0
 
+    # -- fault injection ------------------------------------------------------
+
+    def inject_outage(self, until: float) -> None:
+        """Block the link until ``until``; queued sends retransmit then."""
+        self.blocked_until = max(self.blocked_until, until)
+
+    def inject_delay(self, extra: float, until: float) -> None:
+        """Add ``extra`` seconds to each batch sent before ``until``."""
+        self.extra_delay = extra
+        self.extra_delay_until = max(self.extra_delay_until, until)
+
+    def heal(self) -> None:
+        """Clear all fault state immediately (recovery hook)."""
+        self.blocked_until = 0.0
+        self.extra_delay = 0.0
+        self.extra_delay_until = 0.0
+        self.notify_sender()
+
     def send(self, items: List[Any]):
         """Generator: block on backpressure, then schedule delivery."""
         count = len(items)
@@ -57,6 +89,11 @@ class DataLink:
             self._sender_wake = self.env.event()
             yield self._sender_wake
             self._sender_wake = None
+        if self.env.now < self.blocked_until:
+            # Outage/partition: the batch waits out the window and is
+            # retransmitted when the link heals — degraded, not lost.
+            self.faulted_batches += 1
+            yield self.env.timeout(self.blocked_until - self.env.now)
         self.in_flight += count
         # During draining, link traffic is exactly the buffered data a
         # stop-and-copy flush has to move — trace each flushed batch.
@@ -67,7 +104,13 @@ class DataLink:
                 "link", "link.flush",
                 track="node%d" % self.consumer.node.node_id,
                 key=self.key, items=count)
-        arrival = self.env.timeout(self.cost_model.batch_seconds(count))
+        latency = self.cost_model.batch_seconds(count)
+        if self.env.now < self.extra_delay_until:
+            self.faulted_batches += 1
+            latency += self.extra_delay
+        arrival_at = max(self.env.now + latency, self._last_arrival)
+        self._last_arrival = arrival_at
+        arrival = self.env.timeout(arrival_at - self.env.now)
         arrival.callbacks.append(lambda _event: self._deliver(items, span))
 
     def _deliver(self, items: List[Any], span=None) -> None:

@@ -53,6 +53,12 @@ class OutputMerger:
         #: Output items received more than once (the duplicated input's
         #: redundant output, discarded during splicing).
         self.duplicate_items = 0
+        #: Canonical indices *forwarded downstream* more than once.
+        #: Structurally zero — the merger advances ``next_index``
+        #: monotonically — so any nonzero value is a splicing bug; the
+        #: CI smoke gate asserts it stays 0 in fault-free runs.
+        self.duplicate_emitted = 0
+        self._emit_watermark = 0
         self._trace_bucket_start = 0.0
         self._trace_bucket_count = 0
 
@@ -77,6 +83,25 @@ class OutputMerger:
         self._frontiers.setdefault(new_id, 0)
         self.tracer.instant("merger", "begin_transition", mode=mode,
                             old=old_id, new=new_id)
+
+    def abort_transition(self) -> None:
+        """Reconfiguration rollback: drop the new instance's output.
+
+        The held-back output (fixed mode) is discarded — those
+        canonical indices will be re-emitted by the surviving old
+        instance, which is exactly why splicing by index makes
+        rollback safe.  Output the secondary already merged (adaptive
+        mode) was identical to the old instance's by construction, so
+        nothing needs rewinding.
+        """
+        if self.secondary_id is None:
+            return
+        dropped = sum(len(items) for _, items in self._holdback)
+        demoted = self.secondary_id
+        self.tracer.instant("merger", "abort_transition",
+                            demoted=demoted, dropped_items=dropped)
+        self.set_primary(self.primary_id)
+        self.caught_up = None
 
     def finish_transition(self) -> None:
         """The old instance stopped: flush held-back output, promote new.
@@ -123,7 +148,12 @@ class OutputMerger:
         self.duplicate_items += len(items) - fresh
         if self.collect_items:
             self.items.extend(items[len(items) - fresh:])
+        # Invariant trip-wire: the freshly forwarded range must start
+        # at (not before) the highest index ever forwarded.
+        if self.next_index < self._emit_watermark:
+            self.duplicate_emitted += min(end, self._emit_watermark) - self.next_index
         self.next_index = end
+        self._emit_watermark = max(self._emit_watermark, end)
         self.series.record(self.env.now, fresh)
         if self.tracer.enabled:
             self._trace_output(fresh)

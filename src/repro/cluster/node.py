@@ -25,6 +25,9 @@ class SimNode:
         self.speed = speed
         self.compile_cores = compile_cores
         self.available = True
+        #: Set while the node is failed (fault injection): instances
+        #: with blobs here die; the scheduler must not place new ones.
+        self.crashed = False
         #: instance_id -> scheduling weight (resource throttling halves
         #: the old instance's weight repeatedly).
         self._weights: Dict[int, float] = {}
@@ -36,6 +39,22 @@ class SimNode:
         #: machinery (checkpointing/acknowledgment overhead of the
         #: DDF-style baselines; Gloss itself never sets this).
         self._taxes: Dict[int, float] = {}
+
+    # -- failure ------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail the node: unavailable until :meth:`restore` is called.
+
+        Killing the processes that live here is the injector's job (it
+        knows which instances are affected); the node itself only
+        tracks the flag so placement and health checks can consult it.
+        """
+        self.crashed = True
+        self.available = False
+
+    def restore(self) -> None:
+        self.crashed = False
+        self.available = True
 
     # -- registration -------------------------------------------------------
 

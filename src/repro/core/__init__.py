@@ -23,7 +23,12 @@ from repro.core.planner import (
     duplication_iterations_stateful,
     duplication_iterations_stateless,
 )
-from repro.core.base import Reconfigurer
+from repro.core.base import (
+    InstanceFailure,
+    ReconfigurationAborted,
+    Reconfigurer,
+    describe_cause,
+)
 from repro.core.stop_copy import StopAndCopyReconfigurer
 from repro.core.fixed_seamless import FixedSeamlessReconfigurer
 from repro.core.adaptive_seamless import AdaptiveSeamlessReconfigurer
@@ -52,12 +57,15 @@ def make_reconfigurer(strategy: str, app) -> Reconfigurer:
 __all__ = [
     "AdaptiveSeamlessReconfigurer",
     "FixedSeamlessReconfigurer",
+    "InstanceFailure",
     "ReconfigReport",
+    "ReconfigurationAborted",
     "ReconfigurationManager",
     "RequestOutcome",
     "Reconfigurer",
     "StopAndCopyReconfigurer",
     "boundary_edge_counts",
+    "describe_cause",
     "duplication_iterations_stateful",
     "duplication_iterations_stateless",
     "make_reconfigurer",

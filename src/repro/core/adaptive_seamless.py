@@ -33,9 +33,12 @@ class AdaptiveSeamlessReconfigurer(Reconfigurer):
     #: Core-share halvings before input-rate restriction kicks in.
     core_throttle_steps = 3
 
-    def run(self, configuration: Configuration):
+    def __init__(self, app):
+        super().__init__(app)
+        self._throttler = None
+
+    def _execute(self, configuration: Configuration, report):
         app = self.app
-        report = self._begin(configuration)
 
         new_instance, old, _ = yield from (
             self._prepare_concurrent(configuration, report))
@@ -44,20 +47,23 @@ class AdaptiveSeamlessReconfigurer(Reconfigurer):
         app.merger.begin_transition(
             old.instance_id, new_instance.instance_id, mode="adaptive")
         report.new_started_at = self.env.now
-        overlap = app.tracer.begin(
+        self._overlap = app.tracer.begin(
             "reconfig", "overlap", track="reconfig",
             old=old.instance_id, new=new_instance.instance_id)
         new_instance.start()
         app.note("concurrent_execution",
                  old=old.instance_id, new=new_instance.instance_id)
 
-        throttler = self.env.process(self._throttle(old, new_instance))
+        self._throttler = self.env.process(
+            self._throttle(old, new_instance))
 
         # Adaptive merging: switch the moment the new instance catches
-        # up with the old one's output frontier.
-        yield app.merger.caught_up
-        overlap.finish()
-        throttler.interrupt("switched")
+        # up with the old one's output frontier.  A new instance killed
+        # by a fault aborts instead (the rollback stops the throttler
+        # and restores the old instance's cores and input rate).
+        yield from self._wait_watching(app.merger.caught_up, new_instance)
+        self._overlap.finish()
+        self._throttler.interrupt("switched")
         with app.tracer.span("reconfig", "discard-old", track="reconfig",
                              instance=old.instance_id):
             old.abandon()
@@ -66,10 +72,14 @@ class AdaptiveSeamlessReconfigurer(Reconfigurer):
             app.merger.finish_transition()
             app.current = new_instance
 
-        if not new_instance.running_event.triggered:
-            yield new_instance.running_event
+        yield from self._wait_watching(
+            new_instance.running_event, new_instance)
         report.new_running_at = self.env.now
-        return self._finish(report)
+
+    def _abort(self, configuration, report, cause):
+        if self._throttler is not None and self._throttler.is_alive:
+            self._throttler.interrupt("aborted")
+        yield from super()._abort(configuration, report, cause)
 
     def _throttle(self, old, new):
         """Resource throttling: gradually slow the old instance down.

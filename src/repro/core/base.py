@@ -5,6 +5,14 @@ The seamless strategies share their whole preparation pipeline
 the new instance); they differ only in how they switch between the
 instances, so :class:`Reconfigurer` hosts the pipeline and the
 subclasses override the switchover.
+
+:meth:`Reconfigurer.run` is a template: it wraps the subclass's
+:meth:`_execute` in an abort path so that *any* failure during the
+reconfiguration — an injected compiler crash, the new instance dying
+with its node, a manager timeout interrupt — rolls the program back
+to the old epoch instead of wedging it.  A rolled-back run raises
+:class:`ReconfigurationAborted`, which the reconfiguration manager
+treats as retriable.
 """
 
 from __future__ import annotations
@@ -20,8 +28,43 @@ from repro.core.planner import (
 )
 from repro.core.report import ReconfigReport
 from repro.cluster.instance import GraphInstance
+from repro.sim.kernel import Interrupt
 
-__all__ = ["Reconfigurer"]
+__all__ = [
+    "InstanceFailure",
+    "ReconfigurationAborted",
+    "Reconfigurer",
+    "describe_cause",
+]
+
+
+class InstanceFailure(RuntimeError):
+    """The new instance died mid-reconfiguration (e.g. node crash)."""
+
+    def __init__(self, message: str, cause: object = None):
+        super().__init__(message)
+        self.cause = cause
+
+
+class ReconfigurationAborted(RuntimeError):
+    """A reconfiguration failed and was rolled back.
+
+    By the time this propagates the rollback has already happened: the
+    old epoch is serving output again.  The manager treats it as
+    retriable (anything else escaping a strategy is a bug).
+    """
+
+    def __init__(self, cause: object = None):
+        self.cause = cause
+        super().__init__("reconfiguration aborted: %s"
+                         % (describe_cause(cause),))
+
+
+def describe_cause(cause: object) -> str:
+    """Human/trace-friendly one-liner for an abort cause."""
+    if isinstance(cause, BaseException):
+        return "%s: %s" % (type(cause).__name__, cause)
+    return str(cause)
 
 
 class Reconfigurer:
@@ -33,13 +76,111 @@ class Reconfigurer:
         self.app = app
         self.env = app.env
         self.cost_model = app.cost_model
+        #: The overlap span (concurrent execution), closed by _abort if
+        #: the strategy dies while both instances run.
+        self._overlap = None
 
     # -- strategy interface --------------------------------------------------
 
     def run(self, configuration: Configuration):
+        """Generator: execute the strategy with graceful degradation.
+
+        Failures inside :meth:`_execute` (including a manager-timeout
+        :class:`~repro.sim.kernel.Interrupt`) trigger :meth:`_abort`,
+        which restores the old epoch; the process then fails with
+        :class:`ReconfigurationAborted` so callers can observe (and
+        the manager can retry) the outcome.
+        """
+        report = self._begin(configuration)
+        try:
+            yield from self._execute(configuration, report)
+        except Exception as exc:
+            cause = exc.cause if isinstance(exc, Interrupt) else exc
+            yield from self._abort(configuration, report, cause)
+            self._finish_aborted(report, cause)
+            raise ReconfigurationAborted(cause) from exc
+        return self._finish(report)
+
+    def _execute(self, configuration: Configuration,
+                 report: ReconfigReport):
         """Generator implementing the strategy; must be overridden."""
         raise NotImplementedError
         yield  # pragma: no cover - marks this as a generator template
+
+    # -- abort / rollback ----------------------------------------------------
+
+    def _instance(self, instance_id: int):
+        if 0 <= instance_id < len(self.app.instances):
+            return self.app.instances[instance_id]
+        return None
+
+    def _abort(self, configuration: Configuration, report: ReconfigReport,
+               cause: object):
+        """Generator: roll back to the old epoch.
+
+        The default rollback covers failures while the old instance is
+        still serving (the seamless strategies' whole concurrent
+        phase): discard the new instance, drop the merger transition,
+        and restore every resource the strategy may have taken from
+        the old instance — pending stop requests, core weight, input
+        throttling, outstanding AST requests.  Stop-and-copy overrides
+        this (its old instance is already drained when things break).
+        """
+        app = self.app
+        old = self._instance(report.old_instance)
+        new = self._instance(report.new_instance)
+        if self._overlap is not None and not self._overlap.finished:
+            self._overlap.finish(aborted=True)
+        with app.tracer.span("reconfig", "rollback", track="reconfig",
+                             strategy=self.name,
+                             cause=describe_cause(cause)) as span:
+            if new is not None and new.alive:
+                new.abandon()
+            app.merger.abort_transition()
+            if old is not None and old.alive:
+                old.cancel_stop()
+                old.set_core_weight(1.0)
+                old.input_view.unthrottle()
+                for process in old.blob_procs.values():
+                    process.ast = None
+                    process.notify()
+                app.current = old
+                span.annotate(serving=old.instance_id)
+        report.rolled_back_at = self.env.now
+        app.note("rollback", strategy=self.name,
+                 cause=describe_cause(cause))
+        return
+        yield  # pragma: no cover - marks this as a generator template
+
+    def _finish_aborted(self, report: ReconfigReport,
+                        cause: object) -> ReconfigReport:
+        report.aborted = True
+        report.abort_cause = describe_cause(cause)
+        report.completed_at = self.env.now
+        if report.trace_span is not None:
+            report.trace_span.finish(aborted=True,
+                                     cause=report.abort_cause)
+        self.app.note("reconfig_aborted", strategy=self.name,
+                      cause=report.abort_cause)
+        self.app.reconfigurations.append(report)
+        return report
+
+    def _wait_watching(self, event, instance: GraphInstance):
+        """Generator: wait for ``event``, aborting if ``instance`` dies.
+
+        Every wait of the concurrent phase goes through this so a new
+        instance killed by a fault surfaces as :class:`InstanceFailure`
+        immediately instead of wedging the strategy on an event that
+        will never fire.
+        """
+        if not event.triggered:
+            yield self.env.any_of([event, instance.failed_event])
+        if instance.status == "failed":
+            raise InstanceFailure(
+                "instance %d died mid-reconfiguration (%s)"
+                % (instance.instance_id,
+                   describe_cause(instance.failure_cause)),
+                instance.failure_cause)
 
     # -- shared pipeline --------------------------------------------------------
 

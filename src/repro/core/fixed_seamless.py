@@ -23,9 +23,8 @@ class FixedSeamlessReconfigurer(Reconfigurer):
 
     name = "fixed"
 
-    def run(self, configuration: Configuration):
+    def _execute(self, configuration: Configuration, report):
         app = self.app
-        report = self._begin(configuration)
 
         new_instance, old, stop_iteration = yield from (
             self._prepare_concurrent(configuration, report))
@@ -35,7 +34,7 @@ class FixedSeamlessReconfigurer(Reconfigurer):
         app.merger.begin_transition(
             old.instance_id, new_instance.instance_id, mode="fixed")
         report.new_started_at = self.env.now
-        overlap = app.tracer.begin(
+        self._overlap = app.tracer.begin(
             "reconfig", "overlap", track="reconfig",
             old=old.instance_id, new=new_instance.instance_id,
             stop_iteration=stop_iteration)
@@ -44,8 +43,11 @@ class FixedSeamlessReconfigurer(Reconfigurer):
                  old=old.instance_id, new=new_instance.instance_id)
         old.request_stop_at(stop_iteration)
 
-        yield old.stopped_event
-        overlap.finish()
+        # A new instance killed by a fault mid-overlap aborts the
+        # reconfiguration (the rollback withdraws the stop request, so
+        # the old instance keeps serving).
+        yield from self._wait_watching(old.stopped_event, new_instance)
+        self._overlap.finish()
         report.old_stopped_at = self.env.now
         app.note("old_stopped", instance=old.instance_id)
         with app.tracer.span("reconfig", "discard-old", track="reconfig",
@@ -53,6 +55,6 @@ class FixedSeamlessReconfigurer(Reconfigurer):
             app.merger.finish_transition()
             app.current = new_instance
 
-        yield new_instance.running_event
+        yield from self._wait_watching(
+            new_instance.running_event, new_instance)
         report.new_running_at = self.env.now
-        return self._finish(report)

@@ -7,6 +7,17 @@ Gloss reconfigures from the *current* instance, so overlapping
 requests would race.  :class:`ReconfigurationManager` queues requests,
 runs them one at a time, coalesces bursts (only the newest pending
 request survives), and records the outcome of each.
+
+The manager is also the robustness boundary.  A strategy that fails
+rolls the program back to the old epoch and raises
+:class:`~repro.core.base.ReconfigurationAborted` — the manager treats
+that (and only that) as retriable, re-submitting the request after an
+exponentially backed-off delay up to ``max_retries`` times.  A
+``request_timeout`` arms a watchdog per attempt that interrupts a
+wedged strategy (e.g. an AST capture waiting on a partitioned blob),
+which triggers the same rollback-then-retry path.  Anything other
+than an abort escaping a strategy is a bug and marks the request
+failed immediately.
 """
 
 from __future__ import annotations
@@ -15,7 +26,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.compiler.config import Configuration
-from repro.sim.kernel import Environment, Event
+from repro.core.base import ReconfigurationAborted, describe_cause
+from repro.sim.kernel import Environment, Event, Interrupt
 
 __all__ = ["ReconfigurationManager", "RequestOutcome"]
 
@@ -32,6 +44,11 @@ class RequestOutcome:
     finished_at: Optional[float] = None
     error: Optional[BaseException] = None
     done: Optional[Event] = None
+    #: Attempts actually run (1 on the happy path; > 1 after retries).
+    attempts: int = 0
+    #: Errors of aborted attempts, in order (the final error — abort
+    #: or bug — also lands in ``error``).
+    abort_errors: List[BaseException] = field(default_factory=list)
     #: Span covering the time the request sat in the queue.
     queue_span: Optional[object] = field(default=None, repr=False)
 
@@ -45,10 +62,23 @@ class RequestOutcome:
 class ReconfigurationManager:
     """Queues and serializes live reconfiguration requests."""
 
-    def __init__(self, app, coalesce: bool = True):
+    def __init__(self, app, coalesce: bool = True,
+                 max_retries: int = 2,
+                 retry_initial_delay: float = 0.5,
+                 retry_backoff: float = 2.0,
+                 request_timeout: Optional[float] = None):
         self.app = app
         self.env: Environment = app.env
         self.coalesce = coalesce
+        #: Additional attempts after an aborted one (0 = no retries).
+        self.max_retries = max_retries
+        #: Backoff before the first retry, in simulated seconds.
+        self.retry_initial_delay = retry_initial_delay
+        #: Multiplier applied to the delay after each retry.
+        self.retry_backoff = retry_backoff
+        #: Per-attempt watchdog: interrupt the strategy (forcing its
+        #: rollback) after this many simulated seconds.  None disables.
+        self.request_timeout = request_timeout
         self.outcomes: List[RequestOutcome] = []
         self._pending: List[RequestOutcome] = []
         self._worker = None
@@ -98,19 +128,73 @@ class ReconfigurationManager:
             outcome.started_at = self.env.now
             if outcome.queue_span is not None:
                 outcome.queue_span.finish()
-            process = self.app.reconfigure(outcome.configuration,
-                                           strategy=outcome.strategy)
-            try:
-                yield process
-                outcome.status = "completed"
-            except BaseException as exc:
-                # A failed strategy process re-raises here; record it
-                # and keep draining the queue.
-                outcome.status = "failed"
-                outcome.error = exc
+            yield from self._run_request(outcome)
             outcome.finished_at = self.env.now
             if not outcome.done.triggered:
                 outcome.done.succeed(outcome)
+
+    def _run_request(self, outcome: RequestOutcome):
+        """Generator: run one request with watchdog, retries, backoff."""
+        delay = self.retry_initial_delay
+        tracer = self.env.tracer
+        for attempt in range(self.max_retries + 1):
+            outcome.attempts = attempt + 1
+            process = self.app.reconfigure(outcome.configuration,
+                                           strategy=outcome.strategy)
+            watchdog = None
+            if self.request_timeout is not None:
+                watchdog = self.env.process(
+                    self._watchdog(process, self.request_timeout))
+            try:
+                yield process
+                outcome.status = "completed"
+                return
+            except ReconfigurationAborted as exc:
+                # The strategy already rolled back to the old epoch;
+                # the request is retriable.
+                outcome.error = exc
+                outcome.abort_errors.append(exc)
+                tracer.instant(
+                    "manager", "request-aborted", track="manager",
+                    attempt=outcome.attempts,
+                    cause=describe_cause(exc.cause))
+                if attempt >= self.max_retries:
+                    break
+                with tracer.span("manager", "retry-backoff",
+                                 track="manager",
+                                 attempt=outcome.attempts,
+                                 delay=round(delay, 6)):
+                    yield self.env.timeout(delay)
+                delay *= self.retry_backoff
+            except BaseException as exc:
+                # Anything other than an abort is a bug in the strategy
+                # (or a deliberate test probe): not retriable.
+                outcome.status = "failed"
+                outcome.error = exc
+                return
+            finally:
+                if watchdog is not None and watchdog.is_alive:
+                    watchdog.interrupt("request finished")
+        outcome.status = "failed"
+
+    def _watchdog(self, process, timeout: float):
+        """Interrupt a strategy that outlives its per-attempt budget.
+
+        The interrupt surfaces inside the strategy's ``run`` template,
+        which rolls back to the old epoch and fails the process with
+        ``ReconfigurationAborted`` — so a timeout and an injected
+        fault take the exact same recovery path.
+        """
+        try:
+            yield self.env.timeout(timeout)
+        except Interrupt:
+            return  # the attempt finished first
+        if process.is_alive:
+            self.env.tracer.instant(
+                "manager", "request-timeout", track="manager",
+                timeout=timeout)
+            process.interrupt(
+                "manager timeout after %gs" % (timeout,))
 
     # -- reporting -----------------------------------------------------------
 
@@ -142,3 +226,12 @@ class ReconfigurationManager:
     @property
     def superseded(self) -> List[RequestOutcome]:
         return [o for o in self.outcomes if o.status == "superseded"]
+
+    @property
+    def failed(self) -> List[RequestOutcome]:
+        return [o for o in self.outcomes if o.status == "failed"]
+
+    @property
+    def retried(self) -> List[RequestOutcome]:
+        """Requests that needed more than one attempt."""
+        return [o for o in self.outcomes if o.attempts > 1]

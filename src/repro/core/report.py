@@ -33,6 +33,14 @@ class ReconfigReport:
     old_stopped_at: Optional[float] = None
     completed_at: Optional[float] = None
 
+    #: True when the reconfiguration failed and was rolled back; the
+    #: old epoch kept (or resumed) serving.
+    aborted: bool = False
+    #: One-line description of what killed the aborted run.
+    abort_cause: Optional[str] = None
+    #: When the rollback finished restoring the old epoch.
+    rolled_back_at: Optional[float] = None
+
     #: The AST boundary iteration (stateful seamless strategies).
     boundary: Optional[int] = None
     #: Iterations of duplicated input (the X of paper Section 7.1);
@@ -107,9 +115,10 @@ class ReconfigReport:
         return durations
 
     def describe(self) -> str:
-        parts = ["%s -> %s (%s)" % (
+        parts = ["%s -> %s (%s)%s" % (
             self.strategy, self.config_name,
-            "stateful" if self.stateful else "stateless")]
+            "stateful" if self.stateful else "stateless",
+            " ABORTED: %s" % self.abort_cause if self.aborted else "")]
         for label, value in (
             ("requested", self.requested_at),
             ("drained", self.drained_at),
@@ -118,6 +127,7 @@ class ReconfigReport:
             ("phase2", self.phase2_done_at),
             ("new running", self.new_running_at),
             ("old stopped", self.old_stopped_at),
+            ("rolled back", self.rolled_back_at),
             ("completed", self.completed_at),
         ):
             if value is not None:

@@ -8,12 +8,21 @@ start the new instance, whose initialization phase must refill the
 pipeline before output resumes.  The three downtime contributors —
 draining, recompilation, initialization — are exactly Figure 4's
 breakdown.
+
+Graceful degradation: once the old instance is drained there is
+nothing left to "keep serving", so a failure after the drain (a
+compiler crash, the new instance dying with its node) rolls back by
+*restarting the old configuration* with the drained state — the
+rollback is itself a stop-and-copy, back onto the old epoch.  The
+rollback compile is labelled ``compile.rollback`` so fault plans
+targeting the forward path never kill the recovery path.
 """
 
 from __future__ import annotations
 
 from repro.compiler.config import Configuration
-from repro.core.base import Reconfigurer
+from repro.core.base import Reconfigurer, describe_cause
+from repro.core.report import ReconfigReport
 
 __all__ = ["StopAndCopyReconfigurer"]
 
@@ -23,13 +32,20 @@ class StopAndCopyReconfigurer(Reconfigurer):
 
     name = "stop_and_copy"
 
-    def run(self, configuration: Configuration):
+    def __init__(self, app):
+        super().__init__(app)
+        self._old_configuration = None
+        self._captured_state = None
+
+    def _execute(self, configuration: Configuration,
+                 report: ReconfigReport):
         app = self.app
-        report = self._begin(configuration)
         old = app.current
+        self._old_configuration = old.program.configuration
 
         # 1. Drain the old instance and collect the program state.
         state = yield from old.drain()
+        self._captured_state = state
         report.drained_at = self.env.now
         report.state_bytes = state.size_bytes()
         app.note("drained", bytes=report.state_bytes)
@@ -58,7 +74,48 @@ class StopAndCopyReconfigurer(Reconfigurer):
         with app.tracer.span("reconfig", "init", track="reconfig",
                              instance=new_instance.instance_id):
             new_instance.start()
-            yield new_instance.running_event
+            yield from self._wait_watching(
+                new_instance.running_event, new_instance)
         report.new_running_at = self.env.now
         app.note("new_running", instance=new_instance.instance_id)
-        return self._finish(report)
+
+    def _abort(self, configuration: Configuration, report: ReconfigReport,
+               cause: object):
+        app = self.app
+        old = self._instance(report.old_instance)
+        state = self._captured_state
+        if old is None or old.alive or state is None:
+            # Failure before the drain completed: the old instance is
+            # still serving; the default rollback applies.
+            yield from super()._abort(configuration, report, cause)
+            return
+
+        # The old instance is already drained.  Restart the *old*
+        # configuration with the drained state; the rollback instance
+        # recomputes the exact output items any partially-started new
+        # instance may have emitted, and the merger discards the
+        # duplicated prefix by canonical index.
+        with app.tracer.span("reconfig", "rollback", track="reconfig",
+                             strategy=self.name, mode="restart-old",
+                             cause=describe_cause(cause)) as span:
+            dead = self._instance(report.new_instance)
+            if dead is not None and dead.alive:
+                dead.abandon()
+            program = app.compile(self._old_configuration, state=state)
+            yield from app.charge_compile_time(
+                app.compile_seconds_per_node(program, "full"),
+                label="compile.rollback", track="reconfig")
+            input_offset = old.input_offset + state.consumed
+            output_offset = old.output_offset + old.emitted_local
+            instance = app.spawn_instance(
+                program, input_offset, output_offset,
+                label=old.label + "-rollback")
+            app.merger.abort_transition()
+            app.merger.set_primary(instance.instance_id)
+            app.current = instance
+            instance.start()
+            yield instance.running_event
+            span.annotate(serving=instance.instance_id)
+        report.rolled_back_at = self.env.now
+        app.note("rollback", strategy=self.name, mode="restart-old",
+                 cause=describe_cause(cause))

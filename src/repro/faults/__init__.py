@@ -1,0 +1,41 @@
+"""Deterministic fault injection and graceful degradation.
+
+Gloss's central claim is *seamless* reconfiguration; production
+systems built on the same ideas (Megaphone's planned migrations,
+Fries' transactional reconfiguration) treat failure *during* the
+migration as the norm.  This package supplies the chaos half of that
+story: declarative :class:`FaultPlan`\\ s (node crashes, link
+partitions/outages/delays, worker stalls, compiler crashes) executed
+at exact simulated times by a :class:`FaultInjector`, with every
+injection and recovery visible in the exported trace.
+
+The recovery half lives in :mod:`repro.core`: strategies abort back to
+the old epoch (discarding the new instance, restoring the old one's
+resources) and the reconfiguration manager retries with exponential
+backoff — the app never stops emitting.
+
+Usage::
+
+    from repro.faults import FaultPlan
+
+    plan = (FaultPlan(name="chaos")
+            .crash_node(2, at=20.0, recover_after=15.0)
+            .fail_compile("phase1", at=12.0))
+    app.attach_faults(plan)          # arms the injector
+    ...
+    app.faults.fired                 # what actually happened
+"""
+
+from repro.faults.errors import CompileFailure, InjectedFault, NodeCrashed
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "FAULT_KINDS",
+    "CompileFailure",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "NodeCrashed",
+]

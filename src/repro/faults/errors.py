@@ -1,0 +1,34 @@
+"""Exceptions raised by injected faults.
+
+Every injected failure surfaces as an :class:`InjectedFault` subclass
+so the robustness layer (strategy rollback, manager retries) can tell
+deliberate chaos from programming errors: injected faults are always
+recoverable by aborting back to the old epoch; anything else is a bug
+and must propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CompileFailure", "InjectedFault", "NodeCrashed"]
+
+
+class InjectedFault(Exception):
+    """Base class for failures produced by the fault injector."""
+
+    def __init__(self, message: str, spec=None):
+        super().__init__(message)
+        #: The :class:`~repro.faults.plan.FaultSpec` that fired, when known.
+        self.spec = spec
+
+
+class CompileFailure(InjectedFault):
+    """A compilation phase failed mid-reconfiguration.
+
+    Raised out of ``StreamApp.charge_compile_time`` after the doomed
+    compile has burned its simulated time — a crashed compiler wastes
+    the work it did before dying.
+    """
+
+
+class NodeCrashed(InjectedFault):
+    """A cluster node failed; instances with blobs there are dead."""

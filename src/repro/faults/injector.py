@@ -1,0 +1,201 @@
+"""The fault injector: executes a :class:`FaultPlan` against a running app.
+
+The injector is driven entirely by the simulation kernel
+(``Environment.call_at``), so faults fire at exact simulated times in
+deterministic tie-breaker order — a fault plan is as reproducible as
+the program it torments.  Every injection and recovery is emitted
+through the app's tracer (category ``fault``, track ``faults``), so an
+exported Chrome trace shows the chaos timeline next to the
+reconfiguration spans it disturbed.
+
+Fault delivery:
+
+* time-driven faults (crashes, partitions, outages, delays, stalls)
+  are scheduled at :meth:`FaultInjector.arm` time and applied to
+  whatever instances/links are live when they fire;
+* ``compile_fail`` faults are *armed predicates*: the app consults
+  :meth:`take_compile_fault` from ``charge_compile_time`` and raises
+  :class:`CompileFailure` when a spec matches.  Each spec fires once.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.faults.errors import CompileFailure, NodeCrashed
+from repro.faults.plan import FaultPlan, FaultSpec
+
+__all__ = ["FaultInjector"]
+
+#: compile-span label -> compile_fail phase it matches.
+_LABEL_PHASES = {
+    "compile.full": "full",
+    "compile.phase1": "phase1",
+    "compile.phase2": "phase2",
+    "compile.rollback": "rollback",
+}
+
+
+class FaultInjector:
+    """Applies a fault plan to a :class:`~repro.cluster.app.StreamApp`."""
+
+    def __init__(self, app, plan: FaultPlan):
+        self.app = app
+        self.env = app.env
+        self.tracer = app.tracer
+        self.plan = plan.validate()
+        #: (fire time, spec) for every fault that actually fired.
+        self.fired: List[Tuple[float, FaultSpec]] = []
+        self._armed_compile: List[FaultSpec] = [
+            spec for spec in plan if spec.kind == "compile_fail"]
+        self._armed = False
+
+    # -- arming ---------------------------------------------------------------
+
+    def arm(self) -> "FaultInjector":
+        """Schedule every time-driven fault on the simulation clock."""
+        if self._armed:
+            raise RuntimeError("fault plan already armed")
+        self._armed = True
+        for spec in self.plan:
+            if spec.kind == "compile_fail":
+                continue  # consulted from the compile path, not timed
+            self.env.call_at(spec.at, self._make_trigger(spec))
+        return self
+
+    def _make_trigger(self, spec: FaultSpec):
+        def _fire():
+            self._fire(spec)
+        return _fire
+
+    # -- firing ---------------------------------------------------------------
+
+    def _fire(self, spec: FaultSpec) -> None:
+        self.fired.append((self.env.now, spec))
+        handler = getattr(self, "_fire_" + spec.kind)
+        handler(spec)
+
+    def _instant(self, name: str, spec: FaultSpec, **extra) -> None:
+        self.tracer.instant("fault", name, track="faults",
+                            detail=spec.describe(), **extra)
+
+    def _window_span(self, spec: FaultSpec, **extra):
+        """A trace span covering a windowed fault, closed at recovery."""
+        span = self.tracer.begin("fault", "fault." + spec.kind,
+                                 track="faults", detail=spec.describe(),
+                                 **extra)
+        self.env.call_at(spec.at + spec.duration,
+                         lambda: span.finish(recovered=True))
+        return span
+
+    def _live_instances(self):
+        return [inst for inst in self.app.instances if inst.alive]
+
+    def _live_links(self, node_id: Optional[int], touching: bool = False):
+        """Data links of live instances, optionally filtered by node.
+
+        With ``touching`` (partitions) a link matches when either
+        endpoint blob runs on the node; otherwise only the consumer
+        side is considered (an outage/delay on the node's ingress).
+        """
+        links = []
+        for instance in self._live_instances():
+            for process in instance.blob_procs.values():
+                for link in process.out_links.values():
+                    if node_id is None:
+                        links.append(link)
+                        continue
+                    consumer_node = link.consumer.node.node_id
+                    producer_node = process.node.node_id
+                    if consumer_node == node_id or (
+                            touching and producer_node == node_id):
+                        links.append(link)
+        return links
+
+    # -- kind handlers --------------------------------------------------------
+
+    def _fire_node_crash(self, spec: FaultSpec) -> None:
+        node = self.app.cluster.node(spec.node_id)
+        node.crash()
+        victims = [inst for inst in self._live_instances()
+                   if spec.node_id in inst.nodes_used()]
+        self._instant("inject.node_crash", spec, node=spec.node_id,
+                      victims=[inst.instance_id for inst in victims])
+        cause = NodeCrashed("node %d crashed" % spec.node_id, spec)
+        for instance in victims:
+            instance.fail(cause)
+        if spec.duration > 0:
+            def _recover():
+                node.restore()
+                self._instant("recover.node_crash", spec, node=spec.node_id)
+            self.env.call_at(spec.at + spec.duration, _recover)
+
+    def _fire_node_partition(self, spec: FaultSpec) -> None:
+        until = spec.at + spec.duration
+        links = self._live_links(spec.node_id, touching=True)
+        for link in links:
+            link.inject_outage(until)
+        self._instant("inject.node_partition", spec, node=spec.node_id,
+                      links=len(links))
+        self._window_span(spec, node=spec.node_id, links=len(links))
+
+    def _fire_link_outage(self, spec: FaultSpec) -> None:
+        until = spec.at + spec.duration
+        links = self._live_links(spec.node_id)
+        for link in links:
+            link.inject_outage(until)
+        self._instant("inject.link_outage", spec, links=len(links))
+        self._window_span(spec, links=len(links))
+
+    def _fire_link_delay(self, spec: FaultSpec) -> None:
+        until = spec.at + spec.duration
+        links = self._live_links(spec.node_id)
+        for link in links:
+            link.inject_delay(spec.extra_delay, until)
+        self._instant("inject.link_delay", spec, links=len(links))
+        self._window_span(spec, links=len(links))
+
+    def _fire_worker_stall(self, spec: FaultSpec) -> None:
+        until = spec.at + spec.duration
+        stalled = 0
+        for instance in self._live_instances():
+            for process in instance.blob_procs.values():
+                if spec.node_id is None \
+                        or process.node.node_id == spec.node_id:
+                    process.stall(until)
+                    stalled += 1
+        self._instant("inject.worker_stall", spec, blobs=stalled)
+        self._window_span(spec, blobs=stalled)
+
+    def _fire_compile_fail(self, spec: FaultSpec) -> None:  # pragma: no cover
+        raise RuntimeError("compile_fail is consulted, never scheduled")
+
+    # -- the compile hook ------------------------------------------------------
+
+    def take_compile_fault(self, label: Optional[str]) -> Optional[FaultSpec]:
+        """Consume and return an armed compile fault matching ``label``.
+
+        Called by ``StreamApp.charge_compile_time`` after the compile's
+        simulated time has been charged; a match means that compile
+        crashed.  Specs are one-shot and only active from their ``at``
+        time onward.
+        """
+        phase = _LABEL_PHASES.get(label or "")
+        if phase is None:
+            return None
+        now = self.env.now
+        for spec in self._armed_compile:
+            if now < spec.at:
+                continue
+            if (spec.phase or "any") in ("any", phase):
+                self._armed_compile.remove(spec)
+                self.fired.append((now, spec))
+                self._instant("inject.compile_fail", spec, label=label)
+                return spec
+        return None
+
+    def raise_on_compile_fault(self, label: Optional[str]) -> None:
+        spec = self.take_compile_fault(label)
+        if spec is not None:
+            raise CompileFailure(
+                "injected compiler crash during %s" % label, spec)

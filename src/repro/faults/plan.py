@@ -1,0 +1,168 @@
+"""Declarative, deterministic fault plans.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultSpec` records,
+each naming a fault *kind*, an injection time in simulated seconds and
+the kind-specific parameters.  Plans are pure data: the same plan
+against the same program and seed replays event-for-event identically
+(the determinism regression test relies on this), and a plan can be
+serialized into a trace or a test id.
+
+Supported kinds:
+
+``node_crash``
+    Fail node ``node_id`` at ``at``; every live instance with a blob
+    on that node dies.  ``duration`` > 0 restores the node afterwards.
+``node_partition``
+    Block every data link touching ``node_id`` for ``duration``
+    seconds.  Batches queue and retransmit when the partition heals —
+    degraded, never lost.
+``link_outage``
+    Block data links (all of them, or only those whose consumer runs
+    on ``node_id``) for ``duration`` seconds.
+``link_delay``
+    Add ``extra_delay`` seconds to every batch on the selected links
+    for ``duration`` seconds.
+``worker_stall``
+    Freeze the steady loop of blobs on ``node_id`` (or everywhere)
+    until ``at + duration``.
+``compile_fail``
+    Arm a one-shot compiler crash: the first compile charge whose
+    label matches ``phase`` (``"full"``, ``"phase1"``, ``"phase2"``,
+    ``"rollback"`` or ``"any"``) at or after ``at`` raises
+    :class:`~repro.faults.errors.CompileFailure`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, List, Optional
+
+__all__ = ["FAULT_KINDS", "FaultPlan", "FaultSpec"]
+
+FAULT_KINDS = frozenset({
+    "node_crash",
+    "node_partition",
+    "link_outage",
+    "link_delay",
+    "worker_stall",
+    "compile_fail",
+})
+
+#: compile_fail phases (matched against compile-span labels).
+COMPILE_PHASES = frozenset({"full", "phase1", "phase2", "rollback", "any"})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: what, when, and against which target."""
+
+    kind: str
+    at: float
+    node_id: Optional[int] = None
+    duration: float = 0.0
+    extra_delay: float = 0.0
+    phase: Optional[str] = None
+    label: str = ""
+
+    def validate(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError("unknown fault kind %r (choose from %s)"
+                             % (self.kind, ", ".join(sorted(FAULT_KINDS))))
+        if self.at < 0:
+            raise ValueError("fault time must be >= 0, got %r" % (self.at,))
+        if self.duration < 0:
+            raise ValueError("fault duration must be >= 0")
+        if self.kind == "compile_fail":
+            if (self.phase or "any") not in COMPILE_PHASES:
+                raise ValueError(
+                    "compile_fail phase must be one of %s, got %r"
+                    % (", ".join(sorted(COMPILE_PHASES)), self.phase))
+        if self.kind in ("node_crash", "node_partition") \
+                and self.node_id is None:
+            raise ValueError("%s requires a node_id" % self.kind)
+        if self.kind == "link_delay" and self.extra_delay <= 0:
+            raise ValueError("link_delay requires extra_delay > 0")
+        if self.kind in ("node_partition", "link_outage", "link_delay",
+                         "worker_stall") and self.duration <= 0:
+            raise ValueError("%s requires duration > 0" % self.kind)
+
+    def describe(self) -> str:
+        parts = ["%s@%.3fs" % (self.kind, self.at)]
+        if self.node_id is not None:
+            parts.append("node=%d" % self.node_id)
+        if self.duration:
+            parts.append("for=%.3fs" % self.duration)
+        if self.extra_delay:
+            parts.append("extra=%.3fs" % self.extra_delay)
+        if self.phase:
+            parts.append("phase=%s" % self.phase)
+        return " ".join(parts)
+
+
+@dataclass
+class FaultPlan:
+    """An ordered collection of fault specs, with builder helpers."""
+
+    specs: List[FaultSpec] = field(default_factory=list)
+    name: str = "faults"
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def _add(self, spec: FaultSpec) -> "FaultPlan":
+        spec.validate()
+        self.specs.append(spec)
+        return self
+
+    # -- builders (each returns the plan, so calls chain) -------------------
+
+    def crash_node(self, node_id: int, at: float,
+                   recover_after: float = 0.0) -> "FaultPlan":
+        return self._add(FaultSpec("node_crash", at, node_id=node_id,
+                                   duration=recover_after))
+
+    def partition_node(self, node_id: int, at: float,
+                       duration: float) -> "FaultPlan":
+        return self._add(FaultSpec("node_partition", at, node_id=node_id,
+                                   duration=duration))
+
+    def link_outage(self, at: float, duration: float,
+                    node_id: Optional[int] = None) -> "FaultPlan":
+        return self._add(FaultSpec("link_outage", at, node_id=node_id,
+                                   duration=duration))
+
+    def link_delay(self, at: float, duration: float, extra_delay: float,
+                   node_id: Optional[int] = None) -> "FaultPlan":
+        return self._add(FaultSpec("link_delay", at, node_id=node_id,
+                                   duration=duration,
+                                   extra_delay=extra_delay))
+
+    def stall_workers(self, at: float, duration: float,
+                      node_id: Optional[int] = None) -> "FaultPlan":
+        return self._add(FaultSpec("worker_stall", at, node_id=node_id,
+                                   duration=duration))
+
+    def fail_compile(self, phase: str = "any",
+                     at: float = 0.0) -> "FaultPlan":
+        return self._add(FaultSpec("compile_fail", at, phase=phase))
+
+    # -- utilities -----------------------------------------------------------
+
+    def validate(self) -> "FaultPlan":
+        for spec in self.specs:
+            spec.validate()
+        return self
+
+    def shifted(self, offset: float) -> "FaultPlan":
+        """A copy of the plan with every injection time moved by
+        ``offset`` (reuse one plan shape at different reconfig times)."""
+        return FaultPlan(
+            [replace(spec, at=spec.at + offset) for spec in self.specs],
+            name=self.name,
+        )
+
+    def describe(self) -> str:
+        return "; ".join(spec.describe() for spec in self.specs) or "<empty>"

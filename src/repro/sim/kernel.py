@@ -326,6 +326,22 @@ class Environment:
     def store(self, capacity: float = math.inf) -> Store:
         return Store(self, capacity)
 
+    def call_at(self, when: float, callback: Callable[[], None]) -> Event:
+        """Invoke ``callback`` at absolute simulated time ``when``.
+
+        The scheduling hook used by the fault injector: callbacks fire
+        in deterministic tie-breaker order like every other event, so a
+        fault plan replays identically run over run.  Returns the
+        underlying timeout event (for tests that want to wait on it).
+        """
+        if when < self._now:
+            raise SimulationError(
+                "cannot schedule callback in the past: %r < %r"
+                % (when, self._now))
+        event = self.timeout(when - self._now)
+        event.callbacks.append(lambda _event: callback())
+        return event
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else math.inf

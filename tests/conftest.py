@@ -120,3 +120,55 @@ def integration_cost_model():
     return CostModel().scaled(node_speed=2_500.0,
                               interp_slowdown=8.0,
                               init_iterations=2.5)
+
+
+# -- chaos-run trace capture ---------------------------------------------------
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Stash each phase's report on the item so fixtures can see
+    whether the test body failed (the ``chaos_trace`` fixture exports
+    Chrome traces of failing chaos runs)."""
+    outcome = yield
+    report = outcome.get_result()
+    setattr(item, "rep_" + report.when, report)
+
+
+@pytest.fixture
+def chaos_trace(request):
+    """Register apps whose Chrome trace should survive a test failure.
+
+    Usage::
+
+        def test_something(chaos_trace):
+            app = chaos_trace(make_traced_app(...))
+            ...asserts...
+
+    If the test body fails, every registered app's trace is exported to
+    ``$REPRO_FAULT_TRACE_DIR`` (default ``.fault-traces/``), which CI
+    uploads as an artifact — the failing run's fault/rollback timeline
+    is inspectable in chrome://tracing without a rerun.
+    """
+    import os
+
+    registered = []
+
+    def register(app):
+        registered.append(app)
+        return app
+
+    yield register
+
+    report = getattr(request.node, "rep_call", None)
+    if report is None or not report.failed:
+        return
+    out_dir = os.environ.get("REPRO_FAULT_TRACE_DIR", ".fault-traces")
+    os.makedirs(out_dir, exist_ok=True)
+    safe = "".join(c if c.isalnum() or c in "-_." else "-"
+                   for c in request.node.nodeid.split("/")[-1])
+    for index, app in enumerate(registered):
+        path = os.path.join(out_dir, "%s-%d.trace.json" % (safe, index))
+        try:
+            app.export_trace(path)
+        except Exception as exc:  # pragma: no cover - best-effort capture
+            print("chaos_trace: could not export %s: %r" % (path, exc))

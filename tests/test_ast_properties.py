@@ -1,0 +1,200 @@
+"""Property tests: rate consistency and AST snapshot-point prediction.
+
+Asynchronous state transfer rests on a static claim (paper Section
+6.2): for a rate-consistent SDF graph, the global state at *any*
+steady-iteration boundary is fully determined by the schedule — every
+edge holds ``initial + init production - init consumption`` items, no
+matter which boundary is chosen and no matter how execution interleaved
+to get there.  That boundary-independence is what lets phase-1 compile
+against the *meta* program state before the snapshot exists, and what
+lets every blob snapshot at a predicted cut without coordination.
+
+These properties drive random SDF graphs (pipelines and split-joins
+with rate changes and peeking) through the scheduler and the reference
+interpreter and check the prediction against reality.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import boundary_edge_counts
+from repro.graph import Pipeline, SplitJoin
+from repro.graph.workers import DuplicateSplitter, RoundRobinJoiner
+from repro.graph.library import (
+    Decimator,
+    Expander,
+    FIRFilter,
+    Identity,
+    ScaleFilter,
+)
+from repro.runtime import GraphInterpreter
+from repro.sched import (
+    make_schedule,
+    repetition_vector,
+    structural_leftover,
+)
+
+
+@st.composite
+def random_sdf_graph(draw):
+    """A random SDF graph: rate-changing/peeking stages, maybe a
+    split-join in the middle."""
+    stages = []
+    n_front = draw(st.integers(min_value=1, max_value=3))
+    for i in range(n_front):
+        stages.append(_random_stage(draw, "f%d" % i))
+    if draw(st.booleans()):
+        # Branches must be rate-symmetric for the (1,1) joiner, so
+        # they draw from 1:1 stages only (peeking still allowed).
+        branch_a = _random_unit_rate_stage(draw, "ba")
+        branch_b = _random_unit_rate_stage(draw, "bb")
+        stages.append(SplitJoin(
+            DuplicateSplitter(2), branch_a, branch_b,
+            RoundRobinJoiner((1, 1)),
+        ))
+        stages.append(Identity(name="post"))
+    n_back = draw(st.integers(min_value=0, max_value=2))
+    for i in range(n_back):
+        stages.append(_random_stage(draw, "b%d" % i))
+    return Pipeline(*stages).flatten()
+
+
+def _random_stage(draw, name):
+    kind = draw(st.integers(min_value=0, max_value=3))
+    if kind == 0:
+        return ScaleFilter(1.5, name="s_" + name)
+    if kind == 1:
+        taps = draw(st.integers(min_value=2, max_value=5))
+        return FIRFilter([1.0] * taps, name="fir_" + name)
+    if kind == 2:
+        return Decimator(draw(st.integers(2, 3)), name="dec_" + name)
+    return Expander(draw(st.integers(2, 3)), name="exp_" + name)
+
+
+def _random_unit_rate_stage(draw, name):
+    kind = draw(st.integers(min_value=0, max_value=2))
+    if kind == 0:
+        return ScaleFilter(0.5, name="s_" + name)
+    if kind == 1:
+        taps = draw(st.integers(min_value=2, max_value=4))
+        return FIRFilter([1.0] * taps, name="fir_" + name)
+    return Identity(name="id_" + name)
+
+
+# -- rate consistency ---------------------------------------------------------
+
+@given(random_sdf_graph())
+@settings(max_examples=40, deadline=None)
+def test_property_repetition_vector_balances_every_edge(graph):
+    reps = repetition_vector(graph)
+    for edge in graph.edges:
+        push = graph.worker(edge.src).push_rates[edge.src_port]
+        pop = graph.worker(edge.dst).pop_rates[edge.dst_port]
+        assert push * reps[edge.src] == pop * reps[edge.dst]
+
+
+@given(random_sdf_graph(), st.integers(min_value=1, max_value=3))
+@settings(max_examples=40, deadline=None)
+def test_property_schedule_quanta_follow_from_rates(graph, multiplier):
+    """The schedule's I/O quanta are exactly the balanced rates times
+    the multiplier — the invariant canonical indexing builds on."""
+    reps = repetition_vector(graph)
+    schedule = make_schedule(graph, multiplier=multiplier)
+    head, tail = graph.head, graph.tail
+    assert schedule.steady_in == (
+        head.pop_rates[0] * reps[head.worker_id] * multiplier)
+    assert schedule.steady_out == (
+        tail.push_rates[0] * reps[tail.worker_id] * multiplier)
+    for worker in graph.workers:
+        assert schedule.steady_firings(worker.worker_id) == (
+            reps[worker.worker_id] * multiplier)
+
+
+@given(random_sdf_graph(), st.integers(min_value=1, max_value=3))
+@settings(max_examples=40, deadline=None)
+def test_property_init_covers_structural_leftover(graph, multiplier):
+    """Init leaves at least the structural leftover on every edge —
+    the precondition for the steady schedule to be admissible."""
+    schedule = make_schedule(graph, multiplier=multiplier)
+    counts = boundary_edge_counts(schedule)
+    leftovers = structural_leftover(graph)
+    for edge in graph.edges:
+        assert counts.get(edge.index, 0) >= leftovers[edge.index]
+
+
+# -- AST snapshot-point prediction --------------------------------------------
+
+@given(random_sdf_graph(), st.integers(min_value=1, max_value=3),
+       st.integers(min_value=0, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_property_boundary_state_matches_prediction(graph, multiplier,
+                                                    boundary):
+    """Execute init + ``boundary`` steady iterations; the per-edge
+    buffered counts equal ``boundary_edge_counts`` exactly — the
+    snapshot any blob takes at that boundary is a consistent global
+    state, for every boundary."""
+    schedule = make_schedule(graph, multiplier=multiplier)
+    predicted = boundary_edge_counts(schedule)
+    interp = GraphInterpreter(graph, schedule=schedule)
+    head_extra = max(graph.head.peek_rates[0] - graph.head.pop_rates[0], 0)
+    interp.push_input(
+        [0.5] * (schedule.init_in + boundary * schedule.steady_in
+                 + head_extra))
+    interp.run_steady(boundary)
+    for edge in graph.edges:
+        assert len(interp.channels[edge.index]) == \
+            predicted.get(edge.index, 0), (
+                "edge %d: consistent-cut prediction wrong at boundary %d"
+                % (edge.index, boundary))
+
+
+@given(random_sdf_graph(), st.integers(min_value=1, max_value=3),
+       st.integers(min_value=0, max_value=6),
+       st.integers(min_value=0, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_property_predicted_cut_is_boundary_independent(graph, multiplier,
+                                                        b1, b2):
+    """The cut formula used by ``GraphInstance.expected_cut`` —
+    pushed(b) - popped(b) per edge — gives the same contents at every
+    boundary: a steady iteration is net zero on each edge."""
+    reps = repetition_vector(graph)
+    schedule = make_schedule(graph, multiplier=multiplier)
+
+    def cut_at(b):
+        cut = {}
+        for edge in graph.edges:
+            src = graph.worker(edge.src)
+            dst = graph.worker(edge.dst)
+            firings_src = schedule.init[edge.src] + b * reps[edge.src] * multiplier
+            firings_dst = schedule.init[edge.dst] + b * reps[edge.dst] * multiplier
+            cut[edge.index] = (
+                schedule.initial_contents.get(edge.index, 0)
+                + src.push_rates[edge.src_port] * firings_src
+                - dst.pop_rates[edge.dst_port] * firings_dst)
+        return cut
+
+    cut1, cut2 = cut_at(b1), cut_at(b2)
+    assert cut1 == cut2
+    for index, count in cut1.items():
+        assert count == boundary_edge_counts(schedule).get(index, 0)
+        assert count >= 0
+
+
+@given(random_sdf_graph(), st.integers(min_value=1, max_value=3),
+       st.integers(min_value=1, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_property_boundary_io_counters_are_predictable(graph, multiplier,
+                                                       boundary):
+    """Canonical input/output positions at a boundary follow from the
+    schedule — the formulas ``consumed_at_boundary`` and
+    ``emitted_at_boundary`` use to splice output streams."""
+    schedule = make_schedule(graph, multiplier=multiplier)
+    interp = GraphInterpreter(graph, schedule=schedule)
+    head_extra = max(graph.head.peek_rates[0] - graph.head.pop_rates[0], 0)
+    interp.push_input(
+        [0.5] * (schedule.init_in + boundary * schedule.steady_in
+                 + head_extra))
+    interp.run_steady(boundary)
+    assert interp.consumed == (
+        schedule.init_in + boundary * schedule.steady_in)
+    assert interp.emitted == (
+        schedule.init_out + boundary * schedule.steady_out)

@@ -1,0 +1,90 @@
+"""Determinism regression: same scenario + same fault plan → same run.
+
+The simulation kernel is a deterministic discrete-event machine (heap
+ordered by time then a monotonic id), and the fault injector only adds
+*scheduled* events — so two runs of the same scenario must agree on
+every observable: every trace span and instant, every counter sample,
+the kernel's event count, and the merged output stream, event by
+event.  Any divergence means nondeterminism crept into the kernel, the
+runtime, or the injector — the property every pinned-timing chaos test
+in :mod:`tests.test_faults` silently relies on.
+"""
+
+import pytest
+
+from repro import Cluster, StreamApp, partition_even
+from repro.faults import FaultPlan
+from repro.obs import Tracer
+
+from tests.conftest import (integration_cost_model, medium_stateful,
+                            sample_input)
+
+SCENARIOS = {
+    "fault_free": lambda: None,
+    "node_crash": lambda: FaultPlan(name="crash").crash_node(2, at=19.0),
+    "degraded": lambda: (FaultPlan(name="degraded")
+                         .link_outage(at=12.5, duration=2.0)
+                         .stall_workers(at=14.0, duration=2.0)),
+}
+
+
+def run_scenario(plan_fn, strategy="adaptive"):
+    cluster = Cluster(n_nodes=3, cores_per_node=4,
+                      cost_model=integration_cost_model(),
+                      tracer=Tracer())
+    app = StreamApp(cluster, medium_stateful, input_fn=sample_input,
+                    name="det", collect_output=True)
+    app.launch(partition_even(medium_stateful(), [0, 1], multiplier=24,
+                              name="A"))
+    cluster.run(until=12.0)
+    plan = plan_fn()
+    if plan is not None:
+        app.attach_faults(plan)
+    app.reconfigure(
+        partition_even(medium_stateful(), [0, 1, 2], multiplier=24,
+                       name="B"),
+        strategy=strategy)
+    cluster.run(until=55.0)
+    return cluster, app
+
+
+def fingerprint(cluster, app):
+    """Every observable of a run, in a directly comparable form."""
+    tracer = app.tracer
+    return {
+        "spans": [(s.span_id, s.parent_id, s.category, s.name, s.track,
+                   s.start, s.end, sorted(s.args.items()))
+                  for s in tracer.spans],
+        "instants": [(t, cat, name, track, sorted(args.items()))
+                     for (t, cat, name, track, args) in tracer.instants],
+        "counters": list(tracer.counters),
+        "events_processed": cluster.env.events_processed,
+        "now": cluster.env.now,
+        "items": list(app.merger.items),
+        "duplicate_items": app.merger.duplicate_items,
+    }
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_identical_runs_are_identical_event_by_event(scenario):
+    first = fingerprint(*run_scenario(SCENARIOS[scenario]))
+    second = fingerprint(*run_scenario(SCENARIOS[scenario]))
+    for key in first:
+        if first[key] != second[key]:
+            a, b = first[key], second[key]
+            if isinstance(a, list):
+                for i, (x, y) in enumerate(zip(a, b)):
+                    assert x == y, (
+                        "%s/%s diverges at record %d:\n  run1: %r\n  run2: %r"
+                        % (scenario, key, i, x, y))
+            raise AssertionError("%s/%s differs: %r vs %r"
+                                 % (scenario, key, a, b))
+
+
+def test_different_fault_plans_give_different_runs():
+    """Sanity check that the fingerprint has discriminating power: a
+    crashed run must not fingerprint like a healthy one."""
+    healthy = fingerprint(*run_scenario(SCENARIOS["fault_free"]))
+    crashed = fingerprint(*run_scenario(SCENARIOS["node_crash"]))
+    assert healthy["spans"] != crashed["spans"]
+    assert healthy["items"] != crashed["items"]

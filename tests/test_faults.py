@@ -1,0 +1,218 @@
+"""Chaos suite: the fault-kind × strategy matrix.
+
+Every cell injects one fault kind into a live reconfiguration under
+one strategy and holds the run to the graceful-degradation contract:
+
+* **fatal faults** (a node crash killing the new instance, a compiler
+  crash) must abort the reconfiguration and roll back — the old epoch
+  keeps serving, the seamless strategies show zero downtime buckets
+  through the whole incident, and the rollback is visible in the
+  trace;
+* **degrading faults** (link outages/delays, partitions, worker
+  stalls) are lossless by construction — batches retransmit, stalls
+  end — so the reconfiguration must still complete;
+* in *every* cell the seamlessness oracle must confirm the merged
+  output equals the unreconfigured reference run, item for item.
+
+All timings are pinned against the deterministic kernel, so each cell
+replays identically; a failing cell's Chrome trace is exported via the
+``chaos_trace`` fixture and uploaded as a CI artifact.
+"""
+
+import json
+
+import pytest
+
+from repro import Cluster, StreamApp, partition_even
+from repro.core import ReconfigurationAborted, ReconfigurationManager
+from repro.faults import FaultPlan
+from repro.obs import Tracer
+
+from tests.conftest import (integration_cost_model, medium_stateful,
+                            sample_input)
+from tests.oracle import assert_seamless
+
+STRATEGIES = ["stop_and_copy", "fixed", "adaptive"]
+FAULT_KINDS = ["node_crash", "compile_fail", "node_partition",
+               "link_outage", "link_delay", "worker_stall"]
+FATAL_KINDS = frozenset({"node_crash", "compile_fail"})
+
+#: When to crash node 2 so it hits the *new* instance (which is the
+#: only instance using node 2): mid-init for stop-and-copy, mid-overlap
+#: for the seamless schemes (timeline probed under the integration
+#: cost model; the deterministic kernel keeps it stable).
+CRASH_AT = {"stop_and_copy": 15.5, "fixed": 19.0, "adaptive": 19.0}
+
+RECONFIG_AT = 12.0
+
+
+def make_plan(kind, strategy):
+    plan = FaultPlan(name="%s-%s" % (kind, strategy))
+    if kind == "compile_fail":
+        plan.fail_compile("any", at=RECONFIG_AT)
+    elif kind == "node_crash":
+        plan.crash_node(2, at=CRASH_AT[strategy])
+    elif kind == "node_partition":
+        plan.partition_node(2, at=17.0, duration=3.0)
+    elif kind == "link_outage":
+        plan.link_outage(at=12.5, duration=2.0)
+    elif kind == "link_delay":
+        plan.link_delay(at=12.5, duration=5.0, extra_delay=0.2)
+    elif kind == "worker_stall":
+        plan.stall_workers(at=12.5, duration=3.0)
+    return plan
+
+
+def launch_app(plan=None):
+    cluster = Cluster(n_nodes=3, cores_per_node=4,
+                      cost_model=integration_cost_model(),
+                      tracer=Tracer())
+    app = StreamApp(cluster, medium_stateful, input_fn=sample_input,
+                    name="chaos", collect_output=True)
+    app.launch(partition_even(medium_stateful(), [0, 1], multiplier=24,
+                              name="A"))
+    cluster.run(until=RECONFIG_AT)
+    if plan is not None:
+        app.attach_faults(plan)
+    return cluster, app
+
+
+def target_config():
+    return partition_even(medium_stateful(), [0, 1, 2], multiplier=24,
+                          name="B")
+
+
+class TestChaosMatrix:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_fault_during_reconfiguration(self, chaos_trace, kind, strategy):
+        cluster, app = launch_app(make_plan(kind, strategy))
+        chaos_trace(app)
+        done = app.reconfigure(target_config(), strategy=strategy)
+        cluster.run(until=60.0)
+        assert done.triggered, "strategy process wedged"
+
+        if kind in FATAL_KINDS:
+            # Fatal: the reconfiguration aborts, the rollback restores
+            # the old epoch, and output keeps flowing.
+            assert not done.ok
+            assert isinstance(done.value, ReconfigurationAborted)
+            report = app.reconfigurations[-1]
+            assert report.aborted
+            assert report.rolled_back_at is not None
+            assert app.current is not None and app.current.alive
+            assert app.faults.fired, "the fault never fired"
+            emitted_before = len(app.merger.items)
+            cluster.run(until=75.0)
+            assert len(app.merger.items) > emitted_before, (
+                "output stopped after rollback")
+            rollback_spans = [s for s in app.tracer.spans
+                              if s.name == "rollback"]
+            assert rollback_spans and all(s.finished
+                                          for s in rollback_spans)
+            if strategy != "stop_and_copy":
+                # The seamless promise survives the incident: no empty
+                # output buckets anywhere around fault and rollback.
+                disruption = app.analyze(RECONFIG_AT, 60.0)
+                assert disruption.downtime == 0.0, disruption
+        else:
+            # Degrading: lossless by construction, so the
+            # reconfiguration completes despite the fault.
+            assert done.ok, "degrading fault killed the reconfiguration"
+            assert not app.reconfigurations[-1].aborted
+            cluster.run(until=75.0)
+
+        assert_seamless(app, medium_stateful, sample_input, min_items=50)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_fault_free_runs_see_no_fault_machinery(self, strategy):
+        """Control row: without a plan no fault events appear and the
+        outcome matches the chaos cells' healthy expectations."""
+        cluster, app = launch_app(plan=None)
+        done = app.reconfigure(target_config(), strategy=strategy)
+        cluster.run(until=60.0)
+        assert done.triggered and done.ok
+        assert app.faults is None
+        assert not [s for s in app.tracer.spans if s.category == "fault"]
+        assert not [i for i in app.tracer.instants if i[1] == "fault"]
+        assert_seamless(app, medium_stateful, sample_input, min_items=50)
+
+
+def test_fault_and_rollback_are_visible_in_exported_trace(tmp_path):
+    """The acceptance criterion's observability half: the injected
+    fault and the rollback survive the round-trip through the Chrome
+    trace exporter — an incident is debuggable from the artifact."""
+    cluster, app = launch_app(make_plan("node_crash", "adaptive"))
+    done = app.reconfigure(target_config(), strategy="adaptive")
+    cluster.run(until=60.0)
+    assert done.triggered and not done.ok
+    path = tmp_path / "chaos.trace.json"
+    app.export_trace(str(path))
+    with open(path) as handle:
+        events = json.load(handle)["traceEvents"]
+    span_names = {e["name"] for e in events if e["ph"] == "X"}
+    instant_names = {e["name"] for e in events if e["ph"] == "i"}
+    assert "rollback" in span_names
+    assert "inject.node_crash" in instant_names
+
+
+class TestManagerRetries:
+    def test_one_shot_compile_crash_is_retried_to_success(self, chaos_trace):
+        """A transient compiler crash costs one abort; the manager's
+        retry completes the reconfiguration, and both the abort and
+        the backoff are visible in the trace."""
+        cluster, app = launch_app(
+            FaultPlan(name="transient").fail_compile("any", at=RECONFIG_AT))
+        chaos_trace(app)
+        manager = ReconfigurationManager(app, max_retries=2,
+                                         retry_initial_delay=2.0)
+        outcome = manager.submit(target_config(), strategy="adaptive")
+        cluster.run(until=90.0)
+        assert outcome.status == "completed"
+        assert outcome.attempts == 2
+        assert len(outcome.abort_errors) == 1
+        assert manager.retried == [outcome]
+        assert [s for s in app.tracer.spans if s.name == "retry-backoff"]
+        assert [i for i in app.tracer.instants
+                if i[2] == "request-aborted"]
+        assert_seamless(app, medium_stateful, sample_input, min_items=50)
+
+    def test_persistent_compile_crash_exhausts_retries(self, chaos_trace):
+        """When every attempt's compile crashes the request fails after
+        ``max_retries`` + 1 attempts — but the old epoch never stops
+        serving and the output stays correct."""
+        plan = FaultPlan(name="persistent")
+        for _ in range(3):
+            plan.fail_compile("any", at=RECONFIG_AT)
+        cluster, app = launch_app(plan)
+        chaos_trace(app)
+        manager = ReconfigurationManager(app, max_retries=2,
+                                         retry_initial_delay=1.0)
+        outcome = manager.submit(target_config(), strategy="fixed")
+        cluster.run(until=90.0)
+        assert outcome.status == "failed"
+        assert outcome.attempts == 3
+        assert isinstance(outcome.error, ReconfigurationAborted)
+        assert app.current is not None and app.current.alive
+        disruption = app.analyze(RECONFIG_AT, 80.0)
+        assert disruption.downtime == 0.0, disruption
+        assert_seamless(app, medium_stateful, sample_input, min_items=50)
+
+    def test_watchdog_aborts_wedged_attempt_then_retry_succeeds(
+            self, chaos_trace):
+        """A long worker stall wedges the first attempt's AST capture;
+        the per-request watchdog interrupts it (same rollback path as a
+        fault) and the retry, running after the stall lifts, succeeds."""
+        cluster, app = launch_app(
+            FaultPlan(name="wedge").stall_workers(at=12.5, duration=17.5))
+        chaos_trace(app)
+        manager = ReconfigurationManager(app, max_retries=2,
+                                         retry_initial_delay=3.0,
+                                         request_timeout=15.0)
+        outcome = manager.submit(target_config(), strategy="adaptive")
+        cluster.run(until=140.0)
+        assert outcome.status == "completed"
+        assert outcome.attempts == 2
+        assert [i for i in app.tracer.instants
+                if i[2] == "request-timeout"]
+        assert_seamless(app, medium_stateful, sample_input, min_items=50)
