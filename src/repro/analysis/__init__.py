@@ -1,0 +1,46 @@
+"""glosslint: static verification for Gloss stream programs.
+
+A rule-based static-analysis engine over the three things that can go
+wrong before (or instead of) runtime: the stream graph itself, a
+configuration of it, and a live-reconfiguration plan — plus an
+``ast``-level sim-determinism sanitizer for the simulator's own
+sources.  See ``ANALYSIS.md`` at the repo root for the rule catalog.
+
+Typical use::
+
+    from repro.analysis import check_graph, check_reconfiguration
+    report = check_graph(graph)
+    if not report.ok:
+        raise AnalysisError(report)
+
+or from the command line::
+
+    python -m repro.analysis --app FMRadio
+    python -m repro.analysis --all-apps --self-lint --json
+"""
+
+from repro.analysis.engine import (check_app, check_configuration,
+                                   check_graph, check_reconfiguration,
+                                   run_family, self_lint)
+from repro.analysis.findings import (ERROR, INFO, WARNING, AnalysisError,
+                                     AnalysisReport, Finding)
+from repro.analysis.registry import AnalysisPass, all_rules, passes_for, rule
+
+__all__ = [
+    "ERROR",
+    "INFO",
+    "WARNING",
+    "AnalysisError",
+    "AnalysisPass",
+    "AnalysisReport",
+    "Finding",
+    "all_rules",
+    "check_app",
+    "check_configuration",
+    "check_graph",
+    "check_reconfiguration",
+    "passes_for",
+    "rule",
+    "run_family",
+    "self_lint",
+]

@@ -1,0 +1,129 @@
+"""Command-line front end: ``python -m repro.analysis``.
+
+Examples::
+
+    python -m repro.analysis --app FMRadio
+    python -m repro.analysis --all-apps --self-lint --json -o report.json
+    python -m repro.analysis --lint src/repro/core
+    python -m repro.analysis --list-rules
+
+Exit status is 1 when any error-severity finding is produced (CI
+gates on this), 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.engine import check_app, self_lint
+from repro.analysis.findings import AnalysisReport
+from repro.analysis.registry import all_rules
+
+
+def _resolve_app_name(name: str) -> str:
+    from repro.apps import app_registry
+    registry = app_registry()
+    for known in registry:
+        if known.lower() == name.lower():
+            return known
+    raise SystemExit(
+        "unknown app %r (have: %s)" % (name, ", ".join(sorted(registry))))
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="glosslint: static verification of stream graphs, "
+                    "configurations, reconfiguration plans, and the "
+                    "simulator's own determinism.")
+    parser.add_argument(
+        "--app", action="append", default=[], metavar="NAME",
+        help="analyze one shipped application (case-insensitive; "
+             "repeatable)")
+    parser.add_argument(
+        "--all-apps", action="store_true",
+        help="analyze every registered application")
+    parser.add_argument(
+        "--scale", type=int, default=1,
+        help="application scale factor (default 1)")
+    parser.add_argument(
+        "--nodes", type=int, default=2,
+        help="cluster size assumed for default configurations (default 2)")
+    parser.add_argument(
+        "--self-lint", action="store_true",
+        help="run the sim-determinism sanitizer over src/repro")
+    parser.add_argument(
+        "--lint", action="append", default=[], metavar="PATH",
+        help="run the sanitizer over a file or directory (repeatable)")
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit a JSON report instead of text")
+    parser.add_argument(
+        "--output", "-o", metavar="FILE",
+        help="write the report to FILE as well as stdout")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit")
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for analysis_pass in all_rules():
+        lines.append("%-7s %-16s %s" % (
+            analysis_pass.rule_id, analysis_pass.family, analysis_pass.title))
+        lines.append("        %s" % analysis_pass.description)
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    reports: List[AnalysisReport] = []
+    app_names = [_resolve_app_name(name) for name in args.app]
+    if args.all_apps:
+        from repro.apps import app_registry
+        app_names = list(app_registry())
+    for name in app_names:
+        reports.append(check_app(name, scale=args.scale, nodes=args.nodes))
+    if args.self_lint:
+        reports.append(self_lint())
+    if args.lint:
+        reports.append(self_lint(args.lint))
+
+    if not reports:
+        parser.error("nothing to do: pass --app/--all-apps, --self-lint, "
+                     "--lint or --list-rules")
+
+    errors = sum(len(r.errors) for r in reports)
+    warnings = sum(len(r.warnings) for r in reports)
+    if args.as_json:
+        payload = {
+            "errors": errors,
+            "warnings": warnings,
+            "reports": [r.to_dict() for r in reports],
+        }
+        text = json.dumps(payload, indent=2)
+    else:
+        chunks = [r.render() for r in reports]
+        chunks.append("total: %d error(s), %d warning(s) across %d "
+                      "report(s)" % (errors, warnings, len(reports)))
+        text = "\n\n".join(chunks)
+
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

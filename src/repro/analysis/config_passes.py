@@ -1,0 +1,259 @@
+"""Configuration pass family: validity of one (graph, configuration).
+
+Extends ``Configuration.validate`` with diagnostics instead of a
+single exception: partition coverage, cross-blob cycle detection with
+the offending cycle named, node-placement and blob-connectivity
+validity, and steady-state buffer-capacity bounds derived from the
+repetition vector.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.contexts import ConfigurationContext
+from repro.analysis.findings import ERROR, WARNING, Finding
+from repro.analysis.registry import rule
+
+__all__ = ["CONFIG_RULES"]
+
+#: Per-edge steady buffer capacity beyond which we warn (items).
+HUGE_BUFFER_ITEMS = 1 << 20
+#: Schedule multipliers beyond this explode buffering and drain time.
+HUGE_MULTIPLIER = 4096
+
+
+@rule("C001", "configuration", "Partition coverage",
+      "Blobs must exactly partition the graph's workers: no empty or "
+      "duplicated blobs, no worker left out, none assigned twice, no "
+      "unknown workers, and a schedule multiplier >= 1.")
+def check_partition_coverage(ctx: ConfigurationContext) -> Iterable[Finding]:
+    configuration = ctx.configuration
+    graph = ctx.graph
+    if configuration.multiplier < 1:
+        yield Finding(
+            rule="C001", severity=ERROR,
+            message="schedule multiplier must be >= 1, got %d"
+                    % configuration.multiplier,
+        )
+    if not configuration.blobs:
+        yield Finding(
+            rule="C001", severity=ERROR,
+            message="configuration has no blobs",
+        )
+        return
+    seen_blob_ids: Dict[int, int] = {}
+    covered: Dict[int, int] = {}
+    for blob in configuration.blobs:
+        if blob.blob_id in seen_blob_ids:
+            yield Finding(
+                rule="C001", severity=ERROR,
+                message="blob id %d declared twice" % blob.blob_id,
+                location="blob %d" % blob.blob_id,
+            )
+        seen_blob_ids[blob.blob_id] = blob.blob_id
+        if not blob.workers:
+            yield Finding(
+                rule="C001", severity=ERROR,
+                message="blob %d is empty" % blob.blob_id,
+                location="blob %d" % blob.blob_id,
+            )
+        for worker_id in sorted(blob.workers):
+            if worker_id in covered:
+                yield Finding(
+                    rule="C001", severity=ERROR,
+                    message="worker %d assigned to blobs %d and %d"
+                            % (worker_id, covered[worker_id], blob.blob_id),
+                    location="worker #%d" % worker_id,
+                )
+            covered[worker_id] = blob.blob_id
+    all_workers = {w.worker_id for w in graph.workers}
+    missing = sorted(all_workers - set(covered))
+    if missing:
+        yield Finding(
+            rule="C001", severity=ERROR,
+            message="workers not assigned to any blob: %r" % (missing,),
+        )
+    extra = sorted(set(covered) - all_workers)
+    if extra:
+        yield Finding(
+            rule="C001", severity=ERROR,
+            message="configuration names unknown workers: %r" % (extra,),
+        )
+
+
+def _blob_edges(ctx: ConfigurationContext) -> Optional[List[tuple]]:
+    """Distinct cross-blob (src_blob, dst_blob) pairs, in edge order.
+
+    None when the worker->blob mapping is incomplete (C001 reports it).
+    """
+    mapping = ctx.configuration.worker_to_blob()
+    pairs: List[tuple] = []
+    for edge in ctx.graph.edges:
+        if edge.src not in mapping or edge.dst not in mapping:
+            return None
+        src_blob = mapping[edge.src]
+        dst_blob = mapping[edge.dst]
+        if src_blob != dst_blob and (src_blob, dst_blob) not in pairs:
+            pairs.append((src_blob, dst_blob))
+    return pairs
+
+
+@rule("C002", "configuration", "Cross-blob acyclicity",
+      "The blob-level graph must stay acyclic: a cycle of blobs "
+      "deadlocks the software pipeline. The finding names one cycle.")
+def check_blob_acyclicity(ctx: ConfigurationContext) -> Iterable[Finding]:
+    pairs = _blob_edges(ctx)
+    if pairs is None:
+        return
+    successors: Dict[int, List[int]] = {}
+    for src_blob, dst_blob in pairs:
+        successors.setdefault(src_blob, []).append(dst_blob)
+    # Iterative DFS with colors, deterministic over sorted blob ids.
+    color: Dict[int, int] = {}  # 0 absent/white, 1 gray, 2 black
+    for start in sorted(b.blob_id for b in ctx.configuration.blobs):
+        if color.get(start):
+            continue
+        stack = [(start, iter(successors.get(start, ())))]
+        color[start] = 1
+        path = [start]
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                if color.get(child) == 1:
+                    cycle = path[path.index(child):] + [child]
+                    yield Finding(
+                        rule="C002", severity=ERROR,
+                        message="blob graph contains a cycle: %s"
+                                % " -> ".join("blob %d" % b for b in cycle),
+                    )
+                    return
+                if not color.get(child):
+                    color[child] = 1
+                    path.append(child)
+                    stack.append((child, iter(successors.get(child, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = 2
+                path.pop()
+                stack.pop()
+
+
+@rule("C003", "configuration", "Node placement validity",
+      "Every blob must name a plausible node; when a cluster is in "
+      "scope, unknown nodes are errors and retired/crashed nodes are "
+      "warnings (the plan may be racing a recovery).")
+def check_node_placement(ctx: ConfigurationContext) -> Iterable[Finding]:
+    availability = ctx.node_availability
+    for blob in ctx.configuration.blobs:
+        if blob.node_id < 0:
+            yield Finding(
+                rule="C003", severity=ERROR,
+                message="blob %d placed on invalid node id %d"
+                        % (blob.blob_id, blob.node_id),
+                location="blob %d" % blob.blob_id,
+            )
+            continue
+        if availability is None:
+            continue
+        if blob.node_id not in availability:
+            yield Finding(
+                rule="C003", severity=ERROR,
+                message="blob %d placed on unknown node %d (cluster has "
+                        "nodes %r)" % (blob.blob_id, blob.node_id,
+                                       sorted(availability)),
+                location="blob %d" % blob.blob_id,
+            )
+        elif not availability[blob.node_id]:
+            yield Finding(
+                rule="C003", severity=WARNING,
+                message="blob %d placed on unavailable node %d"
+                        % (blob.blob_id, blob.node_id),
+                location="blob %d" % blob.blob_id,
+            )
+
+
+@rule("C004", "configuration", "Blob connectivity",
+      "Each blob's workers should form a weakly connected subgraph; a "
+      "disconnected blob fuses unrelated work onto one node and defeats "
+      "the partitioner's locality assumptions.")
+def check_blob_connectivity(ctx: ConfigurationContext) -> Iterable[Finding]:
+    graph = ctx.graph
+    known = {w.worker_id for w in graph.workers}
+    for blob in ctx.configuration.blobs:
+        members = sorted(blob.workers & known)
+        if len(members) <= 1:
+            continue
+        member_set = set(members)
+        reached = {members[0]}
+        frontier = [members[0]]
+        while frontier:
+            current = frontier.pop()
+            for edge in (graph.out_edges(current) + graph.in_edges(current)):
+                for neighbor in (edge.src, edge.dst):
+                    if neighbor in member_set and neighbor not in reached:
+                        reached.add(neighbor)
+                        frontier.append(neighbor)
+        unreached = sorted(member_set - reached)
+        if unreached:
+            yield Finding(
+                rule="C004", severity=WARNING,
+                message="blob %d is not connected: workers %r have no "
+                        "intra-blob path to workers %r"
+                        % (blob.blob_id, unreached,
+                           sorted(member_set - set(unreached))),
+                location="blob %d" % blob.blob_id,
+            )
+
+
+@rule("C005", "configuration", "Steady-state buffer-capacity bounds",
+      "Steady buffer capacities derived from the repetition vector and "
+      "multiplier must be positive and bounded: a non-positive capacity "
+      "means the schedule is infeasible, an enormous one means the "
+      "multiplier or rates will exhaust memory.")
+def check_buffer_capacities(ctx: ConfigurationContext) -> Iterable[Finding]:
+    repetitions = ctx.repetitions()
+    if repetitions is None:
+        return  # graph-level G001 reports the rate failure.
+    configuration = ctx.configuration
+    if configuration.multiplier > HUGE_MULTIPLIER:
+        yield Finding(
+            rule="C005", severity=WARNING,
+            message="schedule multiplier %d is enormous: buffering and "
+                    "drain time scale with it" % configuration.multiplier,
+        )
+    if configuration.multiplier < 1:
+        return  # C001 reports it; capacities would be nonsense.
+    from repro.sched.schedule import steady_buffer_capacities
+    try:
+        capacities = steady_buffer_capacities(
+            ctx.graph, repetitions, multiplier=configuration.multiplier)
+    except Exception as exc:
+        yield Finding(
+            rule="C005", severity=ERROR,
+            message="steady buffer capacities are not computable: %r"
+                    % (exc,),
+        )
+        return
+    for edge in ctx.graph.edges:
+        capacity = capacities[edge.index]
+        if capacity <= 0:
+            yield Finding(
+                rule="C005", severity=ERROR,
+                message="edge %d has non-positive steady buffer capacity "
+                        "%d: the schedule starves it" % (edge.index, capacity),
+                location="edge %d" % edge.index,
+            )
+        elif capacity > HUGE_BUFFER_ITEMS:
+            yield Finding(
+                rule="C005", severity=WARNING,
+                message="edge %d needs a %d-item steady buffer "
+                        "(multiplier %d): likely to exhaust memory"
+                        % (edge.index, capacity, configuration.multiplier),
+                location="edge %d" % edge.index,
+            )
+
+
+CONFIG_RULES: List[str] = ["C001", "C002", "C003", "C004", "C005"]

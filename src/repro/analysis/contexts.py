@@ -1,0 +1,113 @@
+"""Context objects handed to analysis passes.
+
+Each pass family receives one context type; contexts carry lazily
+computed shared artifacts (repetition vector, schedules) so a family's
+passes don't recompute them, and so a failure to compute one artifact
+(itself a finding) cleanly disables the checks that depend on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.compiler.config import Configuration
+from repro.graph.topology import StreamGraph
+from repro.sched.schedule import Schedule
+
+__all__ = [
+    "ConfigurationContext",
+    "GraphContext",
+    "ReconfigurationContext",
+    "worker_location",
+]
+
+
+def worker_location(graph: StreamGraph, worker_id: int) -> str:
+    """Stable location string for a worker, e.g. ``worker fir0#3``."""
+    if 0 <= worker_id < len(graph.workers):
+        return "worker %s#%d" % (graph.worker(worker_id).name, worker_id)
+    return "worker #%d" % worker_id
+
+
+@dataclass
+class GraphContext:
+    """Input to the ``graph`` pass family."""
+
+    graph: StreamGraph
+    name: str = ""
+    _repetitions: Optional[Dict[int, int]] = field(
+        default=None, repr=False)
+    _repetitions_error: Optional[Exception] = field(
+        default=None, repr=False)
+
+    def repetitions(self) -> Optional[Dict[int, int]]:
+        """The repetition vector, or None when the rates are broken
+        (G001 reports the failure; dependent passes skip)."""
+        if self._repetitions is None and self._repetitions_error is None:
+            from repro.sched.balance import repetition_vector
+            try:
+                self._repetitions = repetition_vector(self.graph)
+            except Exception as exc:
+                self._repetitions_error = exc
+        return self._repetitions
+
+    def repetitions_error(self) -> Optional[Exception]:
+        self.repetitions()
+        return self._repetitions_error
+
+
+@dataclass
+class ConfigurationContext:
+    """Input to the ``configuration`` pass family.
+
+    ``node_availability`` (node id -> available?) is supplied when a
+    cluster is in scope; None means placement is checked structurally
+    only.
+    """
+
+    graph: StreamGraph
+    configuration: Configuration
+    name: str = ""
+    node_availability: Optional[Dict[int, bool]] = None
+    _graph_ctx: Optional[GraphContext] = field(default=None, repr=False)
+
+    def graph_context(self) -> GraphContext:
+        if self._graph_ctx is None:
+            self._graph_ctx = GraphContext(self.graph, name=self.name)
+        return self._graph_ctx
+
+    def repetitions(self) -> Optional[Dict[int, int]]:
+        return self.graph_context().repetitions()
+
+
+@dataclass
+class ReconfigurationContext:
+    """Input to the ``reconfiguration`` pass family.
+
+    ``old_schedule`` should be the *running* instance's schedule (it
+    includes prefill and absorbed initial contents); when absent the
+    passes derive a nominal schedule from the old configuration.
+    ``cost_model`` enables a dry run of phase-1 planning (R003).
+    """
+
+    old_graph: StreamGraph
+    old_configuration: Configuration
+    new_graph: StreamGraph
+    new_configuration: Configuration
+    old_schedule: Optional[Schedule] = None
+    cost_model: Optional[object] = None
+    node_availability: Optional[Dict[int, bool]] = None
+    name: str = ""
+
+    def resolved_old_schedule(self) -> Optional[Schedule]:
+        if self.old_schedule is not None:
+            return self.old_schedule
+        from repro.sched.schedule import make_schedule
+        try:
+            self.old_schedule = make_schedule(
+                self.old_graph,
+                multiplier=self.old_configuration.multiplier)
+        except Exception:
+            return None
+        return self.old_schedule

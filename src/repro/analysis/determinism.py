@@ -1,0 +1,382 @@
+"""Sim-determinism sanitizer: an ``ast``-module lint for sim code.
+
+The simulation kernel is a deterministic discrete-event machine, and
+the regression suite fingerprints entire runs event-by-event
+(``tests/test_determinism.py``).  That dynamic check only catches
+nondeterminism the scenario happens to exercise; this static
+counterpart flags the *sources* of nondeterminism before they ever
+fire:
+
+* ``DET001`` — wall-clock reads (``time.time`` and friends,
+  ``datetime.now``) in simulated code, where only ``env.now`` is
+  meaningful;
+* ``DET002`` — unseeded global randomness (module-level ``random.*``
+  calls, ``numpy.random.*``) instead of a seeded ``random.Random``;
+* ``DET003`` — iteration over sets (literals, ``set()``/``frozenset()``
+  calls, or locals bound to them), whose arbitrary order can reorder
+  simulated events between runs or interpreters;
+* ``DET004`` — ``id()``-based ordering (``sorted(..., key=id)``),
+  which varies with memory layout run to run.
+
+Suppression: append ``# glosslint: ignore[DET003]`` to the flagged
+line (a bare ``# glosslint: ignore`` suppresses every rule on the
+line); a file whose first lines contain ``# glosslint: skip-file`` is
+skipped entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import ERROR, Finding
+from repro.analysis.registry import rule
+
+__all__ = ["DETERMINISM_RULES", "lint_paths", "lint_source"]
+
+_WALLCLOCK_TIME_FNS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "clock",
+})
+_WALLCLOCK_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+_SEEDED_RANDOM_FACTORIES = frozenset({
+    "Random", "SystemRandom",  # explicit choice, caller owns the seed
+})
+_SEEDED_NUMPY_FACTORIES = frozenset({
+    "default_rng", "RandomState", "Generator", "SeedSequence",
+})
+#: Wrappers that preserve (dis)order of their first argument.
+_ORDER_PRESERVING = frozenset({
+    "list", "tuple", "iter", "enumerate", "reversed",
+})
+
+
+class _Imports:
+    """Aliases under which the hazardous modules are visible."""
+
+    def __init__(self):
+        self.time_modules: set = set()       # import time [as t]
+        self.time_functions: set = set()     # from time import time, ...
+        self.random_modules: set = set()
+        self.random_functions: set = set()
+        self.numpy_modules: set = set()
+        self.datetime_modules: set = set()   # import datetime [as dt]
+        self.datetime_classes: set = set()   # from datetime import datetime
+
+    def collect(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    top = alias.name.split(".")[0]
+                    bound = alias.asname or top
+                    if top == "time":
+                        self.time_modules.add(bound)
+                    elif top == "random":
+                        self.random_modules.add(bound)
+                    elif top == "numpy":
+                        self.numpy_modules.add(bound)
+                    elif top == "datetime":
+                        self.datetime_modules.add(bound)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                top = node.module.split(".")[0]
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    if top == "time" and alias.name in _WALLCLOCK_TIME_FNS:
+                        self.time_functions.add(bound)
+                    elif top == "random":
+                        if alias.name not in _SEEDED_RANDOM_FACTORIES:
+                            self.random_functions.add(bound)
+                    elif top == "datetime" and alias.name == "datetime":
+                        self.datetime_classes.add(bound)
+
+
+def _attribute_chain(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` -> ["a", "b", "c"]; None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def _is_set_producing(node: ast.AST, set_locals: set) -> bool:
+    """Does evaluating ``node`` yield an unordered set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_locals
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        name = node.func.id
+        if name in ("set", "frozenset"):
+            return True
+        if name in _ORDER_PRESERVING and node.args:
+            # list(set(...)) launders the type but not the disorder.
+            return _is_set_producing(node.args[0], set_locals)
+    return False
+
+
+def _is_id_key(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name) and node.id == "id":
+        return True
+    if isinstance(node, ast.Lambda):
+        body = node.body
+        return (isinstance(body, ast.Call)
+                and isinstance(body.func, ast.Name)
+                and body.func.id == "id")
+    return False
+
+
+class _Sanitizer(ast.NodeVisitor):
+    def __init__(self, filename: str, imports: _Imports):
+        self.filename = filename
+        self.imports = imports
+        self.findings: List[Finding] = []
+        #: Local names currently known to hold sets, per scope.
+        self._scope_stack: List[set] = [set()]
+
+    # -- helpers ----------------------------------------------------------
+
+    def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(
+            rule=rule_id, severity=ERROR, message=message,
+            location="%s:%d" % (self.filename, node.lineno),
+        ))
+
+    def _set_locals(self) -> set:
+        return self._scope_stack[-1]
+
+    # -- scopes -----------------------------------------------------------
+
+    def _visit_scope(self, node: ast.AST) -> None:
+        self._scope_stack.append(set())
+        self.generic_visit(node)
+        self._scope_stack.pop()
+
+    def visit_FunctionDef(self, node):
+        self._visit_scope(node)
+
+    def visit_AsyncFunctionDef(self, node):
+        self._visit_scope(node)
+
+    def visit_Lambda(self, node):
+        self._visit_scope(node)
+
+    def visit_Assign(self, node):
+        produces = _is_set_producing(node.value, self._set_locals())
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if produces:
+                    self._set_locals().add(target.id)
+                else:
+                    self._set_locals().discard(target.id)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node):
+        # x |= {...} keeps x a set; x += [...] on a tracked name is a
+        # type error anyway, so leave the tracking untouched.
+        self.generic_visit(node)
+
+    # -- iteration sites (DET003) -----------------------------------------
+
+    def _check_iterable(self, node: ast.AST) -> None:
+        if _is_set_producing(node, self._set_locals()):
+            self._emit(
+                "DET003", node,
+                "iteration over an unordered set: the visit order is "
+                "arbitrary and can reorder simulated events between "
+                "runs; sort it or use a sequence")
+
+    def visit_For(self, node):
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node):
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node):
+        for generator in node.generators:
+            self._check_iterable(generator.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    # -- calls (DET001/DET002/DET004) --------------------------------------
+
+    def visit_Call(self, node):
+        self._check_wallclock(node)
+        self._check_random(node)
+        self._check_id_ordering(node)
+        self.generic_visit(node)
+
+    def _check_wallclock(self, node: ast.Call) -> None:
+        imports = self.imports
+        chain = _attribute_chain(node.func)
+        if chain is None:
+            return
+        if (len(chain) == 2 and chain[0] in imports.time_modules
+                and chain[1] in _WALLCLOCK_TIME_FNS):
+            self._emit("DET001", node,
+                       "wall-clock read %s() in simulated code: use the "
+                       "simulation clock (env.now)" % ".".join(chain))
+        elif (len(chain) == 1 and chain[0] in imports.time_functions):
+            self._emit("DET001", node,
+                       "wall-clock read %s() in simulated code: use the "
+                       "simulation clock (env.now)" % chain[0])
+        elif (len(chain) == 3 and chain[0] in imports.datetime_modules
+                and chain[1] == "datetime"
+                and chain[2] in _WALLCLOCK_DATETIME_FNS):
+            self._emit("DET001", node,
+                       "wall-clock read %s() in simulated code"
+                       % ".".join(chain))
+        elif (len(chain) == 2 and chain[0] in imports.datetime_classes
+                and chain[1] in _WALLCLOCK_DATETIME_FNS):
+            self._emit("DET001", node,
+                       "wall-clock read %s() in simulated code"
+                       % ".".join(chain))
+
+    def _check_random(self, node: ast.Call) -> None:
+        imports = self.imports
+        chain = _attribute_chain(node.func)
+        if chain is None:
+            return
+        if (len(chain) == 2 and chain[0] in imports.random_modules
+                and chain[1] not in _SEEDED_RANDOM_FACTORIES):
+            self._emit("DET002", node,
+                       "unseeded global randomness %s(): use a seeded "
+                       "random.Random instance" % ".".join(chain))
+        elif len(chain) == 1 and chain[0] in imports.random_functions:
+            self._emit("DET002", node,
+                       "unseeded global randomness %s(): use a seeded "
+                       "random.Random instance" % chain[0])
+        elif (len(chain) == 3 and chain[0] in imports.numpy_modules
+                and chain[1] == "random"
+                and chain[2] not in _SEEDED_NUMPY_FACTORIES):
+            self._emit("DET002", node,
+                       "unseeded numpy randomness %s(): use a seeded "
+                       "Generator (numpy.random.default_rng(seed))"
+                       % ".".join(chain))
+
+    def _check_id_ordering(self, node: ast.Call) -> None:
+        orders = False
+        if isinstance(node.func, ast.Name):
+            orders = node.func.id in ("sorted", "min", "max")
+        elif isinstance(node.func, ast.Attribute):
+            orders = node.func.attr == "sort"
+        if not orders:
+            return
+        for keyword in node.keywords:
+            if keyword.arg == "key" and _is_id_key(keyword.value):
+                self._emit(
+                    "DET004", node,
+                    "id()-based ordering: object addresses vary run to "
+                    "run; key on a stable field instead")
+
+
+def _suppressed(line: str, rule_id: str) -> bool:
+    marker = line.partition("# glosslint:")[2]
+    if not marker:
+        return False
+    marker = marker.strip()
+    if marker == "ignore":
+        return True
+    return marker.startswith("ignore[") and rule_id in marker
+
+
+def lint_source(source: str, filename: str = "<string>") -> List[Finding]:
+    """Lint one file's source text; returns the findings."""
+    lines = source.splitlines()
+    for line in lines[:5]:
+        if "# glosslint: skip-file" in line:
+            return []
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [Finding(
+            rule="DET000", severity=ERROR,
+            message="file does not parse: %s" % (exc,),
+            location="%s:%d" % (filename, exc.lineno or 0),
+        )]
+    imports = _Imports()
+    imports.collect(tree)
+    sanitizer = _Sanitizer(filename, imports)
+    sanitizer.visit(tree)
+    kept = []
+    for finding in sanitizer.findings:
+        lineno = int(finding.location.rsplit(":", 1)[1])
+        line = lines[lineno - 1] if 0 < lineno <= len(lines) else ""
+        if not _suppressed(line, finding.rule):
+            kept.append(finding)
+    return kept
+
+
+def _python_files(paths: Sequence[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d != "__pycache__")
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(dirpath, name))
+        elif path.endswith(".py"):
+            files.append(path)
+    return files
+
+
+def lint_paths(paths: Sequence[str],
+               relative_to: Optional[str] = None) -> List[Finding]:
+    """Lint every ``*.py`` under ``paths`` (deterministic file order)."""
+    findings: List[Finding] = []
+    for path in _python_files(paths):
+        display = path
+        if relative_to:
+            display = os.path.relpath(path, relative_to)
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        findings.extend(lint_source(source, filename=display))
+    return findings
+
+
+# The registry entries make the sanitizer's rules visible to
+# ``--list-rules`` and the docs; each check dispatches a shared walk,
+# so the registered functions filter one rule out of a full lint.
+def _family_pass(rule_id: str):
+    def check(ctx) -> Iterable[Finding]:
+        # ctx is a (paths, relative_to) pair prepared by the engine.
+        paths, relative_to = ctx
+        return [f for f in lint_paths(paths, relative_to)
+                if f.rule == rule_id]
+    return check
+
+
+_DET_RULES: Tuple[Tuple[str, str, str], ...] = (
+    ("DET001", "No wall-clock reads in sim code",
+     "time.time()/monotonic()/perf_counter() and datetime.now() read "
+     "the host clock; simulated code must use env.now."),
+    ("DET002", "No unseeded global randomness",
+     "Module-level random.*() and numpy.random.*() draw from an "
+     "unseeded global generator; use a seeded random.Random / "
+     "numpy default_rng."),
+    ("DET003", "No iteration over unordered sets",
+     "Set iteration order is arbitrary; feeding it into event "
+     "scheduling makes runs diverge. Sort, or keep a sequence."),
+    ("DET004", "No id()-based ordering",
+     "sorted(..., key=id) orders by memory address, which varies "
+     "between runs and interpreters."),
+)
+
+for _rule_id, _title, _description in _DET_RULES:
+    rule(_rule_id, "determinism", _title, _description)(
+        _family_pass(_rule_id))
+
+DETERMINISM_RULES: List[str] = [r[0] for r in _DET_RULES]

@@ -1,0 +1,165 @@
+"""The analysis engine: run pass families over concrete inputs.
+
+Entry points mirror the things the runtime wants vetted:
+
+* :func:`check_graph` — the ``graph`` family over one stream graph;
+* :func:`check_configuration` — the ``configuration`` family over one
+  (graph, configuration) pair;
+* :func:`check_reconfiguration` — graph + configuration families over
+  the *new* side, plus the ``reconfiguration`` family over the whole
+  plan (this is what the reconfiguration manager gates on);
+* :func:`check_app` — everything above for one shipped application
+  and its default configurations;
+* :func:`self_lint` — the sim-determinism sanitizer over a source
+  tree (``src/repro`` by default).
+
+Each returns an :class:`~repro.analysis.findings.AnalysisReport`;
+callers that want hard failure raise
+:class:`~repro.analysis.findings.AnalysisError` when ``report.ok`` is
+false.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.contexts import (ConfigurationContext, GraphContext,
+                                     ReconfigurationContext)
+from repro.analysis.findings import AnalysisReport, Finding
+from repro.analysis.registry import passes_for
+
+# Importing the pass modules registers their rules.
+from repro.analysis import graph_passes  # noqa: F401
+from repro.analysis import config_passes  # noqa: F401
+from repro.analysis import reconfig_passes  # noqa: F401
+from repro.analysis import determinism
+
+__all__ = [
+    "check_app",
+    "check_configuration",
+    "check_graph",
+    "check_reconfiguration",
+    "run_family",
+    "self_lint",
+]
+
+
+def run_family(family: str, ctx: object) -> List[Finding]:
+    """Run every registered pass of ``family`` against ``ctx``."""
+    findings: List[Finding] = []
+    for analysis_pass in passes_for(family):
+        findings.extend(analysis_pass.run(ctx))
+    return findings
+
+
+def check_graph(graph, name: str = "") -> AnalysisReport:
+    """Vet one stream graph's SDF properties."""
+    ctx = GraphContext(graph, name=name)
+    report = AnalysisReport(context=name or "graph")
+    report.extend(run_family("graph", ctx))
+    return report
+
+
+def check_configuration(graph, configuration,
+                        name: str = "",
+                        node_availability: Optional[Dict[int, bool]] = None,
+                        ) -> AnalysisReport:
+    """Vet one configuration against its graph."""
+    ctx = ConfigurationContext(
+        graph, configuration, name=name,
+        node_availability=node_availability)
+    report = AnalysisReport(
+        context=name or ("configuration %s" % (configuration.name or "?")))
+    report.extend(run_family("configuration", ctx))
+    return report
+
+
+def check_reconfiguration(old_graph, old_configuration,
+                          new_graph, new_configuration,
+                          old_schedule=None,
+                          cost_model=None,
+                          node_availability: Optional[Dict[int, bool]] = None,
+                          name: str = "") -> AnalysisReport:
+    """Vet a full reconfiguration plan.
+
+    Runs the graph and configuration families over the *new* side (a
+    broken target graph or partition must be caught here, not after
+    draining started), then the reconfiguration family over the
+    old -> new transition.
+    """
+    report = AnalysisReport(context=name or "reconfiguration plan")
+    report.extend(run_family(
+        "graph", GraphContext(new_graph, name=name)))
+    report.extend(run_family(
+        "configuration",
+        ConfigurationContext(new_graph, new_configuration, name=name,
+                             node_availability=node_availability)))
+    ctx = ReconfigurationContext(
+        old_graph=old_graph,
+        old_configuration=old_configuration,
+        new_graph=new_graph,
+        new_configuration=new_configuration,
+        old_schedule=old_schedule,
+        cost_model=cost_model,
+        node_availability=node_availability,
+        name=name,
+    )
+    report.extend(run_family("reconfiguration", ctx))
+    return report
+
+
+def check_app(app_name: str, scale: int = 1,
+              nodes: int = 2) -> AnalysisReport:
+    """Vet one shipped application end to end.
+
+    Checks the graph, the default configurations every experiment
+    starts from (single blob, even partition, optimal partition), and
+    a representative reconfiguration plan (single blob -> partitioned)
+    so the reconfiguration family runs against real programs too.
+    """
+    from repro.apps import get_app
+    from repro.compiler.cost_model import CostModel
+    from repro.compiler.partition import (partition_even,
+                                          single_blob_configuration)
+    from repro.compiler.optimizer import partition_optimal
+
+    spec = get_app(app_name)
+    graph = spec.blueprint(scale=scale)()
+    label = "%s (scale %d)" % (spec.name, scale)
+    report = check_graph(graph, name=label)
+
+    node_ids = list(range(nodes))
+    cost_model = CostModel()
+    single = single_blob_configuration(graph, node_id=node_ids[0])
+    even = partition_even(graph, node_ids)
+    optimal = partition_optimal(graph, node_ids, cost_model=cost_model)
+    for configuration in (single, even, optimal):
+        report.merge(check_configuration(
+            graph, configuration,
+            name="%s / %s" % (label, configuration.name)))
+    report.merge(check_reconfiguration(
+        graph, single, spec.blueprint(scale=scale)(), even,
+        cost_model=cost_model,
+        name="%s / %s -> %s" % (label, single.name, even.name)))
+    return report
+
+
+def _default_lint_root() -> str:
+    import repro
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def self_lint(paths: Optional[Sequence[str]] = None) -> AnalysisReport:
+    """Run the sim-determinism sanitizer over a source tree."""
+    if paths is None:
+        root = _default_lint_root()
+        paths = [root]
+        relative_to = os.path.dirname(root)
+    else:
+        paths = list(paths)
+        relative_to = os.getcwd()
+    report = AnalysisReport(
+        context="determinism lint: %s" % ", ".join(paths))
+    report.extend(determinism.lint_paths(paths, relative_to=relative_to))
+    return report

@@ -1,0 +1,161 @@
+"""Findings and reports — the output side of the static analyzer.
+
+A :class:`Finding` is one diagnostic produced by one rule: a stable
+rule id, a severity, a human-readable message, a location string and
+optional multi-line details (e.g. a balance-equation ratio chain).
+An :class:`AnalysisReport` aggregates the findings of one analysis run
+(one graph, one configuration, one reconfiguration plan, or one source
+tree) and renders them for humans or as JSON for CI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "AnalysisError",
+    "AnalysisReport",
+    "Finding",
+]
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+#: Sort order: most severe first.
+_SEVERITY_RANK = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by one analysis rule."""
+
+    rule: str                       # stable id, e.g. "G001"
+    severity: str                   # error | warning | info
+    message: str                    # one-line human-readable diagnostic
+    location: str = ""              # e.g. "worker fir0#3", "edge 2", "a.py:12"
+    details: Tuple[str, ...] = ()   # optional multi-line explanation
+
+    def __post_init__(self):
+        if self.severity not in _SEVERITY_RANK:
+            raise ValueError("unknown severity %r" % (self.severity,))
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == ERROR
+
+    def format(self) -> str:
+        head = "%s [%s] %s" % (self.severity.upper(), self.rule, self.message)
+        if self.location:
+            head += "  (at %s)" % self.location
+        if self.details:
+            head += "\n" + "\n".join("    " + line for line in self.details)
+        return head
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "location": self.location,
+            "details": list(self.details),
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """All findings of one analysis run, with query/rendering helpers."""
+
+    context: str = ""
+    findings: List[Finding] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        for finding in findings:
+            self.add(finding)
+
+    def merge(self, other: "AnalysisReport") -> "AnalysisReport":
+        self.findings.extend(other.findings)
+        return self
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding was produced."""
+        return not self.errors
+
+    def by_rule(self, rule: str) -> List[Finding]:
+        return [f for f in self.findings if f.rule == rule]
+
+    def rules_fired(self) -> List[str]:
+        seen: List[str] = []
+        for finding in self.findings:
+            if finding.rule not in seen:
+                seen.append(finding.rule)
+        return seen
+
+    def sorted_findings(self) -> List[Finding]:
+        return sorted(
+            self.findings,
+            key=lambda f: (_SEVERITY_RANK[f.severity], f.rule, f.location),
+        )
+
+    # -- rendering --------------------------------------------------------
+
+    def summary(self) -> str:
+        return "%d error(s), %d warning(s), %d finding(s) total" % (
+            len(self.errors), len(self.warnings), len(self.findings))
+
+    def render(self) -> str:
+        lines = []
+        if self.context:
+            lines.append("== %s ==" % self.context)
+        if not self.findings:
+            lines.append("clean: no findings")
+        else:
+            for finding in self.sorted_findings():
+                lines.append(finding.format())
+            lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "context": self.context,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "findings": [f.to_dict() for f in self.sorted_findings()],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+class AnalysisError(Exception):
+    """An analysis gate rejected an operation; carries the report."""
+
+    def __init__(self, report: AnalysisReport):
+        self.report = report
+        errors = report.errors
+        headline = "; ".join(
+            "[%s] %s" % (f.rule, f.message) for f in errors[:3])
+        if len(errors) > 3:
+            headline += "; and %d more" % (len(errors) - 3)
+        super().__init__(
+            "static analysis rejected %s: %s"
+            % (report.context or "the operation", headline))

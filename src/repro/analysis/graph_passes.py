@@ -1,0 +1,162 @@
+"""Graph pass family: SDF properties of a stream graph in isolation.
+
+These passes subsume (and extend) the old ``graph/inspect.py``
+``rate_audit`` heuristics: balance-equation consistency with a full
+implied-ratio-chain explanation, initialization-schedule feasibility /
+deadlock detection, and peek-vs-pop buffer-requirement checks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.analysis.contexts import GraphContext, worker_location
+from repro.analysis.findings import ERROR, WARNING, Finding
+from repro.analysis.registry import rule
+from repro.sched.balance import RateInconsistencyError
+
+__all__ = ["GRAPH_RULES"]
+
+#: Peek-to-pop ratio beyond which the peeking buffer is flagged.
+HUGE_PEEK_RATIO = 64
+#: Repetition-vector entries beyond this make iterations enormous.
+HUGE_REPETITIONS = 4096
+
+
+@rule("G001", "graph", "SDF balance-equation consistency",
+      "The declared push/pop rates must admit a steady-state repetition "
+      "vector. On failure the finding carries the implied-ratio chains "
+      "of both conflicting derivation paths, naming every edge involved.")
+def check_balance_equations(ctx: GraphContext) -> Iterable[Finding]:
+    error = ctx.repetitions_error()
+    if error is None:
+        return
+    if isinstance(error, RateInconsistencyError):
+        location = "" if error.edge is None else "edge %d" % error.edge.index
+        yield Finding(
+            rule="G001", severity=ERROR,
+            message="balance equations unsolvable: %s"
+                    % str(error).splitlines()[0],
+            location=location,
+            details=error.chain,
+        )
+    else:
+        yield Finding(
+            rule="G001", severity=ERROR,
+            message="balance equations unsolvable: %s" % (error,),
+        )
+
+
+@rule("G002", "graph", "Init-schedule feasibility and deadlock freedom",
+      "A cold-start initialization schedule must exist, leave every edge "
+      "holding at least its structural peeking leftover, and the steady "
+      "schedule must be net-zero on every edge (no unbounded growth, no "
+      "starvation deadlock).")
+def check_init_feasibility(ctx: GraphContext) -> Iterable[Finding]:
+    graph = ctx.graph
+    order = graph.topological_order()
+    if len(order) != len(graph.workers):
+        in_cycle = sorted(
+            w.worker_id for w in graph.workers if w.worker_id not in order)
+        yield Finding(
+            rule="G002", severity=ERROR,
+            message="graph contains a cycle through workers %r: no "
+                    "topological schedule exists (deadlock)" % (in_cycle,),
+        )
+        return
+    repetitions = ctx.repetitions()
+    if repetitions is None:
+        return  # G001 already reported the rate failure.
+    from repro.sched.schedule import (init_repetitions,
+                                      structural_leftover)
+    try:
+        init = init_repetitions(graph)
+    except Exception as exc:
+        yield Finding(
+            rule="G002", severity=ERROR,
+            message="initialization schedule is not computable: %r" % (exc,),
+        )
+        return
+    leftovers = structural_leftover(graph)
+    for edge in graph.edges:
+        src = graph.worker(edge.src)
+        dst = graph.worker(edge.dst)
+        after_init = (src.push_rates[edge.src_port] * init[edge.src]
+                      - dst.pop_rates[edge.dst_port] * init[edge.dst])
+        if after_init < leftovers[edge.index]:
+            yield Finding(
+                rule="G002", severity=ERROR,
+                message="init schedule leaves %d item(s) on edge %d but "
+                        "%s needs %d leftover to peek: the first steady "
+                        "iteration deadlocks"
+                        % (after_init, edge.index, dst.name,
+                           leftovers[edge.index]),
+                location="edge %d" % edge.index,
+            )
+        produced = src.push_rates[edge.src_port] * repetitions[edge.src]
+        consumed = dst.pop_rates[edge.dst_port] * repetitions[edge.dst]
+        if produced != consumed:
+            yield Finding(
+                rule="G002", severity=ERROR,
+                message="steady iteration is not net-zero on edge %d: "
+                        "%d produced vs %d consumed per iteration"
+                        % (edge.index, produced, consumed),
+                location="edge %d" % edge.index,
+            )
+
+
+@rule("G003", "graph", "Peek-vs-pop buffer requirements",
+      "A connected input that never pops accumulates upstream data "
+      "forever; a peek rate far above the pop rate forces an enormous "
+      "peeking buffer.")
+def check_peek_buffers(ctx: GraphContext) -> Iterable[Finding]:
+    graph = ctx.graph
+    for worker in graph.workers:
+        for port, (peek, pop) in enumerate(
+                zip(worker.peek_rates, worker.pop_rates)):
+            if pop == 0 and graph.in_edge(worker.worker_id, port):
+                yield Finding(
+                    rule="G003", severity=ERROR,
+                    message="%s input %d never consumes (pop 0): upstream "
+                            "data accumulates forever"
+                            % (worker.name, port),
+                    location=worker_location(graph, worker.worker_id),
+                )
+            elif peek > HUGE_PEEK_RATIO * max(pop, 1):
+                yield Finding(
+                    rule="G003", severity=WARNING,
+                    message="%s input %d peeks %dx its pop rate: enormous "
+                            "peeking buffer"
+                            % (worker.name, port, peek // max(pop, 1)),
+                    location=worker_location(graph, worker.worker_id),
+                )
+
+
+@rule("G004", "graph", "Work estimates and repetition-vector size",
+      "Zero-work workers are invisible to load balancing; repetition "
+      "vectors with huge entries make every iteration, drain and init "
+      "enormous.")
+def check_work_and_repetitions(ctx: GraphContext) -> Iterable[Finding]:
+    graph = ctx.graph
+    for worker in graph.workers:
+        if worker.work_estimate == 0 and not worker.builtin:
+            yield Finding(
+                rule="G004", severity=WARNING,
+                message="%s declares zero work: load balancing will "
+                        "ignore it" % worker.name,
+                location=worker_location(graph, worker.worker_id),
+            )
+    repetitions = ctx.repetitions()
+    if repetitions:
+        largest = max(repetitions.values())
+        if largest > HUGE_REPETITIONS:
+            worst = max(repetitions, key=repetitions.__getitem__)
+            yield Finding(
+                rule="G004", severity=WARNING,
+                message="repetition vector peaks at %d: rate mismatch "
+                        "will make iterations enormous" % largest,
+                location=worker_location(graph, worst),
+            )
+
+
+GRAPH_RULES: List[str] = ["G001", "G002", "G003", "G004"]

@@ -1,0 +1,192 @@
+"""Reconfiguration-safety pass family.
+
+These passes statically vet a *plan* — move the running program from
+(old graph, old configuration) to (new graph, new configuration) —
+before any strategy touches the live epoch: external-rate
+compatibility (output splicing is impossible if the graph quanta
+disagree), state-transfer completeness (every stateful worker's state
+must have a destination), and the asynchronous-snapshot-cut
+preconditions phase-1 planning relies on.  The reconfiguration
+manager runs this family before every request so a bad plan aborts
+with a diagnostic report instead of corrupting a live epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.analysis.contexts import ReconfigurationContext, worker_location
+from repro.analysis.findings import ERROR, INFO, Finding
+from repro.analysis.registry import rule
+from repro.sched.schedule import make_schedule, structural_leftover
+
+__all__ = ["RECONFIG_RULES"]
+
+
+@rule("R001", "reconfiguration", "External-rate compatibility",
+      "The old and new graphs must consume and produce the same input/"
+      "output quanta; otherwise the canonical stream positions cannot "
+      "be aligned and the merged output cannot splice seamlessly.")
+def check_external_rates(ctx: ReconfigurationContext) -> Iterable[Finding]:
+    old_schedule = ctx.resolved_old_schedule()
+    try:
+        new_schedule = make_schedule(
+            ctx.new_graph, multiplier=ctx.new_configuration.multiplier)
+    except Exception as exc:
+        yield Finding(
+            rule="R001", severity=ERROR,
+            message="new graph admits no schedule: %s"
+                    % str(exc).splitlines()[0],
+        )
+        return
+    if old_schedule is None:
+        return  # old side unschedulable: nothing to compare against.
+    if old_schedule.input_quantum != new_schedule.input_quantum:
+        yield Finding(
+            rule="R001", severity=ERROR,
+            message="input quantum changes %d -> %d across the "
+                    "reconfiguration: duplicated input cannot be aligned"
+                    % (old_schedule.input_quantum,
+                       new_schedule.input_quantum),
+        )
+    if old_schedule.output_quantum != new_schedule.output_quantum:
+        yield Finding(
+            rule="R001", severity=ERROR,
+            message="output quantum changes %d -> %d across the "
+                    "reconfiguration: output streams cannot splice"
+                    % (old_schedule.output_quantum,
+                       new_schedule.output_quantum),
+        )
+
+
+@rule("R002", "reconfiguration", "State-transfer completeness",
+      "Every stateful worker of the running graph must have a matching "
+      "destination worker (same id, same state fields) in the new "
+      "graph, and that destination must be covered by the new "
+      "configuration — otherwise captured state is silently dropped or "
+      "installation crashes mid-transfer.")
+def check_state_completeness(ctx: ReconfigurationContext) -> Iterable[Finding]:
+    old_graph = ctx.old_graph
+    new_graph = ctx.new_graph
+    new_workers = {w.worker_id: w for w in new_graph.workers}
+    new_covered = set()
+    for blob in ctx.new_configuration.blobs:
+        new_covered |= blob.workers
+    for worker in old_graph.workers:
+        if not worker.is_stateful:
+            continue
+        destination = new_workers.get(worker.worker_id)
+        if destination is None:
+            yield Finding(
+                rule="R002", severity=ERROR,
+                message="stateful worker %s#%d has no destination in the "
+                        "new graph: its state would be dropped"
+                        % (worker.name, worker.worker_id),
+                location=worker_location(old_graph, worker.worker_id),
+            )
+            continue
+        if set(destination.state_fields) != set(worker.state_fields):
+            yield Finding(
+                rule="R002", severity=ERROR,
+                message="stateful worker %s#%d declares state fields %r "
+                        "but its destination %s declares %r: state "
+                        "installation would fail"
+                        % (worker.name, worker.worker_id,
+                           sorted(worker.state_fields),
+                           destination.name,
+                           sorted(destination.state_fields)),
+                location=worker_location(old_graph, worker.worker_id),
+            )
+            continue
+        if worker.worker_id not in new_covered:
+            yield Finding(
+                rule="R002", severity=ERROR,
+                message="stateful worker %s#%d is not covered by any blob "
+                        "of the new configuration: its state has nowhere "
+                        "to go" % (worker.name, worker.worker_id),
+                location=worker_location(old_graph, worker.worker_id),
+            )
+    old_ids = {w.worker_id for w in old_graph.workers}
+    for worker in new_graph.workers:
+        if worker.is_stateful and worker.worker_id not in old_ids:
+            yield Finding(
+                rule="R002", severity=INFO,
+                message="new stateful worker %s#%d has no source state: "
+                        "it starts from its initial state"
+                        % (worker.name, worker.worker_id),
+                location=worker_location(new_graph, worker.worker_id),
+            )
+
+
+@rule("R003", "reconfiguration", "Snapshot-cut preconditions",
+      "An asynchronous state transfer snapshots at an iteration "
+      "boundary; the boundary edge contents implied by the old schedule "
+      "must be non-negative, cover every peeking leftover, and admit a "
+      "phase-1 plan of the new configuration (a dry run of the planner).")
+def check_snapshot_cut(ctx: ReconfigurationContext) -> Iterable[Finding]:
+    if not ctx.old_graph.is_stateful:
+        return  # stateless plans use implicit transfer: no snapshot cut.
+    old_schedule = ctx.resolved_old_schedule()
+    if old_schedule is None:
+        return
+    from repro.core.planner import boundary_edge_counts
+    counts = boundary_edge_counts(old_schedule)
+    leftovers = structural_leftover(ctx.old_graph)
+    bad = False
+    for edge in ctx.old_graph.edges:
+        count = counts.get(edge.index, 0)
+        if count < 0:
+            bad = True
+            yield Finding(
+                rule="R003", severity=ERROR,
+                message="boundary cut on edge %d holds %d items: the old "
+                        "schedule over-consumes and no clean snapshot "
+                        "exists" % (edge.index, count),
+                location="edge %d" % edge.index,
+            )
+        elif count < leftovers[edge.index]:
+            bad = True
+            yield Finding(
+                rule="R003", severity=ERROR,
+                message="boundary cut on edge %d holds %d item(s) but the "
+                        "peeking consumer needs %d: the snapshot cannot "
+                        "satisfy the new init schedule"
+                        % (edge.index, count, leftovers[edge.index]),
+                location="edge %d" % edge.index,
+            )
+    if bad:
+        return
+    # Dry-run phase-1 planning against the meta state, exactly as the
+    # two-phase compiler will: a failure here would otherwise surface
+    # as a crash after the reconfiguration already started.
+    known_edges = {edge.index for edge in ctx.new_graph.edges}
+    stale = sorted(k for k in counts if k >= 0 and k not in known_edges)
+    if stale:
+        yield Finding(
+            rule="R003", severity=ERROR,
+            message="boundary state references edges %r that do not exist "
+                    "in the new graph" % (stale,),
+        )
+        return
+    try:
+        prefill = None
+        if ctx.cost_model is not None:
+            from repro.compiler.two_phase import _boundary_prefill
+            prefill = _boundary_prefill(
+                ctx.new_graph, ctx.new_configuration, ctx.cost_model)
+        make_schedule(
+            ctx.new_graph,
+            multiplier=ctx.new_configuration.multiplier,
+            initial_contents={k: v for k, v in counts.items() if k >= 0},
+            prefill=prefill,
+        )
+    except Exception as exc:
+        yield Finding(
+            rule="R003", severity=ERROR,
+            message="phase-1 planning of the new configuration fails "
+                    "against the boundary state: %s"
+                    % str(exc).splitlines()[0],
+        )
+
+
+RECONFIG_RULES: List[str] = ["R001", "R002", "R003"]

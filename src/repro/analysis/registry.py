@@ -1,0 +1,80 @@
+"""The pluggable pass registry.
+
+Every analysis rule is a plain function decorated with :func:`rule`,
+which attaches the rule's metadata and registers it under a *family*
+(``graph``, ``configuration``, ``reconfiguration``, ``determinism``).
+The engine runs every registered pass of a family against a context
+object and collects the findings; new rules — e.g. the checks a future
+optimizer PR needs — plug in by decorating a function, with no changes
+to the engine or the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List
+
+from repro.analysis.findings import Finding
+
+__all__ = ["AnalysisPass", "all_rules", "passes_for", "rule"]
+
+#: family name -> registered passes, in registration order.
+_REGISTRY: Dict[str, List["AnalysisPass"]] = {}
+
+FAMILIES = ("graph", "configuration", "reconfiguration", "determinism")
+
+
+@dataclass(frozen=True)
+class AnalysisPass:
+    """One registered rule: metadata plus the check function.
+
+    ``check(ctx)`` receives the family's context object and yields (or
+    returns an iterable of) :class:`Finding` objects.
+    """
+
+    rule_id: str
+    family: str
+    title: str
+    description: str
+    check: Callable[[object], Iterable[Finding]]
+
+    def run(self, ctx: object) -> List[Finding]:
+        return list(self.check(ctx) or ())
+
+
+def rule(rule_id: str, family: str, title: str, description: str):
+    """Decorator: register a check function as an analysis rule."""
+    if family not in FAMILIES:
+        raise ValueError(
+            "unknown pass family %r (have: %s)"
+            % (family, ", ".join(FAMILIES)))
+
+    def decorator(fn: Callable[[object], Iterable[Finding]]):
+        passes = _REGISTRY.setdefault(family, [])
+        if any(p.rule_id == rule_id for p in passes):
+            raise ValueError("duplicate rule id %r" % (rule_id,))
+        analysis_pass = AnalysisPass(
+            rule_id=rule_id,
+            family=family,
+            title=title,
+            description=description,
+            check=fn,
+        )
+        passes.append(analysis_pass)
+        fn.analysis_pass = analysis_pass
+        return fn
+
+    return decorator
+
+
+def passes_for(family: str) -> List[AnalysisPass]:
+    """All passes of a family, in registration order."""
+    return list(_REGISTRY.get(family, ()))
+
+
+def all_rules() -> List[AnalysisPass]:
+    """Every registered rule across families, for docs and ``--list-rules``."""
+    rules: List[AnalysisPass] = []
+    for family in FAMILIES:
+        rules.extend(passes_for(family))
+    return rules

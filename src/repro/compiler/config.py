@@ -102,7 +102,7 @@ class Configuration:
         for blob in self.blobs:
             if not blob.workers:
                 raise ConfigurationError("empty blob %d" % blob.blob_id)
-            for worker_id in blob.workers:
+            for worker_id in sorted(blob.workers):
                 if worker_id in covered:
                     raise ConfigurationError(
                         "worker %d in blobs %d and %d"
@@ -125,26 +125,28 @@ class Configuration:
     def _check_acyclic(self, graph: StreamGraph) -> None:
         """The blob-level graph must stay acyclic for deadlock freedom."""
         mapping = self.worker_to_blob()
-        edges = set()
+        successors: Dict[int, List[int]] = {
+            blob.blob_id: [] for blob in self.blobs}
+        indegree = {blob.blob_id: 0 for blob in self.blobs}
+        pairs: List[Tuple[int, int]] = []
         for edge in graph.edges:
             src_blob = mapping[edge.src]
             dst_blob = mapping[edge.dst]
-            if src_blob != dst_blob:
-                edges.add((src_blob, dst_blob))
-        indegree = {blob.blob_id: 0 for blob in self.blobs}
-        for _, dst in edges:
-            indegree[dst] += 1
-        ready = [b for b, d in indegree.items() if d == 0]
+            pair = (src_blob, dst_blob)
+            if src_blob != dst_blob and pair not in pairs:
+                pairs.append(pair)
+                successors[src_blob].append(dst_blob)
+                indegree[dst_blob] += 1
+        ready = [blob.blob_id for blob in self.blobs
+                 if indegree[blob.blob_id] == 0]
         seen = 0
         while ready:
             current = ready.pop()
             seen += 1
-            for src, dst in list(edges):
-                if src == current:
-                    edges.discard((src, dst))
-                    indegree[dst] -= 1
-                    if indegree[dst] == 0:
-                        ready.append(dst)
+            for dst in successors[current]:
+                indegree[dst] -= 1
+                if indegree[dst] == 0:
+                    ready.append(dst)
         if seen != len(self.blobs):
             raise ConfigurationError("blob graph contains a cycle")
 

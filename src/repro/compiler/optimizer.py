@@ -115,10 +115,12 @@ def partition_optimal(
     for blob_index in range(k):
         workers = order[cuts[blob_index]:cuts[blob_index + 1]]
         assignments.append((node_ids[blob_index], workers))
-    return Configuration.build(
+    configuration = Configuration.build(
         assignments, multiplier=multiplier,
         name=name or "optimal@%s" % ",".join(map(str, node_ids)),
     )
+    configuration.validate(graph)
+    return configuration
 
 
 def predict_throughput(

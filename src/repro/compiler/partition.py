@@ -27,11 +27,13 @@ def single_blob_configuration(
     name: str = "",
 ) -> Configuration:
     """Everything in one blob on one node (single-node deployment)."""
-    return Configuration.build(
+    configuration = Configuration.build(
         [(node_id, [w.worker_id for w in graph.workers])],
         multiplier=multiplier,
         name=name or "single@%d" % node_id,
     )
+    configuration.validate(graph)
+    return configuration
 
 
 def partition_even(
@@ -83,10 +85,12 @@ def partition_even(
         workers.sort(key=position.__getitem__)
         pairs.append((node_id, workers))
     pairs.sort(key=lambda pair: position[pair[1][0]])
-    return Configuration.build(
+    configuration = Configuration.build(
         pairs, multiplier=multiplier,
         name=name or "even@%s" % ",".join(map(str, node_ids)),
     )
+    configuration.validate(graph)
+    return configuration
 
 
 def choose_multiplier(

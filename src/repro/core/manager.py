@@ -8,6 +8,19 @@ requests would race.  :class:`ReconfigurationManager` queues requests,
 runs them one at a time, coalesces bursts (only the newest pending
 request survives), and records the outcome of each.
 
+Before any strategy touches the live epoch the manager runs the
+static analyzer over the requested plan
+(:func:`repro.analysis.check_reconfiguration`): a plan with
+error-severity findings — incompatible external rates, incomplete
+state transfer, an invalid partition — is **rejected** with the
+diagnostic report attached (``outcome.status == "rejected"``,
+``outcome.error`` an :class:`~repro.analysis.AnalysisError`) instead
+of being allowed to corrupt a live epoch mid-transfer.  The gate is
+purely synchronous (no simulation events), so traces and determinism
+fingerprints of accepted requests are unchanged; ``analysis_gate=
+False`` disables it for tests that deliberately submit broken plans
+deeper into the machinery.
+
 The manager is also the robustness boundary.  A strategy that fails
 rolls the program back to the old epoch and raises
 :class:`~repro.core.base.ReconfigurationAborted` — the manager treats
@@ -39,7 +52,7 @@ class RequestOutcome:
     configuration: Configuration
     strategy: str
     submitted_at: float
-    status: str = "pending"  # pending | superseded | completed | failed
+    status: str = "pending"  # pending | superseded | rejected | completed | failed
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     error: Optional[BaseException] = None
@@ -66,10 +79,13 @@ class ReconfigurationManager:
                  max_retries: int = 2,
                  retry_initial_delay: float = 0.5,
                  retry_backoff: float = 2.0,
-                 request_timeout: Optional[float] = None):
+                 request_timeout: Optional[float] = None,
+                 analysis_gate: bool = True):
         self.app = app
         self.env: Environment = app.env
         self.coalesce = coalesce
+        #: Statically vet each plan before running it (see module doc).
+        self.analysis_gate = analysis_gate
         #: Additional attempts after an aborted one (0 = no retries).
         self.max_retries = max_retries
         #: Backoff before the first retry, in simulated seconds.
@@ -133,8 +149,46 @@ class ReconfigurationManager:
             if not outcome.done.triggered:
                 outcome.done.succeed(outcome)
 
+    def _vet_request(self, outcome: RequestOutcome) -> bool:
+        """Run the static analyzer over the plan; reject on errors.
+
+        Synchronous — schedules no simulation events — so accepted
+        requests leave the event stream (and hence determinism
+        fingerprints) untouched.  Returns True when the plan may run.
+        """
+        current = self.app.current
+        if current is None:
+            return True  # nothing live to protect; launch path validates.
+        from repro.analysis import AnalysisError, check_reconfiguration
+        availability = {
+            node_id: node.available
+            for node_id, node in sorted(self.app.cluster.nodes.items())
+        }
+        report = check_reconfiguration(
+            current.program.graph,
+            current.program.configuration,
+            self.app.blueprint(),
+            outcome.configuration,
+            old_schedule=current.schedule,
+            cost_model=self.app.cost_model,
+            node_availability=availability,
+            name="reconfigure -> %s" % (outcome.configuration.name
+                                        or "<anon>"),
+        )
+        if report.ok:
+            return True
+        outcome.status = "rejected"
+        outcome.error = AnalysisError(report)
+        self.env.tracer.instant(
+            "manager", "request-rejected", track="manager",
+            errors=len(report.errors),
+            rules=",".join(sorted({f.rule for f in report.errors})))
+        return False
+
     def _run_request(self, outcome: RequestOutcome):
         """Generator: run one request with watchdog, retries, backoff."""
+        if self.analysis_gate and not self._vet_request(outcome):
+            return
         delay = self.retry_initial_delay
         tracer = self.env.tracer
         for attempt in range(self.max_retries + 1):
@@ -230,6 +284,11 @@ class ReconfigurationManager:
     @property
     def failed(self) -> List[RequestOutcome]:
         return [o for o in self.outcomes if o.status == "failed"]
+
+    @property
+    def rejected(self) -> List[RequestOutcome]:
+        """Requests the static-analysis gate refused to run."""
+        return [o for o in self.outcomes if o.status == "rejected"]
 
     @property
     def retried(self) -> List[RequestOutcome]:

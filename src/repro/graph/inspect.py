@@ -90,33 +90,12 @@ def graph_stats(graph: StreamGraph) -> Dict[str, float]:
 def rate_audit(graph: StreamGraph) -> List[str]:
     """Human-readable warnings about suspicious rate declarations.
 
-    Returns an empty list when the graph looks healthy.  These are
-    heuristics, not errors — the scheduler is the ground truth.
+    Returns an empty list when the graph looks healthy.  This is now a
+    thin compatibility wrapper over the ``graph`` family of the static
+    analyzer (``repro.analysis``), which subsumes the old heuristics
+    and adds full diagnostics (implied-ratio chains, deadlock checks);
+    use :func:`repro.analysis.check_graph` directly for the structured
+    report.
     """
-    warnings: List[str] = []
-    for worker in graph.workers:
-        for port, (peek, pop) in enumerate(
-                zip(worker.peek_rates, worker.pop_rates)):
-            if pop == 0 and graph.in_edge(worker.worker_id, port):
-                warnings.append(
-                    "%s input %d never consumes (pop 0): upstream data "
-                    "accumulates forever" % (worker.name, port))
-            if peek > 64 * max(pop, 1):
-                warnings.append(
-                    "%s input %d peeks %dx its pop rate: enormous "
-                    "peeking buffer" % (worker.name, port, peek // max(pop, 1)))
-        if worker.work_estimate == 0 and not worker.builtin:
-            warnings.append(
-                "%s declares zero work: load balancing will ignore it"
-                % worker.name)
-    try:
-        from repro.sched.balance import repetition_vector
-        repetitions = repetition_vector(graph)
-        largest = max(repetitions.values())
-        if largest > 4096:
-            warnings.append(
-                "repetition vector peaks at %d: rate mismatch will make "
-                "iterations enormous" % largest)
-    except Exception as exc:  # inconsistent rates
-        warnings.append("balance equations unsolvable: %s" % (exc,))
-    return warnings
+    from repro.analysis import check_graph
+    return [finding.message for finding in check_graph(graph).findings]

@@ -177,6 +177,17 @@ class StreamGraph:
             ready = sorted(ready + newly_ready)
         return order
 
+    def analyze(self, name: str = ""):
+        """Run the static analyzer's graph passes over this graph.
+
+        Returns an :class:`repro.analysis.AnalysisReport`; construction
+        already enforces structural validity (:meth:`_validate`), this
+        adds the semantic SDF checks (balance equations, deadlock
+        freedom, peeking buffers) without raising.
+        """
+        from repro.analysis import check_graph
+        return check_graph(self, name=name)
+
     def total_work_per_iteration(self, repetitions: Dict[int, int]) -> float:
         """Total work units of one steady-state iteration."""
         return sum(

@@ -7,21 +7,90 @@ the acyclic series-parallel graphs produced by :mod:`repro.graph` a
 solution always exists, but the solver is general: it propagates exact
 :class:`fractions.Fraction` ratios over the connected graph and
 reports an inconsistency if two paths disagree.
+
+On failure the raised :class:`RateInconsistencyError` carries the
+offending edge and the full *implied-ratio chain* for both derivation
+paths, so the diagnostic names every edge whose rates participate in
+the contradiction — the same explanation
+:mod:`repro.analysis.graph_passes` attaches to its findings.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
 from math import gcd
-from typing import Dict
+from typing import Dict, List, Optional, Tuple
 
-from repro.graph.topology import StreamGraph
+from repro.graph.topology import Edge, StreamGraph
 
-__all__ = ["repetition_vector", "RateInconsistencyError"]
+__all__ = ["RateInconsistencyError", "ratio_chain", "repetition_vector"]
 
 
 class RateInconsistencyError(Exception):
-    """The declared rates admit no steady-state schedule."""
+    """The declared rates admit no steady-state schedule.
+
+    ``kind`` is one of ``"zero-rate"``, ``"inconsistent"`` or
+    ``"disconnected"``; ``edge`` is the edge on which the problem was
+    detected (None for disconnected graphs) and ``chain`` holds the
+    human-readable implied-ratio derivation lines, one per hop.
+    """
+
+    def __init__(self, message: str, kind: str = "inconsistent",
+                 edge: Optional[Edge] = None,
+                 chain: Tuple[str, ...] = ()):
+        if chain:
+            message = message + "\n" + "\n".join(
+                "  " + line for line in chain)
+        super().__init__(message)
+        self.kind = kind
+        self.edge = edge
+        self.chain = tuple(chain)
+
+
+#: One derivation step: (edge, source worker, derived worker, ratio).
+_ChainStep = Tuple[Edge, int, int, Fraction]
+
+
+def _derivation(parents: Dict[int, Optional[Tuple[Edge, int]]],
+                worker_id: int) -> List[Tuple[Edge, int, int]]:
+    """Parent-pointer path from the anchor worker to ``worker_id``."""
+    steps: List[Tuple[Edge, int, int]] = []
+    current = worker_id
+    while parents.get(current) is not None:
+        edge, via = parents[current]
+        steps.append((edge, via, current))
+        current = via
+    steps.reverse()
+    return steps
+
+
+def ratio_chain(graph: StreamGraph,
+                ratios: Dict[int, Fraction],
+                steps: List[Tuple[Edge, int, int]]) -> List[str]:
+    """Render a derivation path as implied-ratio lines.
+
+    Each line shows the edge traversed, its push/pop rates and the
+    firing ratio it implies — the full arithmetic a user needs to see
+    which rate declaration to fix.
+    """
+    if not steps:
+        return []
+    anchor = steps[0][1]
+    lines = ["x[%s#%d] = %s (anchor)"
+             % (graph.worker(anchor).name, anchor, ratios[anchor])]
+    for edge, via, derived in steps:
+        push = graph.worker(edge.src).push_rates[edge.src_port]
+        pop = graph.worker(edge.dst).pop_rates[edge.dst_port]
+        lines.append(
+            "edge %d (%s#%d.%d -> %s#%d.%d, push %d / pop %d) implies "
+            "x[%s#%d] = %s" % (
+                edge.index,
+                graph.worker(edge.src).name, edge.src, edge.src_port,
+                graph.worker(edge.dst).name, edge.dst, edge.dst_port,
+                push, pop,
+                graph.worker(derived).name, derived, ratios[derived],
+            ))
+    return lines
 
 
 def repetition_vector(graph: StreamGraph) -> Dict[int, int]:
@@ -30,35 +99,36 @@ def repetition_vector(graph: StreamGraph) -> Dict[int, int]:
     Raises :class:`RateInconsistencyError` if the balance equations
     are inconsistent (possible with multi-path graphs whose splitter
     and joiner weights disagree) or if any connected port has a zero
-    rate.
+    rate; the error message includes the implied-ratio chains of both
+    conflicting derivation paths.
     """
     ratios: Dict[int, Fraction] = {}
+    parents: Dict[int, Optional[Tuple[Edge, int]]] = {}
     start = graph.workers[0].worker_id
     ratios[start] = Fraction(1)
+    parents[start] = None
     # Breadth-first propagation over edges in both directions.
     frontier = [start]
     while frontier:
         current = frontier.pop(0)
         for edge in graph.out_edges(current):
-            push = graph.worker(edge.src).push_rates[edge.src_port]
-            pop = graph.worker(edge.dst).pop_rates[edge.dst_port]
-            if push == 0 or pop == 0:
-                raise RateInconsistencyError(
-                    "zero rate on connected edge %r" % (edge,)
-                )
+            push, pop = _edge_rates(graph, edge)
             implied = ratios[current] * Fraction(push, pop)
-            _record(ratios, frontier, edge.dst, implied, edge)
+            _record(graph, ratios, parents, frontier,
+                    current, edge.dst, implied, edge)
         for edge in graph.in_edges(current):
-            push = graph.worker(edge.src).push_rates[edge.src_port]
-            pop = graph.worker(edge.dst).pop_rates[edge.dst_port]
-            if push == 0 or pop == 0:
-                raise RateInconsistencyError(
-                    "zero rate on connected edge %r" % (edge,)
-                )
+            push, pop = _edge_rates(graph, edge)
             implied = ratios[current] * Fraction(pop, push)
-            _record(ratios, frontier, edge.src, implied, edge)
+            _record(graph, ratios, parents, frontier,
+                    current, edge.src, implied, edge)
     if len(ratios) != len(graph.workers):
-        raise RateInconsistencyError("graph is not connected")
+        unreached = sorted(
+            w.worker_id for w in graph.workers if w.worker_id not in ratios)
+        raise RateInconsistencyError(
+            "graph is not connected: workers %r unreachable from worker %d"
+            % (unreached, start),
+            kind="disconnected",
+        )
     # Scale to the minimal integer vector.
     denominator_lcm = 1
     for ratio in ratios.values():
@@ -70,15 +140,52 @@ def repetition_vector(graph: StreamGraph) -> Dict[int, int]:
     return {w: v // numerator_gcd for w, v in scaled.items()}
 
 
-def _record(ratios, frontier, worker_id, implied, edge) -> None:
+def _edge_rates(graph: StreamGraph, edge: Edge) -> Tuple[int, int]:
+    push = graph.worker(edge.src).push_rates[edge.src_port]
+    pop = graph.worker(edge.dst).pop_rates[edge.dst_port]
+    if push == 0 or pop == 0:
+        raise RateInconsistencyError(
+            "zero rate on connected edge %r: %s#%d pushes %d, %s#%d pops %d"
+            % (edge,
+               graph.worker(edge.src).name, edge.src, push,
+               graph.worker(edge.dst).name, edge.dst, pop),
+            kind="zero-rate",
+            edge=edge,
+        )
+    return push, pop
+
+
+def _record(graph, ratios, parents, frontier, via, worker_id,
+            implied, edge) -> None:
     existing = ratios.get(worker_id)
     if existing is None:
         ratios[worker_id] = implied
+        parents[worker_id] = (edge, via)
         frontier.append(worker_id)
     elif existing != implied:
+        # Two derivation paths disagree: explain both chains in full.
+        established = ratio_chain(
+            graph, ratios, _derivation(parents, worker_id))
+        conflicting_ratios = dict(ratios)
+        conflicting_ratios[worker_id] = implied
+        conflicting = ratio_chain(
+            graph, conflicting_ratios,
+            _derivation(parents, via) + [(edge, via, worker_id)])
+        chain = (
+            ["established derivation:"]
+            + ["  " + line for line in established]
+            + ["conflicting derivation:"]
+            + ["  " + line for line in conflicting]
+        )
         raise RateInconsistencyError(
-            "inconsistent rates at worker %d via %r: %s vs %s"
-            % (worker_id, edge, existing, implied)
+            "inconsistent rates at worker %s#%d via edge %d (%d.%d -> "
+            "%d.%d): established firing ratio %s, but this path implies %s"
+            % (graph.worker(worker_id).name, worker_id, edge.index,
+               edge.src, edge.src_port, edge.dst, edge.dst_port,
+               existing, implied),
+            kind="inconsistent",
+            edge=edge,
+            chain=tuple(chain),
         )
 
 

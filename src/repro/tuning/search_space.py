@@ -100,4 +100,8 @@ class ConfigurationSpace:
                 removal=False,
                 name=configuration.name,
             )
+        # Every configuration the tuner emits is validated against the
+        # graph it will run on; a broken point must die here, not after
+        # a live reconfiguration has started.
+        configuration.validate(graph)
         return configuration

@@ -1,0 +1,628 @@
+"""glosslint: the static-analysis engine, rules, gates and CLI.
+
+Every rule gets a seeded-violation fixture (the rule must fire) and a
+clean fixture (it must stay silent); the nine shipped applications and
+their default/optimizer configurations must produce zero
+error-severity findings; the sim-determinism sanitizer must be clean
+over ``src/repro``; and the reconfiguration manager must *reject* a
+plan with an injected state-transfer-completeness violation instead of
+crashing mid-transfer.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro import Cluster, StreamApp, partition_even
+from repro.analysis import (AnalysisError, all_rules, check_configuration,
+                            check_graph, check_reconfiguration, self_lint)
+from repro.analysis.determinism import lint_source
+from repro.apps import app_registry
+from repro.compiler.config import Configuration, ConfigurationError
+from repro.compiler.partition import single_blob_configuration
+from repro.core import ReconfigurationManager
+from repro.graph import Filter
+from repro.graph.builders import Pipeline, SplitJoin
+from repro.graph.library import (Accumulator, Decimator, Expander,
+                                 Identity, ScaleFilter)
+from repro.graph.topology import Edge, StreamGraph
+from repro.graph.workers import (DuplicateSplitter, RoundRobinJoiner,
+                                 RoundRobinSplitter)
+from repro.obs import Tracer
+
+from tests.conftest import (integration_cost_model, medium_stateful,
+                            medium_stateless, sample_input, simple_pipeline)
+
+ALL_RULE_IDS = [p.rule_id for p in all_rules()]
+
+
+def fired(report, rule_id):
+    """The findings a report produced for one rule."""
+    return report.by_rule(rule_id)
+
+
+def two_stage():
+    return Pipeline(Identity(), Identity(name="snd")).flatten()
+
+
+def _unvalidated_graph(workers, connections):
+    """Build a StreamGraph bypassing construction-time validation.
+
+    The in-repo builders refuse cyclic graphs outright; the analyzer
+    must still diagnose them (graphs can come from other frontends).
+    """
+    graph = object.__new__(StreamGraph)
+    graph.workers = list(workers)
+    for worker_id, worker in enumerate(graph.workers):
+        worker.worker_id = worker_id
+    graph.edges = [Edge(i, *c) for i, c in enumerate(connections)]
+    graph._in_edges = {
+        w.worker_id: [None] * w.n_inputs for w in graph.workers}
+    graph._out_edges = {
+        w.worker_id: [None] * w.n_outputs for w in graph.workers}
+    for edge in graph.edges:
+        graph._wire(edge)
+    graph.head = graph._find_head()
+    graph.tail = graph._find_tail()
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Graph pass family
+# ---------------------------------------------------------------------------
+
+
+class TestGraphRules:
+    def test_g001_fires_on_inconsistent_rates_with_ratio_chain(self):
+        graph = Pipeline(
+            Identity(),
+            SplitJoin(
+                DuplicateSplitter(2),
+                Identity(),
+                Expander(2),  # branch multiplies items; joiner pops 1+1
+                RoundRobinJoiner(2),
+            ),
+            Identity(name="out"),
+        ).flatten()
+        report = check_graph(graph)
+        findings = fired(report, "G001")
+        assert findings and findings[0].is_error
+        assert "balance equations unsolvable" in findings[0].message
+        # The diagnostic carries both conflicting implied-ratio chains.
+        details = "\n".join(findings[0].details)
+        assert "implies x[" in details
+        assert "push" in details and "pop" in details
+
+    def test_g001_silent_on_consistent_graph(self):
+        assert not fired(check_graph(simple_pipeline()), "G001")
+
+    def test_g002_fires_on_cycle(self):
+        head, tail = Identity(), Identity(name="tail")
+        joiner = RoundRobinJoiner(2)
+        splitter = RoundRobinSplitter(2)
+        graph = _unvalidated_graph(
+            [head, joiner, splitter, tail],
+            [(0, 0, 1, 0),   # head -> joiner.0
+             (1, 0, 2, 0),   # joiner -> splitter
+             (2, 0, 1, 1),   # splitter.0 -> joiner.1  (feedback cycle)
+             (2, 1, 3, 0)],  # splitter.1 -> tail
+        )
+        findings = fired(check_graph(graph), "G002")
+        assert findings and findings[0].is_error
+        assert "deadlock" in findings[0].message
+
+    def test_g002_silent_on_acyclic_graph(self):
+        assert not fired(check_graph(medium_stateful()), "G002")
+
+    def test_g003_fires_on_never_consuming_input(self):
+        graph = Pipeline(
+            Identity(), Filter(pop=0, push=1, name="refuser")).flatten()
+        findings = fired(check_graph(graph), "G003")
+        assert findings and findings[0].is_error
+        assert "never consumes" in findings[0].message
+
+    def test_g003_fires_on_enormous_peek_ratio(self):
+        graph = Pipeline(
+            Identity(), Filter(pop=1, peek=100, push=1)).flatten()
+        findings = fired(check_graph(graph), "G003")
+        assert findings
+        assert findings[0].severity == "warning"
+        assert "peeking buffer" in findings[0].message
+
+    def test_g003_silent_on_moderate_peeking(self):
+        assert not fired(check_graph(simple_pipeline()), "G003")
+
+    def test_g004_fires_on_zero_work_and_huge_repetitions(self):
+        graph = Pipeline(
+            Filter(pop=1, push=1, work_estimate=0, name="lazy"),
+            Decimator(8192),
+        ).flatten()
+        report = check_graph(graph)
+        messages = [f.message for f in fired(report, "G004")]
+        assert any("zero work" in m for m in messages)
+        assert any("repetition vector peaks at 8192" in m for m in messages)
+
+    def test_g004_silent_on_balanced_graph(self):
+        assert not fired(check_graph(medium_stateless()), "G004")
+
+
+# ---------------------------------------------------------------------------
+# Configuration pass family
+# ---------------------------------------------------------------------------
+
+
+class TestConfigurationRules:
+    def test_c001_fires_on_each_coverage_defect(self):
+        graph = medium_stateless()
+        workers = [w.worker_id for w in graph.workers]
+        bad = Configuration(
+            blobs=(
+                Configuration.build(
+                    [(0, workers[:-1])]).blobs[0],  # last worker missing
+            ),
+            multiplier=0,
+        )
+        report = check_configuration(graph, bad)
+        messages = [f.message for f in fired(report, "C001")]
+        assert any("multiplier" in m for m in messages)
+        assert any("not assigned" in m for m in messages)
+
+    def test_c001_fires_on_double_assignment_and_unknown_worker(self):
+        graph = two_stage()
+        bad = Configuration.build([(0, [0, 1]), (1, [1, 7])])
+        messages = [
+            f.message
+            for f in fired(check_configuration(graph, bad), "C001")]
+        assert any("assigned to blobs" in m for m in messages)
+        assert any("unknown workers" in m for m in messages)
+
+    def test_c001_silent_on_valid_partition(self):
+        graph = medium_stateless()
+        report = check_configuration(graph, partition_even(graph, [0, 1]))
+        assert not fired(report, "C001")
+
+    def test_c002_fires_on_blob_cycle_and_names_it(self):
+        graph = Pipeline(Identity(), Identity(), Identity()).flatten()
+        interleaved = Configuration.build([(0, [0, 2]), (1, [1])])
+        findings = fired(
+            check_configuration(graph, interleaved), "C002")
+        assert findings and findings[0].is_error
+        assert "cycle" in findings[0].message
+        assert "blob 0 -> blob 1 -> blob 0" in findings[0].message
+
+    def test_c002_silent_on_contiguous_partition(self):
+        graph = medium_stateless()
+        report = check_configuration(graph, partition_even(graph, [0, 1, 2]))
+        assert not fired(report, "C002")
+
+    def test_c003_fires_on_negative_unknown_and_unavailable_nodes(self):
+        graph = two_stage()
+        negative = Configuration.build([(-1, [0, 1])])
+        findings = fired(check_configuration(graph, negative), "C003")
+        assert findings and findings[0].is_error
+
+        availability = {0: True, 1: False}
+        unknown = Configuration.build([(9, [0, 1])])
+        findings = fired(
+            check_configuration(graph, unknown,
+                                node_availability=availability), "C003")
+        assert findings and findings[0].is_error
+        assert "unknown node" in findings[0].message
+
+        unavailable = Configuration.build([(1, [0, 1])])
+        findings = fired(
+            check_configuration(graph, unavailable,
+                                node_availability=availability), "C003")
+        assert findings and findings[0].severity == "warning"
+
+    def test_c003_silent_on_available_placement(self):
+        graph = two_stage()
+        report = check_configuration(
+            graph, single_blob_configuration(graph, node_id=0),
+            node_availability={0: True})
+        assert not fired(report, "C003")
+
+    def test_c004_fires_on_disconnected_blob(self):
+        graph = Pipeline(
+            SplitJoin(
+                DuplicateSplitter(2),
+                ScaleFilter(2.0, name="left"),
+                ScaleFilter(3.0, name="right"),
+                RoundRobinJoiner(2),
+            ),
+        ).flatten()
+        branches = [w.worker_id for w in graph.workers
+                    if w.name in ("left", "right")]
+        others = [w.worker_id for w in graph.workers
+                  if w.worker_id not in branches]
+        lumped = Configuration.build([(0, others), (1, branches)])
+        findings = fired(check_configuration(graph, lumped), "C004")
+        assert findings and findings[0].severity == "warning"
+        assert "not connected" in findings[0].message
+
+    def test_c004_silent_on_connected_blobs(self):
+        graph = medium_stateful()
+        report = check_configuration(graph, partition_even(graph, [0, 1]))
+        assert not fired(report, "C004")
+
+    def test_c005_fires_on_enormous_multiplier(self):
+        graph = two_stage()
+        huge = single_blob_configuration(graph, multiplier=5000)
+        findings = fired(check_configuration(graph, huge), "C005")
+        assert findings and findings[0].severity == "warning"
+        assert "multiplier" in findings[0].message
+
+    def test_c005_fires_on_enormous_buffer_capacity(self):
+        graph = Pipeline(Expander(1200), Expander(1200),
+                         Decimator(1200), Decimator(1200)).flatten()
+        huge = single_blob_configuration(graph, multiplier=1)
+        findings = fired(check_configuration(graph, huge), "C005")
+        assert any("steady buffer" in f.message for f in findings)
+
+    def test_c005_silent_on_modest_configuration(self):
+        graph = medium_stateful()
+        report = check_configuration(graph, partition_even(
+            graph, [0, 1], multiplier=24))
+        assert not fired(report, "C005")
+
+
+# ---------------------------------------------------------------------------
+# Reconfiguration pass family
+# ---------------------------------------------------------------------------
+
+
+def _plan(old_graph, new_graph, old_config=None, new_config=None):
+    return check_reconfiguration(
+        old_graph,
+        old_config or single_blob_configuration(old_graph),
+        new_graph,
+        new_config or single_blob_configuration(new_graph),
+    )
+
+
+class TestReconfigurationRules:
+    def test_r001_fires_on_external_rate_change(self):
+        old = two_stage()
+        new = Pipeline(Identity(), Decimator(2)).flatten()
+        findings = fired(_plan(old, new), "R001")
+        assert findings and findings[0].is_error
+        assert "quantum changes" in findings[0].message
+
+    def test_r001_silent_on_matching_rates(self):
+        assert not fired(_plan(two_stage(), two_stage()), "R001")
+
+    def test_r002_fires_when_state_would_be_dropped(self):
+        old = Pipeline(Identity(), Accumulator(), Identity()).flatten()
+        new = Pipeline(Identity(), Identity(), Identity()).flatten()
+        findings = fired(_plan(old, new), "R002")
+        assert findings and findings[0].is_error
+        assert "installation would fail" in findings[0].message
+
+    def test_r002_fires_when_destination_is_missing(self):
+        old = Pipeline(Identity(), Accumulator()).flatten()
+        new = Pipeline(Identity()).flatten()
+        report = _plan(old, new)
+        assert any("dropped" in f.message
+                   for f in fired(report, "R002"))
+
+    def test_r002_fires_when_destination_is_uncovered(self):
+        old = Pipeline(Identity(), Accumulator()).flatten()
+        new = Pipeline(Identity(), Accumulator()).flatten()
+        partial = Configuration.build([(0, [0])])  # worker 1 uncovered
+        report = check_reconfiguration(
+            old, single_blob_configuration(old), new, partial)
+        assert any("nowhere to go" in f.message
+                   for f in fired(report, "R002"))
+
+    def test_r002_reports_fresh_stateful_workers_as_info(self):
+        old = two_stage()
+        new = Pipeline(Identity(), Identity(), Accumulator()).flatten()
+        findings = fired(_plan(old, new), "R002")
+        assert findings and findings[0].severity == "info"
+
+    def test_r002_silent_on_complete_transfer(self):
+        assert not fired(
+            _plan(medium_stateful(), medium_stateful()), "R002")
+
+    def test_r003_fires_on_stale_boundary_edges(self):
+        from repro.graph.library import FIRFilter
+        # The peeking FIR keeps a nonzero boundary count on edge 1;
+        # the new graph drops that edge, so the snapshot has items
+        # with no destination buffer.
+        old = Pipeline(Identity(), Accumulator(),
+                       FIRFilter([0.5, 0.3, 0.2])).flatten()
+        new = Pipeline(Identity(), Accumulator()).flatten()
+        findings = fired(_plan(old, new), "R003")
+        assert findings and findings[0].is_error
+        assert "do not exist in the new graph" in findings[0].message
+
+    def test_r003_silent_on_clean_snapshot(self):
+        graph = medium_stateful()
+        report = check_reconfiguration(
+            graph, single_blob_configuration(graph),
+            medium_stateful(), partition_even(medium_stateful(), [0, 1]))
+        assert not fired(report, "R003")
+
+
+# ---------------------------------------------------------------------------
+# Sim-determinism sanitizer
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminismSanitizer:
+    def test_det001_fires_on_wall_clock_reads(self):
+        source = (
+            "import time\n"
+            "from time import monotonic\n"
+            "def now():\n"
+            "    return time.time() + monotonic()\n"
+        )
+        rules = [f.rule for f in lint_source(source, "sim.py")]
+        assert rules.count("DET001") == 2
+
+    def test_det001_fires_on_datetime_now(self):
+        source = (
+            "from datetime import datetime\n"
+            "stamp = datetime.now()\n"
+        )
+        assert [f.rule for f in lint_source(source)] == ["DET001"]
+
+    def test_det001_silent_on_env_now(self):
+        source = "def now(env):\n    return env.now\n"
+        assert not lint_source(source)
+
+    def test_det002_fires_on_global_random(self):
+        source = (
+            "import random\n"
+            "def jitter():\n"
+            "    return random.random() + random.randint(0, 3)\n"
+        )
+        rules = [f.rule for f in lint_source(source)]
+        assert rules.count("DET002") == 2
+
+    def test_det002_allows_seeded_generator(self):
+        source = (
+            "import random\n"
+            "rng = random.Random(42)\n"
+            "def jitter():\n"
+            "    return rng.random()\n"
+        )
+        assert not lint_source(source)
+
+    def test_det003_fires_on_set_iteration(self):
+        source = (
+            "def schedule(events):\n"
+            "    pending = set(events)\n"
+            "    for event in pending:\n"
+            "        event.fire()\n"
+            "    return [e for e in {1, 2, 3}]\n"
+        )
+        rules = [f.rule for f in lint_source(source)]
+        assert rules.count("DET003") == 2
+
+    def test_det003_sees_through_list_wrapper(self):
+        # list(set(...)) launders the type but not the disorder —
+        # direct and through-a-binding iteration both fire.
+        source = "for x in list(set([3, 1, 2])):\n    pass\n"
+        assert [f.rule for f in lint_source(source)] == ["DET003"]
+        source = "order = list(set([3, 1, 2]))\nfor x in order:\n    pass\n"
+        assert [f.rule for f in lint_source(source)] == ["DET003"]
+
+    def test_det003_silent_on_sorted_iteration(self):
+        source = (
+            "def schedule(events):\n"
+            "    for event in sorted(set(events)):\n"
+            "        event.fire()\n"
+        )
+        assert not lint_source(source)
+
+    def test_det004_fires_on_id_ordering(self):
+        source = "order = sorted(workers, key=id)\n"
+        assert [f.rule for f in lint_source(source)] == ["DET004"]
+        source = "order = sorted(workers, key=lambda w: id(w))\n"
+        assert [f.rule for f in lint_source(source)] == ["DET004"]
+
+    def test_det004_silent_on_field_ordering(self):
+        source = "order = sorted(workers, key=lambda w: w.worker_id)\n"
+        assert not lint_source(source)
+
+    def test_pragma_suppresses_one_rule(self):
+        source = "for x in {1, 2}:  # glosslint: ignore[DET003]\n    pass\n"
+        assert not lint_source(source)
+        source = "for x in {1, 2}:  # glosslint: ignore[DET001]\n    pass\n"
+        assert lint_source(source)  # wrong rule: still fires
+
+    def test_skip_file_pragma(self):
+        source = "# glosslint: skip-file\nimport time\nt = time.time()\n"
+        assert not lint_source(source)
+
+    def test_source_tree_is_clean(self):
+        report = self_lint()
+        assert report.ok, report.render()
+        assert not report.findings, report.render()
+
+
+# ---------------------------------------------------------------------------
+# Whole-corpus acceptance: the shipped apps are clean
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(app_registry()))
+def test_shipped_app_has_zero_error_findings(name):
+    from repro.analysis import check_app
+    report = check_app(name)
+    assert report.ok, report.render()
+
+
+def test_every_rule_has_coverage_in_this_file():
+    """Meta: a rule added without tests fails here by construction."""
+    import inspect as _inspect
+    source = _inspect.getsource(sys.modules[__name__])
+    missing = [rule_id for rule_id in ALL_RULE_IDS
+               if rule_id not in source]
+    assert not missing, "rules without seeded-violation tests: %r" % missing
+
+
+# ---------------------------------------------------------------------------
+# Emission-time validation (partitioner / optimizer / tuner)
+# ---------------------------------------------------------------------------
+
+
+class TestEmissionValidation:
+    def test_partitioner_rejects_handcrafted_invalid_config(self, monkeypatch):
+        real_build = Configuration.build.__func__
+
+        def broken_build(cls, assignments, **kwargs):
+            node, workers = assignments[-1]
+            mutilated = (list(assignments[:-1])
+                         + [(node, list(workers)[:-1])])
+            return real_build(cls, mutilated, **kwargs)
+
+        monkeypatch.setattr(Configuration, "build",
+                            classmethod(broken_build))
+        with pytest.raises(ConfigurationError):
+            partition_even(medium_stateless(), [0, 1])
+
+    def test_optimizer_rejects_handcrafted_invalid_config(self, monkeypatch):
+        from repro.compiler.optimizer import partition_optimal
+        real_build = Configuration.build.__func__
+
+        def broken_build(cls, assignments, **kwargs):
+            node, workers = assignments[0]
+            stolen = list(assignments[1][1])[0]
+            doubled = ([(node, list(workers) + [stolen])]
+                       + list(assignments[1:]))
+            return real_build(cls, doubled, **kwargs)
+
+        monkeypatch.setattr(Configuration, "build",
+                            classmethod(broken_build))
+        with pytest.raises(ConfigurationError):
+            partition_optimal(medium_stateless(), [0, 1])
+
+    def test_tuner_rejects_handcrafted_invalid_config(self, monkeypatch):
+        from repro.tuning import search_space as space_module
+        graph = medium_stateless()
+        workers = [w.worker_id for w in graph.workers]
+
+        def emit_invalid(graph, nodes, **kwargs):
+            return Configuration.build([(0, workers[:-1])],
+                                       name="invalid")
+
+        monkeypatch.setattr(space_module, "partition_even", emit_invalid)
+        space = space_module.ConfigurationSpace(medium_stateless)
+        with pytest.raises(ConfigurationError):
+            space.to_configuration(space.initial([0, 1]), [0, 1])
+
+
+# ---------------------------------------------------------------------------
+# The manager's pre-reconfiguration gate
+# ---------------------------------------------------------------------------
+
+
+def _launch_stateful_app():
+    cluster = Cluster(n_nodes=3, cores_per_node=4,
+                      cost_model=integration_cost_model(),
+                      tracer=Tracer())
+    app = StreamApp(cluster, medium_stateful, input_fn=sample_input,
+                    name="gated", collect_output=True)
+    app.launch(partition_even(medium_stateful(), [0, 1], multiplier=24,
+                              name="A"))
+    cluster.run(until=12.0)
+    return cluster, app
+
+
+class TestManagerGate:
+    def test_state_transfer_violation_is_rejected_not_crashed(self):
+        cluster, app = _launch_stateful_app()
+        manager = ReconfigurationManager(app)
+        # Inject an R002 violation: the app's blueprint now produces a
+        # stateless graph, so every stateful worker's captured state
+        # would have no destination.
+        app.blueprint = medium_stateless
+        target = partition_even(medium_stateless(), [0, 1, 2],
+                                multiplier=24, name="B")
+        outcome = manager.submit(target, strategy="adaptive")
+        cluster.run(until=30.0)
+
+        assert outcome.status == "rejected"
+        assert manager.rejected == [outcome]
+        assert outcome.attempts == 0  # no strategy ever ran
+        assert isinstance(outcome.error, AnalysisError)
+        assert any(f.rule == "R002" for f in outcome.error.report.errors)
+        assert "static analysis rejected" in str(outcome.error)
+        assert outcome.done.triggered
+        # The live epoch is untouched and still serving.
+        assert app.current is not None and app.current.alive
+        assert app.current.program.configuration.name == "A"
+
+    def test_valid_plan_passes_the_gate(self):
+        cluster, app = _launch_stateful_app()
+        manager = ReconfigurationManager(app)
+        target = partition_even(medium_stateful(), [0, 1, 2],
+                                multiplier=24, name="B")
+        outcome = manager.submit(target, strategy="adaptive")
+        cluster.run(until=60.0)
+        assert outcome.status == "completed"
+        assert manager.rejected == []
+
+    def test_gate_can_be_disabled(self, monkeypatch):
+        cluster, app = _launch_stateful_app()
+        manager = ReconfigurationManager(app, analysis_gate=False)
+
+        def must_not_run(outcome):
+            raise AssertionError("gate ran despite analysis_gate=False")
+
+        monkeypatch.setattr(manager, "_vet_request", must_not_run)
+        target = partition_even(medium_stateful(), [0, 1, 2],
+                                multiplier=24, name="B")
+        outcome = manager.submit(target, strategy="adaptive")
+        cluster.run(until=60.0)
+        assert outcome.status == "completed"
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCLI:
+    def _run(self, *argv):
+        import os
+        import repro
+        env = dict(os.environ)
+        src_dir = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *argv],
+            capture_output=True, text=True, env=env)
+
+    def test_single_app_case_insensitive(self):
+        result = self._run("--app", "fmradio")
+        assert result.returncode == 0, result.stderr
+        assert "clean" in result.stdout
+
+    def test_json_report_and_exit_code(self, tmp_path):
+        out = tmp_path / "report.json"
+        result = self._run("--app", "FMRadio", "--json", "-o", str(out))
+        assert result.returncode == 0, result.stderr
+        payload = json.loads(out.read_text())
+        assert payload["errors"] == 0
+        assert payload["reports"]
+
+    def test_lint_flags_a_dirty_file(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nstamp = time.time()\n")
+        result = self._run("--lint", str(dirty))
+        assert result.returncode == 1
+        assert "DET001" in result.stdout
+
+    def test_list_rules_covers_all_families(self):
+        result = self._run("--list-rules")
+        assert result.returncode == 0
+        for rule_id in ALL_RULE_IDS:
+            assert rule_id in result.stdout

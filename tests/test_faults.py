@@ -82,6 +82,7 @@ def target_config():
                           name="B")
 
 
+@pytest.mark.slow
 class TestChaosMatrix:
     @pytest.mark.parametrize("strategy", STRATEGIES)
     @pytest.mark.parametrize("kind", FAULT_KINDS)
@@ -156,6 +157,7 @@ def test_fault_and_rollback_are_visible_in_exported_trace(tmp_path):
     assert "inject.node_crash" in instant_names
 
 
+@pytest.mark.slow
 class TestManagerRetries:
     def test_one_shot_compile_crash_is_retried_to_success(self, chaos_trace):
         """A transient compiler crash costs one abort; the manager's

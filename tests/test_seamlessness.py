@@ -50,6 +50,7 @@ def run_app_reconfig(name, multiplier, warmup, end, strategy):
     return app, blueprint, spec
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("strategy", STRATEGIES)
 @pytest.mark.parametrize("name,multiplier,warmup,end", APP_CASES,
                          ids=[c[0] for c in APP_CASES])
@@ -64,6 +65,7 @@ def test_output_identical_to_unreconfigured_run(name, multiplier, warmup,
     assert verdict.inputs_consumed > 0
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("name,multiplier,warmup,end", APP_CASES,
                          ids=[c[0] for c in APP_CASES])
 def test_seamless_strategies_discard_redundant_output(name, multiplier,
