@@ -29,6 +29,10 @@ def _run():
     output_during_phase1 = series.items_between(
         timeline.requested_at, timeline.phase1_done_at)
     ast_wait = timeline.state_captured_at - timeline.phase1_done_at
+    # Warm-compile check (after all timings are taken): recompiling the
+    # adaptive target must hit the phase-1 cache — the property that
+    # lets the Figure 13 tuner revisit configurations cheaply.
+    experiment.app.compile(config)
     return {
         "phase1": phase1,
         "phase2": phase2,
@@ -36,6 +40,7 @@ def _run():
         "output_during_phase1": output_during_phase1,
         "downtime": report.downtime,
         "dup_emitted": float(experiment.app.merger.duplicate_emitted),
+        "cache_hit_rate": experiment.app.compile_cache.hit_rate(),
     }
 
 

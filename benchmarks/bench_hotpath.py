@@ -1,0 +1,263 @@
+"""Hot-path benchmark: fused steady-state firing and compile caching.
+
+Two measurements per application (all nine registered apps):
+
+1. **Steady-state firing throughput** — firings/sec of the canonical
+   per-firing interpreter loop vs the :class:`FusedPlan` fast path.
+   The headline mode is ``rate_only`` (what the timing experiments
+   run); functional mode (real work functions, ``check_rates=False``)
+   is reported as a secondary column.
+2. **Cold vs warm compilation** — wall time of
+   :func:`plan_configuration` with an empty
+   :class:`CompilationCache` (miss: schedule + pseudo-blob
+   construction) vs a primed one (hit: rehydration only).
+
+Writes ``BENCH_hotpath.json`` at the repo root and gates the targets:
+
+* fused speedup >= 2x on Synthetic (rate-only),
+* geomean fused speedup >= 1.5x across the nine apps (rate-only),
+* warm phase-1 time <= 10% of cold, averaged across apps.
+
+Usage::
+
+    python benchmarks/bench_hotpath.py            # run + gate
+    python benchmarks/bench_hotpath.py --no-gate  # measure only
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _path in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from repro.apps import app_registry  # noqa: E402
+from repro.compiler.cache import (  # noqa: E402
+    CompilationCache,
+    stamp_structure_key,
+    structure_key,
+)
+from repro.compiler.cost_model import CostModel  # noqa: E402
+from repro.compiler.partition import partition_even  # noqa: E402
+from repro.compiler.two_phase import plan_configuration  # noqa: E402
+from repro.runtime.interpreter import GraphInterpreter  # noqa: E402
+
+RESULT_PATH = os.path.join(_REPO_ROOT, "BENCH_hotpath.json")
+
+SCALE = 2
+REPS = 5
+COMPILE_REPS = 7
+WARM_BATCH = 20
+TARGET_REP_SECONDS = 0.15
+GATE_SYNTHETIC_SPEEDUP = 2.0
+GATE_GEOMEAN_SPEEDUP = 1.5
+GATE_WARM_COLD_RATIO = 0.10
+
+
+def _provision(interp, input_fn, iterations):
+    """Buffer enough graph input for init plus ``iterations`` steady
+    iterations (plus the head worker's peek-beyond-pop margin)."""
+    head = interp.graph.head
+    head_extra = (max(head.peek_rates[0] - head.pop_rates[0], 0)
+                  if head is not None and head.n_inputs else 0)
+    needed = (interp.schedule.init_in + head_extra
+              + interp.schedule.steady_in * iterations + 64)
+    if input_fn is None:
+        interp.push_input([None] * needed)
+    else:
+        interp.push_input([input_fn(i) for i in range(needed)])
+
+
+def _steady_per_firing(interp, iterations):
+    """The pre-fused steady loop: one firing at a time, in order."""
+    order = interp.schedule.firing_order()
+    fire = interp.fire
+    for _ in range(iterations):
+        for worker_id, firings in order:
+            for _ in range(firings):
+                fire(worker_id)
+
+
+def _calibrate_iterations(blueprint, input_fn, rate_only):
+    """Iterations per timed rep so a rep lasts ~TARGET_REP_SECONDS."""
+    interp = GraphInterpreter(blueprint(), check_rates=False,
+                              rate_only=rate_only)
+    _provision(interp, input_fn, 4)
+    interp.run_init()
+    start = time.perf_counter()
+    _steady_per_firing(interp, 4)
+    per_iteration = max((time.perf_counter() - start) / 4, 1e-7)
+    return max(3, min(int(TARGET_REP_SECONDS / per_iteration), 2000))
+
+
+def _bench_firing_mode(spec, rate_only):
+    """Best-of-REPS firings/sec, per-firing baseline vs fused."""
+    blueprint = spec.blueprint(scale=SCALE)
+    input_fn = None if rate_only else spec.input_fn
+    iterations = _calibrate_iterations(blueprint, input_fn, rate_only)
+
+    baseline = GraphInterpreter(blueprint(), check_rates=False,
+                                rate_only=rate_only)
+    _provision(baseline, input_fn, iterations * REPS)
+    baseline.run_init()
+    base_best = float("inf")
+    for _ in range(REPS):
+        start = time.perf_counter()
+        _steady_per_firing(baseline, iterations)
+        base_best = min(base_best, time.perf_counter() - start)
+
+    fused = GraphInterpreter(blueprint(), check_rates=False,
+                             rate_only=rate_only)
+    _provision(fused, input_fn, iterations * REPS + 1)
+    fused.run_init()
+    fused.run_steady(1)  # build + validate the plan outside the timing
+    fused_best = float("inf")
+    for _ in range(REPS):
+        start = time.perf_counter()
+        fused.run_steady(iterations)
+        fused_best = min(fused_best, time.perf_counter() - start)
+
+    firings = sum(f for _, f in baseline.schedule.firing_order())
+    return {
+        "iterations_per_rep": iterations,
+        "firings_per_iteration": firings,
+        "interp_firings_per_sec": firings * iterations / base_best,
+        "fused_firings_per_sec": firings * iterations / fused_best,
+        "speedup": base_best / fused_best,
+    }
+
+
+def _bench_compile(spec, n_blobs=4):
+    """Median cold vs best warm plan_configuration wall time (ms).
+
+    Cold models the first-ever compile (empty cache, structure key
+    derived from scratch).  Warm models every later compile in a live
+    app: :meth:`StreamApp.fresh_graph` stamps the blueprint's known
+    structure key onto each rebuild, so the benchmark does the same.
+    """
+    blueprint = spec.blueprint(scale=SCALE)
+    probe = blueprint()
+    configuration = partition_even(probe, range(n_blobs), name="bench")
+    cost_model = CostModel()
+
+    cold_times = []
+    for _ in range(COMPILE_REPS):
+        cache = CompilationCache()
+        graph = blueprint()
+        start = time.perf_counter()
+        plan_configuration(graph, configuration, cost_model, cache=cache)
+        cold_times.append(time.perf_counter() - start)
+    cold = sorted(cold_times)[len(cold_times) // 2]
+
+    # Warm hits are tens of microseconds, so they are timed as a batch
+    # (and best-of-REPS batches) to keep timer noise out of the ratio.
+    cache = CompilationCache()
+    key = structure_key(probe)
+    plan_configuration(blueprint(), configuration, cost_model, cache=cache)
+    warm = float("inf")
+    for _ in range(REPS):
+        graphs = [blueprint() for _ in range(WARM_BATCH)]
+        for graph in graphs:
+            stamp_structure_key(graph, key)
+        start = time.perf_counter()
+        for graph in graphs:
+            plan_configuration(graph, configuration, cost_model, cache=cache)
+        warm = min(warm, (time.perf_counter() - start) / WARM_BATCH)
+    assert cache.plan_hits == REPS * WARM_BATCH, \
+        "warm reps must all hit the cache"
+
+    return {
+        "cold_ms": cold * 1e3,
+        "warm_ms": warm * 1e3,
+        "warm_cold_ratio": warm / cold,
+    }
+
+
+def _geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run():
+    registry = app_registry()
+    apps = {}
+    for name in sorted(registry):
+        spec = registry[name]
+        print("benchmarking %s ..." % name)
+        rate_only = _bench_firing_mode(spec, rate_only=True)
+        functional = _bench_firing_mode(spec, rate_only=False)
+        compile_row = _bench_compile(spec)
+        apps[name] = {
+            "rate_only": rate_only,
+            "functional": functional,
+            "compile": compile_row,
+        }
+        print("  rate-only %.2fx  functional %.2fx  warm/cold %.1f%%"
+              % (rate_only["speedup"], functional["speedup"],
+                 100.0 * compile_row["warm_cold_ratio"]))
+
+    names = sorted(apps)
+    summary = {
+        "synthetic_rate_only_speedup": apps["Synthetic"]["rate_only"]["speedup"],
+        "geomean_rate_only_speedup": _geomean(
+            [apps[n]["rate_only"]["speedup"] for n in names]),
+        "geomean_functional_speedup": _geomean(
+            [apps[n]["functional"]["speedup"] for n in names]),
+        "warm_cold_ratio_mean": (
+            sum(apps[n]["compile"]["warm_cold_ratio"] for n in names)
+            / len(names)),
+    }
+    return {"scale": SCALE, "apps": apps, "summary": summary}
+
+
+def gate(result):
+    summary = result["summary"]
+    checks = [
+        ("Synthetic rate-only fused speedup",
+         summary["synthetic_rate_only_speedup"], ">=", GATE_SYNTHETIC_SPEEDUP),
+        ("geomean rate-only fused speedup",
+         summary["geomean_rate_only_speedup"], ">=", GATE_GEOMEAN_SPEEDUP),
+        ("mean warm/cold compile ratio",
+         summary["warm_cold_ratio_mean"], "<=", GATE_WARM_COLD_RATIO),
+    ]
+    failures = []
+    for label, got, op, limit in checks:
+        ok = got >= limit if op == ">=" else got <= limit
+        print("gate %-38s measured=%.3f %s %.3f %s"
+              % (label, got, op, limit, "OK" if ok else "FAIL"))
+        if not ok:
+            failures.append("%s: %.3f not %s %.3f" % (label, got, op, limit))
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--no-gate", action="store_true",
+                        help="measure and write JSON without gating")
+    parser.add_argument("--output", default=RESULT_PATH,
+                        help="result JSON path (default: %s)" % RESULT_PATH)
+    args = parser.parse_args(argv)
+
+    result = run()
+    with open(args.output, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % args.output)
+
+    if args.no_gate:
+        return 0
+    failures = gate(result)
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure, file=sys.stderr)
+        return 1
+    print("hot-path benchmark passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

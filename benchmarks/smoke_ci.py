@@ -48,6 +48,16 @@ GATED = {
                              "two-phase visible recompile time"),
 }
 
+#: metric key -> (benchmark name, human label).  Lower-bound gates:
+#: these must not *fall* below baseline * (1 - TOLERANCE).  The fig05
+#: run ends with a warm recompile of the adaptive target, so its
+#: compile-cache hit rate dropping means phase-1 memoization broke
+#: (every tuner revisit would pay a cold compile again).
+MIN_GATED = {
+    "fig05_cache_hit_rate": ("fig05_two_phase",
+                             "compile-cache hit rate"),
+}
+
 #: spans every traced reconfiguration of that strategy must contain.
 REQUIRED_SPANS = {
     "fig04_stop_and_copy": {"stop_and_copy", "drain", "compile.full",
@@ -83,6 +93,7 @@ def run_benchmarks(trace_dir):
         "fig05_phase2_seconds": fig05["phase2"],
         "fig04_duplicate_emitted": fig04["dup_emitted"],
         "fig05_duplicate_emitted": fig05["dup_emitted"],
+        "fig05_cache_hit_rate": fig05["cache_hit_rate"],
     }
 
 
@@ -136,6 +147,20 @@ def gate(measured, baseline):
             failures.append(
                 "%s regressed: %.3fs > %.3fs (baseline %.3fs +%d%%)"
                 % (label, got, limit, base, int(TOLERANCE * 100)))
+    for key, (bench, label) in sorted(MIN_GATED.items()):
+        if key not in baseline:
+            failures.append("baseline missing %r; run --update-baseline"
+                            % key)
+            continue
+        base, got = baseline[key], measured[key]
+        floor = base * (1.0 - TOLERANCE)
+        status = "OK" if got >= floor else "REGRESSION"
+        print("gate %-11s %-35s baseline=%.3f  measured=%.3f  "
+              "floor=%.3f  %s" % (bench, label, base, got, floor, status))
+        if got < floor:
+            failures.append(
+                "%s regressed: %.3f < %.3f (baseline %.3f -%d%%)"
+                % (label, got, floor, base, int(TOLERANCE * 100)))
     return failures
 
 

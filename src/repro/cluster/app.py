@@ -11,6 +11,12 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.compiler.cache import (
+    CompilationCache,
+    get_default_cache,
+    stamp_structure_key,
+    structure_key,
+)
 from repro.compiler.compiled import CompiledProgram
 from repro.compiler.config import Configuration
 from repro.compiler.cost_model import CostModel
@@ -100,6 +106,16 @@ class StreamApp:
         self.current: Optional[GraphInstance] = None
         self.events: List[Tuple[float, str, dict]] = []
         self.reconfigurations: List = []  # ReconfigReport objects
+        #: Per-app compilation cache: every compile this app performs
+        #: (launch, strategies, tuner trials) shares it, while separate
+        #: runs stay independent so identical runs produce identical
+        #: traces.  None when REPRO_COMPILE_CACHE=0 disables caching.
+        self.compile_cache: Optional[CompilationCache] = (
+            CompilationCache() if get_default_cache() is not None else None
+        )
+        #: Structure key of the blueprint's output, computed on the
+        #: first build and stamped onto later builds (see fresh_graph).
+        self._blueprint_key = None
         #: Armed fault injector (None outside chaos runs).
         self.faults = None
 
@@ -134,6 +150,23 @@ class StreamApp:
 
     # -- compilation --------------------------------------------------------------
 
+    def fresh_graph(self) -> StreamGraph:
+        """A fresh blueprint build, with the structure key carried over.
+
+        Every compile this app ever performs sees the same blueprint,
+        and blueprint determinism is what makes live reconfiguration
+        sound in the first place (the rebuilt graph must be the same
+        program for state absorption and duplication replay to mean
+        anything) — so the first build's cache key is stamped onto
+        later builds instead of being re-derived from scratch.
+        """
+        graph = self.blueprint()
+        if self._blueprint_key is None:
+            self._blueprint_key = structure_key(graph)
+        else:
+            stamp_structure_key(graph, self._blueprint_key)
+        return graph
+
     def compile(self, configuration: Configuration, state=None) -> CompiledProgram:
         """Functionally compile a configuration on a fresh graph.
 
@@ -141,11 +174,11 @@ class StreamApp:
         :meth:`charge_compile_time` (or by the two-phase machinery in
         :mod:`repro.core`).
         """
-        graph = self.blueprint()
+        graph = self.fresh_graph()
         return compile_configuration(
             graph, configuration, self.cost_model, state=state,
             check_rates=self.check_rates, rate_only=self.rate_only,
-            tracer=self.tracer,
+            tracer=self.tracer, cache=self.compile_cache,
         )
 
     def charge_compile_time(self, seconds_per_node: Dict[int, float],

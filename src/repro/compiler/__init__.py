@@ -16,6 +16,15 @@ Gloss: :func:`plan_configuration` (phase 1, heavy) needs only the
 state, turning pseudo-blobs into state-absorbed blobs.
 """
 
+from repro.compiler.cache import (
+    CompilationCache,
+    cached_schedule,
+    configuration_fingerprint,
+    get_default_cache,
+    graph_fingerprint,
+    meta_fingerprint,
+    set_default_cache,
+)
 from repro.compiler.config import BlobSpec, Configuration, ConfigurationError
 from repro.compiler.cost_model import CostModel
 from repro.compiler.compiled import CompiledBlob, CompiledProgram
@@ -34,6 +43,7 @@ from repro.compiler.optimizer import partition_optimal, predict_throughput
 
 __all__ = [
     "BlobSpec",
+    "CompilationCache",
     "CompilationPlan",
     "CompiledBlob",
     "CompiledProgram",
@@ -41,11 +51,17 @@ __all__ = [
     "ConfigurationError",
     "CostModel",
     "absorb_state",
+    "cached_schedule",
     "choose_multiplier",
     "compile_configuration",
+    "configuration_fingerprint",
+    "get_default_cache",
+    "graph_fingerprint",
+    "meta_fingerprint",
     "partition_even",
     "partition_optimal",
     "predict_throughput",
     "plan_configuration",
+    "set_default_cache",
     "single_blob_configuration",
 ]

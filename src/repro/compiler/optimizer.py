@@ -21,14 +21,14 @@ from typing import List, Optional, Sequence, Tuple
 from repro.compiler.config import Configuration
 from repro.compiler.cost_model import CostModel
 from repro.graph.topology import StreamGraph
-from repro.sched.schedule import make_schedule
+from repro.compiler.cache import cached_schedule
 
 __all__ = ["partition_optimal", "predict_throughput", "segment_cost"]
 
 
 def _worker_profile(graph: StreamGraph, multiplier: int):
     """Per-worker (serial_work, parallel_work) for one iteration."""
-    schedule = make_schedule(graph, multiplier=multiplier)
+    schedule = cached_schedule(graph, multiplier=multiplier)
     profile = {}
     for worker in graph.workers:
         work = worker.work_estimate * schedule.steady_firings(

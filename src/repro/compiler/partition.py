@@ -15,7 +15,7 @@ from typing import List, Sequence
 from repro.compiler.config import Configuration
 from repro.compiler.cost_model import CostModel
 from repro.graph.topology import StreamGraph
-from repro.sched.schedule import make_schedule
+from repro.compiler.cache import cached_schedule
 
 __all__ = ["partition_even", "single_blob_configuration", "choose_multiplier"]
 
@@ -56,7 +56,7 @@ def partition_even(
     order = graph.topological_order()
     if len(node_ids) >= len(order):
         node_ids = node_ids[:max(len(order) // 2, 1)]
-    repetitions = make_schedule(graph).repetitions
+    repetitions = cached_schedule(graph).repetitions
     weights = [graph.worker(w).work_estimate * repetitions[w] for w in order]
     total = sum(weights) or 1.0
     n_blobs = len(node_ids)
@@ -106,7 +106,7 @@ def choose_multiplier(
     drain time — the classic throughput/latency trade-off the
     autotuner also explores.
     """
-    schedule = make_schedule(graph)
+    schedule = cached_schedule(graph)
     work = schedule.steady_work / max(n_nodes, 1)
     seconds_at_m1 = work / (cost_model.node_speed) / max(cores_per_node, 1) \
         + cost_model.sync_overhead

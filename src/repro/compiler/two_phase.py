@@ -26,13 +26,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional
 
+from repro.compiler.cache import CompilationCache, get_default_cache
 from repro.compiler.compiled import CompiledBlob, CompiledProgram
 from repro.compiler.config import BlobSpec, Configuration
 from repro.compiler.cost_model import CostModel
 from repro.graph.topology import StreamGraph
 from repro.runtime.executor import BlobRuntime
 from repro.runtime.state import ProgramState
-from repro.sched.schedule import Schedule, make_schedule, structural_leftover
+from repro.sched.schedule import Schedule, structural_leftover
 
 __all__ = [
     "CompilationPlan",
@@ -153,6 +154,59 @@ class CompilationPlan:
         return per_node
 
 
+def _emit_cache_counters(tracer, cache: Optional[CompilationCache]) -> None:
+    """Sample the cache's cumulative hit/miss counters into the trace
+    so the phase-timeline report (and Chrome trace) can show them."""
+    if tracer is None or cache is None:
+        return
+    for name, value in cache.counters().items():
+        tracer.counter("compile", "cache_" + name, value, track="compile")
+
+
+def _rehydrate_plan(
+    graph: StreamGraph,
+    configuration: Configuration,
+    cost_model: CostModel,
+    entry,
+    check_rates: bool,
+    rate_only: bool,
+) -> CompilationPlan:
+    """Rebuild a phase-1 plan from a cache entry against a fresh graph.
+
+    Only channels are freshly allocated; schedules, edge
+    classifications and channel-key bindings come straight from the
+    entry (worker ids and edge indices are stable across blueprint
+    instances, which the fingerprint match guarantees).
+    """
+    schedule = Schedule(
+        graph=graph,
+        repetitions=entry.repetitions.copy(),
+        init=entry.init.copy(),
+        multiplier=configuration.multiplier,
+        initial_contents=entry.initial_contents.copy(),
+    )
+    plan = CompilationPlan(
+        graph=graph,
+        configuration=configuration,
+        schedule=schedule,
+        cost_model=cost_model,
+    )
+    for spec, (fused, removed, layout) in zip(configuration.blobs,
+                                              entry.blobs):
+        runtime = BlobRuntime.restore(
+            graph, schedule, spec.workers, layout,
+            check_rates=check_rates, rate_only=rate_only,
+        )
+        plan.pseudo_blobs.append(CompiledBlob(
+            spec=spec,
+            runtime=runtime,
+            cost_model=cost_model,
+            fused_edges=fused,
+            removed_workers=removed,
+        ))
+    return plan
+
+
 def plan_configuration(
     graph: StreamGraph,
     configuration: Configuration,
@@ -161,6 +215,7 @@ def plan_configuration(
     check_rates: bool = True,
     rate_only: bool = False,
     tracer=None,
+    cache: Optional[CompilationCache] = None,
 ) -> CompilationPlan:
     """Phase-1 compilation from the meta program state.
 
@@ -168,13 +223,53 @@ def plan_configuration(
     buffered there when the state arrives (zero for cold starts).
     ``graph`` must be a *fresh* instance from the application's
     blueprint — never the graph the old instance is executing.
+
+    Results are memoized in the compilation cache (``cache`` overrides
+    the process default) keyed by the content fingerprint of (graph,
+    configuration, meta state): a repeated compilation rehydrates the
+    cached plan instead of re-solving it.
     """
-    configuration.validate(graph)
     counts = dict(meta_counts or {})
-    schedule = make_schedule(
-        graph, multiplier=configuration.multiplier, initial_contents=counts,
-        prefill=_boundary_prefill(graph, configuration, cost_model),
-    )
+    cache = cache if cache is not None else get_default_cache()
+    key = None
+    if cache is not None:
+        key = cache.plan_key(graph, configuration, counts,
+                             cost_model.pipeline_depth)
+        entry = cache.lookup_plan(key)
+        if entry is not None:
+            # A hit proves a structurally identical (graph,
+            # configuration) pair already validated and compiled, so
+            # re-validation is skipped along with the re-solve.
+            plan = _rehydrate_plan(graph, configuration, cost_model,
+                                   entry, check_rates, rate_only)
+            if tracer is not None:
+                tracer.instant(
+                    "compile", "plan", track="compile",
+                    config=configuration.name or "<anon>",
+                    blobs=len(plan.pseudo_blobs),
+                    fused_edges=sum(
+                        len(b.fused_edges) for b in plan.pseudo_blobs),
+                    removed_workers=sum(
+                        len(b.removed_workers) for b in plan.pseudo_blobs),
+                    meta_edges=len(counts),
+                    cache="hit",
+                )
+                _emit_cache_counters(tracer, cache)
+            return plan
+    configuration.validate(graph)
+    if cache is not None:
+        schedule = cache.schedule_for(
+            graph, multiplier=configuration.multiplier,
+            initial_contents=counts,
+            prefill=_boundary_prefill(graph, configuration, cost_model),
+        )
+    else:
+        from repro.sched.schedule import make_schedule
+        schedule = make_schedule(
+            graph, multiplier=configuration.multiplier,
+            initial_contents=counts,
+            prefill=_boundary_prefill(graph, configuration, cost_model),
+        )
     plan = CompilationPlan(
         graph=graph,
         configuration=configuration,
@@ -195,6 +290,8 @@ def plan_configuration(
             fused_edges=fused,
             removed_workers=removed,
         ))
+    if cache is not None:
+        cache.store_plan(key, plan)
     if tracer is not None:
         tracer.instant(
             "compile", "plan", track="compile",
@@ -204,7 +301,9 @@ def plan_configuration(
             removed_workers=sum(
                 len(b.removed_workers) for b in plan.pseudo_blobs),
             meta_edges=len(counts),
+            cache="miss" if cache is not None else "off",
         )
+        _emit_cache_counters(tracer, cache)
     return plan
 
 
@@ -262,6 +361,7 @@ def compile_configuration(
     check_rates: bool = True,
     rate_only: bool = False,
     tracer=None,
+    cache: Optional[CompilationCache] = None,
 ) -> CompiledProgram:
     """Single-phase compilation (cold start, or stop-and-copy which
     holds the complete state before compiling)."""
@@ -271,5 +371,6 @@ def compile_configuration(
     plan = plan_configuration(
         graph, configuration, cost_model, meta_counts,
         check_rates=check_rates, rate_only=rate_only, tracer=tracer,
+        cache=cache,
     )
     return absorb_state(plan, state, tracer=tracer)

@@ -249,7 +249,8 @@ class Reconfigurer:
         app = self.app
         old: GraphInstance = app.current
         stateful = old.program.graph.is_stateful
-        new_graph = app.blueprint()
+        fresh = getattr(app, "fresh_graph", app.blueprint)
+        new_graph = fresh()
 
         if stateful:
             # Phase 1 against the meta program state (boundary counts
@@ -259,6 +260,7 @@ class Reconfigurer:
                 new_graph, configuration, self.cost_model, meta_counts,
                 check_rates=app.check_rates, rate_only=app.rate_only,
                 tracer=app.tracer,
+                cache=getattr(app, "compile_cache", None),
             )
             yield from app.charge_compile_time({
                 node: seconds for node, seconds

@@ -122,6 +122,28 @@ def _format_span(span: Span, indent: int) -> str:
         "  " * indent, span.name, span.start, end, duration, extras)
 
 
+def _compile_cache_summary(tracer: Tracer) -> Optional[str]:
+    """One-line compile-cache summary from the cumulative counter
+    samples :func:`~repro.compiler.two_phase.plan_configuration` emits
+    (latest sample wins; absent when caching is off or never hit)."""
+    latest: Dict[str, int] = {}
+    for _time, category, name, _track, value in tracer.counters:
+        if category == "compile" and name.startswith("cache_"):
+            latest[name] = int(value)
+    if not latest:
+        return None
+    plan_hits = latest.get("cache_plan_hits", 0)
+    plan_total = plan_hits + latest.get("cache_plan_misses", 0)
+    sched_hits = latest.get("cache_schedule_hits", 0)
+    sched_total = sched_hits + latest.get("cache_schedule_misses", 0)
+    hits = plan_hits + sched_hits
+    total = plan_total + sched_total
+    rate = 100.0 * hits / total if total else 0.0
+    return ("compile cache: plans %d/%d hit, schedules %d/%d hit "
+            "(%.0f%% overall)" % (plan_hits, plan_total,
+                                  sched_hits, sched_total, rate))
+
+
 def phase_timeline(tracer: Tracer, category: str = "reconfig") -> str:
     """Human-readable phase timeline of every reconfiguration span."""
     lines: List[str] = []
@@ -147,4 +169,7 @@ def phase_timeline(tracer: Tracer, category: str = "reconfig") -> str:
                 lines.append("  @%9.3f  %s %s" % (
                     time, name,
                     " ".join("%s=%r" % kv for kv in sorted(args.items()))))
+    summary = _compile_cache_summary(tracer)
+    if summary is not None:
+        lines.append(summary)
     return "\n".join(lines)

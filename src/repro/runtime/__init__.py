@@ -18,12 +18,14 @@ and that two-phase compilation absorbs into new blobs.
 
 from repro.runtime.channels import Channel, GRAPH_INPUT, GRAPH_OUTPUT, RateViolationError
 from repro.runtime.state import ProgramState, estimate_bytes
+from repro.runtime.fastpath import FusedPlan
 from repro.runtime.interpreter import GraphInterpreter
 from repro.runtime.executor import BlobRuntime
 
 __all__ = [
     "BlobRuntime",
     "Channel",
+    "FusedPlan",
     "GRAPH_INPUT",
     "GRAPH_OUTPUT",
     "GraphInterpreter",

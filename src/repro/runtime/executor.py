@@ -20,6 +20,7 @@ from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.graph.topology import Edge, StreamGraph
 from repro.runtime.channels import GRAPH_INPUT, GRAPH_OUTPUT, Channel
+from repro.runtime.fastpath import FusedPlan
 from repro.runtime.interpreter import fire_worker
 from repro.runtime.state import ProgramState
 from repro.sched.schedule import Schedule, structural_leftover
@@ -104,6 +105,7 @@ class BlobRuntime:
         self.iteration = 0
         self.consumed_input = 0   # items popped from GRAPH_INPUT (head blob)
         self.emitted_output = 0   # items staged to GRAPH_OUTPUT (tail blob)
+        self._fused: Optional[FusedPlan] = None
 
         # Precomputed per-iteration boundary flows.
         self._steady_in_need: Dict[int, int] = {}
@@ -130,6 +132,72 @@ class BlobRuntime:
             self._steady_ready_len[GRAPH_INPUT] = steady + leftover
             self._init_in_need[GRAPH_INPUT] = init
             self._init_ready_len[GRAPH_INPUT] = (init + leftover) if init else 0
+
+    @classmethod
+    def restore(
+        cls,
+        graph: StreamGraph,
+        schedule: Schedule,
+        worker_ids: Iterable[int],
+        layout,
+        check_rates: bool = True,
+        rate_only: bool = False,
+    ) -> "BlobRuntime":
+        """Rebuild a runtime from a cached structural layout.
+
+        ``layout`` is the compilation cache's record of everything
+        ``__init__`` derives from (graph, schedule, worker set): edge
+        classification, restricted topological order, channel-key
+        bindings and per-iteration boundary flows.  Edge indices and
+        worker ids are stable across blueprint instances, so the only
+        fresh allocations are the (empty) channels themselves — this
+        is what makes a warm phase-1 compile cheap.
+        """
+        self = cls.__new__(cls)
+        self.graph = graph
+        self.schedule = schedule
+        self.worker_ids = set(worker_ids)
+        self.check_rates = check_rates
+        self.rate_only = rate_only
+        self._leftovers = layout.leftovers.copy()
+        edges = graph.edges
+        self.internal_edges = [edges[i] for i in layout.internal_edges]
+        self.boundary_in = [edges[i] for i in layout.boundary_in]
+        self.boundary_out = [edges[i] for i in layout.boundary_out]
+        self.has_head = layout.has_head
+        self.has_tail = layout.has_tail
+        self.channels = {
+            index: Channel()
+            for index in layout.internal_edges + layout.boundary_in
+        }
+        if self.has_head:
+            self.channels[GRAPH_INPUT] = Channel()
+        self.staging = {index: [] for index in layout.boundary_out}
+        if self.has_tail:
+            self.staging[GRAPH_OUTPUT] = []
+        self._staging_channels = {key: Channel() for key in self.staging}
+        self._topo = list(layout.topo)
+        self._in_channels = {}
+        self._out_channels = {}
+        for worker_id, in_keys, out_keys in zip(
+                layout.topo, layout.in_keys, layout.out_keys):
+            self._in_channels[worker_id] = [
+                self.channels[key] for key in in_keys
+            ]
+            self._out_channels[worker_id] = [
+                self._staging_channels[key] if staged else self.channels[key]
+                for staged, key in out_keys
+            ]
+        self.initialized = False
+        self.iteration = 0
+        self.consumed_input = 0
+        self.emitted_output = 0
+        self._fused = None
+        self._steady_in_need = layout.steady_in_need.copy()
+        self._steady_ready_len = layout.steady_ready_len.copy()
+        self._init_in_need = layout.init_in_need.copy()
+        self._init_ready_len = layout.init_ready_len.copy()
+        return self
 
     # -- identity / accounting --------------------------------------------------
 
@@ -267,17 +335,43 @@ class BlobRuntime:
         return self._collect_staging()
 
     def run_steady(self) -> Dict[int, List[Any]]:
-        """Execute one steady-state iteration; return staged outputs."""
+        """Execute one steady-state iteration; return staged outputs.
+
+        Routing: ``rate_only`` keeps its O(boundary) shortcut; the
+        functional unchecked mode takes the fused fast path; only
+        ``check_rates`` keeps canonical per-firing execution with
+        fresh port views.
+        """
         if not self.initialized:
             raise RuntimeError("blob not initialized")
         if self.rate_only:
             staged = self._run_steady_rate_only()
+        elif not self.check_rates:
+            staged = self._run_steady_fused()
         else:
             order = [(w, self.schedule.steady_firings(w)) for w in self._topo]
             self._run_firings(order)
             staged = self._collect_staging()
         self.iteration += 1
         return staged
+
+    def _run_steady_fused(self) -> Dict[int, List[Any]]:
+        if self._fused is None:
+            order = [(w, self.schedule.steady_firings(w))
+                     for w in self._topo]
+            self._fused = FusedPlan(
+                self.graph, order, self._in_channels, self._out_channels,
+                rate_only=False,
+            )
+        before = (
+            self.channels[GRAPH_INPUT].total_popped if self.has_head else 0
+        )
+        self._fused.run(1)
+        if self.has_head:
+            self.consumed_input += (
+                self.channels[GRAPH_INPUT].total_popped - before
+            )
+        return self._collect_staging()
 
     def _run_steady_rate_only(self) -> Dict[int, List[Any]]:
         """O(boundary-items) steady iteration for timing benchmarks.

@@ -1,0 +1,255 @@
+"""The fused steady-state execution fast path.
+
+The reference interpreter executes one firing at a time: every firing
+re-resolves the worker, re-zips its channel lists and (with rate
+checking on) allocates fresh port views.  That is the right shape for
+the canonical oracle and for draining, but steady-state execution
+repeats the *same* firing order every iteration, so all of that
+per-firing work can be done once.
+
+:class:`FusedPlan` compiles a (graph, firing order, channel bindings)
+triple into a linear program: one step per worker with its channels,
+firing count and work function prebound.  Rate conformance is checked
+once — structurally at plan-build time (arity and per-channel flow
+balance over one iteration) and optionally dynamically on the first
+executed iteration through *reusable* port objects — and elided on
+every firing thereafter.
+
+In ``rate_only`` mode a step collapses further: all of a worker's
+firings become one batched ``pop_many`` per input and one batched
+``push_many`` of a preallocated placeholder buffer per output,
+replacing the per-firing ``[None] * push`` allocation in
+:func:`~repro.runtime.interpreter.fire_worker`.  Batching per worker
+is exact because the steady schedule already fires each worker all of
+its repetitions consecutively in topological order.
+
+The plan never changes scheduling decisions: it executes exactly the
+firing order it was built from, so fused output is byte-identical to
+the per-firing interpreter (the test suite asserts this for all
+apps).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.graph.topology import StreamGraph
+from repro.runtime.channels import (
+    Channel,
+    InputPort,
+    OutputPort,
+    RateViolationError,
+)
+
+__all__ = ["FusedPlan", "ReusableInputPort", "ReusableOutputPort"]
+
+
+class ReusableInputPort(InputPort):
+    """An :class:`InputPort` whose budget can be re-armed between firings.
+
+    The slow path allocates a fresh port per firing; the fused path's
+    validated first iteration reuses one port object per (worker,
+    input) pair and just resets its counter.
+    """
+
+    __slots__ = ()
+
+    def reset(self) -> None:
+        self.popped = 0
+
+
+class ReusableOutputPort(OutputPort):
+    """An :class:`OutputPort` with a re-armable budget (see above)."""
+
+    __slots__ = ()
+
+    def reset(self) -> None:
+        self.pushed = 0
+
+
+class _Step:
+    """One worker's firings within a steady iteration, fully prebound."""
+
+    __slots__ = ("worker", "fire", "ins", "outs", "firings",
+                 "in_ports", "out_ports")
+
+    def __init__(self, worker, ins: List[Channel], outs: List[Channel],
+                 firings: int):
+        self.worker = worker
+        self.fire = worker.fire
+        self.ins = ins
+        self.outs = outs
+        self.firings = firings
+        self.in_ports = [
+            ReusableInputPort(channel, pop, peek)
+            for channel, pop, peek in zip(ins, worker.pop_rates,
+                                          worker.peek_rates)
+        ]
+        self.out_ports = [
+            ReusableOutputPort(channel, push)
+            for channel, push in zip(outs, worker.push_rates)
+        ]
+
+
+class FusedPlan:
+    """A steady-state firing order compiled into a linear program.
+
+    ``order`` is the (worker_id, firings) sequence to flatten —
+    typically ``schedule.firing_order()`` for a whole graph, or the
+    blob-restricted equivalent.  ``in_channels`` / ``out_channels``
+    map worker id to already-bound channel lists, exactly as the
+    interpreter and blob executor hold them.
+    """
+
+    def __init__(
+        self,
+        graph: StreamGraph,
+        order: Sequence[Tuple[int, int]],
+        in_channels: Mapping[int, List[Channel]],
+        out_channels: Mapping[int, List[Channel]],
+        rate_only: bool = False,
+    ):
+        self.graph = graph
+        self.rate_only = rate_only
+        self.validated = False
+        self.iterations = 0
+        self._steps: List[_Step] = []
+        for worker_id, firings in order:
+            if firings <= 0:
+                continue
+            worker = graph.worker(worker_id)
+            ins = in_channels[worker_id]
+            outs = out_channels[worker_id]
+            if (len(ins) != worker.n_inputs
+                    or len(outs) != worker.n_outputs):
+                raise RateViolationError(
+                    "%s bound to %d/%d channels, declares %d/%d ports"
+                    % (worker.name, len(ins), len(outs),
+                       worker.n_inputs, worker.n_outputs))
+            self._steps.append(_Step(worker, ins, outs, firings))
+        self._check_flow_balance()
+        # Rate-only linear program: per worker, one batched pop per
+        # input channel and one batched push of a preallocated
+        # placeholder buffer per output channel.  Steps stay in order —
+        # a step's pops may consume what earlier steps pushed this very
+        # iteration, so pops and pushes cannot be hoisted across steps.
+        self._rate_steps: List[Tuple[List[Tuple[Channel, int]],
+                                     List[Tuple[Channel, List[None]]]]] = []
+        for step in self._steps:
+            worker = step.worker
+            pops = [
+                (channel, pop * step.firings)
+                for channel, pop in zip(step.ins, worker.pop_rates)
+                if pop
+            ]
+            pushes = [
+                (channel, [None] * (push * step.firings))
+                for channel, push in zip(step.outs, worker.push_rates)
+                if push
+            ]
+            if pops or pushes:
+                self._rate_steps.append((pops, pushes))
+
+    # -- build-time rate checking -------------------------------------------
+
+    def _check_flow_balance(self) -> None:
+        """Once-per-build rate check, elided from every firing after.
+
+        Any channel both produced and consumed inside the plan must
+        see production equal consumption over one iteration —
+        otherwise the firing order is not a steady schedule for these
+        rates and repeated execution would drift.
+        """
+        # Channels are keyed by object (identity); the tallies are only
+        # ever looked up per step, never iterated, so no ordering leaks.
+        produced: Dict[Channel, int] = {}
+        consumed: Dict[Channel, int] = {}
+        for step in self._steps:
+            worker = step.worker
+            for channel, pop in zip(step.ins, worker.pop_rates):
+                consumed[channel] = (consumed.get(channel, 0)
+                                     + pop * step.firings)
+            for channel, push in zip(step.outs, worker.push_rates):
+                produced[channel] = (produced.get(channel, 0)
+                                     + push * step.firings)
+        for step in self._steps:
+            worker = step.worker
+            for channel in step.ins:
+                if (channel in produced
+                        and produced[channel] != consumed[channel]):
+                    raise RateViolationError(
+                        "unbalanced channel into %s: %d produced, "
+                        "%d consumed per iteration"
+                        % (worker.name, produced[channel],
+                           consumed[channel]))
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def firings_per_iteration(self) -> int:
+        return sum(step.firings for step in self._steps)
+
+    # -- execution -----------------------------------------------------------
+
+    def run_iteration(self) -> None:
+        """One steady iteration with all checks elided."""
+        if self.rate_only:
+            for pops, pushes in self._rate_steps:
+                for channel, count in pops:
+                    channel.pop_many(count)
+                for channel, buffer in pushes:
+                    channel.push_many(buffer)
+        else:
+            for step in self._steps:
+                fire = step.fire
+                ins = step.ins
+                outs = step.outs
+                for _ in range(step.firings):
+                    fire(ins, outs)
+        self.iterations += 1
+
+    def run_iteration_validated(self) -> None:
+        """One steady iteration through reusable rate-enforcing ports.
+
+        Used for the first executed iteration: dynamically proves that
+        every worker honors its declared rates against this plan's
+        bindings, after which per-firing checks are elided for good.
+        Rate-only mode needs no dynamic pass — ``pop_many`` already
+        enforces the only property placeholders have.
+        """
+        if self.rate_only:
+            self.run_iteration()
+            self.validated = True
+            return
+        for step in self._steps:
+            fire = step.fire
+            in_ports = step.in_ports
+            out_ports = step.out_ports
+            name = step.worker.name
+            for _ in range(step.firings):
+                for port in in_ports:
+                    port.reset()
+                for port in out_ports:
+                    port.reset()
+                fire(in_ports, out_ports)
+                for port in in_ports:
+                    port.finish(name)
+                for port in out_ports:
+                    port.finish(name)
+        self.iterations += 1
+        self.validated = True
+
+    def run(self, iterations: int = 1, validate_first: bool = True) -> None:
+        """Execute ``iterations`` steady iterations.
+
+        The first iteration ever executed runs through the validated
+        path when ``validate_first`` (the rate check "performed once");
+        all subsequent iterations take the raw fused path.
+        """
+        if iterations <= 0:
+            return
+        if validate_first and not self.validated:
+            self.run_iteration_validated()
+            iterations -= 1
+        for _ in range(iterations):
+            self.run_iteration()

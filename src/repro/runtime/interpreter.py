@@ -10,6 +10,7 @@ Section 4.1).
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.graph.topology import StreamGraph
@@ -21,6 +22,7 @@ from repro.runtime.channels import (
     InputPort,
     OutputPort,
 )
+from repro.runtime.fastpath import FusedPlan
 from repro.runtime.state import ProgramState
 from repro.sched.schedule import Schedule, make_schedule
 
@@ -108,6 +110,32 @@ class GraphInterpreter:
                              for p in range(worker.n_outputs))
             ]
         self._topo = graph.topological_order()
+        # Prebound per-worker firing context: resolving the worker and
+        # its peek requirements once here keeps them out of the
+        # per-firing loops in can_fire/fire.
+        self._fire_bindings: Dict[int, Tuple[Worker, List[Channel],
+                                             List[Channel]]] = {}
+        self._peek_bindings: Dict[int, List[Tuple[Channel, int]]] = {}
+        for worker in graph.workers:
+            worker_id = worker.worker_id
+            self._fire_bindings[worker_id] = (
+                worker,
+                self._in_channels[worker_id],
+                self._out_channels[worker_id],
+            )
+            self._peek_bindings[worker_id] = [
+                (channel, peek)
+                for channel, peek in zip(self._in_channels[worker_id],
+                                         worker.peek_rates)
+                if peek > 0
+            ]
+        # Worklist support for drain(): topo position and successors.
+        self._topo_position = {w: i for i, w in enumerate(self._topo)}
+        self._successors = {
+            w: list(dict.fromkeys(graph.successors(w)))
+            for w in self._topo
+        }
+        self._fused: Optional[FusedPlan] = None
         self.initialized = False
         self.iteration = 0
 
@@ -136,17 +164,15 @@ class GraphInterpreter:
     # -- firing ----------------------------------------------------------------
 
     def can_fire(self, worker_id: int) -> bool:
-        worker = self.graph.worker(worker_id)
-        for channel, peek in zip(self._in_channels[worker_id], worker.peek_rates):
+        for channel, peek in self._peek_bindings[worker_id]:
             if len(channel) < peek:
                 return False
         return True
 
     def fire(self, worker_id: int) -> None:
+        worker, ins, outs = self._fire_bindings[worker_id]
         fire_worker(
-            self.graph.worker(worker_id),
-            self._in_channels[worker_id],
-            self._out_channels[worker_id],
+            worker, ins, outs,
             check_rates=self.check_rates,
             rate_only=self.rate_only,
         )
@@ -165,10 +191,28 @@ class GraphInterpreter:
         self._run_order(self.schedule.init_order())
         self.initialized = True
 
+    def _fused_plan(self) -> FusedPlan:
+        if self._fused is None:
+            self._fused = FusedPlan(
+                self.graph, self.schedule.firing_order(),
+                self._in_channels, self._out_channels,
+                rate_only=self.rate_only,
+            )
+        return self._fused
+
     def run_steady(self, iterations: int = 1) -> None:
-        """Execute ``iterations`` steady-state iterations."""
+        """Execute ``iterations`` steady-state iterations.
+
+        Steady iterations route through the fused fast path unless
+        ``check_rates`` demands canonical per-firing validation; init
+        and drain always stay per-firing.
+        """
         if not self.initialized:
             self.run_init()
+        if self.rate_only or not self.check_rates:
+            self._fused_plan().run(iterations)
+            self.iteration += iterations
+            return
         order = self.schedule.firing_order()
         for _ in range(iterations):
             self._run_order(order)
@@ -181,18 +225,17 @@ class GraphInterpreter:
         finite input prefix.
         """
         self.push_input(items)
+        head = self.graph.head
+        head_extra = max(head.peek_rates[0] - head.pop_rates[0], 0)
         if not self.initialized:
-            if len(self.channels[GRAPH_INPUT]) >= self.schedule.init_in + max(
-                self.graph.head.peek_rates[0] - self.graph.head.pop_rates[0], 0
+            if len(self.channels[GRAPH_INPUT]) >= (
+                self.schedule.init_in + head_extra
             ):
                 self.run_init()
             else:
                 self.drain()
                 return self.take_output()
         steady_in = self.schedule.steady_in
-        head_extra = max(
-            self.graph.head.peek_rates[0] - self.graph.head.pop_rates[0], 0
-        )
         while len(self.channels[GRAPH_INPUT]) >= steady_in + head_extra:
             self.run_steady()
         self.drain()
@@ -204,16 +247,36 @@ class GraphInterpreter:
         This flushes everything flushable; items pinned by peeking
         buffers or indivisible pop chunks stay behind (paper
         footnote 2).
+
+        Worklist formulation: a worker is only (re)examined when one of
+        its input channels changed since its last attempt.  Seeded with
+        the full topological order and processed in topo position, a
+        worker's predecessors are always exhausted before it runs, so
+        firing counts and outputs match the naive fixpoint scan that
+        re-walks the whole order until quiescence.
         """
         total = 0
-        progress = True
-        while progress:
-            progress = False
-            for worker_id in self._topo:
-                while self.can_fire(worker_id):
-                    self.fire(worker_id)
-                    total += 1
-                    progress = True
+        position = self._topo_position
+        heap = list(range(len(self._topo)))  # positions, already sorted
+        pending = set(self._topo)
+        while heap:
+            worker_id = self._topo[heapq.heappop(heap)]
+            if worker_id not in pending:
+                continue
+            pending.discard(worker_id)
+            fired = False
+            while self.can_fire(worker_id):
+                self.fire(worker_id)
+                total += 1
+                fired = True
+            if not fired:
+                continue
+            # This worker's outputs changed: requeue any successor not
+            # already awaiting examination.
+            for successor in self._successors[worker_id]:
+                if successor not in pending:
+                    pending.add(successor)
+                    heapq.heappush(heap, position[successor])
         return total
 
     def run_to_boundary(self, iteration: int) -> None:

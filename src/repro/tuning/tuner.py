@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.compiler.cache import get_default_cache
 from repro.tuning.search_space import ConfigurationSpace, TuningPoint
 
 __all__ = ["OnlineAutotuner"]
@@ -52,7 +53,8 @@ class OnlineAutotuner:
             throughput = yield from self._measure()
             self.history.append((candidate, throughput))
             app.note("tuning_trial", trial=trial + 1,
-                     point=candidate.describe(), throughput=throughput)
+                     point=candidate.describe(), throughput=throughput,
+                     **self._cache_stats())
             if throughput > self.best[1]:
                 self.best = (candidate, throughput)
         # Settle on the best seen if the last trial was not it.
@@ -68,3 +70,19 @@ class OnlineAutotuner:
         before = self.app.series.total_items
         yield env.timeout(self.measure_seconds)
         return (self.app.series.total_items - before) / self.measure_seconds
+
+    def _cache_stats(self) -> dict:
+        """Compilation-cache counters for the per-trial note.
+
+        Revisited/neighboring points reuse schedules and phase-1
+        pseudo-blobs, so the hit rate should climb as the climber
+        narrows in; zero when caching is disabled.
+        """
+        cache = getattr(self.app, "compile_cache", None) or get_default_cache()
+        if cache is None:
+            return {}
+        return {
+            "cache_hit_rate": round(cache.hit_rate(), 4),
+            "cache_plan_hits": cache.plan_hits,
+            "cache_schedule_hits": cache.schedule_hits,
+        }

@@ -1,0 +1,303 @@
+"""Compilation cache: fingerprints, hit/miss behavior, rehydration.
+
+The cache's correctness claim is the paper's phase-1 claim (Section
+5.1): phase-1 output depends only on (graph structure, configuration,
+meta program state).  These tests pin the three legs: fingerprints are
+stable across blueprint instances and sensitive to real structural
+change; lookups hit exactly when the fingerprints match; and a
+rehydrated plan is behaviorally identical to a cold compile.
+"""
+
+import pytest
+
+from repro.apps import app_registry, get_app
+from repro.compiler import (
+    CostModel,
+    absorb_state,
+    partition_even,
+    plan_configuration,
+    single_blob_configuration,
+)
+from repro.compiler.cache import (
+    CompilationCache,
+    cached_schedule,
+    configuration_fingerprint,
+    graph_fingerprint,
+    meta_fingerprint,
+    set_default_cache,
+    stamp_structure_key,
+    structure_key,
+)
+from repro.obs import Tracer
+from repro.runtime import GRAPH_INPUT, GRAPH_OUTPUT
+from repro.sched import make_schedule
+
+from tests.conftest import (
+    medium_stateful,
+    medium_stateless,
+    sample_input,
+    simple_pipeline,
+)
+
+APP_NAMES = sorted(app_registry())
+
+
+class TestFingerprints:
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_stable_across_blueprint_instances(self, name):
+        blueprint = get_app(name).blueprint(scale=2)
+        assert graph_fingerprint(blueprint()) == graph_fingerprint(blueprint())
+
+    def test_distinct_across_apps(self):
+        prints = {graph_fingerprint(get_app(n).blueprint(scale=2)())
+                  for n in APP_NAMES}
+        assert len(prints) == len(APP_NAMES)
+
+    def test_scale_changes_fingerprint(self):
+        spec = get_app("BeamFormer")
+        assert (graph_fingerprint(spec.blueprint(scale=1)())
+                != graph_fingerprint(spec.blueprint(scale=2)()))
+
+    def test_configuration_ignores_name_and_placement(self):
+        graph = medium_stateless()
+        on_01 = partition_even(graph, [0, 1], name="first")
+        on_59 = partition_even(graph, [5, 9], name="second")
+        assert (configuration_fingerprint(on_01)
+                == configuration_fingerprint(on_59))
+
+    def test_configuration_sensitive_to_structure(self):
+        graph = medium_stateless()
+        two = partition_even(graph, [0, 1])
+        three = partition_even(graph, [0, 1, 2])
+        scaled = partition_even(graph, [0, 1], multiplier=2)
+        prints = {configuration_fingerprint(c) for c in (two, three, scaled)}
+        assert len(prints) == 3
+
+    def test_meta_fingerprint_drops_zero_counts(self):
+        assert meta_fingerprint({0: 0, 3: 2}) == meta_fingerprint({3: 2})
+        assert meta_fingerprint({0: 0}) == meta_fingerprint(None)
+        assert meta_fingerprint({3: 2}) != meta_fingerprint({3: 1})
+
+    def test_structure_key_memoized_and_stampable(self):
+        blueprint = get_app("FMRadio").blueprint(scale=2)
+        first = blueprint()
+        key = structure_key(first)
+        assert structure_key(first) is key  # memoized on the instance
+        second = blueprint()
+        stamp_structure_key(second, key)
+        assert structure_key(second) is key
+        # The stamp must agree with what keying from scratch would say.
+        assert structure_key(blueprint()) == key
+
+
+class TestScheduleCache:
+    def test_hit_on_repeat_and_solution_identical(self):
+        cache = CompilationCache()
+        first = medium_stateful()
+        second = medium_stateful()
+        cold = cache.schedule_for(first, multiplier=2)
+        warm = cache.schedule_for(second, multiplier=2)
+        assert cache.schedule_misses == 1 and cache.schedule_hits == 1
+        assert warm.graph is second  # bound to the caller's instance
+        assert warm.repetitions == cold.repetitions
+        assert warm.init == cold.init
+        reference = make_schedule(medium_stateful(), multiplier=2)
+        assert warm.repetitions == reference.repetitions
+        assert warm.init == reference.init
+
+    def test_hits_return_isolated_dictionaries(self):
+        cache = CompilationCache()
+        cache.schedule_for(simple_pipeline())
+        warm = cache.schedule_for(simple_pipeline())
+        warm.repetitions[0] += 99
+        warm.init[0] = 123
+        again = cache.schedule_for(simple_pipeline())
+        reference = make_schedule(simple_pipeline())
+        assert again.repetitions == reference.repetitions
+        assert again.init == reference.init
+
+    def test_miss_on_multiplier_and_contents(self):
+        cache = CompilationCache()
+        graph = simple_pipeline()
+        cache.schedule_for(graph, multiplier=1)
+        cache.schedule_for(graph, multiplier=2)
+        edge = graph.edges[0].index
+        cache.schedule_for(graph, multiplier=1,
+                           initial_contents={edge: 2})
+        # An explicit zero is the same meta state as an absent edge.
+        cache.schedule_for(graph, multiplier=1,
+                           initial_contents={edge: 0})
+        assert cache.schedule_misses == 3
+        assert cache.schedule_hits == 1
+
+    def test_fifo_eviction_at_capacity(self):
+        cache = CompilationCache(max_entries=2)
+        graph = simple_pipeline()
+        for multiplier in (1, 2, 3):
+            cache.schedule_for(graph, multiplier=multiplier)
+        cache.schedule_for(graph, multiplier=1)  # evicted: miss again
+        cache.schedule_for(graph, multiplier=3)  # still resident: hit
+        assert cache.schedule_misses == 4
+        assert cache.schedule_hits == 1
+
+    def test_counters_and_hit_rate(self):
+        cache = CompilationCache()
+        assert cache.hit_rate() == 0.0
+        cache.schedule_for(simple_pipeline())
+        cache.schedule_for(simple_pipeline())
+        assert cache.counters()["schedule_hits"] == 1
+        assert cache.hit_rate() == pytest.approx(0.5)
+        cache.clear()
+        assert cache.hit_rate() == 0.0 and not cache.counters()["schedule_hits"]
+
+
+def _run_program(program, iterations):
+    """Drive a single-blob compiled program and return its output."""
+    runtime = program.blobs[0].runtime
+    schedule = program.schedule
+    head = runtime.graph.head
+    head_extra = max(head.peek_rates[0] - head.pop_rates[0], 0)
+    needed = (schedule.init_in + head_extra
+              + schedule.steady_in * iterations)
+    runtime.deliver(GRAPH_INPUT, [sample_input(i) for i in range(needed)])
+    outputs = []
+    outputs.extend(runtime.run_init().get(GRAPH_OUTPUT, []))
+    for _ in range(iterations):
+        assert runtime.ready_for_steady(), runtime.steady_shortfall()
+        outputs.extend(runtime.run_steady().get(GRAPH_OUTPUT, []))
+    return outputs
+
+
+class TestPlanCache:
+    def test_hit_on_repeat_compile(self):
+        cache = CompilationCache()
+        configuration = partition_even(medium_stateless(), [0, 1])
+        plan_configuration(medium_stateless(), configuration, CostModel(),
+                           cache=cache)
+        plan_configuration(medium_stateless(), configuration, CostModel(),
+                           cache=cache)
+        assert cache.plan_misses == 1 and cache.plan_hits == 1
+
+    def test_miss_on_configuration_meta_or_depth_change(self):
+        cache = CompilationCache()
+        graph = medium_stateful()
+        base = partition_even(graph, [0, 1])
+        model = CostModel()
+        plan_configuration(graph, base, model, cache=cache)
+        plan_configuration(graph, partition_even(graph, [0, 1, 2]),
+                           model, cache=cache)
+        edge = graph.edges[0].index
+        plan_configuration(graph, base, model, meta_counts={edge: 2},
+                           cache=cache)
+        plan_configuration(graph, base, model.scaled(pipeline_depth=3),
+                           cache=cache)
+        assert cache.plan_misses == 4 and cache.plan_hits == 0
+        # And each variant now hits on its own repeat.
+        plan_configuration(graph, base, model, cache=cache)
+        plan_configuration(graph, base, model, meta_counts={edge: 2},
+                           cache=cache)
+        assert cache.plan_hits == 2
+
+    def test_rehydrated_plan_structurally_identical(self):
+        cache = CompilationCache()
+        configuration = partition_even(medium_stateful(), [0, 1],
+                                       multiplier=2)
+        cold = plan_configuration(medium_stateful(), configuration,
+                                  CostModel(), cache=cache)
+        warm = plan_configuration(medium_stateful(), configuration,
+                                  CostModel(), cache=cache)
+        assert cache.plan_hits == 1
+        assert warm.schedule.repetitions == cold.schedule.repetitions
+        assert warm.schedule.init == cold.schedule.init
+        assert warm.schedule.initial_contents == cold.schedule.initial_contents
+        for fresh, original in zip(warm.pseudo_blobs, cold.pseudo_blobs):
+            a, b = fresh.runtime, original.runtime
+            assert a.graph is not b.graph  # bound to the new instance
+            assert a._topo == b._topo
+            assert ([e.index for e in a.internal_edges]
+                    == [e.index for e in b.internal_edges])
+            assert ([e.index for e in a.boundary_in]
+                    == [e.index for e in b.boundary_in])
+            assert ([e.index for e in a.boundary_out]
+                    == [e.index for e in b.boundary_out])
+            assert (a.has_head, a.has_tail) == (b.has_head, b.has_tail)
+            assert a._steady_in_need == b._steady_in_need
+            assert a._init_in_need == b._init_in_need
+            assert a._leftovers == b._leftovers
+            assert fresh.fused_edges == original.fused_edges
+            assert fresh.removed_workers == original.removed_workers
+
+    def test_rehydrated_program_output_byte_identical(self):
+        cache = CompilationCache()
+        configuration = single_blob_configuration(medium_stateful(),
+                                                  multiplier=2)
+        cold = absorb_state(
+            plan_configuration(medium_stateful(), configuration,
+                               CostModel(), cache=cache), None)
+        warm = absorb_state(
+            plan_configuration(medium_stateful(), configuration,
+                               CostModel(), cache=cache), None)
+        assert cache.plan_hits == 1
+        assert _run_program(warm, 4) == _run_program(cold, 4)
+
+    def test_tracer_sees_cache_counters(self):
+        cache = CompilationCache()
+        tracer = Tracer(lambda: 0.0)
+        configuration = partition_even(medium_stateless(), [0, 1])
+        for _ in range(2):
+            plan_configuration(medium_stateless(), configuration,
+                               CostModel(), tracer=tracer, cache=cache)
+        recorded = {name: value for _, _, name, _, value in tracer.counters}
+        assert recorded["cache_plan_hits"] == 1
+        assert recorded["cache_plan_misses"] == 1
+
+
+class TestDefaultCache:
+    def test_cached_schedule_uses_default_cache(self):
+        previous = set_default_cache(CompilationCache())
+        try:
+            cached_schedule(simple_pipeline())
+            cached_schedule(simple_pipeline())
+            cache = set_default_cache(previous)
+            assert cache.schedule_hits == 1
+        finally:
+            set_default_cache(previous)
+
+    def test_disabled_cache_falls_back_to_direct_solve(self):
+        previous = set_default_cache(None)
+        try:
+            schedule = cached_schedule(simple_pipeline(), multiplier=2)
+            reference = make_schedule(simple_pipeline(), multiplier=2)
+            assert schedule.repetitions == reference.repetitions
+            plan = plan_configuration(
+                medium_stateless(),
+                partition_even(medium_stateless(), [0, 1]),
+                CostModel())
+            assert plan.pseudo_blobs
+        finally:
+            set_default_cache(previous)
+
+    def test_apps_get_isolated_caches(self):
+        """Each StreamApp owns a fresh cache so identical runs yield
+        identical hit/miss traces regardless of process history."""
+        from repro.cluster import Cluster
+        from repro.cluster.app import StreamApp
+        cluster = Cluster(n_nodes=2)
+        first = StreamApp(cluster, simple_pipeline)
+        second = StreamApp(cluster, simple_pipeline)
+        assert first.compile_cache is not second.compile_cache
+        configuration = single_blob_configuration(first.fresh_graph())
+        first.compile(configuration)
+        first.compile(configuration)
+        assert first.compile_cache.plan_misses == 1
+        assert first.compile_cache.plan_hits == 1
+        assert second.compile_cache.plan_misses == 0
+
+    def test_fresh_graph_reuses_blueprint_structure_key(self):
+        from repro.cluster import Cluster
+        from repro.cluster.app import StreamApp
+        app = StreamApp(Cluster(n_nodes=2), simple_pipeline)
+        first = app.fresh_graph()
+        second = app.fresh_graph()
+        assert second is not first
+        assert structure_key(second) is structure_key(first)

@@ -1,0 +1,246 @@
+"""Fused fast-path equivalence: byte-identical to the per-firing oracle.
+
+The fused plan must never change observable semantics — same outputs,
+same captured state, same channel counters as the canonical per-firing
+interpreter, for every registered application and for random SDF
+graphs.  Also pins the worklist drain against the naive fixpoint scan
+and the per-step batching of rate-only mode (a plan that hoisted all
+pops before all pushes would underflow internal channels).
+"""
+
+import copy
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import app_registry, get_app
+from repro.graph import Pipeline
+from repro.graph.library import ScaleFilter
+from repro.runtime import GraphInterpreter, RateViolationError
+from repro.runtime.fastpath import FusedPlan
+
+from tests.conftest import ALL_GRAPH_FACTORIES, sample_input
+from tests.test_ast_properties import random_sdf_graph
+
+APP_NAMES = sorted(app_registry())
+SCALE = 2
+ITERATIONS = 3
+
+
+def _provision(interp, input_fn, iterations, slack=8):
+    """Buffer input for init plus ``iterations`` steady iterations."""
+    head = interp.graph.head
+    head_extra = (max(head.peek_rates[0] - head.pop_rates[0], 0)
+                  if head is not None and head.n_inputs else 0)
+    needed = (interp.schedule.init_in + head_extra
+              + interp.schedule.steady_in * iterations + slack)
+    if input_fn is None:
+        interp.push_input([None] * needed)
+    else:
+        interp.push_input([input_fn(i) for i in range(needed)])
+
+
+def _steady_per_firing(interp, iterations):
+    """The pre-fused steady loop: one firing at a time, in order."""
+    order = interp.schedule.firing_order()
+    for _ in range(iterations):
+        for worker_id, firings in order:
+            for _ in range(firings):
+                interp.fire(worker_id)
+        interp.iteration += 1
+
+
+def _assert_states_equal(fast, slow):
+    assert fast.consumed == slow.consumed
+    assert fast.emitted == slow.emitted
+    assert fast.worker_states == slow.worker_states
+    assert fast.edge_contents == slow.edge_contents
+
+
+class TestFusedEquivalence:
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_app_output_and_state_byte_identical(self, name):
+        """Fused steady execution == canonical oracle on all nine apps."""
+        spec = get_app(name)
+        blueprint = spec.blueprint(scale=SCALE)
+        oracle = GraphInterpreter(blueprint(), check_rates=True)
+        fused = GraphInterpreter(blueprint(), check_rates=False)
+        for interp in (oracle, fused):
+            _provision(interp, spec.input_fn, ITERATIONS)
+            interp.run_init()
+            interp.run_steady(ITERATIONS)
+        # check_rates=False must actually have routed through the plan.
+        assert fused._fused is not None
+        assert fused._fused.iterations == ITERATIONS
+        assert fused._fused.validated
+        assert oracle._fused is None
+        assert fused.take_output() == oracle.take_output()
+        _assert_states_equal(fused.capture_state(), oracle.capture_state())
+
+    @pytest.mark.parametrize("factory", ALL_GRAPH_FACTORIES,
+                             ids=lambda f: f.__name__)
+    def test_factory_graphs_byte_identical(self, factory):
+        oracle = GraphInterpreter(factory(), check_rates=True)
+        fused = GraphInterpreter(factory(), check_rates=False)
+        for interp in (oracle, fused):
+            _provision(interp, sample_input, ITERATIONS)
+            interp.run_init()
+            interp.run_steady(ITERATIONS)
+        assert fused.take_output() == oracle.take_output()
+        _assert_states_equal(fused.capture_state(), oracle.capture_state())
+
+    @given(random_sdf_graph(), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_property_fused_matches_oracle(self, graph, iterations):
+        twin = copy.deepcopy(graph)
+        oracle = GraphInterpreter(graph, check_rates=True)
+        fused = GraphInterpreter(twin, check_rates=False)
+        for interp in (oracle, fused):
+            _provision(interp, sample_input, iterations)
+            interp.run_init()
+            interp.run_steady(iterations)
+        assert fused.take_output() == oracle.take_output()
+        _assert_states_equal(fused.capture_state(), oracle.capture_state())
+
+
+class TestRateOnlyBatching:
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_rate_only_counters_match_per_firing(self, name):
+        """Per-step batched pops/pushes must interleave exactly like the
+        per-firing loop.  A plan that hoisted all pops ahead of all
+        pushes would pop empty internal channels here (regression for
+        the flat-batch bug caught on BeamFormer)."""
+        spec = get_app(name)
+        blueprint = spec.blueprint(scale=SCALE)
+        baseline = GraphInterpreter(blueprint(), check_rates=False,
+                                    rate_only=True)
+        fused = GraphInterpreter(blueprint(), check_rates=False,
+                                 rate_only=True)
+        for interp in (baseline, fused):
+            _provision(interp, None, ITERATIONS)
+            interp.run_init()
+        _steady_per_firing(baseline, ITERATIONS)
+        fused.run_steady(ITERATIONS)
+        assert fused.consumed == baseline.consumed
+        assert fused.emitted == baseline.emitted
+        for edge in fused.graph.edges:
+            fast = fused.channels[edge.index]
+            slow = baseline.channels[edge.index]
+            assert (len(fast), fast.total_pushed, fast.total_popped) == \
+                (len(slow), slow.total_pushed, slow.total_popped), edge.index
+
+
+class TestFusedPlanChecks:
+    def _interp(self, factory=None):
+        from tests.conftest import simple_pipeline
+        return GraphInterpreter((factory or simple_pipeline)(),
+                                check_rates=False)
+
+    def test_unbalanced_order_rejected_at_build(self):
+        """Flow balance is proven once at plan-build time."""
+        interp = self._interp()
+        order = [(worker_id, firings * (2 if index == 1 else 1))
+                 for index, (worker_id, firings)
+                 in enumerate(interp.schedule.firing_order())]
+        with pytest.raises(RateViolationError):
+            FusedPlan(interp.graph, order,
+                      interp._in_channels, interp._out_channels)
+
+    def test_wrong_channel_arity_rejected_at_build(self):
+        interp = self._interp()
+        order = interp.schedule.firing_order()
+        truncated = {w: [] for w in interp._in_channels}
+        with pytest.raises(RateViolationError):
+            FusedPlan(interp.graph, order,
+                      truncated, interp._out_channels)
+
+    def test_first_iteration_validates_worker_rates(self):
+        """A worker that lies about its rates is caught on the plan's
+        first (validated) iteration, even with check_rates=False."""
+        class Greedy(ScaleFilter):
+            def work(self, input, output):
+                output.push(input.pop())
+                input.pop()  # one more than the declared pop rate
+
+        graph = Pipeline(ScaleFilter(1.0), Greedy(1.0)).flatten()
+        interp = GraphInterpreter(graph, check_rates=False)
+        _provision(interp, sample_input, 2)
+        interp.run_init()
+        with pytest.raises(RateViolationError):
+            interp.run_steady(1)
+
+    def test_validation_runs_exactly_once(self):
+        interp = self._interp()
+        _provision(interp, sample_input, 4)
+        interp.run_init()
+        interp.run_steady(1)
+        plan = interp._fused
+        assert plan.validated and plan.iterations == 1
+        interp.run_steady(3)
+        assert plan.iterations == 4
+
+    def test_zero_iterations_is_a_noop(self):
+        interp = self._interp()
+        _provision(interp, sample_input, 1)
+        interp.run_init()
+        before = interp.consumed
+        plan = interp._fused_plan()
+        plan.run(0)
+        assert plan.iterations == 0 and not plan.validated
+        assert interp.consumed == before
+
+    def test_firings_per_iteration_matches_schedule(self):
+        interp = self._interp()
+        plan = interp._fused_plan()
+        assert plan.firings_per_iteration == sum(
+            firings for _, firings in interp.schedule.firing_order())
+
+
+class TestWorklistDrain:
+    @staticmethod
+    def _naive_drain(interp):
+        """The fixpoint reference: rescan the whole topological order
+        until a full pass fires nothing."""
+        total = 0
+        progressed = True
+        while progressed:
+            progressed = False
+            for worker_id in interp._topo:
+                while interp.can_fire(worker_id):
+                    interp.fire(worker_id)
+                    total += 1
+                    progressed = True
+        return total
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_drain_matches_fixpoint_on_app(self, name):
+        spec = get_app(name)
+        blueprint = spec.blueprint(scale=SCALE)
+        worklist = GraphInterpreter(blueprint(), check_rates=True)
+        naive = GraphInterpreter(blueprint(), check_rates=True)
+        # Partial input beyond one steady quantum so draining has real
+        # work that stops mid-graph.
+        extra = worklist.schedule.steady_in + worklist.schedule.steady_in // 2 + 3
+        for interp in (worklist, naive):
+            _provision(interp, spec.input_fn, 0, slack=0)
+            interp.push_input([spec.input_fn(10_000 + i) for i in range(extra)])
+            interp.run_init()
+        fired_worklist = worklist.drain()
+        fired_naive = self._naive_drain(naive)
+        assert fired_worklist == fired_naive
+        assert worklist.take_output() == naive.take_output()
+        _assert_states_equal(worklist.capture_state(), naive.capture_state())
+
+    @pytest.mark.parametrize("factory", ALL_GRAPH_FACTORIES,
+                             ids=lambda f: f.__name__)
+    def test_drain_matches_fixpoint_on_factories(self, factory):
+        worklist = GraphInterpreter(factory(), check_rates=True)
+        naive = GraphInterpreter(factory(), check_rates=True)
+        extra = worklist.schedule.steady_in * 2 + 1
+        for interp in (worklist, naive):
+            _provision(interp, sample_input, 0, slack=0)
+            interp.push_input([sample_input(10_000 + i) for i in range(extra)])
+            interp.run_init()
+        assert worklist.drain() == self._naive_drain(naive)
+        assert worklist.take_output() == naive.take_output()
+        _assert_states_equal(worklist.capture_state(), naive.capture_state())
