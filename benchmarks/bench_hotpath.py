@@ -1,13 +1,17 @@
 """Hot-path benchmark: fused steady-state firing and compile caching.
 
-Two measurements per application (all nine registered apps):
+Three measurements per application (all nine registered apps):
 
 1. **Steady-state firing throughput** — firings/sec of the canonical
    per-firing interpreter loop vs the :class:`FusedPlan` fast path.
    The headline mode is ``rate_only`` (what the timing experiments
    run); functional mode (real work functions, ``check_rates=False``)
    is reported as a secondary column.
-2. **Cold vs warm compilation** — wall time of
+2. **Vectorized backend throughput** — scalar fused vs vectorized
+   fused, both at a boosted schedule multiplier so each batch kernel
+   call covers hundreds of firings (the regime the backend exists
+   for; at multiplicity 1 a batch call degenerates to one firing).
+3. **Cold vs warm compilation** — wall time of
    :func:`plan_configuration` with an empty
    :class:`CompilationCache` (miss: schedule + pseudo-blob
    construction) vs a primed one (hit: rehydration only).
@@ -16,6 +20,8 @@ Writes ``BENCH_hotpath.json`` at the repo root and gates the targets:
 
 * fused speedup >= 2x on Synthetic (rate-only),
 * geomean fused speedup >= 1.5x across the nine apps (rate-only),
+* vectorized speedup >= 5x over scalar fused on Synthetic,
+* geomean vectorized speedup >= 3x across the numeric apps,
 * warm phase-1 time <= 10% of cold, averaged across apps.
 
 Usage::
@@ -46,6 +52,7 @@ from repro.compiler.cost_model import CostModel  # noqa: E402
 from repro.compiler.partition import partition_even  # noqa: E402
 from repro.compiler.two_phase import plan_configuration  # noqa: E402
 from repro.runtime.interpreter import GraphInterpreter  # noqa: E402
+from repro.sched.schedule import make_schedule  # noqa: E402
 
 RESULT_PATH = os.path.join(_REPO_ROOT, "BENCH_hotpath.json")
 
@@ -57,6 +64,17 @@ TARGET_REP_SECONDS = 0.15
 GATE_SYNTHETIC_SPEEDUP = 2.0
 GATE_GEOMEAN_SPEEDUP = 1.5
 GATE_WARM_COLD_RATIO = 0.10
+
+#: Schedule multiplier for the vectorized tier: each steady iteration
+#: fires every worker repetitions x this many times, so one batch call
+#: covers hundreds of firings.
+VECTOR_MULTIPLIER = 256
+#: Apps whose hot loops are dominated by numeric per-item work (the
+#: workloads the vectorized backend targets); the geomean gate runs
+#: over these.  The remaining apps are measured and reported too.
+NUMERIC_APPS = ("BeamFormer", "FMRadio", "FilterBank", "Synthetic")
+GATE_VECTOR_SYNTHETIC_SPEEDUP = 5.0
+GATE_VECTOR_GEOMEAN_SPEEDUP = 3.0
 
 
 def _provision(interp, input_fn, iterations):
@@ -132,6 +150,54 @@ def _bench_firing_mode(spec, rate_only):
     }
 
 
+def _bench_vectorized(spec):
+    """Best-of-REPS scalar-fused vs vectorized-fused at a boosted
+    schedule multiplier (real data, ``check_rates=False``)."""
+    blueprint = spec.blueprint(scale=SCALE)
+    input_fn = spec.input_fn
+
+    def build(vectorize):
+        graph = blueprint()
+        schedule = make_schedule(graph, multiplier=VECTOR_MULTIPLIER)
+        return GraphInterpreter(graph, schedule=schedule,
+                                check_rates=False, vectorize=vectorize)
+
+    probe = build(False)
+    _provision(probe, input_fn, 2)
+    probe.run_init()
+    probe.run_steady(1)  # plan built outside the timing
+    start = time.perf_counter()
+    probe.run_steady(1)
+    per_iteration = max(time.perf_counter() - start, 1e-7)
+    iterations = max(2, min(int(TARGET_REP_SECONDS / per_iteration), 200))
+
+    best = {}
+    for label, vectorize in (("scalar", False), ("vectorized", True)):
+        interp = build(vectorize)
+        _provision(interp, input_fn, iterations * REPS + 1)
+        interp.run_init()
+        interp.run_steady(1)
+        assert interp._fused.mode == ("vectorized" if vectorize
+                                      else "scalar"), interp._fused.mode
+        elapsed = float("inf")
+        for _ in range(REPS):
+            start = time.perf_counter()
+            interp.run_steady(iterations)
+            elapsed = min(elapsed, time.perf_counter() - start)
+        best[label] = elapsed
+
+    firings = sum(f for _, f in probe.schedule.firing_order())
+    return {
+        "multiplier": VECTOR_MULTIPLIER,
+        "iterations_per_rep": iterations,
+        "firings_per_iteration": firings,
+        "scalar_firings_per_sec": firings * iterations / best["scalar"],
+        "vectorized_firings_per_sec": (firings * iterations
+                                       / best["vectorized"]),
+        "speedup": best["scalar"] / best["vectorized"],
+    }
+
+
 def _bench_compile(spec, n_blobs=4):
     """Median cold vs best warm plan_configuration wall time (ms).
 
@@ -190,14 +256,18 @@ def run():
         print("benchmarking %s ..." % name)
         rate_only = _bench_firing_mode(spec, rate_only=True)
         functional = _bench_firing_mode(spec, rate_only=False)
+        vectorized = _bench_vectorized(spec)
         compile_row = _bench_compile(spec)
         apps[name] = {
             "rate_only": rate_only,
             "functional": functional,
+            "vectorized": vectorized,
             "compile": compile_row,
         }
-        print("  rate-only %.2fx  functional %.2fx  warm/cold %.1f%%"
+        print("  rate-only %.2fx  functional %.2fx  vectorized %.2fx  "
+              "warm/cold %.1f%%"
               % (rate_only["speedup"], functional["speedup"],
+                 vectorized["speedup"],
                  100.0 * compile_row["warm_cold_ratio"]))
 
     names = sorted(apps)
@@ -207,6 +277,12 @@ def run():
             [apps[n]["rate_only"]["speedup"] for n in names]),
         "geomean_functional_speedup": _geomean(
             [apps[n]["functional"]["speedup"] for n in names]),
+        "synthetic_vectorized_speedup": (
+            apps["Synthetic"]["vectorized"]["speedup"]),
+        "geomean_vectorized_numeric_speedup": _geomean(
+            [apps[n]["vectorized"]["speedup"] for n in NUMERIC_APPS]),
+        "geomean_vectorized_speedup": _geomean(
+            [apps[n]["vectorized"]["speedup"] for n in names]),
         "warm_cold_ratio_mean": (
             sum(apps[n]["compile"]["warm_cold_ratio"] for n in names)
             / len(names)),
@@ -221,6 +297,12 @@ def gate(result):
          summary["synthetic_rate_only_speedup"], ">=", GATE_SYNTHETIC_SPEEDUP),
         ("geomean rate-only fused speedup",
          summary["geomean_rate_only_speedup"], ">=", GATE_GEOMEAN_SPEEDUP),
+        ("Synthetic vectorized speedup",
+         summary["synthetic_vectorized_speedup"], ">=",
+         GATE_VECTOR_SYNTHETIC_SPEEDUP),
+        ("geomean vectorized speedup (numeric apps)",
+         summary["geomean_vectorized_numeric_speedup"], ">=",
+         GATE_VECTOR_GEOMEAN_SPEEDUP),
         ("mean warm/cold compile ratio",
          summary["warm_cold_ratio_mean"], "<=", GATE_WARM_COLD_RATIO),
     ]

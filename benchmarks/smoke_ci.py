@@ -16,6 +16,10 @@ bodies once each with tracing enabled, then
    indices forwarded downstream twice) must be exactly zero in both
    fault-free runs — it is the merger's seamlessness trip-wire, and a
    non-zero value is a correctness bug, not a regression to tolerate.
+4. runs a functional (real-data) adaptive reconfiguration with the
+   vectorized NumPy backend forced on, and gates that every blob
+   actually vectorized and the merger again emitted zero duplicates —
+   the backend must not perturb the seamless splice.
 
 Usage::
 
@@ -88,13 +92,75 @@ def run_benchmarks(trace_dir):
     print("running fig05 (two-phase) ...")
     fig05 = run_fig05()
     print("  %s" % {k: round(v, 3) for k, v in fig05.items()})
+    print("running vectorized-backend functional reconfiguration ...")
+    vector = run_vectorized_smoke()
+    print("  %s" % {k: round(v, 3) for k, v in vector.items()})
     return {
         "fig04_downtime_seconds": fig04["downtime"],
         "fig05_phase2_seconds": fig05["phase2"],
         "fig04_duplicate_emitted": fig04["dup_emitted"],
         "fig05_duplicate_emitted": fig05["dup_emitted"],
         "fig05_cache_hit_rate": fig05["cache_hit_rate"],
+        "vector_duplicate_emitted": vector["dup_emitted"],
+        "vector_scalar_blobs": vector["scalar_blobs"],
     }
+
+
+def run_vectorized_smoke():
+    """Functional adaptive reconfiguration with the vectorized backend.
+
+    A small FMRadio cluster run moving real data (``check_rates=False``)
+    with ``REPRO_VECTORIZE=1`` forcing the NumPy backend on every
+    capable blob, live-reconfigured from two nodes to three with the
+    adaptive strategy.  Returns the merger's duplicate count and how
+    many blobs fell back to the scalar backend (both must be zero).
+    """
+    from repro import Cluster, StreamApp, partition_even
+    from repro.apps import get_app
+    from repro.compiler.cost_model import CostModel
+
+    previous = os.environ.get("REPRO_VECTORIZE")
+    os.environ["REPRO_VECTORIZE"] = "1"
+    try:
+        spec = get_app("FMRadio")
+        blueprint = spec.blueprint(scale=1)
+        cost_model = CostModel().scaled(node_speed=2_500.0,
+                                        interp_slowdown=8.0,
+                                        init_iterations=2.5)
+        cluster = Cluster(n_nodes=3, cores_per_node=4,
+                          cost_model=cost_model)
+        app = StreamApp(cluster, blueprint, input_fn=spec.input_fn,
+                        name="FMRadio", collect_output=True,
+                        check_rates=False)
+        app.launch(partition_even(blueprint(), [0, 1], multiplier=4,
+                                  name="A"))
+        cluster.run(until=40.0)
+        if app.current is None or app.current.status != "running":
+            raise SystemExit("FAIL: vectorized smoke app never reached "
+                             "steady state")
+        done = app.reconfigure(
+            partition_even(blueprint(), [0, 1, 2], multiplier=4,
+                           name="B"),
+            strategy="adaptive")
+        cluster.run(until=110.0)
+        if not (done.triggered and done.ok):
+            raise SystemExit("FAIL: vectorized smoke reconfiguration "
+                             "did not complete: %r" % (done.value,))
+        scalar_blobs = sum(
+            1 for process in app.current.blob_procs.values()
+            if not process.runtime.vectorized)
+        if not app.merger.items:
+            raise SystemExit("FAIL: vectorized smoke produced no output")
+        return {
+            "dup_emitted": float(app.merger.duplicate_emitted),
+            "scalar_blobs": float(scalar_blobs),
+            "output_items": float(len(app.merger.items)),
+        }
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_VECTORIZE", None)
+        else:
+            os.environ["REPRO_VECTORIZE"] = previous
 
 
 def validate_traces(trace_dir):
@@ -120,6 +186,8 @@ def validate_traces(trace_dir):
 ZERO_GATED = {
     "fig04_duplicate_emitted": "stop-and-copy duplicated output items",
     "fig05_duplicate_emitted": "two-phase duplicated output items",
+    "vector_duplicate_emitted": "vectorized-backend duplicated output",
+    "vector_scalar_blobs": "vectorized-backend scalar fallbacks",
 }
 
 

@@ -1,0 +1,111 @@
+"""Vectorized-backend pass family member: batch-kernel conformance.
+
+A worker that declares :meth:`~repro.graph.workers.Worker.work_batch`
+promises that one batch call over ``n`` firings fills exactly
+``push_rate * n`` output slots per port from exactly
+``pop_rate * n`` (+ peek overhang) input slots per port.  A kernel
+that breaks the length contract silently corrupts the fused steady
+path: the plan sizes the output views from the declared rates, so
+unwritten slots ship stale memory downstream.
+
+V001 probes the contract directly: it deep-copies the worker (state
+included), hands the copy correctly sized read-only inputs and
+NaN-poisoned outputs, runs one multi-firing batch call, and flags any
+kernel that raises, writes its inputs, or leaves output slots
+unwritten.  The probe never touches the live worker, and it yields
+nothing when NumPy is unavailable (the vectorized backend cannot be
+selected then either).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Iterable, List
+
+from repro.analysis.contexts import GraphContext, worker_location
+from repro.analysis.findings import ERROR, Finding
+from repro.analysis.registry import rule
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain bakes numpy in
+    _np = None
+
+__all__ = ["VECTOR_RULES"]
+
+#: Firings per probe call: > 1 so per-firing stride errors (reading
+#: row 0 for every firing, writing only the first row) are visible.
+PROBE_FIRINGS = 3
+
+
+def _probe_values(count: int):
+    """Deterministic, strictly positive, non-repeating-ish lattice —
+    benign for every shipped kernel (no zeros, no huge magnitudes)."""
+    return _np.array([0.1 + 0.7 * ((i * 13) % 17) / 17.0
+                      for i in range(count)])
+
+
+@rule("V001", "graph", "Batch-kernel length contract",
+      "A worker declaring work_batch must fill exactly push_rate * "
+      "n_firings output slots per port from its declared input window. "
+      "The pass probes a deep copy of the worker with read-only inputs "
+      "and NaN-poisoned outputs; kernels that raise, mutate their "
+      "inputs, or leave output slots unwritten are flagged.")
+def check_batch_kernel_contract(ctx: GraphContext) -> Iterable[Finding]:
+    if _np is None:
+        return
+    graph = ctx.graph
+    for worker in graph.workers:
+        if not worker.supports_work_batch:
+            continue
+        if not worker.vector_items:
+            yield Finding(
+                rule="V001", severity=ERROR,
+                message="%s declares work_batch without vector_items: "
+                        "the batch kernel can never be selected, and the "
+                        "capability claim is inconsistent" % worker.name,
+                location=worker_location(graph, worker.worker_id),
+            )
+            continue
+        try:
+            probe = copy.deepcopy(worker)
+        except Exception:
+            continue  # unprobeable state; nothing to conclude
+        inputs = []
+        for port in range(worker.n_inputs):
+            pop = worker.pop_rates[port]
+            peek = worker.peek_rates[port]
+            window = pop * PROBE_FIRINGS + max(peek - pop, 0)
+            view = _probe_values(window)
+            view.flags.writeable = False
+            inputs.append(view)
+        outputs = [_np.full(worker.push_rates[port] * PROBE_FIRINGS,
+                            _np.nan)
+                   for port in range(worker.n_outputs)]
+        try:
+            probe.work_batch(inputs, outputs, PROBE_FIRINGS)
+        except Exception as exc:
+            yield Finding(
+                rule="V001", severity=ERROR,
+                message="%s work_batch raised on a %d-firing probe "
+                        "(%s: %s): the batch kernel does not honor the "
+                        "declared rates" % (worker.name, PROBE_FIRINGS,
+                                            type(exc).__name__, exc),
+                location=worker_location(graph, worker.worker_id),
+            )
+            continue
+        for port, out in enumerate(outputs):
+            unwritten = int(_np.isnan(out).sum())
+            if unwritten:
+                yield Finding(
+                    rule="V001", severity=ERROR,
+                    message="%s work_batch left %d of %d output slot(s) "
+                            "unwritten on port %d over %d firings: batch "
+                            "output cannot equal push_rate * n_firings"
+                            % (worker.name, unwritten, out.shape[0],
+                               port, PROBE_FIRINGS),
+                    location=worker_location(graph, worker.worker_id),
+                )
+
+
+VECTOR_RULES: List[str] = ["V001"]

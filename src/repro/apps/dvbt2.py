@@ -75,6 +75,8 @@ class FrameMultiplexer(Filter):
         self.frames = frames
         self.payload = payload
 
+    vector_items = True
+
     def work(self, input, output) -> None:
         kept: List[float] = []
         for frame in range(self.frames):
@@ -84,6 +86,11 @@ class FrameMultiplexer(Filter):
                     kept.append(value)
         for value in kept:
             output.push(value)
+
+    def work_batch(self, inputs, outputs, n_firings) -> None:
+        rows = inputs[0].reshape(n_firings, self.frames * self.payload)
+        outputs[0].reshape(n_firings, self.payload)[...] = (
+            rows[:, :self.payload])
 
 
 def blueprint(scale: int = 1, fft: int = None,

@@ -25,6 +25,8 @@ __all__ = ["APP", "blueprint"]
 class BandSummer(Filter):
     """Sum N band contributions per output sample."""
 
+    vector_items = True
+
     def __init__(self, bands: int):
         super().__init__(pop=bands, push=1, work_estimate=0.3 * bands,
                          name="band_summer")
@@ -35,6 +37,15 @@ class BandSummer(Filter):
         for _ in range(self.bands):
             total += input.pop()
         output.push(total)
+
+    def work_batch(self, inputs, outputs, n_firings) -> None:
+        # Per-band accumulation from an explicit zero keeps the scalar
+        # loop's left-to-right association (np.sum would reassociate).
+        rows = inputs[0].reshape(n_firings, self.bands)
+        out = outputs[0]
+        out[...] = 0.0
+        for band in range(self.bands):
+            out += rows[:, band]
 
 
 def band_pass_taps(center: float, taps: int):

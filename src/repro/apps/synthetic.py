@@ -36,12 +36,20 @@ class TunableWork(Filter):
         super().__init__(pop=1, push=1, work_estimate=intensity,
                          name=name or "tunable")
 
+    vector_items = True
+
     def set_intensity(self, intensity: float) -> None:
         self.work_estimate = max(intensity, 0.01)
 
     def work(self, input, output) -> None:
         value = input.pop()
         output.push(value + math.tanh(value))
+
+    def work_batch(self, inputs, outputs, n_firings) -> None:
+        # tanh stays a math.tanh loop: NumPy's SIMD tanh rounds
+        # differently from libm and would break byte-identity.
+        outputs[0][...] = [value + math.tanh(value)
+                           for value in inputs[0].tolist()]
 
 
 def blueprint(scale: int = 1, depth: int = None, lanes: int = None,

@@ -21,6 +21,12 @@ from repro.graph.workers import (
     RoundRobinJoiner,
     StatefulFilter,
 )
+from repro.graph.library import NUMPY_TRIG_EXACT
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain bakes numpy in
+    _np = None
 
 __all__ = ["APP", "blueprint"]
 
@@ -44,6 +50,8 @@ class AnalysisBand(Filter):
         self._sin = [math.sin(2 * math.pi * band * i / window)
                      for i in range(window)]
 
+    vector_items = True
+
     def work(self, input, output) -> None:
         real = 0.0
         imag = 0.0
@@ -59,11 +67,38 @@ class AnalysisBand(Filter):
             output.push(magnitude / self.window)
             output.push(phase)
 
+    def work_batch(self, inputs, outputs, n_firings) -> None:
+        # Overlapping hop-strided windows: tap i of every firing is the
+        # strided slice view[i::hop] (length n), accumulated per tap
+        # from zero to match the scalar association.  sqrt is exact;
+        # atan2 stays a math.atan2 loop (NumPy's arctan2 rounds
+        # differently from libm on some inputs).
+        window_view = inputs[0]
+        hop = self.hop
+        span = hop * (n_firings - 1) + 1
+        real = _np.zeros(n_firings)
+        imag = _np.zeros(n_firings)
+        for i, (cos_i, sin_i) in enumerate(zip(self._cos, self._sin)):
+            samples = window_view[i:i + span:hop]
+            real += samples * cos_i
+            imag += samples * sin_i
+        magnitudes = _np.sqrt(real * real + imag * imag) / self.window
+        phases = [math.atan2(im, re) for im, re
+                  in zip(imag.tolist(), (real + 1e-12).tolist())]
+        rows = outputs[0].reshape(n_firings, 2 * hop)
+        rows[:, 0::2] = magnitudes[:, None]
+        rows[:, 1::2] = _np.asarray(phases)[:, None]
+
 
 class PhaseUnwrapper(StatefulFilter):
     """Accumulate phase differences across frames — the stateful core."""
 
     state_fields = ("last_phase", "accumulated")
+
+    # Numeric stream, but no batch kernel: the wrap-correction while
+    # loop is a genuine sequential dependence, so this worker runs the
+    # per-firing scalar fallback inside vectorized blobs.
+    vector_items = True
 
     def __init__(self, band: int):
         super().__init__(pop=2, push=2, work_estimate=2.0,
@@ -93,6 +128,8 @@ class Synthesis(Filter):
                          work_estimate=1.5 * bands, name="synthesis")
         self.bands = bands
 
+    vector_items = True
+
     def work(self, input, output) -> None:
         total = 0.0
         for _ in range(self.bands):
@@ -100,6 +137,16 @@ class Synthesis(Filter):
             phase = input.pop()
             total += magnitude * math.cos(phase)
         output.push(total)
+
+    def work_batch(self, inputs, outputs, n_firings) -> None:
+        rows = inputs[0].reshape(n_firings, 2 * self.bands)
+        out = outputs[0]
+        out[...] = 0.0
+        for band in range(self.bands):
+            out += rows[:, 2 * band] * _np.cos(rows[:, 2 * band + 1])
+
+    if not NUMPY_TRIG_EXACT:  # pragma: no cover - platform-dependent
+        work_batch = None
 
 
 def blueprint(scale: int = 1, bands: int = None,

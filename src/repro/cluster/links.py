@@ -56,7 +56,9 @@ class DataLink:
         return self.in_flight == 0
 
     def _occupancy(self) -> int:
-        return len(self.consumer.runtime.channels[self.key].items) + self.in_flight
+        # len(channel), not len(channel.items): boundary channels are
+        # ArrayChannels under the vectorized backend.
+        return len(self.consumer.runtime.channels[self.key]) + self.in_flight
 
     def can_accept(self, count: int) -> bool:
         if self.consumer.instance.draining:

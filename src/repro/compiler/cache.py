@@ -108,6 +108,11 @@ def _worker_signature(worker: Worker) -> tuple:
         tuple(worker.state_fields),
         bool(worker.builtin),
         tuple(weights) if weights is not None else None,
+        # Backend capability flags: a worker gaining (or losing, e.g.
+        # via a platform-exactness probe) a batch kernel changes the
+        # vectorized/scalar split of every plan that contains it.
+        bool(worker.vector_items),
+        bool(worker.supports_work_batch),
     )
 
 
@@ -216,6 +221,10 @@ class BlobLayout:
     has_head: bool
     has_tail: bool
     topo: Tuple[int, ...]
+    #: True when every worker in the blob stores plain numbers, i.e.
+    #: the blob is eligible for the vectorized backend (the actual mode
+    #: still depends on the restoring run's execution flags).
+    vector_capable: bool
     #: Per worker (topo order): input channel keys.
     in_keys: Tuple[Tuple[int, ...], ...]
     #: Per worker (topo order): (is_staging, key) output bindings.
@@ -259,6 +268,7 @@ def blob_layout(runtime) -> BlobLayout:
         has_head=runtime.has_head,
         has_tail=runtime.has_tail,
         topo=tuple(runtime._topo),
+        vector_capable=runtime.vector_capable,
         in_keys=tuple(in_keys),
         out_keys=tuple(out_keys),
         steady_in_need=dict(runtime._steady_in_need),

@@ -252,6 +252,8 @@ def plan_configuration(
                     removed_workers=sum(
                         len(b.removed_workers) for b in plan.pseudo_blobs),
                     meta_edges=len(counts),
+                    vector_blobs=sum(
+                        1 for b in plan.pseudo_blobs if b.runtime.vectorized),
                     cache="hit",
                 )
                 _emit_cache_counters(tracer, cache)
@@ -301,6 +303,8 @@ def plan_configuration(
             removed_workers=sum(
                 len(b.removed_workers) for b in plan.pseudo_blobs),
             meta_edges=len(counts),
+            vector_blobs=sum(
+                1 for b in plan.pseudo_blobs if b.runtime.vectorized),
             cache="miss" if cache is not None else "off",
         )
         _emit_cache_counters(tracer, cache)

@@ -5,6 +5,15 @@ These are the building blocks from which the benchmark applications in
 decimators, accumulators, and simple stateful transforms.  All numeric
 workers operate on plain Python floats/ints so graph execution stays
 deterministic and hashable for the output-equivalence tests.
+
+Most workers here also ship a ``work_batch`` kernel for the vectorized
+fast path.  Every kernel is written to reproduce the scalar ``work``
+bit-for-bit: accumulations start from an explicit zero and add terms
+in the same left-to-right order (NumPy elementwise ops are IEEE-exact;
+only reordered reductions are not), and transcendental kernels are
+only enabled when this platform's NumPy ufuncs agree with ``math.*``
+on a probe sweep (see :data:`NUMPY_TRIG_EXACT`) — otherwise the worker
+silently keeps the scalar fallback.
 """
 
 from __future__ import annotations
@@ -14,7 +23,40 @@ from typing import Callable, List, Sequence
 
 from repro.graph.workers import Filter, StatefulFilter
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain bakes numpy in
+    _np = None
+
+
+def _probe_trig_exact() -> bool:
+    """Whether ``np.sin``/``np.cos`` match ``math.sin``/``math.cos``.
+
+    NumPy may route float64 trig through SIMD polynomial kernels that
+    round differently from the C library behind :mod:`math`.  Batch
+    kernels built on trig are only byte-identical to the scalar oracle
+    when the two agree, so they are gated on this sweep over several
+    magnitude decades of the canonical test-input lattice.
+    """
+    if _np is None:  # pragma: no cover - numpy is a baked-in dep
+        return False
+    base = [((i * 37 + 11) % 1000) / 1000.0 - 0.5 for i in range(512)]
+    values = [v * scale for scale in (1.0, 3.7, 97.3, 1e4, 1e8)
+              for v in base]
+    array = _np.array(values)
+    sines = _np.sin(array)
+    cosines = _np.cos(array)
+    return all(
+        sines[i] == math.sin(v) and cosines[i] == math.cos(v)
+        for i, v in enumerate(values)
+    )
+
+
+#: True when vectorized sin/cos reproduce libm bit-for-bit here.
+NUMPY_TRIG_EXACT = _probe_trig_exact()
+
 __all__ = [
+    "NUMPY_TRIG_EXACT",
     "Identity",
     "MapFilter",
     "ScaleFilter",
@@ -35,6 +77,8 @@ __all__ = [
 class Identity(Filter):
     """Pass items through unchanged (pop 1, push 1)."""
 
+    vector_items = True
+
     def __init__(self, name: str = None):
         super().__init__(pop=1, push=1, work_estimate=0.1,
                          name=name or "identity")
@@ -42,9 +86,14 @@ class Identity(Filter):
     def work(self, input, output) -> None:
         output.push(input.pop())
 
+    def work_batch(self, inputs, outputs, n_firings) -> None:
+        outputs[0][...] = inputs[0]
+
 
 class MapFilter(Filter):
-    """Apply a pure function to every item."""
+    """Apply a pure function to every item (numeric in and out)."""
+
+    vector_items = True
 
     def __init__(self, fn: Callable, work_estimate: float = 1.0,
                  name: str = None):
@@ -55,9 +104,18 @@ class MapFilter(Filter):
     def work(self, input, output) -> None:
         output.push(self._fn(input.pop()))
 
+    def work_batch(self, inputs, outputs, n_firings) -> None:
+        # The function is arbitrary Python: apply it per item so batch
+        # results match the scalar path exactly (only channel movement
+        # is batched).
+        fn = self._fn
+        outputs[0][...] = [fn(item) for item in inputs[0].tolist()]
+
 
 class ScaleFilter(Filter):
     """Multiply every item by a constant."""
+
+    vector_items = True
 
     def __init__(self, factor: float, name: str = None):
         super().__init__(pop=1, push=1, work_estimate=0.5,
@@ -67,9 +125,14 @@ class ScaleFilter(Filter):
     def work(self, input, output) -> None:
         output.push(input.pop() * self.factor)
 
+    def work_batch(self, inputs, outputs, n_firings) -> None:
+        _np.multiply(inputs[0], self.factor, out=outputs[0])
+
 
 class OffsetFilter(Filter):
     """Add a constant to every item."""
+
+    vector_items = True
 
     def __init__(self, offset: float, name: str = None):
         super().__init__(pop=1, push=1, work_estimate=0.5,
@@ -78,6 +141,9 @@ class OffsetFilter(Filter):
 
     def work(self, input, output) -> None:
         output.push(input.pop() + self.offset)
+
+    def work_batch(self, inputs, outputs, n_firings) -> None:
+        _np.add(inputs[0], self.offset, out=outputs[0])
 
 
 class FIRFilter(Filter):
@@ -98,12 +164,25 @@ class FIRFilter(Filter):
                          name=name or "fir")
         self.coefficients = coefficients
 
+    vector_items = True
+
     def work(self, input, output) -> None:
         total = 0.0
         for i, coefficient in enumerate(self.coefficients):
             total += coefficient * input.peek(i)
         input.pop()
         output.push(total)
+
+    def work_batch(self, inputs, outputs, n_firings) -> None:
+        # Sliding-window dot product as per-tap accumulation: starting
+        # from zero and adding one shifted term per coefficient keeps
+        # the left-to-right association of the scalar loop (np.convolve
+        # and np.dot reassociate and would not be byte-identical).
+        window = inputs[0]
+        out = outputs[0]
+        out[...] = 0.0
+        for i, coefficient in enumerate(self.coefficients):
+            out += coefficient * window[i:i + n_firings]
 
 
 class MovingAverage(FIRFilter):
@@ -123,11 +202,16 @@ class Decimator(Filter):
                          name=name or "decimate")
         self.factor = factor
 
+    vector_items = True
+
     def work(self, input, output) -> None:
         kept = input.pop()
         for _ in range(self.factor - 1):
             input.pop()
         output.push(kept)
+
+    def work_batch(self, inputs, outputs, n_firings) -> None:
+        outputs[0][...] = inputs[0][::self.factor]
 
 
 class Expander(Filter):
@@ -140,10 +224,15 @@ class Expander(Filter):
                          name=name or "expand")
         self.factor = factor
 
+    vector_items = True
+
     def work(self, input, output) -> None:
         item = input.pop()
         for _ in range(self.factor):
             output.push(item)
+
+    def work_batch(self, inputs, outputs, n_firings) -> None:
+        outputs[0].reshape(n_firings, self.factor)[...] = inputs[0][:, None]
 
 
 class BlockTransform(Filter):
@@ -164,6 +253,8 @@ class BlockTransform(Filter):
         )
         self._fn = fn
 
+    vector_items = True
+
     def work(self, input, output) -> None:
         block = [input.pop() for _ in range(self.pop)]
         result = self._fn(block)
@@ -174,6 +265,20 @@ class BlockTransform(Filter):
             )
         for item in result:
             output.push(item)
+
+    def work_batch(self, inputs, outputs, n_firings) -> None:
+        # The block function is arbitrary Python: run it per block.
+        fn = self._fn
+        rows = outputs[0].reshape(n_firings, self.push)
+        blocks = inputs[0].reshape(n_firings, self.pop).tolist()
+        for row, block in enumerate(blocks):
+            result = fn(block)
+            if len(result) != self.push:
+                raise ValueError(
+                    "%s returned %d items, declared push %d"
+                    % (self.name, len(result), self.push)
+                )
+            rows[row] = result
 
 
 class Accumulator(StatefulFilter):
@@ -186,9 +291,20 @@ class Accumulator(StatefulFilter):
                          name=name or "accumulate")
         self.total = 0.0
 
+    vector_items = True
+
     def work(self, input, output) -> None:
         self.total += input.pop()
         output.push(self.total)
+
+    def work_batch(self, inputs, outputs, n_firings) -> None:
+        # Seeding the cumulative sum with the carried total reproduces
+        # the sequential "total += item" chain bit-for-bit (cumsum adds
+        # strictly left to right; adding the seed afterwards would
+        # reassociate and drift).
+        totals = _np.cumsum(_np.concatenate(((self.total,), inputs[0])))
+        outputs[0][...] = totals[1:]
+        self.total = float(totals[-1])
 
 
 class Counter(StatefulFilter):
@@ -223,9 +339,19 @@ class DelayFilter(StatefulFilter):
                          name=name or "delay")
         self.delay_line = [initial] * delay
 
+    vector_items = True
+
     def work(self, input, output) -> None:
         output.push(self.delay_line.pop(0))
         self.delay_line.append(input.pop())
+
+    def work_batch(self, inputs, outputs, n_firings) -> None:
+        # Pure data movement through the delay line: the batch emits
+        # the first n items of line+input and keeps the rest as the
+        # new line (same Python floats the scalar path would carry).
+        combined = self.delay_line + inputs[0].tolist()
+        outputs[0][...] = combined[:n_firings]
+        self.delay_line = combined[n_firings:]
 
 
 class ArrayStateFilter(StatefulFilter):
@@ -246,11 +372,37 @@ class ArrayStateFilter(StatefulFilter):
         self.array = [0.0] * size
         self.cursor = 0
 
+    vector_items = True
+
     def work(self, input, output) -> None:
         item = input.pop()
         self.array[self.cursor] = item
         self.cursor = (self.cursor + 1) % len(self.array)
         output.push(item + self.array[self.cursor])
+
+    def work_batch(self, inputs, outputs, n_firings) -> None:
+        # Firing j writes slot (cursor+j) % size, then reads slot
+        # (cursor+j+1) % size.  That read sees this batch's own write
+        # x[j+1-size] once j >= size-1, else the pre-batch array.
+        x = inputs[0]
+        size = len(self.array)
+        cursor = self.cursor
+        stored = _np.asarray(self.array)
+        reads = _np.empty(n_firings, dtype=_np.float64)
+        overhang = min(n_firings, size - 1)
+        if overhang:
+            slots = (cursor + 1 + _np.arange(overhang)) % size
+            reads[:overhang] = stored[slots]
+        if n_firings > size - 1:
+            reads[size - 1:] = x[:n_firings - (size - 1)]
+        _np.add(x, reads, out=outputs[0])
+        # Only the last min(n, size) writes survive, and their slots
+        # are pairwise distinct, so one fancy assignment applies them.
+        keep = min(n_firings, size)
+        slots = (cursor + _np.arange(n_firings - keep, n_firings)) % size
+        stored[slots] = x[n_firings - keep:]
+        self.array = stored.tolist()
+        self.cursor = (cursor + n_firings) % size
 
 
 class HeavyCompute(Filter):
@@ -262,6 +414,8 @@ class HeavyCompute(Filter):
     experiment (paper Figure 14a).
     """
 
+    vector_items = True
+
     def __init__(self, intensity: float = 1.0, name: str = None):
         super().__init__(pop=1, push=1, work_estimate=max(intensity, 0.01),
                          name=name or "heavy")
@@ -270,3 +424,13 @@ class HeavyCompute(Filter):
     def work(self, input, output) -> None:
         value = input.pop()
         output.push(math.sin(value) * math.cos(value) + value)
+
+    def work_batch(self, inputs, outputs, n_firings) -> None:
+        values = inputs[0]
+        out = outputs[0]
+        _np.sin(values, out=out)
+        out *= _np.cos(values)
+        out += values
+
+    if not NUMPY_TRIG_EXACT:  # pragma: no cover - platform-dependent
+        work_batch = None

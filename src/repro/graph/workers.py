@@ -17,6 +17,15 @@ State is explicit: a stateful worker lists its mutable attributes in
 ``state_fields``; :meth:`Worker.get_state` / :meth:`Worker.set_state`
 copy exactly those.  This is what asynchronous state transfer captures
 and what two-phase compilation injects into pseudo-blobs.
+
+Vectorized execution is opt-in per worker: ``vector_items = True``
+declares that every item the worker reads or writes is a plain IEEE
+number (so its edges may live in contiguous float64 buffers), and an
+optional ``work_batch(inputs, outputs, n_firings)`` method executes
+``n_firings`` firings as one batch over NumPy views.  Workers without
+``work_batch`` still run inside a vectorized blob via the per-firing
+scalar fallback; workers without ``vector_items`` exclude their whole
+blob from the vectorized backend.
 """
 
 from __future__ import annotations
@@ -65,6 +74,30 @@ class Worker:
     #: remove (splitter/joiner removal optimization).
     builtin: bool = False
 
+    #: True when every item this worker reads or writes is a plain
+    #: IEEE-754 number, so its edges can be stored in contiguous
+    #: float64 buffers (:class:`~repro.runtime.channels.ArrayChannel`)
+    #: without changing observable values.  The vectorized backend is
+    #: only selected for a blob when *all* its workers declare this.
+    vector_items: bool = False
+
+    #: Optional batch kernel.  When set (a method), the vectorized
+    #: fast path may execute ``n_firings`` consecutive firings as one
+    #: call::
+    #:
+    #:     work_batch(inputs, outputs, n_firings)
+    #:
+    #: ``inputs[i]`` is a read-only float64 view holding exactly
+    #: ``pop_rates[i] * n_firings + (peek_rates[i] - pop_rates[i])``
+    #: items (the batch plus the peeking overhang); ``outputs[o]`` is
+    #: a writable float64 view of ``push_rates[o] * n_firings`` slots
+    #: that must be completely filled.  The kernel must not touch the
+    #: channels itself (the plan moves the data) and must leave the
+    #: worker's ``state_fields`` exactly as ``n_firings`` scalar
+    #: firings would — byte-identity with the per-firing oracle is
+    #: asserted by the test suite.
+    work_batch = None
+
     def __init__(
         self,
         n_inputs: int,
@@ -109,6 +142,11 @@ class Worker:
         return any(
             peek > pop for peek, pop in zip(self.peek_rates, self.pop_rates)
         )
+
+    @property
+    def supports_work_batch(self) -> bool:
+        """Whether this worker ships a batch kernel (see ``work_batch``)."""
+        return callable(self.work_batch)
 
     def get_state(self) -> Dict[str, Any]:
         """Deep-copy and return this worker's mutable state."""
@@ -265,6 +303,17 @@ class RoundRobinSplitter(Splitter):
             for _ in range(weight):
                 output.push(input.pop())
 
+    # Pure data movement: one strided copy per branch.
+    vector_items = True
+
+    def work_batch(self, inputs, outputs, n_firings) -> None:
+        rows = inputs[0].reshape(n_firings, sum(self.weights))
+        offset = 0
+        for output, weight in zip(outputs, self.weights):
+            output.reshape(n_firings, weight)[...] = (
+                rows[:, offset:offset + weight])
+            offset += weight
+
 
 class DuplicateSplitter(Splitter):
     """Built-in splitter copying every input item to every output."""
@@ -284,6 +333,12 @@ class DuplicateSplitter(Splitter):
         item = input.pop()
         for output in outputs:
             output.push(item)
+
+    vector_items = True
+
+    def work_batch(self, inputs, outputs, n_firings) -> None:
+        for output in outputs:
+            output[...] = inputs[0]
 
 
 class RoundRobinJoiner(Joiner):
@@ -310,3 +365,12 @@ class RoundRobinJoiner(Joiner):
         for input, weight in zip(inputs, self.weights):
             for _ in range(weight):
                 output.push(input.pop())
+
+    vector_items = True
+
+    def work_batch(self, inputs, outputs, n_firings) -> None:
+        rows = outputs[0].reshape(n_firings, sum(self.weights))
+        offset = 0
+        for input, weight in zip(inputs, self.weights):
+            rows[:, offset:offset + weight] = input.reshape(n_firings, weight)
+            offset += weight

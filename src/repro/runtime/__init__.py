@@ -16,20 +16,31 @@ Program state (worker state + buffered items) is captured into
 and that two-phase compilation absorbs into new blobs.
 """
 
-from repro.runtime.channels import Channel, GRAPH_INPUT, GRAPH_OUTPUT, RateViolationError
+from repro.runtime.channels import (
+    ArrayChannel,
+    Channel,
+    GRAPH_INPUT,
+    GRAPH_OUTPUT,
+    HAVE_NUMPY,
+    RateViolationError,
+)
 from repro.runtime.state import ProgramState, estimate_bytes
-from repro.runtime.fastpath import FusedPlan
+from repro.runtime.fastpath import FusedPlan, select_vectorized, vector_capable
 from repro.runtime.interpreter import GraphInterpreter
 from repro.runtime.executor import BlobRuntime
 
 __all__ = [
+    "ArrayChannel",
     "BlobRuntime",
     "Channel",
     "FusedPlan",
     "GRAPH_INPUT",
     "GRAPH_OUTPUT",
     "GraphInterpreter",
+    "HAVE_NUMPY",
     "ProgramState",
     "RateViolationError",
     "estimate_bytes",
+    "select_vectorized",
+    "vector_capable",
 ]

@@ -11,21 +11,36 @@ for the duration of one firing and enforce the worker's declared
 rates; a worker that pops or pushes the wrong number of items raises
 :class:`RateViolationError` — SDF's static rates are load-bearing for
 everything Gloss does, so violations fail loudly.
+
+:class:`ArrayChannel` is the contiguous NumPy twin of :class:`Channel`
+used by the vectorized fast path: same scalar interface and lifetime
+counters (so AST cut arithmetic and ``snapshot``/``snapshot_prefix``
+are unchanged), plus zero-copy block access for batch kernels.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from itertools import islice
 from typing import Any, Iterable, List
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain bakes numpy in
+    _np = None
+
 __all__ = [
+    "ArrayChannel",
     "Channel",
     "GRAPH_INPUT",
     "GRAPH_OUTPUT",
+    "HAVE_NUMPY",
     "InputPort",
     "OutputPort",
     "RateViolationError",
 ]
+
+HAVE_NUMPY = _np is not None
 
 #: Pseudo edge keys for the graph's external input and output.
 GRAPH_INPUT = -1
@@ -57,9 +72,12 @@ class Channel:
         self.total_pushed += 1
 
     def push_many(self, items: Iterable[Any]) -> None:
-        before = len(self.items)
+        # Materialize once: a generator argument must be consumed
+        # exactly one time, and the count must not be inferred from
+        # container length deltas.
+        items = list(items)
         self.items.extend(items)
-        self.total_pushed += len(self.items) - before
+        self.total_pushed += len(items)
 
     def pop(self) -> Any:
         self.total_popped += 1
@@ -88,12 +106,176 @@ class Channel:
                 "cut of %d items exceeds channel length %d"
                 % (count, len(self.items))
             )
-        result = []
-        for i, item in enumerate(self.items):
-            if i >= count:
-                break
-            result.append(item)
-        return result
+        return list(islice(self.items, count))
+
+
+class ArrayChannel:
+    """A contiguous float64 buffer with zero-copy block access.
+
+    Drop-in replacement for :class:`Channel` on numeric edges: the
+    scalar interface (``push``/``pop``/``peek``/``pop_many``/
+    ``push_many``/``snapshot``/``snapshot_prefix``) and the lifetime
+    counters behave identically, so the AST cut arithmetic of paper
+    Section 6.2 — pure counter subtraction — is unaffected by whether
+    items moved one at a time or as blocks.  On top of that,
+    ``peek_block``/``pop_block``/``push_block`` expose views straight
+    into the buffer for the vectorized fast path.
+
+    Storage is a linear region ``[_head, _tail)`` inside an ndarray
+    that grows by amortized doubling; when the tail hits the end the
+    live region is compacted to the front (or the buffer reallocated),
+    which is why block views are transient: a view is valid only until
+    the next operation that reserves space on this channel.  The fused
+    plan consumes every view within the same step, before any further
+    channel operation.
+
+    Values are stored as IEEE-754 doubles, which is lossless for the
+    Python floats our numeric workers exchange; reads convert back to
+    built-in ``float`` so captured state and outputs compare clean.
+    """
+
+    __slots__ = ("_buffer", "_head", "_tail", "total_pushed", "total_popped")
+
+    #: Smallest backing allocation, in items.
+    MIN_CAPACITY = 64
+
+    def __init__(self, initial: Iterable[Any] = ()):
+        if _np is None:  # pragma: no cover - numpy is a baked-in dep
+            raise RuntimeError("ArrayChannel requires numpy")
+        items = list(initial)
+        count = len(items)
+        capacity = self.MIN_CAPACITY
+        while capacity < count:
+            capacity *= 2
+        self._buffer = _np.empty(capacity, dtype=_np.float64)
+        if count:
+            self._buffer[:count] = items
+        self._head = 0
+        self._tail = count
+        # Counters include preloaded items, matching Channel: a channel
+        # restored from state behaves as if its contents had been pushed.
+        self.total_pushed = count
+        self.total_popped = 0
+
+    def __len__(self) -> int:
+        return self._tail - self._head
+
+    def _reserve(self, count: int) -> None:
+        """Make room for ``count`` more items at the tail.
+
+        Invalidates previously returned block views.  Compacts in
+        place only when the copy is overlap-free and frees at least
+        half the buffer (so the cost amortizes over the pushes that
+        refill it); otherwise reallocates with doubling growth.
+        """
+        if self._tail + count <= self._buffer.shape[0]:
+            return
+        live = self._tail - self._head
+        capacity = self._buffer.shape[0]
+        if live + count <= capacity // 2 and self._head >= live:
+            self._buffer[:live] = self._buffer[self._head:self._tail]
+        else:
+            while capacity < (live + count) * 2:
+                capacity *= 2
+            fresh = _np.empty(capacity, dtype=_np.float64)
+            fresh[:live] = self._buffer[self._head:self._tail]
+            self._buffer = fresh
+        self._head = 0
+        self._tail = live
+
+    # -- scalar interface (Channel-compatible) ------------------------------
+
+    def push(self, item: Any) -> None:
+        self._reserve(1)
+        self._buffer[self._tail] = item
+        self._tail += 1
+        self.total_pushed += 1
+
+    def push_many(self, items: Iterable[Any]) -> None:
+        items = list(items)
+        count = len(items)
+        self._reserve(count)
+        if count:
+            self._buffer[self._tail:self._tail + count] = items
+        self._tail += count
+        self.total_pushed += count
+
+    def pop(self) -> float:
+        if self._head >= self._tail:
+            raise IndexError("pop from an empty channel")
+        value = self._buffer[self._head]
+        self._head += 1
+        self.total_popped += 1
+        return float(value)
+
+    def pop_many(self, count: int) -> List[float]:
+        if count > self._tail - self._head:
+            raise RateViolationError(
+                "pop_many(%d) on channel of length %d"
+                % (count, self._tail - self._head)
+            )
+        taken = self._buffer[self._head:self._head + count].tolist()
+        self._head += count
+        self.total_popped += count
+        return taken
+
+    def peek(self, index: int) -> float:
+        if index < 0 or self._head + index >= self._tail:
+            raise IndexError("channel index out of range")
+        return float(self._buffer[self._head + index])
+
+    def snapshot(self) -> List[float]:
+        """Copy of the buffered items (oldest first), as Python floats."""
+        return self._buffer[self._head:self._tail].tolist()
+
+    def snapshot_prefix(self, count: int) -> List[float]:
+        """Copy of the first ``count`` buffered items (the AST cut)."""
+        if count > self._tail - self._head:
+            raise RateViolationError(
+                "cut of %d items exceeds channel length %d"
+                % (count, self._tail - self._head)
+            )
+        return self._buffer[self._head:self._head + count].tolist()
+
+    # -- block interface ----------------------------------------------------
+
+    def peek_block(self, count: int):
+        """Read-only zero-copy view of the first ``count`` items."""
+        if count > self._tail - self._head:
+            raise RateViolationError(
+                "peek_block(%d) on channel of length %d"
+                % (count, self._tail - self._head)
+            )
+        view = self._buffer[self._head:self._head + count]
+        view.flags.writeable = False
+        return view
+
+    def pop_block(self, count: int):
+        """Consume ``count`` items, returning a read-only view of them."""
+        if count > self._tail - self._head:
+            raise RateViolationError(
+                "pop_block(%d) on channel of length %d"
+                % (count, self._tail - self._head)
+            )
+        view = self._buffer[self._head:self._head + count]
+        view.flags.writeable = False
+        self._head += count
+        self.total_popped += count
+        return view
+
+    def push_block(self, count: int):
+        """Append ``count`` uninitialized slots, returning a writable view.
+
+        The caller must fill the view completely before the items are
+        observed downstream; the fused plan does so within the same
+        step.  Counters are advanced immediately so cut arithmetic
+        sees block pushes exactly like ``count`` scalar pushes.
+        """
+        self._reserve(count)
+        view = self._buffer[self._tail:self._tail + count]
+        self._tail += count
+        self.total_pushed += count
+        return view
 
 
 class InputPort:

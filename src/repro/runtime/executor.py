@@ -19,8 +19,13 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.graph.topology import Edge, StreamGraph
-from repro.runtime.channels import GRAPH_INPUT, GRAPH_OUTPUT, Channel
-from repro.runtime.fastpath import FusedPlan
+from repro.runtime.channels import (
+    GRAPH_INPUT,
+    GRAPH_OUTPUT,
+    ArrayChannel,
+    Channel,
+)
+from repro.runtime.fastpath import FusedPlan, select_vectorized, vector_capable
 from repro.runtime.interpreter import fire_worker
 from repro.runtime.state import ProgramState
 from repro.sched.schedule import Schedule, structural_leftover
@@ -44,6 +49,20 @@ class BlobRuntime:
         self.worker_ids: Set[int] = set(worker_ids)
         self.check_rates = check_rates
         self.rate_only = rate_only
+        # Backend selection is per blob: a blob vectorizes exactly when
+        # all of its own workers store plain numbers (independent of
+        # its neighbors) and its share of the steady schedule offers
+        # batches large enough to amortize the batch-kernel call
+        # overhead.
+        ordered_ids = sorted(self.worker_ids)
+        blob_workers = [graph.worker(w) for w in ordered_ids]
+        self.vector_capable = vector_capable(blob_workers)
+        mean_firings = (sum(schedule.repetitions.get(w, 0)
+                            for w in ordered_ids)
+                        / max(len(ordered_ids), 1))
+        self.vectorized = select_vectorized(blob_workers, check_rates,
+                                            rate_only,
+                                            mean_firings=mean_firings)
         self._leftovers = structural_leftover(graph)
 
         self.internal_edges: List[Edge] = []
@@ -62,9 +81,14 @@ class BlobRuntime:
         self.has_head = graph.head.worker_id in self.worker_ids
         self.has_tail = graph.tail.worker_id in self.worker_ids
 
+        # Internal and boundary-input edges carry the blob's numeric
+        # stream and become contiguous buffers under the vectorized
+        # backend; the graph-input pseudo-channel and staging buffers
+        # stay deques (arbitrary external objects, list handoff).
+        edge_channel = ArrayChannel if self.vectorized else Channel
         self.channels: Dict[int, Channel] = {}
         for edge in self.internal_edges + self.boundary_in:
-            self.channels[edge.index] = Channel()
+            self.channels[edge.index] = edge_channel()
         if self.has_head:
             self.channels[GRAPH_INPUT] = Channel()
         self.staging: Dict[int, List[Any]] = {
@@ -159,6 +183,17 @@ class BlobRuntime:
         self.worker_ids = set(worker_ids)
         self.check_rates = check_rates
         self.rate_only = rate_only
+        # The layout records structural vector capability (it is part
+        # of the cache fingerprint via the worker signatures); the
+        # actual mode still depends on this run's execution flags.
+        self.vector_capable = layout.vector_capable
+        blob_workers = [graph.worker(w) for w in layout.topo]
+        mean_firings = (sum(schedule.repetitions.get(w, 0)
+                            for w in layout.topo)
+                        / max(len(layout.topo), 1))
+        self.vectorized = select_vectorized(blob_workers, check_rates,
+                                            rate_only,
+                                            mean_firings=mean_firings)
         self._leftovers = layout.leftovers.copy()
         edges = graph.edges
         self.internal_edges = [edges[i] for i in layout.internal_edges]
@@ -166,8 +201,9 @@ class BlobRuntime:
         self.boundary_out = [edges[i] for i in layout.boundary_out]
         self.has_head = layout.has_head
         self.has_tail = layout.has_tail
+        edge_channel = ArrayChannel if self.vectorized else Channel
         self.channels = {
-            index: Channel()
+            index: edge_channel()
             for index in layout.internal_edges + layout.boundary_in
         }
         if self.has_head:
@@ -362,6 +398,7 @@ class BlobRuntime:
             self._fused = FusedPlan(
                 self.graph, order, self._in_channels, self._out_channels,
                 rate_only=False,
+                vectorized=self.vectorized,
             )
         before = (
             self.channels[GRAPH_INPUT].total_popped if self.has_head else 0

@@ -23,25 +23,110 @@ replacing the per-firing ``[None] * push`` allocation in
 is exact because the steady schedule already fires each worker all of
 its repetitions consecutively in topological order.
 
+In ``vectorized`` mode the data itself is batched, not just the
+firings: edges live in contiguous :class:`ArrayChannel` buffers and
+each step executes all of a worker's firings as one
+``work_batch(inputs, outputs, n_firings)`` call over zero-copy views.
+Workers without a batch kernel fall back to the per-firing scalar loop
+inside the same plan, so a blob vectorizes as a whole whenever all its
+workers merely *store* floats (``vector_items``), even if only some
+ship kernels.  Selection is automatic (:func:`select_vectorized`):
+never with rate checking or rate-only timing, and — because a NumPy
+call over one or two items costs more than the scalar loop it
+replaces — only when the steady schedule gives the average worker at
+least :data:`VECTOR_MIN_MEAN_FIRINGS` firings per iteration to
+amortize over.  ``REPRO_VECTORIZE=0`` opts out entirely;
+``REPRO_VECTORIZE=1`` (or ``force``) skips the amortization threshold
+and vectorizes every capable graph.
+
 The plan never changes scheduling decisions: it executes exactly the
 firing order it was built from, so fused output is byte-identical to
 the per-firing interpreter (the test suite asserts this for all
-apps).
+apps and for the vectorized backend).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+import os
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.graph.topology import StreamGraph
+from repro.graph.workers import Worker
 from repro.runtime.channels import (
+    ArrayChannel,
     Channel,
+    HAVE_NUMPY,
     InputPort,
     OutputPort,
     RateViolationError,
 )
 
-__all__ = ["FusedPlan", "ReusableInputPort", "ReusableOutputPort"]
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain bakes numpy in
+    _np = None
+
+__all__ = [
+    "FusedPlan",
+    "ReusableInputPort",
+    "ReusableOutputPort",
+    "VECTOR_MIN_MEAN_FIRINGS",
+    "select_vectorized",
+    "vector_capable",
+]
+
+#: Auto-selection threshold: mean steady firings per worker below
+#: which batch kernels cannot amortize their per-call overhead and the
+#: scalar backend stays faster.  Measured break-even on the shipped
+#: apps sits around 4-8 firings; schedules boosted for throughput
+#: (cluster multipliers, the vectorized benchmark tier) clear it by
+#: orders of magnitude.
+VECTOR_MIN_MEAN_FIRINGS = 8.0
+
+
+def vector_capable(workers: Iterable[Worker]) -> bool:
+    """Structural capability: may these workers' edges be float64 buffers?
+
+    True when NumPy is available and every worker declares
+    ``vector_items`` — the conjunction matters because edges are shared,
+    so one worker exchanging non-numeric items (e.g. ``Counter``'s
+    tagged tuples) excludes its whole blob.
+    """
+    if not HAVE_NUMPY:
+        return False
+    return all(worker.vector_items for worker in workers)
+
+
+def select_vectorized(workers: Iterable[Worker], check_rates: bool,
+                      rate_only: bool,
+                      mean_firings: float = None) -> bool:
+    """The backend-selection rule applied per graph (or per blob).
+
+    Vectorized execution is chosen exactly when (a) canonical
+    per-firing rate enforcement is off — ``check_rates`` keeps the
+    scalar oracle authoritative, (b) the run moves real data
+    (``rate_only`` flows placeholders that have no numeric form),
+    (c) every worker opts in structurally, (d) the operator has not
+    set ``REPRO_VECTORIZE=0``, and (e) the steady schedule offers
+    enough firings per worker (``mean_firings``, when the caller knows
+    it) to amortize the per-call overhead of a batch kernel.
+
+    ``REPRO_VECTORIZE=1`` (or ``force``) bypasses the amortization
+    threshold: every capable graph vectorizes regardless of batch
+    size.  Correctness never depends on the threshold — both backends
+    are byte-identical — so forcing is always safe, just not always
+    faster.
+    """
+    if check_rates or rate_only:
+        return False
+    env = os.environ.get("REPRO_VECTORIZE", "auto")
+    if env == "0":
+        return False
+    if (env not in ("1", "force")
+            and mean_firings is not None
+            and mean_firings < VECTOR_MIN_MEAN_FIRINGS):
+        return False
+    return vector_capable(workers)
 
 
 class ReusableInputPort(InputPort):
@@ -91,6 +176,42 @@ class _Step:
         ]
 
 
+class _VectorStep:
+    """One worker's firings as a single batch call, channels prebound.
+
+    ``in_specs`` rows are ``(channel, consume, window, is_array)`` —
+    ``window`` includes the peeking overhang beyond the ``consume``
+    items the batch pops; ``out_specs`` rows are ``(channel, count,
+    is_array)``.  Non-array channels (the graph-input/-output deques
+    and blob staging buffers) are bridged through temporary arrays.
+    ``batch`` is ``None`` for workers without a kernel: they run the
+    per-firing scalar loop inside the vectorized plan.
+    """
+
+    __slots__ = ("worker", "fire", "ins", "outs", "firings", "batch",
+                 "in_specs", "out_specs")
+
+    def __init__(self, step: "_Step"):
+        worker = step.worker
+        self.worker = worker
+        self.fire = step.fire
+        self.ins = step.ins
+        self.outs = step.outs
+        self.firings = step.firings
+        self.batch = worker.work_batch if worker.supports_work_batch else None
+        self.in_specs = [
+            (channel, pop * step.firings,
+             pop * step.firings + (peek - pop),
+             isinstance(channel, ArrayChannel))
+            for channel, pop, peek in zip(step.ins, worker.pop_rates,
+                                          worker.peek_rates)
+        ]
+        self.out_specs = [
+            (channel, push * step.firings, isinstance(channel, ArrayChannel))
+            for channel, push in zip(step.outs, worker.push_rates)
+        ]
+
+
 class FusedPlan:
     """A steady-state firing order compiled into a linear program.
 
@@ -108,9 +229,14 @@ class FusedPlan:
         in_channels: Mapping[int, List[Channel]],
         out_channels: Mapping[int, List[Channel]],
         rate_only: bool = False,
+        vectorized: bool = False,
     ):
         self.graph = graph
         self.rate_only = rate_only
+        if vectorized and rate_only:
+            raise ValueError(
+                "vectorized and rate_only modes are mutually exclusive")
+        self.vectorized = vectorized
         self.validated = False
         self.iterations = 0
         self._steps: List[_Step] = []
@@ -149,6 +275,19 @@ class FusedPlan:
             ]
             if pops or pushes:
                 self._rate_steps.append((pops, pushes))
+        # Vectorized linear program: one batch kernel call per step
+        # over zero-copy channel views (build-time capability check;
+        # per-worker scalar fallback inside the same plan).
+        self._vector_steps: List[_VectorStep] = []
+        if vectorized:
+            if _np is None:  # pragma: no cover - numpy is a baked-in dep
+                raise RuntimeError("vectorized plan requires numpy")
+            for step in self._steps:
+                if not step.worker.vector_items:
+                    raise ValueError(
+                        "vectorized plan requires vector_items on every "
+                        "worker; %s does not declare it" % step.worker.name)
+                self._vector_steps.append(_VectorStep(step))
 
     # -- build-time rate checking -------------------------------------------
 
@@ -189,7 +328,70 @@ class FusedPlan:
     def firings_per_iteration(self) -> int:
         return sum(step.firings for step in self._steps)
 
+    @property
+    def mode(self) -> str:
+        """Execution backend: ``scalar``, ``rate_only`` or ``vectorized``."""
+        if self.rate_only:
+            return "rate_only"
+        if self.vectorized:
+            return "vectorized"
+        return "scalar"
+
+    @property
+    def batched_steps(self) -> int:
+        """Steps running a batch kernel (vs per-worker scalar fallback)."""
+        return sum(1 for step in self._vector_steps
+                   if step.batch is not None)
+
     # -- execution -----------------------------------------------------------
+
+    def _run_vector_steps(self) -> None:
+        """One steady iteration of batch kernel calls.
+
+        Channel movement is done by the plan, in step order: inputs
+        are consumed (counters advance exactly as ``consume`` scalar
+        pops would) before the kernel runs, outputs are reserved as
+        writable views the kernel must fill.  Views into an
+        ArrayChannel stay valid for the whole step because only
+        *other* channels are touched before the kernel finishes.
+        """
+        for step in self._vector_steps:
+            batch = step.batch
+            if batch is None:
+                fire = step.fire
+                ins = step.ins
+                outs = step.outs
+                for _ in range(step.firings):
+                    fire(ins, outs)
+                continue
+            inputs = []
+            for channel, consume, window, is_array in step.in_specs:
+                if is_array:
+                    view = channel.peek_block(window)
+                    if consume:
+                        channel.pop_block(consume)
+                else:
+                    view = _np.array(channel.snapshot_prefix(window),
+                                     dtype=_np.float64)
+                    view.flags.writeable = False
+                    if consume:
+                        channel.pop_many(consume)
+                inputs.append(view)
+            outputs = []
+            staged = None
+            for channel, count, is_array in step.out_specs:
+                if is_array:
+                    outputs.append(channel.push_block(count))
+                else:
+                    buffer = _np.empty(count, dtype=_np.float64)
+                    outputs.append(buffer)
+                    if staged is None:
+                        staged = []
+                    staged.append((channel, buffer))
+            batch(inputs, outputs, step.firings)
+            if staged is not None:
+                for channel, buffer in staged:
+                    channel.push_many(buffer.tolist())
 
     def run_iteration(self) -> None:
         """One steady iteration with all checks elided."""
@@ -199,6 +401,8 @@ class FusedPlan:
                     channel.pop_many(count)
                 for channel, buffer in pushes:
                     channel.push_many(buffer)
+        elif self.vectorized:
+            self._run_vector_steps()
         else:
             for step in self._steps:
                 fire = step.fire
@@ -214,6 +418,9 @@ class FusedPlan:
         Used for the first executed iteration: dynamically proves that
         every worker honors its declared rates against this plan's
         bindings, after which per-firing checks are elided for good.
+        Vectorized plans validate the same way — their first iteration
+        runs the scalar port path (byte-identical by construction), and
+        batch kernels take over from the second iteration on.
         Rate-only mode needs no dynamic pass — ``pop_many`` already
         enforces the only property placeholders have.
         """

@@ -18,11 +18,12 @@ from repro.graph.workers import Worker
 from repro.runtime.channels import (
     GRAPH_INPUT,
     GRAPH_OUTPUT,
+    ArrayChannel,
     Channel,
     InputPort,
     OutputPort,
 )
-from repro.runtime.fastpath import FusedPlan
+from repro.runtime.fastpath import FusedPlan, select_vectorized, vector_capable
 from repro.runtime.state import ProgramState
 from repro.sched.schedule import Schedule, make_schedule
 
@@ -78,17 +79,11 @@ class GraphInterpreter:
         state: Optional[ProgramState] = None,
         check_rates: bool = True,
         rate_only: bool = False,
+        vectorize: Optional[bool] = None,
     ):
         self.graph = graph
         self.check_rates = check_rates
         self.rate_only = rate_only
-        self.channels: Dict[int, Channel] = {
-            edge.index: Channel() for edge in graph.edges
-        }
-        self.channels[GRAPH_INPUT] = Channel()
-        self.channels[GRAPH_OUTPUT] = Channel()
-        if state is not None:
-            self._install_state(state)
         initial_contents = (
             {k: len(v) for k, v in state.edge_contents.items()}
             if state is not None else None
@@ -96,6 +91,42 @@ class GraphInterpreter:
         self.schedule = schedule or make_schedule(
             graph, initial_contents=initial_contents
         )
+        # Backend selection: ``None`` picks the vectorized backend
+        # automatically whenever the selection rule allows (all workers
+        # numeric, no rate checking, real data, batches large enough to
+        # amortize); ``False`` forces the scalar backend; ``True``
+        # demands vectorization and fails loudly when the graph cannot
+        # support it.
+        if vectorize is None:
+            mean_firings = (sum(self.schedule.repetitions.values())
+                            / max(len(graph.workers), 1))
+            self.vectorized = select_vectorized(
+                graph.workers, check_rates, rate_only,
+                mean_firings=mean_firings)
+        elif vectorize:
+            if check_rates or rate_only:
+                raise ValueError(
+                    "vectorize=True requires check_rates=False and "
+                    "rate_only=False")
+            if not vector_capable(graph.workers):
+                raise ValueError(
+                    "graph is not vector-capable: %s"
+                    % sorted(w.name for w in graph.workers
+                             if not w.vector_items))
+            self.vectorized = True
+        else:
+            self.vectorized = False
+        edge_channel = ArrayChannel if self.vectorized else Channel
+        self.channels: Dict[int, Channel] = {
+            edge.index: edge_channel() for edge in graph.edges
+        }
+        # The external pseudo-channels stay deques: input may carry
+        # arbitrary objects before the graph sees it and take_output
+        # hands the deque contents back verbatim.
+        self.channels[GRAPH_INPUT] = Channel()
+        self.channels[GRAPH_OUTPUT] = Channel()
+        if state is not None:
+            self._install_state(state)
         self._in_channels: Dict[int, List[Channel]] = {}
         self._out_channels: Dict[int, List[Channel]] = {}
         for worker in graph.workers:
@@ -197,6 +228,7 @@ class GraphInterpreter:
                 self.graph, self.schedule.firing_order(),
                 self._in_channels, self._out_channels,
                 rate_only=self.rate_only,
+                vectorized=self.vectorized,
             )
         return self._fused
 

@@ -150,6 +150,56 @@ class TestGraphRules:
         assert not fired(check_graph(medium_stateless()), "G004")
 
 
+class TestVectorBatchRules:
+    def test_v001_fires_on_short_batch_output(self):
+        class ShortOutput(ScaleFilter):
+            def work_batch(self, inputs, outputs, n_firings):
+                outputs[0][:n_firings - 1] = inputs[0][:n_firings - 1]
+
+        graph = Pipeline(ShortOutput(2.0), Identity()).flatten()
+        findings = fired(check_graph(graph), "V001")
+        assert findings and findings[0].is_error
+        assert "cannot equal push_rate * n_firings" in findings[0].message
+
+    def test_v001_fires_on_kernel_that_raises(self):
+        class Mutator(ScaleFilter):
+            def work_batch(self, inputs, outputs, n_firings):
+                inputs[0][0] = 0.0  # probe inputs are read-only
+                outputs[0][...] = inputs[0]
+
+        graph = Pipeline(Mutator(2.0), Identity()).flatten()
+        findings = fired(check_graph(graph), "V001")
+        assert findings and findings[0].is_error
+        assert "does not honor the declared rates" in findings[0].message
+
+    def test_v001_fires_on_batch_kernel_without_capability(self):
+        class NoCapability(ScaleFilter):
+            vector_items = False
+
+            def work_batch(self, inputs, outputs, n_firings):
+                outputs[0][...] = inputs[0]
+
+        graph = Pipeline(NoCapability(2.0), Identity()).flatten()
+        findings = fired(check_graph(graph), "V001")
+        assert findings and findings[0].is_error
+        assert "without vector_items" in findings[0].message
+
+    def test_v001_silent_on_conforming_kernels(self):
+        # The library's own batch kernels (scale, accumulate, decimate,
+        # expand, splitters/joiners) must all pass their own lint.
+        graph = Pipeline(
+            ScaleFilter(2.0),
+            SplitJoin(
+                RoundRobinSplitter(2),
+                Accumulator(),
+                Decimator(2),
+                RoundRobinJoiner((2, 1)),
+            ),
+            Expander(2),
+        ).flatten()
+        assert not fired(check_graph(graph), "V001")
+
+
 # ---------------------------------------------------------------------------
 # Configuration pass family
 # ---------------------------------------------------------------------------

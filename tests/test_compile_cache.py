@@ -224,6 +224,8 @@ class TestPlanCache:
             assert a._steady_in_need == b._steady_in_need
             assert a._init_in_need == b._init_in_need
             assert a._leftovers == b._leftovers
+            assert a.vector_capable == b.vector_capable
+            assert a.vectorized == b.vectorized
             assert fresh.fused_edges == original.fused_edges
             assert fresh.removed_workers == original.removed_workers
 
@@ -239,6 +241,41 @@ class TestPlanCache:
                                CostModel(), cache=cache), None)
         assert cache.plan_hits == 1
         assert _run_program(warm, 4) == _run_program(cold, 4)
+
+    def test_vector_capability_round_trips_through_layouts(self):
+        """``BlobLayout.vector_capable`` carries the backend capability
+        through store/lookup so a rehydrated blob makes the same
+        backend decision as the cold compile it mirrors."""
+        cache = CompilationCache()
+        configuration = partition_even(medium_stateful(), [0, 1],
+                                       multiplier=2)
+        cold = plan_configuration(medium_stateful(), configuration,
+                                  CostModel(), cache=cache)
+        warm = plan_configuration(medium_stateful(), configuration,
+                                  CostModel(), cache=cache)
+        assert cache.plan_hits == 1
+        for fresh, original in zip(warm.pseudo_blobs, cold.pseudo_blobs):
+            assert (fresh.runtime.vector_capable
+                    == original.runtime.vector_capable)
+            assert fresh.runtime.vectorized == original.runtime.vectorized
+        # The stateful medium graph is all-numeric, so capability must
+        # actually be True somewhere for this test to mean anything.
+        assert all(blob.runtime.vector_capable
+                   for blob in warm.pseudo_blobs)
+
+    def test_capability_flags_change_fingerprint(self):
+        """A worker gaining or losing a batch kernel (or numeric-item
+        capability) must miss the cache: the vectorized/scalar split
+        is part of what phase 1 compiled."""
+        base = medium_stateless()
+        stripped = medium_stateless()
+        batched = next(w for w in stripped.workers if w.supports_work_batch)
+        batched.work_batch = None
+        assert graph_fingerprint(base) != graph_fingerprint(stripped)
+        opaque = medium_stateless()
+        numeric = next(w for w in opaque.workers if w.vector_items)
+        numeric.vector_items = False
+        assert graph_fingerprint(base) != graph_fingerprint(opaque)
 
     def test_tracer_sees_cache_counters(self):
         cache = CompilationCache()

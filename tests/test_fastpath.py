@@ -16,8 +16,13 @@ from hypothesis import given, settings, strategies as st
 from repro.apps import app_registry, get_app
 from repro.graph import Pipeline
 from repro.graph.library import ScaleFilter
-from repro.runtime import GraphInterpreter, RateViolationError
-from repro.runtime.fastpath import FusedPlan
+from repro.runtime import GraphInterpreter, HAVE_NUMPY, RateViolationError
+from repro.runtime.fastpath import (
+    FusedPlan,
+    VECTOR_MIN_MEAN_FIRINGS,
+    select_vectorized,
+    vector_capable,
+)
 
 from tests.conftest import ALL_GRAPH_FACTORIES, sample_input
 from tests.test_ast_properties import random_sdf_graph
@@ -101,6 +106,154 @@ class TestFusedEquivalence:
             interp.run_steady(iterations)
         assert fused.take_output() == oracle.take_output()
         _assert_states_equal(fused.capture_state(), oracle.capture_state())
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+class TestVectorizedEquivalence:
+    """The vectorized backend observes scalar semantics exactly: same
+    outputs, same captured state, same counters — byte-identical, not
+    approximately equal."""
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_app_vectorized_byte_identical(self, name):
+        spec = get_app(name)
+        blueprint = spec.blueprint(scale=SCALE)
+        oracle = GraphInterpreter(blueprint(), check_rates=True)
+        vector = GraphInterpreter(blueprint(), check_rates=False,
+                                  vectorize=True)
+        for interp in (oracle, vector):
+            _provision(interp, spec.input_fn, ITERATIONS)
+            interp.run_init()
+            interp.run_steady(ITERATIONS)
+        assert vector._fused.mode == "vectorized"
+        assert vector._fused.batched_steps > 0
+        assert vector._fused.validated
+        assert vector.take_output() == oracle.take_output()
+        _assert_states_equal(vector.capture_state(), oracle.capture_state())
+
+    @pytest.mark.parametrize("factory", ALL_GRAPH_FACTORIES,
+                             ids=lambda f: f.__name__)
+    def test_factory_graphs_vectorized_byte_identical(self, factory):
+        graph = factory()
+        if not vector_capable(graph.workers):
+            pytest.skip("graph is not vector-capable")
+        oracle = GraphInterpreter(factory(), check_rates=True)
+        vector = GraphInterpreter(graph, check_rates=False, vectorize=True)
+        for interp in (oracle, vector):
+            _provision(interp, sample_input, ITERATIONS)
+            interp.run_init()
+            interp.run_steady(ITERATIONS)
+        assert vector.take_output() == oracle.take_output()
+        _assert_states_equal(vector.capture_state(), oracle.capture_state())
+
+    @pytest.mark.parametrize("first,second", [
+        (True, False), (False, True), (True, True),
+    ], ids=["vector-to-scalar", "scalar-to-vector", "vector-to-vector"])
+    def test_mid_run_capture_restore_across_backends(self, first, second):
+        """State captured under either backend restores into the other
+        and the spliced run matches the uninterrupted scalar oracle —
+        reconfiguration may change the backend along with the blobs."""
+        from tests.conftest import stateful_pipeline
+        from repro.sched import make_schedule
+
+        items = [sample_input(i) for i in range(400)]
+        reference = GraphInterpreter(stateful_pipeline()).run_on(items)
+
+        graph = stateful_pipeline()
+        schedule = make_schedule(graph)
+        head = GraphInterpreter(graph, schedule=schedule,
+                                check_rates=False, vectorize=first)
+        boundary = 3
+        head_extra = max(graph.head.peek_rates[0] - graph.head.pop_rates[0],
+                         0)
+        prefix = schedule.init_in + boundary * schedule.steady_in + head_extra
+        head.push_input(items[:prefix])
+        head.run_to_boundary(boundary)
+        emitted = head.take_output()
+        state = head.capture_state()
+
+        resumed = GraphInterpreter(stateful_pipeline(), state=state,
+                                   check_rates=False, vectorize=second)
+        combined = emitted + resumed.run_on(items[state.consumed:])
+        assert combined == reference[:len(combined)]
+        assert len(combined) > len(emitted)
+
+    @given(random_sdf_graph(), st.integers(min_value=1, max_value=3),
+           st.lists(st.booleans(), min_size=12, max_size=12))
+    @settings(max_examples=25, deadline=None)
+    def test_property_mixed_kernels_match_oracle(self, graph, iterations,
+                                                 mask):
+        """Random SDF graphs where a random subset of workers lost
+        their batch kernels (forcing the per-firing scalar fallback
+        inside the vectorized plan) stay byte-identical to the
+        per-firing oracle."""
+        twin = copy.deepcopy(graph)
+        for worker, drop in zip(twin.workers, mask):
+            if drop:
+                worker.work_batch = None
+        oracle = GraphInterpreter(graph, check_rates=True)
+        vector = GraphInterpreter(twin, check_rates=False, vectorize=True)
+        for interp in (oracle, vector):
+            _provision(interp, sample_input, iterations)
+            interp.run_init()
+            interp.run_steady(iterations)
+        plan = vector._fused
+        assert plan.mode == "vectorized"
+        assert plan.batched_steps == sum(
+            1 for worker in twin.workers if worker.supports_work_batch)
+        assert vector.take_output() == oracle.take_output()
+        _assert_states_equal(vector.capture_state(), oracle.capture_state())
+
+
+class TestBackendSelection:
+    def test_vectorize_true_rejects_rate_checking(self):
+        graph = Pipeline(ScaleFilter(2.0), ScaleFilter(3.0)).flatten()
+        with pytest.raises(ValueError, match="check_rates"):
+            GraphInterpreter(graph, check_rates=True, vectorize=True)
+
+    def test_vectorize_true_rejects_rate_only(self):
+        graph = Pipeline(ScaleFilter(2.0), ScaleFilter(3.0)).flatten()
+        with pytest.raises(ValueError, match="rate_only"):
+            GraphInterpreter(graph, check_rates=False, rate_only=True,
+                             vectorize=True)
+
+    def test_vectorize_true_rejects_incapable_graph(self):
+        class Opaque(ScaleFilter):
+            vector_items = False
+
+        graph = Pipeline(ScaleFilter(1.0), Opaque(2.0)).flatten()
+        with pytest.raises(ValueError, match="not vector-capable"):
+            GraphInterpreter(graph, check_rates=False, vectorize=True)
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+    def test_selection_rule(self, monkeypatch):
+        workers = [ScaleFilter(1.0)]
+        monkeypatch.delenv("REPRO_VECTORIZE", raising=False)
+        # Oracle modes never vectorize.
+        assert not select_vectorized(workers, True, False, mean_firings=1e9)
+        assert not select_vectorized(workers, False, True, mean_firings=1e9)
+        # The amortization threshold gates auto-selection ...
+        assert select_vectorized(workers, False, False,
+                                 mean_firings=VECTOR_MIN_MEAN_FIRINGS)
+        assert not select_vectorized(
+            workers, False, False,
+            mean_firings=VECTOR_MIN_MEAN_FIRINGS - 0.5)
+        # ... unknown batch sizes fall back to capability only ...
+        assert select_vectorized(workers, False, False)
+        # ... REPRO_VECTORIZE=1 bypasses the threshold, =0 vetoes.
+        monkeypatch.setenv("REPRO_VECTORIZE", "1")
+        assert select_vectorized(workers, False, False, mean_firings=1.0)
+        monkeypatch.setenv("REPRO_VECTORIZE", "0")
+        assert not select_vectorized(workers, False, False,
+                                     mean_firings=1e9)
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+    def test_incapable_worker_excludes_graph(self):
+        class Opaque(ScaleFilter):
+            vector_items = False
+
+        assert vector_capable([ScaleFilter(1.0)])
+        assert not vector_capable([ScaleFilter(1.0), Opaque(2.0)])
 
 
 class TestRateOnlyBatching:

@@ -1,14 +1,18 @@
 """Tests for channels, the interpreter, and program-state handling."""
 
+from collections import deque
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graph import Pipeline
 from repro.graph.library import FIRFilter, ScaleFilter
 from repro.runtime import (
+    ArrayChannel,
     Channel,
     GRAPH_INPUT,
     GraphInterpreter,
+    HAVE_NUMPY,
     ProgramState,
     RateViolationError,
     estimate_bytes,
@@ -54,6 +58,209 @@ class TestChannel:
         assert channel.snapshot_prefix(2) == [1, 2]
         with pytest.raises(RateViolationError):
             channel.snapshot_prefix(9)
+
+    def test_snapshot_prefix_reads_only_count_items(self):
+        """The AST cut copies ``count`` items, not the whole buffer.
+
+        Regression micro-assert for the O(len) implementation that
+        sliced a full ``list(self.items)``: iterating a counting proxy
+        shows ``snapshot_prefix`` pulls exactly ``count`` items even
+        from a channel holding thousands.
+        """
+        class CountingDeque(deque):
+            yielded = 0
+
+            def __iter__(self):
+                base = super().__iter__()
+
+                def counting():
+                    for item in base:
+                        self.yielded += 1
+                        yield item
+
+                return counting()
+
+        channel = Channel()
+        channel.items = CountingDeque(range(10_000))
+        assert channel.snapshot_prefix(3) == [0, 1, 2]
+        assert channel.items.yielded == 3
+
+    def test_push_many_consumes_generator_once(self):
+        """A generator argument is materialized exactly one time.
+
+        Regression for the double-consume bug class: counting pushes
+        via a second pass over the iterable would see it exhausted and
+        record zero items (or push nothing while counting everything).
+        """
+        pulls = []
+
+        def feed():
+            for i in range(5):
+                pulls.append(i)
+                yield float(i)
+
+        channel = Channel()
+        channel.push_many(feed())
+        assert pulls == [0, 1, 2, 3, 4]
+        assert len(channel) == 5
+        assert channel.total_pushed == 5
+        assert channel.pop_many(5) == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+class TestArrayChannel:
+    """The contiguous backend honors the exact Channel contract."""
+
+    def test_fifo_semantics(self):
+        channel = ArrayChannel()
+        channel.push_many([1, 2, 3])
+        assert channel.pop() == 1
+        assert channel.pop_many(2) == [2, 3]
+        assert len(channel) == 0
+
+    def test_counters_include_preload(self):
+        channel = ArrayChannel([9, 9])
+        assert channel.total_pushed == 2
+        channel.push(9)
+        channel.pop()
+        assert channel.total_pushed == 3
+        assert channel.total_popped == 1
+
+    def test_peek_does_not_consume(self):
+        channel = ArrayChannel([5, 6])
+        assert channel.peek(1) == 6
+        assert len(channel) == 2
+
+    def test_scalar_reads_return_python_floats(self):
+        channel = ArrayChannel([1.5])
+        channel.push(2.5)
+        assert type(channel.peek(0)) is float
+        assert type(channel.pop()) is float
+        assert channel.pop_many(1) == [2.5]
+        assert all(type(v) is float for v in ArrayChannel([3.5]).snapshot())
+
+    def test_underflow_errors_match_channel(self):
+        with pytest.raises(RateViolationError):
+            ArrayChannel([1]).pop_many(2)
+        with pytest.raises(RateViolationError):
+            ArrayChannel([1]).snapshot_prefix(2)
+        with pytest.raises(IndexError):
+            ArrayChannel().pop()
+        with pytest.raises(IndexError):
+            ArrayChannel([1]).peek(1)
+
+    def test_push_many_consumes_generator_once(self):
+        pulls = []
+
+        def feed():
+            for i in range(5):
+                pulls.append(i)
+                yield float(i)
+
+        channel = ArrayChannel()
+        channel.push_many(feed())
+        assert pulls == [0, 1, 2, 3, 4]
+        assert channel.total_pushed == 5
+        assert channel.pop_many(5) == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_block_roundtrip_advances_counters(self):
+        channel = ArrayChannel()
+        view = channel.push_block(4)
+        view[:] = [1.0, 2.0, 3.0, 4.0]
+        # Counters advance at reservation time, exactly like 4 pushes.
+        assert channel.total_pushed == 4
+        assert len(channel) == 4
+        peeked = channel.peek_block(2)
+        assert peeked.tolist() == [1.0, 2.0]
+        assert len(channel) == 4
+        popped = channel.pop_block(3)
+        assert popped.tolist() == [1.0, 2.0, 3.0]
+        assert channel.total_popped == 3
+        assert channel.pop() == 4.0
+
+    def test_read_views_are_read_only(self):
+        channel = ArrayChannel([1.0, 2.0])
+        for view in (channel.peek_block(2), channel.pop_block(2)):
+            with pytest.raises(ValueError):
+                view[0] = 9.0
+
+    def test_block_underflow(self):
+        with pytest.raises(RateViolationError):
+            ArrayChannel([1.0]).peek_block(2)
+        with pytest.raises(RateViolationError):
+            ArrayChannel([1.0]).pop_block(2)
+
+    def test_growth_beyond_min_capacity(self):
+        channel = ArrayChannel()
+        items = [float(i) for i in range(5 * ArrayChannel.MIN_CAPACITY)]
+        channel.push_many(items)
+        assert channel.pop_many(len(items)) == items
+        assert channel.total_pushed == len(items)
+        assert channel.total_popped == len(items)
+
+    def test_sustained_block_traffic_preserves_order(self):
+        """Pushing faster than popping forces compaction *and*
+        reallocation; order and counters must survive both."""
+        channel = ArrayChannel()
+        expect = deque()
+        value = 0.0
+        for _ in range(50):
+            block = channel.push_block(24)
+            values = [value + i for i in range(24)]
+            block[:] = values
+            expect.extend(values)
+            value += 24.0
+            # Consume the view before the next reservation invalidates it.
+            for got in channel.pop_block(20).tolist():
+                assert got == expect.popleft()
+        assert channel.snapshot() == list(expect)
+        assert channel.total_pushed == 50 * 24
+        assert channel.total_popped == 50 * 20
+
+    @given(ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("push"),
+                      st.floats(min_value=-10, max_value=10,
+                                allow_nan=False)),
+            st.tuples(st.just("push_many"),
+                      st.lists(st.floats(min_value=-10, max_value=10,
+                                         allow_nan=False), max_size=9)),
+            st.tuples(st.just("pop"), st.none()),
+            st.tuples(st.just("pop_many"), st.integers(0, 5)),
+            st.tuples(st.just("peek"), st.integers(0, 5)),
+            st.tuples(st.just("snapshot_prefix"), st.integers(0, 5)),
+        ), max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_deque_channel(self, ops):
+        """Any operation sequence leaves ArrayChannel and Channel with
+        identical observable state: values, lengths, and the lifetime
+        counters that AST cut arithmetic depends on."""
+        reference = Channel()
+        array = ArrayChannel()
+        for op, arg in ops:
+            if op == "push":
+                reference.push(arg)
+                array.push(arg)
+            elif op == "push_many":
+                reference.push_many(arg)
+                array.push_many(arg)
+            elif op == "pop" and len(reference):
+                assert array.pop() == reference.pop()
+            elif op == "pop_many":
+                if arg <= len(reference):
+                    assert array.pop_many(arg) == reference.pop_many(arg)
+                else:
+                    with pytest.raises(RateViolationError):
+                        array.pop_many(arg)
+            elif op == "peek" and arg < len(reference):
+                assert array.peek(arg) == reference.peek(arg)
+            elif op == "snapshot_prefix" and arg <= len(reference):
+                assert (array.snapshot_prefix(arg)
+                        == reference.snapshot_prefix(arg))
+            assert len(array) == len(reference)
+            assert array.total_pushed == reference.total_pushed
+            assert array.total_popped == reference.total_popped
+        assert array.snapshot() == reference.snapshot()
 
 
 class TestRateEnforcement:
