@@ -4,7 +4,33 @@ Paper (Section 9.8): the LTE-A transceiver and the DVB-T2 receiver run
 on a single node and are repeatedly migrated, program and all, to a
 new node — with no downtime.  DVB-T2's output is inherently bursty
 because of its very high peek/pop rates.
+
+``--panel`` mode runs the Megaphone-style tail-latency panel instead:
+the keyed-aggregate app across state sizes x {stop-and-copy, adaptive,
+fluid at several batch sizes}, measuring per-item latency added by the
+reconfiguration (versus the pre-reconfiguration steady rate) and
+writing ``BENCH_migration.json``.  The gate holds the fluid strategy's
+p99 added latency at the largest state size to <= 25% of
+stop-and-copy's and below adaptive's — the whole point of batched
+migration is that the latency spike stops scaling with state size.
+
+Usage::
+
+    pytest benchmarks/bench_fig15_migration.py      # figure 15 entry
+    python benchmarks/bench_fig15_migration.py --panel            # panel + gate
+    python benchmarks/bench_fig15_migration.py --panel --no-gate  # measure only
 """
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _path in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
 
 from benchmarks.conftest import run_experiment
 from repro.experiments import format_rows, make_experiment_app, write_result
@@ -76,3 +102,282 @@ def test_fig15_full_program_migration(benchmark):
     # Both programs still produce at full rate after four migrations.
     assert results["lte_throughput"] > 0
     assert results["dvb_throughput"] > 0
+
+
+# -- Megaphone-style tail-latency panel ---------------------------------------
+
+PANEL_RESULT_PATH = os.path.join(_REPO_ROOT, "BENCH_migration.json")
+
+#: Keyed-table sizes (number of keys; ~16 estimated bytes per entry).
+PANEL_STATE_SIZES = (4096, 16384, 65536)
+#: Fluid batch-size knob values (bytes per migration batch).
+PANEL_FLUID_BATCHES = (32768, 65536, 262144)
+#: The gated fluid configuration (the CostModel default batch size).
+PANEL_GATED_BATCH = 65536
+PANEL_HOT_KEYS = 64
+PANEL_RECONFIG_AT = 25.0
+#: Added latency is measured over this window after the request; every
+#: cell's reconfiguration completes well inside it.
+PANEL_MEASURE_SECONDS = 90.0
+PANEL_GATE_RATIO = 0.25
+#: Input rate as a fraction of the old configuration's measured
+#: capacity.  The panel runs the source *below* saturation: a system
+#: with headroom drains the backlog after each migration pause, so
+#: added latency reflects the pause that caused it.  At saturation
+#: every pause would lose throughput permanently and all strategies
+#: would accumulate the same cumulative delay regardless of batching —
+#: bounded-batch migration only helps a system that can catch up,
+#: which is Megaphone's operating point.
+PANEL_INPUT_FRACTION = 0.65
+
+
+def _panel_cost_model(fluid_batch_bytes):
+    """The integration-scale model plus a per-byte snapshot cost, so a
+    one-shot state capture of a large table visibly stalls the blob —
+    the effect Figure 14b measures and fluid migration bounds."""
+    from repro.compiler.cost_model import CostModel
+    return dataclasses.replace(
+        CostModel().scaled(node_speed=2_500.0, interp_slowdown=8.0,
+                           init_iterations=2.5),
+        snapshot_seconds_per_byte=2e-6,
+        fluid_batch_bytes=float(fluid_batch_bytes),
+        fluid_batch_lead=0.5,
+    )
+
+
+def _added_latency_percentiles(app, start, end, steady_rate):
+    """Per-item latency added by the reconfiguration, in seconds.
+
+    Each item emitted in ``[start, end)`` has an *ideal* emission time
+    extrapolated from the pre-reconfiguration steady rate; its added
+    latency is how far behind that schedule it actually appeared.
+    Items queued behind a migration stall all count (not just the
+    first emission after the gap), which is what makes this a tail
+    metric: p99 reflects how many items a stall delayed and by how
+    much.  Once the new configuration catches up, added latency
+    returns to zero.
+    """
+    delays = []
+    emitted = 0
+    for at, count in app.series.events():
+        if at >= end:
+            break
+        if at < start:
+            continue
+        for _ in range(count):
+            emitted += 1
+            ideal = start + emitted / steady_rate
+            delays.append(max(0.0, at - ideal))
+    if not delays:
+        return 0, 0.0, 0.0, 0.0
+    ordered = sorted(delays)
+    p50 = ordered[len(ordered) // 2]
+    p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+    return len(ordered), p50, p99, ordered[-1]
+
+
+def _panel_capacity(n_keys):
+    """Measured saturated output rate of the old (two-node)
+    configuration, used to place the panel's input rate below it."""
+    from repro import Cluster, StreamApp, partition_even
+    from repro.apps import get_app
+
+    spec = get_app("KeyedAggregate")
+    blueprint = spec.blueprint(scale=1, n_keys=n_keys,
+                               hot_keys=PANEL_HOT_KEYS)
+    cluster = Cluster(n_nodes=3, cores_per_node=4,
+                      cost_model=_panel_cost_model(PANEL_GATED_BATCH))
+    app = StreamApp(cluster, blueprint, input_fn=spec.input_fn,
+                    name="keyed-calibrate", collect_output=True)
+    app.launch(partition_even(blueprint(), [0, 1], multiplier=4, name="A"))
+    cluster.run(until=PANEL_RECONFIG_AT)
+    if app.current is None or app.current.status != "running":
+        raise SystemExit("FAIL: panel calibration at %d keys never reached "
+                         "steady state" % n_keys)
+    rate = app.series.items_between(10.0, PANEL_RECONFIG_AT) / (
+        PANEL_RECONFIG_AT - 10.0)
+    if rate <= 0:
+        raise SystemExit("FAIL: panel calibration at %d keys produced no "
+                         "output" % n_keys)
+    return rate
+
+
+def _run_panel_cell(n_keys, strategy, fluid_batch_bytes, input_rate):
+    from repro import Cluster, StreamApp, partition_even
+    from repro.apps import get_app
+
+    spec = get_app("KeyedAggregate")
+    blueprint = spec.blueprint(scale=1, n_keys=n_keys,
+                               hot_keys=PANEL_HOT_KEYS)
+    cluster = Cluster(n_nodes=3, cores_per_node=4,
+                      cost_model=_panel_cost_model(fluid_batch_bytes))
+    app = StreamApp(cluster, blueprint, input_fn=spec.input_fn,
+                    name="keyed-panel", collect_output=True,
+                    input_rate=input_rate)
+    app.launch(partition_even(blueprint(), [0, 1], multiplier=4, name="A"))
+    cluster.run(until=PANEL_RECONFIG_AT)
+    if app.current is None or app.current.status != "running":
+        raise SystemExit("FAIL: panel cell %d/%s never reached steady state"
+                         % (n_keys, strategy))
+
+    steady_items = app.series.items_between(10.0, PANEL_RECONFIG_AT)
+    steady_rate = steady_items / (PANEL_RECONFIG_AT - 10.0)
+    if steady_rate <= 0:
+        raise SystemExit("FAIL: panel cell %d/%s has no steady output"
+                         % (n_keys, strategy))
+
+    done = app.reconfigure(
+        partition_even(blueprint(), [0, 1, 2], multiplier=4, name="B"),
+        strategy=strategy)
+    end = PANEL_RECONFIG_AT + PANEL_MEASURE_SECONDS
+    cluster.run(until=end + 10.0)
+    if not (done.triggered and done.ok):
+        raise SystemExit("FAIL: panel cell %d/%s did not complete: %r"
+                         % (n_keys, strategy, getattr(done, "value", None)))
+
+    items, p50, p99, worst = _added_latency_percentiles(
+        app, PANEL_RECONFIG_AT, end, steady_rate)
+    report = app.reconfigurations[-1]
+    return {
+        "n_keys": n_keys,
+        "strategy": strategy,
+        "fluid_batch_bytes": (fluid_batch_bytes if strategy == "fluid"
+                              else None),
+        "state_bytes": report.state_bytes,
+        "migration_batches": report.migration_batches,
+        "items_measured": items,
+        "added_latency_p50": p50,
+        "added_latency_p99": p99,
+        "added_latency_max": worst,
+    }
+
+
+def run_panel():
+    cells = []
+    rates = {}
+    for n_keys in PANEL_STATE_SIZES:
+        capacity = _panel_capacity(n_keys)
+        input_rate = PANEL_INPUT_FRACTION * capacity
+        rates[n_keys] = input_rate
+        print("panel: %6d keys  capacity=%.0f items/s, driving at %.0f"
+              % (n_keys, capacity, input_rate))
+        for strategy in ("stop_and_copy", "adaptive"):
+            print("panel: %6d keys  %-13s ..." % (n_keys, strategy), end=" ")
+            cell = _run_panel_cell(n_keys, strategy, PANEL_GATED_BATCH,
+                                   input_rate)
+            print("p50=%.3fs p99=%.3fs" % (cell["added_latency_p50"],
+                                           cell["added_latency_p99"]))
+            cells.append(cell)
+        for batch in PANEL_FLUID_BATCHES:
+            print("panel: %6d keys  fluid@%-7d ..." % (n_keys, batch),
+                  end=" ")
+            cell = _run_panel_cell(n_keys, "fluid", batch, input_rate)
+            print("p50=%.3fs p99=%.3fs batches=%s"
+                  % (cell["added_latency_p50"], cell["added_latency_p99"],
+                     cell["migration_batches"]))
+            cells.append(cell)
+    return {
+        "state_sizes": list(PANEL_STATE_SIZES),
+        "fluid_batch_sizes": list(PANEL_FLUID_BATCHES),
+        "gated_batch_bytes": PANEL_GATED_BATCH,
+        "gate_ratio": PANEL_GATE_RATIO,
+        "input_fraction": PANEL_INPUT_FRACTION,
+        "input_rates": rates,
+        "cells": cells,
+    }
+
+
+def _cell(result, n_keys, strategy, batch=None):
+    for cell in result["cells"]:
+        if (cell["n_keys"] == n_keys and cell["strategy"] == strategy
+                and (batch is None or cell["fluid_batch_bytes"] == batch)):
+            return cell
+    raise KeyError((n_keys, strategy, batch))
+
+
+def gate_panel(result):
+    """Fluid must beat both one-shot strategies on p99 added latency
+    at the largest state size, the stop-and-copy margin by 4x."""
+    largest = max(result["state_sizes"])
+    snc = _cell(result, largest, "stop_and_copy")
+    adaptive = _cell(result, largest, "adaptive")
+    fluid = _cell(result, largest, "fluid", result["gated_batch_bytes"])
+    limit = result["gate_ratio"] * snc["added_latency_p99"]
+    failures = []
+    print("gate migration-p99 @%d keys: fluid=%.3fs stop_and_copy=%.3fs "
+          "limit=%.3fs adaptive=%.3fs"
+          % (largest, fluid["added_latency_p99"], snc["added_latency_p99"],
+             limit, adaptive["added_latency_p99"]))
+    if fluid["added_latency_p99"] > limit:
+        failures.append(
+            "bench_fig15_migration[panel-p99-vs-stop-and-copy]: fluid p99 "
+            "added latency %.3fs exceeds %.3fs (%d%% of stop-and-copy's "
+            "%.3fs) at %d keys"
+            % (fluid["added_latency_p99"], limit,
+               int(result["gate_ratio"] * 100), snc["added_latency_p99"],
+               largest))
+    if fluid["added_latency_p99"] >= adaptive["added_latency_p99"]:
+        failures.append(
+            "bench_fig15_migration[panel-p99-vs-adaptive]: fluid p99 added "
+            "latency %.3fs is not below adaptive's %.3fs at %d keys"
+            % (fluid["added_latency_p99"], adaptive["added_latency_p99"],
+               largest))
+    return failures
+
+
+def _panel_summary_rows(result):
+    rows = []
+    for cell in result["cells"]:
+        label = cell["strategy"]
+        if cell["strategy"] == "fluid":
+            label = "fluid (%d KiB)" % (cell["fluid_batch_bytes"] // 1024)
+        rows.append((cell["n_keys"], label,
+                     "%.3f" % cell["added_latency_p50"],
+                     "%.3f" % cell["added_latency_p99"],
+                     cell["migration_batches"] or "-"))
+    return rows
+
+
+def main(argv=None):
+    from benchmarks.ci_summary import markdown_table, write_step_summary
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--panel", action="store_true",
+                        help="run the tail-latency panel (the pytest "
+                             "entry point runs the figure 15 experiment)")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="measure and write JSON without gating")
+    parser.add_argument("--output", default=PANEL_RESULT_PATH,
+                        help="panel JSON path (default: %s)"
+                             % PANEL_RESULT_PATH)
+    args = parser.parse_args(argv)
+    if not args.panel:
+        parser.error("this entry point only runs with --panel; "
+                     "the figure 15 experiment runs under pytest")
+
+    result = run_panel()
+    with open(args.output, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % args.output)
+
+    if write_step_summary(
+            "### Migration tail latency (added seconds per item)\n\n"
+            + markdown_table(
+                ("keys", "strategy", "p50", "p99", "batches"),
+                _panel_summary_rows(result))):
+        print("step summary updated")
+
+    if args.no_gate:
+        return 0
+    failures = gate_panel(result)
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure, file=sys.stderr)
+        return 1
+    print("migration panel passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""GitHub Actions step-summary output for the benchmark harness.
+
+CI jobs surface their headline numbers as a Markdown table in the
+run's summary page by appending to the file named by the
+``GITHUB_STEP_SUMMARY`` environment variable.  Locally (no such
+variable) the helpers are no-ops, so benchmark scripts can call them
+unconditionally.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+__all__ = ["markdown_table", "write_step_summary"]
+
+
+def markdown_table(header: Sequence[str],
+                   rows: Iterable[Sequence[object]]) -> str:
+    lines = ["| " + " | ".join(str(c) for c in header) + " |",
+             "|" + "|".join(" --- " for _ in header) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def write_step_summary(markdown: str) -> bool:
+    """Append a Markdown block to the job's step summary, if in CI.
+
+    Returns True when something was written (useful for logging).
+    """
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return False
+    with open(path, "a") as handle:
+        handle.write(markdown.rstrip() + "\n\n")
+    return True

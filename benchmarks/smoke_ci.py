@@ -180,31 +180,39 @@ def validate_traces(trace_dir):
     return failures
 
 
-#: metric key -> human label.  Exact-zero gates: any duplicated output
-#: item forwarded downstream breaks output equivalence outright, so no
-#: tolerance applies.
+#: metric key -> (benchmark name, human label).  Exact-zero gates: any
+#: duplicated output item forwarded downstream breaks output
+#: equivalence outright, so no tolerance applies.
 ZERO_GATED = {
-    "fig04_duplicate_emitted": "stop-and-copy duplicated output items",
-    "fig05_duplicate_emitted": "two-phase duplicated output items",
-    "vector_duplicate_emitted": "vectorized-backend duplicated output",
-    "vector_scalar_blobs": "vectorized-backend scalar fallbacks",
+    "fig04_duplicate_emitted": ("fig04_stop_and_copy",
+                                "stop-and-copy duplicated output items"),
+    "fig05_duplicate_emitted": ("fig05_two_phase",
+                                "two-phase duplicated output items"),
+    "vector_duplicate_emitted": ("vectorized_smoke",
+                                 "vectorized-backend duplicated output"),
+    "vector_scalar_blobs": ("vectorized_smoke",
+                            "vectorized-backend scalar fallbacks"),
 }
 
 
 def gate(measured, baseline):
+    # Every failure line names the benchmark and carries both sides of
+    # the comparison (expected/limit and measured), so a red CI log is
+    # diagnosable without re-running locally.
     failures = []
-    for key, label in sorted(ZERO_GATED.items()):
+    for key, (bench, label) in sorted(ZERO_GATED.items()):
         got = measured[key]
         status = "OK" if got == 0 else "CORRECTNESS FAILURE"
         print("gate %-35s must be 0, measured=%d %s"
               % (label, int(got), status))
         if got != 0:
-            failures.append("%s: %d output items were emitted twice"
-                            % (label, int(got)))
+            failures.append(
+                "%s[%s]: expected 0, measured %d (output items emitted "
+                "twice)" % (bench, key, int(got)))
     for key, (bench, label) in sorted(GATED.items()):
         if key not in baseline:
-            failures.append("baseline missing %r; run --update-baseline"
-                            % key)
+            failures.append("%s[%s]: baseline missing; run "
+                            "--update-baseline" % (bench, key))
             continue
         base, got = baseline[key], measured[key]
         limit = base * (1.0 + TOLERANCE)
@@ -213,12 +221,14 @@ def gate(measured, baseline):
               "limit=%.3fs %s" % (bench, label, base, got, limit, status))
         if got > limit:
             failures.append(
-                "%s regressed: %.3fs > %.3fs (baseline %.3fs +%d%%)"
-                % (label, got, limit, base, int(TOLERANCE * 100)))
+                "%s[%s]: %s regressed: measured %.3fs exceeds limit %.3fs "
+                "(baseline %.3fs +%d%%)"
+                % (bench, key, label, got, limit, base,
+                   int(TOLERANCE * 100)))
     for key, (bench, label) in sorted(MIN_GATED.items()):
         if key not in baseline:
-            failures.append("baseline missing %r; run --update-baseline"
-                            % key)
+            failures.append("%s[%s]: baseline missing; run "
+                            "--update-baseline" % (bench, key))
             continue
         base, got = baseline[key], measured[key]
         floor = base * (1.0 - TOLERANCE)
@@ -227,8 +237,10 @@ def gate(measured, baseline):
               "floor=%.3f  %s" % (bench, label, base, got, floor, status))
         if got < floor:
             failures.append(
-                "%s regressed: %.3f < %.3f (baseline %.3f -%d%%)"
-                % (label, got, floor, base, int(TOLERANCE * 100)))
+                "%s[%s]: %s regressed: measured %.3f fell below floor %.3f "
+                "(baseline %.3f -%d%%)"
+                % (bench, key, label, got, floor, base,
+                   int(TOLERANCE * 100)))
     return failures
 
 

@@ -189,4 +189,46 @@ def check_snapshot_cut(ctx: ReconfigurationContext) -> Iterable[Finding]:
         )
 
 
-RECONFIG_RULES: List[str] = ["R001", "R002", "R003"]
+@rule("R004", "reconfiguration", "Fluid batch-plan completeness",
+      "The fluid strategy migrates keyed state in bounded batches; the "
+      "batch plan derived from the running graph must cover every "
+      "stateful worker exactly once, with keyed-field declarations "
+      "that actually shard (field exists, holds a dict, and the "
+      "split/merge round-trip is the identity) — otherwise a fluid "
+      "migration would drop or duplicate state mid-flight.")
+def check_batch_plan(ctx: ReconfigurationContext) -> Iterable[Finding]:
+    if not ctx.old_graph.is_stateful:
+        return  # nothing to migrate; fluid degenerates to adaptive.
+    from repro.compiler.cost_model import CostModel
+    from repro.core.migration import plan_migration
+    cost_model = ctx.cost_model if ctx.cost_model is not None else CostModel()
+    batch_bytes = max(1, int(cost_model.fluid_batch_bytes))
+    try:
+        plan = plan_migration(ctx.old_graph, batch_bytes)
+    except Exception as exc:
+        yield Finding(
+            rule="R004", severity=ERROR,
+            message="fluid batch planning fails: %s"
+                    % str(exc).splitlines()[0],
+        )
+        return
+    for problem in plan.validate(ctx.old_graph):
+        yield Finding(rule="R004", severity=ERROR, message=problem)
+    oversized = [shard for shard in plan.shards
+                 if shard.estimated_bytes > batch_bytes]
+    if oversized:
+        shard = oversized[0]
+        yield Finding(
+            rule="R004", severity=INFO,
+            message="%d shard(s) exceed the %d-byte batch bound (e.g. "
+                    "%s#%d shard %d at ~%d bytes): a single key range "
+                    "cannot be split further, so its batch will blow "
+                    "the latency budget"
+                    % (len(oversized), batch_bytes, shard.worker_name,
+                       shard.worker_id, shard.shard_index,
+                       shard.estimated_bytes),
+            location=worker_location(ctx.old_graph, shard.worker_id),
+        )
+
+
+RECONFIG_RULES: List[str] = ["R001", "R002", "R003", "R004"]

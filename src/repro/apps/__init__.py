@@ -3,8 +3,10 @@
 Six StreamIt/StreamJIT benchmarks used in Table 1 — Beamformer and
 Vocoder (stateful), TDE_PP, FMRadio, SAR and FilterBank (stateless) —
 plus the two real-world applications of Section 8 (the LTE-A uplink
-transceiver and the DVB-T2 receiver) and configurable synthetic
-workloads for the state-size and workload-fluctuation experiments.
+transceiver and the DVB-T2 receiver), configurable synthetic
+workloads for the state-size and workload-fluctuation experiments,
+and a keyed-aggregation app exercising splittable keyed state (the
+fluid migration demo).
 
 Each application module exposes a ``blueprint(scale)`` factory
 returning a zero-argument graph constructor, plus a module-level
@@ -50,8 +52,8 @@ class AppSpec:
 def app_registry() -> Dict[str, AppSpec]:
     """All registered applications by name."""
     from repro.apps import (
-        beamformer, dvbt2, filterbank, fmradio, lte, sar, synthetic, tde,
-        vocoder,
+        beamformer, dvbt2, filterbank, fmradio, keyed, lte, sar, synthetic,
+        tde, vocoder,
     )
     specs = [
         beamformer.APP,
@@ -63,6 +65,7 @@ def app_registry() -> Dict[str, AppSpec]:
         lte.APP,
         dvbt2.APP,
         synthetic.APP,
+        keyed.APP,
     ]
     return {spec.name: spec for spec in specs}
 

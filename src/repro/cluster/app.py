@@ -106,6 +106,10 @@ class StreamApp:
         self.current: Optional[GraphInstance] = None
         self.events: List[Tuple[float, str, dict]] = []
         self.reconfigurations: List = []  # ReconfigReport objects
+        #: Last time any running strategy reported forward progress
+        #: (see ``Reconfigurer._progress``); the manager's
+        #: progress-aware watchdog keys off this.
+        self.reconfig_progress_at: Optional[float] = None
         #: Per-app compilation cache: every compile this app performs
         #: (launch, strategies, tuner trials) shares it, while separate
         #: runs stay independent so identical runs produce identical

@@ -22,7 +22,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.compiler.compiled import CompiledBlob, CompiledProgram
 from repro.runtime.channels import GRAPH_INPUT, GRAPH_OUTPUT
-from repro.runtime.state import ProgramState
+from repro.runtime.state import ProgramState, estimate_bytes
 from repro.sim.kernel import Environment, Event, Interrupt
 from repro.cluster.links import DataLink
 from repro.cluster.node import SimNode
@@ -33,10 +33,23 @@ __all__ = ["BlobProcess", "GraphInstance", "ASTRequest"]
 
 @dataclass
 class ASTRequest:
-    """An asynchronous-state-transfer request for one blob."""
+    """An asynchronous-state-transfer request for one blob.
+
+    The default shape (``kind="full"``) is the paper's AST: snapshot
+    the blob's whole state share at an iteration boundary.  The fluid
+    strategy adds ``kind="keyed_shard"`` — capture one key-range shard
+    of one keyed worker's table — and ``residual=True`` on its final
+    full cut, which makes keyed workers under migration report deltas
+    instead of full tables.
+    """
 
     iteration: int
     reply: Event
+    kind: str = "full"
+    residual: bool = False
+    worker_id: int = -1
+    shard_index: int = 0
+    n_shards: int = 1
 
 
 class BlobProcess:
@@ -84,7 +97,8 @@ class BlobProcess:
         """Fault injection: freeze the steady loop until ``until``."""
         self.stall_until = max(self.stall_until, until)
 
-    def request_ast(self, iteration: int, reply: Event) -> bool:
+    def request_ast(self, iteration: int, reply: Event,
+                    residual: bool = False) -> bool:
         """Ask for a state snapshot at the given iteration boundary.
 
         Returns False when the boundary has already passed (the
@@ -92,11 +106,16 @@ class BlobProcess:
         a later boundary — the reason the paper aims three seconds
         ahead).
         """
-        if self.runtime.iteration + 2 > iteration:
+        return self.request_snapshot(
+            ASTRequest(iteration=iteration, reply=reply, residual=residual))
+
+    def request_snapshot(self, request: ASTRequest) -> bool:
+        """Install an :class:`ASTRequest` (full or keyed-shard)."""
+        if self.runtime.iteration + 2 > request.iteration:
             # Too close: the blob may be mid-iteration and would sail
             # past the boundary before seeing the request.
             return False
-        self.ast = ASTRequest(iteration=iteration, reply=reply)
+        self.ast = request
         self.notify()
         return True
 
@@ -271,6 +290,10 @@ class BlobProcess:
                     continue
                 break
             state = runtime.capture_state()
+            pause = self.instance.cost_model.snapshot_seconds(
+                state.size_bytes())
+            if pause > 0:
+                yield self.env.timeout(pause)
             span.annotate(firings=total_firings,
                           state_bytes=state.size_bytes())
         self.instance._blob_stopped(self)
@@ -282,6 +305,9 @@ class BlobProcess:
         runtime = self.runtime
         tracer = self.env.tracer
         track = "node%d" % self.node.node_id
+        if request.kind == "keyed_shard":
+            yield from self._shard_snapshot(request)
+            return
         expected = self.instance.expected_cut(self.blob, request.iteration)
         with tracer.span("blob", "ast.snapshot", track=track,
                          instance=self.instance.instance_id,
@@ -292,18 +318,65 @@ class BlobProcess:
                 for key, (pushed, _) in expected.items()
             ))
             cut_lengths = {key: cut for key, (_, cut) in expected.items()}
-            state = runtime.capture_state(cut_lengths=cut_lengths)
+            state = runtime.capture_state(cut_lengths=cut_lengths,
+                                          residual=request.residual)
+            # The blob is paused while the snapshot is cut; the pause
+            # scales with the captured bytes (zero by default) — the
+            # latency spike fluid migration bounds per batch.
+            pause = self.instance.cost_model.snapshot_seconds(
+                state.size_bytes())
+            if pause > 0:
+                yield self.env.timeout(pause)
         self.ast = None
         # The transfer to the controller happens off the critical path:
         # the blob keeps executing while the state travels.
-        delay = self.instance.cost_model.transfer_seconds(state.size_bytes())
-        transfer = tracer.begin("state", "state.transfer", track=track,
+        self._async_transfer(state, state.size_bytes(), request.reply)
+
+    def _shard_snapshot(self, request: ASTRequest):
+        """Fluid migration: capture one key-range shard at the barrier.
+
+        No edge cut is involved — the shard is a pure worker-state
+        read, so the blob pauses only for the shard's own snapshot
+        cost and keeps running while the shard travels.
+        """
+        worker = self.runtime.graph.worker(request.worker_id)
+        track = "node%d" % self.node.node_id
+        session = getattr(worker, "key_migration", None)
+        if session is None:
+            # Not retryable (unlike a missed boundary): the strategy
+            # aborts rather than loop — hence LookupError, which the
+            # shard_capture retry loop does not swallow.
+            self.ast = None
+            if not request.reply.triggered:
+                request.reply.fail(LookupError(
+                    "no active key migration on worker %d"
+                    % request.worker_id))
+            return
+        with self.env.tracer.span(
+                "blob", "shard.snapshot", track=track,
+                instance=self.instance.instance_id,
+                blob=self.blob.spec.blob_id, worker=request.worker_id,
+                shard=request.shard_index, boundary=request.iteration):
+            shard = session.capture_shard(request.shard_index,
+                                          request.n_shards)
+            n_bytes = estimate_bytes(shard)
+            pause = self.instance.cost_model.snapshot_seconds(n_bytes)
+            if pause > 0:
+                yield self.env.timeout(pause)
+        self.ast = None
+        self._async_transfer(shard, n_bytes, request.reply)
+
+    def _async_transfer(self, payload, n_bytes: int, reply: Event) -> None:
+        """Ship a snapshot to the controller off the critical path."""
+        tracer = self.env.tracer
+        delay = self.instance.cost_model.transfer_seconds(n_bytes)
+        transfer = tracer.begin("state", "state.transfer",
+                                track="node%d" % self.node.node_id,
                                 blob=self.blob.spec.blob_id,
-                                bytes=state.size_bytes(), async_=True)
+                                bytes=n_bytes, async_=True)
         arrival = self.env.timeout(delay)
 
-        def _complete(_event, reply=request.reply, payload=state,
-                      span=transfer):
+        def _complete(_event, reply=reply, payload=payload, span=transfer):
             span.finish()
             if not reply.triggered:
                 reply.succeed(payload)
@@ -612,12 +685,16 @@ class GraphInstance:
                 order.append(blob_id)
         return order
 
-    def ast_capture(self):
+    def ast_capture(self, residual: bool = False):
         """Controller generator: asynchronous state transfer (paper 6.2).
 
         Picks a boundary ``ast_lead_time`` seconds ahead from the
         observed consumption rate, asks every blob to snapshot there,
         and merges the replies.  Returns (state, boundary iteration).
+
+        ``residual=True`` is the fluid strategy's final cut: keyed
+        workers under migration report deltas instead of full tables
+        (see :meth:`BlobRuntime.capture_state`).
         """
         cost_model = self.cost_model
         attempt_lead = cost_model.ast_lead_time
@@ -633,7 +710,8 @@ class GraphInstance:
             accepted = True
             for process in self.blob_procs.values():
                 reply = self.env.event()
-                if not process.request_ast(boundary, reply):
+                if not process.request_ast(boundary, reply,
+                                           residual=residual):
                     accepted = False
                     break
                 replies.append(reply)
@@ -657,3 +735,41 @@ class GraphInstance:
                 attempt_lead *= 2.0
                 continue
             return merged, boundary
+
+    def shard_capture(self, worker_id: int, shard_index: int,
+                      n_shards: int):
+        """Controller generator: capture one key-range shard (fluid).
+
+        The per-batch analogue of :meth:`ast_capture`, addressed to
+        the single blob hosting ``worker_id``: aim a near boundary
+        (``fluid_batch_lead`` seconds ahead), request the shard, retry
+        with doubled lead on a miss.  Returns (shard dict, boundary).
+        The blob keeps processing throughout — that interleaving is
+        the point of fluid migration.
+        """
+        cost_model = self.cost_model
+        blob_id = self.program.configuration.worker_to_blob()[worker_id]
+        process = self.blob_procs[blob_id]
+        attempt_lead = cost_model.fluid_batch_lead
+        while True:
+            yield self.env.timeout(cost_model.control_latency)
+            iteration_seconds = max(self.estimate_iteration_seconds(), 1e-6)
+            lead_iterations = max(
+                int(math.ceil(attempt_lead / iteration_seconds)), 3)
+            boundary = process.runtime.iteration + lead_iterations
+            yield self.env.timeout(cost_model.control_latency)
+            reply = self.env.event()
+            request = ASTRequest(
+                iteration=boundary, reply=reply, kind="keyed_shard",
+                worker_id=worker_id, shard_index=shard_index,
+                n_shards=n_shards)
+            if not process.request_snapshot(request):
+                attempt_lead *= 2.0
+                continue
+            try:
+                shard = yield reply
+            except RuntimeError:
+                process.ast = None
+                attempt_lead *= 2.0
+                continue
+            return shard, boundary

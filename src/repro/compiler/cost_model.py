@@ -105,6 +105,28 @@ class CostModel:
     #: contributor of Figure 4).
     init_iterations: float = 6.0
 
+    #: Fixed seconds a blob is paused while a state snapshot is cut at
+    #: an iteration boundary.  Zero by default (snapshots are modelled
+    #: as instantaneous, as in the base paper); the migration
+    #: tail-latency experiments raise it to expose the pause.
+    snapshot_latency: float = 0.0
+
+    #: Additional pause seconds per snapshotted byte (memcpy out of
+    #: the live working set).  Zero by default; with it nonzero, a
+    #: one-shot snapshot pauses proportionally to state size — the
+    #: effect fluid migration bounds by snapshotting in batches.
+    snapshot_seconds_per_byte: float = 0.0
+
+    #: Fluid migration: maximum estimated bytes captured per batch.
+    #: Smaller batches mean shorter per-boundary pauses (lower added
+    #: tail latency) but more boundaries — the latency/duration knob.
+    fluid_batch_bytes: float = 65536.0
+
+    #: Fluid migration: how far ahead (seconds) each batch snapshot is
+    #: aimed, the per-batch analogue of ``ast_lead_time``.  Small, so
+    #: batches pace quickly; the retry loop doubles it on a miss.
+    fluid_batch_lead: float = 0.75
+
     # -- derived helpers ---------------------------------------------------
 
     def compile_seconds(self, n_workers: int, schedule_firings: int) -> float:
@@ -124,6 +146,11 @@ class CostModel:
     def transfer_seconds(self, n_bytes: int) -> float:
         """State-transfer time over the data network."""
         return self.data_latency + n_bytes / self.bandwidth_bytes
+
+    def snapshot_seconds(self, n_bytes: int) -> float:
+        """Pause charged against a blob for cutting one snapshot."""
+        return (self.snapshot_latency
+                + n_bytes * self.snapshot_seconds_per_byte)
 
     def batch_seconds(self, n_items: int) -> float:
         """Delivery time of one inter-blob item batch."""

@@ -1,6 +1,7 @@
 """Gloss's live reconfiguration strategies — the paper's contribution.
 
-Three strategies of increasing sophistication (paper Section 4):
+Three strategies of increasing sophistication (paper Section 4), plus
+a fourth for bounded-latency migration of large state:
 
 * :class:`StopAndCopyReconfigurer` — drain, collect state, recompile
   with complete state, restart.  Correct but seconds of downtime.
@@ -11,10 +12,14 @@ Three strategies of increasing sophistication (paper Section 4):
   configurations' speeds differ (Figure 8).
 * :class:`AdaptiveSeamlessReconfigurer` — adds adaptive merging and
   resource throttling, eliminating downtime entirely (Table 1).
+* :class:`FluidReconfigurer` — Megaphone-style extension: keyed state
+  migrates in bounded batches interleaved with processing, so the
+  per-boundary pause is capped by ``CostModel.fluid_batch_bytes``
+  instead of scaling with state size; switchover is adaptive.
 
 Use :func:`make_reconfigurer` (or
 ``StreamApp.reconfigure(config, strategy=...)``) to instantiate by
-name: ``"stop_and_copy"``, ``"fixed"``, ``"adaptive"``.
+name: ``"stop_and_copy"``, ``"fixed"``, ``"adaptive"``, ``"fluid"``.
 """
 
 from repro.core.report import ReconfigReport
@@ -32,6 +37,8 @@ from repro.core.base import (
 from repro.core.stop_copy import StopAndCopyReconfigurer
 from repro.core.fixed_seamless import FixedSeamlessReconfigurer
 from repro.core.adaptive_seamless import AdaptiveSeamlessReconfigurer
+from repro.core.fluid import FluidReconfigurer
+from repro.core.migration import MigrationPlan, StateShard, plan_migration
 from repro.core.manager import ReconfigurationManager, RequestOutcome
 
 _STRATEGIES = {
@@ -39,6 +46,7 @@ _STRATEGIES = {
     "stop-and-copy": StopAndCopyReconfigurer,
     "fixed": FixedSeamlessReconfigurer,
     "adaptive": AdaptiveSeamlessReconfigurer,
+    "fluid": FluidReconfigurer,
 }
 
 
@@ -57,16 +65,20 @@ def make_reconfigurer(strategy: str, app) -> Reconfigurer:
 __all__ = [
     "AdaptiveSeamlessReconfigurer",
     "FixedSeamlessReconfigurer",
+    "FluidReconfigurer",
     "InstanceFailure",
+    "MigrationPlan",
     "ReconfigReport",
     "ReconfigurationAborted",
     "ReconfigurationManager",
     "RequestOutcome",
     "Reconfigurer",
+    "StateShard",
     "StopAndCopyReconfigurer",
     "boundary_edge_counts",
     "describe_cause",
     "duplication_iterations_stateful",
     "duplication_iterations_stateless",
     "make_reconfigurer",
+    "plan_migration",
 ]

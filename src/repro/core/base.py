@@ -237,6 +237,38 @@ class Reconfigurer:
         old_iteration = max(old.estimate_iteration_seconds(), 1e-9)
         return int(math.ceil(new_init_seconds / old_iteration))
 
+    def _transfer_state(self, old: GraphInstance, report: ReconfigReport):
+        """Generator: move the program state; returns (state, boundary).
+
+        The default is the paper's one-shot asynchronous state
+        transfer.  The fluid strategy overrides this hook to spread
+        the transfer over bounded batches — everything else in
+        :meth:`_prepare_concurrent` (phase-1/phase-2 split, offset and
+        duplication arithmetic against the returned boundary) applies
+        unchanged to whatever boundary the override settles on.
+        """
+        app = self.app
+        with app.tracer.span("reconfig", "ast", track="reconfig") as ast:
+            state, boundary = yield from old.ast_capture()
+            ast.annotate(boundary=boundary, bytes=state.size_bytes())
+        report.state_captured_at = self.env.now
+        report.boundary = boundary
+        report.state_bytes = state.size_bytes()
+        app.note("ast_done", boundary=boundary,
+                 bytes=report.state_bytes)
+        return state, boundary
+
+    def _progress(self, report: ReconfigReport) -> None:
+        """Record forward progress (read by the manager's watchdog).
+
+        Long-running strategies call this at internal milestones (the
+        fluid strategy: after every migrated batch) so a progress-aware
+        watchdog can distinguish a long healthy migration from a
+        wedged one.
+        """
+        report.last_progress_at = self.env.now
+        self.app.reconfig_progress_at = self.env.now
+
     def _prepare_concurrent(self, configuration: Configuration,
                             report: ReconfigReport):
         """Generator: concurrent recompilation + state transfer.
@@ -270,14 +302,7 @@ class Reconfigurer:
             app.note("phase1_done")
 
             # Asynchronous state transfer at a future boundary.
-            with app.tracer.span("reconfig", "ast", track="reconfig") as ast:
-                state, boundary = yield from old.ast_capture()
-                ast.annotate(boundary=boundary, bytes=state.size_bytes())
-            report.state_captured_at = self.env.now
-            report.boundary = boundary
-            report.state_bytes = state.size_bytes()
-            app.note("ast_done", boundary=boundary,
-                     bytes=report.state_bytes)
+            state, boundary = yield from self._transfer_state(old, report)
 
             # Phase 2: absorb the state into the pseudo-blobs.
             program = absorb_state(plan, state, tracer=app.tracer)

@@ -1,0 +1,166 @@
+"""Fluid, latency-bounded state migration (Megaphone-style).
+
+The paper's three strategies move program state in one reconfiguration
+event, so the latency spike scales with state size (Figures 14b/15).
+Megaphone (PAPERS.md) bounds the spike by migrating state in small
+batches interleaved with normal processing; this module is that fourth
+strategy.
+
+Mechanics — all state is still logically cut at a *single* final
+boundary ``B``; only the bytes are spread out:
+
+1. Plan: shard each keyed worker's table into
+   ``ceil(bytes / fluid_batch_bytes)`` key ranges
+   (:mod:`repro.core.migration`).
+2. Install dirty tracking on every keyed table
+   (:class:`repro.graph.keyed.KeyMigrationSession`).
+3. Capture shards batch by batch at successive iteration boundaries
+   while the old instance keeps processing.  Each capture pauses the
+   blob only for its own (bounded) snapshot cost.
+4. Final cut at ``B``: a normal AST capture with ``residual=True`` —
+   keyed workers report only dirty/new key overrides plus invalidated
+   keys; non-keyed state and edge cuts are captured as usual.
+5. Reassemble each keyed table from shards + residual
+   (:func:`repro.graph.keyed.assemble_keyed_state`).  The result is
+   exactly what a one-shot snapshot at ``B`` would have produced
+   (property-tested), so phase-2 absorption, the offset/duplication
+   arithmetic against ``B``, and the adaptive switchover all apply
+   unchanged — fluid subclasses the adaptive strategy and overrides
+   only the state-transfer hook.
+
+Abort is copy-based and therefore trivial: the live tables were only
+ever *read*; rollback closes the tracking sessions and discards the
+shipped shards, restoring the pre-migration state exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cluster.instance import GraphInstance
+from repro.core.adaptive_seamless import AdaptiveSeamlessReconfigurer
+from repro.core.migration import plan_migration
+from repro.core.report import ReconfigReport
+from repro.graph.keyed import (
+    KeyMigrationSession,
+    assemble_keyed_state,
+    is_residual,
+    keyed_workers,
+)
+from repro.runtime.state import estimate_bytes
+
+__all__ = ["FluidReconfigurer"]
+
+
+class FluidReconfigurer(AdaptiveSeamlessReconfigurer):
+    """Bounded-batch state migration with adaptive switchover."""
+
+    name = "fluid"
+
+    def __init__(self, app):
+        super().__init__(app)
+        self._sessions: List[KeyMigrationSession] = []
+
+    # -- state transfer ------------------------------------------------------
+
+    def _transfer_state(self, old: GraphInstance, report: ReconfigReport):
+        app = self.app
+        cost_model = self.cost_model
+        graph = old.program.graph
+        batch_bytes = max(1, int(cost_model.fluid_batch_bytes))
+
+        plan = plan_migration(graph, batch_bytes)
+        problems = plan.validate(graph)
+        if problems:
+            raise ValueError(
+                "fluid batch plan invalid: %s" % "; ".join(problems))
+        batches = plan.batches()
+        report.migration_batches = len(batches)
+        report.migration_batch_bytes = batch_bytes
+        app.note("fluid_plan", batches=len(batches),
+                 shards=len(plan.shards), batch_bytes=batch_bytes)
+        self._progress(report)
+
+        # Dirty tracking on every live keyed table.  From here on any
+        # exit — normal or abort — must end the sessions; _abort and
+        # the end of this method both do.
+        for worker in keyed_workers(graph):
+            self._sessions.append(worker.begin_key_migration())
+
+        # Early batches: capture key-range shards at near boundaries,
+        # interleaved with normal processing.
+        shard_states: Dict[int, Dict[int, dict]] = {}
+        moved = 0
+        with app.tracer.span("reconfig", "fluid-migrate", track="reconfig",
+                             batches=len(batches)) as migrate_span:
+            for number, batch in enumerate(batches, start=1):
+                with app.tracer.span("reconfig", "fluid-batch",
+                                     track="reconfig", batch=number,
+                                     shards=len(batch)):
+                    for shard in batch:
+                        payload, _ = yield from old.shard_capture(
+                            shard.worker_id, shard.shard_index,
+                            shard.n_shards)
+                        shard_states.setdefault(
+                            shard.worker_id, {})[shard.shard_index] = payload
+                        moved += estimate_bytes(payload)
+                report.migration_batches_done = number
+                self._progress(report)
+                app.note("fluid_batch", batch=number, of=len(batches),
+                         bytes_moved=moved)
+
+            # Final cut at boundary B: residual deltas for keyed
+            # workers, full capture for everything else.
+            with app.tracer.span("reconfig", "ast", track="reconfig",
+                                 residual=True) as ast:
+                state, boundary = yield from old.ast_capture(residual=True)
+                ast.annotate(boundary=boundary, bytes=state.size_bytes())
+            migrate_span.annotate(moved_bytes=moved,
+                                  residual_bytes=state.size_bytes())
+
+        # Reassemble: shards + residual == one-shot snapshot at B.
+        for worker_id, field in plan.keyed_fields.items():
+            worker_state = state.worker_states.get(worker_id)
+            if worker_state is None:
+                continue
+            value = worker_state.get(field)
+            if not is_residual(value):
+                continue
+            shards = shard_states.get(worker_id, {})
+            ordered = [shards[index] for index in sorted(shards)]
+            worker_state[field] = assemble_keyed_state(
+                ordered, {"overrides": value["overrides"],
+                          "invalid": value["invalid"]})
+        self._end_sessions()
+
+        report.state_captured_at = self.env.now
+        report.boundary = boundary
+        report.state_bytes = moved + state.size_bytes()
+        report.migration_moved_bytes = moved
+        app.note("ast_done", boundary=boundary, bytes=report.state_bytes,
+                 moved_in_batches=moved)
+        self._progress(report)
+        return state, boundary
+
+    # -- abort ---------------------------------------------------------------
+
+    def _abort(self, configuration, report, cause):
+        """Rollback mid-migration: discard shards, restore tracking-free
+        tables.
+
+        The migration never mutated the old instance's state — shards
+        are copies — so ending the sessions (idempotent) is the whole
+        state restoration; the inherited rollback then clears pending
+        snapshot requests and resources as usual.
+        """
+        self._end_sessions()
+        yield from super()._abort(configuration, report, cause)
+
+    def _end_sessions(self) -> None:
+        for session in self._sessions:
+            worker = session.worker
+            if worker.key_migration is session:
+                worker.end_key_migration()
+            else:
+                session.close()
+        self._sessions = []

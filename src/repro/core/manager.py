@@ -80,6 +80,7 @@ class ReconfigurationManager:
                  retry_initial_delay: float = 0.5,
                  retry_backoff: float = 2.0,
                  request_timeout: Optional[float] = None,
+                 progress_timeout: Optional[float] = None,
                  analysis_gate: bool = True):
         self.app = app
         self.env: Environment = app.env
@@ -95,6 +96,12 @@ class ReconfigurationManager:
         #: Per-attempt watchdog: interrupt the strategy (forcing its
         #: rollback) after this many simulated seconds.  None disables.
         self.request_timeout = request_timeout
+        #: Inactivity watchdog: interrupt a strategy that reports no
+        #: forward progress (``Reconfigurer._progress``; the fluid
+        #: strategy stamps every migrated batch) for this long.  A
+        #: long *healthy* migration keeps resetting the clock, so this
+        #: can sit far below ``request_timeout``.  None disables.
+        self.progress_timeout = progress_timeout
         self.outcomes: List[RequestOutcome] = []
         self._pending: List[RequestOutcome] = []
         self._worker = None
@@ -195,10 +202,13 @@ class ReconfigurationManager:
             outcome.attempts = attempt + 1
             process = self.app.reconfigure(outcome.configuration,
                                            strategy=outcome.strategy)
-            watchdog = None
+            watchdogs = []
             if self.request_timeout is not None:
-                watchdog = self.env.process(
-                    self._watchdog(process, self.request_timeout))
+                watchdogs.append(self.env.process(
+                    self._watchdog(process, self.request_timeout)))
+            if self.progress_timeout is not None:
+                watchdogs.append(self.env.process(
+                    self._progress_watchdog(process, self.progress_timeout)))
             try:
                 yield process
                 outcome.status = "completed"
@@ -227,8 +237,9 @@ class ReconfigurationManager:
                 outcome.error = exc
                 return
             finally:
-                if watchdog is not None and watchdog.is_alive:
-                    watchdog.interrupt("request finished")
+                for watchdog in watchdogs:
+                    if watchdog.is_alive:
+                        watchdog.interrupt("request finished")
         outcome.status = "failed"
 
     def _watchdog(self, process, timeout: float):
@@ -249,6 +260,35 @@ class ReconfigurationManager:
                 timeout=timeout)
             process.interrupt(
                 "manager timeout after %gs" % (timeout,))
+
+    def _progress_watchdog(self, process, timeout: float):
+        """Interrupt a strategy that stops reporting progress.
+
+        The deadline is ``timeout`` seconds after the later of the
+        attempt's start and the strategy's last ``_progress`` stamp
+        (``app.reconfig_progress_at``); each stamp pushes the deadline
+        out, so total duration is unbounded as long as work advances.
+        """
+        start = self.env.now
+
+        def _anchor() -> float:
+            last = self.app.reconfig_progress_at
+            return start if last is None else max(start, last)
+
+        while True:
+            deadline = _anchor() + timeout
+            try:
+                yield self.env.timeout(max(deadline - self.env.now, 1e-9))
+            except Interrupt:
+                return  # the attempt finished first
+            if self.env.now + 1e-9 >= _anchor() + timeout:
+                break
+        if process.is_alive:
+            self.env.tracer.instant(
+                "manager", "request-stalled", track="manager",
+                timeout=timeout)
+            process.interrupt(
+                "no reconfiguration progress for %gs" % (timeout,))
 
     # -- reporting -----------------------------------------------------------
 

@@ -1,0 +1,200 @@
+"""Fluid migration planning: bounded batches of keyed state.
+
+The fluid strategy (:mod:`repro.core.fluid`) moves a stateful
+program's state in batches instead of one bulk transfer.  This module
+holds the static part: given the *old* graph and the batch-size knob
+(``CostModel.fluid_batch_bytes``), derive which keyed workers shard
+into how many pieces, pack the shards into batches, and validate that
+the plan covers every stateful worker exactly once — the property
+glosslint's R004 pass checks before a fluid reconfiguration is
+admitted.
+
+Non-keyed stateful workers (and all edge contents) are not sharded;
+they move at the final residual cut, which is why fluid is most
+effective when the dominant state lives in keyed tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.graph.keyed import (
+    KeyedStateWorker,
+    merge_shards,
+    split_state,
+)
+from repro.runtime.state import estimate_bytes
+
+__all__ = ["MigrationPlan", "StateShard", "plan_migration"]
+
+
+@dataclass(frozen=True)
+class StateShard:
+    """One key-range shard of one keyed worker's table."""
+
+    worker_id: int
+    worker_name: str
+    shard_index: int
+    n_shards: int
+    estimated_bytes: int
+
+
+@dataclass
+class MigrationPlan:
+    """The batch plan for one fluid migration.
+
+    ``shards`` lists keyed shards in capture order; ``final_workers``
+    are the stateful workers whose (small) state moves only at the
+    final cut.  ``batches()`` packs the shards greedily under the
+    byte bound.
+    """
+
+    batch_bytes: int
+    shards: List[StateShard] = field(default_factory=list)
+    final_workers: List[int] = field(default_factory=list)
+    #: worker_id -> keyed field name, for residual reassembly.
+    keyed_fields: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def total_shard_bytes(self) -> int:
+        return sum(shard.estimated_bytes for shard in self.shards)
+
+    def batches(self) -> List[List[StateShard]]:
+        """Greedy packing: consecutive shards until the byte bound.
+
+        Every batch holds at least one shard, so a single shard larger
+        than the bound (a giant value under one key) still moves — it
+        just blows the latency budget, which R004 reports as an INFO
+        finding rather than silently stalling.
+        """
+        batches: List[List[StateShard]] = []
+        current: List[StateShard] = []
+        current_bytes = 0
+        for shard in self.shards:
+            if current and current_bytes + shard.estimated_bytes > self.batch_bytes:
+                batches.append(current)
+                current, current_bytes = [], 0
+            current.append(shard)
+            current_bytes += shard.estimated_bytes
+        if current:
+            batches.append(current)
+        return batches
+
+    def validate(self, graph) -> List[str]:
+        """Completeness check; returns problem descriptions (empty = ok).
+
+        Checked properties:
+
+        * every stateful worker is covered exactly once — either by a
+          full set of keyed shards or by the final cut, never both,
+          never neither;
+        * each sharded worker's shard indices form ``range(n)`` with a
+          consistent ``n``;
+        * declared keyed fields exist in ``state_fields`` and hold
+          dicts;
+        * splitting the current table and merging the shards round-
+          trips to the identity (guards subclassed split logic).
+        """
+        problems: List[str] = []
+        by_worker: Dict[int, List[StateShard]] = {}
+        for shard in self.shards:
+            by_worker.setdefault(shard.worker_id, []).append(shard)
+
+        stateful_ids = {w.worker_id for w in graph.workers if w.is_stateful}
+        covered = set(by_worker) | set(self.final_workers)
+        for worker_id in sorted(stateful_ids - covered):
+            problems.append(
+                "stateful worker %d (%s) is not covered by the batch plan"
+                % (worker_id, graph.worker(worker_id).name))
+        for worker_id in sorted(covered - stateful_ids):
+            problems.append(
+                "batch plan covers worker %d which holds no state"
+                % worker_id)
+        for worker_id in sorted(set(by_worker) & set(self.final_workers)):
+            problems.append(
+                "worker %d is covered both by shards and by the final cut"
+                % worker_id)
+
+        for worker_id, shards in sorted(by_worker.items()):
+            counts = {shard.n_shards for shard in shards}
+            if len(counts) != 1:
+                problems.append(
+                    "worker %d has inconsistent shard counts %r"
+                    % (worker_id, sorted(counts)))
+                continue
+            n_shards = counts.pop()
+            indices = sorted(shard.shard_index for shard in shards)
+            if indices != list(range(n_shards)):
+                problems.append(
+                    "worker %d shard indices %r do not form range(%d)"
+                    % (worker_id, indices, n_shards))
+
+        for worker_id, field_name in sorted(self.keyed_fields.items()):
+            worker = graph.worker(worker_id)
+            if field_name not in worker.state_fields:
+                problems.append(
+                    "worker %d (%s) declares keyed_field %r which is not "
+                    "in state_fields %r"
+                    % (worker_id, worker.name, field_name,
+                       worker.state_fields))
+                continue
+            table = getattr(worker, field_name, None)
+            if not isinstance(table, dict):
+                problems.append(
+                    "worker %d (%s) keyed_field %r holds %s, not a dict"
+                    % (worker_id, worker.name, field_name,
+                       type(table).__name__))
+                continue
+            shards = by_worker.get(worker_id)
+            if shards:
+                n_shards = shards[0].n_shards
+                pieces = split_state(dict(table), n_shards)
+                if merge_shards(pieces) != dict(table):
+                    problems.append(
+                        "worker %d (%s): split/merge round-trip is not "
+                        "the identity" % (worker_id, worker.name))
+        return problems
+
+
+def plan_migration(graph, batch_bytes: int) -> MigrationPlan:
+    """Derive the batch plan from the old graph's live state.
+
+    Keyed workers shard their tables into
+    ``ceil(table_bytes / batch_bytes)`` pieces; everything else moves
+    at the final cut.  Sizes are estimates
+    (:func:`repro.runtime.state.estimate_bytes`) — the plan bounds
+    *expected* per-batch bytes, and dirty keys re-sent in the residual
+    are additional.
+    """
+    if batch_bytes < 1:
+        raise ValueError("batch_bytes must be >= 1, got %r" % (batch_bytes,))
+    plan = MigrationPlan(batch_bytes=int(batch_bytes))
+    for worker in graph.workers:
+        if not worker.is_stateful:
+            continue
+        worker_id = worker.worker_id
+        if (isinstance(worker, KeyedStateWorker)
+                and worker.keyed_field is not None):
+            plan.keyed_fields[worker_id] = worker.keyed_field
+            table: Any = getattr(worker, worker.keyed_field, None)
+            if not isinstance(table, dict):
+                # Broken declaration: leave it to the final cut;
+                # validate() reports the problem.
+                plan.final_workers.append(worker_id)
+                continue
+            table_bytes = estimate_bytes(dict(table))
+            n_shards = max(1, int(math.ceil(table_bytes / batch_bytes)))
+            per_shard = int(math.ceil(table_bytes / n_shards)) if table else 0
+            for index in range(n_shards):
+                plan.shards.append(StateShard(
+                    worker_id=worker_id,
+                    worker_name=worker.name,
+                    shard_index=index,
+                    n_shards=n_shards,
+                    estimated_bytes=per_shard,
+                ))
+        else:
+            plan.final_workers.append(worker_id)
+    return plan

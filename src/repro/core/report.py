@@ -48,6 +48,21 @@ class ReconfigReport:
     duplication_iterations: Optional[int] = None
     #: Bytes of program state moved.
     state_bytes: int = 0
+
+    #: Fluid migration: planned batch count (None for other strategies).
+    migration_batches: Optional[int] = None
+    #: Fluid migration: batches completed so far (progress reporting;
+    #: on an abort this shows how far the migration got).
+    migration_batches_done: int = 0
+    #: Fluid migration: the batch-size knob in effect, bytes.
+    migration_batch_bytes: Optional[int] = None
+    #: Fluid migration: bytes shipped in early shard batches (the
+    #: remainder of ``state_bytes`` moved at the final residual cut).
+    migration_moved_bytes: int = 0
+    #: Last time the strategy reported forward progress (see
+    #: :meth:`Reconfigurer._progress`); the manager's progress-aware
+    #: watchdog keys off this.
+    last_progress_at: Optional[float] = None
     #: The strategy's trace span (the null span when tracing is off);
     #: links this report to its phase spans in the exported trace.
     trace_span: Optional[Any] = field(

@@ -23,6 +23,7 @@ from repro.graph.workers import (
     StatefulFilter,
     Worker,
 )
+from repro.graph.keyed import KeyedStateWorker, KeyMigrationSession
 from repro.graph.builders import Pipeline, SplitJoin
 from repro.graph.topology import Edge, GraphValidationError, StreamGraph
 from repro.graph import library
@@ -33,6 +34,8 @@ __all__ = [
     "Filter",
     "GraphValidationError",
     "Joiner",
+    "KeyMigrationSession",
+    "KeyedStateWorker",
     "Pipeline",
     "RoundRobinJoiner",
     "RoundRobinSplitter",

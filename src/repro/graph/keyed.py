@@ -1,0 +1,311 @@
+"""Keyed worker state: splittable, mergeable per-key-range shards.
+
+Fluid migration (Megaphone-style; see PAPERS.md) moves a worker's
+state in bounded batches interleaved with normal processing instead of
+one bulk transfer.  That only works for state that *partitions*: a
+:class:`KeyedStateWorker` declares one of its ``state_fields`` as a
+dict keyed by application keys, and this module provides the
+deterministic sharding function, the split/merge pair (merge ∘ split
+is the identity — property-tested), and the dirty-tracking migration
+session that makes early shard captures sound:
+
+* ``split_state(table, k)`` / ``merge_shards(shards)`` partition a
+  keyed table into ``k`` disjoint shards and reassemble it.
+* :class:`KeyMigrationSession` wraps the live table in a tracking dict
+  so every key mutated *after* its shard was captured is recorded.  At
+  the final cut the session reports a small *residual* — overrides for
+  dirty/new keys plus the list of captured keys that became invalid —
+  and ``assemble_keyed_state(shards, residual)`` reconstructs exactly
+  the table a one-shot snapshot at the final boundary would have seen.
+
+Contract: keyed values are **replace-on-write**.  Workers must
+reassign ``table[key] = new_value`` rather than mutating a stored
+value in place; in-place mutation bypasses dirty tracking.  Shard
+captures deep-copy values, so the contract is only about detecting
+writes, not about aliasing.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List, Optional, Sequence
+from zlib import crc32
+
+from repro.graph.workers import StatefulFilter
+
+__all__ = [
+    "KeyMigrationSession",
+    "KeyedStateWorker",
+    "RESIDUAL_MARKER",
+    "assemble_keyed_state",
+    "is_residual",
+    "keyed_workers",
+    "merge_shards",
+    "shard_of",
+    "split_state",
+]
+
+#: Marker key identifying a residual capture of a keyed field (the
+#: value is then ``{RESIDUAL_MARKER: True, "overrides": .., "invalid": ..}``
+#: instead of the full table).
+RESIDUAL_MARKER = "__keyed_residual__"
+
+
+def shard_of(key: Any, n_shards: int) -> int:
+    """Deterministic shard index for ``key`` among ``n_shards``.
+
+    Integers use modulo; everything else hashes the ``repr`` with
+    crc32.  Python's builtin ``hash`` is avoided: it is randomized per
+    process for strings (PYTHONHASHSEED), which would make shard
+    membership — and thus migration traffic — non-reproducible.
+    """
+    if n_shards <= 1:
+        return 0
+    if isinstance(key, int) and not isinstance(key, bool):
+        return key % n_shards
+    return crc32(repr(key).encode("utf-8")) % n_shards
+
+
+def split_state(table: Dict[Any, Any], n_shards: int) -> List[Dict[Any, Any]]:
+    """Partition a keyed table into ``n_shards`` disjoint dicts."""
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1, got %d" % n_shards)
+    shards: List[Dict[Any, Any]] = [{} for _ in range(n_shards)]
+    for key, value in table.items():
+        shards[shard_of(key, n_shards)][key] = value
+    return shards
+
+
+def merge_shards(shards: Sequence[Dict[Any, Any]]) -> Dict[Any, Any]:
+    """Reassemble disjoint shards; raises on overlapping keys."""
+    merged: Dict[Any, Any] = {}
+    for index, shard in enumerate(shards):
+        overlap = merged.keys() & shard.keys()
+        if overlap:
+            raise ValueError(
+                "shard %d overlaps already-merged keys: %r"
+                % (index, sorted(overlap, key=repr)[:5]))
+        merged.update(shard)
+    return merged
+
+
+def assemble_keyed_state(shards: Sequence[Dict[Any, Any]],
+                         residual: Dict[str, Any]) -> Dict[Any, Any]:
+    """Merge early shard captures with the final-cut residual.
+
+    The result equals the table as it stood at the final boundary:
+    captured-then-dirtied or deleted keys are dropped via ``invalid``,
+    then ``overrides`` supplies the authoritative value for every
+    dirty or never-captured key.
+    """
+    table = merge_shards(shards)
+    for key in residual["invalid"]:
+        table.pop(key, None)
+    table.update(residual["overrides"])
+    return table
+
+
+def is_residual(value: Any) -> bool:
+    """Whether a captured keyed-field value is a residual marker."""
+    return isinstance(value, dict) and value.get(RESIDUAL_MARKER) is True
+
+
+class _TrackingTable(dict):
+    """Dict wrapper recording which keys mutate during a migration.
+
+    Installed over the worker's keyed field by
+    :class:`KeyMigrationSession`; every mutation path marks the key
+    dirty.  Values are replace-on-write by protocol contract — see the
+    module docstring.
+    """
+
+    __slots__ = ("_dirty",)
+
+    def __init__(self, data: Dict[Any, Any], dirty: set):
+        super().__init__(data)
+        self._dirty = dirty
+
+    def __setitem__(self, key, value):
+        self._dirty.add(key)
+        dict.__setitem__(self, key, value)
+
+    def __delitem__(self, key):
+        dict.__delitem__(self, key)
+        self._dirty.add(key)
+
+    def setdefault(self, key, default=None):
+        if key not in self:
+            self._dirty.add(key)
+        return dict.setdefault(self, key, default)
+
+    def pop(self, key, *default):
+        present = key in self
+        result = dict.pop(self, key, *default)
+        if present:
+            self._dirty.add(key)
+        return result
+
+    def popitem(self):
+        key, value = dict.popitem(self)
+        self._dirty.add(key)
+        return key, value
+
+    def update(self, *args, **kwargs):
+        incoming = dict(*args, **kwargs)
+        self._dirty.update(incoming.keys())
+        dict.update(self, incoming)
+
+    def clear(self):
+        self._dirty.update(self.keys())
+        dict.clear(self)
+
+
+class KeyMigrationSession:
+    """Blob-side bookkeeping for one worker's fluid state migration.
+
+    Created by :meth:`KeyedStateWorker.begin_key_migration`; installs
+    the tracking table, hands out shard captures, and computes the
+    final-cut residual.  ``close()`` restores the plain dict — it is
+    idempotent and is always called, on completion and on abort alike,
+    so an aborted migration leaves the worker exactly as it was (the
+    scheme is copy-based: the live table is never moved, only read).
+    """
+
+    def __init__(self, worker: "KeyedStateWorker"):
+        self.worker = worker
+        self.captured: set = set()
+        self.dirty: set = set()
+        self.closed = False
+        table = worker.keyed_table()
+        setattr(worker, worker.keyed_field, _TrackingTable(table, self.dirty))
+
+    def capture_shard(self, shard_index: int, n_shards: int) -> Dict[Any, Any]:
+        """Deep-copy the keys of one shard as of *now*.
+
+        Keys captured here are clean from this moment on: any later
+        mutation lands in ``dirty`` and is re-sent in the residual.
+        """
+        shard: Dict[Any, Any] = {}
+        for key, value in self.worker.keyed_table().items():
+            if shard_of(key, n_shards) == shard_index:
+                shard[key] = copy.deepcopy(value)
+                self.captured.add(key)
+                self.dirty.discard(key)
+        return shard
+
+    def residual(self) -> Dict[str, Any]:
+        """The final-cut delta: dirty/new overrides + invalidated keys."""
+        table = self.worker.keyed_table()
+        overrides = {
+            key: copy.deepcopy(value) for key, value in table.items()
+            if key not in self.captured or key in self.dirty
+        }
+        invalid = sorted(
+            (key for key in self.captured
+             if key in self.dirty or key not in table),
+            key=repr)
+        return {"overrides": overrides, "invalid": invalid}
+
+    def close(self) -> None:
+        """Remove the tracking wrapper, restoring a plain dict."""
+        if self.closed:
+            return
+        worker = self.worker
+        table = worker.keyed_table()
+        if isinstance(table, _TrackingTable):
+            setattr(worker, worker.keyed_field, dict(table))
+        self.closed = True
+
+
+class KeyedStateWorker(StatefulFilter):
+    """A stateful filter whose dominant state is a keyed dict.
+
+    Subclasses set ``keyed_field`` to the name of one entry of
+    ``state_fields`` holding a ``dict`` keyed by application keys.
+    That field becomes splittable into disjoint key-range shards
+    (:func:`split_state`) and mergeable back (:func:`merge_shards`),
+    which is what lets the fluid strategy migrate it incrementally.
+    All other state fields stay small and move at the final cut.
+    """
+
+    #: Name of the state field holding the keyed table.
+    keyed_field: Optional[str] = None
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._key_migration: Optional[KeyMigrationSession] = None
+
+    @property
+    def key_migration(self) -> Optional[KeyMigrationSession]:
+        return self._key_migration
+
+    def keyed_table(self) -> Dict[Any, Any]:
+        """The live keyed table (possibly tracking-wrapped)."""
+        return getattr(self, self.keyed_field)
+
+    def begin_key_migration(self) -> KeyMigrationSession:
+        """Install dirty tracking; returns the session."""
+        if self.keyed_field is None:
+            raise ValueError("%s declares no keyed_field" % self.name)
+        if self.keyed_field not in self.state_fields:
+            raise ValueError(
+                "%s: keyed_field %r not in state_fields %r"
+                % (self.name, self.keyed_field, self.state_fields))
+        if self._key_migration is not None:
+            raise RuntimeError(
+                "%s already has an active key migration" % self.name)
+        self._key_migration = KeyMigrationSession(self)
+        return self._key_migration
+
+    def end_key_migration(self) -> None:
+        """Tear down the session (idempotent; used on finish and abort)."""
+        if self._key_migration is not None:
+            self._key_migration.close()
+            self._key_migration = None
+
+    def get_state(self) -> Dict[str, Any]:
+        """Deep-copy state, normalizing the keyed field to a plain dict.
+
+        A snapshot taken *during* a migration must not leak the
+        tracking wrapper (or its dirty-set alias) into a captured
+        :class:`ProgramState` that might be installed elsewhere.
+        """
+        state = super().get_state()
+        if self.keyed_field is not None:
+            table = state.get(self.keyed_field)
+            if isinstance(table, dict) and type(table) is not dict:
+                state[self.keyed_field] = dict(table)
+        return state
+
+    def residual_state(self) -> Dict[str, Any]:
+        """Final-cut capture: full non-keyed fields + keyed residual.
+
+        Only meaningful with an active migration session (the fluid
+        strategy's final boundary); without one this is plain
+        :meth:`get_state`.  The keyed field is replaced by a marker
+        dict (see :func:`is_residual`) whose estimated size — and thus
+        snapshot pause and transfer time — scales with the *delta*,
+        not the table.
+        """
+        session = self._key_migration
+        if session is None:
+            return self.get_state()
+        state: Dict[str, Any] = {}
+        for field in self.state_fields:
+            if field == self.keyed_field:
+                delta = session.residual()
+                state[field] = {
+                    RESIDUAL_MARKER: True,
+                    "overrides": delta["overrides"],
+                    "invalid": delta["invalid"],
+                }
+            else:
+                state[field] = copy.deepcopy(getattr(self, field))
+        return state
+
+
+def keyed_workers(graph) -> List[KeyedStateWorker]:
+    """The graph's keyed-state workers, in worker order."""
+    return [worker for worker in graph.workers
+            if isinstance(worker, KeyedStateWorker)
+            and worker.keyed_field is not None]

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.graph.keyed import KeyedStateWorker
 from repro.graph.topology import Edge, StreamGraph
 from repro.runtime.channels import (
     GRAPH_INPUT,
@@ -478,7 +479,8 @@ class BlobRuntime:
 
     # -- state capture / installation ------------------------------------------------
 
-    def capture_state(self, cut_lengths: Optional[Dict[int, int]] = None) -> ProgramState:
+    def capture_state(self, cut_lengths: Optional[Dict[int, int]] = None,
+                      residual: bool = False) -> ProgramState:
         """Snapshot this blob's share of the program state.
 
         ``cut_lengths`` (edge index -> item count) restricts boundary
@@ -488,13 +490,26 @@ class BlobRuntime:
         after draining) full channel contents are captured.  The graph
         input channel is never captured — unconsumed input is re-sent
         by the duplicator.
+
+        With ``residual=True`` (the fluid strategy's final cut), keyed
+        workers with an active migration session report only their
+        delta — dirty/new key overrides plus invalidated keys — in
+        place of the full keyed table; everything else is captured as
+        usual.  The controller reassembles the full table from the
+        previously shipped shards (:func:`repro.graph.keyed
+        .assemble_keyed_state`).
         """
         state = ProgramState(
             consumed=self.consumed_input, emitted=self.emitted_output
         )
         for worker_id in self._topo:
             worker = self.graph.worker(worker_id)
-            if worker.is_stateful:
+            if not worker.is_stateful:
+                continue
+            if (residual and isinstance(worker, KeyedStateWorker)
+                    and worker.key_migration is not None):
+                state.worker_states[worker_id] = worker.residual_state()
+            else:
                 state.worker_states[worker_id] = worker.get_state()
         for edge in self.internal_edges:
             channel = self.channels[edge.index]

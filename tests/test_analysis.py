@@ -1,7 +1,7 @@
 """glosslint: the static-analysis engine, rules, gates and CLI.
 
 Every rule gets a seeded-violation fixture (the rule must fire) and a
-clean fixture (it must stay silent); the nine shipped applications and
+clean fixture (it must stay silent); the shipped applications and
 their default/optimizer configurations must produce zero
 error-severity findings; the sim-determinism sanitizer must be clean
 over ``src/repro``; and the reconfiguration manager must *reject* a
@@ -396,6 +396,62 @@ class TestReconfigurationRules:
             graph, single_blob_configuration(graph),
             medium_stateful(), partition_even(medium_stateful(), [0, 1]))
         assert not fired(report, "R003")
+
+    def test_r004_fires_on_broken_keyed_declaration(self):
+        from repro.graph.keyed import KeyedStateWorker
+
+        class BrokenKeyed(KeyedStateWorker):
+            state_fields = ("table",)
+            keyed_field = "tabel"  # typo: not a state field
+
+            def __init__(self):
+                super().__init__(pop=1, push=1, name="broken")
+                self.table = {0: 1.0}
+                self.tabel = {0: 1.0}
+
+            def work(self, input, output):
+                output.push(input.pop())
+
+        def graph():
+            return Pipeline(Identity(), BrokenKeyed()).flatten()
+
+        findings = fired(_plan(graph(), graph()), "R004")
+        assert findings and findings[0].is_error
+        assert "not in state_fields" in findings[0].message
+
+    def test_r004_fires_when_keyed_field_is_not_a_dict(self):
+        from repro.graph.keyed import KeyedStateWorker
+
+        class ListKeyed(KeyedStateWorker):
+            state_fields = ("table",)
+            keyed_field = "table"
+
+            def __init__(self):
+                super().__init__(pop=1, push=1, name="listkeyed")
+                self.table = [1.0, 2.0]
+
+            def work(self, input, output):
+                output.push(input.pop())
+
+        def graph():
+            return Pipeline(Identity(), ListKeyed()).flatten()
+
+        findings = fired(_plan(graph(), graph()), "R004")
+        assert findings and findings[0].is_error
+        assert "not a dict" in findings[0].message
+
+    def test_r004_silent_on_keyed_app(self):
+        from repro.apps import get_app
+        blueprint = get_app("KeyedAggregate").blueprint(scale=1)
+        graph = blueprint()
+        report = check_reconfiguration(
+            graph, single_blob_configuration(graph),
+            blueprint(), partition_even(blueprint(), [0, 1]))
+        assert not fired(report, "R004")
+
+    def test_r004_silent_on_non_keyed_stateful_graph(self):
+        assert not fired(_plan(medium_stateful(), medium_stateful()),
+                         "R004")
 
 
 # ---------------------------------------------------------------------------

@@ -65,7 +65,7 @@ def _assert_states_equal(fast, slow):
 class TestFusedEquivalence:
     @pytest.mark.parametrize("name", APP_NAMES)
     def test_app_output_and_state_byte_identical(self, name):
-        """Fused steady execution == canonical oracle on all nine apps."""
+        """Fused steady execution == canonical oracle on every app."""
         spec = get_app(name)
         blueprint = spec.blueprint(scale=SCALE)
         oracle = GraphInterpreter(blueprint(), check_rates=True)

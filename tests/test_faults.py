@@ -32,7 +32,7 @@ from tests.conftest import (integration_cost_model, medium_stateful,
                             sample_input)
 from tests.oracle import assert_seamless
 
-STRATEGIES = ["stop_and_copy", "fixed", "adaptive"]
+STRATEGIES = ["stop_and_copy", "fixed", "adaptive", "fluid"]
 FAULT_KINDS = ["node_crash", "compile_fail", "node_partition",
                "link_outage", "link_delay", "worker_stall"]
 FATAL_KINDS = frozenset({"node_crash", "compile_fail"})
@@ -40,8 +40,12 @@ FATAL_KINDS = frozenset({"node_crash", "compile_fail"})
 #: When to crash node 2 so it hits the *new* instance (which is the
 #: only instance using node 2): mid-init for stop-and-copy, mid-overlap
 #: for the seamless schemes (timeline probed under the integration
-#: cost model; the deterministic kernel keeps it stable).
-CRASH_AT = {"stop_and_copy": 15.5, "fixed": 19.0, "adaptive": 19.0}
+#: cost model; the deterministic kernel keeps it stable).  The fluid
+#: column on this non-keyed graph has no early batches, so its
+#: timeline matches adaptive; the keyed-app mid-migration crash cells
+#: live in tests/test_fluid.py.
+CRASH_AT = {"stop_and_copy": 15.5, "fixed": 19.0, "adaptive": 19.0,
+            "fluid": 19.0}
 
 RECONFIG_AT = 12.0
 

@@ -1,0 +1,536 @@
+"""Fluid (bounded-batch) state migration: units, properties, chaos.
+
+Three layers, mirroring the strategy's soundness argument:
+
+* **Sharding algebra** — splitting a keyed table into ``k`` disjoint
+  shards and merging them back is the identity (property-tested over
+  random key distributions), and the dirty-tracking migration session
+  makes *early* shard captures equivalent to a one-shot snapshot at
+  the final boundary: shards + residual == the live table, under any
+  interleaving of mutations and captures.
+* **Abort restoration** — the scheme is copy-based, so closing a
+  session restores the exact pre-migration table (plain ``dict``, no
+  tracking wrapper), even mid-capture.
+* **Live runs** — the seamlessness oracle passes for the fluid
+  strategy across every shipped application; mid-migration faults
+  (node crash, link outage, worker stall + the manager's progress
+  watchdog) either complete seamlessly or abort into a clean
+  rollback with zero duplicate or lost items.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster, StreamApp, partition_even
+from repro.apps import get_app
+from repro.apps.keyed import KeyedAggregate
+from repro.core import ReconfigurationManager
+from repro.core.migration import MigrationPlan, StateShard, plan_migration
+from repro.faults import FaultPlan
+from repro.graph.builders import Pipeline
+from repro.graph.keyed import (
+    KeyedStateWorker,
+    _TrackingTable,
+    assemble_keyed_state,
+    keyed_workers,
+    merge_shards,
+    shard_of,
+    split_state,
+)
+from repro.graph.library import Accumulator, ScaleFilter
+from repro.obs import Tracer
+from repro.runtime.state import estimate_bytes
+
+from tests.conftest import integration_cost_model
+from tests.oracle import assert_seamless
+from tests.test_seamlessness import run_app_reconfig
+
+# -- hypothesis strategies ----------------------------------------------------
+
+KEYS = st.one_of(st.integers(-1000, 1000), st.text(max_size=8))
+VALUES = st.floats(allow_nan=False, allow_infinity=False)
+TABLES = st.dictionaries(KEYS, VALUES, max_size=40)
+
+
+class TableWorker(KeyedStateWorker):
+    """Minimal keyed worker for unit/property tests."""
+
+    state_fields = ("table",)
+    keyed_field = "table"
+
+    def __init__(self, table):
+        super().__init__(pop=1, push=1, name="table_worker")
+        self.table = dict(table)
+
+
+# -- sharding algebra ---------------------------------------------------------
+
+class TestShardingAlgebra:
+    @given(table=TABLES, n_shards=st.integers(1, 9))
+    def test_split_then_merge_is_identity(self, table, n_shards):
+        shards = split_state(table, n_shards)
+        assert len(shards) == n_shards
+        assert merge_shards(shards) == table
+
+    @given(table=TABLES, n_shards=st.integers(1, 9))
+    def test_shards_are_disjoint_and_complete(self, table, n_shards):
+        shards = split_state(table, n_shards)
+        seen = set()
+        for shard in shards:
+            assert not (seen & shard.keys())
+            seen |= shard.keys()
+        assert seen == table.keys()
+
+    @given(key=KEYS, n_shards=st.integers(1, 9))
+    def test_shard_of_is_stable_and_in_range(self, key, n_shards):
+        index = shard_of(key, n_shards)
+        assert 0 <= index < n_shards
+        assert shard_of(key, n_shards) == index
+
+    def test_shard_of_handles_negative_ints_and_bools(self):
+        assert 0 <= shard_of(-7, 4) < 4
+        # bools take the repr-hash path (True % 2 would pin them).
+        assert 0 <= shard_of(True, 7) < 7
+
+    def test_merge_rejects_overlapping_shards(self):
+        with pytest.raises(ValueError, match="overlap"):
+            merge_shards([{1: 1.0}, {1: 2.0}])
+
+    def test_split_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            split_state({}, 0)
+
+
+# -- dirty tracking -----------------------------------------------------------
+
+class TestTrackingTable:
+    def fresh(self):
+        dirty = set()
+        return _TrackingTable({"a": 1.0, "b": 2.0}, dirty), dirty
+
+    def test_setitem_marks_dirty(self):
+        table, dirty = self.fresh()
+        table["a"] = 3.0
+        table["new"] = 1.0
+        assert dirty == {"a", "new"}
+
+    def test_delitem_marks_dirty(self):
+        table, dirty = self.fresh()
+        del table["a"]
+        assert dirty == {"a"}
+
+    def test_setdefault_marks_only_missing_keys(self):
+        table, dirty = self.fresh()
+        table.setdefault("a", 9.0)
+        assert dirty == set()
+        table.setdefault("c", 9.0)
+        assert dirty == {"c"}
+
+    def test_pop_marks_only_present_keys(self):
+        table, dirty = self.fresh()
+        table.pop("missing", None)
+        assert dirty == set()
+        table.pop("b")
+        assert dirty == {"b"}
+
+    def test_popitem_update_clear_mark_dirty(self):
+        table, dirty = self.fresh()
+        key, _ = table.popitem()
+        assert key in dirty
+        table.update({"x": 1.0}, y=2.0)
+        assert {"x", "y"} <= dirty
+        table.clear()
+        assert "a" in dirty or "a" not in table
+
+
+# -- migration sessions: early shards + residual == one-shot snapshot ---------
+
+OPS = st.lists(
+    st.tuples(st.sampled_from(["set", "del"]), KEYS, VALUES), max_size=25)
+
+
+def apply_ops(table, ops):
+    for op, key, value in ops:
+        if op == "set":
+            table[key] = value
+        else:
+            table.pop(key, None)
+
+
+class TestMigrationSession:
+    @settings(deadline=None, max_examples=60)
+    @given(table=TABLES, n_shards=st.integers(1, 5),
+           op_rounds=st.lists(OPS, min_size=1, max_size=6))
+    def test_shards_plus_residual_equal_one_shot_snapshot(
+            self, table, n_shards, op_rounds):
+        """Mutations interleaved with shard captures: the assembled
+        table must equal what a single snapshot at the end would see."""
+        worker = TableWorker(table)
+        session = worker.begin_key_migration()
+        shards = []
+        for index in range(n_shards):
+            apply_ops(worker.keyed_table(), op_rounds[index % len(op_rounds)])
+            shards.append(session.capture_shard(index, n_shards))
+        apply_ops(worker.keyed_table(), op_rounds[-1])
+        assembled = assemble_keyed_state(shards, session.residual())
+        assert assembled == dict(worker.keyed_table())
+        worker.end_key_migration()
+
+    def test_capture_then_close_restores_pre_migration_table(self):
+        worker = TableWorker({i: float(i) for i in range(20)})
+        before = dict(worker.table)
+        session = worker.begin_key_migration()
+        session.capture_shard(0, 3)
+        session.capture_shard(1, 3)
+        worker.end_key_migration()
+        assert type(worker.table) is dict
+        assert worker.table == before
+        assert worker.key_migration is None
+
+    def test_close_preserves_mutations_made_during_migration(self):
+        """Abort is copy-based: the live table keeps evolving during a
+        migration and closing the session must not roll that back."""
+        worker = TableWorker({i: float(i) for i in range(8)})
+        session = worker.begin_key_migration()
+        session.capture_shard(0, 2)
+        worker.keyed_table()[0] = 99.0
+        worker.keyed_table()[100] = 1.0
+        worker.end_key_migration()
+        assert type(worker.table) is dict
+        assert worker.table[0] == 99.0 and worker.table[100] == 1.0
+        # close() is idempotent.
+        session.close()
+        session.close()
+
+    def test_captured_values_are_deep_copies(self):
+        worker = TableWorker({"k": [1.0, 2.0]})
+        session = worker.begin_key_migration()
+        shard = session.capture_shard(0, 1)
+        shard["k"].append(3.0)
+        assert worker.keyed_table()["k"] == [1.0, 2.0]
+        worker.end_key_migration()
+
+    def test_get_state_never_leaks_the_tracking_wrapper(self):
+        worker = TableWorker({1: 1.0})
+        worker.begin_key_migration()
+        state = worker.get_state()
+        assert type(state["table"]) is dict
+        worker.end_key_migration()
+
+    def test_double_begin_is_rejected(self):
+        worker = TableWorker({})
+        worker.begin_key_migration()
+        with pytest.raises(RuntimeError, match="active key migration"):
+            worker.begin_key_migration()
+        worker.end_key_migration()
+
+    def test_undeclared_keyed_field_is_rejected(self):
+        class NoKey(KeyedStateWorker):
+            state_fields = ("x",)
+
+            def __init__(self):
+                super().__init__(pop=1, push=1, name="nokey")
+                self.x = 0.0
+
+        with pytest.raises(ValueError, match="no keyed_field"):
+            NoKey().begin_key_migration()
+
+    def test_keyed_field_must_be_a_state_field(self):
+        class Typo(KeyedStateWorker):
+            state_fields = ("table",)
+            keyed_field = "tabel"
+
+            def __init__(self):
+                super().__init__(pop=1, push=1, name="typo")
+                self.table = {}
+                self.tabel = {}
+
+        with pytest.raises(ValueError, match="not in state_fields"):
+            Typo().begin_key_migration()
+
+
+# -- batch planning -----------------------------------------------------------
+
+def keyed_graph(n_keys=64):
+    return Pipeline(
+        ScaleFilter(1.0),
+        KeyedAggregate(n_keys, name="kt"),
+        Accumulator(),
+    ).flatten()
+
+
+class TestMigrationPlan:
+    def test_plan_shards_keyed_workers_only(self):
+        graph = keyed_graph()
+        plan = plan_migration(graph, batch_bytes=128)
+        keyed = keyed_workers(graph)[0]
+        assert set(plan.keyed_fields) == {keyed.worker_id}
+        assert all(s.worker_id == keyed.worker_id for s in plan.shards)
+        # The accumulator (non-keyed stateful) moves at the final cut.
+        assert len(plan.final_workers) == 1
+        assert plan.validate(graph) == []
+
+    def test_smaller_batches_mean_more_shards(self):
+        graph = keyed_graph(n_keys=128)
+        coarse = plan_migration(graph, batch_bytes=1 << 20)
+        fine = plan_migration(graph, batch_bytes=64)
+        assert len(coarse.shards) == 1
+        assert len(fine.shards) > len(coarse.shards)
+        table = keyed_workers(graph)[0].table
+        expected = -(-estimate_bytes(dict(table)) // 64)
+        assert len(fine.shards) == expected
+
+    def test_batches_respect_the_byte_bound(self):
+        plan = MigrationPlan(batch_bytes=100, shards=[
+            StateShard(1, "w", i, 6, estimated_bytes=40) for i in range(6)])
+        batches = plan.batches()
+        assert [len(b) for b in batches] == [2, 2, 2]
+        assert all(sum(s.estimated_bytes for s in b) <= 100 for b in batches)
+
+    def test_oversized_shard_still_gets_a_batch(self):
+        plan = MigrationPlan(batch_bytes=10, shards=[
+            StateShard(1, "w", 0, 1, estimated_bytes=500)])
+        assert [len(b) for b in plan.batches()] == [1]
+
+    def test_validate_reports_uncovered_stateful_worker(self):
+        graph = keyed_graph()
+        plan = plan_migration(graph, batch_bytes=128)
+        plan.final_workers = []
+        problems = plan.validate(graph)
+        assert any("not covered" in p for p in problems)
+
+    def test_validate_reports_double_coverage(self):
+        graph = keyed_graph()
+        plan = plan_migration(graph, batch_bytes=128)
+        plan.final_workers.append(plan.shards[0].worker_id)
+        problems = plan.validate(graph)
+        assert any("both by shards and by the final cut" in p
+                   for p in problems)
+
+    def test_validate_reports_broken_shard_indices(self):
+        graph = keyed_graph()
+        plan = plan_migration(graph, batch_bytes=128)
+        wid = plan.shards[0].worker_id
+        plan.shards = [StateShard(wid, "kt", 3, 2, 10),
+                       StateShard(wid, "kt", 4, 2, 10)]
+        problems = plan.validate(graph)
+        assert any("do not form range" in p for p in problems)
+
+    def test_validate_reports_non_dict_keyed_field(self):
+        graph = keyed_graph()
+        keyed = keyed_workers(graph)[0]
+        keyed.table = [1.0, 2.0]
+        plan = plan_migration(graph, batch_bytes=128)
+        problems = plan.validate(graph)
+        assert any("not a dict" in p for p in problems)
+
+    def test_plan_rejects_nonpositive_batch_bytes(self):
+        with pytest.raises(ValueError):
+            plan_migration(keyed_graph(), batch_bytes=0)
+
+
+# -- live fluid migrations ----------------------------------------------------
+
+#: (app name, partition multiplier, warmup, end, downtime bucket) — the
+#: full registry, nine original applications plus the keyed demo.
+#: Warmups/horizons probed under the integration cost model; LTE and
+#: DVB-T2 emit in bursts, so downtime is judged over their burst
+#: period (paper 9.8).
+FLUID_APP_CASES = [
+    ("FMRadio", 4, 15.0, 70.0, 1.0),
+    ("BeamFormer", 4, 15.0, 70.0, 1.0),
+    ("FilterBank", 2, 30.0, 90.0, 1.0),
+    ("Vocoder", 8, 15.0, 90.0, 1.0),
+    ("TDE_PP", 1, 35.0, 140.0, 2.0),
+    ("LTE", 1, 50.0, 170.0, 10.0),
+    ("SAR", 1, 30.0, 140.0, 1.0),
+    ("DVB-T2", 1, 170.0, 640.0, 10.0),
+    ("Synthetic", 4, 15.0, 70.0, 1.0),
+    ("KeyedAggregate", 4, 15.0, 70.0, 1.0),
+]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name,multiplier,warmup,end,bucket",
+                         FLUID_APP_CASES,
+                         ids=[c[0] for c in FLUID_APP_CASES])
+def test_fluid_oracle_across_all_apps(name, multiplier, warmup, end, bucket):
+    app, blueprint, spec = run_app_reconfig(
+        name, multiplier, warmup, end, "fluid")
+    verdict = assert_seamless(
+        app, blueprint, spec.input_fn, min_items=100,
+        window=(warmup, end), bucket=bucket, require_zero_downtime=True)
+    assert verdict.inputs_consumed > 0
+
+
+BATCH_BYTES = 256.0  # shards the 192-key demo table into ~12 batches.
+RECONFIG_AT = 15.0
+
+
+def launch_keyed(plan=None, snapshot_latency=0.0):
+    cost_model = dataclasses.replace(
+        integration_cost_model(),
+        fluid_batch_bytes=BATCH_BYTES,
+        snapshot_latency=snapshot_latency)
+    spec = get_app("KeyedAggregate")
+    blueprint = spec.blueprint(scale=1)
+    cluster = Cluster(n_nodes=3, cores_per_node=4, cost_model=cost_model,
+                      tracer=Tracer())
+    app = StreamApp(cluster, blueprint, input_fn=spec.input_fn,
+                    name="keyed", collect_output=True)
+    app.launch(partition_even(blueprint(), [0, 1], multiplier=4, name="A"))
+    cluster.run(until=RECONFIG_AT)
+    if plan is not None:
+        app.attach_faults(plan)
+    return cluster, app, blueprint, spec
+
+
+def keyed_target(blueprint):
+    return partition_even(blueprint(), [0, 1, 2], multiplier=4, name="B")
+
+
+def assert_sessions_closed(app):
+    """No lingering migration machinery on the surviving instance."""
+    for worker in keyed_workers(app.current.program.graph):
+        assert type(worker.keyed_table()) is dict
+        assert worker.key_migration is None
+
+
+@pytest.mark.slow
+class TestFluidMigration:
+    def test_batched_migration_with_per_batch_progress(self):
+        cluster, app, blueprint, spec = launch_keyed()
+        done = app.reconfigure(keyed_target(blueprint), strategy="fluid")
+        cluster.run(until=90.0)
+        assert done.triggered and done.ok
+        report = app.reconfigurations[-1]
+        assert report.migration_batches > 1
+        assert report.migration_batches_done == report.migration_batches
+        assert report.migration_moved_bytes > 0
+        assert report.migration_batch_bytes == int(BATCH_BYTES)
+        assert report.last_progress_at is not None
+        batch_spans = [s for s in app.tracer.spans if s.name == "fluid-batch"]
+        assert len(batch_spans) == report.migration_batches
+        assert all(s.finished for s in batch_spans)
+        assert_sessions_closed(app)
+        assert_seamless(app, blueprint, spec.input_fn, min_items=100,
+                        window=(RECONFIG_AT, 90.0),
+                        require_zero_downtime=True)
+
+    def test_fluid_state_matches_one_shot_reference(self):
+        """The migrated table must byte-match an unreconfigured run's:
+        replay the consumed inputs through the reference interpreter,
+        firing until its keyed worker has processed exactly as many
+        items as the live one, then compare the keyed state."""
+        from repro.runtime import GraphInterpreter
+        cluster, app, blueprint, spec = launch_keyed()
+        done = app.reconfigure(keyed_target(blueprint), strategy="fluid")
+        cluster.run(until=90.0)
+        assert done.triggered and done.ok
+        live = keyed_workers(app.current.program.graph)[0]
+        assert live.cursor > 0
+        consumed = max(inst.input_view.next_index for inst in app.instances)
+        interp = GraphInterpreter(blueprint())
+        interp.push_input([spec.input_fn(i) for i in range(consumed)])
+        interp.run_init()
+        reference = keyed_workers(interp.graph)[0]
+        order = interp.schedule.firing_order()
+        caught_up = reference.cursor >= live.cursor
+        for _ in range(consumed):
+            if caught_up:
+                break
+            for worker_id, firings in order:
+                for _ in range(firings):
+                    interp.fire(worker_id)
+                    if reference.cursor >= live.cursor:
+                        caught_up = True
+                        break
+                if caught_up:
+                    break
+        assert reference.cursor == live.cursor
+        assert live.table == reference.table
+
+    def test_node_crash_during_batches_stays_seamless(self):
+        """Node 2 (new-instance-only) dies while shards are in flight;
+        the copy-based migration is unaffected and the run stays
+        byte-identical with zero duplicate or lost items."""
+        plan = FaultPlan(name="crash-mid-batch").crash_node(2, at=20.0)
+        cluster, app, blueprint, spec = launch_keyed(plan)
+        done = app.reconfigure(keyed_target(blueprint), strategy="fluid")
+        cluster.run(until=90.0)
+        assert done.triggered and done.ok
+        assert app.faults.fired
+        assert_sessions_closed(app)
+        assert_seamless(app, blueprint, spec.input_fn, min_items=100)
+
+    def test_node_crash_mid_overlap_aborts_and_restores(self):
+        """The crash lands after the batches, while the new instance
+        catches up: the strategy must abort, roll back to the old
+        epoch, and leave no tracking wrapper behind."""
+        plan = FaultPlan(name="crash-overlap").crash_node(2, at=30.0)
+        cluster, app, blueprint, spec = launch_keyed(plan)
+        done = app.reconfigure(keyed_target(blueprint), strategy="fluid")
+        cluster.run(until=90.0)
+        assert done.triggered and not done.ok
+        report = app.reconfigurations[-1]
+        assert report.aborted
+        assert report.rolled_back_at is not None
+        assert app.current is not None and app.current.alive
+        assert_sessions_closed(app)
+        disruption = app.analyze(RECONFIG_AT, 60.0)
+        assert disruption.downtime == 0.0, disruption
+        assert_seamless(app, blueprint, spec.input_fn, min_items=100)
+
+    def test_link_outage_during_batches_completes(self):
+        """Shard transfers queue through the outage and retransmit —
+        degraded, never lost — so the migration still completes."""
+        plan = FaultPlan(name="outage-mid-batch").link_outage(
+            at=17.0, duration=2.0)
+        cluster, app, blueprint, spec = launch_keyed(plan)
+        done = app.reconfigure(keyed_target(blueprint), strategy="fluid")
+        cluster.run(until=90.0)
+        assert done.triggered and done.ok
+        assert not app.reconfigurations[-1].aborted
+        assert_sessions_closed(app)
+        assert_seamless(app, blueprint, spec.input_fn, min_items=100)
+
+    def test_stall_aborts_mid_migration_and_retry_succeeds(self):
+        """A worker stall freezes shard captures mid-plan; the
+        manager's progress watchdog interrupts the attempt (partial
+        batch count on the aborted report), the rollback restores the
+        tracking-free table, and the retry completes cleanly."""
+        plan = FaultPlan(name="stall").stall_workers(at=18.0, duration=10.0)
+        cluster, app, blueprint, spec = launch_keyed(plan)
+        manager = ReconfigurationManager(app, max_retries=2,
+                                         retry_initial_delay=4.0,
+                                         progress_timeout=6.0)
+        outcome = manager.submit(keyed_target(blueprint), strategy="fluid")
+        cluster.run(until=140.0)
+        assert outcome.status == "completed"
+        assert outcome.attempts == 2
+        first = app.reconfigurations[0]
+        assert first.aborted and first.rolled_back_at is not None
+        assert 0 < first.migration_batches_done < first.migration_batches
+        assert [i for i in app.tracer.instants if i[2] == "request-stalled"]
+        assert_sessions_closed(app)
+        assert_seamless(app, blueprint, spec.input_fn, min_items=100)
+
+    def test_progress_watchdog_tolerates_long_healthy_migrations(self):
+        """Per-batch progress stamps keep pushing the inactivity
+        deadline out: a migration several times longer than the
+        progress timeout completes on the first attempt."""
+        cluster, app, blueprint, spec = launch_keyed(snapshot_latency=0.5)
+        manager = ReconfigurationManager(app, max_retries=0,
+                                         progress_timeout=5.0)
+        outcome = manager.submit(keyed_target(blueprint), strategy="fluid")
+        cluster.run(until=140.0)
+        assert outcome.status == "completed"
+        assert outcome.attempts == 1
+        assert not [i for i in app.tracer.instants
+                    if i[2] == "request-stalled"]
+        migrate = [s for s in app.tracer.spans if s.name == "fluid-migrate"]
+        assert migrate and migrate[0].end - migrate[0].start > 3 * 5.0
+        assert_seamless(app, blueprint, spec.input_fn, min_items=100)

@@ -53,7 +53,7 @@ def run_one_reconfig(factory, strategy, until_before=12.0, until_after=50.0,
     return app
 
 
-STRATEGIES = ["stop_and_copy", "fixed", "adaptive"]
+STRATEGIES = ["stop_and_copy", "fixed", "adaptive", "fluid"]
 
 
 class TestStrategyMatrix:

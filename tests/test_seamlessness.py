@@ -5,8 +5,8 @@ onto three, and hands the run to the oracle (:mod:`tests.oracle`),
 which replays the consumed inputs through the reference interpreter
 and asserts the merged output is byte-identical — the "run with and
 without a reconfiguration" comparison at the heart of the paper's
-correctness claim.  The adaptive scheme is additionally held to its
-zero-downtime guarantee.
+correctness claim.  The adaptive and fluid schemes are additionally
+held to their zero-downtime guarantee.
 """
 
 import pytest
@@ -26,7 +26,7 @@ APP_CASES = [
     ("FilterBank", 2, 30.0, 90.0),
 ]
 
-STRATEGIES = ["stop_and_copy", "fixed", "adaptive"]
+STRATEGIES = ["stop_and_copy", "fixed", "adaptive", "fluid"]
 
 
 def run_app_reconfig(name, multiplier, warmup, end, strategy):
@@ -61,7 +61,7 @@ def test_output_identical_to_unreconfigured_run(name, multiplier, warmup,
     verdict = assert_seamless(
         app, blueprint, spec.input_fn, min_items=100,
         window=(warmup, end),
-        require_zero_downtime=(strategy == "adaptive"))
+        require_zero_downtime=(strategy in ("adaptive", "fluid")))
     assert verdict.inputs_consumed > 0
 
 
