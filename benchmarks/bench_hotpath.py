@@ -1,6 +1,7 @@
-"""Hot-path benchmark: fused steady-state firing and compile caching.
+"""Hot-path benchmark: fused steady-state firing, compile caching,
+codegen and multi-core blob execution.
 
-Three measurements per application (every registered app):
+Per-application measurements (every registered app):
 
 1. **Steady-state firing throughput** — firings/sec of the canonical
    per-firing interpreter loop vs the :class:`FusedPlan` fast path.
@@ -11,10 +12,26 @@ Three measurements per application (every registered app):
    fused, both at a boosted schedule multiplier so each batch kernel
    call covers hundreds of firings (the regime the backend exists
    for; at multiplicity 1 a batch call degenerates to one firing).
-3. **Cold vs warm compilation** — wall time of
+3. **Codegen backend throughput** — vectorized step dispatch vs the
+   generated per-blob kernel at a *small* multiplier (the
+   dispatch-bound regime codegen targets; at huge batch sizes the
+   NumPy work dominates and the two backends converge).
+4. **Cold vs warm compilation** — wall time of
    :func:`plan_configuration` with an empty
    :class:`CompilationCache` (miss: schedule + pseudo-blob
    construction) vs a primed one (hit: rehydration only).
+
+One whole-run measurement:
+
+5. **Parallel self-speedup** — a 4-stage FIR pipeline split into 4
+   blobs on the :class:`ParallelBlobExecutor`, 1 thread vs 4 threads.
+   Gated only when the machine actually has >= 4 cores (recorded in
+   the JSON either way).
+
+Every steady-state tier is timed through :func:`_measure_steady`,
+which grows the iteration count until a single measured rep lasts at
+least ``MIN_REP_SECONDS`` — a floor on measured duration, so no tier
+ever reports numbers from a 2-iteration rep of timer noise.
 
 Writes ``BENCH_hotpath.json`` at the repo root and gates the targets:
 
@@ -22,6 +39,9 @@ Writes ``BENCH_hotpath.json`` at the repo root and gates the targets:
 * geomean fused speedup >= 1.5x across all apps (rate-only),
 * vectorized speedup >= 5x over scalar fused on Synthetic,
 * geomean vectorized speedup >= 3x across the numeric apps,
+* codegen speedup >= 1.5x over vectorized on Synthetic,
+* geomean codegen speedup >= 1.2x across the numeric apps,
+* parallel self-speedup >= 2x on the 4-blob pipeline (when >= 4 cores),
 * warm phase-1 time <= 10% of cold, averaged across apps.
 
 Usage::
@@ -51,7 +71,10 @@ from repro.compiler.cache import (  # noqa: E402
 from repro.compiler.cost_model import CostModel  # noqa: E402
 from repro.compiler.partition import partition_even  # noqa: E402
 from repro.compiler.two_phase import plan_configuration  # noqa: E402
+from repro.graph.builders import Pipeline  # noqa: E402
+from repro.graph.library import FIRFilter  # noqa: E402
 from repro.runtime.interpreter import GraphInterpreter  # noqa: E402
+from repro.runtime.parallel import ParallelBlobExecutor  # noqa: E402
 from repro.sched.schedule import make_schedule  # noqa: E402
 
 RESULT_PATH = os.path.join(_REPO_ROOT, "BENCH_hotpath.json")
@@ -61,6 +84,11 @@ REPS = 5
 COMPILE_REPS = 7
 WARM_BATCH = 20
 TARGET_REP_SECONDS = 0.15
+#: Floor on each measured steady-state rep: the iteration count grows
+#: until one rep lasts at least this long (fixes tiers that previously
+#: measured 2 iterations on the slow apps — pure timer noise).
+MIN_REP_SECONDS = 0.05
+MAX_STEADY_ITERATIONS = 20000
 GATE_SYNTHETIC_SPEEDUP = 2.0
 GATE_GEOMEAN_SPEEDUP = 1.5
 GATE_WARM_COLD_RATIO = 0.10
@@ -69,12 +97,31 @@ GATE_WARM_COLD_RATIO = 0.10
 #: fires every worker repetitions x this many times, so one batch call
 #: covers hundreds of firings.
 VECTOR_MULTIPLIER = 256
+#: Schedule multiplier for the codegen tier: small on purpose — the
+#: generated kernel removes per-step dispatch, which only matters when
+#: batches are small enough that dispatch is a real fraction of the
+#: iteration.
+CODEGEN_MULTIPLIER = 8
 #: Apps whose hot loops are dominated by numeric per-item work (the
-#: workloads the vectorized backend targets); the geomean gate runs
+#: workloads the vectorized backend targets); the geomean gates run
 #: over these.  The remaining apps are measured and reported too.
 NUMERIC_APPS = ("BeamFormer", "FMRadio", "FilterBank", "Synthetic")
 GATE_VECTOR_SYNTHETIC_SPEEDUP = 5.0
 GATE_VECTOR_GEOMEAN_SPEEDUP = 3.0
+GATE_CODEGEN_SYNTHETIC_SPEEDUP = 1.5
+GATE_CODEGEN_GEOMEAN_SPEEDUP = 1.2
+
+#: Parallel tier: a pipeline of PARALLEL_STAGES x PARALLEL_FIRS FIR
+#: filters split into PARALLEL_BLOBS topologically contiguous blobs.
+#: Each FIR batch call is TAPS GIL-releasing NumPy accumulations, so
+#: pipeline blobs genuinely overlap on real cores.
+PARALLEL_STAGES = 4
+PARALLEL_FIRS = 3
+PARALLEL_TAPS = 32
+PARALLEL_BLOBS = 4
+PARALLEL_THREADS = 4
+PARALLEL_MULTIPLIER = 2048
+GATE_PARALLEL_SELF_SPEEDUP = 2.0
 
 
 def _provision(interp, input_fn, iterations):
@@ -99,6 +146,41 @@ def _steady_per_firing(interp, iterations):
         for worker_id, firings in order:
             for _ in range(firings):
                 fire(worker_id)
+
+
+def _measure_steady(build, input_fn, expect_mode=None):
+    """Best-of-REPS per-steady-iteration wall time with a duration floor.
+
+    Grows the iteration count (doubling, then jumping to the estimate)
+    until one measured rep lasts at least MIN_REP_SECONDS, then takes
+    the best of REPS reps at that count.  Returns
+    ``(seconds_per_iteration, iterations_per_rep, engine)``.
+    """
+    interp = build()
+    _provision(interp, input_fn, 2)
+    interp.run_init()
+    interp.run_steady(1)  # plan built + validated outside the timing
+    if expect_mode is not None:
+        assert interp._fused.mode == expect_mode, interp._fused.mode
+    iterations = 1
+    while True:
+        _provision(interp, input_fn, iterations)
+        start = time.perf_counter()
+        interp.run_steady(iterations)
+        elapsed = time.perf_counter() - start
+        if elapsed >= MIN_REP_SECONDS or iterations >= MAX_STEADY_ITERATIONS:
+            break
+        per = max(elapsed / iterations, 1e-9)
+        iterations = min(max(iterations * 2,
+                             int(MIN_REP_SECONDS / per) + 1),
+                         MAX_STEADY_ITERATIONS)
+    best = elapsed
+    for _ in range(REPS - 1):
+        _provision(interp, input_fn, iterations)
+        start = time.perf_counter()
+        interp.run_steady(iterations)
+        best = min(best, time.perf_counter() - start)
+    return best / iterations, iterations, interp
 
 
 def _calibrate_iterations(blueprint, input_fn, rate_only):
@@ -151,50 +233,129 @@ def _bench_firing_mode(spec, rate_only):
 
 
 def _bench_vectorized(spec):
-    """Best-of-REPS scalar-fused vs vectorized-fused at a boosted
-    schedule multiplier (real data, ``check_rates=False``)."""
+    """Scalar-fused vs vectorized-fused at a boosted schedule
+    multiplier (real data, ``check_rates=False``), floor-timed."""
     blueprint = spec.blueprint(scale=SCALE)
     input_fn = spec.input_fn
 
     def build(vectorize):
-        graph = blueprint()
-        schedule = make_schedule(graph, multiplier=VECTOR_MULTIPLIER)
-        return GraphInterpreter(graph, schedule=schedule,
-                                check_rates=False, vectorize=vectorize)
+        def make():
+            graph = blueprint()
+            schedule = make_schedule(graph, multiplier=VECTOR_MULTIPLIER)
+            return GraphInterpreter(graph, schedule=schedule,
+                                    check_rates=False, vectorize=vectorize)
+        return make
 
-    probe = build(False)
-    _provision(probe, input_fn, 2)
-    probe.run_init()
-    probe.run_steady(1)  # plan built outside the timing
-    start = time.perf_counter()
-    probe.run_steady(1)
-    per_iteration = max(time.perf_counter() - start, 1e-7)
-    iterations = max(2, min(int(TARGET_REP_SECONDS / per_iteration), 200))
-
-    best = {}
-    for label, vectorize in (("scalar", False), ("vectorized", True)):
-        interp = build(vectorize)
-        _provision(interp, input_fn, iterations * REPS + 1)
-        interp.run_init()
-        interp.run_steady(1)
-        assert interp._fused.mode == ("vectorized" if vectorize
-                                      else "scalar"), interp._fused.mode
-        elapsed = float("inf")
-        for _ in range(REPS):
-            start = time.perf_counter()
-            interp.run_steady(iterations)
-            elapsed = min(elapsed, time.perf_counter() - start)
-        best[label] = elapsed
+    scalar_per, scalar_iters, probe = _measure_steady(
+        build(False), input_fn, expect_mode="scalar")
+    vector_per, vector_iters, _ = _measure_steady(
+        build(True), input_fn, expect_mode="vectorized")
 
     firings = sum(f for _, f in probe.schedule.firing_order())
     return {
         "multiplier": VECTOR_MULTIPLIER,
-        "iterations_per_rep": iterations,
+        "iterations_per_rep": {"scalar": scalar_iters,
+                               "vectorized": vector_iters},
         "firings_per_iteration": firings,
-        "scalar_firings_per_sec": firings * iterations / best["scalar"],
-        "vectorized_firings_per_sec": (firings * iterations
-                                       / best["vectorized"]),
-        "speedup": best["scalar"] / best["vectorized"],
+        "scalar_firings_per_sec": firings / scalar_per,
+        "vectorized_firings_per_sec": firings / vector_per,
+        "speedup": scalar_per / vector_per,
+    }
+
+
+def _bench_codegen(spec):
+    """Vectorized step dispatch vs the generated per-blob kernel at a
+    small-batch multiplier, floor-timed."""
+    blueprint = spec.blueprint(scale=SCALE)
+    input_fn = spec.input_fn
+
+    def build(codegen):
+        def make():
+            graph = blueprint()
+            schedule = make_schedule(graph, multiplier=CODEGEN_MULTIPLIER)
+            return GraphInterpreter(graph, schedule=schedule,
+                                    check_rates=False, vectorize=True,
+                                    codegen=codegen)
+        return make
+
+    vector_per, vector_iters, _ = _measure_steady(
+        build(False), input_fn, expect_mode="vectorized")
+    codegen_per, codegen_iters, interp = _measure_steady(
+        build(True), input_fn, expect_mode="codegen")
+
+    plan = interp._fused
+    assert plan.codegen_error is None, plan.codegen_error
+    kernel = plan._codegen
+    # Scalar fallbacks appear exactly where batch kernels are absent.
+    expected_fallbacks = sum(
+        1 for worker in interp.graph.workers
+        if not worker.supports_work_batch)
+    assert kernel.fallback_steps == expected_fallbacks, \
+        (kernel.fallback_steps, expected_fallbacks)
+
+    firings = sum(f for _, f in interp.schedule.firing_order())
+    return {
+        "multiplier": CODEGEN_MULTIPLIER,
+        "iterations_per_rep": {"vectorized": vector_iters,
+                               "codegen": codegen_iters},
+        "firings_per_iteration": firings,
+        "backend": kernel.backend,
+        "fallback_steps": kernel.fallback_steps,
+        "vectorized_firings_per_sec": firings / vector_per,
+        "codegen_firings_per_sec": firings / codegen_per,
+        "speedup": vector_per / codegen_per,
+    }
+
+
+def _parallel_blueprint():
+    stages = []
+    for stage in range(PARALLEL_STAGES):
+        for fir in range(PARALLEL_FIRS):
+            stages.append(FIRFilter([1.0 / PARALLEL_TAPS] * PARALLEL_TAPS,
+                                    name="fir%d_%d" % (stage, fir)))
+    return Pipeline(*stages).flatten()
+
+
+def _parallel_input(i):
+    return math.sin(i * 0.01)
+
+
+def _bench_parallel():
+    """Self-speedup of the parallel blob executor: the 4-blob FIR
+    pipeline with 1 thread vs PARALLEL_THREADS threads."""
+    def build(threads):
+        def make():
+            graph = _parallel_blueprint()
+            schedule = make_schedule(graph, multiplier=PARALLEL_MULTIPLIER)
+            topo = list(graph.topological_order())
+            size = len(topo) // PARALLEL_BLOBS
+            partition = [topo[i * size:(i + 1) * size]
+                         for i in range(PARALLEL_BLOBS)]
+            partition[-1].extend(topo[PARALLEL_BLOBS * size:])
+            return ParallelBlobExecutor(graph, partition, schedule=schedule,
+                                        threads=threads)
+        return make
+
+    serial_per, serial_iters, _ = _measure_steady(
+        build(1), _parallel_input)
+    parallel_per, parallel_iters, _ = _measure_steady(
+        build(PARALLEL_THREADS), _parallel_input)
+
+    cpu_count = os.cpu_count() or 1
+    return {
+        "blobs": PARALLEL_BLOBS,
+        "threads": PARALLEL_THREADS,
+        "multiplier": PARALLEL_MULTIPLIER,
+        "stages": PARALLEL_STAGES,
+        "firs_per_stage": PARALLEL_FIRS,
+        "taps": PARALLEL_TAPS,
+        "cpu_count": cpu_count,
+        "gated": cpu_count >= PARALLEL_THREADS,
+        "iterations_per_rep": {"serial": serial_iters,
+                               "parallel": parallel_iters},
+        "serial_iteration_ms": serial_per * 1e3,
+        "parallel_iteration_ms": parallel_per * 1e3,
+        "self_speedup": serial_per / parallel_per,
     }
 
 
@@ -257,18 +418,27 @@ def run():
         rate_only = _bench_firing_mode(spec, rate_only=True)
         functional = _bench_firing_mode(spec, rate_only=False)
         vectorized = _bench_vectorized(spec)
+        codegen = _bench_codegen(spec)
         compile_row = _bench_compile(spec)
         apps[name] = {
             "rate_only": rate_only,
             "functional": functional,
             "vectorized": vectorized,
+            "codegen": codegen,
             "compile": compile_row,
         }
         print("  rate-only %.2fx  functional %.2fx  vectorized %.2fx  "
-              "warm/cold %.1f%%"
+              "codegen %.2fx  warm/cold %.1f%%"
               % (rate_only["speedup"], functional["speedup"],
-                 vectorized["speedup"],
+                 vectorized["speedup"], codegen["speedup"],
                  100.0 * compile_row["warm_cold_ratio"]))
+
+    print("benchmarking parallel self-speedup ...")
+    parallel = _bench_parallel()
+    print("  %d blobs, %d threads on %d core(s): %.2fx%s"
+          % (parallel["blobs"], parallel["threads"], parallel["cpu_count"],
+             parallel["self_speedup"],
+             "" if parallel["gated"] else "  (not gated: too few cores)"))
 
     names = sorted(apps)
     summary = {
@@ -283,11 +453,20 @@ def run():
             [apps[n]["vectorized"]["speedup"] for n in NUMERIC_APPS]),
         "geomean_vectorized_speedup": _geomean(
             [apps[n]["vectorized"]["speedup"] for n in names]),
+        "synthetic_codegen_speedup": apps["Synthetic"]["codegen"]["speedup"],
+        "geomean_codegen_numeric_speedup": _geomean(
+            [apps[n]["codegen"]["speedup"] for n in NUMERIC_APPS]),
+        "geomean_codegen_speedup": _geomean(
+            [apps[n]["codegen"]["speedup"] for n in names]),
+        "parallel_self_speedup": parallel["self_speedup"],
+        "parallel_gated": parallel["gated"],
+        "cpu_count": parallel["cpu_count"],
         "warm_cold_ratio_mean": (
             sum(apps[n]["compile"]["warm_cold_ratio"] for n in names)
             / len(names)),
     }
-    return {"scale": SCALE, "apps": apps, "summary": summary}
+    return {"scale": SCALE, "apps": apps, "parallel": parallel,
+            "summary": summary}
 
 
 def gate(result):
@@ -303,9 +482,24 @@ def gate(result):
         ("geomean vectorized speedup (numeric apps)",
          summary["geomean_vectorized_numeric_speedup"], ">=",
          GATE_VECTOR_GEOMEAN_SPEEDUP),
+        ("Synthetic codegen speedup",
+         summary["synthetic_codegen_speedup"], ">=",
+         GATE_CODEGEN_SYNTHETIC_SPEEDUP),
+        ("geomean codegen speedup (numeric apps)",
+         summary["geomean_codegen_numeric_speedup"], ">=",
+         GATE_CODEGEN_GEOMEAN_SPEEDUP),
         ("mean warm/cold compile ratio",
          summary["warm_cold_ratio_mean"], "<=", GATE_WARM_COLD_RATIO),
     ]
+    if summary["parallel_gated"]:
+        checks.append(("parallel self-speedup (4 blobs, 4 threads)",
+                       summary["parallel_self_speedup"], ">=",
+                       GATE_PARALLEL_SELF_SPEEDUP))
+    else:
+        print("gate %-38s measured=%.3f SKIPPED (%d core(s) < %d threads)"
+              % ("parallel self-speedup (4 blobs, 4 threads)",
+                 summary["parallel_self_speedup"],
+                 summary["cpu_count"], PARALLEL_THREADS))
     failures = []
     for label, got, op, limit in checks:
         ok = got >= limit if op == ">=" else got <= limit
@@ -332,6 +526,9 @@ def main(argv=None):
 
     from benchmarks.ci_summary import markdown_table, write_step_summary
     summary = result["summary"]
+    parallel_row = "%.2fx" % summary["parallel_self_speedup"]
+    if not summary["parallel_gated"]:
+        parallel_row += " (not gated: %d core(s))" % summary["cpu_count"]
     if write_step_summary(
             "### Hot-path speedups (fused over per-firing interpreter)\n\n"
             + markdown_table(
@@ -346,6 +543,12 @@ def main(argv=None):
                   "%.2fx" % summary["synthetic_vectorized_speedup"]),
                  ("geomean vectorized (numeric apps)",
                   "%.2fx" % summary["geomean_vectorized_numeric_speedup"]),
+                 ("Synthetic codegen over vectorized",
+                  "%.2fx" % summary["synthetic_codegen_speedup"]),
+                 ("geomean codegen (numeric apps)",
+                  "%.2fx" % summary["geomean_codegen_numeric_speedup"]),
+                 ("parallel self-speedup (4 blobs / 4 threads)",
+                  parallel_row),
                  ("mean warm/cold compile ratio",
                   "%.1f%%" % (100 * summary["warm_cold_ratio_mean"]))])):
         print("step summary updated")

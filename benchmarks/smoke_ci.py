@@ -20,6 +20,10 @@ bodies once each with tracing enabled, then
    vectorized NumPy backend forced on, and gates that every blob
    actually vectorized and the merger again emitted zero duplicates —
    the backend must not perturb the seamless splice.
+5. repeats that reconfiguration with ``REPRO_CODEGEN=1`` on top, and
+   gates that every blob ran its generated kernel (no inactive blobs,
+   no scalar fallbacks, zero fallback steps) with zero duplicates —
+   the compiled-all-the-way-down path must be just as seamless.
 
 Usage::
 
@@ -95,6 +99,9 @@ def run_benchmarks(trace_dir):
     print("running vectorized-backend functional reconfiguration ...")
     vector = run_vectorized_smoke()
     print("  %s" % {k: round(v, 3) for k, v in vector.items()})
+    print("running codegen-backend functional reconfiguration ...")
+    codegen = run_codegen_smoke()
+    print("  %s" % {k: round(v, 3) for k, v in codegen.items()})
     return {
         "fig04_downtime_seconds": fig04["downtime"],
         "fig05_phase2_seconds": fig05["phase2"],
@@ -103,6 +110,10 @@ def run_benchmarks(trace_dir):
         "fig05_cache_hit_rate": fig05["cache_hit_rate"],
         "vector_duplicate_emitted": vector["dup_emitted"],
         "vector_scalar_blobs": vector["scalar_blobs"],
+        "codegen_duplicate_emitted": codegen["dup_emitted"],
+        "codegen_scalar_blobs": codegen["scalar_blobs"],
+        "codegen_inactive_blobs": codegen["inactive_blobs"],
+        "codegen_fallback_steps": codegen["fallback_steps"],
     }
 
 
@@ -163,6 +174,72 @@ def run_vectorized_smoke():
             os.environ["REPRO_VECTORIZE"] = previous
 
 
+def run_codegen_smoke():
+    """Functional adaptive reconfiguration with generated kernels.
+
+    The same FMRadio cluster run as :func:`run_vectorized_smoke`, but
+    with ``REPRO_CODEGEN=1`` on top of ``REPRO_VECTORIZE=1`` so every
+    capable blob compiles its steady iteration into one generated
+    kernel.  Returns the merger's duplicate count plus three codegen
+    health counters (scalar fallback blobs, blobs whose kernel never
+    activated, scalar fallback steps inside active kernels) — all of
+    which must be zero for this graph.
+    """
+    from repro import Cluster, StreamApp, partition_even
+    from repro.apps import get_app
+    from repro.compiler.cost_model import CostModel
+
+    saved = {key: os.environ.get(key)
+             for key in ("REPRO_VECTORIZE", "REPRO_CODEGEN")}
+    os.environ["REPRO_VECTORIZE"] = "1"
+    os.environ["REPRO_CODEGEN"] = "1"
+    try:
+        spec = get_app("FMRadio")
+        blueprint = spec.blueprint(scale=1)
+        cost_model = CostModel().scaled(node_speed=2_500.0,
+                                        interp_slowdown=8.0,
+                                        init_iterations=2.5)
+        cluster = Cluster(n_nodes=3, cores_per_node=4,
+                          cost_model=cost_model)
+        app = StreamApp(cluster, blueprint, input_fn=spec.input_fn,
+                        name="FMRadio", collect_output=True,
+                        check_rates=False)
+        app.launch(partition_even(blueprint(), [0, 1], multiplier=4,
+                                  name="A"))
+        cluster.run(until=40.0)
+        if app.current is None or app.current.status != "running":
+            raise SystemExit("FAIL: codegen smoke app never reached "
+                             "steady state")
+        done = app.reconfigure(
+            partition_even(blueprint(), [0, 1, 2], multiplier=4,
+                           name="B"),
+            strategy="adaptive")
+        cluster.run(until=110.0)
+        if not (done.triggered and done.ok):
+            raise SystemExit("FAIL: codegen smoke reconfiguration "
+                             "did not complete: %r" % (done.value,))
+        runtimes = [process.runtime
+                    for process in app.current.blob_procs.values()]
+        scalar_blobs = sum(1 for r in runtimes if not r.vectorized)
+        inactive_blobs = sum(1 for r in runtimes if not r.codegen_active)
+        fallback_steps = sum(r.codegen_fallback_steps for r in runtimes)
+        if not app.merger.items:
+            raise SystemExit("FAIL: codegen smoke produced no output")
+        return {
+            "dup_emitted": float(app.merger.duplicate_emitted),
+            "scalar_blobs": float(scalar_blobs),
+            "inactive_blobs": float(inactive_blobs),
+            "fallback_steps": float(fallback_steps),
+            "output_items": float(len(app.merger.items)),
+        }
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
 def validate_traces(trace_dir):
     failures = []
     for name, required in sorted(REQUIRED_SPANS.items()):
@@ -192,6 +269,14 @@ ZERO_GATED = {
                                  "vectorized-backend duplicated output"),
     "vector_scalar_blobs": ("vectorized_smoke",
                             "vectorized-backend scalar fallbacks"),
+    "codegen_duplicate_emitted": ("codegen_smoke",
+                                  "codegen-backend duplicated output"),
+    "codegen_scalar_blobs": ("codegen_smoke",
+                             "codegen-backend scalar fallbacks"),
+    "codegen_inactive_blobs": ("codegen_smoke",
+                               "blobs whose generated kernel never ran"),
+    "codegen_fallback_steps": ("codegen_smoke",
+                               "scalar fallback steps in generated kernels"),
 }
 
 

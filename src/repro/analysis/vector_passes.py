@@ -15,6 +15,14 @@ kernel that raises, writes its inputs, or leaves output slots
 unwritten.  The probe never touches the live worker, and it yields
 nothing when NumPy is unavailable (the vectorized backend cannot be
 selected then either).
+
+V002 extends the probe one level up the compilation stack: it compiles
+a deep-copied graph's fused plan into a generated codegen kernel (in
+poison mode, so unwritten output slots surface as NaN) and runs it
+against the vectorized step path it replaces, flagging divergence or a
+kernel crash.  Together the two rules bracket the fast path: V001
+checks each kernel against its declared rates, V002 checks the
+compiled composition against the interpreter that defines semantics.
 """
 
 from __future__ import annotations
@@ -108,4 +116,108 @@ def check_batch_kernel_contract(ctx: GraphContext) -> Iterable[Finding]:
                 )
 
 
-VECTOR_RULES: List[str] = ["V001"]
+#: Steady iterations driven through the generated kernel by V002.
+CODEGEN_PROBE_ITERATIONS = 2
+
+
+@rule("V002", "graph", "Generated-kernel contract",
+      "The codegen backend compiles a fused plan into one generated "
+      "kernel per blob; its output must be byte-identical to the "
+      "vectorized step path it replaces.  The pass runs both engines "
+      "on deep copies of the graph over a deterministic input lattice "
+      "— the generated kernel in poison mode (every output region "
+      "NaN-filled before each batch call) so under-writing kernels "
+      "surface as NaN instead of silently shipping stale memory — and "
+      "flags any divergence or kernel crash.")
+def check_generated_kernel_contract(ctx: GraphContext) -> Iterable[Finding]:
+    if _np is None:
+        return
+    from repro.runtime.codegen import CodegenKernel, CodegenUnsupported
+    from repro.runtime.fastpath import vector_capable
+    from repro.runtime.interpreter import GraphInterpreter
+    from repro.sched.schedule import make_schedule
+
+    graph = ctx.graph
+    if not vector_capable(graph.workers):
+        return
+    try:
+        ref_graph = copy.deepcopy(graph)
+        probe_graph = copy.deepcopy(graph)
+    except Exception:
+        return  # unprobeable state; nothing to conclude
+    try:
+        schedule = make_schedule(ref_graph)
+    except Exception:
+        return  # broken rates are G001's finding, not ours
+    head = ref_graph.head
+    head_extra = max(head.peek_rates[0] - head.pop_rates[0], 0)
+    iterations = 1 + CODEGEN_PROBE_ITERATIONS
+    feed = [float(v) for v in _probe_values(
+        schedule.init_in + iterations * schedule.steady_in + head_extra)]
+
+    # Reference: the vectorized step path, codegen off.  If this graph
+    # cannot run on the probe lattice at all (e.g. items are not
+    # numbers), there is nothing to compare the generated kernel with.
+    ref = GraphInterpreter(ref_graph, schedule=make_schedule(ref_graph),
+                           check_rates=False, vectorize=True, codegen=False)
+    try:
+        ref.push_input(list(feed))
+        ref.run_steady(iterations)
+    except Exception:
+        return
+    expected = ref.take_output()
+
+    # Probe: one vectorized warm-up iteration builds the fused plan
+    # (and its leftovers), then the generated kernel — compiled from
+    # the same plan, in poison mode — drives the remaining iterations.
+    probe = GraphInterpreter(probe_graph, schedule=make_schedule(probe_graph),
+                             check_rates=False, vectorize=True, codegen=False)
+    probe.push_input(list(feed))
+    try:
+        probe.run_steady(1)
+    except Exception:
+        return
+    plan = probe._fused
+    if plan is None or not plan.vectorized:
+        return
+    try:
+        kernel = CodegenKernel(plan, poison=True)
+        for _ in range(CODEGEN_PROBE_ITERATIONS):
+            if not kernel.run_iteration():
+                return  # unsupported shape: the runtime falls back
+    except CodegenUnsupported:
+        return
+    except Exception as exc:
+        yield Finding(
+            rule="V002", severity=ERROR,
+            message="generated kernel raised while executing the steady "
+                    "schedule (%s: %s): the codegen backend cannot "
+                    "faithfully compile this graph's fused plan"
+                    % (type(exc).__name__, exc),
+            location="graph %s" % (ctx.name or "<anon>"),
+        )
+        return
+    got = probe.take_output()
+    poisoned = sum(1 for v in got if isinstance(v, float) and v != v)
+    if poisoned:
+        yield Finding(
+            rule="V002", severity=ERROR,
+            message="generated kernel left %d NaN-poisoned output "
+                    "slot(s) over %d steady iteration(s): a batch kernel "
+                    "under-writes its output region, so the compiled "
+                    "blob would ship stale memory"
+                    % (poisoned, CODEGEN_PROBE_ITERATIONS),
+            location="graph %s" % (ctx.name or "<anon>"),
+        )
+    elif got != expected:
+        yield Finding(
+            rule="V002", severity=ERROR,
+            message="generated kernel diverged from the vectorized step "
+                    "path over %d steady iteration(s) (%d vs %d items): "
+                    "codegen output must be byte-identical"
+                    % (CODEGEN_PROBE_ITERATIONS, len(got), len(expected)),
+            location="graph %s" % (ctx.name or "<anon>"),
+        )
+
+
+VECTOR_RULES: List[str] = ["V001", "V002"]

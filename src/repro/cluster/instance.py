@@ -243,8 +243,21 @@ class BlobProcess:
                 continue  # re-dispatch on control flags
             duration = self.blob.iteration_seconds(self._cores())
             self.last_iteration_seconds = duration
-            yield env.timeout(duration)
-            staged = runtime.run_steady()
+            pool = self.instance.pool
+            if pool is not None:
+                # Real parallelism (REPRO_PARALLEL=1): the functional
+                # iteration runs on a pool thread while the simulated
+                # clock advances, so independent blobs genuinely
+                # overlap on real cores.  The join happens before
+                # shipping and before any barrier-time control
+                # (snapshots, drains), preserving the simulation's
+                # ordering exactly.
+                future = pool.submit(runtime.run_steady)
+                yield env.timeout(duration)
+                staged = future.result()
+            else:
+                yield env.timeout(duration)
+                staged = runtime.run_steady()
             yield from self._ship(staged)
             for link in self.in_links:
                 link.notify_sender()
@@ -409,6 +422,9 @@ class GraphInstance:
         self.label = label or "cfg%d" % instance_id
 
         self.blob_procs: Dict[int, BlobProcess] = {}
+        #: Thread pool for real blob parallelism (REPRO_PARALLEL=1 and
+        #: a multi-blob program); ``None`` keeps the serial sim path.
+        self.pool = None
         self.status = "created"
         self.draining = False
         self.paused = False
@@ -443,6 +459,44 @@ class GraphInstance:
                 link.producer = producer
                 producer.out_links[key] = link
                 consumer.in_links.append(link)
+        self._setup_parallel()
+
+    def _setup_parallel(self) -> None:
+        """Create the blob thread pool when REPRO_PARALLEL=1.
+
+        Steady iterations of distinct blobs are pure Python over
+        disjoint channel sets, so they can run on real threads while
+        the simulation clock advances.  Channels written by one party
+        and read by another while an iteration is in flight (boundary
+        inputs filled by DataLink delivery, the head blob's GRAPH_INPUT
+        fed by the source process) are swapped to their lock-wrapped
+        shared variants first.
+        """
+        from repro.runtime.channels import GRAPH_INPUT, as_shared
+        from repro.runtime.parallel import parallel_enabled, parallel_workers
+
+        if not parallel_enabled() or len(self.blob_procs) < 2:
+            return
+        cores = min(process.node.cores for process in self.blob_procs.values())
+        workers = parallel_workers(len(self.blob_procs), cores)
+        if workers < 2:
+            return
+        for process in self.blob_procs.values():
+            runtime = process.runtime
+            shared_keys = {edge.index for edge in runtime.boundary_in}
+            shared_keys.add(GRAPH_INPUT)
+            for key in list(runtime.channels):
+                if key in shared_keys:
+                    runtime.replace_channel(key, as_shared(runtime.channels[key]))
+        from concurrent.futures import ThreadPoolExecutor
+
+        self.pool = ThreadPoolExecutor(
+            max_workers=workers,
+            thread_name_prefix="blob-%d" % self.instance_id)
+        self.env.tracer.instant(
+            "parallel", "parallel.pool",
+            track="instance%d" % self.instance_id,
+            workers=workers, blobs=len(self.blob_procs), cores=cores)
 
     def _link_capacity(self, consumer: BlobProcess, key: int) -> int:
         steady = consumer.runtime.steady_input_need(key)
@@ -480,6 +534,9 @@ class GraphInstance:
             self._teardown("stopped")
 
     def _teardown(self, status: str) -> None:
+        if self.pool is not None:
+            self.pool.shutdown(wait=True)
+            self.pool = None
         for process in self.blob_procs.values():
             process.node.deregister_instance(self.instance_id)
         self.status = status

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Tuple
@@ -312,20 +313,29 @@ class CompilationCache:
         self.max_entries = max_entries
         self._schedules: "OrderedDict[tuple, tuple]" = OrderedDict()
         self._plans: "OrderedDict[tuple, PlanEntry]" = OrderedDict()
+        self._kernels: "OrderedDict[str, object]" = OrderedDict()
+        # Kernel compiles may come from parallel blob threads; the
+        # schedule/plan tables stay single-threaded (sim thread only).
+        self._kernel_lock = threading.Lock()
         self.schedule_hits = 0
         self.schedule_misses = 0
         self.plan_hits = 0
         self.plan_misses = 0
+        self.kernel_hits = 0
+        self.kernel_misses = 0
 
     # -- bookkeeping ---------------------------------------------------------
 
     def clear(self) -> None:
         self._schedules.clear()
         self._plans.clear()
+        self._kernels.clear()
         self.schedule_hits = 0
         self.schedule_misses = 0
         self.plan_hits = 0
         self.plan_misses = 0
+        self.kernel_hits = 0
+        self.kernel_misses = 0
 
     def counters(self) -> Dict[str, int]:
         return {
@@ -333,18 +343,45 @@ class CompilationCache:
             "schedule_misses": self.schedule_misses,
             "plan_hits": self.plan_hits,
             "plan_misses": self.plan_misses,
+            "kernel_hits": self.kernel_hits,
+            "kernel_misses": self.kernel_misses,
         }
 
     def hit_rate(self) -> float:
-        """Combined hit rate over both tables (0.0 when never queried)."""
+        """Combined hit rate over the schedule and plan tables (0.0
+        when never queried).  Generated-kernel compiles are excluded:
+        they are per-source memoization with their own counters, and
+        folding them in would shift the fig05 baseline metric."""
         hits = self.schedule_hits + self.plan_hits
         total = hits + self.schedule_misses + self.plan_misses
         return hits / total if total else 0.0
 
-    def _store(self, table: OrderedDict, key: tuple, value) -> None:
+    def _store(self, table: OrderedDict, key, value) -> None:
         if key not in table and len(table) >= self.max_entries:
             table.popitem(last=False)
         table[key] = value
+
+    # -- generated kernels ---------------------------------------------------
+
+    def kernel_for(self, source: str) -> Tuple[str, object]:
+        """Memoized ``compile`` of generated-kernel source.
+
+        Returns ``(content fingerprint, code object)``.  Two blobs
+        whose plans emit byte-identical source (same step shapes,
+        firing counts and bind-time occupancies) share one compiled
+        code object; bindings stay per-kernel because the source is a
+        bind *factory* executed against each caller's own channels.
+        """
+        fingerprint = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        with self._kernel_lock:
+            code = self._kernels.get(fingerprint)
+            if code is not None:
+                self.kernel_hits += 1
+                return fingerprint, code
+            self.kernel_misses += 1
+            code = compile(source, "<codegen:%s>" % fingerprint[:12], "exec")
+            self._store(self._kernels, fingerprint, code)
+            return fingerprint, code
 
     # -- schedules -----------------------------------------------------------
 

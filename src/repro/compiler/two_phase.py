@@ -254,6 +254,8 @@ def plan_configuration(
                     meta_edges=len(counts),
                     vector_blobs=sum(
                         1 for b in plan.pseudo_blobs if b.runtime.vectorized),
+                    codegen_blobs=sum(
+                        1 for b in plan.pseudo_blobs if b.runtime.codegen),
                     cache="hit",
                 )
                 _emit_cache_counters(tracer, cache)
@@ -305,6 +307,8 @@ def plan_configuration(
             meta_edges=len(counts),
             vector_blobs=sum(
                 1 for b in plan.pseudo_blobs if b.runtime.vectorized),
+            codegen_blobs=sum(
+                1 for b in plan.pseudo_blobs if b.runtime.codegen),
             cache="miss" if cache is not None else "off",
         )
         _emit_cache_counters(tracer, cache)

@@ -25,6 +25,7 @@ interleave in wall-call order.
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["NULL_TRACER", "NullTracer", "Span", "Tracer"]
@@ -102,6 +103,10 @@ class Tracer:
         #: (time, category, name, track, value) sampled counters.
         self.counters: List[Tuple[float, str, str, str, float]] = []
         self._open: Dict[str, List[Span]] = {}
+        # Emission is thread-safe: the parallel blob executor traces
+        # from worker threads, and the per-track open-span stacks (and
+        # id allocation) must not interleave mid-update.
+        self._lock = threading.Lock()
 
     # -- clock ---------------------------------------------------------------
 
@@ -119,39 +124,44 @@ class Tracer:
               **args: Any) -> Span:
         """Open a span; it parents under the track's innermost open span."""
         track = track if track is not None else category
-        stack = self._open.setdefault(track, [])
-        parent_id = stack[-1].span_id if stack else None
-        span = Span(self, next(self._ids), parent_id, category, name,
-                    track, self.now, args)
-        self.spans.append(span)
-        stack.append(span)
+        with self._lock:
+            stack = self._open.setdefault(track, [])
+            parent_id = stack[-1].span_id if stack else None
+            span = Span(self, next(self._ids), parent_id, category, name,
+                        track, self.now, args)
+            self.spans.append(span)
+            stack.append(span)
         return span
 
     # ``span`` is the context-manager spelling of ``begin``.
     span = begin
 
     def _finish(self, span: Span) -> None:
-        span.end = self.now
-        stack = self._open.get(span.track)
-        if stack is not None and span in stack:
-            # Tolerate out-of-order finishes (an interrupted process may
-            # close an outer span while an inner one is still open).
-            stack.remove(span)
+        with self._lock:
+            span.end = self.now
+            stack = self._open.get(span.track)
+            if stack is not None and span in stack:
+                # Tolerate out-of-order finishes (an interrupted process
+                # may close an outer span while an inner one is still
+                # open).
+                stack.remove(span)
 
     def instant(self, category: str, name: str,
                 track: Optional[str] = None, **args: Any) -> None:
-        self.instants.append(
-            (self.now, category, name,
-             track if track is not None else category, args))
+        with self._lock:
+            self.instants.append(
+                (self.now, category, name,
+                 track if track is not None else category, args))
 
     def counter(self, category: str, name: str, value: float,
                 track: Optional[str] = None,
                 time: Optional[float] = None) -> None:
         """Record a sampled value; ``time`` backdates the sample (used
         by bucket-aggregating samplers that flush a completed bucket)."""
-        self.counters.append(
-            (self.now if time is None else time, category, name,
-             track if track is not None else category, float(value)))
+        with self._lock:
+            self.counters.append(
+                (self.now if time is None else time, category, name,
+                 track if track is not None else category, float(value)))
 
     # -- queries -------------------------------------------------------------
 

@@ -23,24 +23,47 @@ from repro.runtime.channels import (
     GRAPH_OUTPUT,
     HAVE_NUMPY,
     RateViolationError,
+    SharedArrayChannel,
+    SharedChannel,
+    as_shared,
 )
 from repro.runtime.state import ProgramState, estimate_bytes
-from repro.runtime.fastpath import FusedPlan, select_vectorized, vector_capable
+from repro.runtime.fastpath import (
+    FusedPlan,
+    select_codegen,
+    select_vectorized,
+    vector_capable,
+)
+from repro.runtime.codegen import CodegenKernel, CodegenUnsupported
 from repro.runtime.interpreter import GraphInterpreter
 from repro.runtime.executor import BlobRuntime
+from repro.runtime.parallel import (
+    ParallelBlobExecutor,
+    parallel_enabled,
+    parallel_workers,
+)
 
 __all__ = [
     "ArrayChannel",
     "BlobRuntime",
     "Channel",
+    "CodegenKernel",
+    "CodegenUnsupported",
     "FusedPlan",
     "GRAPH_INPUT",
     "GRAPH_OUTPUT",
     "GraphInterpreter",
     "HAVE_NUMPY",
+    "ParallelBlobExecutor",
     "ProgramState",
     "RateViolationError",
+    "SharedArrayChannel",
+    "SharedChannel",
+    "as_shared",
     "estimate_bytes",
+    "parallel_enabled",
+    "parallel_workers",
+    "select_codegen",
     "select_vectorized",
     "vector_capable",
 ]

@@ -20,6 +20,7 @@ are unchanged), plus zero-copy block access for batch kernels.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from itertools import islice
 from typing import Any, Iterable, List
@@ -38,6 +39,9 @@ __all__ = [
     "InputPort",
     "OutputPort",
     "RateViolationError",
+    "SharedArrayChannel",
+    "SharedChannel",
+    "as_shared",
 ]
 
 HAVE_NUMPY = _np is not None
@@ -276,6 +280,151 @@ class ArrayChannel:
         self._tail += count
         self.total_pushed += count
         return view
+
+
+class SharedChannel(Channel):
+    """A :class:`Channel` whose every operation holds a lock.
+
+    Boundary handoff channels in the parallel blob executor: the
+    producer's thread delivers (``push_many``) while the consumer's
+    thread measures occupancy and pops.  Every public method — reads
+    included, because deque iteration during a concurrent ``extend``
+    raises ``RuntimeError`` — takes the same lock, so each operation is
+    atomic and the lifetime counters stay exact under concurrency.
+    """
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, initial: Iterable[Any] = ()):
+        super().__init__(initial)
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.items)
+
+    def push(self, item: Any) -> None:
+        with self._lock:
+            Channel.push(self, item)
+
+    def push_many(self, items: Iterable[Any]) -> None:
+        with self._lock:
+            Channel.push_many(self, items)
+
+    def pop(self) -> Any:
+        with self._lock:
+            return Channel.pop(self)
+
+    def pop_many(self, count: int) -> List[Any]:
+        with self._lock:
+            return Channel.pop_many(self, count)
+
+    def peek(self, index: int) -> Any:
+        with self._lock:
+            return Channel.peek(self, index)
+
+    def snapshot(self) -> List[Any]:
+        with self._lock:
+            return Channel.snapshot(self)
+
+    def snapshot_prefix(self, count: int) -> List[Any]:
+        with self._lock:
+            return Channel.snapshot_prefix(self, count)
+
+
+class SharedArrayChannel(ArrayChannel):
+    """An :class:`ArrayChannel` safe for one-producer/one-consumer use.
+
+    Same full-locking discipline as :class:`SharedChannel`, plus one
+    structural change: :meth:`_reserve` never compacts in place.  The
+    consumer thread may still hold zero-copy views from a previous
+    ``peek_block``/``pop_block`` while the producer pushes; in-place
+    compaction would rewrite the region those views alias.  Growth
+    therefore always reallocates — the old buffer is left untouched
+    (outstanding views keep reading consistent data) and same-buffer
+    pushes only ever write beyond every previously returned view's end.
+    """
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, initial: Iterable[Any] = ()):
+        super().__init__(initial)
+        self._lock = threading.Lock()
+
+    def _reserve(self, count: int) -> None:
+        if self._tail + count <= self._buffer.shape[0]:
+            return
+        live = self._tail - self._head
+        capacity = self._buffer.shape[0]
+        while capacity < (live + count) * 2:
+            capacity *= 2
+        fresh = _np.empty(capacity, dtype=_np.float64)
+        fresh[:live] = self._buffer[self._head:self._tail]
+        self._buffer = fresh
+        self._head = 0
+        self._tail = live
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._tail - self._head
+
+    def push(self, item: Any) -> None:
+        with self._lock:
+            ArrayChannel.push(self, item)
+
+    def push_many(self, items: Iterable[Any]) -> None:
+        with self._lock:
+            ArrayChannel.push_many(self, items)
+
+    def pop(self) -> float:
+        with self._lock:
+            return ArrayChannel.pop(self)
+
+    def pop_many(self, count: int) -> List[float]:
+        with self._lock:
+            return ArrayChannel.pop_many(self, count)
+
+    def peek(self, index: int) -> float:
+        with self._lock:
+            return ArrayChannel.peek(self, index)
+
+    def snapshot(self) -> List[float]:
+        with self._lock:
+            return ArrayChannel.snapshot(self)
+
+    def snapshot_prefix(self, count: int) -> List[float]:
+        with self._lock:
+            return ArrayChannel.snapshot_prefix(self, count)
+
+    def peek_block(self, count: int):
+        with self._lock:
+            return ArrayChannel.peek_block(self, count)
+
+    def pop_block(self, count: int):
+        with self._lock:
+            return ArrayChannel.pop_block(self, count)
+
+    def push_block(self, count: int):
+        with self._lock:
+            return ArrayChannel.push_block(self, count)
+
+
+def as_shared(channel):
+    """Thread-safe copy of ``channel`` — contents and counters carried.
+
+    The replacement reproduces the original's full observable state:
+    buffered items in order plus both lifetime counters, so cut
+    arithmetic is unaffected by the swap.
+    """
+    if isinstance(channel, (SharedChannel, SharedArrayChannel)):
+        return channel
+    if isinstance(channel, ArrayChannel):
+        shared = SharedArrayChannel(channel.snapshot())
+    else:
+        shared = SharedChannel(channel.snapshot())
+    shared.total_pushed = channel.total_pushed
+    shared.total_popped = channel.total_popped
+    return shared
 
 
 class InputPort:

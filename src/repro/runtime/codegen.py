@@ -1,0 +1,431 @@
+"""Per-blob kernel generation: the fast path compiled all the way down.
+
+The vectorized backend (:mod:`repro.runtime.fastpath`) executes a
+steady iteration as a Python-level loop over ``_VectorStep`` records:
+every step re-reads its spec rows, re-creates channel views through
+``peek_block``/``pop_block``/``push_block`` and re-dispatches on
+array-ness before finally entering the batch kernel.  For schedules
+with small batches that dispatch overhead dominates — the NumPy work
+per call is tiny, the bookkeeping around it is not.
+
+:class:`CodegenKernel` removes the bookkeeping by *generating source*:
+one Python function per blob that executes the entire steady iteration
+as straight-line code.  The generator symbolically executes the step
+list once, resolving every channel operation to a constant offset into
+a preallocated buffer, and emits a bind factory::
+
+    def _bind(_ch, _batches, _scalars, _np):
+        _c0 = _ch[0]
+        _b0 = _c0._buffer            # pinned internal channel
+        _v1_0 = _b0[0:24]            # prebound input view, constant offsets
+        _v1_0.flags.writeable = False
+        _o1_0 = _b0[24:48]           # prebound output view
+        _w1 = _batches[1]
+        def _kernel():
+            _w1([_v1_0], [_o1_0], 8)
+            ...
+            _b0[0:16] = _b0[24:40]   # carry leftover to the front
+            _c0.total_pushed += 24   # counter epilogue, one add per channel
+            _c0.total_popped += 24
+        return _kernel
+
+Channel treatment is decided per channel:
+
+* **pinned** — an internal :class:`ArrayChannel` produced *and*
+  consumed by batch steps only.  Its buffer is reallocated once to
+  exactly ``occupancy + per_iteration_flow`` items, the live region
+  pinned at the front, and every view becomes a constant slice.  A
+  steady iteration returns the channel to its starting occupancy, so a
+  constant copy moves the leftover back to offset 0 and the lifetime
+  counters advance by a single constant add each.
+* **dynamic** — an :class:`ArrayChannel` adjacent to a scalar-fallback
+  step (or a boundary input fed between iterations): block operations
+  stay dynamic calls, exactly as ``_run_vector_steps`` performs them.
+* **deque bridges** — the graph-input deque and staging deques keep
+  the list-based bridging of the vectorized path (temporary arrays,
+  ``push_many`` after the kernel call).
+
+Workers without a batch kernel run as prebound scalar closures over
+the real channels (``_scalars``), byte-identical to the per-firing
+fallback inside ``_run_vector_steps``.
+
+Because the pinned layout bakes bind-time occupancies into the source,
+the kernel guards itself: before each call it verifies every pinned
+channel still points at the pinned buffer with the pinned bounds, and
+rebinds (cheaply, through the compilation cache) when anything outside
+the kernel touched a channel — drains, state installation, external
+pushes.  After *every* kernel call all channels are fully consistent
+(contents, head/tail, counters), so capture/restore, AST cuts and
+draining need no special cases.
+
+Generated source is content-fingerprinted (SHA-256) into the
+:class:`~repro.compiler.cache.CompilationCache` kernels table: blobs
+whose plans emit identical source share one compiled code object.
+
+``REPRO_CODEGEN_BACKEND=numba`` JITs the generated function in object
+mode when Numba is importable; anything unavailable falls back to the
+generated-Python backend silently (``CodegenKernel.backend`` records
+what actually ran).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import os
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain bakes numpy in
+    _np = None
+
+__all__ = [
+    "CodegenKernel",
+    "CodegenUnsupported",
+    "codegen_backend",
+    "numba_available",
+]
+
+
+class CodegenUnsupported(Exception):
+    """The plan's shape cannot be compiled to a pinned-offset kernel.
+
+    Raising this is never an error condition for execution: the fused
+    plan catches it and keeps running the ``_VectorStep`` path.
+    """
+
+
+def numba_available() -> bool:
+    """Whether the optional Numba backend could be imported at all."""
+    return importlib.util.find_spec("numba") is not None
+
+
+def codegen_backend() -> str:
+    """Backend selection: ``python`` unless Numba is requested *and*
+    importable (``REPRO_CODEGEN_BACKEND=numba``)."""
+    if (os.environ.get("REPRO_CODEGEN_BACKEND", "python") == "numba"
+            and numba_available()):
+        return "numba"
+    return "python"
+
+
+def _scalar_runner(fire: Callable, ins: List, outs: List,
+                   firings: int) -> Callable[[], None]:
+    """Prebound per-firing fallback for workers without a batch kernel.
+
+    Fires on the real channels, exactly like the fallback branch of
+    ``_run_vector_steps`` — so non-numeric graph input and channel
+    counters behave identically.
+    """
+    def run() -> None:
+        for _ in range(firings):
+            fire(ins, outs)
+    return run
+
+
+class _ChannelInfo:
+    """Per-channel classification and symbolic cursors during emission."""
+
+    __slots__ = ("channel", "index", "is_array", "produced", "consumed",
+                 "fallback", "mode", "occ", "r", "w", "used")
+
+    def __init__(self, channel, index: int, is_array: bool):
+        self.channel = channel
+        self.index = index
+        self.is_array = is_array
+        self.produced = 0
+        self.consumed = 0
+        self.fallback = False
+        self.mode = "dynamic"
+        self.occ = 0
+        self.r = 0
+        self.w = 0
+        self.used = False
+
+
+class CodegenKernel:
+    """One generated function executing a plan's entire steady iteration.
+
+    Built lazily: the first :meth:`run_iteration` classifies channels,
+    emits and compiles source, normalizes pinned buffers and binds the
+    kernel.  ``poison=True`` (used by glosslint V002) NaN-fills every
+    output region before each kernel call so unwritten slots surface
+    deterministically.
+    """
+
+    def __init__(self, plan, cache: Optional[Any] = None,
+                 backend: Optional[str] = None, poison: bool = False):
+        if _np is None:  # pragma: no cover - numpy is a baked-in dep
+            raise RuntimeError("codegen requires numpy")
+        if not getattr(plan, "vectorized", False):
+            raise ValueError("codegen layers on a vectorized FusedPlan")
+        self._plan = plan
+        self._cache = cache
+        self._use_default_cache = cache is None
+        self.backend_requested = (backend if backend is not None
+                                  else codegen_backend())
+        self.backend = "python"
+        self.poison = poison
+        self.binds = 0
+        self.source: Optional[str] = None
+        self.fingerprint: Optional[str] = None
+        self.error: Optional[str] = None
+        self.fallback_steps = sum(1 for step in plan._vector_steps
+                                  if step.batch is None)
+        self.pinned_channels = 0
+        self._kernel: Optional[Callable[[], None]] = None
+        self._guards: Tuple[Tuple[Any, Any, int], ...] = ()
+
+    # -- execution -----------------------------------------------------------
+
+    def run_iteration(self) -> bool:
+        """Run one steady iteration; ``False`` means structurally
+        unsupported (the caller must fall back to the vector path)."""
+        kernel = self._kernel
+        if kernel is not None:
+            for channel, buffer, occ in self._guards:
+                if (channel._buffer is not buffer or channel._head != 0
+                        or channel._tail != occ):
+                    kernel = None  # someone moved a pinned channel: rebind
+                    break
+        if kernel is None:
+            try:
+                kernel = self._bind()
+            except CodegenUnsupported as exc:
+                self.error = str(exc)
+                self._kernel = None
+                self._guards = ()
+                return False
+        kernel()
+        return True
+
+    # -- binding -------------------------------------------------------------
+
+    def _bind(self) -> Callable[[], None]:
+        steps = self._plan._vector_steps
+        infos = self._classify(steps)
+        source, pinned = self._emit(steps, infos)
+        code = self._compile(source)
+        # Normalize pinned channels: live data moves to the front of a
+        # buffer sized exactly occupancy + per-iteration flow, so every
+        # emitted offset is valid and the epilogue carry is constant.
+        guards = []
+        for info in pinned:
+            channel = info.channel
+            occ = info.occ
+            fresh = _np.empty(occ + info.produced, dtype=_np.float64)
+            if self.poison:
+                fresh.fill(_np.nan)
+            if occ:
+                fresh[:occ] = channel._buffer[channel._head:channel._tail]
+            channel._buffer = fresh
+            channel._head = 0
+            channel._tail = occ
+            guards.append((channel, fresh, occ))
+        namespace: Dict[str, Any] = {}
+        exec(code, namespace)
+        channels = [info.channel for info in infos]
+        batches = [step.batch for step in steps]
+        scalars = [
+            (None if step.batch is not None
+             else _scalar_runner(step.fire, step.ins, step.outs,
+                                 step.firings))
+            for step in steps
+        ]
+        kernel = namespace["_bind"](channels, batches, scalars, _np)
+        kernel = self._maybe_jit(kernel)
+        self._kernel = kernel
+        self._guards = tuple(guards)
+        self.pinned_channels = len(guards)
+        self.binds += 1
+        self.error = None
+        return kernel
+
+    def _classify(self, steps) -> List[_ChannelInfo]:
+        """Tally per-channel flow and decide pinned/dynamic/bridge."""
+        by_id: Dict[int, _ChannelInfo] = {}
+        infos: List[_ChannelInfo] = []
+
+        def info_for(channel, is_array: bool) -> _ChannelInfo:
+            info = by_id.get(id(channel))
+            if info is None:
+                info = _ChannelInfo(channel, len(infos), is_array)
+                by_id[id(channel)] = info
+                infos.append(info)
+            return info
+
+        for step in steps:
+            fallback = step.batch is None
+            for channel, consume, window, is_array in step.in_specs:
+                info = info_for(channel, is_array)
+                info.consumed += consume
+                info.fallback |= fallback
+            for channel, count, is_array in step.out_specs:
+                info = info_for(channel, is_array)
+                info.produced += count
+                info.fallback |= fallback
+        for info in infos:
+            if not info.is_array:
+                info.mode = "bridge"
+            elif info.produced and info.consumed and not info.fallback:
+                if info.produced != info.consumed:
+                    raise CodegenUnsupported(
+                        "unbalanced pinned channel: %d produced, "
+                        "%d consumed" % (info.produced, info.consumed))
+                info.mode = "pinned"
+                info.occ = len(info.channel)
+                info.r = 0
+                info.w = info.occ
+            elif info.produced and not info.consumed:
+                raise CodegenUnsupported(
+                    "array channel produced but never consumed inside "
+                    "the plan")
+            else:
+                info.mode = "dynamic"
+        return infos
+
+    def _emit(self, steps,
+              infos: List[_ChannelInfo]) -> Tuple[str, List[_ChannelInfo]]:
+        """Symbolically execute the step list, emitting the bind factory."""
+        by_id = {id(info.channel): info for info in infos}
+        views: List[str] = []   # prebound views/temps inside _bind
+        body: List[str] = []    # straight-line statements inside _kernel
+        poison = self.poison
+        for si, step in enumerate(steps):
+            if step.batch is None:
+                views.append("    _f%d = _scalars[%d]" % (si, si))
+                body.append("        _f%d()" % si)
+                continue
+            views.append("    _w%d = _batches[%d]" % (si, si))
+            in_names: List[str] = []
+            for pi, (channel, consume, window, is_array) in enumerate(
+                    step.in_specs):
+                info = by_id[id(channel)]
+                name = "_v%d_%d" % (si, pi)
+                if info.mode == "pinned":
+                    if info.r + window > info.w:
+                        raise CodegenUnsupported(
+                            "read of %d items outruns pinned occupancy"
+                            % window)
+                    views.append("    %s = _b%d[%d:%d]"
+                                 % (name, info.index, info.r,
+                                    info.r + window))
+                    views.append("    %s.flags.writeable = False" % name)
+                    info.r += consume
+                    info.used = True
+                elif is_array:
+                    info.used = True
+                    body.append("        %s = _c%d.peek_block(%d)"
+                                % (name, info.index, window))
+                    if consume:
+                        body.append("        _c%d.pop_block(%d)"
+                                    % (info.index, consume))
+                else:
+                    info.used = True
+                    body.append(
+                        "        %s = _np.array(_c%d.snapshot_prefix(%d),"
+                        " dtype=_np.float64)" % (name, info.index, window))
+                    body.append("        %s.flags.writeable = False" % name)
+                    if consume:
+                        body.append("        _c%d.pop_many(%d)"
+                                    % (info.index, consume))
+                in_names.append(name)
+            out_names: List[str] = []
+            staged: List[Tuple[int, str]] = []
+            for pi, (channel, count, is_array) in enumerate(step.out_specs):
+                info = by_id[id(channel)]
+                name = "_o%d_%d" % (si, pi)
+                if info.mode == "pinned":
+                    views.append("    %s = _b%d[%d:%d]"
+                                 % (name, info.index, info.w,
+                                    info.w + count))
+                    info.w += count
+                    info.used = True
+                    if poison:
+                        body.append("        %s.fill(_np.nan)" % name)
+                elif is_array:
+                    info.used = True
+                    body.append("        %s = _c%d.push_block(%d)"
+                                % (name, info.index, count))
+                    if poison:
+                        body.append("        %s.fill(_np.nan)" % name)
+                else:
+                    info.used = True
+                    if poison:
+                        views.append("    %s = _np.full(%d, _np.nan)"
+                                     % (name, count))
+                        body.append("        %s.fill(_np.nan)" % name)
+                    else:
+                        views.append("    %s = _np.empty(%d)" % (name, count))
+                    staged.append((info.index, name))
+                out_names.append(name)
+            body.append("        _w%d([%s], [%s], %d)"
+                        % (si, ", ".join(in_names), ", ".join(out_names),
+                           step.firings))
+            for ci, name in staged:
+                body.append("        _c%d.push_many(%s.tolist())"
+                            % (ci, name))
+        # Epilogue: one carry copy + two counter adds per pinned channel.
+        pinned = [info for info in infos if info.mode == "pinned"]
+        for info in pinned:
+            if info.r != info.produced or info.w != info.occ + info.produced:
+                raise CodegenUnsupported(
+                    "pinned cursor mismatch (read %d/%d, wrote %d/%d)"
+                    % (info.r, info.produced, info.w - info.occ,
+                       info.produced))
+            if info.occ:
+                src = "_b%d[%d:%d]" % (info.index, info.produced,
+                                       info.produced + info.occ)
+                if info.produced < info.occ:
+                    src += ".copy()"  # regions overlap: copy out first
+                body.append("        _b%d[0:%d] = %s"
+                            % (info.index, info.occ, src))
+            body.append("        _c%d.total_pushed += %d"
+                        % (info.index, info.produced))
+            body.append("        _c%d.total_popped += %d"
+                        % (info.index, info.produced))
+        lines = ["def _bind(_ch, _batches, _scalars, _np):"]
+        for info in infos:
+            if info.used:
+                lines.append("    _c%d = _ch[%d]" % (info.index, info.index))
+        for info in pinned:
+            lines.append("    _b%d = _c%d._buffer" % (info.index, info.index))
+        lines.extend(views)
+        lines.append("    def _kernel():")
+        lines.extend(body if body else ["        pass"])
+        lines.append("    return _kernel")
+        lines.append("")
+        return "\n".join(lines), pinned
+
+    def _compile(self, source: str):
+        cache = (self._cache if not self._use_default_cache else
+                 _default_cache())
+        if cache is not None:
+            fingerprint, code = cache.kernel_for(source)
+        else:
+            fingerprint = hashlib.sha256(source.encode("utf-8")).hexdigest()
+            code = compile(source, "<codegen:%s>" % fingerprint[:12], "exec")
+        self.source = source
+        self.fingerprint = fingerprint
+        return code
+
+    def _maybe_jit(self, kernel: Callable[[], None]) -> Callable[[], None]:
+        if self.backend_requested != "numba":
+            self.backend = "python"
+            return kernel
+        try:
+            import numba
+            wrapped = numba.jit(nopython=False, forceobj=True)(kernel)
+        except Exception:
+            self.backend = "python"
+            return kernel
+        self.backend = "numba"
+        return wrapped
+
+
+def _default_cache():
+    # Local import: the cache module pulls in the scheduler package,
+    # which this low-level runtime module must not load eagerly.
+    from repro.compiler.cache import get_default_cache
+    return get_default_cache()

@@ -26,7 +26,12 @@ from repro.runtime.channels import (
     ArrayChannel,
     Channel,
 )
-from repro.runtime.fastpath import FusedPlan, select_vectorized, vector_capable
+from repro.runtime.fastpath import (
+    FusedPlan,
+    select_codegen,
+    select_vectorized,
+    vector_capable,
+)
 from repro.runtime.interpreter import fire_worker
 from repro.runtime.state import ProgramState
 from repro.sched.schedule import Schedule, structural_leftover
@@ -64,6 +69,7 @@ class BlobRuntime:
         self.vectorized = select_vectorized(blob_workers, check_rates,
                                             rate_only,
                                             mean_firings=mean_firings)
+        self.codegen = select_codegen(self.vectorized)
         self._leftovers = structural_leftover(graph)
 
         self.internal_edges: List[Edge] = []
@@ -195,6 +201,7 @@ class BlobRuntime:
         self.vectorized = select_vectorized(blob_workers, check_rates,
                                             rate_only,
                                             mean_firings=mean_firings)
+        self.codegen = select_codegen(self.vectorized)
         self._leftovers = layout.leftovers.copy()
         edges = graph.edges
         self.internal_edges = [edges[i] for i in layout.internal_edges]
@@ -299,6 +306,54 @@ class BlobRuntime:
     def init_input_need(self, key: int) -> int:
         return self._init_in_need[key]
 
+    @property
+    def codegen_active(self) -> bool:
+        """True once steady iterations run through a bound generated
+        kernel (the plan exists, kept codegen mode, and has bound)."""
+        plan = self._fused
+        return bool(plan is not None and plan.codegen
+                    and plan._codegen is not None
+                    and plan._codegen._kernel is not None)
+
+    @property
+    def codegen_fallback_steps(self) -> int:
+        """Scalar-fallback steps inside this blob's generated kernel."""
+        plan = self._fused
+        if plan is None or plan._codegen is None:
+            return 0
+        return plan._codegen.fallback_steps
+
+    # -- channel rebinding ---------------------------------------------------
+
+    def replace_channel(self, key: int, channel: Channel) -> None:
+        """Swap the physical channel behind ``key`` before execution.
+
+        Used by the parallel executors to substitute thread-safe
+        shared channels on boundary inputs (and the head blob's graph
+        input).  The replacement must already carry the old channel's
+        contents and counters (see
+        :func:`repro.runtime.channels.as_shared`); swapping after
+        execution has started would lose counter history, so that is
+        refused outright.
+        """
+        if self.initialized or self.iteration:
+            raise RuntimeError(
+                "cannot replace a channel after execution started")
+        old = self.channels[key]
+        if old.total_popped:
+            raise RuntimeError(
+                "cannot replace a channel that has been consumed from")
+        self.channels[key] = channel
+        for bound in self._in_channels.values():
+            for i, existing in enumerate(bound):
+                if existing is old:
+                    bound[i] = channel
+        for bound in self._out_channels.values():
+            for i, existing in enumerate(bound):
+                if existing is old:
+                    bound[i] = channel
+        self._fused = None
+
     # -- data delivery -------------------------------------------------------------
 
     def deliver(self, key: int, items: List[Any]) -> None:
@@ -400,6 +455,7 @@ class BlobRuntime:
                 self.graph, order, self._in_channels, self._out_channels,
                 rate_only=False,
                 vectorized=self.vectorized,
+                codegen=self.codegen,
             )
         before = (
             self.channels[GRAPH_INPUT].total_popped if self.has_head else 0

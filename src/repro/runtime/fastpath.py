@@ -48,7 +48,7 @@ apps and for the vectorized backend).
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.graph.topology import StreamGraph
 from repro.graph.workers import Worker
@@ -71,6 +71,7 @@ __all__ = [
     "ReusableInputPort",
     "ReusableOutputPort",
     "VECTOR_MIN_MEAN_FIRINGS",
+    "select_codegen",
     "select_vectorized",
     "vector_capable",
 ]
@@ -127,6 +128,23 @@ def select_vectorized(workers: Iterable[Worker], check_rates: bool,
             and mean_firings < VECTOR_MIN_MEAN_FIRINGS):
         return False
     return vector_capable(workers)
+
+
+def select_codegen(vectorized: bool) -> bool:
+    """Whether a vectorized plan should compile to a generated kernel.
+
+    Codegen is strictly layered on the vectorized backend (it
+    specializes the ``_VectorStep`` list, so there is nothing to
+    generate without one) and is opt-in: ``REPRO_CODEGEN=1`` (or
+    ``force``) turns it on wherever vectorization is active.  It is
+    behavior-preserving by contract — byte-identical output, channels
+    left fully consistent after every iteration — so forcing it is
+    always safe; the default stays off to keep the well-measured
+    vectorized tier the baseline.
+    """
+    if not vectorized:
+        return False
+    return os.environ.get("REPRO_CODEGEN", "0") in ("1", "force")
 
 
 class ReusableInputPort(InputPort):
@@ -230,13 +248,19 @@ class FusedPlan:
         out_channels: Mapping[int, List[Channel]],
         rate_only: bool = False,
         vectorized: bool = False,
+        codegen: bool = False,
     ):
         self.graph = graph
         self.rate_only = rate_only
         if vectorized and rate_only:
             raise ValueError(
                 "vectorized and rate_only modes are mutually exclusive")
+        if codegen and not vectorized:
+            raise ValueError("codegen requires the vectorized backend")
         self.vectorized = vectorized
+        self.codegen = codegen
+        self.codegen_error: Optional[str] = None
+        self._codegen = None
         self.validated = False
         self.iterations = 0
         self._steps: List[_Step] = []
@@ -330,11 +354,12 @@ class FusedPlan:
 
     @property
     def mode(self) -> str:
-        """Execution backend: ``scalar``, ``rate_only`` or ``vectorized``."""
+        """Execution backend: ``scalar``, ``rate_only``, ``vectorized``
+        or ``codegen``."""
         if self.rate_only:
             return "rate_only"
         if self.vectorized:
-            return "vectorized"
+            return "codegen" if self.codegen else "vectorized"
         return "scalar"
 
     @property
@@ -393,6 +418,26 @@ class FusedPlan:
                 for channel, buffer in staged:
                     channel.push_many(buffer.tolist())
 
+    def _run_codegen(self) -> None:
+        """One steady iteration through the generated kernel.
+
+        The kernel is built lazily on first use (and rebound whenever
+        its pinned-channel guard trips); a plan whose shape codegen
+        cannot pin falls back to the ``_VectorStep`` path permanently,
+        recording why in ``codegen_error``.  The fallback is safe at
+        any point: unsupported shapes are detected during binding,
+        before the iteration mutates anything.
+        """
+        kernel = self._codegen
+        if kernel is None:
+            from repro.runtime.codegen import CodegenKernel
+            kernel = self._codegen = CodegenKernel(self)
+        if not kernel.run_iteration():
+            self.codegen = False
+            self.codegen_error = kernel.error
+            self._codegen = None
+            self._run_vector_steps()
+
     def run_iteration(self) -> None:
         """One steady iteration with all checks elided."""
         if self.rate_only:
@@ -402,7 +447,10 @@ class FusedPlan:
                 for channel, buffer in pushes:
                     channel.push_many(buffer)
         elif self.vectorized:
-            self._run_vector_steps()
+            if self.codegen:
+                self._run_codegen()
+            else:
+                self._run_vector_steps()
         else:
             for step in self._steps:
                 fire = step.fire

@@ -23,7 +23,12 @@ from repro.runtime.channels import (
     InputPort,
     OutputPort,
 )
-from repro.runtime.fastpath import FusedPlan, select_vectorized, vector_capable
+from repro.runtime.fastpath import (
+    FusedPlan,
+    select_codegen,
+    select_vectorized,
+    vector_capable,
+)
 from repro.runtime.state import ProgramState
 from repro.sched.schedule import Schedule, make_schedule
 
@@ -80,6 +85,7 @@ class GraphInterpreter:
         check_rates: bool = True,
         rate_only: bool = False,
         vectorize: Optional[bool] = None,
+        codegen: Optional[bool] = None,
     ):
         self.graph = graph
         self.check_rates = check_rates
@@ -116,6 +122,19 @@ class GraphInterpreter:
             self.vectorized = True
         else:
             self.vectorized = False
+        # Codegen layers on the vectorized backend: ``None`` follows
+        # the REPRO_CODEGEN opt-in, ``True`` demands it (and therefore
+        # a vectorized plan), ``False`` pins the _VectorStep path.
+        if codegen is None:
+            self.codegen = select_codegen(self.vectorized)
+        elif codegen:
+            if not self.vectorized:
+                raise ValueError(
+                    "codegen=True requires the vectorized backend "
+                    "(pass vectorize=True or let selection pick it)")
+            self.codegen = True
+        else:
+            self.codegen = False
         edge_channel = ArrayChannel if self.vectorized else Channel
         self.channels: Dict[int, Channel] = {
             edge.index: edge_channel() for edge in graph.edges
@@ -229,6 +248,7 @@ class GraphInterpreter:
                 self._in_channels, self._out_channels,
                 rate_only=self.rate_only,
                 vectorized=self.vectorized,
+                codegen=self.codegen,
             )
         return self._fused
 

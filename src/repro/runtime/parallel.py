@@ -1,0 +1,349 @@
+"""True multi-core execution of independent blobs.
+
+The cluster layer *simulates* parallelism: every blob gets its own
+simulated node, but all of their Python work runs on one real thread.
+:class:`ParallelBlobExecutor` makes the blob decomposition pay off on
+real hardware — each blob of a partition runs its steady iterations on
+its own thread, handing items across boundary edges through
+thread-safe :class:`~repro.runtime.channels.SharedChannel` /
+:class:`~repro.runtime.channels.SharedArrayChannel` buffers with the
+same ``total_pushed``/``total_popped`` accounting as the serial path.
+
+This is profitable despite the GIL because a vectorized (or codegen)
+blob spends its iteration inside NumPy kernels, which release the GIL
+for the bulk of the work; pipeline-parallel blobs then genuinely
+overlap.  Scheduling is readiness-driven: a blob thread runs an
+iteration when its boundary inputs hold a full iteration's worth of
+items, and a ``max_lead`` bound keeps producers from racing arbitrarily
+far ahead of consumers (bounded buffering, deterministic memory).
+
+Determinism contract: every blob executes exactly the iteration
+sequence the serial executor would, boundary items are shipped in
+iteration order per edge, and graph output is extended under the lock
+by the single tail blob — so output is byte-identical to the
+:class:`~repro.runtime.interpreter.GraphInterpreter` oracle regardless
+of thread interleaving (the test suite asserts this per app and on
+random graphs).
+
+``REPRO_PARALLEL=1`` additionally opts the *cluster* layer in: a
+:class:`~repro.cluster.instance.GraphInstance` with two or more blobs
+then executes steady iterations on a thread pool sized from the
+simulated nodes' core counts (see ``GraphInstance._setup_parallel``),
+making ``cores_per_node`` mean real parallelism.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.graph.topology import StreamGraph
+from repro.obs.tracer import NULL_TRACER
+from repro.runtime.channels import GRAPH_INPUT, GRAPH_OUTPUT, as_shared
+from repro.runtime.executor import BlobRuntime
+from repro.runtime.state import ProgramState
+from repro.sched.schedule import Schedule, make_schedule
+
+__all__ = ["ParallelBlobExecutor", "parallel_enabled", "parallel_workers"]
+
+
+def parallel_enabled() -> bool:
+    """``REPRO_PARALLEL=1`` opts the cluster layer into real threads."""
+    return os.environ.get("REPRO_PARALLEL", "0") == "1"
+
+
+def parallel_workers(n_blobs: int, cores: float) -> int:
+    """Thread count for an instance: one per blob, bounded by the
+    simulated node's core count (that is the resource the paper's
+    placement reasons about, so it is the bound that makes
+    ``cores_per_node`` mean something real)."""
+    return max(1, min(int(n_blobs), int(cores)))
+
+
+class ParallelBlobExecutor:
+    """Run the blobs of one partition concurrently on real threads.
+
+    ``partition`` is a sequence of worker-id collections, one per
+    blob, covering the whole graph; blob boundaries must respect
+    topological order (every boundary edge flows from a lower-indexed
+    blob to a higher-indexed one after sorting by earliest topological
+    position).  ``threads`` caps real concurrency (default: the
+    machine's core count); ``threads=1`` or a single blob degrades to
+    an exact serial execution with no thread machinery at all.
+
+    The public surface mirrors :class:`GraphInterpreter` where it
+    matters to tests and tools: ``push_input`` / ``run_init`` /
+    ``run_steady`` / ``drain`` / ``run_on`` / ``take_output`` /
+    ``capture_state``.
+    """
+
+    #: Condition wait quantum; also the stall-detection sampling period.
+    _WAIT_SECONDS = 0.1
+    #: Consecutive no-progress waits before declaring a stall.
+    _STALL_STRIKES = 5
+
+    def __init__(
+        self,
+        graph: StreamGraph,
+        partition: Sequence[Iterable[int]],
+        schedule: Optional[Schedule] = None,
+        check_rates: bool = False,
+        threads: Optional[int] = None,
+        max_lead: int = 4,
+        tracer=None,
+    ):
+        self.graph = graph
+        self.schedule = schedule or make_schedule(graph)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        blob_sets = [set(ids) for ids in partition]
+        covered: set = set()
+        for ids in blob_sets:
+            if covered & ids:
+                raise ValueError("partition blobs overlap: %s"
+                                 % sorted(covered & ids))
+            covered |= ids
+        all_ids = {w.worker_id for w in graph.workers}
+        if covered != all_ids:
+            raise ValueError("partition does not cover the graph: missing %s"
+                             % sorted(all_ids - covered))
+        # Order blobs by earliest topological position so the serial
+        # path is a single topo pass and boundary edges point forward.
+        topo_pos = {w: i for i, w in enumerate(graph.topological_order())}
+        blob_sets.sort(key=lambda ids: min(topo_pos[w] for w in ids))
+        self.runtimes: List[BlobRuntime] = [
+            BlobRuntime(graph, self.schedule, ids, check_rates=check_rates)
+            for ids in blob_sets
+        ]
+        owner = {w: bi for bi, ids in enumerate(blob_sets) for w in ids}
+        self._consumer: Dict[int, BlobRuntime] = {}
+        self._downstream: List[List[int]] = [[] for _ in self.runtimes]
+        for bi, runtime in enumerate(self.runtimes):
+            for edge in runtime.boundary_in:
+                self._consumer[edge.index] = runtime
+            for edge in runtime.boundary_out:
+                ci = owner[edge.dst]
+                if ci <= bi:
+                    raise ValueError(
+                        "partition is not topologically convex: edge %d "
+                        "flows from blob %d back into blob %d"
+                        % (edge.index, bi, ci))
+                if ci not in self._downstream[bi]:
+                    self._downstream[bi].append(ci)
+        # Boundary handoff channels become thread-safe: the producer's
+        # thread delivers into them while the consumer's thread runs.
+        for runtime in self.runtimes:
+            for edge in runtime.boundary_in:
+                runtime.replace_channel(
+                    edge.index, as_shared(runtime.channels[edge.index]))
+        heads = [rt for rt in self.runtimes if rt.has_head]
+        tails = [rt for rt in self.runtimes if rt.has_tail]
+        if len(heads) != 1 or len(tails) != 1:
+            raise ValueError("partition must contain the graph head and "
+                             "tail exactly once")
+        self._head_runtime = heads[0]
+        # External input is delivered between run_steady calls only, but
+        # share it anyway: callers may feed from another thread (the
+        # cluster layer does exactly that under REPRO_PARALLEL=1).
+        self._head_runtime.replace_channel(
+            GRAPH_INPUT, as_shared(self._head_runtime.channels[GRAPH_INPUT]))
+        self.threads = threads if threads is not None else (os.cpu_count()
+                                                            or 1)
+        self.max_lead = max(1, int(max_lead))
+        self._outputs: List[Any] = []
+        self.initialized = False
+        self.iteration = 0
+
+    # -- I/O -----------------------------------------------------------------
+
+    def push_input(self, items: Iterable[Any]) -> None:
+        self._head_runtime.channels[GRAPH_INPUT].push_many(items)
+
+    def take_output(self) -> List[Any]:
+        items, self._outputs = self._outputs, []
+        return items
+
+    @property
+    def consumed(self) -> int:
+        return self._head_runtime.channels[GRAPH_INPUT].total_popped
+
+    def _ship(self, staged: Dict[int, List[Any]]) -> Optional[List[Any]]:
+        """Deliver staged boundary items downstream; return graph output."""
+        out = staged.pop(GRAPH_OUTPUT, None)
+        for key, items in staged.items():
+            self._consumer[key].deliver(key, items)
+        return out
+
+    # -- phases --------------------------------------------------------------
+
+    def run_init(self) -> None:
+        """Init schedule, serial in topological blob order."""
+        if self.initialized:
+            raise RuntimeError("already initialized")
+        for runtime in self.runtimes:
+            out = self._ship(runtime.run_init())
+            if out:
+                self._outputs.extend(out)
+        self.initialized = True
+
+    def run_steady(self, iterations: int = 1) -> None:
+        if iterations <= 0:
+            return
+        if not self.initialized:
+            self.run_init()
+        effective = min(self.threads, len(self.runtimes))
+        span = self.tracer.begin(
+            "parallel", "parallel.run", blobs=len(self.runtimes),
+            threads=effective, iterations=iterations)
+        try:
+            if effective <= 1 or len(self.runtimes) == 1:
+                self._run_serial(iterations)
+            else:
+                self._run_threaded(iterations, effective)
+        finally:
+            span.finish()
+        self.iteration += iterations
+
+    def _run_serial(self, iterations: int) -> None:
+        # One topological pass per iteration: each blob's iteration n
+        # ships before any downstream blob runs its own iteration n, so
+        # readiness (leftover + steady flow) holds by construction.
+        for _ in range(iterations):
+            for runtime in self.runtimes:
+                out = self._ship(runtime.run_steady())
+                if out:
+                    self._outputs.extend(out)
+
+    def _run_threaded(self, iterations: int, n_threads: int) -> None:
+        cond = threading.Condition()
+        done = [0] * len(self.runtimes)
+        slots = [n_threads]   # bound on concurrently running iterations
+        running = [0]
+        failure: List[BaseException] = []
+        downstream = self._downstream
+        max_lead = self.max_lead
+
+        def runnable(bi: int, runtime: BlobRuntime) -> bool:
+            return (slots[0] > 0
+                    and all(done[bi] - done[ci] < max_lead
+                            for ci in downstream[bi])
+                    and runtime.ready_for_steady())
+
+        def work(bi: int) -> None:
+            runtime = self.runtimes[bi]
+            ran = 0
+            while True:
+                with cond:
+                    strikes = 0
+                    while not (failure or done[bi] >= iterations
+                               or runnable(bi, runtime)):
+                        progress = (sum(done), running[0])
+                        cond.wait(self._WAIT_SECONDS)
+                        if (sum(done), running[0]) == progress \
+                                and running[0] == 0:
+                            strikes += 1
+                            if strikes >= self._STALL_STRIKES:
+                                failure.append(RuntimeError(
+                                    "parallel steady execution stalled: "
+                                    "blob %d waiting for input at "
+                                    "iteration %d/%d (under-provisioned "
+                                    "graph input?)"
+                                    % (bi, done[bi], iterations)))
+                                cond.notify_all()
+                                break
+                        else:
+                            strikes = 0
+                    if failure or done[bi] >= iterations:
+                        break
+                    slots[0] -= 1
+                    running[0] += 1
+                try:
+                    staged = runtime.run_steady()
+                except BaseException as exc:
+                    with cond:
+                        failure.append(exc)
+                        slots[0] += 1
+                        running[0] -= 1
+                        cond.notify_all()
+                    return
+                out = self._ship(staged)
+                ran += 1
+                with cond:
+                    if out:
+                        # Only the tail blob produces graph output, so
+                        # extension order == its iteration order.
+                        self._outputs.extend(out)
+                    done[bi] += 1
+                    slots[0] += 1
+                    running[0] -= 1
+                    cond.notify_all()
+            self.tracer.instant("parallel", "parallel.blob", blob=bi,
+                                iterations=ran)
+
+        threads = [
+            threading.Thread(target=work, args=(bi,),
+                             name="blob-%d" % bi, daemon=True)
+            for bi in range(len(self.runtimes))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failure:
+            raise failure[0]
+
+    def drain(self) -> int:
+        """Opportunistic fixpoint drain, serial in topological order."""
+        total = 0
+        while True:
+            fired = 0
+            for runtime in self.runtimes:
+                firings, staged = runtime.drain_pass()
+                out = self._ship(staged)
+                if out:
+                    self._outputs.extend(out)
+                fired += firings
+            total += fired
+            if not fired:
+                break
+        return total
+
+    def run_on(self, items: Iterable[Any]) -> List[Any]:
+        """Feed items, run every possible steady iteration, drain.
+
+        Mirrors :meth:`GraphInterpreter.run_on` exactly (same iteration
+        count arithmetic), so outputs are comparable one-to-one.
+        """
+        self.push_input(items)
+        head = self.graph.head
+        head_extra = max(head.peek_rates[0] - head.pop_rates[0], 0)
+        channel = self._head_runtime.channels[GRAPH_INPUT]
+        if not self.initialized:
+            if len(channel) >= self.schedule.init_in + head_extra:
+                self.run_init()
+            else:
+                self.drain()
+                return self.take_output()
+        steady_in = self.schedule.steady_in
+        if steady_in > 0:
+            pending = (len(channel) - head_extra) // steady_in
+            if pending > 0:
+                self.run_steady(pending)
+        self.drain()
+        return self.take_output()
+
+    # -- state ---------------------------------------------------------------
+
+    def capture_state(self) -> ProgramState:
+        """Merged per-blob snapshot at the synchronized boundary.
+
+        Blob captures are disjoint except for the global counters,
+        where :meth:`ProgramState.merge` keeps the maximum — the head's
+        ``consumed`` and the tail's ``emitted`` are the only non-zero
+        contributions, so the merge equals a whole-graph capture at the
+        same iteration boundary.
+        """
+        merged = ProgramState()
+        for runtime in self.runtimes:
+            merged.merge(runtime.capture_state())
+        return merged

@@ -199,6 +199,62 @@ class TestVectorBatchRules:
         ).flatten()
         assert not fired(check_graph(graph), "V001")
 
+    def test_v002_fires_on_under_writing_kernel(self):
+        # The generated kernel runs in poison mode, so the unwritten
+        # slots surface as NaN instead of stale memory.
+        class ShortOutput(ScaleFilter):
+            def work_batch(self, inputs, outputs, n_firings):
+                written = max(n_firings - 1, 0)
+                outputs[0][:written] = inputs[0][:written] * self.factor
+
+        graph = Pipeline(ShortOutput(2.0), Identity()).flatten()
+        findings = fired(check_graph(graph), "V002")
+        assert findings and findings[0].is_error
+        assert "NaN-poisoned" in findings[0].message
+
+    def test_v002_fires_when_generated_kernel_crashes(self, monkeypatch):
+        # Both engines get the same read-only views, so a kernel that
+        # crashes for the probe crashes for the reference too (and V002
+        # correctly stays silent).  Drive the crash branch directly: a
+        # kernel that breaks only once it runs inside the generated
+        # function.
+        from repro.runtime import codegen as codegen_mod
+
+        real_run = codegen_mod.CodegenKernel.run_iteration
+
+        def exploding_run(self):
+            if self.poison:
+                raise ZeroDivisionError("boom inside generated kernel")
+            return real_run(self)
+
+        monkeypatch.setattr(codegen_mod.CodegenKernel, "run_iteration",
+                            exploding_run)
+        graph = Pipeline(ScaleFilter(2.0), Identity()).flatten()
+        findings = fired(check_graph(graph), "V002")
+        assert findings and findings[0].is_error
+        assert "generated kernel raised" in findings[0].message
+        assert "ZeroDivisionError" in findings[0].message
+
+    def test_v002_silent_on_conforming_graph(self):
+        graph = Pipeline(
+            ScaleFilter(2.0),
+            SplitJoin(
+                RoundRobinSplitter(2),
+                Accumulator(),
+                Decimator(2),
+                RoundRobinJoiner((2, 1)),
+            ),
+            Expander(2),
+        ).flatten()
+        assert not fired(check_graph(graph), "V002")
+
+    def test_v002_silent_on_non_vector_capable_graph(self):
+        class Opaque(ScaleFilter):
+            vector_items = False
+
+        graph = Pipeline(Opaque(2.0), Identity()).flatten()
+        assert not fired(check_graph(graph), "V002")
+
 
 # ---------------------------------------------------------------------------
 # Configuration pass family

@@ -1,0 +1,360 @@
+"""Codegen backend equivalence: generated kernels are byte-identical.
+
+:class:`CodegenKernel` compiles a vectorized fused plan into one
+generated function per blob.  Nothing observable may change: same
+outputs, same captured state, same channel counters as the per-firing
+oracle, for every registered application, the factory graphs and
+random SDF graphs — including across capture/restore, drains that
+force a rebind, and scalar-fallback steps.  Also pins the selection
+rule, the kernels table of the compilation cache and the optional
+Numba backend's silent fallback.
+"""
+
+import copy
+import sys
+import types
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import app_registry, get_app
+from repro.compiler.cache import (CompilationCache, get_default_cache,
+                                  set_default_cache)
+from repro.graph import Pipeline
+from repro.graph.library import FIRFilter, ScaleFilter
+from repro.runtime import (CodegenKernel, GraphInterpreter, HAVE_NUMPY,
+                           select_codegen)
+from repro.runtime.codegen import codegen_backend, numba_available
+from repro.runtime.fastpath import vector_capable
+
+from tests.conftest import ALL_GRAPH_FACTORIES, sample_input
+from tests.test_ast_properties import random_sdf_graph
+from tests.test_fastpath import _assert_states_equal, _provision
+
+APP_NAMES = sorted(app_registry())
+SCALE = 2
+ITERATIONS = 3
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+
+
+def _codegen_interp(graph, **kwargs):
+    return GraphInterpreter(graph, check_rates=False, vectorize=True,
+                            codegen=True, **kwargs)
+
+
+class TestCodegenEquivalence:
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_app_codegen_byte_identical(self, name):
+        """Generated-kernel steady execution == canonical oracle."""
+        spec = get_app(name)
+        blueprint = spec.blueprint(scale=SCALE)
+        oracle = GraphInterpreter(blueprint(), check_rates=True)
+        cg = _codegen_interp(blueprint())
+        for interp in (oracle, cg):
+            _provision(interp, spec.input_fn, ITERATIONS)
+            interp.run_init()
+            interp.run_steady(ITERATIONS)
+        plan = cg._fused
+        assert plan.mode == "codegen"
+        assert plan.codegen_error is None
+        kernel = plan._codegen
+        assert kernel is not None and kernel._kernel is not None
+        # Scalar fallbacks appear exactly where batch kernels are absent
+        # (KeyedAggregate's keyed-state stage); everything else compiles.
+        graph = cg.graph
+        expected_fallbacks = sum(
+            1 for worker in graph.workers if not worker.supports_work_batch)
+        assert kernel.fallback_steps == expected_fallbacks
+        assert cg.take_output() == oracle.take_output()
+        _assert_states_equal(cg.capture_state(), oracle.capture_state())
+
+    @pytest.mark.parametrize("factory", ALL_GRAPH_FACTORIES,
+                             ids=lambda f: f.__name__)
+    def test_factory_graphs_codegen_byte_identical(self, factory):
+        graph = factory()
+        if not vector_capable(graph.workers):
+            pytest.skip("graph is not vector-capable")
+        oracle = GraphInterpreter(factory(), check_rates=True)
+        cg = _codegen_interp(graph)
+        for interp in (oracle, cg):
+            _provision(interp, sample_input, ITERATIONS)
+            interp.run_init()
+            interp.run_steady(ITERATIONS)
+        assert cg.take_output() == oracle.take_output()
+        _assert_states_equal(cg.capture_state(), oracle.capture_state())
+
+    def test_kernel_reused_across_iterations(self):
+        """One bind serves every iteration while nothing external
+        touches the channels; a drain between runs forces a rebind."""
+        spec = get_app("FMRadio")
+        blueprint = spec.blueprint(scale=SCALE)
+        cg = _codegen_interp(blueprint())
+        _provision(cg, spec.input_fn, 8)
+        cg.run_init()
+        cg.run_steady(5)
+        kernel = cg._fused._codegen
+        assert kernel.binds == 1
+        cg.run_steady(3)
+        assert kernel.binds == 1
+        # Draining fires workers outside the kernel, moving pinned
+        # channels; the guard must notice and rebind, and the spliced
+        # execution must still match the oracle end to end.
+        cg.drain()
+        _provision(cg, spec.input_fn, 4)
+        cg.run_steady(2)
+        assert cg._fused._codegen.binds >= 2
+
+    def test_fallback_steps_still_identical(self):
+        """Workers stripped of their batch kernel run as prebound
+        scalar closures inside the generated kernel."""
+        spec = get_app("FilterBank")
+        blueprint = spec.blueprint(scale=SCALE)
+        twin = blueprint()
+        for worker in twin.workers[::3]:
+            worker.work_batch = None
+        oracle = GraphInterpreter(blueprint(), check_rates=True)
+        cg = _codegen_interp(twin)
+        for interp in (oracle, cg):
+            _provision(interp, spec.input_fn, ITERATIONS)
+            interp.run_init()
+            interp.run_steady(ITERATIONS)
+        plan = cg._fused
+        assert plan.mode == "codegen"
+        assert plan._codegen.fallback_steps > 0
+        assert cg.take_output() == oracle.take_output()
+        _assert_states_equal(cg.capture_state(), oracle.capture_state())
+
+    @pytest.mark.parametrize("second", [False, True],
+                             ids=["codegen-to-scalar", "codegen-to-codegen"])
+    def test_mid_run_capture_restore(self, second):
+        """State captured under codegen restores into either backend
+        and the spliced run matches the uninterrupted scalar oracle."""
+        from repro.sched import make_schedule
+        from tests.conftest import stateful_pipeline
+
+        items = [sample_input(i) for i in range(400)]
+        reference = GraphInterpreter(stateful_pipeline()).run_on(items)
+
+        graph = stateful_pipeline()
+        schedule = make_schedule(graph)
+        head = _codegen_interp(graph, schedule=schedule)
+        boundary = 3
+        head_extra = max(graph.head.peek_rates[0] - graph.head.pop_rates[0],
+                         0)
+        prefix = schedule.init_in + boundary * schedule.steady_in + head_extra
+        head.push_input(items[:prefix])
+        head.run_to_boundary(boundary)
+        assert head._fused.mode == "codegen"
+        emitted = head.take_output()
+        state = head.capture_state()
+
+        if second:
+            resumed = _codegen_interp(stateful_pipeline(), state=state)
+        else:
+            resumed = GraphInterpreter(stateful_pipeline(), state=state)
+        combined = emitted + resumed.run_on(items[state.consumed:])
+        assert combined == reference[:len(combined)]
+        assert len(combined) > len(emitted)
+
+    @given(random_sdf_graph(), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=25, deadline=None)
+    def test_property_codegen_matches_oracle(self, graph, iterations):
+        twin = copy.deepcopy(graph)
+        if not vector_capable(graph.workers):
+            return
+        oracle = GraphInterpreter(graph, check_rates=True)
+        cg = _codegen_interp(twin)
+        for interp in (oracle, cg):
+            _provision(interp, sample_input, iterations)
+            interp.run_init()
+            interp.run_steady(iterations)
+        assert cg._fused.mode == "codegen"
+        assert cg.take_output() == oracle.take_output()
+        _assert_states_equal(cg.capture_state(), oracle.capture_state())
+
+
+class TestThreeEngineProperty:
+    """Satellite: scalar interpreter, generated kernel and parallel
+    executor agree on random graphs, including across a mid-run
+    capture/restore of the codegen engine."""
+
+    @given(random_sdf_graph(), st.integers(min_value=2, max_value=4))
+    @settings(max_examples=15, deadline=None)
+    def test_property_three_engines_byte_identical(self, graph, iterations):
+        from repro.runtime import ParallelBlobExecutor
+        from repro.sched import make_schedule
+
+        if not vector_capable(graph.workers):
+            return
+        schedule = make_schedule(graph)
+        head = graph.head
+        head_extra = max(head.peek_rates[0] - head.pop_rates[0], 0)
+        n = (schedule.init_in + iterations * schedule.steady_in
+             + head_extra)
+        items = [sample_input(i) for i in range(n)]
+
+        oracle = GraphInterpreter(copy.deepcopy(graph), check_rates=True)
+        oracle.push_input(list(items))
+        oracle.run_steady(iterations)
+        expected = oracle.take_output()
+        expected_state = oracle.capture_state()
+
+        # Codegen, split by a capture/restore at an iteration boundary.
+        cg = _codegen_interp(copy.deepcopy(graph))
+        cg.push_input(list(items))
+        cg.run_steady(1)
+        emitted = cg.take_output()
+        state = cg.capture_state()
+        resumed = _codegen_interp(copy.deepcopy(graph), state=state)
+        resumed.push_input(items[state.consumed:])
+        resumed.run_steady(iterations - 1)
+        # Counters restart at the splice, so identity is judged on the
+        # spliced output stream (as in the cross-backend restore test).
+        assert emitted + resumed.take_output() == expected
+
+        # Parallel executor over a 2-way topologically contiguous split.
+        topo = list(graph.topological_order())
+        half = max(1, len(topo) // 2)
+        partition = [p for p in (topo[:half], topo[half:]) if p]
+        px = ParallelBlobExecutor(copy.deepcopy(graph), partition,
+                                  threads=len(partition))
+        px.push_input(list(items))
+        px.run_steady(iterations)
+        assert px.take_output() == expected
+        _assert_states_equal(px.capture_state(), expected_state)
+
+
+class TestCodegenSelection:
+    def test_selection_env_truth_table(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CODEGEN", raising=False)
+        assert not select_codegen(True)       # off by default
+        assert not select_codegen(False)
+        monkeypatch.setenv("REPRO_CODEGEN", "1")
+        assert select_codegen(True)
+        assert not select_codegen(False)      # layers on vectorized only
+        monkeypatch.setenv("REPRO_CODEGEN", "force")
+        assert select_codegen(True)
+        monkeypatch.setenv("REPRO_CODEGEN", "0")
+        assert not select_codegen(True)
+
+    def test_codegen_requires_vectorized(self):
+        graph = Pipeline(ScaleFilter(2.0), ScaleFilter(3.0)).flatten()
+        with pytest.raises(ValueError, match="vectorized"):
+            GraphInterpreter(graph, check_rates=False, vectorize=False,
+                             codegen=True)
+
+    def test_kernel_rejects_unvectorized_plan(self):
+        class FakePlan:
+            vectorized = False
+
+        with pytest.raises(ValueError, match="vectorized"):
+            CodegenKernel(FakePlan())
+
+    def test_env_selection_flows_into_interpreter(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTORIZE", "1")
+        monkeypatch.setenv("REPRO_CODEGEN", "1")
+        graph = Pipeline(FIRFilter([0.5, 0.5]), ScaleFilter(2.0)).flatten()
+        interp = GraphInterpreter(graph, check_rates=False)
+        assert interp.vectorized and interp.codegen
+        _provision(interp, sample_input, 2)
+        interp.run_init()
+        interp.run_steady(2)
+        assert interp._fused.mode == "codegen"
+
+
+class TestKernelCache:
+    def test_identical_source_shares_code_object(self):
+        """Two plans with the same shape fingerprint to one kernel."""
+        previous = get_default_cache()
+        cache = CompilationCache()
+        set_default_cache(cache)
+        try:
+            spec = get_app("FMRadio")
+            blueprint = spec.blueprint(scale=SCALE)
+            for _ in range(2):
+                interp = _codegen_interp(blueprint())
+                _provision(interp, spec.input_fn, 2)
+                interp.run_init()
+                interp.run_steady(2)
+                assert interp._fused.mode == "codegen"
+            counters = cache.counters()
+            assert counters["kernel_misses"] == 1
+            assert counters["kernel_hits"] >= 1
+        finally:
+            set_default_cache(previous)
+
+    def test_kernel_counters_do_not_skew_hit_rate(self):
+        cache = CompilationCache()
+        fingerprint, code = cache.kernel_for("def _bind(a, b, c, d):\n"
+                                             "    return lambda: None\n")
+        assert len(fingerprint) == 64
+        again, code2 = cache.kernel_for("def _bind(a, b, c, d):\n"
+                                        "    return lambda: None\n")
+        assert again == fingerprint and code2 is code
+        # hit_rate is the paper's fig05 metric over schedules + plans;
+        # the kernels table must not contribute to it.
+        assert cache.hit_rate() == 0.0
+
+    def test_explicit_cache_parameter(self):
+        spec = get_app("FMRadio")
+        interp = _codegen_interp(spec.blueprint(scale=SCALE)())
+        _provision(interp, spec.input_fn, 2)
+        interp.run_init()
+        interp.run_steady(1)
+        cache = CompilationCache()
+        kernel = CodegenKernel(interp._fused, cache=cache)
+        assert kernel.run_iteration()
+        assert cache.counters()["kernel_misses"] == 1
+        assert kernel.fingerprint is not None
+        assert "def _bind" in kernel.source
+
+
+class TestNumbaBackend:
+    def _run(self, backend=None):
+        spec = get_app("FMRadio")
+        interp = _codegen_interp(spec.blueprint(scale=SCALE)())
+        _provision(interp, spec.input_fn, 3)
+        interp.run_init()
+        interp.run_steady(1)
+        kernel = CodegenKernel(interp._fused, backend=backend)
+        assert kernel.run_iteration()
+        return kernel
+
+    def test_backend_defaults_to_python(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CODEGEN_BACKEND", raising=False)
+        assert codegen_backend() == "python"
+        assert self._run().backend == "python"
+
+    def test_numba_request_without_numba_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CODEGEN_BACKEND", "numba")
+        if numba_available():  # pragma: no cover - not in this image
+            pytest.skip("numba actually installed")
+        assert codegen_backend() == "python"
+
+    def test_fake_numba_jit_is_used(self, monkeypatch):
+        fake = types.ModuleType("numba")
+        wrapped = []
+
+        def jit(**kwargs):
+            def deco(fn):
+                wrapped.append(fn)
+                return fn
+            return deco
+
+        fake.jit = jit
+        monkeypatch.setitem(sys.modules, "numba", fake)
+        kernel = self._run(backend="numba")
+        assert kernel.backend == "numba"
+        assert wrapped
+
+    def test_broken_numba_falls_back_to_python(self, monkeypatch):
+        fake = types.ModuleType("numba")
+
+        def jit(**kwargs):
+            raise RuntimeError("no LLVM here")
+
+        fake.jit = jit
+        monkeypatch.setitem(sys.modules, "numba", fake)
+        kernel = self._run(backend="numba")
+        assert kernel.backend == "python"

@@ -133,6 +133,41 @@ class TestTracer:
         assert len(tracer.find_spans(track="r")) == 1
         assert len(tracer.find_spans()) == 2
 
+    def test_concurrent_emission_is_thread_safe(self):
+        """Regression: the parallel blob executor emits from worker
+        threads.  N threads hammering spans/instants/counters must
+        lose no records, allocate no duplicate span ids, and leave
+        every per-track open-span stack empty."""
+        import threading
+
+        tracer = Tracer(FakeClock())
+        n_threads, per_thread = 8, 300
+        barrier = threading.Barrier(n_threads)
+
+        def hammer(tid):
+            barrier.wait()
+            for i in range(per_thread):
+                span = tracer.begin("par", "work", track="t%d" % tid,
+                                    thread=tid, i=i)
+                tracer.instant("par", "tick", thread=tid)
+                tracer.counter("par", "value", float(i))
+                span.finish()
+
+        threads = [threading.Thread(target=hammer, args=(tid,))
+                   for tid in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = n_threads * per_thread
+        assert len(tracer.spans) == total
+        assert len(tracer.instants) == total
+        assert len(tracer.counters) == total
+        ids = [s.span_id for s in tracer.spans]
+        assert len(set(ids)) == total
+        assert tracer.open_spans() == []
+        assert all(not stack for stack in tracer._open.values())
+
 
 class TestNullTracer:
     def test_disabled_records_nothing(self):

@@ -1,0 +1,284 @@
+"""Multi-core blob execution: shared channels, the parallel executor
+and the cluster thread pool.
+
+Real threads must not change observable semantics: the parallel
+executor's output and captured state are byte-identical to the
+canonical interpreter for every partition and thread count, repeat
+runs are deterministic, and a cluster opted in via ``REPRO_PARALLEL=1``
+(with or without ``REPRO_CODEGEN=1``) emits exactly the serial
+instance's output — including through a mid-run adaptive
+reconfiguration.
+"""
+
+import copy
+import threading
+
+import pytest
+
+from repro import Cluster, StreamApp, partition_even
+from repro.apps import app_registry, get_app
+from repro.runtime import (GraphInterpreter, HAVE_NUMPY,
+                           ParallelBlobExecutor, SharedArrayChannel,
+                           SharedChannel, as_shared, parallel_enabled,
+                           parallel_workers)
+from repro.runtime.channels import ArrayChannel, Channel
+from repro.sched import make_schedule
+
+from tests.conftest import integration_cost_model, sample_input
+from tests.test_fastpath import _assert_states_equal
+
+APP_NAMES = sorted(app_registry())
+
+
+def _even_partition(graph, n_blobs):
+    """Topologically contiguous chunks, one per blob."""
+    topo = list(graph.topological_order())
+    size = max(1, -(-len(topo) // n_blobs))
+    parts = [topo[i:i + size] for i in range(0, len(topo), size)]
+    return [p for p in parts if p]
+
+
+def _provisioned_items(spec, graph, schedule, iterations, slack=0):
+    head = graph.head
+    head_extra = max(head.peek_rates[0] - head.pop_rates[0], 0)
+    n = (schedule.init_in + iterations * schedule.steady_in + head_extra
+         + slack)
+    return [spec.input_fn(i) for i in range(n)]
+
+
+class TestSharedChannels:
+    def test_as_shared_preserves_contents_and_counters(self):
+        channel = Channel()
+        channel.push_many([1, 2, 3, 4])
+        channel.pop()
+        shared = as_shared(channel)
+        assert isinstance(shared, SharedChannel)
+        assert shared.snapshot() == channel.snapshot()
+        assert shared.total_pushed == channel.total_pushed
+        assert shared.total_popped == channel.total_popped
+        # Idempotent: sharing a shared channel is the identity.
+        assert as_shared(shared) is shared
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+    def test_as_shared_array_channel(self):
+        channel = ArrayChannel()
+        channel.push_many([1.0, 2.0, 3.0])
+        channel.pop()
+        shared = as_shared(channel)
+        assert isinstance(shared, SharedArrayChannel)
+        assert shared.snapshot() == channel.snapshot()
+        assert shared.total_popped == channel.total_popped
+        assert as_shared(shared) is shared
+
+    def test_concurrent_push_pop_accounting(self):
+        """N producers and one consumer race; no item is lost or
+        duplicated and the lifetime counters balance."""
+        shared = as_shared(Channel())
+        n_producers, per_thread = 4, 500
+        seen = []
+        stop = threading.Event()
+
+        def produce(base):
+            for i in range(per_thread):
+                shared.push(base + i)
+
+        def consume():
+            while not stop.is_set() or len(shared):
+                if len(shared):
+                    seen.append(shared.pop())
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        producers = [threading.Thread(target=produce,
+                                      args=(t * per_thread,))
+                     for t in range(n_producers)]
+        for thread in producers:
+            thread.start()
+        for thread in producers:
+            thread.join()
+        stop.set()
+        consumer.join()
+        assert sorted(seen) == list(range(n_producers * per_thread))
+        assert shared.total_pushed == n_producers * per_thread
+        assert shared.total_popped == n_producers * per_thread
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+    def test_array_views_survive_concurrent_growth(self):
+        """A consumer's peek view must stay valid while a producer
+        grows the buffer: the shared variant never compacts in place."""
+        shared = as_shared(ArrayChannel())
+        shared.push_many([float(i) for i in range(8)])
+        view = shared.peek_block(8)
+        before = view.copy()
+        # Force repeated growth well past the original capacity.
+        for i in range(2048):
+            shared.push_block(4)
+        assert (view == before).all()
+
+
+class TestParallelWorkers:
+    def test_worker_count_rule(self):
+        assert parallel_workers(4, 4) == 4
+        assert parallel_workers(8, 4) == 4
+        assert parallel_workers(2, 16) == 2
+        assert parallel_workers(3, 1) == 1
+        assert parallel_workers(0, 8) == 1
+
+    def test_enabled_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        assert not parallel_enabled()
+        monkeypatch.setenv("REPRO_PARALLEL", "1")
+        assert parallel_enabled()
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        assert not parallel_enabled()
+
+
+class TestPartitionValidation:
+    def _graph(self):
+        return get_app("FMRadio").blueprint(scale=1)()
+
+    def test_rejects_overlap(self):
+        graph = self._graph()
+        topo = list(graph.topological_order())
+        with pytest.raises(ValueError, match="overlap"):
+            ParallelBlobExecutor(graph, [topo, topo[:1]])
+
+    def test_rejects_uncovered_workers(self):
+        graph = self._graph()
+        topo = list(graph.topological_order())
+        with pytest.raises(ValueError, match="does not cover"):
+            ParallelBlobExecutor(graph, [topo[:-1]])
+
+    def test_rejects_non_convex_partition(self):
+        graph = self._graph()
+        topo = list(graph.topological_order())
+        if len(topo) < 3:
+            pytest.skip("graph too small")
+        # Interleave workers so a boundary edge flows backwards.
+        scrambled = [topo[::2], topo[1::2]]
+        with pytest.raises(ValueError, match="convex|cover|head"):
+            ParallelBlobExecutor(graph, scrambled)
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("name", APP_NAMES)
+    @pytest.mark.parametrize("threads", [1, 3])
+    def test_app_output_and_state_byte_identical(self, name, threads):
+        iterations = 4
+        spec = get_app(name)
+        blueprint = spec.blueprint(scale=1)
+        graph = blueprint()
+        schedule = make_schedule(graph)
+        items = _provisioned_items(spec, graph, schedule, iterations)
+
+        oracle = GraphInterpreter(blueprint(), check_rates=True)
+        oracle.push_input(list(items))
+        oracle.run_steady(iterations)
+
+        px = ParallelBlobExecutor(graph, _even_partition(graph, 3),
+                                  schedule=schedule, threads=threads)
+        px.push_input(list(items))
+        px.run_steady(iterations)
+        assert px.take_output() == oracle.take_output()
+        _assert_states_equal(px.capture_state(), oracle.capture_state())
+
+    def test_repeat_runs_deterministic(self):
+        spec = get_app("FilterBank")
+        blueprint = spec.blueprint(scale=1)
+
+        def run():
+            graph = blueprint()
+            schedule = make_schedule(graph)
+            items = _provisioned_items(spec, graph, schedule, 5)
+            px = ParallelBlobExecutor(graph, _even_partition(graph, 4),
+                                      schedule=schedule, threads=4)
+            px.push_input(items)
+            px.run_steady(5)
+            return px.take_output()
+
+        assert run() == run()
+
+    def test_run_on_matches_interpreter(self):
+        spec = get_app("BeamFormer")
+        blueprint = spec.blueprint(scale=1)
+        graph = blueprint()
+        schedule = make_schedule(graph)
+        items = _provisioned_items(spec, graph, schedule, 6, slack=7)
+        expected = GraphInterpreter(blueprint()).run_on(list(items))
+        px = ParallelBlobExecutor(graph, _even_partition(graph, 3),
+                                  schedule=schedule, threads=3)
+        assert px.run_on(list(items)) == expected
+
+    def test_stall_detection_raises(self):
+        """Under-provisioned input must fail loudly, not hang."""
+        spec = get_app("FMRadio")
+        graph = spec.blueprint(scale=1)()
+        schedule = make_schedule(graph)
+        items = _provisioned_items(spec, graph, schedule, 1)
+        px = ParallelBlobExecutor(graph, _even_partition(graph, 2),
+                                  schedule=schedule, threads=2)
+        px.push_input(items)
+        with pytest.raises(RuntimeError, match="stalled"):
+            px.run_steady(50)
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+class TestClusterParallel:
+    def _run_cluster(self, monkeypatch, parallel, codegen=False):
+        if parallel:
+            monkeypatch.setenv("REPRO_PARALLEL", "1")
+        else:
+            monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        if codegen:
+            monkeypatch.setenv("REPRO_VECTORIZE", "1")
+            monkeypatch.setenv("REPRO_CODEGEN", "1")
+        spec = get_app("FMRadio")
+        blueprint = spec.blueprint(scale=1)
+        cluster = Cluster(n_nodes=2, cores_per_node=4,
+                          cost_model=integration_cost_model())
+        app = StreamApp(cluster, blueprint, input_fn=spec.input_fn,
+                        name="fm", collect_output=True)
+        app.launch(partition_even(blueprint(), [0, 1], multiplier=4,
+                                  name="A"))
+        cluster.run(until=60.0)
+        return app
+
+    def test_pool_created_and_output_identical(self, monkeypatch):
+        serial = self._run_cluster(monkeypatch, parallel=False)
+        parallel = self._run_cluster(monkeypatch, parallel=True)
+        assert serial.current.pool is None
+        assert parallel.current.pool is not None
+        assert parallel.merger.items == serial.merger.items
+        assert len(parallel.merger.items) > 0
+        assert parallel.merger.duplicate_emitted == 0
+
+    def test_parallel_reconfiguration_with_codegen(self, monkeypatch):
+        """Satellite: mid-run adaptive reconfiguration with codegen and
+        the thread pool both active stays byte-identical and seamless."""
+        monkeypatch.setenv("REPRO_PARALLEL", "1")
+        monkeypatch.setenv("REPRO_VECTORIZE", "1")
+        monkeypatch.setenv("REPRO_CODEGEN", "1")
+        spec = get_app("FilterBank")
+        blueprint = spec.blueprint(scale=1)
+        cluster = Cluster(n_nodes=3, cores_per_node=4,
+                          cost_model=integration_cost_model())
+        app = StreamApp(cluster, blueprint, input_fn=spec.input_fn,
+                        name="fb", collect_output=True)
+        app.launch(partition_even(blueprint(), [0, 1], multiplier=2,
+                                  name="A"))
+        cluster.run(until=30.0)
+        assert app.current.status == "running"
+        assert app.current.pool is not None
+        done = app.reconfigure(
+            partition_even(blueprint(), [0, 1, 2], multiplier=2, name="B"),
+            strategy="adaptive")
+        cluster.run(until=130.0)
+        assert done.triggered
+        report = app.analyze(30.0, 130.0, bucket=1.0)
+        assert report.downtime == 0.0, report
+
+        consumed = max(inst.input_view.next_index for inst in app.instances)
+        reference = GraphInterpreter(blueprint()).run_on(
+            [spec.input_fn(i) for i in range(consumed)])
+        assert app.merger.items == reference[:len(app.merger.items)]
+        assert len(app.merger.items) > 0
