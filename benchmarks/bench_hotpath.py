@@ -21,12 +21,25 @@ Per-application measurements (every registered app):
    :class:`CompilationCache` (miss: schedule + pseudo-blob
    construction) vs a primed one (hit: rehydration only).
 
-One whole-run measurement:
+Whole-run measurements:
 
 5. **Parallel self-speedup** — a 4-stage FIR pipeline split into 4
    blobs on the :class:`ParallelBlobExecutor`, 1 thread vs 4 threads.
    Gated only when the machine actually has >= 4 cores (recorded in
    the JSON either way).
+6. **Process self-speedup** — the same 4-blob FIR pipeline on the
+   :class:`ProcessBlobExecutor`, 1 process vs 4 forked processes over
+   shared-memory rings, after a byte-identity check against the
+   scalar oracle.  Gated >= 2.5x only on >= 4 cores.
+7. **Thread vs process on GIL-bound work** — a pipeline whose batch
+   kernels are pure-Python loops (the GIL never drops), 4 threads vs
+   4 processes.  Threads serialize here by construction; processes
+   must win.  Gated only on >= 4 cores.
+8. **Cython emission tier** — the generated kernel compiled as a C
+   extension (``backend="cython"``) vs the generated-Python backend,
+   after a byte-identity check.  Reported, never gated: the row
+   records requested vs actual backend, and on runners without the
+   toolchain the actual backend is the silent python fallback.
 
 Every steady-state tier is timed through :func:`_measure_steady`,
 which grows the iteration count until a single measured rep lasts at
@@ -42,6 +55,9 @@ Writes ``BENCH_hotpath.json`` at the repo root and gates the targets:
 * codegen speedup >= 1.5x over vectorized on Synthetic,
 * geomean codegen speedup >= 1.2x across the numeric apps,
 * parallel self-speedup >= 2x on the 4-blob pipeline (when >= 4 cores),
+* process self-speedup >= 2.5x on the 4-blob pipeline (when >= 4 cores),
+* process >= 1.2x over threads on the GIL-bound pipeline (when >= 4
+  cores),
 * warm phase-1 time <= 10% of cold, averaged across apps.
 
 Usage::
@@ -72,9 +88,14 @@ from repro.compiler.cost_model import CostModel  # noqa: E402
 from repro.compiler.partition import partition_even  # noqa: E402
 from repro.compiler.two_phase import plan_configuration  # noqa: E402
 from repro.graph.builders import Pipeline  # noqa: E402
-from repro.graph.library import FIRFilter  # noqa: E402
+from repro.graph.library import FIRFilter, ScaleFilter  # noqa: E402
+from repro.runtime.codegen import cython_available  # noqa: E402
 from repro.runtime.interpreter import GraphInterpreter  # noqa: E402
 from repro.runtime.parallel import ParallelBlobExecutor  # noqa: E402
+from repro.runtime.procexec import (  # noqa: E402
+    ProcessBlobExecutor,
+    process_executor_available,
+)
 from repro.sched.schedule import make_schedule  # noqa: E402
 
 RESULT_PATH = os.path.join(_REPO_ROOT, "BENCH_hotpath.json")
@@ -122,6 +143,21 @@ PARALLEL_BLOBS = 4
 PARALLEL_THREADS = 4
 PARALLEL_MULTIPLIER = 2048
 GATE_PARALLEL_SELF_SPEEDUP = 2.0
+GATE_PROCESS_SELF_SPEEDUP = 2.5
+
+#: GIL-bound tier: a pipeline of pure-Python batch kernels split over
+#: SCALAR_WORKERS workers in PARALLEL_BLOBS blobs.  Each batch call
+#: runs GIL_ROUNDS Python-level float operations per item, so threads
+#: serialize on the GIL while processes overlap on real cores.
+SCALAR_WORKERS = 8
+SCALAR_MULTIPLIER = 512
+GIL_ROUNDS = 24
+GATE_PROCESS_OVER_THREAD = 1.2
+
+#: Identity-check run length (steady iterations) for the process and
+#: cython tiers: output and captured state must match the scalar
+#: oracle byte for byte before any timing is trusted.
+IDENTITY_ITERATIONS = 3
 
 
 def _provision(interp, input_fn, iterations):
@@ -359,6 +395,230 @@ def _bench_parallel():
     }
 
 
+def _blocked_partition(graph, n_blobs):
+    topo = list(graph.topological_order())
+    size = len(topo) // n_blobs
+    partition = [topo[i * size:(i + 1) * size] for i in range(n_blobs)]
+    partition[-1].extend(topo[n_blobs * size:])
+    return partition
+
+
+def _assert_identical_to_oracle(build_executor, blueprint, input_fn,
+                                label):
+    """run_on byte-identity against the scalar rate-checked oracle."""
+    graph = blueprint()
+    schedule = make_schedule(graph)
+    head = graph.head
+    head_extra = max(head.peek_rates[0] - head.pop_rates[0], 0)
+    n = (schedule.init_in + IDENTITY_ITERATIONS * schedule.steady_in
+         + head_extra)
+    items = [input_fn(i) for i in range(n)]
+    expected = GraphInterpreter(blueprint(), check_rates=True).run_on(
+        list(items))
+    executor = build_executor(graph, schedule)
+    try:
+        got = executor.run_on(list(items))
+    finally:
+        close = getattr(executor, "close", None)
+        if close is not None:
+            close()
+    assert got == expected, \
+        "%s output diverged from the scalar oracle" % label
+
+
+def _bench_process():
+    """Self-speedup of the process executor: the same 4-blob FIR
+    pipeline, 1 process vs PARALLEL_THREADS forked processes over
+    shared-memory rings — after a byte-identity oracle check."""
+    _assert_identical_to_oracle(
+        lambda graph, schedule: ProcessBlobExecutor(
+            graph, _blocked_partition(graph, PARALLEL_BLOBS),
+            schedule=schedule, processes=PARALLEL_THREADS),
+        _parallel_blueprint, _parallel_input, "process executor")
+
+    executors = []
+
+    def build(processes):
+        def make():
+            graph = _parallel_blueprint()
+            schedule = make_schedule(graph, multiplier=PARALLEL_MULTIPLIER)
+            executor = ProcessBlobExecutor(
+                graph, _blocked_partition(graph, PARALLEL_BLOBS),
+                schedule=schedule, processes=processes)
+            executors.append(executor)
+            return executor
+        return make
+
+    try:
+        serial_per, serial_iters, _ = _measure_steady(
+            build(1), _parallel_input)
+        process_per, process_iters, _ = _measure_steady(
+            build(PARALLEL_THREADS), _parallel_input)
+    finally:
+        for executor in executors:
+            executor.close()
+
+    cpu_count = os.cpu_count() or 1
+    return {
+        "blobs": PARALLEL_BLOBS,
+        "processes": PARALLEL_THREADS,
+        "multiplier": PARALLEL_MULTIPLIER,
+        "cpu_count": cpu_count,
+        "gated": cpu_count >= PARALLEL_THREADS,
+        "iterations_per_rep": {"serial": serial_iters,
+                               "process": process_iters},
+        "serial_iteration_ms": serial_per * 1e3,
+        "process_iteration_ms": process_per * 1e3,
+        "self_speedup": serial_per / process_per,
+    }
+
+
+class GILBoundScale(ScaleFilter):
+    """A scale filter whose batch kernel is a pure-Python loop: it
+    never releases the GIL, so thread-level blob parallelism gains
+    nothing while process-level parallelism still scales.  The output
+    is exactly ``item * factor`` — identical to :meth:`work` — so the
+    oracle identity check still holds."""
+
+    def work_batch(self, inputs, outputs, n_firings) -> None:
+        data = inputs[0]
+        out = outputs[0]
+        factor = self.factor
+        waste = 0.0
+        for i in range(n_firings):
+            x = float(data[i])
+            for _ in range(GIL_ROUNDS):
+                waste += x * 1e-9
+            out[i] = x * factor
+
+
+def _scalar_blueprint():
+    return Pipeline(*[GILBoundScale(1.0 + 0.001 * i, name="pyscale%d" % i)
+                      for i in range(SCALAR_WORKERS)]).flatten()
+
+
+def _bench_scalar_parallel():
+    """Thread pool vs forked processes on GIL-bound batch kernels.
+
+    Both executors get PARALLEL_THREADS workers over the same
+    PARALLEL_BLOBS-blob partition of the pure-Python pipeline; the
+    ratio is the number the backend-selection table in the README is
+    built on."""
+    _assert_identical_to_oracle(
+        lambda graph, schedule: ProcessBlobExecutor(
+            graph, _blocked_partition(graph, PARALLEL_BLOBS),
+            schedule=schedule, processes=PARALLEL_THREADS),
+        _scalar_blueprint, _parallel_input, "GIL-bound process executor")
+
+    executors = []
+
+    def build(kind):
+        def make():
+            graph = _scalar_blueprint()
+            schedule = make_schedule(graph, multiplier=SCALAR_MULTIPLIER)
+            partition = _blocked_partition(graph, PARALLEL_BLOBS)
+            if kind == "thread":
+                executor = ParallelBlobExecutor(
+                    graph, partition, schedule=schedule,
+                    threads=PARALLEL_THREADS)
+            else:
+                executor = ProcessBlobExecutor(
+                    graph, partition, schedule=schedule,
+                    processes=PARALLEL_THREADS)
+            executors.append(executor)
+            return executor
+        return make
+
+    try:
+        thread_per, thread_iters, _ = _measure_steady(
+            build("thread"), _parallel_input)
+        process_per, process_iters, _ = _measure_steady(
+            build("process"), _parallel_input)
+    finally:
+        for executor in executors:
+            close = getattr(executor, "close", None)
+            if close is not None:
+                close()
+
+    cpu_count = os.cpu_count() or 1
+    return {
+        "blobs": PARALLEL_BLOBS,
+        "workers": PARALLEL_THREADS,
+        "pipeline_workers": SCALAR_WORKERS,
+        "multiplier": SCALAR_MULTIPLIER,
+        "gil_rounds": GIL_ROUNDS,
+        "cpu_count": cpu_count,
+        "gated": cpu_count >= PARALLEL_THREADS,
+        "iterations_per_rep": {"thread": thread_iters,
+                               "process": process_iters},
+        "thread_iteration_ms": thread_per * 1e3,
+        "process_iteration_ms": process_per * 1e3,
+        "process_over_thread": thread_per / process_per,
+    }
+
+
+def _bench_cython():
+    """The Cython/C emission tier vs the generated-Python backend.
+
+    Byte-identity first: with ``REPRO_CODEGEN_BACKEND=cython`` the
+    interpreter's codegen path must emit exactly the python backend's
+    output whether the toolchain is present (compiled module) or not
+    (silent fallback).  The timing row records requested vs actual
+    backend; it is never gated — on runners without a C toolchain the
+    actual backend is "python" and the speedup is 1x by construction.
+    """
+    spec = app_registry()["Synthetic"]
+    blueprint = spec.blueprint(scale=SCALE)
+    input_fn = spec.input_fn
+    available = cython_available()
+
+    def build(backend):
+        def make():
+            previous = os.environ.get("REPRO_CODEGEN_BACKEND")
+            os.environ["REPRO_CODEGEN_BACKEND"] = backend
+            try:
+                graph = blueprint()
+                schedule = make_schedule(graph,
+                                         multiplier=CODEGEN_MULTIPLIER)
+                return GraphInterpreter(graph, schedule=schedule,
+                                        check_rates=False, vectorize=True,
+                                        codegen=True)
+            finally:
+                if previous is None:
+                    os.environ.pop("REPRO_CODEGEN_BACKEND", None)
+                else:
+                    os.environ["REPRO_CODEGEN_BACKEND"] = previous
+        return make
+
+    def run_once(backend):
+        interp = build(backend)()
+        _provision(interp, input_fn, 1 + IDENTITY_ITERATIONS)
+        interp.run_init()
+        interp.run_steady(1 + IDENTITY_ITERATIONS)
+        return interp.take_output()
+
+    assert run_once("cython") == run_once("python"), \
+        "cython backend output diverged from the python backend"
+
+    python_per, python_iters, _ = _measure_steady(
+        build("python"), input_fn, expect_mode="codegen")
+    cython_per, cython_iters, interp = _measure_steady(
+        build("cython"), input_fn, expect_mode="codegen")
+    actual = interp._fused._codegen.backend
+
+    return {
+        "available": available,
+        "requested": "cython",
+        "actual": actual,
+        "multiplier": CODEGEN_MULTIPLIER,
+        "iterations_per_rep": {"python": python_iters,
+                               "cython": cython_iters},
+        "python_iteration_ms": python_per * 1e3,
+        "cython_iteration_ms": cython_per * 1e3,
+        "speedup": python_per / cython_per,
+    }
+
+
 def _bench_compile(spec, n_blobs=4):
     """Median cold vs best warm plan_configuration wall time (ms).
 
@@ -440,6 +700,30 @@ def run():
              parallel["self_speedup"],
              "" if parallel["gated"] else "  (not gated: too few cores)"))
 
+    process = None
+    scalar = None
+    if process_executor_available():
+        print("benchmarking process self-speedup ...")
+        process = _bench_process()
+        print("  %d blobs, %d processes on %d core(s): %.2fx%s"
+              % (process["blobs"], process["processes"],
+                 process["cpu_count"], process["self_speedup"],
+                 "" if process["gated"]
+                 else "  (not gated: too few cores)"))
+        print("benchmarking thread vs process on GIL-bound kernels ...")
+        scalar = _bench_scalar_parallel()
+        print("  process over thread: %.2fx%s"
+              % (scalar["process_over_thread"],
+                 "" if scalar["gated"]
+                 else "  (not gated: too few cores)"))
+    else:
+        print("process executor unavailable (no fork): tier skipped")
+
+    print("benchmarking cython emission tier ...")
+    cython = _bench_cython()
+    print("  requested=%s actual=%s: %.2fx over the python backend"
+          % (cython["requested"], cython["actual"], cython["speedup"]))
+
     names = sorted(apps)
     summary = {
         "synthetic_rate_only_speedup": apps["Synthetic"]["rate_only"]["speedup"],
@@ -461,12 +745,23 @@ def run():
         "parallel_self_speedup": parallel["self_speedup"],
         "parallel_gated": parallel["gated"],
         "cpu_count": parallel["cpu_count"],
+        "process_available": process is not None,
+        "process_self_speedup": (process["self_speedup"]
+                                 if process else None),
+        "process_gated": process["gated"] if process else False,
+        "process_over_thread": (scalar["process_over_thread"]
+                                if scalar else None),
+        "process_over_thread_gated": scalar["gated"] if scalar else False,
+        "cython_available": cython["available"],
+        "cython_backend": cython["actual"],
+        "cython_speedup": cython["speedup"],
         "warm_cold_ratio_mean": (
             sum(apps[n]["compile"]["warm_cold_ratio"] for n in names)
             / len(names)),
     }
     return {"scale": SCALE, "apps": apps, "parallel": parallel,
-            "summary": summary}
+            "process": process, "scalar_parallel": scalar,
+            "cython": cython, "summary": summary}
 
 
 def gate(result):
@@ -500,6 +795,27 @@ def gate(result):
               % ("parallel self-speedup (4 blobs, 4 threads)",
                  summary["parallel_self_speedup"],
                  summary["cpu_count"], PARALLEL_THREADS))
+    if summary["process_gated"]:
+        checks.append(("process self-speedup (4 blobs, 4 processes)",
+                       summary["process_self_speedup"], ">=",
+                       GATE_PROCESS_SELF_SPEEDUP))
+    elif summary["process_available"]:
+        print("gate %-38s measured=%.3f SKIPPED (%d core(s) < %d processes)"
+              % ("process self-speedup (4 blobs, 4 processes)",
+                 summary["process_self_speedup"],
+                 summary["cpu_count"], PARALLEL_THREADS))
+    else:
+        print("gate %-38s SKIPPED (fork unavailable)"
+              % "process self-speedup (4 blobs, 4 processes)")
+    if summary["process_over_thread_gated"]:
+        checks.append(("process over thread (GIL-bound kernels)",
+                       summary["process_over_thread"], ">=",
+                       GATE_PROCESS_OVER_THREAD))
+    elif summary["process_available"]:
+        print("gate %-38s measured=%.3f SKIPPED (%d core(s) < %d workers)"
+              % ("process over thread (GIL-bound kernels)",
+                 summary["process_over_thread"],
+                 summary["cpu_count"], PARALLEL_THREADS))
     failures = []
     for label, got, op, limit in checks:
         ok = got >= limit if op == ">=" else got <= limit
@@ -524,11 +840,20 @@ def main(argv=None):
         handle.write("\n")
     print("wrote %s" % args.output)
 
-    from benchmarks.ci_summary import markdown_table, write_step_summary
+    from benchmarks.ci_summary import (markdown_table,
+                                       thread_vs_process_table,
+                                       write_step_summary)
     summary = result["summary"]
     parallel_row = "%.2fx" % summary["parallel_self_speedup"]
     if not summary["parallel_gated"]:
         parallel_row += " (not gated: %d core(s))" % summary["cpu_count"]
+    cython_row = "%.2fx (requested cython, ran %s)" % (
+        summary["cython_speedup"], summary["cython_backend"])
+    write_step_summary(
+        "### Thread vs process blob execution (cpu_count=%d)\n\n"
+        % summary["cpu_count"]
+        + thread_vs_process_table(result["parallel"], result["process"],
+                                  result["scalar_parallel"]))
     if write_step_summary(
             "### Hot-path speedups (fused over per-firing interpreter)\n\n"
             + markdown_table(
@@ -549,6 +874,7 @@ def main(argv=None):
                   "%.2fx" % summary["geomean_codegen_numeric_speedup"]),
                  ("parallel self-speedup (4 blobs / 4 threads)",
                   parallel_row),
+                 ("cython codegen over python codegen", cython_row),
                  ("mean warm/cold compile ratio",
                   "%.1f%%" % (100 * summary["warm_cold_ratio_mean"]))])):
         print("step summary updated")

@@ -12,7 +12,8 @@ from __future__ import annotations
 import os
 from typing import Iterable, Sequence
 
-__all__ = ["markdown_table", "write_step_summary"]
+__all__ = ["markdown_table", "thread_vs_process_table",
+           "write_step_summary"]
 
 
 def markdown_table(header: Sequence[str],
@@ -22,6 +23,49 @@ def markdown_table(header: Sequence[str],
     for row in rows:
         lines.append("| " + " | ".join(str(c) for c in row) + " |")
     return "\n".join(lines)
+
+
+def thread_vs_process_table(parallel: dict,
+                            process: dict = None,
+                            scalar: dict = None) -> str:
+    """The executor-backend comparison table for the step summary.
+
+    One row per whole-run tier of the hot-path benchmark: the thread
+    pool and the forked-process executor on the NumPy FIR pipeline,
+    plus the GIL-bound pipeline where only processes can scale.  Rows
+    whose tier did not run (no fork support) are omitted.
+    """
+    def fmt(gated, speedup, cpu_count):
+        text = "%.2fx" % speedup
+        if not gated:
+            text += " (not gated: %d core(s))" % cpu_count
+        return text
+
+    rows = [("threads (NumPy FIR pipeline)",
+             "%d blobs / %d threads" % (parallel["blobs"],
+                                        parallel["threads"]),
+             "%.2f ms" % parallel["parallel_iteration_ms"],
+             fmt(parallel["gated"], parallel["self_speedup"],
+                 parallel["cpu_count"]))]
+    if process is not None:
+        rows.append(("processes (NumPy FIR pipeline)",
+                     "%d blobs / %d processes" % (process["blobs"],
+                                                  process["processes"]),
+                     "%.2f ms" % process["process_iteration_ms"],
+                     fmt(process["gated"], process["self_speedup"],
+                         process["cpu_count"])))
+    if scalar is not None:
+        rows.append(("processes over threads (GIL-bound)",
+                     "%d blobs / %d workers" % (scalar["blobs"],
+                                                scalar["workers"]),
+                     "%.2f ms vs %.2f ms"
+                     % (scalar["process_iteration_ms"],
+                        scalar["thread_iteration_ms"]),
+                     fmt(scalar["gated"], scalar["process_over_thread"],
+                         scalar["cpu_count"])))
+    return markdown_table(
+        ("executor backend", "shape", "steady iteration", "speedup"),
+        rows)
 
 
 def write_step_summary(markdown: str) -> bool:

@@ -24,6 +24,11 @@ bodies once each with tracing enabled, then
    gates that every blob ran its generated kernel (no inactive blobs,
    no scalar fallbacks, zero fallback steps) with zero duplicates —
    the compiled-all-the-way-down path must be just as seamless.
+6. repeats it once more with ``REPRO_PARALLEL=process``, so every blob
+   executes in a forked worker over shared-memory rings, and gates
+   zero duplicates, at least one actually-forked blob, and zero leaked
+   ``/dev/shm`` segments after every instance is torn down.  Skipped
+   (all-zero metrics) on platforms without the ``fork`` start method.
 
 Usage::
 
@@ -102,6 +107,9 @@ def run_benchmarks(trace_dir):
     print("running codegen-backend functional reconfiguration ...")
     codegen = run_codegen_smoke()
     print("  %s" % {k: round(v, 3) for k, v in codegen.items()})
+    print("running process-backend functional reconfiguration ...")
+    process = run_process_smoke()
+    print("  %s" % {k: round(v, 3) for k, v in process.items()})
     return {
         "fig04_downtime_seconds": fig04["downtime"],
         "fig05_phase2_seconds": fig05["phase2"],
@@ -114,6 +122,8 @@ def run_benchmarks(trace_dir):
         "codegen_scalar_blobs": codegen["scalar_blobs"],
         "codegen_inactive_blobs": codegen["inactive_blobs"],
         "codegen_fallback_steps": codegen["fallback_steps"],
+        "process_duplicate_emitted": process["dup_emitted"],
+        "process_leaked_segments": process["leaked_segments"],
     }
 
 
@@ -240,6 +250,78 @@ def run_codegen_smoke():
                 os.environ[key] = value
 
 
+def run_process_smoke():
+    """Functional adaptive reconfiguration on the process backend.
+
+    The FMRadio cluster run once more, with ``REPRO_PARALLEL=process``
+    forking one worker per blob over shared-memory rings.  The run
+    must fork real children (at least one blob proxied), splice with
+    zero duplicated output, and leave ``/dev/shm`` empty once every
+    instance is torn down.  On platforms without ``fork`` the smoke
+    returns all-zero metrics, which the gates read as a clean skip.
+    """
+    from repro import Cluster, StreamApp, partition_even
+    from repro.apps import get_app
+    from repro.compiler.cost_model import CostModel
+    from repro.runtime import process_executor_available, shm_open_segments
+
+    if not process_executor_available():
+        print("  fork unavailable: process smoke skipped")
+        return {"dup_emitted": 0.0, "forked_blobs": 0.0,
+                "leaked_segments": 0.0}
+
+    saved = {key: os.environ.get(key)
+             for key in ("REPRO_VECTORIZE", "REPRO_PARALLEL")}
+    os.environ["REPRO_VECTORIZE"] = "1"
+    os.environ["REPRO_PARALLEL"] = "process"
+    try:
+        spec = get_app("FMRadio")
+        blueprint = spec.blueprint(scale=1)
+        cost_model = CostModel().scaled(node_speed=2_500.0,
+                                        interp_slowdown=8.0,
+                                        init_iterations=2.5)
+        cluster = Cluster(n_nodes=3, cores_per_node=4,
+                          cost_model=cost_model)
+        app = StreamApp(cluster, blueprint, input_fn=spec.input_fn,
+                        name="FMRadio", collect_output=True,
+                        check_rates=False)
+        app.launch(partition_even(blueprint(), [0, 1], multiplier=4,
+                                  name="A"))
+        cluster.run(until=40.0)
+        if app.current is None or app.current.status != "running":
+            raise SystemExit("FAIL: process smoke app never reached "
+                             "steady state")
+        forked = len(app.current._proc_proxies)
+        if forked == 0:
+            raise SystemExit("FAIL: process smoke forked no blob "
+                             "workers (backend fell back)")
+        done = app.reconfigure(
+            partition_even(blueprint(), [0, 1, 2], multiplier=4,
+                           name="B"),
+            strategy="adaptive")
+        cluster.run(until=110.0)
+        if not (done.triggered and done.ok):
+            raise SystemExit("FAIL: process smoke reconfiguration "
+                             "did not complete: %r" % (done.value,))
+        if not app.merger.items:
+            raise SystemExit("FAIL: process smoke produced no output")
+        dup = float(app.merger.duplicate_emitted)
+        for instance in app.instances:
+            if instance.alive:
+                instance.abandon()
+        return {
+            "dup_emitted": dup,
+            "forked_blobs": float(forked),
+            "leaked_segments": float(len(shm_open_segments())),
+        }
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
 def validate_traces(trace_dir):
     failures = []
     for name, required in sorted(REQUIRED_SPANS.items()):
@@ -277,6 +359,10 @@ ZERO_GATED = {
                                "blobs whose generated kernel never ran"),
     "codegen_fallback_steps": ("codegen_smoke",
                                "scalar fallback steps in generated kernels"),
+    "process_duplicate_emitted": ("process_smoke",
+                                  "process-backend duplicated output"),
+    "process_leaked_segments": ("process_smoke",
+                                "leaked /dev/shm segments after teardown"),
 }
 
 

@@ -32,6 +32,7 @@ from repro.analysis.registry import passes_for
 # Importing the pass modules registers their rules.
 from repro.analysis import graph_passes  # noqa: F401
 from repro.analysis import vector_passes  # noqa: F401
+from repro.analysis import shm_passes  # noqa: F401
 from repro.analysis import config_passes  # noqa: F401
 from repro.analysis import reconfig_passes  # noqa: F401
 from repro.analysis import determinism

@@ -1,0 +1,173 @@
+"""Shared-memory channel lifecycle: no leaked ``/dev/shm`` segments.
+
+The process executor backs every boundary edge (and the head's graph
+input) with a :class:`~repro.runtime.channels.ShmArrayChannel` — a
+named POSIX shared-memory segment.  Unlike ordinary memory, a segment
+outlives the process that forgot it: a ring that is closed but never
+unlinked stays in ``/dev/shm`` until reboot, and a long-lived serving
+process that reconfigures thousands of times would bleed the host dry
+one 4 KiB segment at a time.
+
+V003 probes the lifecycle dynamically, the way V001/V002 probe kernel
+contracts: it builds a :class:`~repro.runtime.procexec
+.ProcessBlobExecutor` over a deep copy of the graph, runs it, and shuts
+it down on both the orderly path (drain, then ``close``) and the abort
+path (``close`` mid-run, workers still live, nothing drained) — then
+flags any segment the executor created but left linked.  The probe
+cleans up leaked segments after flagging them, so a failing pass does
+not itself pollute the host.
+
+Like V001 yields nothing without NumPy (the vectorized backend cannot
+be selected then either), V003 yields nothing unless ``REPRO_PARALLEL``
+selects the process backend: forking four probe processes per graph
+check is only worth paying where the lifecycle under scrutiny can
+actually run.  The CI static-analysis job sets the variable so every
+shipped app is vetted there.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Iterable, List
+
+from repro.analysis.contexts import GraphContext
+from repro.analysis.findings import ERROR, Finding
+from repro.analysis.registry import rule
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain bakes numpy in
+    _np = None
+
+__all__ = ["SHM_RULES"]
+
+#: Steady iterations run before the orderly and abort teardowns.
+LIFECYCLE_PROBE_ITERATIONS = 2
+
+
+def _probe_values(count: int):
+    """Same benign deterministic lattice the V001/V002 probes feed."""
+    return [0.1 + 0.7 * ((i * 13) % 17) / 17.0 for i in range(count)]
+
+
+def _halves_partition(graph) -> List[List[int]]:
+    """Topo-order prefix/suffix split — convex by construction."""
+    topo = list(graph.topological_order())
+    mid = max(1, len(topo) // 2)
+    return [topo[:mid], topo[mid:]]
+
+
+def _close_executor(executor) -> None:
+    """Teardown hook probed by the pass (tests monkeypatch this to
+    simulate an executor that forgets its segments)."""
+    executor.close()
+
+
+def _leaked(before: set) -> List[str]:
+    from repro.runtime.channels import shm_open_segments
+    return [name for name in shm_open_segments() if name not in before]
+
+
+def _reclaim(names: Iterable[str]) -> None:
+    """Unlink segments a failing teardown left behind: the pass
+    reports the leak, it must not reproduce it."""
+    from multiprocessing import shared_memory
+    for name in names:
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+            segment.close()
+            segment.unlink()
+        except Exception:  # pragma: no cover - already gone
+            pass
+    from repro.runtime.channels import _shm_created
+    for name in names:
+        _shm_created.discard(name)
+
+
+@rule("V003", "graph", "Shared-memory channel lifecycle",
+      "Every ShmArrayChannel a process executor creates must be closed "
+      "and unlinked on shutdown and abort paths alike — a linked "
+      "segment outlives the process in /dev/shm.  The pass runs a "
+      "ProcessBlobExecutor over a deep copy of the graph and tears it "
+      "down both orderly (drain then close) and abruptly (close "
+      "mid-run with live workers), flagging any segment left linked. "
+      "Probes only when REPRO_PARALLEL selects the process backend.")
+def check_shm_channel_lifecycle(ctx: GraphContext) -> Iterable[Finding]:
+    if _np is None:
+        return
+    from repro.runtime.channels import shm_open_segments
+    from repro.runtime.fastpath import vector_capable
+    from repro.runtime.parallel import parallel_backend
+    from repro.runtime.procexec import (ProcessBlobExecutor,
+                                        process_executor_available)
+    from repro.sched.schedule import make_schedule
+
+    graph = ctx.graph
+    if parallel_backend() != "process":
+        return  # the lifecycle under scrutiny cannot be selected
+    if not process_executor_available():
+        return
+    if len(graph.workers) < 2 or not vector_capable(graph.workers):
+        return
+    try:
+        schedule = make_schedule(graph)
+    except Exception:
+        return  # broken rates are G001's finding, not ours
+    head = graph.head
+    head_extra = max(head.peek_rates[0] - head.pop_rates[0], 0)
+    feed_len = (schedule.init_in
+                + LIFECYCLE_PROBE_ITERATIONS * schedule.steady_in
+                + head_extra)
+
+    location = "graph %s" % (ctx.name or "<anon>")
+    for mode in ("orderly", "abort"):
+        try:
+            probe_graph = copy.deepcopy(graph)
+        except Exception:
+            return  # unprobeable state; nothing to conclude
+        before = set(shm_open_segments())
+        try:
+            executor = ProcessBlobExecutor(
+                probe_graph, _halves_partition(probe_graph), processes=2)
+        except (RuntimeError, ValueError):
+            return  # platform or graph not eligible: nothing to probe
+        try:
+            executor.push_input(_probe_values(feed_len))
+            if not executor.initialized:
+                executor.run_init()
+            executor.run_steady(LIFECYCLE_PROBE_ITERATIONS)
+            if mode == "orderly":
+                executor.drain()
+            # abort mode: workers may still be live, nothing drained —
+            # the close path must tear the segments down regardless.
+        except Exception as exc:
+            _close_executor(executor)
+            leaked = _leaked(before)
+            _reclaim(leaked)
+            yield Finding(
+                rule="V003", severity=ERROR,
+                message="process executor raised during the %s lifecycle "
+                        "probe (%s: %s)%s"
+                        % (mode, type(exc).__name__, exc,
+                           ", leaking %d shared-memory segment(s)"
+                           % len(leaked) if leaked else ""),
+                location=location,
+            )
+            return
+        _close_executor(executor)
+        leaked = _leaked(before)
+        if leaked:
+            _reclaim(leaked)
+            yield Finding(
+                rule="V003", severity=ERROR,
+                message="%s teardown left %d shared-memory segment(s) "
+                        "linked (%s): every ShmArrayChannel must be "
+                        "closed and unlinked on %s paths, or /dev/shm "
+                        "fills over the process lifetime"
+                        % (mode, len(leaked), ", ".join(sorted(leaked)),
+                           "shutdown" if mode == "orderly" else "abort"),
+                location=location,
+            )
+
+
+SHM_RULES: List[str] = ["V003"]

@@ -422,9 +422,15 @@ class GraphInstance:
         self.label = label or "cfg%d" % instance_id
 
         self.blob_procs: Dict[int, BlobProcess] = {}
-        #: Thread pool for real blob parallelism (REPRO_PARALLEL=1 and
+        #: Thread pool for real blob parallelism (REPRO_PARALLEL and
         #: a multi-blob program); ``None`` keeps the serial sim path.
         self.pool = None
+        #: Forked blob workers (REPRO_PARALLEL=process) and the
+        #: shared-memory rings backing their boundary channels.  Both
+        #: torn down — rings closed *and* unlinked — on every stop,
+        #: abandon and fail path (glosslint V003 probes this).
+        self._proc_proxies: List = []
+        self._shm_channels: List = []
         self.status = "created"
         self.draining = False
         self.paused = False
@@ -462,32 +468,45 @@ class GraphInstance:
         self._setup_parallel()
 
     def _setup_parallel(self) -> None:
-        """Create the blob thread pool when REPRO_PARALLEL=1.
+        """Create the real-parallelism backend REPRO_PARALLEL selects.
 
         Steady iterations of distinct blobs are pure Python over
-        disjoint channel sets, so they can run on real threads while
-        the simulation clock advances.  Channels written by one party
-        and read by another while an iteration is in flight (boundary
-        inputs filled by DataLink delivery, the head blob's GRAPH_INPUT
-        fed by the source process) are swapped to their lock-wrapped
-        shared variants first.
+        disjoint channel sets, so they can run concurrently while the
+        simulation clock advances.  Two backends:
+
+        * ``thread`` — a pool thread per blob iteration; channels
+          written by one party and read by another while an iteration
+          is in flight (boundary inputs filled by DataLink delivery,
+          the head blob's GRAPH_INPUT fed by the source process) are
+          swapped to their lock-wrapped shared variants.
+        * ``process`` — each blob forks a worker process holding its
+          runtime; boundary channels become shared-memory rings and
+          the pool threads merely block in the per-blob RPC (releasing
+          the GIL), so even scalar-heavy blobs genuinely overlap.
+          Falls back to threads when the program is not eligible
+          (non-numeric blobs, keyed migration state, no ``fork``).
         """
         from repro.runtime.channels import GRAPH_INPUT, as_shared
-        from repro.runtime.parallel import parallel_enabled, parallel_workers
+        from repro.runtime.parallel import parallel_backend, parallel_workers
 
-        if not parallel_enabled() or len(self.blob_procs) < 2:
+        backend = parallel_backend()
+        if backend == "off" or len(self.blob_procs) < 2:
             return
         cores = min(process.node.cores for process in self.blob_procs.values())
         workers = parallel_workers(len(self.blob_procs), cores)
         if workers < 2:
             return
-        for process in self.blob_procs.values():
-            runtime = process.runtime
-            shared_keys = {edge.index for edge in runtime.boundary_in}
-            shared_keys.add(GRAPH_INPUT)
-            for key in list(runtime.channels):
-                if key in shared_keys:
-                    runtime.replace_channel(key, as_shared(runtime.channels[key]))
+        if backend == "process" and not self._setup_process_backend():
+            backend = "thread"
+        if backend == "thread":
+            for process in self.blob_procs.values():
+                runtime = process.runtime
+                shared_keys = {edge.index for edge in runtime.boundary_in}
+                shared_keys.add(GRAPH_INPUT)
+                for key in list(runtime.channels):
+                    if key in shared_keys:
+                        runtime.replace_channel(
+                            key, as_shared(runtime.channels[key]))
         from concurrent.futures import ThreadPoolExecutor
 
         self.pool = ThreadPoolExecutor(
@@ -496,7 +515,70 @@ class GraphInstance:
         self.env.tracer.instant(
             "parallel", "parallel.pool",
             track="instance%d" % self.instance_id,
-            workers=workers, blobs=len(self.blob_procs), cores=cores)
+            workers=workers, blobs=len(self.blob_procs), cores=cores,
+            backend=backend)
+
+    def _setup_process_backend(self) -> bool:
+        """Fork one worker process per blob; ``False`` falls back.
+
+        Eligibility: the platform must support ``fork``, every blob
+        must be vector-capable (boundary rings carry float64), and no
+        worker may be keyed — fluid keyed migration reads shards
+        directly off the worker object, which would live in the child.
+        Boundary-in channels and the head's graph input are swapped to
+        shared-memory rings *before* forking, so parent and children
+        observe the same occupancy and lifetime counters.
+        """
+        from repro.graph.keyed import KeyedStateWorker
+        from repro.runtime.channels import GRAPH_INPUT, ShmArrayChannel
+        from repro.runtime.procexec import (fork_blob_worker,
+                                            process_executor_available,
+                                            ring_capacity_for)
+
+        if not process_executor_available():
+            return False
+        processes = list(self.blob_procs.values())
+        for process in processes:
+            if not process.runtime.vector_capable:
+                return False
+            for worker_id in process.runtime.worker_ids:
+                if isinstance(process.runtime.graph.worker(worker_id),
+                              KeyedStateWorker):
+                    return False
+        rings = []
+        try:
+            for process in processes:
+                runtime = process.runtime
+                for edge in runtime.boundary_in:
+                    capacity = ring_capacity_for(
+                        runtime, edge.index, 4,
+                        extra=self._link_capacity(process, edge.index))
+                    ring = ShmArrayChannel.from_channel(
+                        runtime.channels[edge.index], capacity=capacity)
+                    runtime.replace_channel(edge.index, ring)
+                    rings.append(ring)
+                if runtime.has_head:
+                    capacity = ring_capacity_for(runtime, GRAPH_INPUT, 4)
+                    ring = ShmArrayChannel.from_channel(
+                        runtime.channels[GRAPH_INPUT], capacity=capacity)
+                    runtime.replace_channel(GRAPH_INPUT, ring)
+                    rings.append(ring)
+        except Exception:
+            for ring in rings:
+                ring.unlink()
+            return False
+        self._shm_channels = rings
+        env = self.env
+        for process in processes:
+            proxy = fork_blob_worker(
+                process.runtime, process.blob.spec.blob_id, env.tracer,
+                lambda: env.now,
+                "proc-i%d-b%d" % (self.instance_id,
+                                  process.blob.spec.blob_id))
+            process.runtime = proxy
+            process.blob.runtime = proxy
+            self._proc_proxies.append(proxy)
+        return True
 
     def _link_capacity(self, consumer: BlobProcess, key: int) -> int:
         steady = consumer.runtime.steady_input_need(key)
@@ -534,9 +616,24 @@ class GraphInstance:
             self._teardown("stopped")
 
     def _teardown(self, status: str) -> None:
+        abort = status in ("abandoned", "failed")
+        if abort:
+            # A pool thread may be blocked mid-RPC in Connection.recv;
+            # terminating the child first turns that into an EOF, so the
+            # pool drains promptly instead of waiting out the iteration.
+            for proxy in self._proc_proxies:
+                if (proxy.live and proxy._process is not None
+                        and proxy._process.is_alive()):
+                    proxy._process.terminate()
         if self.pool is not None:
             self.pool.shutdown(wait=True)
             self.pool = None
+        for proxy in self._proc_proxies:
+            proxy.shutdown(abort=abort)
+        self._proc_proxies = []
+        for ring in self._shm_channels:
+            ring.unlink()
+        self._shm_channels = []
         for process in self.blob_procs.values():
             process.node.deregister_instance(self.instance_id)
         self.status = status

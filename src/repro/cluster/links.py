@@ -119,6 +119,12 @@ class DataLink:
         self.in_flight -= len(items)
         if span is not None:
             span.finish()
+        if not self.consumer.instance.alive:
+            # A batch can be in flight when the instance is abandoned
+            # (adaptive switchover, rollback). The data is dead either
+            # way; under the process backend the target ring is already
+            # unlinked, so the push must not be attempted at all.
+            return
         self.consumer.runtime.deliver(self.key, items)
         self.consumer.notify()
 

@@ -314,6 +314,7 @@ class CompilationCache:
         self._schedules: "OrderedDict[tuple, tuple]" = OrderedDict()
         self._plans: "OrderedDict[tuple, PlanEntry]" = OrderedDict()
         self._kernels: "OrderedDict[str, object]" = OrderedDict()
+        self._modules: "OrderedDict[str, object]" = OrderedDict()
         # Kernel compiles may come from parallel blob threads; the
         # schedule/plan tables stay single-threaded (sim thread only).
         self._kernel_lock = threading.Lock()
@@ -323,6 +324,8 @@ class CompilationCache:
         self.plan_misses = 0
         self.kernel_hits = 0
         self.kernel_misses = 0
+        self.module_hits = 0
+        self.module_misses = 0
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -330,12 +333,15 @@ class CompilationCache:
         self._schedules.clear()
         self._plans.clear()
         self._kernels.clear()
+        self._modules.clear()
         self.schedule_hits = 0
         self.schedule_misses = 0
         self.plan_hits = 0
         self.plan_misses = 0
         self.kernel_hits = 0
         self.kernel_misses = 0
+        self.module_hits = 0
+        self.module_misses = 0
 
     def counters(self) -> Dict[str, int]:
         return {
@@ -345,6 +351,8 @@ class CompilationCache:
             "plan_misses": self.plan_misses,
             "kernel_hits": self.kernel_hits,
             "kernel_misses": self.kernel_misses,
+            "module_hits": self.module_hits,
+            "module_misses": self.module_misses,
         }
 
     def hit_rate(self) -> float:
@@ -382,6 +390,29 @@ class CompilationCache:
             code = compile(source, "<codegen:%s>" % fingerprint[:12], "exec")
             self._store(self._kernels, fingerprint, code)
             return fingerprint, code
+
+    def kernel_module_for(self, source: str, build) -> object:
+        """Memoized extension-module build of generated-kernel source.
+
+        The cython emission tier compiles kernel source to a C
+        extension; builds cost hundreds of milliseconds, so the loaded
+        module is cached by the same content fingerprint as the code
+        object (``build(fingerprint, source)`` is only invoked on a
+        miss, under the kernel lock).  Build artifacts additionally
+        persist on disk keyed by fingerprint (see
+        :func:`repro.runtime.codegen.cython_available`), making warm
+        builds across processes an import, not a compile.
+        """
+        fingerprint = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        with self._kernel_lock:
+            module = self._modules.get(fingerprint)
+            if module is not None:
+                self.module_hits += 1
+                return module
+            self.module_misses += 1
+            module = build(fingerprint, source)
+            self._store(self._modules, fingerprint, module)
+            return module
 
     # -- schedules -----------------------------------------------------------
 

@@ -193,6 +193,51 @@ class Tracer:
             closed += 1
         return closed
 
+    # -- cross-process merge --------------------------------------------------
+
+    def export_records(self) -> Dict[str, List[Tuple]]:
+        """Plain-tuple form of every record, for shipping over a pipe.
+
+        Span objects hold a tracer backref and are not picklable across
+        process boundaries; worker processes export this form and the
+        parent re-materializes it via :meth:`absorb`.
+        """
+        with self._lock:
+            return {
+                "spans": [(s.span_id, s.parent_id, s.category, s.name,
+                           s.track, s.start, s.end, dict(s.args))
+                          for s in self.spans],
+                "instants": list(self.instants),
+                "counters": list(self.counters),
+            }
+
+    def absorb(self, records: Dict[str, List[Tuple]]) -> int:
+        """Merge records exported by another tracer into this one.
+
+        Spans get fresh ids from this tracer's sequence; parent links
+        are remapped through the same translation so per-track nesting
+        survives the merge.  Absorbed spans never join the open-span
+        stacks — they are history, not activities this process can
+        still close.  Returns the number of records merged.
+        """
+        with self._lock:
+            id_map: Dict[int, Span] = {}
+            for (span_id, _parent, category, name, track,
+                 start, end, args) in records.get("spans", ()):
+                span = Span(self, next(self._ids), None, category, name,
+                            track, start, dict(args))
+                span.end = end
+                self.spans.append(span)
+                id_map[span_id] = span
+            for (span_id, parent_id, *_rest) in records.get("spans", ()):
+                if parent_id is not None and parent_id in id_map:
+                    id_map[span_id].parent_id = id_map[parent_id].span_id
+            instants = [tuple(r) for r in records.get("instants", ())]
+            counters = [tuple(r) for r in records.get("counters", ())]
+            self.instants.extend(instants)
+            self.counters.extend(counters)
+            return len(id_map) + len(instants) + len(counters)
+
 
 class _NullSpan:
     """The shared no-op span handed out by the disabled tracer."""
@@ -268,6 +313,12 @@ class NullTracer:
         return []
 
     def finish_open(self, **args: Any) -> int:
+        return 0
+
+    def export_records(self) -> Dict[str, List[Tuple]]:
+        return {"spans": [], "instants": [], "counters": []}
+
+    def absorb(self, records: Dict[str, List[Tuple]]) -> int:
         return 0
 
 

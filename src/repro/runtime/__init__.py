@@ -19,13 +19,16 @@ and that two-phase compilation absorbs into new blobs.
 from repro.runtime.channels import (
     ArrayChannel,
     Channel,
+    ChannelFullError,
     GRAPH_INPUT,
     GRAPH_OUTPUT,
     HAVE_NUMPY,
     RateViolationError,
     SharedArrayChannel,
     SharedChannel,
+    ShmArrayChannel,
     as_shared,
+    shm_open_segments,
 )
 from repro.runtime.state import ProgramState, estimate_bytes
 from repro.runtime.fastpath import (
@@ -34,19 +37,29 @@ from repro.runtime.fastpath import (
     select_vectorized,
     vector_capable,
 )
-from repro.runtime.codegen import CodegenKernel, CodegenUnsupported
+from repro.runtime.codegen import (
+    CodegenKernel,
+    CodegenUnsupported,
+    cython_available,
+)
 from repro.runtime.interpreter import GraphInterpreter
 from repro.runtime.executor import BlobRuntime
 from repro.runtime.parallel import (
     ParallelBlobExecutor,
+    parallel_backend,
     parallel_enabled,
     parallel_workers,
+)
+from repro.runtime.procexec import (
+    ProcessBlobExecutor,
+    process_executor_available,
 )
 
 __all__ = [
     "ArrayChannel",
     "BlobRuntime",
     "Channel",
+    "ChannelFullError",
     "CodegenKernel",
     "CodegenUnsupported",
     "FusedPlan",
@@ -55,15 +68,21 @@ __all__ = [
     "GraphInterpreter",
     "HAVE_NUMPY",
     "ParallelBlobExecutor",
+    "ProcessBlobExecutor",
     "ProgramState",
     "RateViolationError",
     "SharedArrayChannel",
     "SharedChannel",
+    "ShmArrayChannel",
     "as_shared",
+    "cython_available",
     "estimate_bytes",
+    "parallel_backend",
     "parallel_enabled",
     "parallel_workers",
+    "process_executor_available",
     "select_codegen",
     "select_vectorized",
+    "shm_open_segments",
     "vector_capable",
 ]

@@ -20,19 +20,27 @@ are unchanged), plus zero-copy block access for batch kernels.
 
 from __future__ import annotations
 
+import itertools
+import os
 import threading
 from collections import deque
 from itertools import islice
-from typing import Any, Iterable, List
+from typing import Any, Dict, Iterable, List
 
 try:
     import numpy as _np
 except ImportError:  # pragma: no cover - the toolchain bakes numpy in
     _np = None
 
+try:
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - stdlib on every target platform
+    _shared_memory = None
+
 __all__ = [
     "ArrayChannel",
     "Channel",
+    "ChannelFullError",
     "GRAPH_INPUT",
     "GRAPH_OUTPUT",
     "HAVE_NUMPY",
@@ -41,7 +49,10 @@ __all__ = [
     "RateViolationError",
     "SharedArrayChannel",
     "SharedChannel",
+    "ShmArrayChannel",
     "as_shared",
+    "load_state",
+    "shm_open_segments",
 ]
 
 HAVE_NUMPY = _np is not None
@@ -53,6 +64,10 @@ GRAPH_OUTPUT = -2
 
 class RateViolationError(Exception):
     """A worker firing violated its declared peek/pop/push rates."""
+
+
+class ChannelFullError(Exception):
+    """A push would exceed a fixed-capacity channel's free space."""
 
 
 class Channel:
@@ -416,7 +431,8 @@ def as_shared(channel):
     buffered items in order plus both lifetime counters, so cut
     arithmetic is unaffected by the swap.
     """
-    if isinstance(channel, (SharedChannel, SharedArrayChannel)):
+    if isinstance(channel, (SharedChannel, SharedArrayChannel,
+                            ShmArrayChannel)):
         return channel
     if isinstance(channel, ArrayChannel):
         shared = SharedArrayChannel(channel.snapshot())
@@ -425,6 +441,343 @@ def as_shared(channel):
     shared.total_pushed = channel.total_pushed
     shared.total_popped = channel.total_popped
     return shared
+
+
+#: Name prefix of every shared-memory segment this module creates.
+SHM_PREFIX = "reproch"
+
+#: Names of shared-memory segments created (and not yet unlinked) by
+#: this process.  The glosslint V003 lifecycle pass asserts executors
+#: leave this empty on every shutdown and abort path.
+_shm_created: set = set()
+
+_shm_seq = itertools.count(1)
+
+
+def shm_open_segments() -> List[str]:
+    """Shared-memory segments created by this process and still linked."""
+    return sorted(_shm_created)
+
+
+class ShmArrayChannel:
+    """Fixed-capacity SPSC float64 ring in POSIX shared memory.
+
+    The cross-process twin of :class:`SharedArrayChannel`: one producer
+    process pushes, one consumer process pops, and both observe the
+    same ``total_pushed``/``total_popped`` lifetime counters — so AST
+    cut arithmetic, snapshots and readiness checks are backend
+    invariant.  The segment layout is a 64-byte header of three
+    ``int64`` words (absolute pop counter, absolute push counter,
+    capacity) followed by a ``float64`` data ring; slot ``i`` of the
+    logical stream lives at ``i % capacity``, so the counters *are* the
+    ring cursors and advancing one is a single aligned store.
+
+    Single-producer/single-consumer correctness needs no lock: the
+    producer writes data before advancing the push counter, the
+    consumer reads data before advancing the pop counter, and each
+    side's occupancy/space estimate can only *under*-report (it reads
+    its own counter exactly and the other side's monotonically), so
+    neither can overwrite unread slots nor read unwritten ones.
+
+    Unlike :class:`ArrayChannel` there is no compaction and no growth:
+    the buffer never moves, so zero-copy block views stay valid for the
+    segment's lifetime, and a push beyond ``capacity`` raises
+    :class:`ChannelFullError` — executors size rings from the schedule
+    rates and their ``max_lead`` pacing bound, which caps occupancy.
+
+    Lifecycle: the creating process owns the segment and must call
+    :meth:`close` **and** :meth:`unlink`; forked children inherit the
+    mapping and need no cleanup of their own.  Created-but-unlinked
+    segments are tracked in :func:`shm_open_segments` so the V003 lint
+    pass can prove nothing leaks into ``/dev/shm``.
+    """
+
+    __slots__ = ("_shm", "_hdr", "_data", "_capacity", "_owner",
+                 "_closed", "_cached_head", "_cached_tail")
+
+    HEADER_BYTES = 64
+    MIN_CAPACITY = 8
+
+    def __init__(self, initial: Iterable[Any] = (), capacity: int = 4096,
+                 name: str = None):
+        if _np is None:  # pragma: no cover - numpy is a baked-in dep
+            raise RuntimeError("ShmArrayChannel requires numpy")
+        if _shared_memory is None:  # pragma: no cover - stdlib module
+            raise RuntimeError(
+                "ShmArrayChannel requires multiprocessing.shared_memory")
+        items = list(initial)
+        capacity = max(int(capacity), self.MIN_CAPACITY, len(items))
+        if name is None:
+            name = "%s_%d_%d" % (SHM_PREFIX, os.getpid(), next(_shm_seq))
+        size = self.HEADER_BYTES + 8 * capacity
+        self._shm = _shared_memory.SharedMemory(name=name, create=True,
+                                                size=size)
+        self._hdr = _np.ndarray((3,), dtype=_np.int64, buffer=self._shm.buf)
+        self._hdr[:] = 0
+        self._hdr[2] = capacity
+        self._data = _np.ndarray((capacity,), dtype=_np.float64,
+                                 buffer=self._shm.buf,
+                                 offset=self.HEADER_BYTES)
+        self._capacity = capacity
+        self._owner = True
+        self._closed = False
+        self._cached_head = 0
+        self._cached_tail = 0
+        _shm_created.add(self._shm.name)
+        if items:
+            self.push_many(items)
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmArrayChannel":
+        """Map an existing segment (non-owning: no unlink duty)."""
+        self = object.__new__(cls)
+        self._shm = _shared_memory.SharedMemory(name=name)
+        self._hdr = _np.ndarray((3,), dtype=_np.int64, buffer=self._shm.buf)
+        self._capacity = int(self._hdr[2])
+        self._data = _np.ndarray((self._capacity,), dtype=_np.float64,
+                                 buffer=self._shm.buf,
+                                 offset=self.HEADER_BYTES)
+        self._owner = False
+        self._closed = False
+        self._cached_head = 0
+        self._cached_tail = 0
+        return self
+
+    @classmethod
+    def from_channel(cls, channel, capacity: int = 4096) -> "ShmArrayChannel":
+        """Ring carrying ``channel``'s contents and lifetime counters.
+
+        The cross-process analogue of :func:`as_shared`: the swap is
+        invisible to cut arithmetic because both counters (not just
+        the occupancy) are reproduced.
+        """
+        ring = cls(capacity=capacity)
+        ring._load(channel.snapshot(), channel.total_pushed,
+                   channel.total_popped)
+        return ring
+
+    def _load(self, items: List[float], pushed: int, popped: int) -> None:
+        if pushed - popped != len(items):
+            raise ValueError(
+                "counters (%d pushed, %d popped) do not match %d items"
+                % (pushed, popped, len(items)))
+        count = len(items)
+        if count > self._capacity:
+            raise ChannelFullError(
+                "%d items exceed ring capacity %d" % (count, self._capacity))
+        if count:
+            index = (popped + _np.arange(count)) % self._capacity
+            self._data[index] = items
+        self._hdr[0] = popped
+        self._hdr[1] = pushed
+
+    # -- identity / occupancy ------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def total_pushed(self) -> int:
+        if self._closed:
+            return self._cached_tail
+        return int(self._hdr[1])
+
+    @property
+    def total_popped(self) -> int:
+        if self._closed:
+            return self._cached_head
+        return int(self._hdr[0])
+
+    def __len__(self) -> int:
+        if self._closed:
+            return self._cached_tail - self._cached_head
+        return int(self._hdr[1]) - int(self._hdr[0])
+
+    def space(self) -> int:
+        """Free slots (an under-estimate is fine on the producer side)."""
+        return self._capacity - len(self)
+
+    # -- scalar interface (Channel-compatible) ------------------------------
+
+    def push(self, item: Any) -> None:
+        head = int(self._hdr[0])
+        tail = int(self._hdr[1])
+        if tail - head >= self._capacity:
+            raise ChannelFullError(
+                "push on a full ring (capacity %d)" % self._capacity)
+        self._data[tail % self._capacity] = item
+        self._hdr[1] = tail + 1
+
+    def push_many(self, items: Iterable[Any]) -> None:
+        values = _np.asarray(list(items), dtype=_np.float64)
+        count = values.shape[0]
+        if count == 0:
+            return
+        head = int(self._hdr[0])
+        tail = int(self._hdr[1])
+        if tail - head + count > self._capacity:
+            raise ChannelFullError(
+                "push_many(%d) on a ring with %d free slot(s)"
+                % (count, self._capacity - (tail - head)))
+        start = tail % self._capacity
+        end = start + count
+        if end <= self._capacity:
+            self._data[start:end] = values
+        else:
+            first = self._capacity - start
+            self._data[start:] = values[:first]
+            self._data[:count - first] = values[first:]
+        self._hdr[1] = tail + count
+
+    def pop(self) -> float:
+        head = int(self._hdr[0])
+        if int(self._hdr[1]) - head <= 0:
+            raise IndexError("pop from an empty channel")
+        value = float(self._data[head % self._capacity])
+        self._hdr[0] = head + 1
+        return value
+
+    def pop_many(self, count: int) -> List[float]:
+        head = int(self._hdr[0])
+        if count > int(self._hdr[1]) - head:
+            raise RateViolationError(
+                "pop_many(%d) on channel of length %d"
+                % (count, int(self._hdr[1]) - head))
+        values = self._read(head, count).tolist()
+        self._hdr[0] = head + count
+        return values
+
+    def peek(self, index: int) -> float:
+        head = int(self._hdr[0])
+        if index < 0 or head + index >= int(self._hdr[1]):
+            raise IndexError("channel index out of range")
+        return float(self._data[(head + index) % self._capacity])
+
+    def snapshot(self) -> List[float]:
+        head = int(self._hdr[0])
+        return self._read(head, int(self._hdr[1]) - head).tolist()
+
+    def snapshot_prefix(self, count: int) -> List[float]:
+        head = int(self._hdr[0])
+        if count > int(self._hdr[1]) - head:
+            raise RateViolationError(
+                "cut of %d items exceeds channel length %d"
+                % (count, int(self._hdr[1]) - head))
+        return self._read(head, count).tolist()
+
+    def _read(self, start_counter: int, count: int):
+        """Contiguous copy of ``count`` items starting at a counter."""
+        start = start_counter % self._capacity
+        end = start + count
+        if end <= self._capacity:
+            return self._data[start:end].copy()
+        out = _np.empty(count, dtype=_np.float64)
+        first = self._capacity - start
+        out[:first] = self._data[start:]
+        out[first:] = self._data[:count - first]
+        return out
+
+    # -- block interface ----------------------------------------------------
+
+    def peek_block(self, count: int):
+        """Read-only view of the first ``count`` items.
+
+        Zero-copy when the range does not wrap; a read-only copy when
+        it does.  Views stay valid for the segment's lifetime — the
+        ring never compacts or reallocates.
+        """
+        head = int(self._hdr[0])
+        if count > int(self._hdr[1]) - head:
+            raise RateViolationError(
+                "peek_block(%d) on channel of length %d"
+                % (count, int(self._hdr[1]) - head))
+        start = head % self._capacity
+        if start + count <= self._capacity:
+            view = self._data[start:start + count]
+        else:
+            view = self._read(head, count)
+        view.flags.writeable = False
+        return view
+
+    def pop_block(self, count: int):
+        """Consume ``count`` items, returning a read-only view of them."""
+        view = self.peek_block(count)
+        self._hdr[0] = int(self._hdr[0]) + count
+        return view
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release this process's mapping (counters stay readable)."""
+        if self._closed:
+            return
+        self._cached_head = int(self._hdr[0])
+        self._cached_tail = int(self._hdr[1])
+        self._hdr = None
+        self._data = None
+        self._closed = True
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - outstanding block view
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment from the system (owner only, idempotent)."""
+        if not self._owner:
+            return
+        self.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        _shm_created.discard(self._shm.name)
+        self._owner = False
+
+    def __del__(self):  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def load_state(channel, items: List[Any], pushed: int, popped: int) -> None:
+    """Overwrite ``channel``'s contents and lifetime counters in place.
+
+    The process executor's drain-and-rejoin path: a forked child ships
+    its internal channel state back to the parent, which installs it
+    into the *existing* channel objects (firing code holds direct
+    references, so the objects themselves must not be swapped).
+    Shared-memory rings never need this — both sides already observe
+    the same segment.
+    """
+    if pushed - popped != len(items):
+        raise ValueError(
+            "counters (%d pushed, %d popped) do not match %d items"
+            % (pushed, popped, len(items)))
+    if isinstance(channel, ShmArrayChannel):
+        raise TypeError("shared-memory rings are already synchronized")
+    if isinstance(channel, ArrayChannel):
+        items = list(items)
+        count = len(items)
+        capacity = ArrayChannel.MIN_CAPACITY
+        while capacity < count:
+            capacity *= 2
+        buffer = _np.empty(capacity, dtype=_np.float64)
+        if count:
+            buffer[:count] = items
+        channel._buffer = buffer
+        channel._head = 0
+        channel._tail = count
+    else:
+        channel.items.clear()
+        channel.items.extend(items)
+    channel.total_pushed = pushed
+    channel.total_popped = popped
 
 
 class InputPort:

@@ -63,7 +63,11 @@ Generated source is content-fingerprinted (SHA-256) into the
 whose plans emit identical source share one compiled code object.
 
 ``REPRO_CODEGEN_BACKEND=numba`` JITs the generated function in object
-mode when Numba is importable; anything unavailable falls back to the
+mode when Numba is importable; ``REPRO_CODEGEN_BACKEND=cython``
+compiles the same generated source shape to a C extension (Cython +
+setuptools + a C compiler required) so the straight-line kernel body
+runs without bytecode dispatch, with built artifacts cached on disk by
+content fingerprint.  Anything unavailable falls back to the
 generated-Python backend silently (``CodegenKernel.backend`` records
 what actually ran).
 """
@@ -84,6 +88,7 @@ __all__ = [
     "CodegenKernel",
     "CodegenUnsupported",
     "codegen_backend",
+    "cython_available",
     "numba_available",
 ]
 
@@ -101,13 +106,86 @@ def numba_available() -> bool:
     return importlib.util.find_spec("numba") is not None
 
 
+def cython_available() -> bool:
+    """Whether generated kernels can be compiled to C extensions.
+
+    Requires Cython, setuptools, and a C compiler on ``PATH``.  None of
+    them are baked into the toolchain, so this is genuinely optional:
+    absent any piece, the cython backend silently degrades to the
+    generated-Python path.
+    """
+    if importlib.util.find_spec("Cython") is None:
+        return False
+    if importlib.util.find_spec("setuptools") is None:
+        return False
+    import shutil
+    return any(shutil.which(cc) for cc in ("cc", "gcc", "clang"))
+
+
 def codegen_backend() -> str:
-    """Backend selection: ``python`` unless Numba is requested *and*
-    importable (``REPRO_CODEGEN_BACKEND=numba``)."""
-    if (os.environ.get("REPRO_CODEGEN_BACKEND", "python") == "numba"
-            and numba_available()):
+    """Backend selection via ``REPRO_CODEGEN_BACKEND``: ``numba`` or
+    ``cython`` when requested *and* the toolchain is present, otherwise
+    ``python``."""
+    requested = os.environ.get("REPRO_CODEGEN_BACKEND", "python")
+    if requested == "numba" and numba_available():
         return "numba"
+    if requested == "cython" and cython_available():
+        return "cython"
     return "python"
+
+
+def _build_cython_module(fingerprint: str, source: str):
+    """Compile generated-kernel source to a C extension and import it.
+
+    The module name embeds the content fingerprint, and built artifacts
+    live under ``$TMPDIR/repro_cython/<name>/`` — a rebuild of the same
+    source (even from another process) finds the existing shared object
+    and skips straight to the import.  The generated source is plain
+    Python, which is also valid Cython; compiling it removes the
+    bytecode-dispatch overhead of the straight-line kernel body (NumPy
+    kernel calls still release the GIL exactly as before).
+    """
+    import importlib.util as _ilu
+    import tempfile
+    from pathlib import Path
+
+    name = "_repro_kernel_%s" % fingerprint[:16]
+    workdir = Path(tempfile.gettempdir()) / "repro_cython" / name
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    def find_built():
+        return sorted(workdir.glob(name + ".*.so")) \
+            or sorted(workdir.glob(name + ".so")) \
+            or sorted(workdir.glob(name + ".*.pyd"))
+
+    built = find_built()
+    if not built:
+        from Cython.Build import cythonize
+        from setuptools import Extension
+        from setuptools.dist import Distribution
+
+        pyx = workdir / (name + ".pyx")
+        pyx.write_text(source)
+        extensions = cythonize(
+            [Extension(name, [str(pyx)])],
+            quiet=True,
+            language_level=3,
+            build_dir=str(workdir / "build"),
+        )
+        dist = Distribution({"name": name, "ext_modules": extensions})
+        command = dist.get_command_obj("build_ext")
+        command.build_lib = str(workdir)
+        command.build_temp = str(workdir / "tmp")
+        command.ensure_finalized()
+        command.run()
+        built = find_built()
+        if not built:
+            raise RuntimeError("cython build produced no extension for %s"
+                               % name)
+    spec = _ilu.spec_from_file_location(name, str(built[0]))
+    module = _ilu.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
 def _scalar_runner(fire: Callable, ins: List, outs: List,
@@ -223,8 +301,6 @@ class CodegenKernel:
             channel._head = 0
             channel._tail = occ
             guards.append((channel, fresh, occ))
-        namespace: Dict[str, Any] = {}
-        exec(code, namespace)
         channels = [info.channel for info in infos]
         batches = [step.batch for step in steps]
         scalars = [
@@ -233,8 +309,17 @@ class CodegenKernel:
                                  step.firings))
             for step in steps
         ]
-        kernel = namespace["_bind"](channels, batches, scalars, _np)
-        kernel = self._maybe_jit(kernel)
+        bind = None
+        if self.backend_requested == "cython":
+            bind = self._cython_bind(source)
+        if bind is not None:
+            kernel = bind(channels, batches, scalars, _np)
+            self.backend = "cython"
+        else:
+            namespace: Dict[str, Any] = {}
+            exec(code, namespace)
+            kernel = namespace["_bind"](channels, batches, scalars, _np)
+            kernel = self._maybe_jit(kernel)
         self._kernel = kernel
         self._guards = tuple(guards)
         self.pinned_channels = len(guards)
@@ -409,6 +494,29 @@ class CodegenKernel:
         self.source = source
         self.fingerprint = fingerprint
         return code
+
+    def _cython_bind(self, source: str) -> Optional[Callable]:
+        """The compiled extension's bind factory, or ``None``.
+
+        Every failure mode — toolchain absent, build error, import
+        error — degrades silently to the generated-Python path;
+        ``backend`` records what actually ran.
+        """
+        if not cython_available():
+            return None
+        cache = (self._cache if not self._use_default_cache else
+                 _default_cache())
+        try:
+            if cache is not None:
+                module = cache.kernel_module_for(source,
+                                                 _build_cython_module)
+            else:
+                fingerprint = hashlib.sha256(
+                    source.encode("utf-8")).hexdigest()
+                module = _build_cython_module(fingerprint, source)
+            return module._bind
+        except Exception:
+            return None
 
     def _maybe_jit(self, kernel: Callable[[], None]) -> Callable[[], None]:
         if self.backend_requested != "numba":

@@ -45,12 +45,29 @@ from repro.runtime.executor import BlobRuntime
 from repro.runtime.state import ProgramState
 from repro.sched.schedule import Schedule, make_schedule
 
-__all__ = ["ParallelBlobExecutor", "parallel_enabled", "parallel_workers"]
+__all__ = ["ParallelBlobExecutor", "parallel_backend", "parallel_enabled",
+           "parallel_workers"]
+
+
+def parallel_backend() -> str:
+    """Which real-parallelism backend ``REPRO_PARALLEL`` selects.
+
+    ``"thread"`` for ``1``/``thread``/``threads`` (the historical
+    opt-in), ``"process"`` for ``process``/``processes``/``proc``/``2``
+    (forked workers over shared-memory rings — see
+    :mod:`repro.runtime.procexec`), ``"off"`` otherwise.
+    """
+    value = os.environ.get("REPRO_PARALLEL", "0").strip().lower()
+    if value in ("1", "thread", "threads"):
+        return "thread"
+    if value in ("2", "proc", "process", "processes"):
+        return "process"
+    return "off"
 
 
 def parallel_enabled() -> bool:
-    """``REPRO_PARALLEL=1`` opts the cluster layer into real threads."""
-    return os.environ.get("REPRO_PARALLEL", "0") == "1"
+    """``REPRO_PARALLEL`` opts the cluster layer into real parallelism."""
+    return parallel_backend() != "off"
 
 
 def parallel_workers(n_blobs: int, cores: float) -> int:

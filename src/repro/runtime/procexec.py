@@ -1,0 +1,633 @@
+"""Process-level blob execution over shared-memory ring channels.
+
+The thread executor (:mod:`repro.runtime.parallel`) only scales when
+blobs spend their iterations inside GIL-releasing NumPy kernels —
+scalar-fallback blobs and the Python dispatch glue serialize on the
+GIL.  This module removes that ceiling: each blob of a partition runs
+in its own **forked worker process**, and boundary edges become
+:class:`~repro.runtime.channels.ShmArrayChannel` rings in POSIX shared
+memory, so producers hand float batches to consumers without copying
+through the parent and without ever contending on the GIL.
+
+Design:
+
+``fork`` inheritance, not pickling
+    Workers are created with the ``fork`` start method *after* the
+    parent has built (and possibly initialized) every
+    :class:`~repro.runtime.executor.BlobRuntime`.  The child inherits
+    the runtime — graph, schedule, compiled plans — by memory copy, and
+    inherits the shared-memory mappings of every ring, so no runtime
+    object ever crosses a pickle boundary.  Generated kernel source is
+    re-materialized child-side through the content-fingerprinted
+    :class:`~repro.compiler.cache.CompilationCache` the first time the
+    child's fused plan binds.
+
+One in-flight RPC per blob
+    The parent keeps one pipe per child and drives it with the *same*
+    scheduler as the thread executor: a parent-side thread per blob
+    blocks in ``Connection.recv`` (releasing the GIL) while the child
+    runs the iteration.  Readiness and ``max_lead`` pacing are
+    evaluated parent-side over the live ring counters — exact, because
+    readiness consults only boundary-input channels and SDF keeps
+    internal channel occupancy invariant at iteration boundaries.
+
+Drain-and-rejoin
+    Reconfiguration primitives (``capture_state``, ``drain_pass``)
+    work mid-run: captures are served by the child over the pipe;
+    draining first *rejoins* the child — it ships back stateful worker
+    state, internal channel contents and the lifetime counters, the
+    parent installs them into its retained local runtime
+    (:func:`~repro.runtime.channels.load_state` restores in place, so
+    the firing code's direct channel references stay valid), and
+    execution continues in the parent exactly where the child stopped.
+    The child's trace spans are absorbed into the parent tracer with
+    nesting preserved.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import traceback
+from collections import deque
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.graph.topology import StreamGraph
+from repro.obs.tracer import Tracer
+from repro.runtime.channels import (
+    GRAPH_INPUT,
+    GRAPH_OUTPUT,
+    ShmArrayChannel,
+    load_state,
+)
+from repro.runtime.executor import BlobRuntime
+from repro.runtime.parallel import ParallelBlobExecutor
+from repro.sched.schedule import Schedule
+
+__all__ = [
+    "ProcessBlobExecutor",
+    "RemoteBlobRuntime",
+    "fork_blob_worker",
+    "process_executor_available",
+    "ring_capacity_for",
+]
+
+
+def process_executor_available() -> bool:
+    """True when forked blob workers can run on this platform.
+
+    The executor requires the ``fork`` start method (runtimes and ring
+    mappings are inherited, never pickled), which POSIX platforms
+    provide and Windows does not.
+    """
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - defensive
+        return False
+
+
+def ring_capacity_for(runtime: BlobRuntime, key: int, max_lead: int,
+                      extra: int = 0) -> int:
+    """Ring slots needed so channel ``key`` can never overflow.
+
+    Occupancy is bounded by the scheduler: a producer may complete at
+    most ``max_lead`` iterations beyond its consumer, each adding one
+    steady quantum on top of the structural leftover (or the init
+    quantum, whichever is larger).  ``extra`` admits additional
+    headroom the caller knows about (the cluster layer passes its
+    simulated link capacity).  Rounded up to a power of two.
+    """
+    steady = runtime._steady_in_need.get(key, 0)
+    ready = runtime._steady_ready_len.get(key, 0)
+    init = runtime._init_ready_len.get(key, 0)
+    current = len(runtime.channels[key])
+    need = max(ready, init) + steady * (max_lead + 2) + current + extra
+    need = max(need, ShmArrayChannel.MIN_CAPACITY)
+    return 1 << (need - 1).bit_length()
+
+
+def _mirrors(runtime: BlobRuntime) -> tuple:
+    """Counters the parent mirrors onto its local runtime per RPC."""
+    return (runtime.iteration, runtime.consumed_input,
+            runtime.emitted_output, runtime.initialized,
+            runtime.codegen_active, runtime.codegen_fallback_steps)
+
+
+def _ship_staged(staged: Dict[int, List[Any]],
+                 ship_to: Optional[Dict[int, ShmArrayChannel]]) -> None:
+    """Push boundary items into consumer rings child-side.
+
+    Shipped keys are removed from ``staged`` so the parent never
+    delivers them a second time; graph output (and any key without a
+    ring) rides back over the pipe.
+    """
+    if not ship_to:
+        return
+    for key, ring in ship_to.items():
+        items = staged.pop(key, None)
+        if items:
+            ring.push_many(items)
+
+
+def _serve_blob(runtime: BlobRuntime, parent_conn, conn, blob_index: int,
+                track: str,
+                ship_to: Optional[Dict[int, ShmArrayChannel]]) -> None:
+    """Child-process command loop: serve one blob over a pipe.
+
+    Commands are ``(name, now, *rest)`` tuples; ``now`` is the parent
+    clock at send time and becomes the child tracer's clock, so child
+    spans land on the parent timeline when absorbed.  Errors are
+    reported, not fatal — the child keeps serving so the parent can
+    still rejoin or stop it.
+    """
+    if parent_conn is not None:
+        try:
+            parent_conn.close()
+        except Exception:  # pragma: no cover - defensive
+            pass
+    # The fork may have happened while another executor's pool thread
+    # held the compile cache's kernel lock; the child owns a fresh one.
+    from repro.compiler.cache import get_default_cache
+    get_default_cache()._kernel_lock = threading.Lock()
+
+    now = [0.0]
+    tracer = Tracer(clock=lambda: now[0])
+    root = tracer.begin("proc", "proc.serve", track=track,
+                        blob=blob_index, pid=os.getpid())
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        command = message[0]
+        now[0] = message[1]
+        try:
+            if command == "steady":
+                with tracer.span("proc", "proc.steady", track=track,
+                                 iteration=runtime.iteration):
+                    staged = runtime.run_steady()
+                _ship_staged(staged, ship_to)
+                conn.send(("ok", staged, _mirrors(runtime)))
+            elif command == "init":
+                with tracer.span("proc", "proc.init", track=track):
+                    staged = runtime.run_init()
+                _ship_staged(staged, ship_to)
+                conn.send(("ok", staged, _mirrors(runtime)))
+            elif command == "capture":
+                cut_lengths, residual = message[2], message[3]
+                with tracer.span("proc", "proc.capture", track=track):
+                    state = runtime.capture_state(cut_lengths=cut_lengths,
+                                                  residual=residual)
+                conn.send(("ok", state))
+            elif command == "rejoin":
+                payload = {
+                    "workers": {
+                        worker_id: runtime.graph.worker(worker_id).get_state()
+                        for worker_id in sorted(runtime.worker_ids)
+                        if runtime.graph.worker(worker_id).is_stateful
+                    },
+                    "channels": {
+                        edge.index: (
+                            runtime.channels[edge.index].snapshot(),
+                            runtime.channels[edge.index].total_pushed,
+                            runtime.channels[edge.index].total_popped,
+                        )
+                        for edge in runtime.internal_edges
+                    },
+                    "iteration": runtime.iteration,
+                    "consumed": runtime.consumed_input,
+                    "emitted": runtime.emitted_output,
+                    "initialized": runtime.initialized,
+                }
+                root.finish()
+                conn.send(("ok", payload, tracer.export_records()))
+                break
+            elif command == "stop":
+                root.finish()
+                conn.send(("ok", tracer.export_records()))
+                break
+            else:
+                conn.send(("error", "unknown command %r" % (command,)))
+        except BaseException:
+            conn.send(("error", traceback.format_exc()))
+    try:
+        conn.close()
+    except Exception:  # pragma: no cover - defensive
+        pass
+
+
+class RemoteBlobRuntime:
+    """Parent-side proxy for a blob running in a forked worker.
+
+    Quacks like the :class:`BlobRuntime` it wraps: execution and
+    capture RPC to the child while ``live``; everything else — channel
+    access, readiness, rates, metadata — delegates to the retained
+    local runtime, whose boundary channels are the same shared-memory
+    rings the child reads and writes, so parent-side readiness checks
+    observe live occupancy.  After :meth:`rejoin` the proxy degrades to
+    a transparent wrapper over the (now current) local runtime.
+    """
+
+    is_remote = True
+
+    def __init__(self, local: BlobRuntime, conn, process, tracer,
+                 clock: Callable[[], float], blob_index: int, track: str):
+        self._local = local
+        self._conn = conn
+        self._process = process
+        self._tracer = tracer
+        self._clock = clock
+        self.blob_index = blob_index
+        self.track = track
+        self.live = True
+        #: Optional zero-arg callable invoked before readiness checks
+        #: (the standalone executor refills the head's input ring).
+        self.input_pump: Optional[Callable[[], None]] = None
+        self._codegen_active = False
+        self._codegen_fallback = 0
+
+    def __getattr__(self, name: str):
+        return getattr(object.__getattribute__(self, "_local"), name)
+
+    # -- RPC plumbing --------------------------------------------------------
+
+    def _rpc(self, command: str, *rest: Any) -> tuple:
+        self._conn.send((command, self._clock()) + rest)
+        reply = self._conn.recv()
+        if reply[0] == "error":
+            raise RuntimeError(
+                "blob %d worker process failed:\n%s"
+                % (self.blob_index, reply[1]))
+        return reply
+
+    def _sync(self, mirrors: tuple) -> None:
+        local = self._local
+        (local.iteration, local.consumed_input, local.emitted_output,
+         local.initialized, self._codegen_active,
+         self._codegen_fallback) = mirrors
+
+    # -- execution (remote while live) ---------------------------------------
+
+    def run_steady(self) -> Dict[int, List[Any]]:
+        if not self.live:
+            return self._local.run_steady()
+        _ok, staged, mirrors = self._rpc("steady")
+        self._sync(mirrors)
+        return staged
+
+    def run_init(self) -> Dict[int, List[Any]]:
+        if not self.live:
+            return self._local.run_init()
+        _ok, staged, mirrors = self._rpc("init")
+        self._sync(mirrors)
+        return staged
+
+    def capture_state(self, cut_lengths: Optional[Dict[int, int]] = None,
+                      residual: bool = False):
+        if not self.live:
+            return self._local.capture_state(cut_lengths=cut_lengths,
+                                             residual=residual)
+        _ok, state = self._rpc("capture", cut_lengths, residual)
+        return state
+
+    def drain_pass(self):
+        """Draining leaves steady state: rejoin first, then drain locally."""
+        if self.live:
+            self.rejoin()
+        return self._local.drain_pass()
+
+    def ready_for_steady(self) -> bool:
+        if self.input_pump is not None:
+            self.input_pump()
+        return self._local.ready_for_steady()
+
+    @property
+    def consumed_input(self) -> int:
+        # The head's input ring counter is live shared memory — more
+        # current than the per-RPC mirror while an iteration runs.
+        local = self._local
+        if local.has_head:
+            return local.channels[GRAPH_INPUT].total_popped
+        return local.consumed_input
+
+    @property
+    def codegen_active(self) -> bool:
+        if self.live:
+            return self._codegen_active
+        return self._local.codegen_active
+
+    @property
+    def codegen_fallback_steps(self) -> int:
+        if self.live:
+            return self._codegen_fallback
+        return self._local.codegen_fallback_steps
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def rejoin(self) -> None:
+        """Pull the child's state into the local runtime and retire it.
+
+        After this call the local runtime is byte-equivalent to the
+        child at its last iteration boundary: worker state installed,
+        internal channels restored *in place* (firing code holds direct
+        references), counters mirrored, fused plan invalidated so the
+        next local iteration rebinds against the restored buffers.
+        """
+        if not self.live:
+            return
+        _ok, payload, records = self._rpc("rejoin")
+        self._tracer.absorb(records)
+        local = self._local
+        for worker_id, worker_state in payload["workers"].items():
+            local.graph.worker(worker_id).set_state(worker_state)
+        for index, (items, pushed, popped) in payload["channels"].items():
+            load_state(local.channels[index], items, pushed, popped)
+        local.iteration = payload["iteration"]
+        local.consumed_input = payload["consumed"]
+        local.emitted_output = payload["emitted"]
+        local.initialized = payload["initialized"]
+        local._fused = None
+        self.live = False
+        self._finish_child()
+
+    def shutdown(self, abort: bool = False) -> None:
+        """Stop the child. ``abort`` terminates without a final RPC —
+        the safe path when a pool thread may still be blocked in
+        ``recv`` (the EOF resolves it)."""
+        if self._conn is None:
+            return
+        if self.live and not abort:
+            try:
+                reply = self._rpc("stop")
+                self._tracer.absorb(reply[1])
+            except Exception:
+                abort = True
+        self.live = False
+        if abort and self._process.is_alive():
+            self._process.terminate()
+        self._finish_child()
+
+    def _finish_child(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+            self._conn = None
+        if self._process is not None:
+            self._process.join(timeout=5.0)
+            if self._process.is_alive():  # pragma: no cover - hung child
+                self._process.terminate()
+                self._process.join(timeout=1.0)
+            self._process = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<RemoteBlobRuntime blob=%d live=%s>" % (self.blob_index,
+                                                        self.live)
+
+
+def fork_blob_worker(local: BlobRuntime, blob_index: int, tracer,
+                     clock: Callable[[], float], track: str,
+                     ship_to: Optional[Dict[int, ShmArrayChannel]] = None
+                     ) -> RemoteBlobRuntime:
+    """Fork a worker process serving ``local`` and return its proxy.
+
+    ``ship_to`` maps boundary-out edge indices to the consumer's
+    shared-memory ring: when given, the child delivers those items
+    directly (standalone executor); when ``None`` every staged item
+    returns over the pipe (the cluster layer routes through its
+    simulated links).
+    """
+    context = multiprocessing.get_context("fork")
+    parent_conn, child_conn = context.Pipe()
+    process = context.Process(
+        target=_serve_blob,
+        args=(local, parent_conn, child_conn, blob_index, track, ship_to),
+        name="repro-blob-%d" % blob_index,
+        daemon=True,
+    )
+    process.start()
+    child_conn.close()
+    return RemoteBlobRuntime(local, parent_conn, process, tracer, clock,
+                             blob_index, track)
+
+
+class ProcessBlobExecutor(ParallelBlobExecutor):
+    """Run the blobs of one partition in forked worker processes.
+
+    Same public surface, scheduling discipline (`max_lead` pacing,
+    readiness-driven dispatch) and determinism contract as the thread
+    executor — but each blob's iterations run in a separate process,
+    so scalar-heavy blobs that would serialize on the GIL genuinely
+    overlap.  Boundary edges and the graph input become fixed-capacity
+    shared-memory rings sized from the schedule so they can never
+    overflow under the pacing bound.
+
+    External input of arbitrary size is accepted: ``push_input`` holds
+    items in a parent-side pending queue and tops the input ring up as
+    the head blob drains it.
+
+    Workers fork lazily on the first multi-blob ``run_steady`` and are
+    drained-and-rejoined before any ``drain`` — so adaptive and fluid
+    reconfigurations (which capture at iteration boundaries and drain
+    before cutover) work unchanged mid-run.  Call :meth:`close` (or
+    use the executor as a context manager) to release the shared
+    memory segments.
+    """
+
+    def __init__(
+        self,
+        graph: StreamGraph,
+        partition: Sequence[Iterable[int]],
+        schedule: Optional[Schedule] = None,
+        check_rates: bool = False,
+        processes: Optional[int] = None,
+        max_lead: int = 4,
+        tracer=None,
+        ring_capacity: Optional[int] = None,
+    ):
+        if not process_executor_available():
+            raise RuntimeError(
+                "process executor requires the 'fork' start method")
+        super().__init__(graph, partition, schedule=schedule,
+                         check_rates=check_rates, threads=processes,
+                         max_lead=max_lead, tracer=tracer)
+        incapable = [bi for bi, rt in enumerate(self.runtimes)
+                     if not rt.vector_capable]
+        if incapable:
+            raise ValueError(
+                "process executor requires numeric (vector-capable) "
+                "blobs; blob(s) %s hold non-numeric items" % incapable)
+        # Swap every boundary handoff (and the head's graph input) from
+        # the lock-wrapped thread channels to shared-memory rings.  At
+        # construction time nothing has popped, so replace_channel
+        # accepts the swap and all counters carry over.
+        self._shm_channels: List[ShmArrayChannel] = []
+        self._edge_rings: Dict[int, ShmArrayChannel] = {}
+        for runtime in self.runtimes:
+            for edge in runtime.boundary_in:
+                capacity = ring_capacity or ring_capacity_for(
+                    runtime, edge.index, self.max_lead)
+                ring = ShmArrayChannel.from_channel(
+                    runtime.channels[edge.index], capacity=capacity)
+                runtime.replace_channel(edge.index, ring)
+                self._shm_channels.append(ring)
+                self._edge_rings[edge.index] = ring
+        head = self._head_runtime
+        capacity = ring_capacity or ring_capacity_for(
+            head, GRAPH_INPUT, self.max_lead)
+        self._input_ring = ShmArrayChannel.from_channel(
+            head.channels[GRAPH_INPUT], capacity=capacity)
+        head.replace_channel(GRAPH_INPUT, self._input_ring)
+        self._shm_channels.append(self._input_ring)
+
+        self._locals: List[BlobRuntime] = list(self.runtimes)
+        self._pending: deque = deque()
+        self._input_lock = threading.Lock()
+        self._children_live = False
+        self._closed = False
+
+    # -- input staging -------------------------------------------------------
+
+    def push_input(self, items: Iterable[Any]) -> None:
+        with self._input_lock:
+            self._pending.extend(items)
+            self._pump_input()
+
+    def _pump_input(self) -> None:
+        """Top the input ring up from the pending queue (lock held)."""
+        space = self._input_ring.space()
+        if space <= 0 or not self._pending:
+            return
+        batch = []
+        while space > 0 and self._pending:
+            batch.append(self._pending.popleft())
+            space -= 1
+        self._input_ring.push_many(batch)
+
+    def _pump_locked(self) -> None:
+        with self._input_lock:
+            self._pump_input()
+
+    # -- phases --------------------------------------------------------------
+
+    def run_steady(self, iterations: int = 1) -> None:
+        if iterations <= 0:
+            return
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        if not self.initialized:
+            self._pump_locked()
+            self.run_init()
+        if min(self.threads, len(self._locals)) > 1:
+            self._ensure_children()
+        self._pump_locked()
+        super().run_steady(iterations)
+
+    def _run_serial(self, iterations: int) -> None:
+        # The degraded single-process path still pulls pending input
+        # into the ring between iterations.
+        for _ in range(iterations):
+            self._pump_locked()
+            for runtime in self.runtimes:
+                out = self._ship(runtime.run_steady())
+                if out:
+                    self._outputs.extend(out)
+
+    def drain(self) -> int:
+        self._rejoin_children()
+        total = 0
+        while True:
+            self._pump_locked()
+            fired = super().drain()
+            total += fired
+            with self._input_lock:
+                pending = bool(self._pending)
+            if not fired or not pending:
+                break
+        return total
+
+    def run_on(self, items: Iterable[Any]) -> List[Any]:
+        """Mirror of :meth:`GraphInterpreter.run_on` over ring + queue."""
+        self.push_input(items)
+        head = self.graph.head
+        head_extra = max(head.peek_rates[0] - head.pop_rates[0], 0)
+
+        def available() -> int:
+            with self._input_lock:
+                return len(self._input_ring) + len(self._pending)
+
+        if not self.initialized:
+            if available() >= self.schedule.init_in + head_extra:
+                self._pump_locked()
+                self.run_init()
+            else:
+                self.drain()
+                return self.take_output()
+        steady_in = self.schedule.steady_in
+        if steady_in > 0:
+            pending = (available() - head_extra) // steady_in
+            if pending > 0:
+                self.run_steady(pending)
+        self.drain()
+        return self.take_output()
+
+    # -- worker lifecycle ----------------------------------------------------
+
+    def _ensure_children(self) -> None:
+        if self._children_live:
+            return
+        clock = lambda: self.tracer.now  # noqa: E731 - tracer-bound clock
+        for bi, local in enumerate(self._locals):
+            ship_to = {edge.index: self._edge_rings[edge.index]
+                       for edge in local.boundary_out}
+            proxy = fork_blob_worker(local, bi, self.tracer, clock,
+                                     "proc%d" % bi, ship_to=ship_to)
+            if local.has_head:
+                proxy.input_pump = self._pump_locked
+            self.runtimes[bi] = proxy
+        self._children_live = True
+        self.tracer.instant("parallel", "parallel.fork",
+                            blobs=len(self._locals))
+
+    def _rejoin_children(self) -> None:
+        if not self._children_live:
+            return
+        for runtime in self.runtimes:
+            if isinstance(runtime, RemoteBlobRuntime):
+                runtime.rejoin()
+                runtime.shutdown()
+        self.runtimes = list(self._locals)
+        self._children_live = False
+
+    def close(self) -> None:
+        """Terminate any live workers and release every shm segment.
+
+        Safe on every path — normal completion, mid-run abort, repeated
+        calls — and required: the rings live in ``/dev/shm`` until
+        unlinked (glosslint V003 probes exactly this).
+        """
+        if self._closed:
+            return
+        for runtime in self.runtimes:
+            if isinstance(runtime, RemoteBlobRuntime):
+                runtime.shutdown(abort=True)
+        self.runtimes = list(self._locals)
+        self._children_live = False
+        for ring in self._shm_channels:
+            ring.unlink()
+        self._closed = True
+
+    def __enter__(self) -> "ProcessBlobExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        self.close()
+        return False
+
+    def __del__(self):  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass

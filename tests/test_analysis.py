@@ -256,6 +256,58 @@ class TestVectorBatchRules:
         assert not fired(check_graph(graph), "V002")
 
 
+class TestShmLifecycleRule:
+    """V003: shared-memory channel lifecycle (process backend)."""
+
+    @staticmethod
+    def _graph():
+        return Pipeline(ScaleFilter(2.0), Identity(),
+                        Identity(name="tail")).flatten()
+
+    def test_v003_silent_without_process_backend(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        assert not fired(check_graph(self._graph()), "V003")
+        monkeypatch.setenv("REPRO_PARALLEL", "thread")
+        assert not fired(check_graph(self._graph()), "V003")
+
+    def test_v003_silent_on_clean_teardown(self, monkeypatch):
+        from repro.runtime import process_executor_available
+        from repro.runtime.channels import shm_open_segments
+        if not process_executor_available():
+            pytest.skip("fork start method unavailable")
+        monkeypatch.setenv("REPRO_PARALLEL", "process")
+        assert not fired(check_graph(self._graph()), "V003")
+        assert shm_open_segments() == []
+
+    def test_v003_fires_on_leaky_teardown(self, monkeypatch):
+        from repro.analysis import shm_passes
+        from repro.runtime import process_executor_available
+        from repro.runtime.channels import shm_open_segments
+        if not process_executor_available():
+            pytest.skip("fork start method unavailable")
+        monkeypatch.setenv("REPRO_PARALLEL", "process")
+
+        def leaky_close(executor):
+            # Shut the workers down but "forget" to unlink the rings —
+            # the defect V003 exists to catch.
+            for runtime in executor.runtimes:
+                if getattr(runtime, "is_remote", False):
+                    runtime.shutdown(abort=True)
+            executor.runtimes = list(executor._locals)
+            for ring in executor._shm_channels:
+                ring.close()
+            executor._closed = True
+
+        monkeypatch.setattr(shm_passes, "_close_executor", leaky_close)
+        findings = fired(check_graph(self._graph()), "V003")
+        assert len(findings) == 2  # orderly and abort paths both leak
+        assert all(f.is_error for f in findings)
+        assert "orderly teardown left" in findings[0].message
+        assert "abort teardown left" in findings[1].message
+        # The pass reclaims what it flags: the host stays clean.
+        assert shm_open_segments() == []
+
+
 # ---------------------------------------------------------------------------
 # Configuration pass family
 # ---------------------------------------------------------------------------

@@ -10,6 +10,7 @@ from tests.conftest import medium_stateless
 
 class _StubInstance:
     draining = False
+    alive = True
 
 
 class _StubConsumer:
@@ -72,6 +73,19 @@ class TestDelivery:
         env.run()
         assert link.in_flight == 0
         assert link.idle
+
+    def test_arrival_at_dead_instance_is_dropped(self):
+        """A batch in flight when the instance is torn down (adaptive
+        switchover, rollback) must not be pushed: under the process
+        backend the target shm ring is already unlinked."""
+        env, consumer, link = make_link()
+        drive(env, link.send([1, 2, 3]))
+        env.run(until=1e-9)
+        consumer.instance.alive = False
+        env.run()
+        assert link.in_flight == 0
+        assert len(consumer.runtime.channels[0]) == 0
+        assert consumer.notified == 0
 
 
 class TestBackpressure:

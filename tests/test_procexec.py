@@ -1,0 +1,593 @@
+"""Process-level blob execution: shm rings, the process executor and
+the cluster process backend.
+
+Real processes must not change observable semantics either: the
+shared-memory ring is item-for-item a deque (a hypothesis oracle and a
+forked-producer hammer check it), the process executor's output and
+captured state are byte-identical to the canonical interpreter —
+including a mid-run capture with live children — and a cluster opted
+in via ``REPRO_PARALLEL=process`` emits exactly the serial instance's
+output through a mid-run adaptive reconfiguration, then tears every
+``/dev/shm`` segment down on both graceful and abandoned exits.
+"""
+
+import collections
+import multiprocessing
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster, StreamApp, partition_even
+from repro.apps import app_registry, get_app
+from repro.obs import Tracer
+from repro.runtime import (ChannelFullError, GraphInterpreter, HAVE_NUMPY,
+                           ProcessBlobExecutor, RateViolationError,
+                           ShmArrayChannel, cython_available,
+                           parallel_backend, process_executor_available,
+                           shm_open_segments, vector_capable)
+from repro.runtime.channels import ArrayChannel, Channel, load_state
+from repro.sched import make_schedule
+
+from tests.conftest import integration_cost_model
+from tests.test_fastpath import _assert_states_equal
+from tests.test_parallel import _even_partition, _provisioned_items
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY,
+                                reason="numpy unavailable")
+
+APP_NAMES = sorted(app_registry())
+
+needs_fork = pytest.mark.skipif(
+    not process_executor_available(),
+    reason="fork start method unavailable")
+
+
+# ---------------------------------------------------------------------------
+# The shared-memory ring
+# ---------------------------------------------------------------------------
+
+
+class TestShmRing:
+    def test_wraparound_preserves_order_and_counters(self):
+        ring = ShmArrayChannel(capacity=8)
+        try:
+            for round_no in range(5):  # 5 full laps over an 8-slot ring
+                ring.push_many([float(round_no * 8 + i) for i in range(8)])
+                assert len(ring) == 8
+                assert ring.space() == 0
+                got = ring.pop_many(8)
+                assert got == [float(round_no * 8 + i) for i in range(8)]
+            assert ring.total_pushed == 40
+            assert ring.total_popped == 40
+            assert len(ring) == 0
+        finally:
+            ring.unlink()
+
+    def test_capacity_exhaustion_leaves_state_unchanged(self):
+        ring = ShmArrayChannel(capacity=8)
+        try:
+            ring.push_many([1.0, 2.0, 3.0])
+            ring.pop()  # wrap the window off slot 0
+            ring.push_many([float(i) for i in range(6)])  # now full
+            before = (ring.snapshot(), ring.total_pushed, ring.total_popped)
+            with pytest.raises(ChannelFullError):
+                ring.push(9.9)
+            with pytest.raises(ChannelFullError):
+                ring.push_many([9.9, 9.8])
+            after = (ring.snapshot(), ring.total_pushed, ring.total_popped)
+            assert after == before
+        finally:
+            ring.unlink()
+
+    def test_underflow_errors_match_channel_contract(self):
+        ring = ShmArrayChannel(capacity=8)
+        try:
+            with pytest.raises(IndexError):
+                ring.pop()
+            ring.push_many([1.0, 2.0])
+            with pytest.raises(RateViolationError):
+                ring.pop_many(3)
+            with pytest.raises(RateViolationError):
+                ring.snapshot_prefix(3)
+            with pytest.raises(IndexError):
+                ring.peek(2)
+        finally:
+            ring.unlink()
+
+    def test_from_channel_carries_counters_and_contents(self):
+        source = ArrayChannel([1.0, 2.0, 3.0, 4.0])
+        source.pop()
+        ring = ShmArrayChannel.from_channel(source, capacity=16)
+        try:
+            assert ring.snapshot() == source.snapshot()
+            assert ring.total_pushed == source.total_pushed
+            assert ring.total_popped == source.total_popped
+        finally:
+            ring.unlink()
+
+    def test_peek_block_is_read_only(self):
+        ring = ShmArrayChannel(capacity=8)
+        try:
+            ring.push_many([1.0, 2.0, 3.0])
+            view = ring.peek_block(3)
+            with pytest.raises(ValueError):
+                view[0] = 9.9
+            # Wrapped reads return a read-only copy, same contract.
+            ring.pop_many(2)
+            ring.push_many([4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0])
+            wrapped = ring.peek_block(8)
+            assert list(wrapped) == [3.0, 4.0, 5.0, 6.0, 7.0,
+                                     8.0, 9.0, 10.0]
+            with pytest.raises(ValueError):
+                wrapped[0] = 9.9
+        finally:
+            ring.unlink()
+
+    def test_attach_shares_the_segment(self):
+        ring = ShmArrayChannel(capacity=8)
+        try:
+            ring.push_many([1.0, 2.0])
+            other = ShmArrayChannel.attach(ring.name)
+            assert other.snapshot() == [1.0, 2.0]
+            other.push(3.0)  # visible through the original mapping
+            assert ring.pop_many(3) == [1.0, 2.0, 3.0]
+            other.close()  # non-owner: close only, never unlink
+            assert ring.name in shm_open_segments()
+        finally:
+            ring.unlink()
+
+    def test_unlink_clears_registry_and_is_idempotent(self):
+        ring = ShmArrayChannel(capacity=8)
+        assert ring.name in shm_open_segments()
+        ring.unlink()
+        assert ring.name not in shm_open_segments()
+        ring.unlink()  # second unlink is a no-op, not an error
+        with pytest.raises(FileNotFoundError):
+            ShmArrayChannel.attach(ring.name)
+
+    def test_counters_survive_close(self):
+        ring = ShmArrayChannel(capacity=8)
+        ring.push_many([1.0, 2.0, 3.0])
+        ring.pop()
+        ring.close()
+        assert ring.total_pushed == 3
+        assert ring.total_popped == 1
+        ring.unlink()
+
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.floats(allow_nan=False,
+                                             allow_infinity=False,
+                                             width=32)),
+        st.tuples(st.just("push_many"),
+                  st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                                     width=32), max_size=5)),
+        st.tuples(st.just("pop"), st.none()),
+        st.tuples(st.just("pop_many"), st.integers(0, 5)),
+        st.tuples(st.just("peek"), st.integers(0, 7)),
+        st.tuples(st.just("snapshot_prefix"), st.integers(0, 8)),
+    ),
+    max_size=60,
+)
+
+
+class TestRingOracle:
+    @given(OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_property_ring_matches_deque(self, ops):
+        """Every observable the ring exposes matches a deque model
+        under arbitrary push/pop/peek interleavings at capacity 8."""
+        ring = ShmArrayChannel(capacity=8)
+        model = collections.deque()
+        pushed = popped = 0
+        try:
+            for op, arg in ops:
+                if op == "push":
+                    if len(model) < 8:
+                        ring.push(arg)
+                        model.append(arg)
+                        pushed += 1
+                    else:
+                        with pytest.raises(ChannelFullError):
+                            ring.push(arg)
+                elif op == "push_many":
+                    if len(model) + len(arg) <= 8:
+                        ring.push_many(arg)
+                        model.extend(arg)
+                        pushed += len(arg)
+                    else:
+                        with pytest.raises(ChannelFullError):
+                            ring.push_many(arg)
+                elif op == "pop":
+                    if model:
+                        assert ring.pop() == model.popleft()
+                        popped += 1
+                    else:
+                        with pytest.raises(IndexError):
+                            ring.pop()
+                elif op == "pop_many":
+                    if arg <= len(model):
+                        expected = [model.popleft() for _ in range(arg)]
+                        assert ring.pop_many(arg) == expected
+                        popped += arg
+                    else:
+                        with pytest.raises(RateViolationError):
+                            ring.pop_many(arg)
+                elif op == "peek":
+                    if arg < len(model):
+                        assert ring.peek(arg) == model[arg]
+                    else:
+                        with pytest.raises(IndexError):
+                            ring.peek(arg)
+                elif op == "snapshot_prefix":
+                    if arg <= len(model):
+                        assert ring.snapshot_prefix(arg) == list(model)[:arg]
+                    else:
+                        with pytest.raises(RateViolationError):
+                            ring.snapshot_prefix(arg)
+                assert len(ring) == len(model)
+                assert ring.snapshot() == list(model)
+                assert ring.total_pushed == pushed
+                assert ring.total_popped == popped
+                assert ring.space() == 8 - len(model)
+        finally:
+            ring.unlink()
+
+
+def _hammer_producer(ring, total, chunk):
+    sent = 0
+    while sent < total:
+        n = min(chunk, total - sent, ring.space())
+        if n == 0:
+            continue
+        ring.push_many([float(sent + i) for i in range(n)])
+        sent += n
+
+
+@needs_fork
+class TestRingAcrossProcesses:
+    def test_forked_producer_parent_consumer(self):
+        """SPSC across a real fork: a child pushes 10k items through a
+        64-slot ring while the parent pops; order and the lifetime
+        counters must be exact."""
+        total = 10_000
+        ring = ShmArrayChannel(capacity=64)
+        ctx = multiprocessing.get_context("fork")
+        child = ctx.Process(target=_hammer_producer,
+                            args=(ring, total, 7), daemon=True)
+        child.start()
+        try:
+            received = []
+            while len(received) < total:
+                n = len(ring)
+                if n:
+                    received.extend(ring.pop_many(n))
+                elif not child.is_alive() and len(ring) == 0:
+                    break
+            assert received == [float(i) for i in range(total)]
+            assert ring.total_pushed == total
+            assert ring.total_popped == total
+        finally:
+            child.join(10.0)
+            if child.is_alive():
+                child.terminate()
+                child.join(1.0)
+            ring.unlink()
+
+
+class TestLoadState:
+    def test_load_state_into_plain_channel(self):
+        channel = Channel([9.0])
+        load_state(channel, [1.0, 2.0], pushed=7, popped=5)
+        assert channel.snapshot() == [1.0, 2.0]
+        assert channel.total_pushed == 7
+        assert channel.total_popped == 5
+
+    def test_load_state_into_array_channel_grows_to_fit(self):
+        channel = ArrayChannel()
+        items = [float(i) for i in range(100)]
+        load_state(channel, items, pushed=100, popped=0)
+        assert channel.snapshot() == items
+        assert channel.total_pushed == 100
+        assert channel.total_popped == 0
+        channel.push(100.0)  # still a working channel afterwards
+        assert channel.pop() == 0.0
+
+    def test_load_state_rejects_inconsistent_counters(self):
+        with pytest.raises(ValueError):
+            load_state(Channel(), [1.0], pushed=5, popped=3)
+
+    def test_load_state_rejects_shm_rings(self):
+        ring = ShmArrayChannel(capacity=8)
+        try:
+            with pytest.raises(TypeError):
+                load_state(ring, [1.0], pushed=1, popped=0)
+        finally:
+            ring.unlink()
+
+
+# ---------------------------------------------------------------------------
+# Backend selection
+# ---------------------------------------------------------------------------
+
+
+class TestBackendSelection:
+    def test_parallel_backend_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        assert parallel_backend() == "off"
+        for value in ("1", "thread", "threads", " Thread "):
+            monkeypatch.setenv("REPRO_PARALLEL", value)
+            assert parallel_backend() == "thread"
+        for value in ("2", "proc", "process", "processes", "PROCESS"):
+            monkeypatch.setenv("REPRO_PARALLEL", value)
+            assert parallel_backend() == "process"
+        for value in ("0", "", "no", "off"):
+            monkeypatch.setenv("REPRO_PARALLEL", value)
+            assert parallel_backend() == "off"
+
+
+# ---------------------------------------------------------------------------
+# The process executor
+# ---------------------------------------------------------------------------
+
+
+@needs_fork
+class TestProcessEquivalence:
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_app_output_and_state_byte_identical(self, name):
+        iterations = 4
+        spec = get_app(name)
+        blueprint = spec.blueprint(scale=1)
+        graph = blueprint()
+        if not vector_capable(graph.workers):
+            pytest.skip("app is not vector-capable")
+        schedule = make_schedule(graph)
+        items = _provisioned_items(spec, graph, schedule, iterations)
+
+        oracle = GraphInterpreter(blueprint(), check_rates=True)
+        oracle.push_input(list(items))
+        oracle.run_steady(iterations)
+
+        with ProcessBlobExecutor(graph, _even_partition(graph, 3),
+                                 schedule=schedule, processes=3) as px:
+            px.push_input(list(items))
+            px.run_steady(iterations)
+            assert px.take_output() == oracle.take_output()
+            # Mid-run capture with children live: state must match the
+            # interpreter byte for byte (this is what reconfiguration
+            # snapshots rely on).
+            _assert_states_equal(px.capture_state(),
+                                 oracle.capture_state())
+        assert shm_open_segments() == []
+
+    def test_run_on_matches_interpreter(self):
+        spec = get_app("BeamFormer")
+        blueprint = spec.blueprint(scale=1)
+        graph = blueprint()
+        schedule = make_schedule(graph)
+        items = _provisioned_items(spec, graph, schedule, 6, slack=7)
+        expected = GraphInterpreter(blueprint()).run_on(list(items))
+        with ProcessBlobExecutor(graph, _even_partition(graph, 3),
+                                 schedule=schedule, processes=3) as px:
+            assert px.run_on(list(items)) == expected
+        assert shm_open_segments() == []
+
+    def test_repeat_runs_deterministic(self):
+        spec = get_app("FilterBank")
+        blueprint = spec.blueprint(scale=1)
+
+        def run():
+            graph = blueprint()
+            schedule = make_schedule(graph)
+            items = _provisioned_items(spec, graph, schedule, 4)
+            with ProcessBlobExecutor(graph, _even_partition(graph, 3),
+                                     schedule=schedule, processes=3) as px:
+                px.push_input(items)
+                px.run_steady(4)
+                return px.take_output()
+
+        assert run() == run()
+
+    def test_rejects_non_vector_capable_blob(self):
+        from repro.graph.builders import Pipeline
+        from repro.graph.library import Identity, ScaleFilter
+
+        class NoVector(ScaleFilter):
+            vector_items = False
+
+        graph = Pipeline(NoVector(2.0), Identity()).flatten()
+        with pytest.raises(ValueError, match="vector"):
+            ProcessBlobExecutor(graph, _even_partition(graph, 2),
+                                processes=2)
+
+    def test_tracer_merges_child_spans_with_nesting(self):
+        spec = get_app("FMRadio")
+        blueprint = spec.blueprint(scale=1)
+        graph = blueprint()
+        schedule = make_schedule(graph)
+        items = _provisioned_items(spec, graph, schedule, 3)
+        tracer = Tracer()
+        with ProcessBlobExecutor(graph, _even_partition(graph, 2),
+                                 schedule=schedule, processes=2,
+                                 tracer=tracer) as px:
+            px.push_input(items)
+            px.run_steady(3)
+            px.drain()
+        spans = list(tracer.spans)
+        roots = [s for s in spans if s.name == "proc.serve"]
+        steadies = [s for s in spans if s.name == "proc.steady"]
+        assert len(roots) == 2  # one serving root per forked blob
+        assert steadies
+        by_id = {s.span_id: s for s in spans}
+        for span in steadies:
+            cursor = span
+            while cursor.parent_id is not None:
+                cursor = by_id[cursor.parent_id]
+            assert cursor.name == "proc.serve"
+        assert shm_open_segments() == []
+
+    def test_close_without_drain_reclaims_segments(self):
+        """The abort path: close with live children and undrained
+        state must still unlink every ring."""
+        spec = get_app("FMRadio")
+        blueprint = spec.blueprint(scale=1)
+        graph = blueprint()
+        schedule = make_schedule(graph)
+        items = _provisioned_items(spec, graph, schedule, 3)
+        px = ProcessBlobExecutor(graph, _even_partition(graph, 2),
+                                 schedule=schedule, processes=2)
+        px.push_input(items)
+        px.run_steady(3)  # children forked, state live
+        px.close()
+        assert shm_open_segments() == []
+
+
+# ---------------------------------------------------------------------------
+# The cluster process backend
+# ---------------------------------------------------------------------------
+
+
+@needs_fork
+class TestClusterProcessBackend:
+    def _run_cluster(self, monkeypatch, backend, tracer=None):
+        if backend:
+            monkeypatch.setenv("REPRO_PARALLEL", backend)
+        else:
+            monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        spec = get_app("FMRadio")
+        blueprint = spec.blueprint(scale=1)
+        cluster = Cluster(n_nodes=2, cores_per_node=4,
+                          cost_model=integration_cost_model(),
+                          tracer=tracer)
+        app = StreamApp(cluster, blueprint, input_fn=spec.input_fn,
+                        name="fm", collect_output=True)
+        app.launch(partition_even(blueprint(), [0, 1], multiplier=4,
+                                  name="A"))
+        cluster.run(until=60.0)
+        return app
+
+    def test_output_identical_to_serial(self, monkeypatch):
+        serial = self._run_cluster(monkeypatch, backend=None)
+        parallel = self._run_cluster(monkeypatch, backend="process")
+        assert parallel.current.pool is not None
+        assert parallel.current._proc_proxies  # children actually forked
+        assert parallel.merger.items == serial.merger.items
+        assert len(parallel.merger.items) > 0
+        assert parallel.merger.duplicate_emitted == 0
+        parallel.current.abandon()
+        assert shm_open_segments() == []
+
+    def test_abandon_teardown_reclaims_segments(self, monkeypatch):
+        app = self._run_cluster(monkeypatch, backend="process")
+        instance = app.current
+        assert instance._shm_channels
+        instance.abandon()
+        assert shm_open_segments() == []
+        assert not instance._proc_proxies
+
+    def test_adaptive_reconfiguration_stays_seamless(self, monkeypatch):
+        """Mid-run adaptive reconfiguration with the process backend:
+        drain-and-rejoin must hand interpreter-identical state to the
+        migration machinery — zero downtime, byte-identical output."""
+        monkeypatch.setenv("REPRO_PARALLEL", "process")
+        monkeypatch.setenv("REPRO_VECTORIZE", "1")
+        monkeypatch.setenv("REPRO_CODEGEN", "1")
+        spec = get_app("FilterBank")
+        blueprint = spec.blueprint(scale=1)
+        cluster = Cluster(n_nodes=3, cores_per_node=4,
+                          cost_model=integration_cost_model())
+        app = StreamApp(cluster, blueprint, input_fn=spec.input_fn,
+                        name="fb", collect_output=True)
+        app.launch(partition_even(blueprint(), [0, 1], multiplier=2,
+                                  name="A"))
+        cluster.run(until=30.0)
+        assert app.current.status == "running"
+        done = app.reconfigure(
+            partition_even(blueprint(), [0, 1, 2], multiplier=2, name="B"),
+            strategy="adaptive")
+        cluster.run(until=130.0)
+        assert done.triggered
+        report = app.analyze(30.0, 130.0, bucket=1.0)
+        assert report.downtime == 0.0, report
+
+        consumed = max(inst.input_view.next_index for inst in app.instances)
+        reference = GraphInterpreter(blueprint()).run_on(
+            [spec.input_fn(i) for i in range(consumed)])
+        assert app.merger.items == reference[:len(app.merger.items)]
+        assert len(app.merger.items) > 0
+        # The superseded instance is torn down on the abort path
+        # (children terminated without the final records RPC — span
+        # loss there is by design); every ring must still be unlinked.
+        for instance in app.instances:
+            if instance.alive:
+                instance.abandon()
+        assert shm_open_segments() == []
+
+
+# ---------------------------------------------------------------------------
+# The Cython emission tier
+# ---------------------------------------------------------------------------
+
+
+class TestCythonBackend:
+    def _fused_plan(self, blueprint, spec, iterations):
+        graph = blueprint()
+        schedule = make_schedule(graph)
+        items = _provisioned_items(spec, graph, schedule, 1 + iterations)
+        interp = GraphInterpreter(graph, schedule=schedule,
+                                  check_rates=False, vectorize=True,
+                                  codegen=False)
+        interp.push_input(items)
+        interp.run_steady(1)  # warm-up builds the fused plan
+        return interp
+
+    def test_fallback_is_silent_without_toolchain(self):
+        """Requesting cython must never be an error: absent the
+        toolchain the kernel binds the generated-Python backend."""
+        from repro.runtime.codegen import CodegenKernel
+        spec = get_app("FMRadio")
+        interp = self._fused_plan(spec.blueprint(scale=1), spec, 2)
+        plan = interp._fused
+        assert plan is not None and plan.vectorized
+        kernel = CodegenKernel(plan, backend="cython")
+        assert kernel.error is None
+        expected = "cython" if cython_available() else "python"
+        assert kernel.backend == expected
+        assert kernel.run_iteration()
+
+    @pytest.mark.skipif(not cython_available(),
+                        reason="cython toolchain unavailable")
+    def test_cython_output_byte_identical(self):
+        from repro.runtime.codegen import CodegenKernel
+        spec = get_app("FMRadio")
+        blueprint = spec.blueprint(scale=1)
+        iterations = 2
+
+        ref = self._fused_plan(blueprint, spec, iterations)
+        ref.run_steady(iterations)
+        expected = ref.take_output()
+
+        probe = self._fused_plan(blueprint, spec, iterations)
+        kernel = CodegenKernel(probe._fused, backend="cython")
+        assert kernel.backend == "cython"
+        for _ in range(iterations):
+            assert kernel.run_iteration()
+        assert probe.take_output() == expected
+
+    @pytest.mark.skipif(not cython_available(),
+                        reason="cython toolchain unavailable")
+    def test_compiled_module_is_cached(self):
+        from repro.compiler.cache import get_default_cache
+        from repro.runtime.codegen import CodegenKernel
+        spec = get_app("FMRadio")
+        cache = get_default_cache()
+        probe = self._fused_plan(spec.blueprint(scale=1), spec, 1)
+        before = cache.module_misses
+        CodegenKernel(probe._fused, backend="cython")
+        assert cache.module_misses == before + 1
+        hits = cache.module_hits
+        probe2 = self._fused_plan(spec.blueprint(scale=1), spec, 1)
+        CodegenKernel(probe2._fused, backend="cython")
+        assert cache.module_hits == hits + 1
